@@ -1,0 +1,157 @@
+//! A branch-and-bound solver for the GOMIL column ILP.
+//!
+//! Independent of the DP in [`crate::gomil`], this solver enumerates
+//! per-column `(a_j, b_j)` decisions depth-first with an admissible
+//! lower bound, and is used in tests to certify that the DP returns
+//! the true ILP optimum on small instances.
+
+use crate::gomil::GomilWeights;
+use rlmul_ct::{CompressorMatrix, CompressorTree, CtError, PpProfile, PpgKind};
+
+/// Exact branch-and-bound solve of the GOMIL ILP.
+///
+/// Exponential in the worst case; intended for cross-checking widths
+/// up to ~8 bits.
+///
+/// # Errors
+///
+/// Propagates profile construction errors.
+pub fn gomil_bnb(
+    bits: usize,
+    kind: PpgKind,
+    weights: GomilWeights,
+) -> Result<CompressorTree, CtError> {
+    let profile = PpProfile::new(bits, kind)?;
+    let ncols = profile.num_columns();
+    // Admissible bound: cheapest possible reduction cost of each
+    // column counting only its own initial products (carry-in only
+    // raises the column's input count, and the bound is monotone).
+    let min_cost = |inputs: u32| -> f64 {
+        if inputs == 0 {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for res in 1..=2u32.min(inputs) {
+            let reduce = inputs - res;
+            let a = reduce / 2;
+            let b = reduce % 2;
+            // The CPA term of a column is ≥ 0, so omitting it keeps
+            // the bound admissible.
+            best = best.min(weights.full_adder * a as f64 + weights.half_adder * b as f64);
+            // Alternative: trade one FA for two HAs when cheaper.
+            if a >= 1 {
+                best = best.min(
+                    weights.full_adder * (a - 1) as f64 + weights.half_adder * (b + 2) as f64,
+                );
+            }
+        }
+        best
+    };
+    let suffix_bound: Vec<f64> = {
+        let mut s = vec![0.0; ncols + 1];
+        for j in (0..ncols).rev() {
+            s[j] = s[j + 1] + min_cost(profile.columns()[j]);
+        }
+        s
+    };
+
+    struct Search<'a> {
+        profile: &'a PpProfile,
+        weights: GomilWeights,
+        suffix_bound: &'a [f64],
+        best_cost: f64,
+        best: Vec<(u32, u32)>,
+        current: Vec<(u32, u32)>,
+    }
+    impl Search<'_> {
+        fn dfs(&mut self, j: usize, cin: u32, cost: f64) {
+            let ncols = self.profile.num_columns();
+            if cost + self.suffix_bound[j] >= self.best_cost {
+                return;
+            }
+            if j == ncols {
+                self.best_cost = cost;
+                self.best = self.current.clone();
+                return;
+            }
+            let inputs = self.profile.columns()[j] + cin;
+            if inputs == 0 {
+                self.current[j] = (0, 0);
+                self.dfs(j + 1, 0, cost);
+                return;
+            }
+            for a in 0..=inputs / 2 {
+                for res in 1..=2u32 {
+                    let used = 2 * a + res;
+                    if used > inputs {
+                        continue;
+                    }
+                    let b = inputs - used;
+                    let c = cost
+                        + self.weights.full_adder * a as f64
+                        + self.weights.half_adder * b as f64
+                        + if res == 2 { self.weights.cpa_res2_extra } else { 0.0 };
+                    self.current[j] = (a, b);
+                    self.dfs(j + 1, a + b, c);
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        profile: &profile,
+        weights,
+        suffix_bound: &suffix_bound,
+        best_cost: f64::INFINITY,
+        best: vec![(0, 0); ncols],
+        current: vec![(0, 0); ncols],
+    };
+    search.dfs(0, 0, 0.0);
+    let matrix = CompressorMatrix::from_counts(search.best);
+    CompressorTree::from_matrix(profile, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gomil::gomil_weighted;
+
+    fn cost(t: &CompressorTree, w: GomilWeights) -> f64 {
+        let res2 =
+            t.matrix().residuals(t.profile()).iter().filter(|&&r| r == 2).count() as f64;
+        w.full_adder * t.matrix().total32() as f64
+            + w.half_adder * t.matrix().total22() as f64
+            + w.cpa_res2_extra * res2
+    }
+
+    #[test]
+    fn bnb_and_dp_agree_on_small_instances() {
+        let w = GomilWeights::default();
+        for bits in [2, 3, 4, 5, 6] {
+            let dp = gomil_weighted(bits, PpgKind::And, w).unwrap();
+            let bb = gomil_bnb(bits, PpgKind::And, w).unwrap();
+            assert!(
+                (cost(&dp, w) - cost(&bb, w)).abs() < 1e-9,
+                "bits {bits}: dp {} vs bnb {}",
+                cost(&dp, w),
+                cost(&bb, w)
+            );
+        }
+    }
+
+    #[test]
+    fn bnb_agrees_under_skewed_weights() {
+        let w = GomilWeights { full_adder: 3.0, half_adder: 2.9, cpa_res2_extra: 1.5 };
+        for bits in [3, 4, 5] {
+            let dp = gomil_weighted(bits, PpgKind::And, w).unwrap();
+            let bb = gomil_bnb(bits, PpgKind::And, w).unwrap();
+            assert!((cost(&dp, w) - cost(&bb, w)).abs() < 1e-9, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn bnb_result_is_legal() {
+        let t = gomil_bnb(4, PpgKind::Mbe, GomilWeights::default()).unwrap();
+        t.check_legal().unwrap();
+    }
+}

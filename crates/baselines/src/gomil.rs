@@ -1,0 +1,203 @@
+//! GOMIL baseline: global optimization of the compressor tree by
+//! integer linear programming [Xiao et al., DATE 2021].
+//!
+//! GOMIL's core ILP chooses per-column 3:2 / 2:2 compressor counts
+//! minimizing total compressor area subject to the column balance
+//! constraint `res_j ∈ {1, 2}`. Because the constraint couples
+//! adjacent columns only through the carry count `a_j + b_j`, the ILP
+//! decomposes exactly into a shortest-path problem over
+//! `(column, carry-in)` states — solved here by dynamic programming,
+//! which provably returns the ILP optimum (no solver gap, no
+//! timeout). A generic branch-and-bound solver in [`crate::bnb`]
+//! cross-checks optimality on small instances.
+
+use rlmul_ct::{CompressorMatrix, CompressorTree, CtError, PpProfile, PpgKind};
+use std::collections::HashMap;
+
+/// Objective weights for the GOMIL area model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GomilWeights {
+    /// Cost of one 3:2 compressor (full-adder area, µm²).
+    pub full_adder: f64,
+    /// Cost of one 2:2 compressor (half-adder area, µm²).
+    pub half_adder: f64,
+    /// Extra carry-propagate-adder cost of a column that keeps two
+    /// residual rows instead of one (a single-row column folds most
+    /// of its prefix-adder logic away). The default is 0 — the
+    /// published GOMIL objective counts compressors only, and a
+    /// positive value trades reduction depth for CPA area, which the
+    /// depth-blind ILP cannot bound. Exposed for ablation studies.
+    pub cpa_res2_extra: f64,
+}
+
+impl Default for GomilWeights {
+    /// NanGate45-flavoured FA/HA areas plus the per-bit prefix-adder
+    /// increment.
+    fn default() -> Self {
+        GomilWeights { full_adder: 4.256, half_adder: 2.394, cpa_res2_extra: 0.0 }
+    }
+}
+
+/// Solves the GOMIL ILP exactly for `bits`-bit designs of `kind`.
+///
+/// # Errors
+///
+/// Propagates profile construction errors.
+pub fn gomil(bits: usize, kind: PpgKind) -> Result<CompressorTree, CtError> {
+    gomil_weighted(bits, kind, GomilWeights::default())
+}
+
+/// [`gomil`] with explicit area weights.
+///
+/// # Errors
+///
+/// Propagates profile construction errors.
+pub fn gomil_weighted(
+    bits: usize,
+    kind: PpgKind,
+    weights: GomilWeights,
+) -> Result<CompressorTree, CtError> {
+    let profile = PpProfile::new(bits, kind)?;
+    let matrix = solve(&profile, weights);
+    CompressorTree::from_matrix(profile, matrix)
+}
+
+/// DP over `(column, carry-in)` states. For each column the feasible
+/// `(a, b)` pairs are exactly `b = inputs − 2a − res` for
+/// `res ∈ {1, 2}` and `0 ≤ a ≤ inputs/2` — two candidates per `a`.
+fn solve(profile: &PpProfile, weights: GomilWeights) -> CompressorMatrix {
+    let ncols = profile.num_columns();
+    // dp: carry-in → (cost, choice chain index)
+    let mut dp: HashMap<u32, (f64, usize)> = HashMap::new();
+    dp.insert(0, (0.0, usize::MAX));
+    // Back-pointers: (prev chain index, a, b) per decision.
+    let mut chain: Vec<(usize, u32, u32)> = Vec::new();
+
+    for j in 0..ncols {
+        let p = profile.columns()[j];
+        let mut next: HashMap<u32, (f64, usize)> = HashMap::new();
+        for (&cin, &(cost, back)) in &dp {
+            let inputs = p + cin;
+            if inputs == 0 {
+                relax(&mut next, &mut chain, 0, cost, back, 0, 0);
+                continue;
+            }
+            for a in 0..=inputs / 2 {
+                for res in 1..=2u32 {
+                    let used = 2 * a + res;
+                    if used > inputs {
+                        continue;
+                    }
+                    let b = inputs - used;
+                    let c = cost
+                        + weights.full_adder * a as f64
+                        + weights.half_adder * b as f64
+                        + if res == 2 { weights.cpa_res2_extra } else { 0.0 };
+                    relax(&mut next, &mut chain, a + b, c, back, a, b);
+                }
+            }
+        }
+        dp = next;
+    }
+    // Best final state (any residual carry out of the MSB is allowed
+    // but costs area, so the optimizer avoids it naturally).
+    let (_, &(_, mut back)) = dp
+        .iter()
+        .min_by(|x, y| x.1 .0.partial_cmp(&y.1 .0).expect("finite costs"))
+        .expect("dp never empties: res=1/2 is always feasible");
+    let mut counts = vec![(0u32, 0u32); ncols];
+    for j in (0..ncols).rev() {
+        let (prev, a, b) = chain[back];
+        counts[j] = (a, b);
+        back = prev;
+    }
+    CompressorMatrix::from_counts(counts)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relax(
+    next: &mut HashMap<u32, (f64, usize)>,
+    chain: &mut Vec<(usize, u32, u32)>,
+    carry_out: u32,
+    cost: f64,
+    back: usize,
+    a: u32,
+    b: u32,
+) {
+    let entry = next.entry(carry_out);
+    match entry {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            if cost < e.get().0 {
+                chain.push((back, a, b));
+                e.insert((cost, chain.len() - 1));
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            chain.push((back, a, b));
+            e.insert((cost, chain.len() - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gomil_solutions_are_legal() {
+        for bits in [2, 4, 8, 16] {
+            let t = gomil(bits, PpgKind::And).unwrap();
+            t.check_legal().unwrap_or_else(|e| panic!("{bits}: {e}"));
+            t.assign_stages().unwrap();
+        }
+        for kind in [PpgKind::Mbe, PpgKind::MacAnd, PpgKind::MacMbe] {
+            gomil(8, kind).unwrap().check_legal().unwrap();
+        }
+    }
+
+    #[test]
+    fn gomil_objective_is_at_most_wallace_and_dadda() {
+        let w = GomilWeights::default();
+        let cost = |t: &CompressorTree| {
+            let res2 = t
+                .matrix()
+                .residuals(t.profile())
+                .iter()
+                .filter(|&&r| r == 2)
+                .count() as f64;
+            w.full_adder * t.matrix().total32() as f64
+                + w.half_adder * t.matrix().total22() as f64
+                + w.cpa_res2_extra * res2
+        };
+        for bits in [8, 16] {
+            for kind in [PpgKind::And, PpgKind::Mbe] {
+                let g = gomil(bits, kind).unwrap();
+                let wal = CompressorTree::wallace(bits, kind).unwrap();
+                let dad = CompressorTree::dadda(bits, kind).unwrap();
+                assert!(cost(&g) <= cost(&wal) + 1e-9, "{bits} {kind} vs wallace");
+                assert!(cost(&g) <= cost(&dad) + 1e-9, "{bits} {kind} vs dadda");
+            }
+        }
+    }
+
+    #[test]
+    fn gomil_avoids_wasted_msb_carries() {
+        let g = gomil(8, PpgKind::And).unwrap();
+        let (a, b) = *g.matrix().counts().last().expect("columns");
+        assert_eq!(a + b, 0, "no compressor output should fall past the MSB");
+    }
+
+    #[test]
+    fn custom_weights_shift_the_mix() {
+        // With free half adders the optimum uses at least as many of
+        // them as the default weighting.
+        let free_ha = gomil_weighted(
+            8,
+            PpgKind::And,
+            GomilWeights { full_adder: 10.0, half_adder: 0.001, cpa_res2_extra: 0.0 },
+        )
+        .unwrap();
+        let default = gomil(8, PpgKind::And).unwrap();
+        assert!(free_ha.matrix().total22() >= default.matrix().total22());
+    }
+}

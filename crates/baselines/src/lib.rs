@@ -1,0 +1,50 @@
+//! Baseline multiplier optimizers the paper compares against:
+//!
+//! * **Wallace** and **Dadda** legacy structures (constructors live in
+//!   [`rlmul_ct`]; re-exported here for convenience);
+//! * **GOMIL** — the ILP of Xiao et al. solved *exactly* by dynamic
+//!   programming over the column carry chain ([`gomil`]), with an
+//!   independent branch-and-bound solver ([`gomil_bnb`]) certifying
+//!   optimality on small instances;
+//! * **Simulated annealing** over the same action space as the RL
+//!   agent ([`simulated_annealing`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rlmul_baselines::{gomil, wallace};
+//! use rlmul_ct::PpgKind;
+//!
+//! let g = gomil(8, PpgKind::And)?;
+//! let w = wallace(8, PpgKind::And)?;
+//! assert!(g.total_compressors() <= w.total_compressors());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bnb;
+mod gomil;
+mod sa;
+
+pub use bnb::gomil_bnb;
+pub use gomil::{gomil, gomil_weighted, GomilWeights};
+pub use sa::{simulated_annealing, SaConfig, SaOutcome};
+
+use rlmul_ct::{CompressorTree, CtError, PpgKind};
+
+/// The classic Wallace-tree baseline [Wallace 1964].
+///
+/// # Errors
+///
+/// Propagates unsupported-width errors.
+pub fn wallace(bits: usize, kind: PpgKind) -> Result<CompressorTree, CtError> {
+    CompressorTree::wallace(bits, kind)
+}
+
+/// The Dadda-tree baseline [Dadda 1983].
+///
+/// # Errors
+///
+/// Propagates unsupported-width errors.
+pub fn dadda(bits: usize, kind: PpgKind) -> Result<CompressorTree, CtError> {
+    CompressorTree::dadda(bits, kind)
+}

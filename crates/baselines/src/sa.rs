@@ -1,0 +1,145 @@
+//! Simulated annealing over the multiplier modification space — the
+//! paper's SA baseline, sharing the RL agent's action space and
+//! legalization so the comparison isolates the search strategy.
+
+use rand::Rng;
+use rlmul_ct::CompressorTree;
+
+/// Simulated-annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaConfig {
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature (in cost units).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// Floor temperature.
+    pub min_temp: f64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig { steps: 300, initial_temp: 50.0, cooling: 0.985, min_temp: 1e-3 }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct SaOutcome {
+    /// Best state found.
+    pub best: CompressorTree,
+    /// Cost of the best state.
+    pub best_cost: f64,
+    /// Cost of the *current* (not best) state after every step — the
+    /// optimization trajectory the paper plots in Fig. 12.
+    pub trajectory: Vec<f64>,
+    /// Number of accepted moves.
+    pub accepted: usize,
+}
+
+/// Runs simulated annealing from `initial`, scoring states with
+/// `cost` (lower is better; typically the synthesis-backed weighted
+/// area/delay cost of paper Eq. 20).
+pub fn simulated_annealing<R, F>(
+    initial: &CompressorTree,
+    config: &SaConfig,
+    rng: &mut R,
+    mut cost: F,
+) -> SaOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(&CompressorTree) -> f64,
+{
+    let mut current = initial.clone();
+    let mut current_cost = cost(&current);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut temp = config.initial_temp;
+    let mut trajectory = Vec::with_capacity(config.steps);
+    let mut accepted = 0;
+
+    for _ in 0..config.steps {
+        let actions = current.valid_actions();
+        if actions.is_empty() {
+            trajectory.push(current_cost);
+            continue;
+        }
+        let action = actions[rng.gen_range(0..actions.len())];
+        let candidate = current
+            .apply_action(action)
+            .expect("valid_actions only yields applicable actions");
+        let cand_cost = cost(&candidate);
+        let delta = cand_cost - current_cost;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(config.min_temp)).exp();
+        if accept {
+            current = candidate;
+            current_cost = cand_cost;
+            accepted += 1;
+            if current_cost < best_cost {
+                best = current.clone();
+                best_cost = current_cost;
+            }
+        }
+        trajectory.push(current_cost);
+        temp = (temp * config.cooling).max(config.min_temp);
+    }
+    SaOutcome { best, best_cost, trajectory, accepted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlmul_ct::PpgKind;
+
+    /// A cheap structural cost: compressor area proxy plus a stage
+    /// penalty, so tests don't need the synthesis stack.
+    fn proxy_cost(t: &CompressorTree) -> f64 {
+        let area = 4.256 * t.matrix().total32() as f64 + 2.394 * t.matrix().total22() as f64;
+        let stages = t.stage_count().unwrap_or(99) as f64;
+        area + 10.0 * stages
+    }
+
+    #[test]
+    fn annealing_improves_on_wallace() {
+        let initial = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = simulated_annealing(
+            &initial,
+            &SaConfig { steps: 400, ..Default::default() },
+            &mut rng,
+            proxy_cost,
+        );
+        assert!(out.best_cost <= proxy_cost(&initial));
+        assert!(out.accepted > 0);
+        assert_eq!(out.trajectory.len(), 400);
+        out.best.check_legal().unwrap();
+    }
+
+    #[test]
+    fn zero_steps_returns_initial() {
+        let initial = CompressorTree::dadda(4, PpgKind::And).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = simulated_annealing(
+            &initial,
+            &SaConfig { steps: 0, ..Default::default() },
+            &mut rng,
+            proxy_cost,
+        );
+        assert_eq!(&out.best, &initial);
+        assert!(out.trajectory.is_empty());
+    }
+
+    #[test]
+    fn trajectory_is_monotone_at_zero_temperature() {
+        let initial = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SaConfig { steps: 150, initial_temp: 1e-9, cooling: 0.5, min_temp: 1e-12 };
+        let out = simulated_annealing(&initial, &cfg, &mut rng, proxy_cost);
+        for w in out.trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "greedy descent must not accept uphill moves");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks over every subsystem in the
+//! optimization loop: state manipulation, RTL elaboration, synthesis,
+//! equivalence-checking throughput, agent-network inference and the
+//! GOMIL solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_baselines::{gomil, GomilWeights};
+use rlmul_core::{EnvConfig, MulEnv};
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_lec::{PortValues, Simulator};
+use rlmul_nn::{build_trunk, Layer, Tensor, TrunkConfig};
+use rlmul_rtl::MultiplierNetlist;
+use rlmul_synth::{analyze, MappedNetlist, Library, SynthesisOptions, Synthesizer};
+
+fn bench_ct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ct");
+    for bits in [8usize, 16] {
+        let tree = CompressorTree::wallace(bits, PpgKind::And).expect("legal");
+        g.bench_with_input(BenchmarkId::new("assign_stages", bits), &tree, |b, t| {
+            b.iter(|| t.assign_stages().expect("assignable"))
+        });
+        g.bench_with_input(BenchmarkId::new("action_mask", bits), &tree, |b, t| {
+            b.iter(|| t.action_mask())
+        });
+        let action = tree.valid_actions()[0];
+        g.bench_with_input(BenchmarkId::new("apply_and_legalize", bits), &tree, |b, t| {
+            b.iter(|| t.apply_action(action).expect("valid"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtl_synth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtl_synth");
+    for bits in [8usize, 16] {
+        let tree = CompressorTree::dadda(bits, PpgKind::And).expect("legal");
+        g.bench_with_input(BenchmarkId::new("elaborate", bits), &tree, |b, t| {
+            b.iter(|| MultiplierNetlist::elaborate(t).expect("elaborates"))
+        });
+        let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+        let lib = Library::nangate45();
+        g.bench_with_input(BenchmarkId::new("map_and_sta", bits), &netlist, |b, nl| {
+            b.iter(|| {
+                let m = MappedNetlist::map(nl, &lib);
+                analyze(&m).worst_delay_ns
+            })
+        });
+        let synth = Synthesizer::nangate45();
+        g.bench_with_input(BenchmarkId::new("min_area_synthesis", bits), &netlist, |b, nl| {
+            b.iter(|| synth.run(nl, &SynthesisOptions::default()).expect("synthesizes"))
+        });
+        let anchor = synth.run(&netlist, &SynthesisOptions::default()).expect("synthesizes");
+        let opts = SynthesisOptions::with_target(0.8 * anchor.delay_ns);
+        g.bench_with_input(BenchmarkId::new("sized_synthesis", bits), &netlist, |b, nl| {
+            b.iter(|| synth.run(nl, &opts).expect("synthesizes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lec(c: &mut Criterion) {
+    let tree = CompressorTree::dadda(8, PpgKind::And).expect("legal");
+    let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+    let sim = Simulator::new(&netlist).expect("combinational");
+    let mut rng = StdRng::seed_from_u64(5);
+    let a: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() & 0xff).collect();
+    let b: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() & 0xff).collect();
+    let stim = vec![PortValues::pack(&a, 8), PortValues::pack(&b, 8)];
+    c.bench_function("lec/simulate_64_vectors", |bch| {
+        bch.iter(|| sim.run(&stim).expect("shapes match"))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let cfg = TrunkConfig { in_channels: 2, channels: vec![8, 16, 32], blocks_per_stage: 1 };
+    let mut trunk = build_trunk(&cfg, &mut rng);
+    let x = Tensor::kaiming(&[1, 2, 16, 16], 32, &mut rng);
+    c.bench_function("nn/trunk_forward_1x2x16x16", |b| {
+        b.iter(|| trunk.forward(&x, false))
+    });
+    let batch = Tensor::kaiming(&[8, 2, 16, 16], 32, &mut rng);
+    c.bench_function("nn/trunk_fwd_bwd_batch8", |b| {
+        b.iter(|| {
+            let y = trunk.forward(&batch, true);
+            trunk.backward(&y)
+        })
+    });
+}
+
+fn bench_env_and_gomil(c: &mut Criterion) {
+    let mut env = MulEnv::new(EnvConfig::new(8, PpgKind::And)).expect("builds");
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("env/step_8bit_cached_mix", |b| {
+        b.iter(|| {
+            let mask = env.action_mask();
+            let legal: Vec<usize> =
+                mask.iter().enumerate().filter(|(_, &ok)| ok).map(|(i, _)| i).collect();
+            env.step(legal[rng.gen_range(0..legal.len())]).expect("steps")
+        })
+    });
+    c.bench_function("gomil/solve_16bit", |b| {
+        b.iter(|| gomil(16, PpgKind::And).expect("solves"))
+    });
+    let w = GomilWeights::default();
+    c.bench_function("gomil/solve_32bit", |b| {
+        b.iter(|| rlmul_baselines::gomil_weighted(32, PpgKind::And, w).expect("solves"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_env_and_gomil
+}
+criterion_main!(benches);

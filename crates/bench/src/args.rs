@@ -1,0 +1,72 @@
+//! A minimal `--key value` command-line parser (keeps the harness
+//! free of extra dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`: `--key value` pairs and bare
+    /// `--flag`s.
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (for tests).
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.insert(key.to_owned(), tokens[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                flags.push(key.to_owned());
+            }
+            i += 1;
+        }
+        Args { values, flags }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// String lookup with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::from_tokens(
+            ["--steps", "50", "--fast", "--bits", "16"].map(String::from),
+        );
+        assert_eq!(a.get("steps", 0usize), 50);
+        assert_eq!(a.get("bits", 8usize), 16);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation: search-space pruning on reduction depth
+//! (paper Section IV-C).
+//!
+//! Runs the same SA search budget with and without the stage-count
+//! action mask and compares the best cost reached and the depth of
+//! the states visited. Pruning should reach equal-or-better cost by
+//! not wasting evaluations on deep (slow) structures.
+
+use rlmul_baselines::SaConfig;
+use rlmul_bench::args::Args;
+use rlmul_bench::report::TextTable;
+use rlmul_core::{run_sa, train_dqn, DqnConfig, EnvConfig, MulEnv, StagePruning};
+use rlmul_ct::PpgKind;
+
+fn main() {
+    let args = Args::parse();
+    let steps: usize = args.get("steps", 60);
+    let seeds: u64 = args.get("seeds", 3);
+    let bits: usize = args.get("bits", 8);
+
+    println!("Ablation — stage pruning (Section IV-C), {bits}-bit AND, {steps} steps\n");
+    let mut table = TextTable::new([
+        "search", "pruning", "mean best cost", "mean final stages",
+    ]);
+    for (label, pruning) in [("auto", StagePruning::Auto), ("off", StagePruning::Off)] {
+        for method in ["SA", "RL-MUL"] {
+            let mut costs = Vec::new();
+            let mut stages = Vec::new();
+            for seed in 0..seeds {
+                let mut cfg = EnvConfig::new(bits, PpgKind::And);
+                cfg.pruning = pruning;
+                let out = match method {
+                    "SA" => run_sa(&cfg, &SaConfig { steps, ..Default::default() }, seed)
+                        .expect("sa completes"),
+                    _ => {
+                        let mut env = MulEnv::new(cfg).expect("env builds");
+                        train_dqn(
+                            &mut env,
+                            &DqnConfig {
+                                steps,
+                                warmup: steps / 5,
+                                seed,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("dqn completes")
+                    }
+                };
+                costs.push(out.best_cost);
+                stages.push(out.best.stage_count().expect("assignable") as f64);
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            table.row([
+                method.to_owned(),
+                label.to_owned(),
+                format!("{:.3}", mean(&costs)),
+                format!("{:.1}", mean(&stages)),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("\nPaper claim: constraining actions that inflate the stage count");
+    println!("focuses the search on shallow (fast) structures.");
+}

@@ -1,0 +1,27 @@
+//! Fig. 1 — ratio of MAC computations in standard neural networks.
+//!
+//! Reproduces the paper's motivation figure from an analytic
+//! operation-count model of four classic CNNs.
+
+use rlmul_bench::nets::reference_networks;
+use rlmul_bench::report::{results_dir, TextTable};
+
+fn main() {
+    let mut table = TextTable::new(["network", "MACs (G)", "other ops (M)", "MAC ratio (%)"]);
+    for net in reference_networks() {
+        table.row([
+            net.name.to_owned(),
+            format!("{:.2}", net.counts.macs as f64 / 1e9),
+            format!("{:.1}", net.counts.other as f64 / 1e6),
+            format!("{:.2}", 100.0 * net.counts.mac_ratio()),
+        ]);
+    }
+    println!("Fig. 1 — MAC computation ratios in standard neural networks\n");
+    print!("{}", table.render());
+    let path = results_dir().join("fig01_mac_ratios.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("\nwrote {}", path.display());
+    }
+    println!("\nPaper claim: MAC operations constitute over 99% of operations in");
+    println!("standard deep neural networks; the model reproduces ratios ≥ 97%.");
+}

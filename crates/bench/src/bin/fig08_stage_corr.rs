@@ -1,0 +1,91 @@
+//! Fig. 8 — correlation between compressor-tree stage count and the
+//! area/delay of 8-bit AND-based multipliers (the justification for
+//! the stage-pruning strategy of Section IV-C).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_bench::args::Args;
+use rlmul_bench::report::{results_dir, write_points_csv, TextTable};
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_rtl::MultiplierNetlist;
+use rlmul_synth::{SynthesisOptions, Synthesizer};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = Args::parse();
+    let bits: usize = args.get("bits", 8);
+    let samples: usize = args.get("samples", 150);
+    let seed: u64 = args.get("seed", 11);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let synth = Synthesizer::nangate45();
+    // Sample structures with a spread of depths: random walks without
+    // stage pruning naturally drift deeper.
+    let mut by_stage: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut raw: Vec<Vec<f64>> = Vec::new();
+    for i in 0..samples {
+        let mut tree = CompressorTree::wallace(bits, PpgKind::And).expect("legal width");
+        let steps = (i % 40) + 1;
+        for _ in 0..steps {
+            let actions = tree.valid_actions();
+            let a = actions[rng.gen_range(0..actions.len())];
+            tree = tree.apply_action(a).expect("valid action applies");
+        }
+        let stages = tree.stage_count().expect("assignable");
+        let nl = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+        let r = synth.run(&nl, &SynthesisOptions::default()).expect("synthesizes");
+        // Area under a shared timing constraint: deeper trees need
+        // more upsizing, surfacing the paper's area/stage trend.
+        let sized = synth
+            .run(&nl, &SynthesisOptions::with_target(1.1))
+            .expect("synthesizes");
+        by_stage.entry(stages).or_default().push((sized.area_um2, r.delay_ns));
+        raw.push(vec![stages as f64, sized.area_um2, r.delay_ns]);
+    }
+
+    println!("Fig. 8 — stage count vs area/delay ({bits}-bit AND-based)\n");
+    let mut table =
+        TextTable::new(["stages", "n", "mean area @1.1ns (um^2)", "mean min-area delay (ns)"]);
+    let mut means: Vec<(usize, f64, f64)> = Vec::new();
+    for (stages, pts) in &by_stage {
+        let n = pts.len() as f64;
+        let ma = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let md = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        means.push((*stages, ma, md));
+        table.row([
+            stages.to_string(),
+            pts.len().to_string(),
+            format!("{ma:.1}"),
+            format!("{md:.4}"),
+        ]);
+    }
+    print!("{}", table.render());
+    let path = results_dir().join(format!("fig08_stage_corr_{bits}b.csv"));
+    if write_points_csv(&path, "stages,area_um2,delay_ns", &raw).is_ok() {
+        println!("wrote {}", path.display());
+    }
+
+    // Shape check: delay should rise with stage count across the
+    // populated groups (compare shallowest vs deepest with ≥ 3
+    // samples).
+    let populated: Vec<&(usize, f64, f64)> = means
+        .iter()
+        .filter(|(s, _, _)| by_stage[s].len() >= 3)
+        .collect();
+    if populated.len() >= 2 {
+        let first = populated.first().expect("nonempty");
+        let last = populated.last().expect("nonempty");
+        println!(
+            "\ndelay: {} stages → {:.3} ns, {} stages → {:.3} ns",
+            first.0, first.2, last.0, last.2
+        );
+        assert!(
+            last.2 > first.2,
+            "paper claims deeper trees are slower; got {:.3} vs {:.3}",
+            last.2,
+            first.2
+        );
+    }
+    println!("\nPaper claim: stage count rises with area and delay, motivating");
+    println!("the action pruning that bounds reduction depth (Section IV-C).");
+}

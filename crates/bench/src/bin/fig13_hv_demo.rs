@@ -1,0 +1,34 @@
+//! Fig. 13 — an illustration of the hypervolume indicator: the area
+//! enclosed by a Pareto front and a reference point (larger is
+//! better for minimization fronts).
+
+use rlmul_pareto::{hypervolume_2d, pareto_front, Point2};
+
+fn main() {
+    println!("Fig. 13 — hypervolume illustration\n");
+    let cloud = vec![
+        Point2::new(390.0, 0.78),
+        Point2::new(410.0, 0.74),
+        Point2::new(430.0, 0.72),
+        Point2::new(450.0, 0.80), // dominated
+        Point2::new(505.0, 0.70),
+        Point2::new(420.0, 0.76), // dominated
+    ];
+    let reference = Point2::new(560.0, 0.90);
+    let front = pareto_front(&cloud);
+    println!("design points (area um^2, delay ns):");
+    for p in &cloud {
+        let tag = if front.contains(p) { "front" } else { "dominated" };
+        println!("  ({:6.1}, {:.2})  {tag}", p.x, p.y);
+    }
+    let hv = hypervolume_2d(&front, reference);
+    println!("\nreference point: ({}, {})", reference.x, reference.y);
+    println!("hypervolume enclosed by the front: {hv:.2}");
+
+    // A better front strictly grows the hypervolume.
+    let improved: Vec<Point2> =
+        front.iter().map(|p| Point2::new(p.x - 20.0, p.y - 0.02)).collect();
+    let hv2 = hypervolume_2d(&improved, reference);
+    println!("after dominating every front point:  {hv2:.2} (larger is better)");
+    assert!(hv2 > hv);
+}

@@ -1,0 +1,72 @@
+//! Table I and Fig. 9 — multiplier area/timing comparison across
+//! Wallace, GOMIL, SA, RL-MUL and RL-MUL-E for 8/16-bit AND- and
+//! MBE-based designs, plus the per-method Pareto fronts.
+//!
+//! Budgets are scaled down from the paper's 10 000 s of training;
+//! raise `--steps` for tighter results. `--bits 8` / `--kind and`
+//! restrict the configuration set.
+
+use rlmul_bench::args::Args;
+use rlmul_bench::runner::{Budget, DesignSpec, Method, Preference};
+use rlmul_bench::tables::run_comparison;
+use rlmul_ct::PpgKind;
+
+fn main() {
+    let args = Args::parse();
+    let budget = Budget {
+        env_steps: args.get("steps", 60),
+        n_envs: args.get("envs", 4),
+        seed: args.get("seed", 1),
+    };
+    let sweep_points: usize = args.get("points", 10);
+    let only_bits: usize = args.get("bits", 0);
+    let only_kind = args.get_str("kind", "");
+
+    let mut configs: Vec<DesignSpec> = Vec::new();
+    for bits in [8usize, 16] {
+        for kind in [PpgKind::And, PpgKind::Mbe] {
+            if only_bits != 0 && bits != only_bits {
+                continue;
+            }
+            if !only_kind.is_empty() && kind.label() != only_kind {
+                continue;
+            }
+            configs.push(DesignSpec { bits, kind });
+        }
+    }
+
+    println!("Table I — multiplier area and timing comparison");
+    println!("(budget: {} env steps per search method)\n", budget.env_steps);
+    for spec in configs {
+        let t0 = std::time::Instant::now();
+        let data = run_comparison(spec, budget, sweep_points, None)
+            .expect("comparison completes");
+        let title = format!("== {}-bit {} ==", spec.bits, spec.kind.label().to_uppercase());
+        println!("{}", data.render(&title));
+        println!("Fig. 14(a) hypervolumes:");
+        println!("{}", data.render_hypervolumes());
+        let stem = format!("fig09_pareto_mul_{}b_{}", spec.bits, spec.kind.label());
+        if let Ok(p) = data.write_fronts(&stem) {
+            println!("fronts → {}", p.display());
+        }
+        // Paper-style claims.
+        if let (Some(w), Some(e)) =
+            (data.cell(Method::Wallace, Preference::Area), data.cell(Method::RlMulE, Preference::Area))
+        {
+            println!(
+                "area reduction vs Wallace (Area pref): {:.1}%",
+                100.0 * (1.0 - e.area / w.area)
+            );
+        }
+        if let (Some(w), Some(e)) = (
+            data.cell(Method::Wallace, Preference::Timing),
+            data.cell(Method::RlMulE, Preference::Timing),
+        ) {
+            println!(
+                "delay reduction vs Wallace (Timing pref): {:.1}%",
+                100.0 * (1.0 - e.delay / w.delay)
+            );
+        }
+        println!("[{:.1?}]\n", t0.elapsed());
+    }
+}

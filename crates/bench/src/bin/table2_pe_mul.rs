@@ -1,0 +1,62 @@
+//! Table II and Fig. 10 — PE arrays built from each method's
+//! multipliers: the optimized designs are instantiated in a systolic
+//! array (multiplier + accumulate-adder per PE) and the whole array
+//! is synthesized.
+//!
+//! Array size defaults to 8×8 (`--pe 8`); the paper does not state
+//! its size, and the per-PE critical path — the quantity Tables II
+//! reports — is size-independent.
+
+use rlmul_bench::args::Args;
+use rlmul_bench::runner::{Budget, DesignSpec, Method, Preference};
+use rlmul_bench::tables::run_comparison;
+use rlmul_ct::PpgKind;
+
+fn main() {
+    let args = Args::parse();
+    let budget = Budget {
+        env_steps: args.get("steps", 40),
+        n_envs: args.get("envs", 4),
+        seed: args.get("seed", 2),
+    };
+    let pe: usize = args.get("pe", 8);
+    let sweep_points: usize = args.get("points", 5);
+    let only_bits: usize = args.get("bits", 0);
+    let only_kind = args.get_str("kind", "");
+
+    println!("Table II — PE array (multiplier) area and timing comparison");
+    println!("({}×{} weight-stationary systolic array)\n", pe, pe);
+    for bits in [8usize, 16] {
+        for kind in [PpgKind::And, PpgKind::Mbe] {
+            if only_bits != 0 && bits != only_bits {
+                continue;
+            }
+            if !only_kind.is_empty() && kind.label() != only_kind {
+                continue;
+            }
+            let spec = DesignSpec { bits, kind };
+            let t0 = std::time::Instant::now();
+            let data = run_comparison(spec, budget, sweep_points, Some((pe, pe)))
+                .expect("comparison completes");
+            let title =
+                format!("== {}-bit {} PE array ==", bits, kind.label().to_uppercase());
+            println!("{}", data.render(&title));
+            println!("Fig. 14(b) hypervolumes:");
+            println!("{}", data.render_hypervolumes());
+            let stem = format!("fig10_pareto_pe_{}b_{}", bits, kind.label());
+            if let Ok(p) = data.write_fronts(&stem) {
+                println!("fronts → {}", p.display());
+            }
+            if let (Some(w), Some(e)) = (
+                data.cell(Method::Wallace, Preference::Area),
+                data.cell(Method::RlMulE, Preference::Area),
+            ) {
+                println!(
+                    "array area reduction vs Wallace (Area pref): {:.1}%",
+                    100.0 * (1.0 - e.area / w.area)
+                );
+            }
+            println!("[{:.1?}]\n", t0.elapsed());
+        }
+    }
+}

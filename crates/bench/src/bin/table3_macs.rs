@@ -1,0 +1,64 @@
+//! Table III and Fig. 11 — merged-MAC designs and MAC-implemented PE
+//! arrays: the addend is fused into the compressor tree
+//! (Section III-C) and the same five methods compete.
+
+use rlmul_bench::args::Args;
+use rlmul_bench::runner::{Budget, DesignSpec, Method, Preference};
+use rlmul_bench::tables::run_comparison;
+use rlmul_ct::PpgKind;
+
+fn main() {
+    let args = Args::parse();
+    let budget = Budget {
+        env_steps: args.get("steps", 40),
+        n_envs: args.get("envs", 4),
+        seed: args.get("seed", 3),
+    };
+    let pe: usize = args.get("pe", 8);
+    let sweep_points: usize = args.get("points", 6);
+    let only_bits: usize = args.get("bits", 0);
+    let with_pe = !args.flag("no-pe");
+
+    println!("Table III — MAC and PE-array (MAC) area and timing comparison\n");
+    for bits in [8usize, 16] {
+        if only_bits != 0 && bits != only_bits {
+            continue;
+        }
+        let spec = DesignSpec { bits, kind: PpgKind::MacAnd };
+        let t0 = std::time::Instant::now();
+        let data =
+            run_comparison(spec, budget, sweep_points, None).expect("comparison completes");
+        println!("{}", data.render(&format!("== {bits}-bit MAC ==")));
+        println!("Fig. 14(c) hypervolumes (MAC):");
+        println!("{}", data.render_hypervolumes());
+        if let Ok(p) = data.write_fronts(&format!("fig11_pareto_mac_{bits}b")) {
+            println!("fronts → {}", p.display());
+        }
+        if let (Some(w), Some(e)) = (
+            data.cell(Method::Wallace, Preference::Area),
+            data.cell(Method::RlMulE, Preference::Area),
+        ) {
+            println!(
+                "MAC area reduction vs Wallace (Area pref): {:.1}%",
+                100.0 * (1.0 - e.area / w.area)
+            );
+        }
+        println!("[{:.1?}]\n", t0.elapsed());
+
+        if with_pe {
+            let t0 = std::time::Instant::now();
+            let data = run_comparison(spec, budget, sweep_points.min(4), Some((pe, pe)))
+                .expect("comparison completes");
+            println!(
+                "{}",
+                data.render(&format!("== {bits}-bit MAC-implemented {pe}×{pe} PE array =="))
+            );
+            println!("Fig. 14(c) hypervolumes (PE-MAC):");
+            println!("{}", data.render_hypervolumes());
+            if let Ok(p) = data.write_fronts(&format!("fig11_pareto_pemac_{bits}b")) {
+                println!("fronts → {}", p.display());
+            }
+            println!("[{:.1?}]\n", t0.elapsed());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for the RL-MUL reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; this
+//! library hosts the shared machinery: a tiny CLI argument parser,
+//! aligned text-table and CSV reporting, the method runners (Wallace,
+//! Dadda, GOMIL, SA, RL-MUL, RL-MUL-E) and design sweeps, and the
+//! CNN operation-count model behind Fig. 1.
+
+pub mod args;
+pub mod nets;
+pub mod report;
+pub mod runner;
+pub mod tables;

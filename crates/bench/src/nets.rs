@@ -1,0 +1,198 @@
+//! Operation counting for classic CNNs (paper Fig. 1: ratio of MAC
+//! computations to all operations in standard networks).
+//!
+//! Layer shapes follow the original publications; counts are
+//! per-inference at the canonical input resolution.
+
+/// One layer's operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Non-MAC operations (activations, pooling comparisons,
+    /// normalization arithmetic, element-wise additions).
+    pub other: u64,
+}
+
+impl OpCounts {
+    /// MAC share of all operations.
+    pub fn mac_ratio(&self) -> f64 {
+        self.macs as f64 / (self.macs + self.other) as f64
+    }
+}
+
+fn conv(cin: u64, cout: u64, k: u64, oh: u64, ow: u64) -> (u64, u64) {
+    // MACs = k²·cin·cout·oh·ow; other ≈ bias add + activation per output.
+    (k * k * cin * cout * oh * ow, 2 * cout * oh * ow)
+}
+
+fn fc(cin: u64, cout: u64) -> (u64, u64) {
+    (cin * cout, 2 * cout)
+}
+
+fn pool(c: u64, oh: u64, ow: u64, k: u64) -> (u64, u64) {
+    (0, c * oh * ow * k * k)
+}
+
+/// A named network with its op totals.
+#[derive(Debug, Clone)]
+pub struct NetworkOps {
+    /// Network name.
+    pub name: &'static str,
+    /// Aggregated counts.
+    pub counts: OpCounts,
+}
+
+/// Op counts for the four reference networks of Fig. 1.
+pub fn reference_networks() -> Vec<NetworkOps> {
+    let mut nets = Vec::new();
+
+    // AlexNet (224×224×3).
+    let mut m = 0u64;
+    let mut o = 0u64;
+    for (cin, cout, k, oh, ow) in [
+        (3u64, 96u64, 11u64, 55u64, 55u64),
+        (96, 256, 5, 27, 27),
+        (256, 384, 3, 13, 13),
+        (384, 384, 3, 13, 13),
+        (384, 256, 3, 13, 13),
+    ] {
+        let (mm, oo) = conv(cin, cout, k, oh, ow);
+        m += mm;
+        o += oo;
+    }
+    for (c, oh, ow) in [(96u64, 27u64, 27u64), (256, 13, 13), (256, 6, 6)] {
+        let (_, oo) = pool(c, oh, ow, 3);
+        o += oo;
+    }
+    for (cin, cout) in [(256u64 * 36, 4096u64), (4096, 4096), (4096, 1000)] {
+        let (mm, oo) = fc(cin, cout);
+        m += mm;
+        o += oo;
+    }
+    nets.push(NetworkOps { name: "AlexNet", counts: OpCounts { macs: m, other: o } });
+
+    // VGG-16 (224×224×3).
+    let mut m = 0u64;
+    let mut o = 0u64;
+    let cfg: [(u64, u64, u64); 13] = [
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    for (cin, cout, hw) in cfg {
+        let (mm, oo) = conv(cin, cout, 3, hw, hw);
+        m += mm;
+        o += oo;
+    }
+    for (c, hw) in [(64u64, 112u64), (128, 56), (256, 28), (512, 14), (512, 7)] {
+        let (_, oo) = pool(c, hw, hw, 2);
+        o += oo;
+    }
+    for (cin, cout) in [(512u64 * 49, 4096u64), (4096, 4096), (4096, 1000)] {
+        let (mm, oo) = fc(cin, cout);
+        m += mm;
+        o += oo;
+    }
+    nets.push(NetworkOps { name: "VGG-16", counts: OpCounts { macs: m, other: o } });
+
+    // ResNet-18 (224×224×3).
+    let mut m = 0u64;
+    let mut o = 0u64;
+    let (mm, oo) = conv(3, 64, 7, 112, 112);
+    m += mm;
+    o += oo;
+    let stages: [(u64, u64, u64); 4] = [(64, 64, 56), (64, 128, 28), (128, 256, 14), (256, 512, 7)];
+    for (i, (cin, cout, hw)) in stages.into_iter().enumerate() {
+        for block in 0..2u64 {
+            let first_in = if block == 0 { cin } else { cout };
+            let (mm, oo) = conv(first_in, cout, 3, hw, hw);
+            m += mm;
+            o += oo;
+            let (mm, oo) = conv(cout, cout, 3, hw, hw);
+            m += mm;
+            o += oo;
+            if block == 0 && i > 0 {
+                let (mm, oo) = conv(cin, cout, 1, hw, hw);
+                m += mm;
+                o += oo;
+            }
+            o += cout * hw * hw; // residual addition
+        }
+    }
+    let (mm, oo) = fc(512, 1000);
+    m += mm;
+    o += oo;
+    nets.push(NetworkOps { name: "ResNet-18", counts: OpCounts { macs: m, other: o } });
+
+    // MobileNetV1 (224×224×3): depthwise-separable stacks.
+    let mut m = 0u64;
+    let mut o = 0u64;
+    let (mm, oo) = conv(3, 32, 3, 112, 112);
+    m += mm;
+    o += oo;
+    let ds: [(u64, u64, u64); 13] = [
+        (32, 64, 112),
+        (64, 128, 56),
+        (128, 128, 56),
+        (128, 256, 28),
+        (256, 256, 28),
+        (256, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 1024, 7),
+        (1024, 1024, 7),
+    ];
+    for (cin, cout, hw) in ds {
+        // Depthwise 3×3 on cin channels, then pointwise 1×1.
+        let (mm1, oo1) = conv(1, cin, 3, hw, hw);
+        let (mm2, oo2) = conv(cin, cout, 1, hw, hw);
+        m += mm1 + mm2;
+        o += oo1 + oo2;
+    }
+    let (mm, oo) = fc(1024, 1000);
+    m += mm;
+    o += oo;
+    nets.push(NetworkOps { name: "MobileNetV1", counts: OpCounts { macs: m, other: o } });
+
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_ratios_exceed_97_percent() {
+        // Fig. 1's point: MACs dominate standard CNNs.
+        for net in reference_networks() {
+            let r = net.counts.mac_ratio();
+            assert!(r > 0.97, "{}: ratio {r}", net.name);
+            assert!(r < 1.0);
+        }
+    }
+
+    #[test]
+    fn vgg_has_the_most_macs() {
+        let nets = reference_networks();
+        let vgg = nets.iter().find(|n| n.name == "VGG-16").unwrap();
+        for n in &nets {
+            assert!(vgg.counts.macs >= n.counts.macs, "{}", n.name);
+        }
+        // VGG-16 is famously ≈ 15.5 GMACs.
+        assert!((10e9..20e9).contains(&(vgg.counts.macs as f64)));
+    }
+}

@@ -1,0 +1,169 @@
+//! The shared driver behind Tables I–III: optimize every method under
+//! every preference, sweep the resulting designs (optionally wrapped
+//! in a PE array), extract table rows, Pareto fronts and
+//! hypervolumes.
+
+use crate::report::{results_dir, write_points_csv, TextTable};
+use crate::runner::{
+    front_and_hv, optimize, pe_netlist, pick, reference_point, sweep_netlist, sweep_tree,
+    to_points2, Budget, DesignSpec, Method, PpaPoint, Preference,
+};
+use rlmul_core::RlMulError;
+use rlmul_pareto::Point2;
+
+/// Everything a table binary needs to print and archive.
+#[derive(Debug)]
+pub struct TableData {
+    /// The design family.
+    pub spec: DesignSpec,
+    /// `(method, preference, picked point)` cells.
+    pub cells: Vec<(Method, Preference, PpaPoint)>,
+    /// Per-method Pareto fronts over all synthesized points.
+    pub fronts: Vec<(Method, Vec<Point2>)>,
+    /// Per-method hypervolume against the shared reference.
+    pub hypervolumes: Vec<(Method, f64)>,
+    /// The shared reference point.
+    pub reference: Point2,
+}
+
+/// Runs the full method × preference comparison for one design
+/// family. `pe` wraps every design in a `rows × cols` systolic array
+/// before synthesis (Tables II / III-right).
+///
+/// # Errors
+///
+/// Propagates optimization, elaboration and synthesis errors.
+pub fn run_comparison(
+    spec: DesignSpec,
+    budget: Budget,
+    sweep_points: usize,
+    pe: Option<(usize, usize)>,
+) -> Result<TableData, RlMulError> {
+    let mut cells = Vec::new();
+    let mut method_points: Vec<(Method, Vec<PpaPoint>)> = Vec::new();
+
+    for method in Method::ALL {
+        let mut union: Vec<PpaPoint> = Vec::new();
+        let mut fixed_sweep: Option<Vec<PpaPoint>> = None;
+        for pref in Preference::ALL {
+            let sweep = if method.is_search() || fixed_sweep.is_none() {
+                let seed = budget.seed
+                    ^ (pref as usize as u64).wrapping_mul(0x9e37)
+                    ^ (method as usize as u64).wrapping_mul(0x85eb);
+                let tree = optimize(method, spec, pref, Budget { seed, ..budget })?;
+                let s = match pe {
+                    Some((rows, cols)) => {
+                        let nl = pe_netlist(&tree, rows, cols)?;
+                        sweep_netlist(&nl, sweep_points)?
+                    }
+                    None => sweep_tree(&tree, sweep_points)?,
+                };
+                if !method.is_search() {
+                    fixed_sweep = Some(s.clone());
+                }
+                s
+            } else {
+                fixed_sweep.clone().expect("cached fixed-method sweep")
+            };
+            cells.push((method, pref, pick(pref, &sweep)));
+            union.extend_from_slice(&sweep);
+        }
+        method_points.push((method, union));
+    }
+
+    let union2: Vec<Point2> = method_points
+        .iter()
+        .flat_map(|(_, pts)| to_points2(pts))
+        .collect();
+    let reference = reference_point(&union2);
+    let mut fronts = Vec::new();
+    let mut hypervolumes = Vec::new();
+    for (method, pts) in &method_points {
+        let (front, hv) = front_and_hv(&to_points2(pts), reference);
+        fronts.push((*method, front));
+        hypervolumes.push((*method, hv));
+    }
+    Ok(TableData { spec, cells, fronts, hypervolumes, reference })
+}
+
+impl TableData {
+    /// Renders the paper-style rows (preference-major, method-minor).
+    pub fn render(&self, title: &str) -> String {
+        let mut table =
+            TextTable::new(["Preference", "Method", "Area (um^2)", "Delay (ns)"]);
+        for pref in Preference::ALL {
+            for method in Method::ALL {
+                let Some((_, _, p)) = self
+                    .cells
+                    .iter()
+                    .find(|(m, pr, _)| *m == method && *pr == pref)
+                else {
+                    continue;
+                };
+                table.row([
+                    pref.label().to_owned(),
+                    method.label().to_owned(),
+                    format!("{:.0}", p.area),
+                    format!("{:.4}", p.delay),
+                ]);
+            }
+        }
+        format!("{title}\n\n{}", table.render())
+    }
+
+    /// Writes the per-method Pareto fronts as CSV (`figNN` data).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_fronts(&self, stem: &str) -> std::io::Result<std::path::PathBuf> {
+        let rows: Vec<Vec<f64>> = self
+            .fronts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (_, front))| {
+                front.iter().map(move |p| vec![i as f64, p.x, p.y]).collect::<Vec<_>>()
+            })
+            .collect();
+        let path = results_dir().join(format!("{stem}.csv"));
+        write_points_csv(&path, "method_index,area_um2,delay_ns", &rows)?;
+        Ok(path)
+    }
+
+    /// Renders the hypervolume comparison (Fig. 14 bars).
+    pub fn render_hypervolumes(&self) -> String {
+        let mut table = TextTable::new(["Method", "Hypervolume", "vs GOMIL"]);
+        let gomil = self
+            .hypervolumes
+            .iter()
+            .find(|(m, _)| *m == Method::Gomil)
+            .map(|(_, hv)| *hv)
+            .unwrap_or(f64::NAN);
+        for (method, hv) in &self.hypervolumes {
+            table.row([
+                method.label().to_owned(),
+                format!("{hv:.1}"),
+                format!("{:+.1}%", 100.0 * (hv / gomil - 1.0)),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Hypervolume of one method.
+    pub fn hypervolume(&self, method: Method) -> f64 {
+        self.hypervolumes
+            .iter()
+            .find(|(m, _)| *m == method)
+            .map(|(_, hv)| *hv)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Best (lowest) area across search methods for a preference —
+    /// used by binaries to print paper-style improvement claims.
+    pub fn cell(&self, method: Method, pref: Preference) -> Option<PpaPoint> {
+        self.cells
+            .iter()
+            .find(|(m, p, _)| *m == method && *p == pref)
+            .map(|(_, _, pt)| *pt)
+    }
+}

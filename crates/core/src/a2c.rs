@@ -1,0 +1,383 @@
+//! RL-MUL-E: synchronous parallel advantage actor–critic
+//! (paper Section IV-A, Algorithm 4).
+//!
+//! `n` environment instances step in parallel threads; the policy and
+//! value heads share the residual trunk (as the paper shares
+//! ResNet-18's convolutional layers). Updates use `k`-step
+//! bootstrapped returns, masked-softmax action sampling (Eqs. 13–15),
+//! the policy gradient of Eq. 16 and the TD value loss of Eq. 19,
+//! plus an entropy bonus for sustained exploration.
+
+use crate::env::{EnvConfig, MulEnv};
+use crate::outcome::OptimizationOutcome;
+use crate::RlMulError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_nn::{
+    clip_grad_norm, entropy, masked_softmax, Adam, Layer, Linear, Optimizer, Param, Sequential,
+    Tensor, TrunkConfig,
+};
+
+/// A2C hyper-parameters. The paper's RL-MUL-E uses four synchronized
+/// workers and a five-step return; those are the defaults.
+#[derive(Debug, Clone)]
+pub struct A2cConfig {
+    /// Environment steps per worker.
+    pub steps: usize,
+    /// Number of parallel environment instances `n`.
+    pub n_envs: usize,
+    /// Update interval / bootstrap horizon `t_up` (paper: 5).
+    pub n_step: usize,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Gradient-norm clip.
+    pub grad_clip: f32,
+    /// Shared trunk configuration.
+    pub trunk: TrunkConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            steps: 120,
+            n_envs: 4,
+            n_step: 5,
+            gamma: 0.8,
+            lr: 7e-4,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            grad_clip: 5.0,
+            trunk: TrunkConfig { in_channels: 2, channels: vec![8, 16, 32], blocks_per_stage: 1 },
+            seed: 0,
+        }
+    }
+}
+
+/// Actor–critic network with a shared convolutional trunk.
+pub struct PolicyValueNet {
+    trunk: Sequential,
+    policy: Linear,
+    value: Linear,
+}
+
+impl std::fmt::Debug for PolicyValueNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PolicyValueNet({:?})", self.trunk)
+    }
+}
+
+impl PolicyValueNet {
+    /// Builds the shared-trunk actor–critic for `actions` outputs.
+    pub fn new<R: Rng + ?Sized>(trunk_cfg: &TrunkConfig, actions: usize, rng: &mut R) -> Self {
+        let trunk = rlmul_nn::build_trunk(trunk_cfg, rng);
+        let mut policy = Linear::new(trunk_cfg.feature_dim(), actions, rng);
+        policy.scale_parameters(0.01); // near-uniform initial policy
+        let value = Linear::new(trunk_cfg.feature_dim(), 1, rng);
+        PolicyValueNet { trunk, policy, value }
+    }
+
+    /// Forward pass returning `(logits [b, A], values [b, 1])`.
+    pub fn forward_both(&mut self, x: &Tensor, train: bool) -> (Tensor, Tensor) {
+        let features = self.trunk.forward(x, train);
+        let logits = self.policy.forward(&features, train);
+        let values = self.value.forward(&features, train);
+        (logits, values)
+    }
+
+    /// Backward pass combining both heads' gradients through the
+    /// shared trunk.
+    pub fn backward_both(&mut self, grad_logits: &Tensor, grad_values: &Tensor) {
+        let mut g = self.policy.backward(grad_logits);
+        g.add_assign(&self.value.backward(grad_values));
+        self.trunk.backward(&g);
+    }
+
+    /// Visits all trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.trunk.visit_params(f);
+        self.policy.visit_params(f);
+        self.value.visit_params(f);
+    }
+}
+
+/// Adapter so optimizers (which drive `Layer`) can update the
+/// two-headed network.
+struct NetAsLayer<'a>(&'a mut PolicyValueNet);
+impl Layer for NetAsLayer<'_> {
+    fn forward(&mut self, _x: &Tensor, _train: bool) -> Tensor {
+        unreachable!("optimizer adapter never runs forward")
+    }
+    fn backward(&mut self, _g: &Tensor) -> Tensor {
+        unreachable!("optimizer adapter never runs backward")
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(f);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    state: Vec<f32>,
+    mask: Vec<bool>,
+    action: usize,
+    reward: f32,
+}
+
+/// Trains RL-MUL-E: `config.n_envs` synchronized environments built
+/// from `env_config`, one shared model. Returns the pooled outcome
+/// (best design across workers, mean-cost trajectory, union of
+/// synthesized points).
+///
+/// # Errors
+///
+/// Propagates environment construction and stepping errors.
+pub fn train_a2c(
+    env_config: &EnvConfig,
+    config: &A2cConfig,
+) -> Result<OptimizationOutcome, RlMulError> {
+    if config.n_envs == 0 || config.n_step == 0 {
+        return Err(RlMulError::InvalidConfig { what: "n_envs and n_step must be ≥ 1".into() });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut envs: Vec<MulEnv> = (0..config.n_envs)
+        .map(|_| MulEnv::new(env_config.clone()))
+        .collect::<Result<_, _>>()?;
+    let actions = envs[0].action_space();
+    let shape = envs[0].tensor_shape();
+    let volume: usize = shape[1] * shape[2] * shape[3];
+    let mut net = PolicyValueNet::new(&config.trunk, actions, &mut rng);
+    let mut opt = Adam::new(config.lr);
+
+    let mut states: Vec<Vec<f32>> =
+        envs.iter().map(|e| Ok(e.encode_current()?.data().to_vec())).collect::<Result<_, RlMulError>>()?;
+    let mut rollout: Vec<Vec<Sample>> = vec![Vec::new(); config.n_envs];
+    let mut trajectory = Vec::with_capacity(config.steps);
+
+    for _t in 0..config.steps {
+        // Policy forward over all workers at once.
+        let masks: Vec<Vec<bool>> = envs.iter().map(|e| e.action_mask()).collect();
+        let mut batch = Vec::with_capacity(config.n_envs * volume);
+        for s in &states {
+            batch.extend_from_slice(s);
+        }
+        let x = Tensor::from_vec(&[config.n_envs, shape[1], shape[2], shape[3]], batch);
+        let (logits, _) = net.forward_both(&x, false);
+        let chosen: Vec<usize> = (0..config.n_envs)
+            .map(|i| {
+                let row = &logits.data()[i * actions..(i + 1) * actions];
+                let probs = masked_softmax(row, &masks[i]);
+                sample_from(&probs, &mut rng)
+            })
+            .collect();
+
+        // Synchronous parallel environment stepping (paper Fig. 6).
+        let step_results: Vec<Result<(f64, f64), RlMulError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = envs
+                    .iter_mut()
+                    .zip(&chosen)
+                    .map(|(env, &a)| {
+                        scope.spawn(move || env.step(a).map(|o| (o.reward, o.cost)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            });
+        let mut mean_cost = 0.0;
+        for (i, res) in step_results.into_iter().enumerate() {
+            let (reward, cost) = res?;
+            mean_cost += cost / config.n_envs as f64;
+            rollout[i].push(Sample {
+                state: std::mem::take(&mut states[i]),
+                mask: masks[i].clone(),
+                action: chosen[i],
+                reward: reward as f32,
+            });
+            states[i] = envs[i].encode_current()?.data().to_vec();
+        }
+        trajectory.push(mean_cost);
+
+        if rollout[0].len() >= config.n_step {
+            update(&mut net, &mut opt, &mut rollout, &states, config, &shape, actions);
+        }
+    }
+
+    // Pool results across workers.
+    let mut best_cost = f64::INFINITY;
+    let mut best = envs[0].best().0.clone();
+    let mut pareto_points = Vec::new();
+    let mut states_visited = 0;
+    let mut synth_runs = 0;
+    for env in &envs {
+        let (tree, cost) = env.best();
+        if cost < best_cost {
+            best_cost = cost;
+            best = tree.clone();
+        }
+        pareto_points.extend_from_slice(env.pareto_points());
+        let (_, sv, sr) = env.stats();
+        states_visited += sv;
+        synth_runs += sr;
+    }
+    Ok(OptimizationOutcome {
+        best,
+        best_cost,
+        trajectory,
+        pareto_points,
+        states_visited,
+        synth_runs,
+    })
+}
+
+fn sample_from<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
+    let mut u: f32 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.iter().rposition(|&p| p > 0.0).expect("probabilities sum to 1")
+}
+
+/// One synchronous update over the collected `n_step` rollout
+/// (paper Eqs. 16–19).
+fn update(
+    net: &mut PolicyValueNet,
+    opt: &mut Adam,
+    rollout: &mut [Vec<Sample>],
+    bootstrap_states: &[Vec<f32>],
+    config: &A2cConfig,
+    shape: &[usize; 4],
+    actions: usize,
+) {
+    let n_envs = rollout.len();
+    let volume: usize = shape[1] * shape[2] * shape[3];
+    // Bootstrap values v(s_{t+k}) for every worker.
+    let mut tail = Vec::with_capacity(n_envs * volume);
+    for s in bootstrap_states {
+        tail.extend_from_slice(s);
+    }
+    let xt = Tensor::from_vec(&[n_envs, shape[1], shape[2], shape[3]], tail);
+    let (_, v_tail) = net.forward_both(&xt, false);
+
+    // k-step discounted returns per worker.
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut returns: Vec<f32> = Vec::new();
+    for (i, run) in rollout.iter_mut().enumerate() {
+        let mut ret = v_tail.data()[i];
+        let mut local: Vec<(Sample, f32)> = Vec::with_capacity(run.len());
+        for s in run.drain(..).rev() {
+            ret = s.reward + config.gamma * ret;
+            local.push((s, ret));
+        }
+        for (s, r) in local.into_iter().rev() {
+            samples.push(s);
+            returns.push(r);
+        }
+    }
+    let b = samples.len();
+    let mut batch = Vec::with_capacity(b * volume);
+    for s in &samples {
+        batch.extend_from_slice(&s.state);
+    }
+    let x = Tensor::from_vec(&[b, shape[1], shape[2], shape[3]], batch);
+    let adapter_zero = |net: &mut PolicyValueNet, opt: &mut Adam| {
+        let mut a = NetAsLayer(net);
+        opt.zero_grad(&mut a);
+    };
+    adapter_zero(net, opt);
+    let (logits, values) = net.forward_both(&x, true);
+
+    let mut grad_logits = Tensor::zeros(&[b, actions]);
+    let mut grad_values = Tensor::zeros(&[b, 1]);
+    for (i, s) in samples.iter().enumerate() {
+        let row = &logits.data()[i * actions..(i + 1) * actions];
+        let probs = masked_softmax(row, &s.mask);
+        let v = values.data()[i];
+        let advantage = returns[i] - v;
+        let h = entropy(&probs);
+        let gl = &mut grad_logits.data_mut()[i * actions..(i + 1) * actions];
+        for j in 0..actions {
+            if !s.mask[j] {
+                continue;
+            }
+            // Policy-gradient (ascent ⇒ negative loss gradient) …
+            let indicator = if j == s.action { 1.0 } else { 0.0 };
+            let mut g = (probs[j] - indicator) * advantage;
+            // … plus entropy-bonus gradient.
+            if probs[j] > 0.0 {
+                g += config.entropy_coef * probs[j] * (probs[j].ln() + h);
+            }
+            gl[j] = g / b as f32;
+        }
+        grad_values.data_mut()[i] = 2.0 * config.value_coef * (v - returns[i]) / b as f32;
+    }
+    net.backward_both(&grad_logits, &grad_values);
+    {
+        let mut a = NetAsLayer(net);
+        clip_grad_norm(&mut a, config.grad_clip);
+        opt.step(&mut a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_ct::PpgKind;
+
+    fn tiny() -> (EnvConfig, A2cConfig) {
+        let env = EnvConfig::new(4, PpgKind::And);
+        let a2c = A2cConfig {
+            steps: 10,
+            n_envs: 2,
+            n_step: 3,
+            trunk: TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 },
+            ..Default::default()
+        };
+        (env, a2c)
+    }
+
+    #[test]
+    fn a2c_runs_with_parallel_workers() {
+        let (env_cfg, cfg) = tiny();
+        let out = train_a2c(&env_cfg, &cfg).unwrap();
+        assert_eq!(out.trajectory.len(), 10);
+        out.best.check_legal().unwrap();
+        // Two workers each synthesize at least their initial state.
+        assert!(out.states_visited >= 2);
+    }
+
+    #[test]
+    fn a2c_is_deterministic_given_seed() {
+        let (env_cfg, cfg) = tiny();
+        let a = train_a2c(&env_cfg, &cfg).unwrap().trajectory;
+        let b = train_a2c(&env_cfg, &cfg).unwrap().trajectory;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_workers_is_invalid() {
+        let (env_cfg, mut cfg) = tiny();
+        cfg.n_envs = 0;
+        assert!(train_a2c(&env_cfg, &cfg).is_err());
+    }
+
+    #[test]
+    fn policy_value_net_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrunkConfig { in_channels: 2, channels: vec![4], blocks_per_stage: 1 };
+        let mut net = PolicyValueNet::new(&cfg, 16, &mut rng);
+        let x = Tensor::zeros(&[3, 2, 8, 8]);
+        let (logits, values) = net.forward_both(&x, false);
+        assert_eq!(logits.shape(), &[3, 16]);
+        assert_eq!(values.shape(), &[3, 1]);
+    }
+}

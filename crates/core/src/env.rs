@@ -1,0 +1,488 @@
+//! The RL-MUL environment: compressor-tree states, masked actions,
+//! and a synthesis-backed Pareto-driven reward (paper Fig. 3).
+
+use crate::reward::CostWeights;
+use crate::RlMulError;
+use rlmul_ct::{Action, CompressorTree, PpgKind};
+use rlmul_nn::Tensor;
+use rlmul_rtl::MultiplierNetlist;
+use rlmul_synth::{SynthesisOptions, SynthesisReport, Synthesizer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which legacy structure seeds the search (state `s_0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialStructure {
+    /// Wallace tree (the paper's initial state).
+    #[default]
+    Wallace,
+    /// Dadda tree.
+    Dadda,
+}
+
+/// Search-space pruning on the reduction depth (paper Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagePruning {
+    /// Forbid actions exceeding the initial depth plus one stage.
+    #[default]
+    Auto,
+    /// Forbid actions exceeding an explicit depth.
+    Limit(usize),
+    /// No depth pruning.
+    Off,
+}
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Operand width `N`.
+    pub bits: usize,
+    /// Partial-product scheme (including merged-MAC kinds).
+    pub kind: PpgKind,
+    /// Reward weights (paper Eq. 20).
+    pub weights: CostWeights,
+    /// Explicit synthesis delay targets in ns; empty derives four
+    /// targets from the initial design (paper uses four constraints).
+    pub delay_targets: Vec<f64>,
+    /// Depth pruning policy.
+    pub pruning: StagePruning,
+    /// Stage-axis padding of the state tensor; 0 derives it from the
+    /// pruning limit.
+    pub tensor_stages: usize,
+    /// Initial structure.
+    pub initial: InitialStructure,
+    /// Sizing move budget per synthesis run.
+    pub max_upsizes: usize,
+}
+
+impl EnvConfig {
+    /// A ready-to-train configuration for `bits`-bit designs.
+    pub fn new(bits: usize, kind: PpgKind) -> Self {
+        EnvConfig {
+            bits,
+            kind,
+            weights: CostWeights::default(),
+            delay_targets: Vec::new(),
+            pruning: StagePruning::default(),
+            tensor_stages: 0,
+            initial: InitialStructure::default(),
+            max_upsizes: 800,
+        }
+    }
+}
+
+/// One synthesized state evaluation (shared via [`Arc`] through the
+/// per-environment cache).
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// One synthesis report per delay constraint.
+    pub reports: Vec<SynthesisReport>,
+    /// Scalar weighted cost (paper Eq. 20).
+    pub cost: f64,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Reward `r_t = cost_t − cost_{t+1}` (paper Eq. 10).
+    pub reward: f64,
+    /// Cost of the new state.
+    pub cost: f64,
+    /// Evaluation of the new state.
+    pub evaluation: Arc<Evaluation>,
+}
+
+/// The multiplier-optimization environment.
+///
+/// ```no_run
+/// use rlmul_core::{EnvConfig, MulEnv};
+/// use rlmul_ct::PpgKind;
+///
+/// let mut env = MulEnv::new(EnvConfig::new(8, PpgKind::And))?;
+/// let mask = env.action_mask();
+/// let action = mask.iter().position(|&ok| ok).expect("some legal action");
+/// let outcome = env.step(action)?;
+/// println!("reward {}", outcome.reward);
+/// # Ok::<(), rlmul_core::RlMulError>(())
+/// ```
+pub struct MulEnv {
+    config: EnvConfig,
+    synthesizer: Synthesizer,
+    initial: CompressorTree,
+    current: CompressorTree,
+    current_cost: f64,
+    delay_targets: Vec<f64>,
+    stage_limit: usize,
+    tensor_stages: usize,
+    cache: HashMap<Vec<(u32, u32)>, Arc<Evaluation>>,
+    pareto_points: Vec<(f64, f64)>,
+    best: (f64, CompressorTree),
+    steps_taken: usize,
+    synth_runs: usize,
+}
+
+impl std::fmt::Debug for MulEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MulEnv({}b {}, {} steps, {} cached states)",
+            self.config.bits,
+            self.config.kind,
+            self.steps_taken,
+            self.cache.len()
+        )
+    }
+}
+
+impl MulEnv {
+    /// Builds the environment, synthesizing the initial structure to
+    /// derive delay targets and the reward baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree, elaboration and synthesis errors.
+    pub fn new(config: EnvConfig) -> Result<Self, RlMulError> {
+        let initial = match config.initial {
+            InitialStructure::Wallace => CompressorTree::wallace(config.bits, config.kind)?,
+            InitialStructure::Dadda => CompressorTree::dadda(config.bits, config.kind)?,
+        };
+        let synthesizer = Synthesizer::nangate45();
+        // Min-area synthesis of s_0 anchors the delay constraints.
+        let netlist = MultiplierNetlist::elaborate(&initial)?.into_netlist();
+        let anchor = synthesizer.run(&netlist, &SynthesisOptions::default())?;
+        let delay_targets = if config.delay_targets.is_empty() {
+            [0.7, 0.85, 1.0, 1.15].iter().map(|m| m * anchor.delay_ns).collect()
+        } else {
+            config.delay_targets.clone()
+        };
+        let initial_stages = initial.stage_count()?;
+        let stage_limit = match config.pruning {
+            StagePruning::Auto => initial_stages + 1,
+            StagePruning::Limit(l) => l,
+            StagePruning::Off => usize::MAX,
+        };
+        let tensor_stages = if config.tensor_stages == 0 {
+            (initial_stages + 2).next_power_of_two().max(8)
+        } else {
+            config.tensor_stages
+        };
+        let mut env = MulEnv {
+            config,
+            synthesizer,
+            current: initial.clone(),
+            initial,
+            current_cost: 0.0,
+            delay_targets,
+            stage_limit,
+            tensor_stages,
+            cache: HashMap::new(),
+            pareto_points: Vec::new(),
+            best: (f64::INFINITY, CompressorTree::wallace(2, PpgKind::And)?),
+            steps_taken: 0,
+            synth_runs: 0,
+        };
+        let eval = env.evaluate(&env.current.clone())?;
+        env.current_cost = eval.cost;
+        env.best = (eval.cost, env.current.clone());
+        Ok(env)
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// The derived (or configured) synthesis delay targets.
+    pub fn delay_targets(&self) -> &[f64] {
+        &self.delay_targets
+    }
+
+    /// The current state.
+    pub fn current(&self) -> &CompressorTree {
+        &self.current
+    }
+
+    /// Cost of the current state.
+    pub fn current_cost(&self) -> f64 {
+        self.current_cost
+    }
+
+    /// Best (lowest-cost) state seen so far with its cost.
+    pub fn best(&self) -> (&CompressorTree, f64) {
+        (&self.best.1, self.best.0)
+    }
+
+    /// Size of the flattened action space (`8N`).
+    pub fn action_space(&self) -> usize {
+        self.current.action_space()
+    }
+
+    /// State-tensor shape `[1, 2, 2N, ST_pad]`.
+    pub fn tensor_shape(&self) -> [usize; 4] {
+        [1, 2, 2 * self.config.bits, self.tensor_stages]
+    }
+
+    /// Encodes a tree into the network input tensor (Algorithm 1
+    /// assignment, zero-padded on the stage axis, scaled to ≈ unit
+    /// range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assignment errors (unreachable from legal states).
+    pub fn encode(&self, tree: &CompressorTree) -> Result<Tensor, RlMulError> {
+        let tensor = tree.assign_stages()?;
+        let mut dense = tensor.to_dense(self.tensor_stages);
+        for v in &mut dense {
+            *v *= 0.25;
+        }
+        Ok(Tensor::from_vec(&self.tensor_shape(), dense))
+    }
+
+    /// Encodes the current state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assignment errors.
+    pub fn encode_current(&self) -> Result<Tensor, RlMulError> {
+        self.encode(&self.current)
+    }
+
+    /// Validity mask combining the structural mask (paper Eq. 6) with
+    /// stage pruning (Section IV-C). If pruning would forbid every
+    /// action, the unpruned mask is returned so the agent never
+    /// deadlocks.
+    pub fn action_mask(&self) -> Vec<bool> {
+        let base = self.current.action_mask();
+        if self.stage_limit == usize::MAX {
+            return base;
+        }
+        let ncols = self.current.matrix().num_columns();
+        let mut pruned = base.clone();
+        for (idx, ok) in pruned.iter_mut().enumerate() {
+            if !*ok {
+                continue;
+            }
+            let action = Action::from_flat_index(idx, ncols).expect("mask-sized index");
+            let successor = self
+                .current
+                .apply_action(action)
+                .expect("masked-in actions are applicable");
+            let stages = successor.stage_count().unwrap_or(usize::MAX);
+            if stages > self.stage_limit {
+                *ok = false;
+            }
+        }
+        if pruned.iter().any(|&ok| ok) {
+            pruned
+        } else {
+            base
+        }
+    }
+
+    /// Resets to the initial structure, keeping the evaluation cache
+    /// and Pareto archive.
+    pub fn reset(&mut self) {
+        self.current = self.initial.clone();
+        self.current_cost = self
+            .cache
+            .get(self.initial.matrix().counts())
+            .map(|e| e.cost)
+            .unwrap_or(self.current_cost);
+    }
+
+    /// Applies the flattened action index, legalizes, synthesizes the
+    /// successor and returns the reward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range or masked-out actions and
+    /// propagates synthesis failures.
+    pub fn step(&mut self, action_index: usize) -> Result<StepOutcome, RlMulError> {
+        let ncols = self.current.matrix().num_columns();
+        let action = Action::from_flat_index(action_index, ncols)?;
+        let next = self.current.apply_action(action)?;
+        let evaluation = self.evaluate(&next)?;
+        let reward = self.current_cost - evaluation.cost;
+        self.current = next;
+        self.current_cost = evaluation.cost;
+        self.steps_taken += 1;
+        if evaluation.cost < self.best.0 {
+            self.best = (evaluation.cost, self.current.clone());
+        }
+        Ok(StepOutcome { reward, cost: evaluation.cost, evaluation })
+    }
+
+    /// Synthesizes `tree` under every delay target (cached by
+    /// structure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and synthesis errors.
+    pub fn evaluate(&mut self, tree: &CompressorTree) -> Result<Arc<Evaluation>, RlMulError> {
+        let key = tree.matrix().counts().to_vec();
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit.clone());
+        }
+        let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+        let mut reports = Vec::with_capacity(self.delay_targets.len());
+        for &t in &self.delay_targets {
+            let opts = SynthesisOptions {
+                target_delay_ns: Some(t),
+                max_upsizes: self.config.max_upsizes,
+            };
+            let r = self.synthesizer.run(&netlist, &opts)?;
+            self.synth_runs += 1;
+            self.pareto_points.push((r.area_um2, r.delay_ns));
+            reports.push(r);
+        }
+        let cost = self.config.weights.cost(&reports);
+        let eval = Arc::new(Evaluation { reports, cost });
+        self.cache.insert(key, eval.clone());
+        Ok(eval)
+    }
+
+    /// Every `(area µm², delay ns)` point synthesized so far — the
+    /// raw material of the paper's Pareto-front figures.
+    pub fn pareto_points(&self) -> &[(f64, f64)] {
+        &self.pareto_points
+    }
+
+    /// Environment statistics: `(steps, distinct states, synthesis
+    /// runs)`.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (self.steps_taken, self.cache.len(), self.synth_runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_ct::{Action, CompressorTree};
+
+    fn env8() -> MulEnv {
+        MulEnv::new(EnvConfig::new(8, PpgKind::And)).unwrap()
+    }
+
+    #[test]
+    fn four_delay_targets_are_derived() {
+        let env = env8();
+        assert_eq!(env.delay_targets().len(), 4);
+        assert!(env.delay_targets().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn step_returns_cost_difference_as_reward() {
+        let mut env = env8();
+        let c0 = env.current_cost();
+        let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+        let out = env.step(a).unwrap();
+        assert!((out.reward - (c0 - out.cost)).abs() < 1e-9);
+        assert!(env.current().is_legal());
+    }
+
+    #[test]
+    fn cache_avoids_resynthesis() {
+        let mut env = env8();
+        let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+        env.step(a).unwrap();
+        let (_, states, runs_before) = env.stats();
+        assert!(states >= 2);
+        // Re-evaluating the current state hits the cache.
+        let tree = env.current().clone();
+        env.evaluate(&tree).unwrap();
+        let (_, _, runs_after) = env.stats();
+        assert_eq!(runs_before, runs_after);
+    }
+
+    #[test]
+    fn stage_pruning_masks_deepening_actions() {
+        let env = env8();
+        let pruned: usize = env.action_mask().iter().filter(|&&ok| ok).count();
+        let unpruned: usize = env.current().action_mask().iter().filter(|&&ok| ok).count();
+        assert!(pruned <= unpruned);
+        assert!(pruned > 0);
+    }
+
+    #[test]
+    fn encode_has_stable_shape() {
+        let env = env8();
+        let t = env.encode_current().unwrap();
+        assert_eq!(t.shape(), env.tensor_shape());
+        assert!(t.data().iter().all(|v| (0.0..=8.0).contains(v)));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut env = env8();
+        let initial = env.current().clone();
+        let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+        env.step(a).unwrap();
+        assert_ne!(env.current(), &initial);
+        env.reset();
+        assert_eq!(env.current(), &initial);
+    }
+
+    #[test]
+    fn mac_environment_steps() {
+        let mut env = MulEnv::new(EnvConfig::new(4, PpgKind::MacAnd)).unwrap();
+        let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+        let out = env.step(a).unwrap();
+        assert!(out.cost.is_finite());
+        assert!(env.current().profile().kind().is_mac());
+    }
+
+    #[test]
+    fn explicit_stage_limit_is_respected() {
+        let mut cfg = EnvConfig::new(8, PpgKind::And);
+        let baseline_stages =
+            CompressorTree::wallace(8, PpgKind::And).unwrap().stage_count().unwrap();
+        cfg.pruning = StagePruning::Limit(baseline_stages);
+        let env = MulEnv::new(cfg).unwrap();
+        // Every unmasked action keeps the successor at or below the limit.
+        let ncols = env.current().matrix().num_columns();
+        for (idx, &ok) in env.action_mask().iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let a = Action::from_flat_index(idx, ncols).unwrap();
+            let next = env.current().apply_action(a).unwrap();
+            assert!(next.stage_count().unwrap() <= baseline_stages);
+        }
+    }
+
+    #[test]
+    fn invalid_action_index_is_an_error() {
+        let mut env = env8();
+        assert!(env.step(99_999).is_err());
+        let masked = env.action_mask().iter().position(|&ok| !ok).unwrap();
+        assert!(env.step(masked).is_err());
+    }
+
+    #[test]
+    fn pareto_archive_grows_with_new_states() {
+        let mut env = env8();
+        let before = env.pareto_points().len();
+        let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+        env.step(a).unwrap();
+        assert!(env.pareto_points().len() > before);
+    }
+
+    #[test]
+    fn explicit_delay_targets_are_used_verbatim() {
+        let mut cfg = EnvConfig::new(4, PpgKind::And);
+        cfg.delay_targets = vec![0.9, 1.1];
+        let env = MulEnv::new(cfg).unwrap();
+        assert_eq!(env.delay_targets(), &[0.9, 1.1]);
+    }
+
+    #[test]
+    fn best_tracks_lowest_cost() {
+        let mut env = env8();
+        for _ in 0..5 {
+            let a = env.action_mask().iter().position(|&ok| ok).unwrap();
+            env.step(a).unwrap();
+        }
+        let (_, best_cost) = env.best();
+        assert!(best_cost <= env.current_cost() + 1e-12);
+    }
+}

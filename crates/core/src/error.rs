@@ -1,0 +1,62 @@
+use rlmul_ct::CtError;
+use rlmul_rtl::RtlError;
+use rlmul_synth::SynthError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RL-MUL optimization framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RlMulError {
+    /// Compressor-tree state error.
+    Ct(CtError),
+    /// RTL elaboration error.
+    Rtl(RtlError),
+    /// Synthesis error.
+    Synth(SynthError),
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for RlMulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlMulError::Ct(e) => write!(f, "compressor tree: {e}"),
+            RlMulError::Rtl(e) => write!(f, "rtl elaboration: {e}"),
+            RlMulError::Synth(e) => write!(f, "synthesis: {e}"),
+            RlMulError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for RlMulError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RlMulError::Ct(e) => Some(e),
+            RlMulError::Rtl(e) => Some(e),
+            RlMulError::Synth(e) => Some(e),
+            RlMulError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<CtError> for RlMulError {
+    fn from(e: CtError) -> Self {
+        RlMulError::Ct(e)
+    }
+}
+
+impl From<RtlError> for RlMulError {
+    fn from(e: RtlError) -> Self {
+        RlMulError::Rtl(e)
+    }
+}
+
+impl From<SynthError> for RlMulError {
+    fn from(e: SynthError) -> Self {
+        RlMulError::Synth(e)
+    }
+}

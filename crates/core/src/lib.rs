@@ -1,0 +1,48 @@
+//! RL-MUL: multiplier design optimization with deep reinforcement
+//! learning — the paper's core framework.
+//!
+//! The optimization loop (paper Fig. 3) couples:
+//!
+//! * a state space of legal compressor trees ([`rlmul_ct`]), encoded
+//!   as the tensor representation of Algorithm 1;
+//! * a masked 8N-action modification space with deterministic
+//!   legalization (Algorithm 2);
+//! * a **Pareto-driven reward**: every state is synthesized under
+//!   several delay constraints by the [`rlmul_synth`] engine and the
+//!   reward is the decrease of the weighted area/delay cost
+//!   (Eqs. 9–10, reduced per Section IV-B);
+//! * two agents — native RL-MUL, a DQN with replay buffer and ε-greedy
+//!   masked action selection (Algorithm 3, [`train_dqn`]); and
+//!   RL-MUL-E, a synchronous parallel A2C with a shared residual trunk
+//!   and k-step returns (Algorithm 4, [`train_a2c`]);
+//! * the simulated-annealing baseline on the identical cost
+//!   ([`run_sa`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rlmul_core::{train_dqn, DqnConfig, EnvConfig, MulEnv};
+//! use rlmul_ct::PpgKind;
+//!
+//! let mut env = MulEnv::new(EnvConfig::new(8, PpgKind::And))?;
+//! let outcome = train_dqn(&mut env, &DqnConfig::default())?;
+//! println!("best cost {:.3} after {} synthesis runs",
+//!          outcome.best_cost, outcome.synth_runs);
+//! # Ok::<(), rlmul_core::RlMulError>(())
+//! ```
+
+mod a2c;
+mod dqn;
+mod env;
+mod error;
+mod outcome;
+mod reward;
+mod sa_driver;
+
+pub use a2c::{train_a2c, A2cConfig, PolicyValueNet};
+pub use dqn::{train_dqn, DqnConfig, QNetwork};
+pub use env::{EnvConfig, Evaluation, InitialStructure, MulEnv, StagePruning, StepOutcome};
+pub use error::RlMulError;
+pub use outcome::OptimizationOutcome;
+pub use reward::CostWeights;
+pub use sa_driver::run_sa;

@@ -1,0 +1,22 @@
+//! Common result type of every optimizer (RL-MUL, RL-MUL-E, SA, …).
+
+use rlmul_ct::CompressorTree;
+
+/// What an optimization run produced.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// Lowest-cost structure found.
+    pub best: CompressorTree,
+    /// Its weighted cost (paper Eq. 20).
+    pub best_cost: f64,
+    /// Cost of the *current* state after every step — the trajectory
+    /// the paper plots in Fig. 12.
+    pub trajectory: Vec<f64>,
+    /// Every `(area µm², delay ns)` point synthesized during the run
+    /// (raw material for Pareto fronts, Figs. 9–11).
+    pub pareto_points: Vec<(f64, f64)>,
+    /// Distinct states evaluated.
+    pub states_visited: usize,
+    /// Total synthesis runs.
+    pub synth_runs: usize,
+}

@@ -1,0 +1,100 @@
+//! The Pareto-driven reward (paper Section III-E with the
+//! objective-space reduction of Section IV-B).
+//!
+//! Each state is synthesized under several delay constraints; the
+//! scalar cost is the weighted sum of the resulting areas and delays
+//! (Eq. 20 — power is dropped because it correlates strongly with
+//! area, see Fig. 7), and the step reward is the cost decrease
+//! (Eq. 10). Sweeping the `(w_a, w_d)` weights steers the agent
+//! toward area-, delay- or trade-off-optimal corners of the Pareto
+//! front.
+
+use rlmul_synth::SynthesisReport;
+
+/// Objective weights of the cost function. The paper's full Eq. 9
+/// weights area, delay *and* power; Section IV-B drops the power term
+/// after observing its strong correlation with area (Fig. 7), so
+/// `power` defaults to 0 in every preset. Set it to study the
+/// unreduced objective (see the `ablation_reward` harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Area weight `w_a ∈ [0, 1]`.
+    pub area: f64,
+    /// Delay weight `w_d ∈ [0, 1]`.
+    pub delay: f64,
+    /// Power weight `w_p ∈ [0, 1]` (0 = the paper's reduced Eq. 20).
+    pub power: f64,
+}
+
+impl CostWeights {
+    /// Area-dominant preference.
+    pub const AREA: CostWeights = CostWeights { area: 1.0, delay: 0.1, power: 0.0 };
+    /// Delay-dominant preference.
+    pub const TIMING: CostWeights = CostWeights { area: 0.1, delay: 1.0, power: 0.0 };
+    /// Balanced trade-off preference.
+    pub const TRADE_OFF: CostWeights = CostWeights { area: 0.5, delay: 0.5, power: 0.0 };
+
+    /// Raw weighted cost over the synthesis runs of one design:
+    /// `w_a Σ area_i + w_d Σ delay_i + w_p Σ power_i`. Area is
+    /// expressed in units of 100 µm² and power in units of 0.1 mW so
+    /// all objectives contribute at comparable magnitude, as the
+    /// paper's normalized weighting implies.
+    pub fn cost(&self, reports: &[SynthesisReport]) -> f64 {
+        let area: f64 = reports.iter().map(|r| r.area_um2).sum();
+        let delay: f64 = reports.iter().map(|r| r.delay_ns).sum();
+        let power: f64 = reports.iter().map(|r| r.power_mw).sum();
+        self.area * area / 100.0 + self.delay * delay + self.power * power / 0.1
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights::TRADE_OFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(area: f64, delay: f64) -> SynthesisReport {
+        SynthesisReport {
+            area_um2: area,
+            delay_ns: delay,
+            power_mw: 0.0,
+            target_delay_ns: None,
+            met_target: true,
+            drive_histogram: [0, 0, 0],
+            sizing_moves: 0,
+            num_cells: 0,
+        }
+    }
+
+    #[test]
+    fn cost_is_weighted_sum_over_constraints() {
+        let reports = vec![report(400.0, 1.0), report(500.0, 0.8)];
+        let w = CostWeights { area: 1.0, delay: 0.0, power: 0.0 };
+        assert!((w.cost(&reports) - 9.0).abs() < 1e-12);
+        let w = CostWeights { area: 0.0, delay: 1.0, power: 0.0 };
+        assert!((w.cost(&reports) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_prefer_their_objective() {
+        let small_slow = vec![report(300.0, 2.0)];
+        let big_fast = vec![report(600.0, 1.0)];
+        assert!(CostWeights::AREA.cost(&small_slow) < CostWeights::AREA.cost(&big_fast));
+        assert!(CostWeights::TIMING.cost(&big_fast) < CostWeights::TIMING.cost(&small_slow));
+    }
+
+    #[test]
+    fn power_term_contributes_when_weighted() {
+        let mut r = report(400.0, 1.0);
+        r.power_mw = 0.3;
+        let reduced = CostWeights::TRADE_OFF;
+        let full = CostWeights { power: 0.5, ..CostWeights::TRADE_OFF };
+        let reports = vec![r];
+        assert!(full.cost(&reports) > reduced.cost(&reports));
+        assert!((full.cost(&reports) - reduced.cost(&reports) - 0.5 * 0.3 / 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulated-annealing baseline driven by the same synthesis-backed
+//! cost as the RL agents, so Fig. 12-style comparisons isolate the
+//! search strategy.
+
+use crate::env::{EnvConfig, MulEnv};
+use crate::outcome::OptimizationOutcome;
+use crate::RlMulError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlmul_baselines::{simulated_annealing, SaConfig};
+
+/// Runs the SA baseline with the environment's Pareto-driven cost.
+///
+/// # Errors
+///
+/// Propagates environment construction and synthesis errors.
+pub fn run_sa(
+    env_config: &EnvConfig,
+    sa_config: &SaConfig,
+    seed: u64,
+) -> Result<OptimizationOutcome, RlMulError> {
+    let mut env = MulEnv::new(env_config.clone())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = env.current().clone();
+    let mut eval_error: Option<RlMulError> = None;
+    let outcome = {
+        let env_ref = &mut env;
+        let err_ref = &mut eval_error;
+        simulated_annealing(&initial, sa_config, &mut rng, |tree| {
+            match env_ref.evaluate(tree) {
+                Ok(e) => e.cost,
+                Err(e) => {
+                    // Surface the first error after the run; penalize the
+                    // state so the annealer walks away from it.
+                    if err_ref.is_none() {
+                        *err_ref = Some(e);
+                    }
+                    f64::INFINITY
+                }
+            }
+        })
+    };
+    if let Some(e) = eval_error {
+        return Err(e);
+    }
+    let (_, states_visited, synth_runs) = env.stats();
+    Ok(OptimizationOutcome {
+        best: outcome.best,
+        best_cost: outcome.best_cost,
+        trajectory: outcome.trajectory,
+        pareto_points: env.pareto_points().to_vec(),
+        states_visited,
+        synth_runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_ct::PpgKind;
+
+    #[test]
+    fn sa_driver_produces_trajectory_and_legal_best() {
+        let env_cfg = EnvConfig::new(4, PpgKind::And);
+        let sa_cfg = SaConfig { steps: 20, ..Default::default() };
+        let out = run_sa(&env_cfg, &sa_cfg, 42).unwrap();
+        assert_eq!(out.trajectory.len(), 20);
+        out.best.check_legal().unwrap();
+        assert!(out.states_visited >= 1);
+    }
+}

@@ -1,0 +1,203 @@
+use crate::{CompressorMatrix, CtError, PpProfile};
+
+/// Number of modification actions available per column (paper
+/// Section III-D): the action space has size `|A| = 2N × 4 = 8N`.
+pub const ACTIONS_PER_COLUMN: usize = 4;
+
+/// One of the four structure modifications applicable to a column.
+///
+/// Actions adding or removing a 3:2 compressor are excluded by
+/// construction: they would drive the column residual to 0 or 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// Add a 2:2 compressor (residual −1, one more carry out).
+    AddHalf,
+    /// Remove a 2:2 compressor (residual +1, one less carry out).
+    RemoveHalf,
+    /// Replace a 3:2 with a 2:2 compressor (residual +1, carries kept).
+    ReplaceFullWithHalf,
+    /// Replace a 2:2 with a 3:2 compressor (residual −1, carries kept).
+    ReplaceHalfWithFull,
+}
+
+impl ActionKind {
+    /// All four kinds in flattened-index order.
+    pub const ALL: [ActionKind; ACTIONS_PER_COLUMN] = [
+        ActionKind::AddHalf,
+        ActionKind::RemoveHalf,
+        ActionKind::ReplaceFullWithHalf,
+        ActionKind::ReplaceHalfWithFull,
+    ];
+
+    /// Change of the target column's residual row count.
+    pub fn residual_delta(self) -> i64 {
+        match self {
+            ActionKind::AddHalf | ActionKind::ReplaceHalfWithFull => -1,
+            ActionKind::RemoveHalf | ActionKind::ReplaceFullWithHalf => 1,
+        }
+    }
+
+    /// Change of the carry count sent to the next column.
+    pub fn carry_delta(self) -> i64 {
+        match self {
+            ActionKind::AddHalf => 1,
+            ActionKind::RemoveHalf => -1,
+            _ => 0,
+        }
+    }
+}
+
+/// A column-addressed structure modification.
+///
+/// ```
+/// use rlmul_ct::{Action, ActionKind};
+///
+/// let a = Action::new(3, ActionKind::AddHalf);
+/// assert_eq!(a.flat_index(), 12);
+/// assert_eq!(Action::from_flat_index(12, 16).unwrap(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Action {
+    column: usize,
+    kind: ActionKind,
+}
+
+impl Action {
+    /// Creates an action targeting `column`.
+    pub fn new(column: usize, kind: ActionKind) -> Self {
+        Action { column, kind }
+    }
+
+    /// Target column index.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Modification kind.
+    pub fn kind(&self) -> ActionKind {
+        self.kind
+    }
+
+    /// Flattened index in `[0, 8N)`: `column × 4 + kind`.
+    pub fn flat_index(&self) -> usize {
+        self.column * ACTIONS_PER_COLUMN
+            + ActionKind::ALL.iter().position(|k| *k == self.kind).expect("kind in ALL")
+    }
+
+    /// Decodes a flattened index for a tree with `num_columns` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::ActionOutOfRange`] when `index` exceeds
+    /// `num_columns × 4`.
+    pub fn from_flat_index(index: usize, num_columns: usize) -> Result<Self, CtError> {
+        let space = num_columns * ACTIONS_PER_COLUMN;
+        if index >= space {
+            return Err(CtError::ActionOutOfRange { index, space });
+        }
+        Ok(Action {
+            column: index / ACTIONS_PER_COLUMN,
+            kind: ActionKind::ALL[index % ACTIONS_PER_COLUMN],
+        })
+    }
+
+    /// Whether this action is valid in the given state: the touched
+    /// compressor must exist and the target column's residual must
+    /// remain in `{1, 2}` (downstream columns are repaired by
+    /// legalization).
+    pub fn is_valid(&self, profile: &PpProfile, matrix: &CompressorMatrix) -> bool {
+        if self.column >= matrix.num_columns() {
+            return false;
+        }
+        let (a, b) = (matrix.count32(self.column), matrix.count22(self.column));
+        let exists = match self.kind {
+            ActionKind::AddHalf => true,
+            ActionKind::RemoveHalf | ActionKind::ReplaceHalfWithFull => b >= 1,
+            ActionKind::ReplaceFullWithHalf => a >= 1,
+        };
+        if !exists {
+            return false;
+        }
+        let res = matrix.residual(profile, self.column) + self.kind.residual_delta();
+        (1..=2).contains(&res)
+    }
+
+    /// Applies the action to `matrix` **without** legalization.
+    /// Callers must run [`crate::CompressorTree::apply_action`] (or
+    /// legalize manually) before using the result.
+    pub(crate) fn apply_raw(&self, matrix: &mut CompressorMatrix) {
+        let counts = matrix.counts_mut(self.column);
+        match self.kind {
+            ActionKind::AddHalf => counts.1 += 1,
+            ActionKind::RemoveHalf => counts.1 -= 1,
+            ActionKind::ReplaceFullWithHalf => {
+                counts.0 -= 1;
+                counts.1 += 1;
+            }
+            ActionKind::ReplaceHalfWithFull => {
+                counts.0 += 1;
+                counts.1 -= 1;
+            }
+        }
+    }
+}
+
+/// Computes the full validity mask `m ∈ {0, 1}^{8N}` of paper Eq. (6).
+pub fn action_mask(profile: &PpProfile, matrix: &CompressorMatrix) -> Vec<bool> {
+    let ncols = matrix.num_columns();
+    let mut mask = Vec::with_capacity(ncols * ACTIONS_PER_COLUMN);
+    for column in 0..ncols {
+        for kind in ActionKind::ALL {
+            mask.push(Action::new(column, kind).is_valid(profile, matrix));
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressorTree, PpgKind};
+
+    #[test]
+    fn flat_index_round_trip() {
+        for idx in 0..32 {
+            let a = Action::from_flat_index(idx, 8).unwrap();
+            assert_eq!(a.flat_index(), idx);
+        }
+        assert!(Action::from_flat_index(32, 8).is_err());
+    }
+
+    #[test]
+    fn removing_missing_half_adder_is_invalid() {
+        let tree = CompressorTree::wallace(4, PpgKind::And).unwrap();
+        // Column 0 of a 4-bit Wallace tree holds no compressors.
+        let a = Action::new(0, ActionKind::RemoveHalf);
+        assert!(!a.is_valid(tree.profile(), tree.matrix()));
+    }
+
+    #[test]
+    fn masked_actions_keep_local_residual_legal() {
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let mask = action_mask(tree.profile(), tree.matrix());
+        assert_eq!(mask.len(), 8 * 8);
+        for (idx, &ok) in mask.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let a = Action::from_flat_index(idx, 16).unwrap();
+            let mut m = tree.matrix().clone();
+            a.apply_raw(&mut m);
+            let res = m.residual(tree.profile(), a.column());
+            assert!((1..=2).contains(&res), "action {idx} broke column {}", a.column());
+        }
+    }
+
+    #[test]
+    fn residual_and_carry_deltas() {
+        assert_eq!(ActionKind::AddHalf.residual_delta(), -1);
+        assert_eq!(ActionKind::AddHalf.carry_delta(), 1);
+        assert_eq!(ActionKind::ReplaceFullWithHalf.residual_delta(), 1);
+        assert_eq!(ActionKind::ReplaceFullWithHalf.carry_delta(), 0);
+    }
+}

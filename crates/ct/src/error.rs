@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by compressor-tree construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtError {
+    /// The requested operand bit-width is outside the supported range.
+    UnsupportedWidth {
+        /// Requested width.
+        bits: usize,
+    },
+    /// A compressor matrix does not satisfy the per-column residual
+    /// constraint `res_j ∈ {1, 2}` (or `0` for empty columns).
+    IllegalStructure {
+        /// First offending column.
+        column: usize,
+        /// Residual row count observed in that column.
+        residual: i64,
+    },
+    /// Stage assignment could not place every compressor (the matrix
+    /// is structurally infeasible).
+    AssignmentStuck {
+        /// Column at which assignment deadlocked.
+        column: usize,
+    },
+    /// An action was applied whose validity mask bit is 0.
+    InvalidAction {
+        /// Flattened action index.
+        index: usize,
+    },
+    /// An action index is outside `0..8N`.
+    ActionOutOfRange {
+        /// Flattened action index.
+        index: usize,
+        /// Size of the action space.
+        space: usize,
+    },
+}
+
+impl fmt::Display for CtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtError::UnsupportedWidth { bits } => {
+                write!(f, "unsupported operand width {bits} (supported: 2..=32)")
+            }
+            CtError::IllegalStructure { column, residual } => write!(
+                f,
+                "illegal compressor tree: column {column} compresses to {residual} rows"
+            ),
+            CtError::AssignmentStuck { column } => write!(
+                f,
+                "stage assignment deadlocked at column {column}: matrix is infeasible"
+            ),
+            CtError::InvalidAction { index } => {
+                write!(f, "action {index} is masked out in the current state")
+            }
+            CtError::ActionOutOfRange { index, space } => {
+                write!(f, "action index {index} outside action space of size {space}")
+            }
+        }
+    }
+}
+
+impl Error for CtError {}

@@ -1,0 +1,155 @@
+use crate::{CompressorMatrix, PpProfile};
+
+/// Simulates a classic Wallace reduction [Wallace 1964] of `profile`
+/// and returns the per-column compressor totals.
+///
+/// At every stage, each column of height ≥ 3 groups rows into as many
+/// 3:2 compressors as possible and applies a 2:2 compressor to a
+/// leftover pair; columns already at height ≤ 2 pass through. The
+/// sweep repeats until every column holds at most two rows.
+pub(crate) fn wallace_matrix(profile: &PpProfile) -> CompressorMatrix {
+    let ncols = profile.num_columns();
+    let mut heights: Vec<u32> = profile.columns().to_vec();
+    let mut matrix = CompressorMatrix::zeros(ncols);
+    while heights.iter().any(|&h| h > 2) {
+        let mut next = vec![0u32; ncols];
+        for j in 0..ncols {
+            let h = heights[j];
+            if h <= 2 {
+                next[j] += h;
+                continue;
+            }
+            let fulls = h / 3;
+            let rem = h % 3;
+            let halves = u32::from(rem == 2);
+            let counts = matrix.counts_mut(j);
+            counts.0 += fulls;
+            counts.1 += halves;
+            // Sums (and a passing single row) stay in the column …
+            next[j] += fulls + halves + u32::from(rem == 1);
+            // … carries move up, discarded past the MSB (mod 2^{2N}).
+            if j + 1 < ncols {
+                next[j + 1] += fulls + halves;
+            }
+        }
+        heights = next;
+    }
+    matrix
+}
+
+/// Dadda's capacity sequence: `d_1 = 2`, `d_{k+1} = ⌊1.5 · d_k⌋`.
+fn dadda_targets(max_height: u32) -> Vec<u32> {
+    let mut seq = vec![2u32];
+    while *seq.last().expect("nonempty") < max_height {
+        let last = *seq.last().expect("nonempty");
+        seq.push(last * 3 / 2);
+    }
+    seq
+}
+
+/// Simulates a Dadda reduction [Dadda 1983] of `profile`: each stage
+/// reduces every column to the next capacity target using the minimum
+/// number of compressors, threading same-stage carries from lower
+/// columns.
+pub(crate) fn dadda_matrix(profile: &PpProfile) -> CompressorMatrix {
+    let ncols = profile.num_columns();
+    let mut heights: Vec<u32> = profile.columns().to_vec();
+    let mut matrix = CompressorMatrix::zeros(ncols);
+    let targets = dadda_targets(heights.iter().copied().max().unwrap_or(2));
+    for &target in targets.iter().rev() {
+        if heights.iter().all(|&h| h <= target) {
+            continue;
+        }
+        let mut next = vec![0u32; ncols];
+        let mut carries = 0u32;
+        for j in 0..ncols {
+            let mut cur = heights[j] + carries;
+            carries = 0;
+            let counts = matrix.counts_mut(j);
+            while cur > target {
+                if cur == target + 1 {
+                    counts.1 += 1; // half adder: −1 row, +1 carry
+                    cur -= 1;
+                } else {
+                    counts.0 += 1; // full adder: −2 rows, +1 carry
+                    cur -= 2;
+                }
+                carries += 1;
+            }
+            next[j] = cur;
+        }
+        // A carry past the MSB is discarded (mod 2^{2N} arithmetic).
+        heights = next;
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressorTree, PpgKind};
+
+    #[test]
+    fn wallace_is_legal_for_all_profiles() {
+        for bits in [2, 4, 8, 16, 32] {
+            for kind in [PpgKind::And, PpgKind::MacAnd] {
+                let t = CompressorTree::wallace(bits, kind).unwrap();
+                t.check_legal().unwrap_or_else(|e| panic!("{bits}-bit {kind}: {e}"));
+            }
+        }
+        for bits in [4, 8, 16, 32] {
+            for kind in [PpgKind::Mbe, PpgKind::MacMbe] {
+                let t = CompressorTree::wallace(bits, kind).unwrap();
+                t.check_legal().unwrap_or_else(|e| panic!("{bits}-bit {kind}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn dadda_is_legal_for_all_profiles() {
+        for bits in [2, 4, 8, 16, 32] {
+            let t = CompressorTree::dadda(bits, PpgKind::And).unwrap();
+            t.check_legal().unwrap_or_else(|e| panic!("{bits}-bit: {e}"));
+        }
+        for bits in [4, 8, 16] {
+            let t = CompressorTree::dadda(bits, PpgKind::Mbe).unwrap();
+            t.check_legal().unwrap_or_else(|e| panic!("{bits}-bit mbe: {e}"));
+        }
+    }
+
+    #[test]
+    fn dadda_uses_no_more_compressors_than_wallace() {
+        for bits in [8, 16] {
+            let w = CompressorTree::wallace(bits, PpgKind::And).unwrap();
+            let d = CompressorTree::dadda(bits, PpgKind::And).unwrap();
+            let wall = w.matrix().total32() + w.matrix().total22();
+            let dad = d.matrix().total32() + d.matrix().total22();
+            assert!(dad <= wall, "{bits}-bit: dadda {dad} vs wallace {wall}");
+        }
+    }
+
+    #[test]
+    fn dadda_capacity_sequence() {
+        assert_eq!(dadda_targets(9), vec![2, 3, 4, 6, 9]);
+        assert_eq!(dadda_targets(2), vec![2]);
+    }
+
+    #[test]
+    fn row_conservation_identity() {
+        // Each 3:2 removes one row globally (consumes 3, emits 2);
+        // 2:2 compressors are row-neutral except when their carry falls
+        // past the MSB. Hence: finals = initial − total32 − msb_carries.
+        for (bits, kind) in [(8, PpgKind::And), (16, PpgKind::And), (8, PpgKind::Mbe)] {
+            let t = CompressorTree::wallace(bits, kind).unwrap();
+            let initial: i64 = t.profile().total_bits() as i64;
+            let finals: i64 = t.matrix().residuals(t.profile()).iter().sum();
+            let (a_last, b_last) = *t.matrix().counts().last().expect("has columns");
+            let msb_carries = (a_last + b_last) as i64;
+            assert_eq!(
+                finals,
+                initial - t.matrix().total32() as i64 - msb_carries,
+                "{bits}-bit {kind}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+use crate::{CompressorMatrix, PpProfile};
+
+/// Deterministic legalization (paper Algorithm 2).
+///
+/// After an action on column `c` the carry count flowing into column
+/// `c + 1` may have changed, leaving a residual of 0 or 3 somewhere
+/// upstream. This sweep walks from `c + 1` to the MSB and repairs each
+/// column:
+///
+/// * `res = 3` (under-compressed): replace a 2:2 with a 3:2 if one
+///   exists (carry count preserved — repair stops), else add a 3:2
+///   (one extra carry propagates).
+/// * `res = 0` (over-compressed): delete a 2:2 if one exists, else a
+///   3:2; one fewer carry propagates in either case.
+/// * `res ∈ {1, 2}`: legal — the sweep terminates.
+///
+/// Returns the number of columns modified.
+pub(crate) fn legalize(profile: &PpProfile, matrix: &mut CompressorMatrix, column: usize) -> usize {
+    let ncols = matrix.num_columns();
+    let mut touched = 0;
+    for j in column + 1..ncols {
+        let res = matrix.residual(profile, j);
+        match res {
+            1 | 2 => return touched,
+            3 => {
+                let counts = matrix.counts_mut(j);
+                if counts.1 >= 1 {
+                    // Replace a 2:2 with a 3:2: res −1, carries kept.
+                    counts.1 -= 1;
+                    counts.0 += 1;
+                    touched += 1;
+                    return touched;
+                }
+                // Add a 3:2: res −2, one more carry flows upstream.
+                counts.0 += 1;
+                touched += 1;
+            }
+            0 => {
+                let counts = matrix.counts_mut(j);
+                if counts.1 >= 1 {
+                    // Delete a 2:2: res +1, one fewer carry.
+                    counts.1 -= 1;
+                } else if counts.0 >= 1 {
+                    // Delete a 3:2: res +2, one fewer carry.
+                    counts.0 -= 1;
+                } else {
+                    // Empty column with no inputs: nothing to repair and
+                    // no carries change downstream.
+                    return touched;
+                }
+                touched += 1;
+            }
+            other => {
+                // Residuals outside 0..=3 are unreachable from a legal
+                // state plus one action; guard in debug builds.
+                debug_assert!(false, "unexpected residual {other} in column {j}");
+                return touched;
+            }
+        }
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, ActionKind, CompressorTree, PpgKind};
+
+    #[test]
+    fn add_half_then_legalize_restores_legality() {
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let (profile, matrix) = (tree.profile().clone(), tree.matrix().clone());
+        // Find any valid AddHalf action and apply it raw, then legalize.
+        for col in 0..matrix.num_columns() {
+            let a = Action::new(col, ActionKind::AddHalf);
+            if !a.is_valid(&profile, &matrix) {
+                continue;
+            }
+            let mut m = matrix.clone();
+            a.apply_raw(&mut m);
+            legalize(&profile, &mut m, col);
+            m.check_legal(&profile)
+                .unwrap_or_else(|e| panic!("column {col}: {e}"));
+        }
+    }
+
+    #[test]
+    fn legalize_is_noop_on_legal_state() {
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let mut m = tree.matrix().clone();
+        let touched = legalize(tree.profile(), &mut m, 0);
+        assert_eq!(touched, 0);
+        assert_eq!(&m, tree.matrix());
+    }
+
+    #[test]
+    fn over_compression_cascade_terminates() {
+        let tree = CompressorTree::wallace(16, PpgKind::And).unwrap();
+        let (profile, matrix) = (tree.profile().clone(), tree.matrix().clone());
+        for col in 0..matrix.num_columns() {
+            let a = Action::new(col, ActionKind::RemoveHalf);
+            if !a.is_valid(&profile, &matrix) {
+                continue;
+            }
+            let mut m = matrix.clone();
+            a.apply_raw(&mut m);
+            legalize(&profile, &mut m, col);
+            m.check_legal(&profile)
+                .unwrap_or_else(|e| panic!("column {col}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+use crate::{CtError, PpProfile};
+
+/// The paper's matrix representation `M ∈ N^{2N×2}`: per-column totals
+/// of 3:2 compressors (full adders) and 2:2 compressors (half adders),
+/// aggregated over all stages.
+///
+/// The matrix is the *canonical search state*; the stage-resolved
+/// tensor is derived deterministically from it (paper Algorithm 1, see
+/// [`crate::StageTensor`]).
+///
+/// ```
+/// use rlmul_ct::{CompressorMatrix, PpProfile, PpgKind};
+///
+/// let profile = PpProfile::new(8, PpgKind::And)?;
+/// let m = CompressorMatrix::zeros(profile.num_columns());
+/// // An empty tree leaves tall columns uncompressed: illegal.
+/// assert!(m.check_legal(&profile).is_err());
+/// # Ok::<(), rlmul_ct::CtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CompressorMatrix {
+    counts: Vec<(u32, u32)>,
+}
+
+impl CompressorMatrix {
+    /// An all-zero matrix with `columns` columns.
+    pub fn zeros(columns: usize) -> Self {
+        CompressorMatrix { counts: vec![(0, 0); columns] }
+    }
+
+    /// Builds a matrix from explicit per-column `(3:2, 2:2)` counts.
+    pub fn from_counts<I: IntoIterator<Item = (u32, u32)>>(counts: I) -> Self {
+        CompressorMatrix { counts: counts.into_iter().collect() }
+    }
+
+    /// Number of columns (`2N`).
+    pub fn num_columns(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of 3:2 compressors (full adders) in `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of bounds.
+    pub fn count32(&self, column: usize) -> u32 {
+        self.counts[column].0
+    }
+
+    /// Count of 2:2 compressors (half adders) in `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of bounds.
+    pub fn count22(&self, column: usize) -> u32 {
+        self.counts[column].1
+    }
+
+    /// Mutable access to the `(3:2, 2:2)` pair of `column`.
+    pub(crate) fn counts_mut(&mut self, column: usize) -> &mut (u32, u32) {
+        &mut self.counts[column]
+    }
+
+    /// Per-column `(3:2, 2:2)` counts.
+    pub fn counts(&self) -> &[(u32, u32)] {
+        &self.counts
+    }
+
+    /// Total number of 3:2 compressors.
+    pub fn total32(&self) -> u32 {
+        self.counts.iter().map(|c| c.0).sum()
+    }
+
+    /// Total number of 2:2 compressors.
+    pub fn total22(&self) -> u32 {
+        self.counts.iter().map(|c| c.1).sum()
+    }
+
+    /// Carry-in arriving at `column` from the column below
+    /// (`a_{j−1} + b_{j−1}`, or 0 for column 0).
+    pub fn carry_in(&self, column: usize) -> u32 {
+        if column == 0 {
+            0
+        } else {
+            let (a, b) = self.counts[column - 1];
+            a + b
+        }
+    }
+
+    /// Residual row count of `column` after complete compression:
+    /// `res_j = p_j − 2·a_j − b_j + a_{j−1} + b_{j−1}`.
+    ///
+    /// Negative values indicate an over-provisioned column.
+    pub fn residual(&self, profile: &PpProfile, column: usize) -> i64 {
+        let (a, b) = self.counts[column];
+        profile.columns()[column] as i64 - 2 * a as i64 - b as i64 + self.carry_in(column) as i64
+    }
+
+    /// Residuals of every column.
+    pub fn residuals(&self, profile: &PpProfile) -> Vec<i64> {
+        (0..self.counts.len()).map(|j| self.residual(profile, j)).collect()
+    }
+
+    /// Checks the legality invariant: every column with at least one
+    /// input row must compress to one or two rows; a column with zero
+    /// inputs must hold no compressors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::IllegalStructure`] naming the first
+    /// offending column.
+    pub fn check_legal(&self, profile: &PpProfile) -> Result<(), CtError> {
+        debug_assert_eq!(self.counts.len(), profile.num_columns());
+        for j in 0..self.counts.len() {
+            let inputs = profile.columns()[j] as i64 + self.carry_in(j) as i64;
+            let res = self.residual(profile, j);
+            let (a, b) = self.counts[j];
+            if inputs == 0 {
+                if a != 0 || b != 0 {
+                    return Err(CtError::IllegalStructure { column: j, residual: res });
+                }
+            } else if !(1..=2).contains(&res) {
+                return Err(CtError::IllegalStructure { column: j, residual: res });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when [`CompressorMatrix::check_legal`] succeeds.
+    pub fn is_legal(&self, profile: &PpProfile) -> bool {
+        self.check_legal(profile).is_ok()
+    }
+
+    /// Flattens the matrix into a feature vector
+    /// `[a_0, …, a_{2N−1}, b_0, …, b_{2N−1}]` for ML consumers.
+    pub fn to_features(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(2 * self.counts.len());
+        v.extend(self.counts.iter().map(|c| c.0 as f32));
+        v.extend(self.counts.iter().map(|c| c.1 as f32));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PpgKind;
+
+    fn profile4() -> PpProfile {
+        PpProfile::new(4, PpgKind::And).unwrap()
+    }
+
+    #[test]
+    fn residual_accounts_for_carry_chain() {
+        // 4-bit AND profile: [1, 2, 3, 4, 3, 2, 1, 0].
+        let p = profile4();
+        let mut m = CompressorMatrix::zeros(8);
+        *m.counts_mut(1) = (0, 1); // one half adder in column 1
+        assert_eq!(m.residual(&p, 1), 1); // 2 − 1
+        assert_eq!(m.residual(&p, 2), 4); // 3 + carry 1
+        assert_eq!(m.carry_in(2), 1);
+    }
+
+    #[test]
+    fn zero_matrix_is_illegal_for_tall_profiles() {
+        let p = profile4();
+        let m = CompressorMatrix::zeros(8);
+        let err = m.check_legal(&p).unwrap_err();
+        assert!(matches!(err, CtError::IllegalStructure { column: 2, residual: 3 }));
+    }
+
+    #[test]
+    fn empty_trailing_column_is_legal() {
+        // Hand-built legal reduction of the 4-bit AND profile.
+        // p = [1,2,3,4,3,2,1,0]
+        let p = profile4();
+        let m = CompressorMatrix::from_counts([
+            (0, 0), // res 1
+            (0, 1), // res 1, carry 1 -> col2
+            (1, 0), // res 3+1-2 = 2, carry 1 -> col3
+            (1, 1), // res 4+1-3 = 2, carry 2 -> col4
+            (1, 1), // res 3+2-3 = 2, carry 2 -> col5
+            (1, 0), // res 2+2-2 = 2, carry 1 -> col6
+            (0, 0), // res 1+1 = 2, carry 0 -> col7
+            (0, 0), // res 0, empty
+        ]);
+        m.check_legal(&p).unwrap();
+        assert_eq!(m.total32(), 4);
+        assert_eq!(m.total22(), 3);
+    }
+
+    #[test]
+    fn compressors_in_empty_column_are_illegal() {
+        let p = profile4();
+        let mut m = CompressorMatrix::zeros(8);
+        *m.counts_mut(7) = (0, 1);
+        assert!(!m.is_legal(&p));
+    }
+
+    #[test]
+    fn feature_vector_layout() {
+        let mut m = CompressorMatrix::zeros(3);
+        *m.counts_mut(0) = (5, 7);
+        let f = m.to_features();
+        assert_eq!(f, vec![5.0, 0.0, 0.0, 7.0, 0.0, 0.0]);
+    }
+}

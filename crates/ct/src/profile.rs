@@ -1,0 +1,278 @@
+use crate::CtError;
+
+/// Partial-product generation scheme, optionally with a merged
+/// multiply-accumulate addend (paper Section III-C).
+///
+/// The merged-MAC variants inject the `2N`-bit accumulator operand as
+/// one extra partial product per column, so the very same
+/// compressor-tree optimization machinery applies to MAC designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PpgKind {
+    /// Plain AND-gate array: `p_j = |{(a, b) : a + b = j}|`.
+    And,
+    /// Radix-4 Modified Booth Encoding with sign-extension prevention.
+    Mbe,
+    /// AND-based PPG with a merged `2N`-bit accumulator row.
+    MacAnd,
+    /// MBE-based PPG with a merged `2N`-bit accumulator row.
+    MacMbe,
+}
+
+impl PpgKind {
+    /// Whether this profile merges a MAC addend into the tree.
+    pub fn is_mac(self) -> bool {
+        matches!(self, PpgKind::MacAnd | PpgKind::MacMbe)
+    }
+
+    /// The underlying partial-product generator without the MAC addend.
+    pub fn base(self) -> PpgKind {
+        match self {
+            PpgKind::And | PpgKind::MacAnd => PpgKind::And,
+            PpgKind::Mbe | PpgKind::MacMbe => PpgKind::Mbe,
+        }
+    }
+
+    /// Short lowercase label used in reports (`and`, `mbe`, `mac-and`,
+    /// `mac-mbe`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PpgKind::And => "and",
+            PpgKind::Mbe => "mbe",
+            PpgKind::MacAnd => "mac-and",
+            PpgKind::MacMbe => "mac-mbe",
+        }
+    }
+}
+
+impl std::fmt::Display for PpgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-column initial partial-product counts of an `N × N` datapath
+/// block with `2N` columns.
+///
+/// The profile is the immutable part of an RL-MUL state: actions only
+/// ever change the compressor counts, never the partial products.
+///
+/// ```
+/// use rlmul_ct::{PpProfile, PpgKind};
+///
+/// let p = PpProfile::new(8, PpgKind::And)?;
+/// assert_eq!(p.num_columns(), 16);
+/// assert_eq!(p.columns()[7], 8); // tallest AND column has N products
+/// # Ok::<(), rlmul_ct::CtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PpProfile {
+    bits: usize,
+    kind: PpgKind,
+    columns: Vec<u32>,
+}
+
+/// Maximum supported operand width.
+pub(crate) const MAX_BITS: usize = 32;
+
+impl PpProfile {
+    /// Builds the initial partial-product profile for an `bits`-bit
+    /// design of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::UnsupportedWidth`] when `bits` is outside
+    /// `2..=32`, or odd for an MBE-based kind (radix-4 Booth digits
+    /// pair up bits).
+    pub fn new(bits: usize, kind: PpgKind) -> Result<Self, CtError> {
+        if !(2..=MAX_BITS).contains(&bits) {
+            return Err(CtError::UnsupportedWidth { bits });
+        }
+        if kind.base() == PpgKind::Mbe && !bits.is_multiple_of(2) {
+            return Err(CtError::UnsupportedWidth { bits });
+        }
+        let mut columns = match kind.base() {
+            PpgKind::And => and_columns(bits),
+            PpgKind::Mbe => mbe_columns(bits),
+            _ => unreachable!("base() only returns And or Mbe"),
+        };
+        if kind.is_mac() {
+            for c in columns.iter_mut() {
+                *c += 1;
+            }
+        }
+        Ok(PpProfile { bits, kind, columns })
+    }
+
+    /// Operand bit-width `N`.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Partial-product generation scheme.
+    pub fn kind(&self) -> PpgKind {
+        self.kind
+    }
+
+    /// Initial partial-product count per column (length `2N`).
+    pub fn columns(&self) -> &[u32] {
+        &self.columns
+    }
+
+    /// Number of columns, always `2N`.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total number of initial partial products.
+    pub fn total_bits(&self) -> u32 {
+        self.columns.iter().sum()
+    }
+
+    /// Height of the tallest column.
+    pub fn max_height(&self) -> u32 {
+        self.columns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// AND-array column heights: column `j` holds one product bit for each
+/// pair `(a, b) ∈ [0, N)²` with `a + b = j`.
+fn and_columns(bits: usize) -> Vec<u32> {
+    let n = bits;
+    (0..2 * n)
+        .map(|j| {
+            let lo = j.saturating_sub(n - 1);
+            let hi = j.min(n - 1);
+            if hi >= lo {
+                (hi - lo + 1) as u32
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Number of radix-4 Booth digits for an unsigned `N`-bit multiplier
+/// (`N` even): `N/2 + 1`, the top digit covering the zero-extended
+/// high bits.
+pub fn mbe_digit_count(bits: usize) -> usize {
+    bits / 2 + 1
+}
+
+/// Sign-extension-prevention constant folded into the partial products
+/// of the MBE array, reduced modulo `2^{2N}`.
+///
+/// Each potentially-negative row `i ∈ [0, N/2)` contributes
+/// `−s_i·2^{2i+N+1}`, rewritten as `(¬s_i)·2^{2i+N+1} − 2^{2i+N+1}`;
+/// the constant parts sum to this value.
+pub fn mbe_constant(bits: usize) -> u128 {
+    let n = bits as u32;
+    let modulus_mask: u128 = if 2 * n == 128 { u128::MAX } else { (1u128 << (2 * n)) - 1 };
+    let mut acc: u128 = 0;
+    for i in 0..bits / 2 {
+        let p = 2 * i as u32 + n + 1;
+        if p < 2 * n {
+            acc = acc.wrapping_add(1u128 << p);
+        }
+    }
+    acc.wrapping_neg() & modulus_mask
+}
+
+/// MBE column heights. Row `i` of the array contributes:
+/// * `N + 1` encoded magnitude bits `e_{i,k}` at columns `2i + k`;
+/// * a two's-complement correction bit `s_i` at column `2i`
+///   (rows `i < N/2`, the only ones with a possibly-negative digit);
+/// * a sign-extension-prevention bit `¬s_i` at column `2i + N + 1`
+///   (same rows);
+/// * plus the folded constant [`mbe_constant`] as constant-one bits.
+fn mbe_columns(bits: usize) -> Vec<u32> {
+    let n = bits;
+    let mut cols = vec![0u32; 2 * n];
+    let digits = mbe_digit_count(n);
+    for i in 0..digits {
+        for k in 0..=n {
+            let col = 2 * i + k;
+            if col < 2 * n {
+                cols[col] += 1;
+            }
+        }
+    }
+    for i in 0..n / 2 {
+        cols[2 * i] += 1; // s_i correction
+        let p = 2 * i + n + 1;
+        if p < 2 * n {
+            cols[p] += 1; // ¬s_i
+        }
+    }
+    let k = mbe_constant(n);
+    for (j, col) in cols.iter_mut().enumerate() {
+        if (k >> j) & 1 == 1 {
+            *col += 1;
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_profile_is_symmetric_triangle() {
+        let p = PpProfile::new(4, PpgKind::And).unwrap();
+        assert_eq!(p.columns(), &[1, 2, 3, 4, 3, 2, 1, 0]);
+        assert_eq!(p.total_bits(), 16);
+    }
+
+    #[test]
+    fn and_profile_total_is_n_squared() {
+        for n in 2..=16 {
+            let p = PpProfile::new(n, PpgKind::And).unwrap();
+            assert_eq!(p.total_bits(), (n * n) as u32, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mbe_profile_shorter_than_and_for_wide_operands() {
+        let and = PpProfile::new(16, PpgKind::And).unwrap();
+        let mbe = PpProfile::new(16, PpgKind::Mbe).unwrap();
+        assert!(mbe.max_height() < and.max_height());
+        // Roughly N/2 + 1 rows plus correction bits.
+        assert!(mbe.max_height() <= mbe_digit_count(16) as u32 + 3);
+    }
+
+    #[test]
+    fn mac_adds_one_row_everywhere() {
+        let mul = PpProfile::new(8, PpgKind::And).unwrap();
+        let mac = PpProfile::new(8, PpgKind::MacAnd).unwrap();
+        for j in 0..mul.num_columns() {
+            assert_eq!(mac.columns()[j], mul.columns()[j] + 1);
+        }
+    }
+
+    #[test]
+    fn mbe_requires_even_width() {
+        assert!(PpProfile::new(7, PpgKind::Mbe).is_err());
+        assert!(PpProfile::new(7, PpgKind::And).is_ok());
+    }
+
+    #[test]
+    fn width_bounds_are_enforced() {
+        assert!(PpProfile::new(1, PpgKind::And).is_err());
+        assert!(PpProfile::new(33, PpgKind::And).is_err());
+        assert!(PpProfile::new(32, PpgKind::And).is_ok());
+    }
+
+    #[test]
+    fn mbe_constant_matches_manual_n4() {
+        // Rows 0, 1 contribute −(2^5 + 2^7) ≡ 96 (mod 256).
+        assert_eq!(mbe_constant(4), 96);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PpgKind::And.to_string(), "and");
+        assert_eq!(PpgKind::MacMbe.to_string(), "mac-mbe");
+        assert!(PpgKind::MacAnd.is_mac());
+        assert_eq!(PpgKind::MacMbe.base(), PpgKind::Mbe);
+    }
+}

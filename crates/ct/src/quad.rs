@@ -1,0 +1,212 @@
+//! 4:2-compressor reduction schedules — the paper's named extension
+//! point ("this framework is designed for potential extension to
+//! accommodate more compressor variants", Section III-B).
+//!
+//! A 4:2 compressor consumes four rows of a column plus a same-stage
+//! carry-in (`cin`) from the previous column and produces a sum (same
+//! column, next stage), a carry (next column, next stage) and a
+//! same-stage carry-out (`cout`, next column). Because
+//! `cout = maj(x₁, x₂, x₃)` is independent of `cin`, the intra-stage
+//! cout chain never ripples — the property that makes 4:2 trees
+//! attractive in practice.
+//!
+//! The schedule built here is Wallace-style: every stage places as
+//! many 4:2 compressors as each column's rows allow, then cleans up
+//! with 3:2 / 2:2 compressors. The [`CompressorMatrix`] action space
+//! of the RL agent is untouched (the paper's `K = 2`); this module
+//! demonstrates the `K = 3` tensor encoding and provides the 4:2
+//! baseline used by the `ablation_compressor42` harness.
+
+use crate::{CtError, PpProfile};
+
+/// Per-column placement within one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuadColumn {
+    /// 4:2 compressors placed in the column.
+    pub n42: u32,
+    /// How many of them consume a same-stage `cin` (always the first
+    /// ones in elaboration order).
+    pub n42_with_cin: u32,
+    /// Cleanup 3:2 compressors.
+    pub n32: u32,
+    /// Cleanup 2:2 compressors.
+    pub n22: u32,
+}
+
+/// A stage-resolved 4:2 reduction schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuadSchedule {
+    stages: Vec<Vec<QuadColumn>>,
+    num_columns: usize,
+}
+
+/// Hard bound on depth; real schedules are ⌈log₁.₅…⌉ shallow.
+const MAX_STAGES: usize = 64;
+
+impl QuadSchedule {
+    /// Builds the Wallace-style 4:2 schedule for `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::AssignmentStuck`] if reduction fails to
+    /// converge (unreachable for valid profiles; defensive bound).
+    pub fn build(profile: &PpProfile) -> Result<Self, CtError> {
+        let ncols = profile.num_columns();
+        let mut heights: Vec<u32> = profile.columns().to_vec();
+        let mut stages: Vec<Vec<QuadColumn>> = Vec::new();
+        while heights.iter().any(|&h| h > 2) {
+            if stages.len() >= MAX_STAGES {
+                return Err(CtError::AssignmentStuck { column: 0 });
+            }
+            let mut stage = vec![QuadColumn::default(); ncols];
+            let mut new_h = vec![0u32; ncols];
+            // Same-stage couts pending consumption, per column.
+            let mut couts = vec![0u32; ncols + 1];
+            for j in 0..ncols {
+                // Carries from column j−1's compressors (this stage)
+                // have already been recorded in new_h[j]; accounting
+                // for them lets the cleanup reach height ≤ 2 in one
+                // stage instead of rippling column by column.
+                let carried = new_h[j];
+                let mut avail = heights[j];
+                let mut cins = couts[j];
+                let mut sums = 0u32;
+                let slot = &mut stage[j];
+                while avail >= 4 {
+                    avail -= 4;
+                    slot.n42 += 1;
+                    if cins > 0 {
+                        cins -= 1;
+                        slot.n42_with_cin += 1;
+                    }
+                    sums += 1;
+                    if j + 1 < ncols {
+                        new_h[j + 1] += 1; // carry
+                        couts[j + 1] += 1; // same-stage cout
+                    }
+                }
+                // Unconsumed same-stage couts become plain rows.
+                let mut remaining = avail + cins;
+                while carried + sums + remaining > 2 && remaining >= 2 {
+                    if remaining >= 3 {
+                        remaining -= 3;
+                        slot.n32 += 1;
+                    } else {
+                        remaining -= 2;
+                        slot.n22 += 1;
+                    }
+                    sums += 1;
+                    if j + 1 < ncols {
+                        new_h[j + 1] += 1;
+                    }
+                }
+                new_h[j] = carried + sums + remaining;
+            }
+            stages.push(stage);
+            heights = new_h;
+        }
+        Ok(QuadSchedule { stages, num_columns: ncols })
+    }
+
+    /// Number of reduction stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of columns (`2N`).
+    pub fn num_columns(&self) -> usize {
+        self.num_columns
+    }
+
+    /// Placement for `(stage, column)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, stage: usize, column: usize) -> QuadColumn {
+        self.stages[stage][column]
+    }
+
+    /// Totals `(4:2, 3:2, 2:2)` over the whole schedule.
+    pub fn totals(&self) -> (u32, u32, u32) {
+        self.stages.iter().flatten().fold((0, 0, 0), |(a, b, c), q| {
+            (a + q.n42, b + q.n32, c + q.n22)
+        })
+    }
+
+    /// Dense `K × 2N × ST_pad` tensor with `K = 3` kinds
+    /// (`[4:2, 3:2, 2:2]`) — the paper's extensible state encoding.
+    pub fn to_dense(&self, stages: usize) -> Vec<f32> {
+        let ncols = self.num_columns;
+        let mut out = vec![0.0f32; 3 * ncols * stages];
+        for (i, stage) in self.stages.iter().enumerate().take(stages) {
+            for (j, q) in stage.iter().enumerate() {
+                out[j * stages + i] = q.n42 as f32;
+                out[ncols * stages + j * stages + i] = q.n32 as f32;
+                out[2 * ncols * stages + j * stages + i] = q.n22 as f32;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressorTree, PpgKind};
+
+    #[test]
+    fn schedule_converges_for_all_kinds() {
+        for bits in [4, 8, 16, 32] {
+            for kind in [PpgKind::And, PpgKind::MacAnd] {
+                let p = PpProfile::new(bits, kind).unwrap();
+                let q = QuadSchedule::build(&p).unwrap();
+                assert!(q.stage_count() >= 1, "{bits} {kind}");
+            }
+        }
+        let p = PpProfile::new(16, PpgKind::Mbe).unwrap();
+        QuadSchedule::build(&p).unwrap();
+    }
+
+    #[test]
+    fn quad_tree_is_shallower_than_32_tree() {
+        for bits in [16usize, 32] {
+            let p = PpProfile::new(bits, PpgKind::And).unwrap();
+            let quad = QuadSchedule::build(&p).unwrap();
+            let wallace = CompressorTree::wallace(bits, PpgKind::And).unwrap();
+            let st32 = wallace.assign_stages().unwrap().stage_count();
+            assert!(
+                quad.stage_count() < st32,
+                "{bits}-bit: quad {} vs 3:2 {}",
+                quad.stage_count(),
+                st32
+            );
+        }
+    }
+
+    #[test]
+    fn cin_counts_never_exceed_n42() {
+        let p = PpProfile::new(16, PpgKind::And).unwrap();
+        let q = QuadSchedule::build(&p).unwrap();
+        for s in 0..q.stage_count() {
+            for j in 0..q.num_columns() {
+                let col = q.at(s, j);
+                assert!(col.n42_with_cin <= col.n42);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_tensor_has_three_kind_planes() {
+        let p = PpProfile::new(8, PpgKind::And).unwrap();
+        let q = QuadSchedule::build(&p).unwrap();
+        let st = q.stage_count();
+        let dense = q.to_dense(st);
+        assert_eq!(dense.len(), 3 * 16 * st);
+        let (n42, n32, n22) = q.totals();
+        let plane = 16 * st;
+        assert_eq!(dense[..plane].iter().sum::<f32>() as u32, n42);
+        assert_eq!(dense[plane..2 * plane].iter().sum::<f32>() as u32, n32);
+        assert_eq!(dense[2 * plane..].iter().sum::<f32>() as u32, n22);
+    }
+}

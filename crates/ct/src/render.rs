@@ -1,0 +1,107 @@
+//! Human-readable rendering of multiplier structures — the textual
+//! analogue of the paper's Fig. 4 (matrix and stage-resolved tensor).
+
+use crate::{CompressorTree, CtError};
+use std::fmt::Write as _;
+
+/// Renders the matrix `M`, the per-column residuals, and the tensor
+/// `T` of `tree` as an aligned text diagram.
+///
+/// Digits are compressor counts; `.` is zero. Columns run LSB (left)
+/// to MSB (right).
+///
+/// # Errors
+///
+/// Propagates stage-assignment errors (unreachable for legal trees).
+///
+/// # Example
+///
+/// ```
+/// use rlmul_ct::{render_structure, CompressorTree, PpgKind};
+///
+/// let tree = CompressorTree::dadda(4, PpgKind::And)?;
+/// let art = render_structure(&tree)?;
+/// assert!(art.contains("matrix M"));
+/// assert!(art.contains("tensor T"));
+/// # Ok::<(), rlmul_ct::CtError>(())
+/// ```
+pub fn render_structure(tree: &CompressorTree) -> Result<String, CtError> {
+    let ncols = tree.matrix().num_columns();
+    let tensor = tree.assign_stages()?;
+    let mut s = String::new();
+    let digit = |v: u32| -> char {
+        match v {
+            0 => '.',
+            1..=9 => char::from(b'0' + v as u8),
+            _ => '+',
+        }
+    };
+    let row = |label: &str, vals: &mut dyn Iterator<Item = u32>| -> String {
+        let mut line = format!("{label:<10}");
+        for v in vals {
+            line.push(digit(v));
+            line.push(' ');
+        }
+        line.trim_end().to_owned()
+    };
+
+    let _ = writeln!(
+        s,
+        "{}-bit {} — {} FA, {} HA, {} stages",
+        tree.bits(),
+        tree.profile().kind(),
+        tree.matrix().total32(),
+        tree.matrix().total22(),
+        tensor.stage_count()
+    );
+    let _ = writeln!(s, "matrix M (columns LSB→MSB)");
+    let _ = writeln!(s, "{}", row("  pp", &mut tree.profile().columns().iter().copied()));
+    let _ = writeln!(s, "{}", row("  3:2", &mut (0..ncols).map(|j| tree.matrix().count32(j))));
+    let _ = writeln!(s, "{}", row("  2:2", &mut (0..ncols).map(|j| tree.matrix().count22(j))));
+    let _ = writeln!(
+        s,
+        "{}",
+        row("  res", &mut tree.matrix().residuals(tree.profile()).iter().map(|&r| r.max(0) as u32))
+    );
+    let _ = writeln!(s, "tensor T (one row per stage; `f/h` = 3:2 / 2:2 counts)");
+    for stage in 0..tensor.stage_count() {
+        let mut line = format!("  s{stage:<3}    ");
+        for j in 0..ncols {
+            let (f, h) = tensor.counts_at(j, stage);
+            if f == 0 && h == 0 {
+                line.push_str(".  ");
+            } else {
+                line.push(digit(f));
+                line.push('/');
+                line.push(digit(h));
+            }
+        }
+        let _ = writeln!(s, "{}", line.trim_end());
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PpgKind;
+
+    #[test]
+    fn render_contains_all_sections() {
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let art = render_structure(&tree).unwrap();
+        assert!(art.contains("8-bit and"));
+        assert!(art.contains("matrix M"));
+        assert!(art.contains("tensor T"));
+        // One tensor row per stage.
+        let stages = tree.stage_count().unwrap();
+        assert_eq!(art.matches("\n  s").count(), stages);
+    }
+
+    #[test]
+    fn digits_saturate_above_nine() {
+        let tree = CompressorTree::wallace(32, PpgKind::And).unwrap();
+        let art = render_structure(&tree).unwrap();
+        assert!(art.contains('+'), "32-bit columns hold >9 compressors");
+    }
+}

@@ -1,0 +1,243 @@
+use crate::action::action_mask;
+use crate::assign::StageTensor;
+use crate::init::{dadda_matrix, wallace_matrix};
+use crate::legalize::legalize;
+use crate::{Action, CompressorMatrix, CtError, PpProfile, PpgKind, ACTIONS_PER_COLUMN};
+
+/// A complete RL-MUL state: a partial-product profile plus a legal
+/// compressor matrix over it.
+///
+/// `CompressorTree` is the value the RL agent, the baselines and the
+/// RTL generator all operate on. Constructors guarantee legality;
+/// [`CompressorTree::apply_action`] preserves it by running the paper's
+/// legalization sweep after every modification.
+///
+/// ```
+/// use rlmul_ct::{CompressorTree, PpgKind};
+///
+/// let tree = CompressorTree::dadda(8, PpgKind::And)?;
+/// let actions = tree.valid_actions();
+/// assert!(!actions.is_empty());
+/// let next = tree.apply_action(actions[0])?;
+/// assert!(next.is_legal());
+/// # Ok::<(), rlmul_ct::CtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressorTree {
+    profile: PpProfile,
+    matrix: CompressorMatrix,
+}
+
+impl CompressorTree {
+    /// Builds the Wallace-tree initial structure for a `bits`-bit
+    /// design (paper baseline \[1\] and default initial state `s_0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CtError::UnsupportedWidth`] from profile
+    /// construction.
+    pub fn wallace(bits: usize, kind: PpgKind) -> Result<Self, CtError> {
+        let profile = PpProfile::new(bits, kind)?;
+        let matrix = wallace_matrix(&profile);
+        let tree = CompressorTree { profile, matrix };
+        tree.check_legal()?;
+        Ok(tree)
+    }
+
+    /// Builds the Dadda-tree structure for a `bits`-bit design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CtError::UnsupportedWidth`] from profile
+    /// construction.
+    pub fn dadda(bits: usize, kind: PpgKind) -> Result<Self, CtError> {
+        let profile = PpProfile::new(bits, kind)?;
+        let matrix = dadda_matrix(&profile);
+        let tree = CompressorTree { profile, matrix };
+        tree.check_legal()?;
+        Ok(tree)
+    }
+
+    /// Wraps an explicit matrix after validating it against `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::IllegalStructure`] when the matrix violates
+    /// the residual invariant.
+    pub fn from_matrix(profile: PpProfile, matrix: CompressorMatrix) -> Result<Self, CtError> {
+        matrix.check_legal(&profile)?;
+        Ok(CompressorTree { profile, matrix })
+    }
+
+    /// The immutable partial-product profile.
+    pub fn profile(&self) -> &PpProfile {
+        &self.profile
+    }
+
+    /// The compressor matrix `M`.
+    pub fn matrix(&self) -> &CompressorMatrix {
+        &self.matrix
+    }
+
+    /// Operand bit-width `N`.
+    pub fn bits(&self) -> usize {
+        self.profile.bits()
+    }
+
+    /// Size of the flattened action space, `8N`.
+    pub fn action_space(&self) -> usize {
+        self.matrix.num_columns() * ACTIONS_PER_COLUMN
+    }
+
+    /// Validity mask over the flattened action space (paper Eq. (6)).
+    pub fn action_mask(&self) -> Vec<bool> {
+        action_mask(&self.profile, &self.matrix)
+    }
+
+    /// All currently valid actions.
+    pub fn valid_actions(&self) -> Vec<Action> {
+        self.action_mask()
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| ok)
+            .map(|(idx, _)| {
+                Action::from_flat_index(idx, self.matrix.num_columns()).expect("mask-sized index")
+            })
+            .collect()
+    }
+
+    /// Applies `action` followed by the legalization sweep, returning
+    /// the successor state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::InvalidAction`] when the action's mask bit
+    /// is 0 in this state.
+    pub fn apply_action(&self, action: Action) -> Result<Self, CtError> {
+        if !action.is_valid(&self.profile, &self.matrix) {
+            return Err(CtError::InvalidAction { index: action.flat_index() });
+        }
+        let mut next = self.clone();
+        action.apply_raw(&mut next.matrix);
+        legalize(&next.profile, &mut next.matrix, action.column());
+        debug_assert!(next.is_legal(), "legalization left an illegal state");
+        Ok(next)
+    }
+
+    /// Checks the residual legality invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::IllegalStructure`] naming the first
+    /// offending column.
+    pub fn check_legal(&self) -> Result<(), CtError> {
+        self.matrix.check_legal(&self.profile)
+    }
+
+    /// `true` when the state satisfies the legality invariant.
+    pub fn is_legal(&self) -> bool {
+        self.matrix.is_legal(&self.profile)
+    }
+
+    /// Runs paper Algorithm 1, producing the stage-resolved tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtError::AssignmentStuck`] for infeasible matrices
+    /// (unreachable from legal states).
+    pub fn assign_stages(&self) -> Result<StageTensor, CtError> {
+        StageTensor::assign(&self.profile, &self.matrix)
+    }
+
+    /// Reduction depth of the tree (convenience for
+    /// `assign_stages()?.stage_count()`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompressorTree::assign_stages`].
+    pub fn stage_count(&self) -> Result<usize, CtError> {
+        Ok(self.assign_stages()?.stage_count())
+    }
+
+    /// Total compressor count (3:2 plus 2:2), the GOMIL-style size
+    /// proxy.
+    pub fn total_compressors(&self) -> u32 {
+        self.matrix.total32() + self.matrix.total22()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_valid_action_yields_legal_successor() {
+        for kind in [PpgKind::And, PpgKind::Mbe, PpgKind::MacAnd] {
+            let tree = CompressorTree::wallace(8, kind).unwrap();
+            for action in tree.valid_actions() {
+                let next = tree.apply_action(action).unwrap();
+                next.check_legal().unwrap_or_else(|e| panic!("{kind} {action:?}: {e}"));
+                // The successor must also be assignable.
+                next.assign_stages().unwrap_or_else(|e| panic!("{kind} {action:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_action_is_rejected() {
+        let tree = CompressorTree::wallace(4, PpgKind::And).unwrap();
+        let mask = tree.action_mask();
+        let idx = mask.iter().position(|&ok| !ok).expect("some invalid action");
+        let action = Action::from_flat_index(idx, tree.matrix().num_columns()).unwrap();
+        assert!(matches!(tree.apply_action(action), Err(CtError::InvalidAction { .. })));
+    }
+
+    #[test]
+    fn action_space_size_is_8n() {
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        assert_eq!(tree.action_space(), 64);
+        assert_eq!(tree.action_mask().len(), 64);
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        let profile = PpProfile::new(8, PpgKind::And).unwrap();
+        let bad = CompressorMatrix::zeros(16);
+        assert!(CompressorTree::from_matrix(profile, bad).is_err());
+    }
+
+    #[test]
+    fn valid_actions_match_mask_population() {
+        let tree = CompressorTree::dadda(8, PpgKind::Mbe).unwrap();
+        let mask = tree.action_mask();
+        assert_eq!(
+            tree.valid_actions().len(),
+            mask.iter().filter(|&&ok| ok).count()
+        );
+    }
+
+    #[test]
+    fn total_compressors_is_matrix_sum() {
+        let tree = CompressorTree::wallace(8, PpgKind::MacMbe).unwrap();
+        assert_eq!(
+            tree.total_compressors(),
+            tree.matrix().total32() + tree.matrix().total22()
+        );
+    }
+
+    #[test]
+    fn random_walk_preserves_legality() {
+        // A deterministic pseudo-random 200-step walk.
+        let mut tree = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for step in 0..200 {
+            let actions = tree.valid_actions();
+            assert!(!actions.is_empty(), "no valid actions at step {step}");
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (seed >> 33) as usize % actions.len();
+            tree = tree.apply_action(actions[pick]).unwrap();
+        }
+        tree.check_legal().unwrap();
+        tree.assign_stages().unwrap();
+    }
+}

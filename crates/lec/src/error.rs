@@ -1,0 +1,32 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by simulation and equivalence checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LecError {
+    /// The netlist contains flip-flops; combinational checking only.
+    SequentialNetlist,
+    /// Stimulus port count or width does not match the netlist.
+    StimulusShape {
+        /// Expected count/width.
+        expected: usize,
+        /// Provided count/width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LecError::SequentialNetlist => {
+                write!(f, "sequential netlists cannot be equivalence-checked combinationally")
+            }
+            LecError::StimulusShape { expected, got } => {
+                write!(f, "stimulus shape mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for LecError {}

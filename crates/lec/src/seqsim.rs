@@ -1,0 +1,292 @@
+//! Cycle-accurate sequential simulation (64 lanes wide).
+//!
+//! Extends the combinational simulator to netlists with flip-flops:
+//! each [`SeqSimulator::step`] evaluates the combinational fabric
+//! against the current register state and primary inputs, samples the
+//! outputs, then advances every register (`q ← d`) as one rising
+//! clock edge. Used to verify systolic PE arrays end-to-end.
+
+use crate::sim::PortValues;
+use crate::LecError;
+use rlmul_rtl::{GateKind, Netlist};
+
+/// A stateful simulator for sequential netlists.
+#[derive(Debug)]
+pub struct SeqSimulator<'a> {
+    netlist: &'a Netlist,
+    /// Current Q value of each flip-flop, by gate index order.
+    regs: Vec<u64>,
+    /// Indices of the flip-flop gates.
+    dffs: Vec<usize>,
+}
+
+impl<'a> SeqSimulator<'a> {
+    /// Wraps a netlist (sequential or purely combinational) with all
+    /// registers cleared to 0.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let dffs: Vec<usize> = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::Dff)
+            .map(|(i, _)| i)
+            .collect();
+        let regs = vec![0u64; dffs.len()];
+        SeqSimulator { netlist, regs, dffs }
+    }
+
+    /// Clears every register to 0.
+    pub fn reset(&mut self) {
+        self.regs.fill(0);
+    }
+
+    /// Number of flip-flops.
+    pub fn num_registers(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Evaluates one clock cycle: combinational settle → sample
+    /// primary outputs → rising edge (`q ← d`). Returns the outputs
+    /// *before* the edge, i.e. what a waveform shows during the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecError::StimulusShape`] when `inputs` does not
+    /// match the primary input ports.
+    pub fn step(&mut self, inputs: &[PortValues]) -> Result<Vec<PortValues>, LecError> {
+        let n = self.netlist;
+        if inputs.len() != n.inputs().len() {
+            return Err(LecError::StimulusShape {
+                expected: n.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let mut vals = vec![0u64; n.num_nets() as usize];
+        vals[1] = u64::MAX;
+        for (port, stim) in n.inputs().iter().zip(inputs) {
+            if stim.bits.len() != port.bits.len() {
+                return Err(LecError::StimulusShape {
+                    expected: port.bits.len(),
+                    got: stim.bits.len(),
+                });
+            }
+            for (&net, &word) in port.bits.iter().zip(&stim.bits) {
+                vals[net.0 as usize] = word;
+            }
+        }
+        // Drive register outputs from state.
+        for (slot, &gi) in self.dffs.iter().enumerate() {
+            let q = n.gates()[gi].outs[0];
+            vals[q.0 as usize] = self.regs[slot];
+        }
+        // Combinational settle (gates are topologically ordered; DFFs
+        // are skipped — their Q is already driven).
+        for g in n.gates() {
+            if g.kind == GateKind::Dff {
+                continue;
+            }
+            let i0 = vals[g.ins[0].0 as usize];
+            let i1 = vals[g.ins[1].0 as usize];
+            let i2 = vals[g.ins[2].0 as usize];
+            match g.kind {
+                GateKind::Inv => vals[g.outs[0].0 as usize] = !i0,
+                GateKind::Buf => vals[g.outs[0].0 as usize] = i0,
+                GateKind::And2 => vals[g.outs[0].0 as usize] = i0 & i1,
+                GateKind::Or2 => vals[g.outs[0].0 as usize] = i0 | i1,
+                GateKind::Nand2 => vals[g.outs[0].0 as usize] = !(i0 & i1),
+                GateKind::Nor2 => vals[g.outs[0].0 as usize] = !(i0 | i1),
+                GateKind::Xor2 => vals[g.outs[0].0 as usize] = i0 ^ i1,
+                GateKind::Xnor2 => vals[g.outs[0].0 as usize] = !(i0 ^ i1),
+                GateKind::Mux2 => vals[g.outs[0].0 as usize] = (i2 & i1) | (!i2 & i0),
+                GateKind::HalfAdder => {
+                    vals[g.outs[0].0 as usize] = i0 ^ i1;
+                    vals[g.outs[1].0 as usize] = i0 & i1;
+                }
+                GateKind::FullAdder => {
+                    vals[g.outs[0].0 as usize] = i0 ^ i1 ^ i2;
+                    vals[g.outs[1].0 as usize] = (i0 & i1) | (i2 & (i0 ^ i1));
+                }
+                GateKind::Compressor42 => {
+                    let i3 = vals[g.ins[3].0 as usize];
+                    let i4 = vals[g.ins[4].0 as usize];
+                    let s1 = i0 ^ i1 ^ i2;
+                    vals[g.outs[0].0 as usize] = s1 ^ i3 ^ i4;
+                    vals[g.outs[1].0 as usize] = (s1 & i3) | (i4 & (s1 ^ i3));
+                    vals[g.outs[2].0 as usize] = (i0 & i1) | (i2 & (i0 ^ i1));
+                }
+                GateKind::Dff => unreachable!("skipped above"),
+            }
+        }
+        let outputs = n
+            .outputs()
+            .iter()
+            .map(|p| PortValues { bits: p.bits.iter().map(|b| vals[b.0 as usize]).collect() })
+            .collect();
+        // Rising edge.
+        for (slot, &gi) in self.dffs.iter().enumerate() {
+            let d = n.gates()[gi].ins[0];
+            self.regs[slot] = vals[d.0 as usize];
+        }
+        Ok(outputs)
+    }
+
+    /// Runs `cycles` steps with constant inputs, returning the final
+    /// (steady-state) outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SeqSimulator::step`].
+    pub fn settle(&mut self, inputs: &[PortValues], cycles: usize) -> Result<Vec<PortValues>, LecError> {
+        let mut out = self.step(inputs)?;
+        for _ in 1..cycles {
+            out = self.step(inputs)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_ct::{CompressorTree, PpgKind};
+    use rlmul_rtl::{pe_array, NetlistBuilder, PeArrayConfig, PeStyle};
+
+    #[test]
+    fn shift_register_delays_by_depth() {
+        let mut b = NetlistBuilder::new("sr");
+        let x = b.input("x", 1);
+        let q1 = b.dff(x[0]);
+        let q2 = b.dff(q1);
+        b.output("y", &[q2]);
+        let n = b.finish();
+        let mut sim = SeqSimulator::new(&n);
+        assert_eq!(sim.num_registers(), 2);
+        let one = PortValues::pack(&[1], 1);
+        let zero = PortValues::pack(&[0], 1);
+        // Cycle 0: input 1, output still 0 (two registers deep).
+        assert_eq!(sim.step(std::slice::from_ref(&one)).unwrap()[0].lane(0), 0);
+        // Cycle 1: the 1 is in the first register.
+        assert_eq!(sim.step(std::slice::from_ref(&zero)).unwrap()[0].lane(0), 0);
+        // Cycle 2: it emerges.
+        assert_eq!(sim.step(std::slice::from_ref(&zero)).unwrap()[0].lane(0), 1);
+        assert_eq!(sim.step(std::slice::from_ref(&zero)).unwrap()[0].lane(0), 0);
+    }
+
+    #[test]
+    fn reset_clears_pipeline_state() {
+        let mut b = NetlistBuilder::new("sr");
+        let x = b.input("x", 1);
+        let q = b.dff(x[0]);
+        b.output("y", &[q]);
+        let n = b.finish();
+        let mut sim = SeqSimulator::new(&n);
+        let one = PortValues::pack(&[1], 1);
+        sim.step(std::slice::from_ref(&one)).unwrap();
+        // State now holds 1; reset must clear it.
+        sim.reset();
+        let zero = PortValues::pack(&[0], 1);
+        assert_eq!(sim.step(std::slice::from_ref(&zero)).unwrap()[0].lane(0), 0);
+    }
+
+    /// Golden systolic check: with constant activations and weights,
+    /// the steady-state partial sum leaving column c equals
+    /// Σ_r act_r · w_{r,c} (mod 2^{2N}).
+    fn check_systolic(rows: usize, cols: usize, style: PeStyle, bits: usize) {
+        let kind = match style {
+            PeStyle::MultiplierAdder => PpgKind::And,
+            PeStyle::MergedMac => PpgKind::MacAnd,
+        };
+        let tree = CompressorTree::dadda(bits, kind).unwrap();
+        let n = pe_array(&tree, PeArrayConfig { rows, cols, style }).unwrap();
+        let mut sim = SeqSimulator::new(&n);
+
+        // Constant stimulus, different in each of 8 lanes.
+        let lane = |l: u64, base: u64| (base.wrapping_mul(l + 3)) % (1 << bits);
+        let acts: Vec<Vec<u64>> = (0..rows)
+            .map(|r| (0..8).map(|l| lane(l, r as u64 + 5)).collect())
+            .collect();
+        let weights: Vec<Vec<Vec<u64>>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| (0..8).map(|l| lane(l, (7 * r + 3 * c + 1) as u64)).collect())
+                    .collect()
+            })
+            .collect();
+        let mut stim: Vec<PortValues> = Vec::new();
+        for a in &acts {
+            stim.push(PortValues::pack(a, bits));
+        }
+        for wr in &weights {
+            for wc in wr {
+                stim.push(PortValues::pack(wc, bits));
+            }
+        }
+        let out = sim.settle(&stim, 2 * (rows + cols) + 4).unwrap();
+        let mask = (1u64 << (2 * bits)) - 1;
+        for c in 0..cols {
+            for l in 0..8 {
+                let expected: u64 = (0..rows)
+                    .map(|r| acts[r][l].wrapping_mul(weights[r][c][l]))
+                    .fold(0u64, u64::wrapping_add)
+                    & mask;
+                assert_eq!(
+                    out[c].lane(l),
+                    expected,
+                    "{rows}x{cols} {style:?} column {c} lane {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_array_computes_matmul_mul_adder() {
+        check_systolic(2, 2, PeStyle::MultiplierAdder, 4);
+        check_systolic(3, 2, PeStyle::MultiplierAdder, 4);
+    }
+
+    #[test]
+    fn systolic_array_computes_matmul_merged_mac() {
+        check_systolic(2, 2, PeStyle::MergedMac, 4);
+        check_systolic(2, 3, PeStyle::MergedMac, 4);
+    }
+
+    #[test]
+    fn systolic_array_8bit_spot_check() {
+        check_systolic(2, 2, PeStyle::MergedMac, 8);
+    }
+
+    /// A pipelined multiplier emits `a·b` exactly `latency` cycles
+    /// after the operands were applied, for a moving input stream.
+    #[test]
+    fn pipelined_multiplier_has_exact_latency() {
+        use rlmul_rtl::{elaborate_pipelined, AdderKind, PipelineCuts};
+        let bits = 6;
+        let tree = CompressorTree::dadda(bits, PpgKind::And).unwrap();
+        for cuts in [
+            PipelineCuts { after_ppg: true, before_cpa: false },
+            PipelineCuts { after_ppg: false, before_cpa: true },
+            PipelineCuts { after_ppg: true, before_cpa: true },
+        ] {
+            let n = elaborate_pipelined(&tree, AdderKind::default(), cuts).unwrap();
+            let mut sim = SeqSimulator::new(&n);
+            let latency = cuts.latency();
+            let stream: Vec<(u64, u64)> =
+                (0..12).map(|t| ((t * 13 + 5) % 64, (t * 29 + 7) % 64)).collect();
+            let mut outputs = Vec::new();
+            for &(a, b) in &stream {
+                let out = sim
+                    .step(&[PortValues::pack(&[a], bits), PortValues::pack(&[b], bits)])
+                    .unwrap();
+                outputs.push(out[0].lane(0));
+            }
+            for t in latency..stream.len() {
+                let (a, b) = stream[t - latency];
+                assert_eq!(
+                    outputs[t],
+                    (a * b) % (1 << (2 * bits)),
+                    "{cuts:?} cycle {t}"
+                );
+            }
+        }
+    }
+}

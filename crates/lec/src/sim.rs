@@ -1,0 +1,198 @@
+//! Bit-parallel (64-lane) netlist simulation.
+//!
+//! Every net carries a `u64` whose bit `l` is the net's value in test
+//! lane `l`, so one pass over the gate list evaluates 64 stimulus
+//! vectors — the standard trick behind fast combinational equivalence
+//! checking by simulation.
+
+use crate::LecError;
+use rlmul_rtl::{GateKind, Netlist};
+
+/// 64 packed stimulus vectors for one multi-bit port.
+///
+/// `bits[k]` holds bit `k` of the port across all 64 lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortValues {
+    /// One word per port bit, LSB first.
+    pub bits: Vec<u64>,
+}
+
+impl PortValues {
+    /// Packs up to 64 scalar values into lanes (`values[l]` becomes
+    /// lane `l`); missing lanes replicate the last value.
+    pub fn pack(values: &[u64], width: usize) -> Self {
+        let last = values.last().copied().unwrap_or(0);
+        let mut bits = vec![0u64; width];
+        for l in 0..64 {
+            let v = values.get(l).copied().unwrap_or(last);
+            for (k, word) in bits.iter_mut().enumerate() {
+                *word |= ((v >> k) & 1) << l;
+            }
+        }
+        PortValues { bits }
+    }
+
+    /// Extracts lane `l` back into a scalar.
+    pub fn lane(&self, l: usize) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &w)| acc | (((w >> l) & 1) << k))
+    }
+}
+
+/// A compiled combinational simulator for one netlist.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> Simulator<'a> {
+    /// Wraps a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecError::SequentialNetlist`] when the netlist
+    /// contains flip-flops (equivalence checking operates on the
+    /// combinational datapath blocks).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, LecError> {
+        if netlist.is_sequential() {
+            return Err(LecError::SequentialNetlist);
+        }
+        Ok(Simulator { netlist })
+    }
+
+    /// Evaluates all primary outputs for 64 packed stimulus lanes.
+    ///
+    /// `inputs` must supply one [`PortValues`] per primary input, in
+    /// declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecError::StimulusShape`] when the stimulus does not
+    /// match the input ports.
+    pub fn run(&self, inputs: &[PortValues]) -> Result<Vec<PortValues>, LecError> {
+        let n = self.netlist;
+        if inputs.len() != n.inputs().len() {
+            return Err(LecError::StimulusShape {
+                expected: n.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let mut vals = vec![0u64; n.num_nets() as usize];
+        vals[1] = u64::MAX; // constant one
+        for (port, stim) in n.inputs().iter().zip(inputs) {
+            if stim.bits.len() != port.bits.len() {
+                return Err(LecError::StimulusShape {
+                    expected: port.bits.len(),
+                    got: stim.bits.len(),
+                });
+            }
+            for (&net, &word) in port.bits.iter().zip(&stim.bits) {
+                vals[net.0 as usize] = word;
+            }
+        }
+        for g in n.gates() {
+            let i0 = vals[g.ins[0].0 as usize];
+            let i1 = vals[g.ins[1].0 as usize];
+            let i2 = vals[g.ins[2].0 as usize];
+            match g.kind {
+                GateKind::Inv => vals[g.outs[0].0 as usize] = !i0,
+                GateKind::Buf => vals[g.outs[0].0 as usize] = i0,
+                GateKind::And2 => vals[g.outs[0].0 as usize] = i0 & i1,
+                GateKind::Or2 => vals[g.outs[0].0 as usize] = i0 | i1,
+                GateKind::Nand2 => vals[g.outs[0].0 as usize] = !(i0 & i1),
+                GateKind::Nor2 => vals[g.outs[0].0 as usize] = !(i0 | i1),
+                GateKind::Xor2 => vals[g.outs[0].0 as usize] = i0 ^ i1,
+                GateKind::Xnor2 => vals[g.outs[0].0 as usize] = !(i0 ^ i1),
+                GateKind::Mux2 => {
+                    vals[g.outs[0].0 as usize] = (i2 & i1) | (!i2 & i0);
+                }
+                GateKind::HalfAdder => {
+                    vals[g.outs[0].0 as usize] = i0 ^ i1;
+                    vals[g.outs[1].0 as usize] = i0 & i1;
+                }
+                GateKind::FullAdder => {
+                    vals[g.outs[0].0 as usize] = i0 ^ i1 ^ i2;
+                    vals[g.outs[1].0 as usize] = (i0 & i1) | (i2 & (i0 ^ i1));
+                }
+                GateKind::Compressor42 => {
+                    let i3 = vals[g.ins[3].0 as usize];
+                    let i4 = vals[g.ins[4].0 as usize];
+                    let s1 = i0 ^ i1 ^ i2;
+                    vals[g.outs[0].0 as usize] = s1 ^ i3 ^ i4;
+                    vals[g.outs[1].0 as usize] = (s1 & i3) | (i4 & (s1 ^ i3));
+                    vals[g.outs[2].0 as usize] = (i0 & i1) | (i2 & (i0 ^ i1));
+                }
+                GateKind::Dff => unreachable!("rejected in Simulator::new"),
+            }
+        }
+        Ok(n
+            .outputs()
+            .iter()
+            .map(|p| PortValues { bits: p.bits.iter().map(|b| vals[b.0 as usize]).collect() })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_rtl::NetlistBuilder;
+
+    #[test]
+    fn pack_and_lane_round_trip() {
+        let vals: Vec<u64> = (0..64).map(|i| i * 37 % 256).collect();
+        let pv = PortValues::pack(&vals, 8);
+        for (l, &v) in vals.iter().enumerate() {
+            assert_eq!(pv.lane(l), v);
+        }
+    }
+
+    #[test]
+    fn simulates_xor_tree_across_lanes() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a", 2);
+        let y = b.xor2(a[0], a[1]);
+        b.output("y", &[y]);
+        let n = b.finish();
+        let sim = Simulator::new(&n).unwrap();
+        let stim = PortValues::pack(&[0b00, 0b01, 0b10, 0b11], 2);
+        let out = sim.run(&[stim]).unwrap();
+        assert_eq!(out[0].lane(0), 0);
+        assert_eq!(out[0].lane(1), 1);
+        assert_eq!(out[0].lane(2), 1);
+        assert_eq!(out[0].lane(3), 0);
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a", 1);
+        let q = b.dff(a[0]);
+        b.output("q", &[q]);
+        let n = b.finish();
+        assert!(matches!(Simulator::new(&n), Err(LecError::SequentialNetlist)));
+    }
+
+    #[test]
+    fn pack_replicates_last_value_beyond_supplied_lanes() {
+        let pv = PortValues::pack(&[5, 9], 4);
+        assert_eq!(pv.lane(0), 5);
+        assert_eq!(pv.lane(1), 9);
+        for l in 2..64 {
+            assert_eq!(pv.lane(l), 9, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn stimulus_shape_is_checked() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a", 2);
+        b.output("y", &[a[0]]);
+        let n = b.finish();
+        let sim = Simulator::new(&n).unwrap();
+        assert!(sim.run(&[]).is_err());
+        assert!(sim.run(&[PortValues::pack(&[0], 3)]).is_err());
+    }
+}

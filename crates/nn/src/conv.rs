@@ -1,0 +1,191 @@
+//! 2-D convolution with stride and zero padding (NCHW).
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A direct (loop-based) 2-D convolution layer.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// A `k × k` convolution from `in_c` to `out_c` channels with the
+    /// given stride and padding, Kaiming-initialized.
+    pub fn new<R: Rng + ?Sized>(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        Conv2d {
+            weight: Param::new(Tensor::kaiming(&[out_c, in_c, k, k], fan_in, rng)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(c, self.in_c, "Conv2d input channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let mut y = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let wt = self.weight.value.data();
+        let bs = self.bias.value.data();
+        for ni in 0..n {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bs[oc];
+                        for ic in 0..self.in_c {
+                            for ky in 0..self.k {
+                                let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..self.k {
+                                    let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let wv = wt[((oc * self.in_c + ic) * self.k + ky) * self.k + kx];
+                                    acc += wv * x.at4(ni, ic, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        *y.at4_mut(ni, oc, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    #[allow(clippy::needless_range_loop)] // oc indexes y, db and the weight block
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("forward before backward");
+        let (n, _, h, w) = x.dims4();
+        let (_, _, oh, ow) = grad_out.dims4();
+        let mut dx = Tensor::zeros(x.shape());
+        let wt = self.weight.value.data().to_vec();
+        let dw = self.weight.grad.data_mut();
+        let db = self.bias.grad.data_mut();
+        for ni in 0..n {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at4(ni, oc, oy, ox);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[oc] += g;
+                        for ic in 0..self.in_c {
+                            for ky in 0..self.k {
+                                let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..self.k {
+                                    let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let widx =
+                                        ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                    dw[widx] += g * x.at4(ni, ic, iy as usize, ix as usize);
+                                    *dx.at4_mut(ni, ic, iy as usize, ix as usize) += g * wt[widx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        conv.weight.value.data_mut().fill(0.0);
+        conv.weight.value.data_mut()[4] = 1.0; // center tap
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_a_channel_mix() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 1, 1, 1, 0, &mut rng);
+        conv.weight.value.data_mut().copy_from_slice(&[2.0, -1.0]);
+        conv.bias.value.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::kaiming(&[2, 2, 4, 4], 4, &mut rng);
+        crate::testutil::grad_check(&mut conv, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn strided_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::kaiming(&[1, 1, 5, 5], 4, &mut rng);
+        crate::testutil::grad_check(&mut conv, &x, 1e-2, 2e-2);
+    }
+}

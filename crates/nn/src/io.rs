@@ -1,0 +1,138 @@
+//! Flat binary persistence for network parameters.
+//!
+//! Parameters are serialized in visitation order (deterministic for a
+//! fixed architecture) as little-endian `f32`, with per-tensor length
+//! headers so shape drift is detected at load time. This lets long
+//! RL-MUL trainings checkpoint the agent and lets optimized agents be
+//! reused across sessions.
+
+use crate::layer::Layer;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"RLMULNN1";
+
+/// Serializes every parameter of `net` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_params<W: Write>(net: &mut dyn Layer, mut w: W) -> io::Result<()> {
+    let mut blobs: Vec<Vec<f32>> = Vec::new();
+    net.visit_params(&mut |p| blobs.push(p.value.data().to_vec()));
+    w.write_all(MAGIC)?;
+    w.write_all(&(blobs.len() as u64).to_le_bytes())?;
+    for blob in &blobs {
+        w.write_all(&(blob.len() as u64).to_le_bytes())?;
+        for v in blob {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameters saved by [`save_params`] into an identically
+/// structured network.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic, a parameter
+/// count mismatch or a shape mismatch, and propagates I/O errors.
+pub fn load_params<R: Read>(net: &mut dyn Layer, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an rlmul-nn checkpoint"));
+    }
+    let mut count_buf = [0u8; 8];
+    r.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf) as usize;
+    let mut blobs: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut count_buf)?;
+        let len = u64::from_le_bytes(count_buf) as usize;
+        let mut blob = vec![0f32; len];
+        let mut quad = [0u8; 4];
+        for v in &mut blob {
+            r.read_exact(&mut quad)?;
+            *v = f32::from_le_bytes(quad);
+        }
+        blobs.push(blob);
+    }
+    let mut idx = 0usize;
+    let mut err: Option<io::Error> = None;
+    net.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        match blobs.get(idx) {
+            Some(blob) if blob.len() == p.value.len() => {
+                p.value.data_mut().copy_from_slice(blob);
+            }
+            Some(blob) => {
+                err = Some(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("parameter {idx}: expected {} values, found {}", p.value.len(), blob.len()),
+                ));
+            }
+            None => {
+                err = Some(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint has only {count} parameters"),
+                ));
+            }
+        }
+        idx += 1;
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if idx != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} parameters, network has {idx}"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::resnet::{build_trunk, TrunkConfig};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn save_load_round_trip_preserves_outputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 };
+        let mut a = build_trunk(&cfg, &mut rng);
+        let mut b = build_trunk(&cfg, &mut rng); // different init
+        let x = Tensor::kaiming(&[1, 2, 8, 8], 8, &mut rng);
+        let ya = a.forward(&x, false);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).expect("saves");
+        load_params(&mut b, buf.as_slice()).expect("loads");
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = Linear::new(2, 2, &mut rng);
+        let mut big = Linear::new(4, 4, &mut rng);
+        let mut buf = Vec::new();
+        save_params(&mut small, &mut buf).expect("saves");
+        assert!(load_params(&mut big, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Linear::new(2, 2, &mut rng);
+        assert!(load_params(&mut net, &b"NOTMAGIC"[..]).is_err());
+    }
+}

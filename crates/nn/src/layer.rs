@@ -1,0 +1,102 @@
+//! The layer abstraction: forward with cached activations, backward
+//! producing input gradients and accumulating parameter gradients.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter with its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A differentiable computation stage.
+///
+/// `forward` must be called before `backward`; layers cache whatever
+/// they need (inputs, masks, normalization statistics) internally.
+pub trait Layer {
+    /// Computes the layer output, caching intermediates for backward.
+    /// `train` selects training behaviour (e.g. batch statistics in
+    /// batch normalization).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients
+    /// and returning the gradient with respect to the layer input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+}
+
+/// A simple sequential container.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer + Send>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            grad = l.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}

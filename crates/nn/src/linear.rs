@@ -1,0 +1,153 @@
+//! Fully connected layer.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// `y = x·Wᵀ + b` over 2-D `[batch, features]` tensors.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// A dense layer from `in_f` to `out_f` features.
+    pub fn new<R: Rng + ?Sized>(in_f: usize, out_f: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Param::new(Tensor::kaiming(&[out_f, in_f], in_f, rng)),
+            bias: Param::new(Tensor::zeros(&[out_f])),
+            cached_input: None,
+        }
+    }
+
+    /// Scales all weights and biases (useful for near-zero output
+    /// heads at the start of RL training).
+    pub fn scale_parameters(&mut self, k: f32) {
+        self.weight.value.scale(k);
+        self.bias.value.scale(k);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, in_f) = x.dims2();
+        let (out_f, win) = self.weight.value.dims2();
+        assert_eq!(in_f, win, "Linear input width mismatch");
+        let mut y = Tensor::zeros(&[n, out_f]);
+        let wd = self.weight.value.data();
+        let bd = self.bias.value.data();
+        let xd = x.data();
+        let yd = y.data_mut();
+        for ni in 0..n {
+            for o in 0..out_f {
+                let mut acc = bd[o];
+                let wrow = &wd[o * in_f..(o + 1) * in_f];
+                let xrow = &xd[ni * in_f..(ni + 1) * in_f];
+                for (wv, xv) in wrow.iter().zip(xrow) {
+                    acc += wv * xv;
+                }
+                yd[ni * out_f + o] = acc;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("forward before backward");
+        let (n, in_f) = x.dims2();
+        let (_, out_f) = grad_out.dims2();
+        let mut dx = Tensor::zeros(x.shape());
+        let wd = self.weight.value.data().to_vec();
+        let dw = self.weight.grad.data_mut();
+        let db = self.bias.grad.data_mut();
+        let xd = x.data();
+        let gd = grad_out.data();
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for o in 0..out_f {
+                let g = gd[ni * out_f + o];
+                if g == 0.0 {
+                    continue;
+                }
+                db[o] += g;
+                for i in 0..in_f {
+                    dw[o * in_f + i] += g * xd[ni * in_f + i];
+                    dxd[ni * in_f + i] += g * wd[o * in_f + i];
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// Flattens NCHW maps to `[batch, c·h·w]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.cached_shape = x.shape().to_vec();
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.cached_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn computes_affine_map() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.weight.value.data_mut().copy_from_slice(&[2.0, -1.0]);
+        l.bias.value.data_mut()[0] = 0.5;
+        let y = l.forward(&Tensor::from_vec(&[1, 2], vec![3.0, 4.0]), false);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(6, 4, &mut rng);
+        let x = Tensor::kaiming(&[3, 6], 6, &mut rng);
+        crate::testutil::grad_check(&mut l, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(&[2, 2, 1, 2], (0..8).map(|i| i as f32).collect());
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+}

@@ -1,0 +1,123 @@
+//! Loss helpers and masked action-selection math shared by the RL
+//! agents (paper Eqs. 6–8 and 13–15).
+
+/// Numerically stable softmax over the entries of `logits` whose mask
+/// bit is set; masked entries get probability 0.
+///
+/// Returns a uniform distribution over the masked-in entries when all
+/// valid logits underflow.
+///
+/// # Panics
+///
+/// Panics when no mask bit is set (no legal action exists).
+pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    assert_eq!(logits.len(), mask.len());
+    assert!(mask.iter().any(|&m| m), "masked_softmax needs at least one legal entry");
+    let max = logits
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(&l, _)| l)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let mut exps: Vec<f32> = logits
+        .iter()
+        .zip(mask)
+        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
+        .collect();
+    let sum: f32 = exps.iter().sum();
+    if sum > 0.0 {
+        for e in &mut exps {
+            *e /= sum;
+        }
+    } else {
+        let k = mask.iter().filter(|&&m| m).count() as f32;
+        for (e, &m) in exps.iter_mut().zip(mask) {
+            *e = if m { 1.0 / k } else { 0.0 };
+        }
+    }
+    exps
+}
+
+/// Index of the best *legal* entry (paper Eq. 8: argmax over the
+/// masked Q-vector). Returns `None` when the mask is empty.
+pub fn masked_argmax(values: &[f32], mask: &[bool]) -> Option<usize> {
+    values
+        .iter()
+        .zip(mask)
+        .enumerate()
+        .filter(|(_, (_, &m))| m)
+        .max_by(|a, b| a.1 .0.partial_cmp(b.1 .0).expect("finite values"))
+        .map(|(i, _)| i)
+}
+
+/// Entropy of a probability vector (0 log 0 := 0).
+pub fn entropy(probs: &[f32]) -> f32 {
+    -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>()
+}
+
+/// Mean squared error and its gradient with respect to `pred`.
+pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len());
+    let n = pred.len() as f32;
+    let mut grad = Vec::with_capacity(pred.len());
+    let mut loss = 0.0;
+    for (&p, &t) in pred.iter().zip(target) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_masks_out_entries() {
+        let p = masked_softmax(&[1.0, 100.0, 1.0], &[true, false, true]);
+        assert_eq!(p[1], 0.0);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = masked_softmax(&[1e20f32.ln(), 0.0], &[true, true]);
+        assert!(p[0] > 0.99 && p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one legal entry")]
+    fn softmax_rejects_empty_mask() {
+        masked_softmax(&[1.0], &[false]);
+    }
+
+    #[test]
+    fn argmax_respects_mask() {
+        assert_eq!(masked_argmax(&[5.0, 9.0, 7.0], &[true, false, true]), Some(2));
+        assert_eq!(masked_argmax(&[1.0], &[false]), None);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let e = entropy(&[0.25; 4]);
+        assert!((e - 4.0f32.ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn softmax_falls_back_to_uniform_on_underflow() {
+        // All valid logits so negative they underflow to zero mass.
+        let p = masked_softmax(&[-1e10, -1e10, 0.0], &[true, true, false]);
+        assert!((p[0] - 0.5).abs() < 1e-6 && (p[1] - 0.5).abs() < 1e-6);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_points_at_target() {
+        let (l, g) = mse(&[1.0, 2.0], &[0.0, 2.0]);
+        assert!((l - 0.5).abs() < 1e-6);
+        assert_eq!(g, vec![1.0, 0.0]);
+    }
+}

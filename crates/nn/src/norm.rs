@@ -1,0 +1,198 @@
+//! Batch normalization over NCHW feature maps.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Per-channel batch normalization with learned scale/shift and
+/// running statistics for evaluation mode.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // Cached from forward (training mode).
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    count: usize,
+}
+
+impl BatchNorm2d {
+    /// Normalization over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::from_vec(&[channels], vec![1.0; channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        let count = n * h * w;
+        let mut y = Tensor::zeros(x.shape());
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        if train {
+            let mut x_hat = Tensor::zeros(x.shape());
+            let mut inv_std = vec![0.0f32; c];
+            for ch in 0..c {
+                let mut mean = 0.0f32;
+                for ni in 0..n {
+                    for hy in 0..h {
+                        for wx in 0..w {
+                            mean += x.at4(ni, ch, hy, wx);
+                        }
+                    }
+                }
+                mean /= count as f32;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    for hy in 0..h {
+                        for wx in 0..w {
+                            let d = x.at4(ni, ch, hy, wx) - mean;
+                            var += d * d;
+                        }
+                    }
+                }
+                var /= count as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ch] = istd;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                for ni in 0..n {
+                    for hy in 0..h {
+                        for wx in 0..w {
+                            let xh = (x.at4(ni, ch, hy, wx) - mean) * istd;
+                            *x_hat.at4_mut(ni, ch, hy, wx) = xh;
+                            *y.at4_mut(ni, ch, hy, wx) = gamma[ch] * xh + beta[ch];
+                        }
+                    }
+                }
+            }
+            self.cache = Some(BnCache { x_hat, inv_std, count });
+        } else {
+            for ch in 0..c {
+                let istd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                for ni in 0..n {
+                    for hy in 0..h {
+                        for wx in 0..w {
+                            let xh = (x.at4(ni, ch, hy, wx) - self.running_mean[ch]) * istd;
+                            *y.at4_mut(ni, ch, hy, wx) = gamma[ch] * xh + beta[ch];
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("forward(train) before backward");
+        let (n, c, h, w) = grad_out.dims4();
+        let m = cache.count as f32;
+        let mut dx = Tensor::zeros(grad_out.shape());
+        let gamma = self.gamma.value.data();
+        let dgamma = self.gamma.grad.data_mut();
+        let dbeta = self.beta.grad.data_mut();
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                for hy in 0..h {
+                    for wx in 0..w {
+                        let dy = grad_out.at4(ni, ch, hy, wx);
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.x_hat.at4(ni, ch, hy, wx);
+                    }
+                }
+            }
+            dgamma[ch] += sum_dy_xhat;
+            dbeta[ch] += sum_dy;
+            let k = gamma[ch] * cache.inv_std[ch];
+            for ni in 0..n {
+                for hy in 0..h {
+                    for wx in 0..w {
+                        let dy = grad_out.at4(ni, ch, hy, wx);
+                        let xh = cache.x_hat.at4(ni, ch, hy, wx);
+                        *dx.at4_mut(ni, ch, hy, wx) =
+                            k * (dy - sum_dy / m - xh * sum_dy_xhat / m);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::kaiming(&[4, 2, 3, 3], 4, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per channel: mean ≈ 0, var ≈ 1.
+        let (n, _, h, w) = y.dims4();
+        for ch in 0..2 {
+            let vals: Vec<f32> = (0..n)
+                .flat_map(|ni| {
+                    (0..h).flat_map(move |hy| (0..w).map(move |wx| (ni, hy, wx)))
+                })
+                .map(|(ni, hy, wx)| y.at4(ni, ch, hy, wx))
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x = Tensor::kaiming(&[8, 1, 2, 2], 4, &mut rng);
+            bn.forward(&x, true);
+        }
+        let x = Tensor::from_vec(&[1, 1, 1, 1], vec![0.0]);
+        let y = bn.forward(&x, false);
+        // With zero-centred training data, eval(0) ≈ beta = 0.
+        assert!(y.data()[0].abs() < 0.5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm2d::new(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::kaiming(&[4, 3, 2, 2], 4, &mut rng);
+        crate::testutil::grad_check(&mut bn, &x, 1e-2, 3e-2);
+    }
+}

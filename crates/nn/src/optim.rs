@@ -1,0 +1,208 @@
+//! First-order optimizers driving [`Layer::visit_params`].
+//!
+//! Optimizer state is kept per parameter in visitation order, which
+//! is deterministic for a fixed network structure.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Optimizer interface: one `step` consumes the gradients accumulated
+/// since the last [`Optimizer::zero_grad`].
+pub trait Optimizer {
+    /// Applies one update using the accumulated gradients.
+    fn step(&mut self, net: &mut dyn Layer);
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&mut self, net: &mut dyn Layer) {
+        net.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut dyn Layer) {
+        net.visit_params(&mut |p| {
+            for (v, g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                *v -= self.lr * g;
+            }
+        });
+    }
+}
+
+/// RMSProp (Hinton's lecture-note optimizer), used by the native
+/// RL-MUL DQN.
+#[derive(Debug)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub lr: f32,
+    /// Squared-gradient decay.
+    pub alpha: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    state: Vec<Tensor>,
+}
+
+impl RmsProp {
+    /// RMSProp with decay 0.99.
+    pub fn new(lr: f32) -> Self {
+        RmsProp { lr, alpha: 0.99, eps: 1e-8, state: Vec::new() }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let mut idx = 0usize;
+        let state = &mut self.state;
+        let (lr, alpha, eps) = (self.lr, self.alpha, self.eps);
+        net.visit_params(&mut |p| {
+            if state.len() <= idx {
+                state.push(Tensor::zeros(p.value.shape()));
+            }
+            let sq = state[idx].data_mut();
+            for ((v, g), s) in p.value.data_mut().iter_mut().zip(p.grad.data()).zip(sq) {
+                *s = alpha * *s + (1.0 - alpha) * g * g;
+                *v -= lr * g / (s.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the usual (0.9, 0.999) moments.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let mut idx = 0usize;
+        let (m_state, v_state) = (&mut self.m, &mut self.v);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        net.visit_params(&mut |p| {
+            if m_state.len() <= idx {
+                m_state.push(Tensor::zeros(p.value.shape()));
+                v_state.push(Tensor::zeros(p.value.shape()));
+            }
+            let md = m_state[idx].data_mut();
+            let vd = v_state[idx].data_mut();
+            for (((val, g), m), v) in
+                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(md).zip(vd)
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *val -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Clips the global gradient L2 norm to `max_norm`.
+pub fn clip_grad_norm(net: &mut dyn Layer, max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    net.visit_params(&mut |p| {
+        for g in p.grad.data() {
+            sq += g * g;
+        }
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let k = max_norm / norm;
+        net.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g *= k;
+            }
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains y = 2x − 1 with each optimizer; all must converge.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Linear::new(1, 1, &mut rng);
+        for step in 0..800 {
+            let xv = (step % 7) as f32 / 3.0 - 1.0;
+            let target = 2.0 * xv - 1.0;
+            opt.zero_grad(&mut net);
+            let x = Tensor::from_vec(&[1, 1], vec![xv]);
+            let y = crate::layer::Layer::forward(&mut net, &x, true);
+            let err = y.data()[0] - target;
+            let grad = Tensor::from_vec(&[1, 1], vec![2.0 * err]);
+            crate::layer::Layer::backward(&mut net, &grad);
+            opt.step(&mut net);
+        }
+        // Final squared error on a held-out point.
+        let x = Tensor::from_vec(&[1, 1], vec![0.35]);
+        let y = crate::layer::Layer::forward(&mut net, &x, false);
+        (y.data()[0] - (2.0 * 0.35 - 1.0)).powi(2)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        assert!(converges(&mut Sgd { lr: 0.05 }) < 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        assert!(converges(&mut RmsProp::new(0.01)) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges() {
+        assert!(converges(&mut Adam::new(0.02)) < 1e-3);
+    }
+
+    #[test]
+    fn clipping_caps_the_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Linear::new(4, 4, &mut rng);
+        net.visit_params(&mut |p| p.grad.data_mut().fill(10.0));
+        let before = clip_grad_norm(&mut net, 1.0);
+        assert!(before > 1.0);
+        let mut sq = 0.0f32;
+        net.visit_params(&mut |p| {
+            for g in p.grad.data() {
+                sq += g * g;
+            }
+        });
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Spatial pooling.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Global average pooling: NCHW → `[batch, channels]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// A pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        self.cached_shape = x.shape().to_vec();
+        let mut y = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ch in 0..c {
+                let mut acc = 0.0f32;
+                for hy in 0..h {
+                    for wx in 0..w {
+                        acc += x.at4(ni, ch, hy, wx);
+                    }
+                }
+                y.data_mut()[ni * c + ch] = acc / (h * w) as f32;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = (
+            self.cached_shape[0],
+            self.cached_shape[1],
+            self.cached_shape[2],
+            self.cached_shape[3],
+        );
+        let mut dx = Tensor::zeros(&self.cached_shape);
+        let scale = 1.0 / (h * w) as f32;
+        for ni in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[ni * c + ch] * scale;
+                for hy in 0..h {
+                    for wx in 0..w {
+                        *dx.at4_mut(ni, ch, hy, wx) = g;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_each_channel() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        p.forward(&x, false);
+        let g = p.backward(&Tensor::from_vec(&[1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

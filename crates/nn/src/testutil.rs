@@ -1,0 +1,106 @@
+//! Numerical gradient checking shared by the layer test suites.
+
+#![cfg(test)]
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Deterministic pseudo-random projection weights so the scalar loss
+/// `L = Σ w_i · y_i` exercises every output asymmetrically.
+fn projection(len: usize) -> Vec<f32> {
+    let mut s = 0x243f6a8885a308d3u64;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn loss(layer: &mut dyn Layer, x: &Tensor) -> f32 {
+    let y = layer.forward(x, true);
+    let w = projection(y.len());
+    y.data().iter().zip(&w).map(|(a, b)| a * b).sum()
+}
+
+/// Checks analytic input and parameter gradients against central
+/// finite differences. `eps` is the perturbation, `tol` the allowed
+/// absolute-plus-relative deviation.
+///
+/// Coordinates whose two one-sided differences disagree strongly are
+/// skipped: there a perturbation crosses a ReLU kink and no finite
+/// difference is meaningful. At least half the sampled coordinates
+/// must be checkable.
+///
+/// # Panics
+///
+/// Panics (failing the test) when any sampled coordinate disagrees.
+pub fn grad_check(layer: &mut (dyn Layer + '_), x: &Tensor, eps: f32, tol: f32) {
+    // Analytic pass.
+    layer.visit_params(&mut |p: &mut Param| p.zero_grad());
+    let y = layer.forward(x, true);
+    let w = projection(y.len());
+    let grad_out = Tensor::from_vec(y.shape(), w);
+    let dx = layer.backward(&grad_out);
+    let l0 = loss(layer, x);
+
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut agree = |analytic: f32, lp: f32, lm: f32, what: &str| {
+        let fwd = (lp - l0) / eps;
+        let bwd = (l0 - lm) / eps;
+        let numeric = (lp - lm) / (2.0 * eps);
+        // Kink detection: the two one-sided slopes disagree.
+        if (fwd - bwd).abs() > 0.2 * 1.0f32.max(fwd.abs()).max(bwd.abs()) {
+            skipped += 1;
+            return;
+        }
+        checked += 1;
+        let denom = 1.0f32.max(analytic.abs()).max(numeric.abs());
+        assert!(
+            (analytic - numeric).abs() / denom < tol,
+            "{what}: analytic {analytic} vs numeric {numeric}"
+        );
+    };
+
+    // Sampled input coordinates.
+    let stride = (x.len() / 16).max(1);
+    for i in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let lp = loss(layer, &xp);
+        xp.data_mut()[i] -= 2.0 * eps;
+        let lm = loss(layer, &xp);
+        agree(dx.data()[i], lp, lm, &format!("dx[{i}]"));
+    }
+
+    // Sampled parameter coordinates. Collect analytic grads first.
+    let mut analytic_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p: &mut Param| analytic_grads.push(p.grad.data().to_vec()));
+    let num_params = analytic_grads.len();
+    for pi in 0..num_params {
+        let plen = analytic_grads[pi].len();
+        let stride = (plen / 8).max(1);
+        for k in (0..plen).step_by(stride) {
+            let perturb = |layer: &mut dyn Layer, delta: f32| {
+                let mut idx = 0;
+                layer.visit_params(&mut |p: &mut Param| {
+                    if idx == pi {
+                        p.value.data_mut()[k] += delta;
+                    }
+                    idx += 1;
+                });
+            };
+            perturb(layer, eps);
+            let lp = loss(layer, x);
+            perturb(layer, -2.0 * eps);
+            let lm = loss(layer, x);
+            perturb(layer, eps); // restore
+            agree(analytic_grads[pi][k], lp, lm, &format!("param {pi}[{k}]"));
+        }
+    }
+    assert!(
+        checked >= skipped,
+        "too many kink-skipped coordinates ({skipped} skipped, {checked} checked)"
+    );
+}

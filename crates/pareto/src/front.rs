@@ -1,0 +1,104 @@
+/// A point in 2-D objective space; both coordinates are minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// First objective (e.g. area in µm²).
+    pub x: f64,
+    /// Second objective (e.g. delay in ns).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+}
+
+/// Whether `a` Pareto-dominates `b` (no worse in both objectives,
+/// strictly better in at least one).
+pub fn dominates(a: Point2, b: Point2) -> bool {
+    a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y)
+}
+
+/// Indices of the non-dominated points in `points`, sorted by
+/// ascending `x` (ties keep the first occurrence; exact duplicates
+/// are de-duplicated).
+pub fn pareto_front_indices(points: &[Point2]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        points[i]
+            .x
+            .partial_cmp(&points[j].x)
+            .expect("objectives must be finite")
+            .then(points[i].y.partial_cmp(&points[j].y).expect("objectives must be finite"))
+    });
+    let mut front = Vec::new();
+    let mut best_y = f64::INFINITY;
+    let mut last: Option<Point2> = None;
+    for idx in order {
+        let p = points[idx];
+        if let Some(prev) = last {
+            if prev.x == p.x && prev.y == p.y {
+                continue;
+            }
+        }
+        if p.y < best_y {
+            front.push(idx);
+            best_y = p.y;
+            last = Some(p);
+        }
+    }
+    front
+}
+
+/// The non-dominated subset of `points`, sorted by ascending `x`.
+pub fn pareto_front(points: &[Point2]) -> Vec<Point2> {
+    pareto_front_indices(points).into_iter().map(|i| points[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = Point2::new(1.0, 2.0);
+        assert!(dominates(a, Point2::new(1.0, 3.0)));
+        assert!(dominates(a, Point2::new(2.0, 2.0)));
+        assert!(!dominates(a, a));
+        assert!(!dominates(a, Point2::new(0.5, 3.0))); // trade-off
+    }
+
+    #[test]
+    fn front_drops_dominated_and_duplicate_points() {
+        let pts = vec![
+            Point2::new(3.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.5, 2.5),
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![Point2::new(1.0, 3.0), Point2::new(2.0, 2.0), Point2::new(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_point_front() {
+        let pts = vec![Point2::new(1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), pts);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn indices_refer_to_originals() {
+        let pts = vec![Point2::new(2.0, 2.0), Point2::new(1.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts), vec![1]);
+    }
+
+    #[test]
+    fn vertical_ties_keep_lowest_y() {
+        let pts = vec![Point2::new(1.0, 5.0), Point2::new(1.0, 2.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![Point2::new(1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,65 @@
+use crate::front::{pareto_front, Point2};
+
+/// 2-D hypervolume indicator: the area dominated by `points` and
+/// bounded by `reference` (paper Fig. 13 — larger is better).
+///
+/// Points that do not dominate the reference contribute nothing.
+/// Dominated and duplicate points are filtered internally, so any
+/// point cloud can be passed directly.
+pub fn hypervolume_2d(points: &[Point2], reference: Point2) -> f64 {
+    let front: Vec<Point2> = pareto_front(points)
+        .into_iter()
+        .filter(|p| p.x < reference.x && p.y < reference.y)
+        .collect();
+    // Front is sorted by ascending x, hence descending y.
+    let mut hv = 0.0;
+    let mut prev_y = reference.y;
+    for p in front {
+        hv += (reference.x - p.x) * (prev_y - p.y);
+        prev_y = p.y;
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_rectangle() {
+        let hv = hypervolume_2d(&[Point2::new(1.0, 1.0)], Point2::new(3.0, 4.0));
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_sums_disjoint_rectangles() {
+        let pts = vec![Point2::new(1.0, 3.0), Point2::new(2.0, 2.0), Point2::new(3.0, 1.0)];
+        let hv = hypervolume_2d(&pts, Point2::new(4.0, 4.0));
+        // (4−1)(4−3) + (4−2)(3−2) + (4−3)(2−1) = 3 + 2 + 1.
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_hv() {
+        let base = vec![Point2::new(1.0, 3.0), Point2::new(3.0, 1.0)];
+        let with_dominated =
+            vec![Point2::new(1.0, 3.0), Point2::new(3.0, 1.0), Point2::new(3.5, 3.5)];
+        let r = Point2::new(4.0, 4.0);
+        assert_eq!(hypervolume_2d(&base, r), hypervolume_2d(&with_dominated, r));
+    }
+
+    #[test]
+    fn points_beyond_reference_contribute_nothing() {
+        let hv = hypervolume_2d(&[Point2::new(5.0, 5.0)], Point2::new(4.0, 4.0));
+        assert_eq!(hv, 0.0);
+        assert_eq!(hypervolume_2d(&[], Point2::new(4.0, 4.0)), 0.0);
+    }
+
+    #[test]
+    fn better_fronts_have_larger_hv() {
+        let r = Point2::new(10.0, 10.0);
+        let worse = vec![Point2::new(5.0, 5.0)];
+        let better = vec![Point2::new(4.0, 4.0)];
+        assert!(hypervolume_2d(&better, r) > hypervolume_2d(&worse, r));
+    }
+}

@@ -1,0 +1,34 @@
+//! Pareto-front utilities: dominance, front extraction, the
+//! hypervolume indicator (paper Fig. 13/14) and optimization-
+//! trajectory statistics (paper Fig. 12).
+//!
+//! All objectives are *minimized* (area, delay, power), matching the
+//! paper's convention; hypervolume is measured against a reference
+//! point that every front member must dominate.
+//!
+//! # Example
+//!
+//! ```
+//! use rlmul_pareto::{pareto_front, hypervolume_2d, Point2};
+//!
+//! let pts = vec![
+//!     Point2::new(4.0, 1.0),
+//!     Point2::new(2.0, 2.0),
+//!     Point2::new(3.0, 3.0), // dominated by (2, 2)
+//!     Point2::new(1.0, 4.0),
+//! ];
+//! let front = pareto_front(&pts);
+//! assert_eq!(front.len(), 3);
+//! let hv = hypervolume_2d(&front, Point2::new(5.0, 5.0));
+//! assert!(hv > 0.0);
+//! ```
+
+mod front;
+mod hypervolume;
+mod three;
+mod trajectory;
+
+pub use front::{dominates, pareto_front, pareto_front_indices, Point2};
+pub use hypervolume::hypervolume_2d;
+pub use three::{dominates_3d, hypervolume_3d, pareto_front_3d, Point3};
+pub use trajectory::{aggregate_trajectories, TrajectoryStats};

@@ -1,0 +1,71 @@
+/// Mean ± standard-deviation aggregation of repeated optimization
+/// trajectories (paper Fig. 12 plots mean PPA with a std-dev band).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStats {
+    /// Per-step mean of the tracked metric.
+    pub mean: Vec<f64>,
+    /// Per-step (population) standard deviation.
+    pub std: Vec<f64>,
+    /// Number of trajectories aggregated.
+    pub runs: usize,
+}
+
+/// Aggregates equal-meaning trajectories step-by-step. Shorter runs
+/// are extended by holding their last value (an optimizer that
+/// stopped keeps its best), so the output has the length of the
+/// longest run.
+///
+/// Returns an all-empty result for empty input.
+pub fn aggregate_trajectories(runs: &[Vec<f64>]) -> TrajectoryStats {
+    let len = runs.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mean = Vec::with_capacity(len);
+    let mut std = Vec::with_capacity(len);
+    let at = |run: &Vec<f64>, t: usize| -> Option<f64> {
+        if run.is_empty() {
+            None
+        } else {
+            Some(run.get(t).copied().unwrap_or(*run.last().expect("nonempty")))
+        }
+    };
+    for t in 0..len {
+        let vals: Vec<f64> = runs.iter().filter_map(|r| at(r, t)).collect();
+        let n = vals.len() as f64;
+        let m = vals.iter().sum::<f64>() / n;
+        let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        mean.push(m);
+        std.push(v.sqrt());
+    }
+    TrajectoryStats { mean, std, runs: runs.iter().filter(|r| !r.is_empty()).count() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_two_runs() {
+        let s = aggregate_trajectories(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        assert_eq!(s.mean, vec![2.0, 4.0]);
+        assert_eq!(s.std, vec![1.0, 1.0]);
+        assert_eq!(s.runs, 2);
+    }
+
+    #[test]
+    fn shorter_runs_hold_their_last_value() {
+        let s = aggregate_trajectories(&[vec![2.0], vec![4.0, 6.0]]);
+        assert_eq!(s.mean, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let s = aggregate_trajectories(&[]);
+        assert!(s.mean.is_empty() && s.std.is_empty());
+        assert_eq!(s.runs, 0);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let s = aggregate_trajectories(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(s.std, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Carry-propagate adders for the final stage of the multiplier.
+//!
+//! The default is a Brent–Kung parallel-prefix adder — the
+//! area-efficient prefix network synthesis tools favour under relaxed
+//! constraints; Kogge–Stone (fast/large) and ripple-carry variants
+//! are provided for ablation studies on the CPA's contribution to the
+//! critical path and area.
+
+use crate::netlist::{NetId, NetlistBuilder};
+
+/// Adder architecture selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdderKind {
+    /// Brent–Kung parallel-prefix adder: `O(n)` prefix nodes at
+    /// `2·log₂ n` depth — the area-efficient prefix network synthesis
+    /// tools favour under relaxed constraints, and the default here.
+    #[default]
+    BrentKung,
+    /// Kogge–Stone parallel-prefix adder: `O(n log n)` nodes at
+    /// `log₂ n` depth (fastest, largest).
+    KoggeStone,
+    /// Ripple-carry adder, `O(n)` depth.
+    RippleCarry,
+}
+
+/// Adds two equal-width buses modulo `2^n` (the carry-out is
+/// discarded), using the selected architecture.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn add(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId], kind: AdderKind) -> Vec<NetId> {
+    assert_eq!(x.len(), y.len(), "adder operand widths must match");
+    match kind {
+        AdderKind::BrentKung => brent_kung(b, x, y),
+        AdderKind::KoggeStone => kogge_stone(b, x, y),
+        AdderKind::RippleCarry => ripple_carry(b, x, y),
+    }
+}
+
+/// Generate/propagate preamble shared by the prefix adders.
+fn prefix_pg(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> (Vec<NetId>, Vec<NetId>) {
+    let p: Vec<NetId> = x.iter().zip(y).map(|(&a, &c)| b.xor2(a, c)).collect();
+    let g: Vec<NetId> = x.iter().zip(y).map(|(&a, &c)| b.and2(a, c)).collect();
+    (p, g)
+}
+
+/// Sum postamble shared by the prefix adders: `s_j = p_j ⊕ C_{j−1}`
+/// where `gg[j]` is the group generate of bits `0..=j`.
+fn prefix_sum(b: &mut NetlistBuilder, p: &[NetId], gg: &[NetId]) -> Vec<NetId> {
+    let mut sum = Vec::with_capacity(p.len());
+    sum.push(p[0]);
+    for j in 1..p.len() {
+        sum.push(b.xor2(p[j], gg[j - 1]));
+    }
+    sum
+}
+
+/// Brent–Kung prefix addition: a balanced up-sweep (distance-doubling
+/// pair combines) followed by a down-sweep filling in the remaining
+/// prefixes, using ≈ `2n` prefix nodes.
+fn brent_kung(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (p, g) = prefix_pg(b, x, y);
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let combine = |b: &mut NetlistBuilder,
+                   gg: &mut Vec<NetId>,
+                   pp: &mut Vec<NetId>,
+                   j: usize,
+                   k: usize| {
+        // (g_j, p_j) ∘ (g_k, p_k) with k the lower group.
+        let t = b.and2(pp[j], gg[k]);
+        gg[j] = b.or2(gg[j], t);
+        pp[j] = b.and2(pp[j], pp[k]);
+    };
+    // Up-sweep.
+    let mut d = 0;
+    while (1usize << (d + 1)) <= n {
+        let step = 1usize << (d + 1);
+        let half = 1usize << d;
+        let mut j = step - 1;
+        while j < n {
+            combine(b, &mut gg, &mut pp, j, j - half);
+            j += step;
+        }
+        d += 1;
+    }
+    // Down-sweep.
+    while d > 0 {
+        d -= 1;
+        let step = 1usize << (d + 1);
+        let half = 1usize << d;
+        let mut j = step + half - 1;
+        while j < n {
+            combine(b, &mut gg, &mut pp, j, j - half);
+            j += step;
+        }
+    }
+    prefix_sum(b, &p, &gg)
+}
+
+/// Kogge–Stone prefix addition: generate/propagate pairs are combined
+/// with the associative operator
+/// `(g₁, p₁) ∘ (g₀, p₀) = (g₁ ∨ (p₁ ∧ g₀), p₁ ∧ p₀)`
+/// over `⌈log₂ n⌉` levels.
+fn kogge_stone(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (p, g) = prefix_pg(b, x, y);
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let mut dist = 1;
+    while dist < n {
+        let (mut ng, mut np) = (gg.clone(), pp.clone());
+        for j in dist..n {
+            let t = b.and2(pp[j], gg[j - dist]);
+            ng[j] = b.or2(gg[j], t);
+            np[j] = b.and2(pp[j], pp[j - dist]);
+        }
+        gg = ng;
+        pp = np;
+        dist *= 2;
+    }
+    prefix_sum(b, &p, &gg)
+}
+
+/// Ripple-carry addition from a chain of half/full adders.
+fn ripple_carry(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
+    let mut sum = Vec::with_capacity(x.len());
+    let mut carry = None;
+    for (&a, &c) in x.iter().zip(y) {
+        let (s, co) = match carry {
+            None => b.half_adder(a, c),
+            Some(ci) => b.full_adder(a, c, ci),
+        };
+        sum.push(s);
+        carry = Some(co);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CONST0;
+
+    /// Evaluates a purely combinational single-output-port netlist on
+    /// integer stimulus (slow reference evaluator for adder tests).
+    fn eval(n: &crate::Netlist, vals: &[(usize, u64)]) -> u64 {
+        let mut net = vec![false; n.num_nets() as usize];
+        net[1] = true;
+        for (pi, &(_, v)) in n.inputs().iter().zip(vals) {
+            for (k, &bit) in pi.bits.iter().enumerate() {
+                net[bit.0 as usize] = (v >> k) & 1 == 1;
+            }
+        }
+        for g in n.gates() {
+            let i: Vec<bool> = g.inputs().iter().map(|&x| net[x.0 as usize]).collect();
+            use crate::GateKind::*;
+            match g.kind {
+                Inv => net[g.outs[0].0 as usize] = !i[0],
+                Buf | Dff => net[g.outs[0].0 as usize] = i[0],
+                And2 => net[g.outs[0].0 as usize] = i[0] & i[1],
+                Or2 => net[g.outs[0].0 as usize] = i[0] | i[1],
+                Nand2 => net[g.outs[0].0 as usize] = !(i[0] & i[1]),
+                Nor2 => net[g.outs[0].0 as usize] = !(i[0] | i[1]),
+                Xor2 => net[g.outs[0].0 as usize] = i[0] ^ i[1],
+                Xnor2 => net[g.outs[0].0 as usize] = !(i[0] ^ i[1]),
+                Mux2 => net[g.outs[0].0 as usize] = if i[2] { i[1] } else { i[0] },
+                HalfAdder => {
+                    net[g.outs[0].0 as usize] = i[0] ^ i[1];
+                    net[g.outs[1].0 as usize] = i[0] & i[1];
+                }
+                FullAdder => {
+                    net[g.outs[0].0 as usize] = i[0] ^ i[1] ^ i[2];
+                    net[g.outs[1].0 as usize] = (i[0] & i[1]) | (i[2] & (i[0] ^ i[1]));
+                }
+                Compressor42 => {
+                    let s1 = i[0] ^ i[1] ^ i[2];
+                    net[g.outs[0].0 as usize] = s1 ^ i[3] ^ i[4];
+                    net[g.outs[1].0 as usize] = (s1 & i[3]) | (i[4] & (s1 ^ i[3]));
+                    net[g.outs[2].0 as usize] = (i[0] & i[1]) | (i[2] & (i[0] ^ i[1]));
+                }
+            }
+        }
+        let out = &n.outputs()[0];
+        out.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &bit)| acc | ((net[bit.0 as usize] as u64) << k))
+    }
+
+    fn build(kind: AdderKind, width: usize) -> crate::Netlist {
+        let mut b = NetlistBuilder::new("add");
+        let x = b.input("x", width);
+        let y = b.input("y", width);
+        let s = add(&mut b, &x, &y, kind);
+        b.output("s", &s);
+        b.finish()
+    }
+
+    #[test]
+    fn kogge_stone_is_exhaustively_correct_at_6_bits() {
+        let n = build(AdderKind::KoggeStone, 6);
+        for x in 0u64..64 {
+            for y in 0u64..64 {
+                assert_eq!(eval(&n, &[(0, x), (1, y)]), (x + y) % 64, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn brent_kung_is_exhaustively_correct_at_many_widths() {
+        // Cover power-of-two and ragged widths (the multiplier uses 2N).
+        for w in [1usize, 2, 3, 5, 6, 7, 8] {
+            let n = build(AdderKind::BrentKung, w);
+            let m = 1u64 << w;
+            for x in 0..m {
+                for y in 0..m {
+                    assert_eq!(eval(&n, &[(0, x), (1, y)]), (x + y) % m, "w={w} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brent_kung_uses_fewer_gates_than_kogge_stone() {
+        let bk = build(AdderKind::BrentKung, 32);
+        let ks = build(AdderKind::KoggeStone, 32);
+        assert!(bk.gates().len() < ks.gates().len());
+    }
+
+    #[test]
+    fn ripple_carry_is_exhaustively_correct_at_6_bits() {
+        let n = build(AdderKind::RippleCarry, 6);
+        for x in 0u64..64 {
+            for y in 0u64..64 {
+                assert_eq!(eval(&n, &[(0, x), (1, y)]), (x + y) % 64, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_adder_depth_is_logarithmic() {
+        // Depth proxy: gate count levels along x[0] → s[31] must be far
+        // below the ripple chain's ~32 full adders.
+        let ks = build(AdderKind::KoggeStone, 32);
+        let rc = build(AdderKind::RippleCarry, 32);
+        assert!(ks.gates().len() > rc.gates().len()); // prefix trades area…
+        // …for depth, which STA verifies in the synth crate's tests.
+    }
+
+    #[test]
+    fn adding_zero_bus_folds_away() {
+        let mut b = NetlistBuilder::new("add0");
+        let x = b.input("x", 8);
+        let zeros = vec![CONST0; 8];
+        let s = add(&mut b, &x, &zeros, AdderKind::KoggeStone);
+        assert_eq!(s, x);
+        b.output("s", &s);
+        // Folding leaves only dead group-propagate gates; the sweep
+        // removes them.
+        assert_eq!(b.finish().sweep().gates().len(), 0);
+    }
+}

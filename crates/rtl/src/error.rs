@@ -1,0 +1,55 @@
+use rlmul_ct::CtError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during RTL elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// The compressor-tree state itself is invalid.
+    Ct(CtError),
+    /// Elaboration left a column with a residual row count that does
+    /// not match the matrix arithmetic (an internal invariant
+    /// violation).
+    ResidualMismatch {
+        /// Offending column.
+        column: usize,
+        /// Residual predicted by the matrix.
+        expected: i64,
+        /// Rows actually left after elaboration.
+        got: usize,
+    },
+    /// A parameter is out of range (e.g. a zero-sized PE array).
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Ct(e) => write!(f, "compressor tree error: {e}"),
+            RtlError::ResidualMismatch { column, expected, got } => write!(
+                f,
+                "column {column} elaborated to {got} rows, matrix predicts {expected}"
+            ),
+            RtlError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for RtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtlError::Ct(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtError> for RtlError {
+    fn from(e: CtError) -> Self {
+        RtlError::Ct(e)
+    }
+}

@@ -1,0 +1,195 @@
+//! Systolic processing-element (PE) array composition.
+//!
+//! The paper validates its optimized multipliers and MACs by
+//! instantiating them inside PE arrays following a systolic-array
+//! architecture (Section V-A). This module builds a weight-stationary
+//! systolic array: activations flow left→right through per-PE
+//! registers, partial sums flow top→bottom, weights are held at the
+//! PE's inputs. Each PE either
+//!
+//! * multiplies then adds (`PeStyle::MultiplierAdder`, Table II), or
+//! * uses a single merged MAC (`PeStyle::MergedMac`, Table III).
+//!
+//! The registered boundaries make the array's critical path equal to
+//! one PE's combinational datapath — exactly the quantity the paper's
+//! Tables II/III report.
+
+use crate::adder::{add, AdderKind};
+use crate::ct_elab::elaborate_ct;
+use crate::netlist::{Netlist, NetlistBuilder};
+use crate::ppg::{and_ppg, mbe_ppg, merge_mac_addend};
+use crate::RtlError;
+use rlmul_ct::{CompressorTree, PpgKind};
+
+/// How each processing element computes `psum + a·w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeStyle {
+    /// A standalone multiplier followed by a carry-propagate adder.
+    MultiplierAdder,
+    /// A merged MAC: the incoming partial sum is injected into the
+    /// multiplier's compressor tree.
+    MergedMac,
+}
+
+/// Shape of a systolic PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeArrayConfig {
+    /// Number of PE rows.
+    pub rows: usize,
+    /// Number of PE columns.
+    pub cols: usize,
+    /// Datapath style of each PE.
+    pub style: PeStyle,
+}
+
+impl Default for PeArrayConfig {
+    /// An 8 × 8 array of multiplier+adder PEs (the paper does not
+    /// state its array size; 8 × 8 keeps full-array synthesis within
+    /// interactive budgets while preserving the per-PE critical path).
+    fn default() -> Self {
+        PeArrayConfig { rows: 8, cols: 8, style: PeStyle::MultiplierAdder }
+    }
+}
+
+/// Builds a systolic PE array whose every PE embeds the datapath
+/// described by `tree`.
+///
+/// For [`PeStyle::MergedMac`] the tree must be a MAC profile
+/// ([`PpgKind::is_mac`]); for [`PeStyle::MultiplierAdder`] it must be
+/// a plain multiplier profile.
+///
+/// # Errors
+///
+/// Returns [`RtlError::InvalidParameter`] on a zero-sized array or a
+/// tree/style mismatch, and propagates elaboration errors.
+pub fn pe_array(tree: &CompressorTree, config: PeArrayConfig) -> Result<Netlist, RtlError> {
+    if config.rows == 0 || config.cols == 0 {
+        return Err(RtlError::InvalidParameter { what: "PE array must be at least 1×1" });
+    }
+    let is_mac = tree.profile().kind().is_mac();
+    match (config.style, is_mac) {
+        (PeStyle::MergedMac, false) => {
+            return Err(RtlError::InvalidParameter { what: "MergedMac style needs a MAC tree" })
+        }
+        (PeStyle::MultiplierAdder, true) => {
+            return Err(RtlError::InvalidParameter {
+                what: "MultiplierAdder style needs a multiplier tree",
+            })
+        }
+        _ => {}
+    }
+    let n = tree.bits();
+    let mut b = NetlistBuilder::new(format!(
+        "pe_array_{}x{}_{}b",
+        config.rows,
+        config.cols,
+        n
+    ));
+
+    // Activations enter on the left edge, one bus per PE row.
+    let acts: Vec<Vec<_>> = (0..config.rows).map(|r| b.input(format!("act{r}"), n)).collect();
+    // Stationary weights, one bus per PE.
+    let weights: Vec<Vec<Vec<_>>> = (0..config.rows)
+        .map(|r| (0..config.cols).map(|c| b.input(format!("w{r}_{c}"), n)).collect())
+        .collect();
+
+    // psum[c] is the partial-sum bus flowing down PE column c.
+    let mut psums: Vec<Vec<_>> = vec![vec![crate::netlist::CONST0; 2 * n]; config.cols];
+    for r in 0..config.rows {
+        let mut act = acts[r].clone();
+        for c in 0..config.cols {
+            // Register the activation as it enters the PE.
+            let a_reg = b.dff_bus(&act);
+            let w = &weights[r][c];
+            let result = match config.style {
+                PeStyle::MultiplierAdder => {
+                    let product = elaborate_datapath(&mut b, tree, &a_reg, w, None)?;
+                    add(&mut b, &product, &psums[c], AdderKind::KoggeStone)
+                }
+                PeStyle::MergedMac => {
+                    elaborate_datapath(&mut b, tree, &a_reg, w, Some(&psums[c]))?
+                }
+            };
+            psums[c] = b.dff_bus(&result);
+            act = a_reg;
+        }
+    }
+    for (c, psum) in psums.iter().enumerate() {
+        b.output(format!("psum{c}"), psum);
+    }
+    Ok(b.finish().sweep())
+}
+
+/// Emits one PE datapath: partial products (optionally merged with a
+/// `2N`-bit addend), compressor tree, final adder.
+fn elaborate_datapath(
+    b: &mut NetlistBuilder,
+    tree: &CompressorTree,
+    a: &[crate::netlist::NetId],
+    w: &[crate::netlist::NetId],
+    addend: Option<&[crate::netlist::NetId]>,
+) -> Result<Vec<crate::netlist::NetId>, RtlError> {
+    let mut cols = match tree.profile().kind().base() {
+        PpgKind::Mbe => mbe_ppg(b, a, w),
+        _ => and_ppg(b, a, w),
+    };
+    if let Some(add_bits) = addend {
+        debug_assert!(tree.profile().kind().is_mac());
+        merge_mac_addend(&mut cols, add_bits);
+    }
+    let rows = elaborate_ct(b, tree, cols)?;
+    Ok(add(b, &rows.row0, &rows.row1, AdderKind::KoggeStone))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_pe_array_builds_and_validates() {
+        let tree = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        let cfg = PeArrayConfig { rows: 2, cols: 3, style: PeStyle::MultiplierAdder };
+        let n = pe_array(&tree, cfg).unwrap();
+        n.validate().unwrap();
+        assert!(n.is_sequential());
+        assert_eq!(n.outputs().len(), 3);
+        assert_eq!(n.outputs()[0].bits.len(), 16);
+    }
+
+    #[test]
+    fn mac_pe_array_builds_and_validates() {
+        let tree = CompressorTree::dadda(8, PpgKind::MacAnd).unwrap();
+        let cfg = PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MergedMac };
+        let n = pe_array(&tree, cfg).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn style_and_tree_must_agree() {
+        let mul = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        let mac = CompressorTree::dadda(8, PpgKind::MacAnd).unwrap();
+        assert!(pe_array(&mul, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MergedMac })
+            .is_err());
+        assert!(pe_array(
+            &mac,
+            PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MultiplierAdder }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        let tree = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        assert!(pe_array(&tree, PeArrayConfig { rows: 0, cols: 1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn area_scales_with_pe_count() {
+        let tree = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        let small = pe_array(&tree, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MultiplierAdder })
+            .unwrap();
+        let big = pe_array(&tree, PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder })
+            .unwrap();
+        assert!(big.gates().len() > 3 * small.gates().len());
+    }
+}

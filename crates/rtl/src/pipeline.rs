@@ -1,0 +1,113 @@
+//! Pipelined multiplier/MAC generation.
+//!
+//! Inserts register boundaries at the two natural cut points of the
+//! paper's architecture — after partial-product generation and
+//! between the compressor tree and the final adder — turning the
+//! combinational datapath into a 1–3-cycle pipeline. This covers the
+//! pipelined merged-MAC design space the paper cites ([Zhang et al.,
+//! ASP-DAC 2021]) with the same compressor-tree optimization machinery.
+
+use crate::adder::{add, AdderKind};
+use crate::ct_elab::elaborate_ct;
+use crate::netlist::{Netlist, NetlistBuilder};
+use crate::ppg::{and_ppg, mbe_ppg, merge_mac_addend};
+use crate::RtlError;
+use rlmul_ct::{CompressorTree, PpgKind};
+
+/// Which pipeline boundaries to register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineCuts {
+    /// Register every partial product before the compressor tree.
+    pub after_ppg: bool,
+    /// Register the two compressor-tree output rows before the CPA.
+    pub before_cpa: bool,
+}
+
+impl PipelineCuts {
+    /// Pipeline latency in cycles added by the enabled cuts.
+    pub fn latency(self) -> usize {
+        usize::from(self.after_ppg) + usize::from(self.before_cpa)
+    }
+}
+
+/// Elaborates `tree` with pipeline registers at the selected cuts.
+/// With no cuts enabled this is identical to
+/// [`crate::MultiplierNetlist::elaborate_with_adder`].
+///
+/// # Errors
+///
+/// Propagates elaboration errors.
+pub fn elaborate_pipelined(
+    tree: &CompressorTree,
+    cpa: AdderKind,
+    cuts: PipelineCuts,
+) -> Result<Netlist, RtlError> {
+    let bits = tree.bits();
+    let kind = tree.profile().kind();
+    let name = format!(
+        "{}{}x{}_p{}",
+        if kind.is_mac() { "mac" } else { "mul" },
+        bits,
+        bits,
+        cuts.latency()
+    );
+    let mut b = NetlistBuilder::new(name);
+    let a = b.input("a", bits);
+    let m = b.input("b", bits);
+    let mut cols = match kind.base() {
+        PpgKind::Mbe => mbe_ppg(&mut b, &a, &m),
+        _ => and_ppg(&mut b, &a, &m),
+    };
+    if kind.is_mac() {
+        let c = b.input("c", 2 * bits);
+        merge_mac_addend(&mut cols, &c);
+    }
+    if cuts.after_ppg {
+        for col in cols.iter_mut() {
+            *col = b.dff_bus(col);
+        }
+    }
+    let rows = elaborate_ct(&mut b, tree, cols)?;
+    let (row0, row1) = if cuts.before_cpa {
+        (b.dff_bus(&rows.row0), b.dff_bus(&rows.row1))
+    } else {
+        (rows.row0, rows.row1)
+    };
+    let p = add(&mut b, &row0, &row1, cpa);
+    b.output("p", &p);
+    Ok(b.finish().sweep())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_counts_enabled_cuts() {
+        assert_eq!(PipelineCuts::default().latency(), 0);
+        assert_eq!(PipelineCuts { after_ppg: true, before_cpa: true }.latency(), 2);
+    }
+
+    #[test]
+    fn pipelined_netlists_validate_and_are_sequential() {
+        let tree = CompressorTree::dadda(6, PpgKind::And).unwrap();
+        for cuts in [
+            PipelineCuts { after_ppg: true, before_cpa: false },
+            PipelineCuts { after_ppg: false, before_cpa: true },
+            PipelineCuts { after_ppg: true, before_cpa: true },
+        ] {
+            let n = elaborate_pipelined(&tree, AdderKind::default(), cuts).unwrap();
+            n.validate().unwrap_or_else(|e| panic!("{cuts:?}: {e}"));
+            assert!(n.is_sequential(), "{cuts:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cuts_matches_combinational_elaboration() {
+        let tree = CompressorTree::dadda(6, PpgKind::And).unwrap();
+        let n = elaborate_pipelined(&tree, AdderKind::default(), PipelineCuts::default()).unwrap();
+        assert!(!n.is_sequential());
+        let comb = crate::MultiplierNetlist::elaborate(&tree).unwrap();
+        assert_eq!(n.gates().len(), comb.netlist().gates().len());
+    }
+}

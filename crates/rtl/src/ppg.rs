@@ -1,0 +1,157 @@
+//! Partial-product generation: AND arrays and radix-4 Modified Booth
+//! Encoding with sign-extension prevention, plus merged-MAC addend
+//! injection.
+//!
+//! The bit placement here mirrors `rlmul_ct::PpProfile` exactly; a
+//! test in this crate asserts the per-column counts agree, and the LEC
+//! crate proves functional correctness against golden models.
+
+use crate::netlist::{NetId, NetlistBuilder, CONST0, CONST1};
+use rlmul_ct::{mbe_constant, mbe_digit_count};
+
+/// Partial-product bits grouped by column (LSB column first).
+pub type PpColumns = Vec<Vec<NetId>>;
+
+/// Builds the `N²` AND-array partial products of `a × b` into
+/// `2N` columns.
+pub fn and_ppg(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId]) -> PpColumns {
+    let n = a.len();
+    debug_assert_eq!(bb.len(), n);
+    let mut cols: PpColumns = vec![Vec::new(); 2 * n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in bb.iter().enumerate() {
+            let p = b.and2(ai, bj);
+            cols[i + j].push(p);
+        }
+    }
+    cols
+}
+
+/// Booth digit selector signals for digit `i` of multiplier `m`
+/// (`neg`, `one`, `two`), where the digit value is
+/// `m_{2i−1} + m_{2i} − 2·m_{2i+1}` with out-of-range bits zero.
+fn booth_digit(b: &mut NetlistBuilder, m: &[NetId], i: usize) -> (NetId, NetId, NetId) {
+    let bit = |k: isize| -> NetId {
+        if k < 0 || k as usize >= m.len() {
+            CONST0
+        } else {
+            m[k as usize]
+        }
+    };
+    let hi = bit(2 * i as isize + 1);
+    let mid = bit(2 * i as isize);
+    let lo = bit(2 * i as isize - 1);
+    let neg = hi;
+    let one = b.xor2(mid, lo);
+    // two ⟺ digit is ±2 ⟺ (hi, mid, lo) ∈ {100, 011}.
+    let mid_eq_lo = b.xnor2(mid, lo);
+    let hi_ne_mid = b.xor2(hi, mid);
+    let two = b.and2(mid_eq_lo, hi_ne_mid);
+    (neg, one, two)
+}
+
+/// Builds the radix-4 MBE partial products of unsigned `a × m`
+/// (`N` even) into `2N` columns, using the sign-extension-prevention
+/// constant from [`rlmul_ct::mbe_constant`].
+///
+/// Row `i` places:
+/// * encoded magnitude bits `e_k = ((a_k·one) | (a_{k−1}·two)) ⊕ neg`
+///   at columns `2i + k`, `k = 0..=N`;
+/// * the two's-complement correction bit `neg_i` at column `2i`
+///   (rows `i < N/2` only — the top digit is never negative);
+/// * `¬neg_i` at column `2i + N + 1` (same rows, when in range);
+/// * plus constant-one bits of the folded constant.
+pub fn mbe_ppg(b: &mut NetlistBuilder, a: &[NetId], m: &[NetId]) -> PpColumns {
+    let n = a.len();
+    debug_assert_eq!(m.len(), n);
+    debug_assert_eq!(n % 2, 0, "MBE requires an even operand width");
+    let ncols = 2 * n;
+    let mut cols: PpColumns = vec![Vec::new(); ncols];
+    let digits = mbe_digit_count(n);
+    for i in 0..digits {
+        let (neg, one, two) = booth_digit(b, m, i);
+        for k in 0..=n {
+            let col = 2 * i + k;
+            if col >= ncols {
+                continue;
+            }
+            let ak = if k < n { a[k] } else { CONST0 };
+            let akm1 = if k >= 1 { a[k - 1] } else { CONST0 };
+            let t1 = b.and2(ak, one);
+            let t2 = b.and2(akm1, two);
+            let mag = b.or2(t1, t2);
+            let e = b.xor2(mag, neg);
+            cols[col].push(e);
+        }
+        if i < n / 2 {
+            cols[2 * i].push(neg);
+            let p = 2 * i + n + 1;
+            if p < ncols {
+                let nneg = b.inv(neg);
+                cols[p].push(nneg);
+            }
+        }
+    }
+    let k = mbe_constant(n);
+    for (j, col) in cols.iter_mut().enumerate() {
+        if (k >> j) & 1 == 1 {
+            col.push(CONST1);
+        }
+    }
+    cols
+}
+
+/// Injects a `2N`-bit MAC addend as one extra partial product per
+/// column (merged-MAC construction, paper Section III-C).
+pub fn merge_mac_addend(cols: &mut PpColumns, addend: &[NetId]) {
+    debug_assert_eq!(cols.len(), addend.len());
+    for (col, &bit) in cols.iter_mut().zip(addend) {
+        col.push(bit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_ct::{PpProfile, PpgKind};
+
+    #[test]
+    fn and_ppg_matches_profile_counts() {
+        for n in [2, 4, 8, 16] {
+            let mut b = NetlistBuilder::new("ppg");
+            let a = b.input("a", n);
+            let m = b.input("b", n);
+            let cols = and_ppg(&mut b, &a, &m);
+            let profile = PpProfile::new(n, PpgKind::And).unwrap();
+            let counts: Vec<u32> = cols.iter().map(|c| c.len() as u32).collect();
+            assert_eq!(counts.as_slice(), profile.columns(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mbe_ppg_matches_profile_counts() {
+        for n in [4, 8, 16] {
+            let mut b = NetlistBuilder::new("ppg");
+            let a = b.input("a", n);
+            let m = b.input("b", n);
+            let cols = mbe_ppg(&mut b, &a, &m);
+            let profile = PpProfile::new(n, PpgKind::Mbe).unwrap();
+            let counts: Vec<u32> = cols.iter().map(|c| c.len() as u32).collect();
+            assert_eq!(counts.as_slice(), profile.columns(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mac_merge_matches_profile_counts() {
+        let n = 8;
+        let mut b = NetlistBuilder::new("ppg");
+        let a = b.input("a", n);
+        let m = b.input("b", n);
+        let c = b.input("c", 2 * n);
+        let mut cols = and_ppg(&mut b, &a, &m);
+        merge_mac_addend(&mut cols, &c);
+        let profile = PpProfile::new(n, PpgKind::MacAnd).unwrap();
+        let counts: Vec<u32> = cols.iter().map(|c| c.len() as u32).collect();
+        assert_eq!(counts.as_slice(), profile.columns());
+    }
+}

@@ -1,0 +1,171 @@
+//! Elaboration of 4:2-compressor reduction schedules
+//! (see [`rlmul_ct::QuadSchedule`]).
+//!
+//! Same-stage cout chains run LSB→MSB: each 4:2's `cout` is queued
+//! for the next column and consumed as `cin` by its first
+//! `n42_with_cin` compressors — no combinational loop arises because
+//! `cout` never depends on `cin`.
+
+use crate::adder::{add, AdderKind};
+use crate::netlist::{NetId, Netlist, NetlistBuilder, CONST0};
+use crate::ppg::{and_ppg, mbe_ppg, merge_mac_addend, PpColumns};
+use crate::RtlError;
+use rlmul_ct::{PpProfile, PpgKind, QuadSchedule};
+use std::collections::VecDeque;
+
+/// Reduces `cols` according to `schedule`, returning the final two
+/// rows per column.
+///
+/// # Errors
+///
+/// Returns [`RtlError::ResidualMismatch`] if a column fails to end at
+/// one or two rows (unreachable for schedules built by
+/// [`QuadSchedule::build`]).
+pub fn elaborate_quad_ct(
+    b: &mut NetlistBuilder,
+    schedule: &QuadSchedule,
+    cols: PpColumns,
+) -> Result<(Vec<NetId>, Vec<NetId>), RtlError> {
+    let ncols = schedule.num_columns();
+    debug_assert_eq!(cols.len(), ncols);
+    let mut rows: Vec<VecDeque<NetId>> = cols.into_iter().map(Into::into).collect();
+    for stage in 0..schedule.stage_count() {
+        let mut next: Vec<VecDeque<NetId>> = vec![VecDeque::new(); ncols];
+        let mut couts: Vec<VecDeque<NetId>> = vec![VecDeque::new(); ncols + 1];
+        for j in 0..ncols {
+            let plan = schedule.at(stage, j);
+            let avail = &mut rows[j];
+            for q in 0..plan.n42 {
+                let xs = [
+                    avail.pop_front().expect("schedule guarantees 4 rows"),
+                    avail.pop_front().expect("schedule guarantees 4 rows"),
+                    avail.pop_front().expect("schedule guarantees 4 rows"),
+                    avail.pop_front().expect("schedule guarantees 4 rows"),
+                ];
+                let cin = if q < plan.n42_with_cin {
+                    couts[j].pop_front().expect("schedule counts cins")
+                } else {
+                    CONST0
+                };
+                let (sum, carry, cout) = b.compressor42(xs, cin);
+                next[j].push_back(sum);
+                if j + 1 < ncols {
+                    next[j + 1].push_back(carry);
+                    couts[j + 1].push_back(cout);
+                }
+            }
+            // Unconsumed same-stage couts become plain rows of this
+            // column, eligible for the cleanup compressors.
+            let leftover_couts = std::mem::take(&mut couts[j]);
+            avail.extend(leftover_couts);
+            for _ in 0..plan.n32 {
+                let (x, y, z) = (
+                    avail.pop_front().expect("schedule guarantees 3 rows"),
+                    avail.pop_front().expect("schedule guarantees 3 rows"),
+                    avail.pop_front().expect("schedule guarantees 3 rows"),
+                );
+                let (sum, carry) = b.full_adder(x, y, z);
+                next[j].push_back(sum);
+                if j + 1 < ncols {
+                    next[j + 1].push_back(carry);
+                }
+            }
+            for _ in 0..plan.n22 {
+                let (x, y) = (
+                    avail.pop_front().expect("schedule guarantees 2 rows"),
+                    avail.pop_front().expect("schedule guarantees 2 rows"),
+                );
+                let (sum, carry) = b.half_adder(x, y);
+                next[j].push_back(sum);
+                if j + 1 < ncols {
+                    next[j + 1].push_back(carry);
+                }
+            }
+            // Pass-through rows.
+            let rest = std::mem::take(avail);
+            next[j].extend(rest);
+        }
+        rows = next;
+    }
+    let mut row0 = Vec::with_capacity(ncols);
+    let mut row1 = Vec::with_capacity(ncols);
+    for (j, col) in rows.into_iter().enumerate() {
+        if col.len() > 2 {
+            return Err(RtlError::ResidualMismatch { column: j, expected: 2, got: col.len() });
+        }
+        let mut it = col.into_iter();
+        row0.push(it.next().unwrap_or(CONST0));
+        row1.push(it.next().unwrap_or(CONST0));
+    }
+    Ok((row0, row1))
+}
+
+/// Builds a complete multiplier / merged MAC whose compressor tree
+/// uses 4:2 compressors (plus 3:2/2:2 cleanup).
+///
+/// # Errors
+///
+/// Propagates profile, schedule and elaboration errors.
+pub fn quad_multiplier(bits: usize, kind: PpgKind, cpa: AdderKind) -> Result<Netlist, RtlError> {
+    let profile = PpProfile::new(bits, kind)?;
+    let schedule = QuadSchedule::build(&profile)?;
+    let name =
+        format!("{}{}x{}_q42", if kind.is_mac() { "mac" } else { "mul" }, bits, bits);
+    let mut b = NetlistBuilder::new(name);
+    let a = b.input("a", bits);
+    let m = b.input("b", bits);
+    let mut cols = match kind.base() {
+        PpgKind::Mbe => mbe_ppg(&mut b, &a, &m),
+        _ => and_ppg(&mut b, &a, &m),
+    };
+    if kind.is_mac() {
+        let c = b.input("c", 2 * bits);
+        merge_mac_addend(&mut cols, &c);
+    }
+    let (row0, row1) = elaborate_quad_ct(&mut b, &schedule, cols)?;
+    let p = add(&mut b, &row0, &row1, cpa);
+    b.output("p", &p);
+    Ok(b.finish().sweep())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_multiplier_elaborates_and_validates() {
+        for bits in [4usize, 8, 16] {
+            let n = quad_multiplier(bits, PpgKind::And, AdderKind::default()).unwrap();
+            n.validate().unwrap_or_else(|e| panic!("{bits}: {e}"));
+            if bits >= 8 {
+                assert!(n.stats().count("COMP42") > 0, "{bits}-bit should place 4:2s");
+            }
+        }
+    }
+
+    #[test]
+    fn elaborated_gate_counts_match_schedule_totals() {
+        // COMP42 instances (minus those folded by constant inputs)
+        // never exceed the schedule's 4:2 total, and the residuals
+        // form exactly two CPA rows.
+        let profile = PpProfile::new(16, PpgKind::And).unwrap();
+        let schedule = QuadSchedule::build(&profile).unwrap();
+        let (n42, _, _) = schedule.totals();
+        let n = quad_multiplier(16, PpgKind::And, AdderKind::default()).unwrap();
+        let placed = n.stats().count("COMP42") as u32;
+        assert!(placed <= n42);
+        assert!(placed >= n42 / 2, "folding removed too many: {placed} of {n42}");
+    }
+
+    #[test]
+    fn quad_mac_elaborates() {
+        let n = quad_multiplier(8, PpgKind::MacAnd, AdderKind::default()).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn quad_mbe_elaborates() {
+        let n = quad_multiplier(8, PpgKind::Mbe, AdderKind::default()).unwrap();
+        n.validate().unwrap();
+    }
+}

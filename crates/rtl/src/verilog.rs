@@ -1,0 +1,172 @@
+//! Structural Verilog-2001 emission.
+//!
+//! The emitter produces a single flattened module using continuous
+//! assignments for combinational gates and one clocked `always` block
+//! for the registers, the same style EasyMAC emits for its generated
+//! multipliers. The output is meant for consumption by external
+//! synthesis flows (Yosys/OpenROAD in the paper's setup).
+
+use crate::netlist::{GateKind, Netlist, NetId, CONST0, CONST1};
+use std::fmt::Write as _;
+
+/// Renders `netlist` as a structural Verilog module.
+///
+/// Net `n` is named `n<id>`; ports keep their declared names and are
+/// wired to their internal nets with assigns. Sequential designs gain
+/// a `clk` input.
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let seq = netlist.is_sequential();
+    let mut ports: Vec<String> = Vec::new();
+    if seq {
+        ports.push("clk".to_owned());
+    }
+    ports.extend(netlist.inputs().iter().map(|p| p.name.clone()));
+    ports.extend(netlist.outputs().iter().map(|p| p.name.clone()));
+    let _ = writeln!(s, "module {} ({});", netlist.name(), ports.join(", "));
+    if seq {
+        let _ = writeln!(s, "  input clk;");
+    }
+    for p in netlist.inputs() {
+        let _ = writeln!(s, "  input [{}:0] {};", p.bits.len() - 1, p.name);
+    }
+    for p in netlist.outputs() {
+        let _ = writeln!(s, "  output [{}:0] {};", p.bits.len() - 1, p.name);
+    }
+    // Wire declarations for every gate output.
+    for g in netlist.gates() {
+        for &o in g.outputs() {
+            if g.kind == GateKind::Dff {
+                let _ = writeln!(s, "  reg n{};", o.0);
+            } else {
+                let _ = writeln!(s, "  wire n{};", o.0);
+            }
+        }
+    }
+    // Input bits drive their nets.
+    for p in netlist.inputs() {
+        for (k, &bit) in p.bits.iter().enumerate() {
+            let _ = writeln!(s, "  wire n{0}; assign n{0} = {1}[{2}];", bit.0, p.name, k);
+        }
+    }
+
+    let name = |n: NetId| -> String {
+        match n {
+            CONST0 => "1'b0".to_owned(),
+            CONST1 => "1'b1".to_owned(),
+            other => format!("n{}", other.0),
+        }
+    };
+
+    let mut dffs: Vec<(NetId, NetId)> = Vec::new();
+    for g in netlist.gates() {
+        let i: Vec<String> = g.inputs().iter().map(|&n| name(n)).collect();
+        let o: Vec<String> = g.outputs().iter().map(|&n| name(n)).collect();
+        match g.kind {
+            GateKind::Inv => {
+                let _ = writeln!(s, "  assign {} = ~{};", o[0], i[0]);
+            }
+            GateKind::Buf => {
+                let _ = writeln!(s, "  assign {} = {};", o[0], i[0]);
+            }
+            GateKind::And2 => {
+                let _ = writeln!(s, "  assign {} = {} & {};", o[0], i[0], i[1]);
+            }
+            GateKind::Or2 => {
+                let _ = writeln!(s, "  assign {} = {} | {};", o[0], i[0], i[1]);
+            }
+            GateKind::Nand2 => {
+                let _ = writeln!(s, "  assign {} = ~({} & {});", o[0], i[0], i[1]);
+            }
+            GateKind::Nor2 => {
+                let _ = writeln!(s, "  assign {} = ~({} | {});", o[0], i[0], i[1]);
+            }
+            GateKind::Xor2 => {
+                let _ = writeln!(s, "  assign {} = {} ^ {};", o[0], i[0], i[1]);
+            }
+            GateKind::Xnor2 => {
+                let _ = writeln!(s, "  assign {} = ~({} ^ {});", o[0], i[0], i[1]);
+            }
+            GateKind::Mux2 => {
+                let _ = writeln!(s, "  assign {} = {} ? {} : {};", o[0], i[2], i[1], i[0]);
+            }
+            GateKind::HalfAdder => {
+                let _ = writeln!(s, "  assign {} = {} ^ {};", o[0], i[0], i[1]);
+                let _ = writeln!(s, "  assign {} = {} & {};", o[1], i[0], i[1]);
+            }
+            GateKind::FullAdder => {
+                let _ = writeln!(s, "  assign {} = {} ^ {} ^ {};", o[0], i[0], i[1], i[2]);
+                let _ = writeln!(
+                    s,
+                    "  assign {} = ({} & {}) | ({} & ({} ^ {}));",
+                    o[1], i[0], i[1], i[2], i[0], i[1]
+                );
+            }
+            GateKind::Compressor42 => {
+                // Two chained full adders: s1 is the inner node.
+                let _ = writeln!(
+                    s,
+                    "  assign {} = {} ^ {} ^ {} ^ {} ^ {};",
+                    o[0], i[0], i[1], i[2], i[3], i[4]
+                );
+                let s1 = format!("({} ^ {} ^ {})", i[0], i[1], i[2]);
+                let _ = writeln!(
+                    s,
+                    "  assign {} = ({s1} & {}) | ({} & ({s1} ^ {}));",
+                    o[1], i[3], i[4], i[3]
+                );
+                let _ = writeln!(
+                    s,
+                    "  assign {} = ({} & {}) | ({} & ({} ^ {}));",
+                    o[2], i[0], i[1], i[2], i[0], i[1]
+                );
+            }
+            GateKind::Dff => dffs.push((g.ins[0], g.outs[0])),
+        }
+    }
+    if !dffs.is_empty() {
+        let _ = writeln!(s, "  always @(posedge clk) begin");
+        for (d, q) in dffs {
+            let _ = writeln!(s, "    n{} <= {};", q.0, name(d));
+        }
+        let _ = writeln!(s, "  end");
+    }
+    for p in netlist.outputs() {
+        for (k, &bit) in p.bits.iter().enumerate() {
+            let _ = writeln!(s, "  assign {}[{}] = {};", p.name, k, name(bit));
+        }
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn emits_a_well_formed_module() {
+        let mut b = NetlistBuilder::new("toy");
+        let x = b.input("x", 2);
+        let y = b.and2(x[0], x[1]);
+        let q = b.dff(y);
+        b.output("y", &[y, q]);
+        let v = to_verilog(&b.finish());
+        assert!(v.starts_with("module toy (clk, x, y);"));
+        assert!(v.contains("input [1:0] x;"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn multiplier_verilog_mentions_all_ports() {
+        use rlmul_ct::{CompressorTree, PpgKind};
+        let tree = CompressorTree::dadda(4, PpgKind::MacAnd).unwrap();
+        let m = crate::MultiplierNetlist::elaborate(&tree).unwrap();
+        let v = to_verilog(m.netlist());
+        for port in ["a", "b", "c", "p"] {
+            assert!(v.contains(&format!(" {port}")), "missing port {port}");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Structural Verilog import.
+//!
+//! Parses the subset of Verilog-2001 that [`crate::to_verilog`]
+//! emits — and that hand-written structural netlists in the same
+//! style use: scalar wires, continuous assignments over `~ & | ^ ?:`
+//! expressions, multi-bit ports, and a single `always @(posedge clk)`
+//! block of non-blocking register assignments. Expressions are
+//! decomposed into primitive gates, so a round trip is functionally
+//! (not structurally) identical; the LEC crate closes that loop.
+//!
+//! Constraints (checked, reported as errors):
+//! * assignments must appear in dependency order, except register
+//!   outputs (`reg` wires), which may be referenced anywhere;
+//! * one driver per wire; every referenced wire must be driven.
+
+use crate::netlist::{DffHandle, NetId, Netlist, NetlistBuilder, CONST0, CONST1};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Verilog reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line of the problem (0 when global).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseVerilogError {}
+
+type PResult<T> = Result<T, ParseVerilogError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
+    Err(ParseVerilogError { line, message: message.into() })
+}
+
+/// Parses `source` into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on syntax outside the supported
+/// subset, undriven or multiply-driven wires, or out-of-order
+/// definitions.
+pub fn from_verilog(source: &str) -> Result<Netlist, ParseVerilogError> {
+    Reader::new(source)?.run()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Const(bool),
+    Wire(String),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>), // cond ? then : else
+}
+
+struct Reader<'a> {
+    lines: Vec<(usize, &'a str)>,
+    builder: NetlistBuilder,
+    nets: HashMap<String, NetId>,
+    regs: HashMap<String, DffHandle>,
+    outputs: Vec<(String, usize)>,
+    output_bits: HashMap<String, Vec<Option<NetId>>>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(source: &'a str) -> PResult<Self> {
+        let lines: Vec<(usize, &str)> = source
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+            .collect();
+        let Some(&(ln, first)) = lines.first() else {
+            return err(0, "empty source");
+        };
+        let Some(rest) = first.strip_prefix("module ") else {
+            return err(ln, "expected `module`");
+        };
+        let name = rest.split(['(', ' ']).next().unwrap_or("").to_owned();
+        if name.is_empty() {
+            return err(ln, "missing module name");
+        }
+        Ok(Reader {
+            lines,
+            builder: NetlistBuilder::new(name),
+            nets: HashMap::new(),
+            regs: HashMap::new(),
+            outputs: Vec::new(),
+            output_bits: HashMap::new(),
+        })
+    }
+
+    fn run(mut self) -> PResult<Netlist> {
+        let mut in_always = false;
+        let lines = std::mem::take(&mut self.lines);
+        for &(ln, line) in &lines {
+            if line.starts_with("module ") || line == "endmodule" {
+                continue;
+            }
+            if line.starts_with("always") {
+                in_always = true;
+                continue;
+            }
+            if in_always {
+                if line.starts_with("end") {
+                    in_always = false;
+                    continue;
+                }
+                self.parse_nonblocking(ln, line)?;
+                continue;
+            }
+            if let Some(decl) = line.strip_prefix("input ") {
+                self.parse_input(ln, decl)?;
+            } else if let Some(decl) = line.strip_prefix("output ") {
+                self.parse_output_decl(ln, decl)?;
+            } else if let Some(decl) = line.strip_prefix("reg ") {
+                let name = decl.trim_end_matches(';').trim().to_owned();
+                let (q, handle) = self.builder.dff_uninit();
+                self.nets.insert(name.clone(), q);
+                self.regs.insert(name, handle);
+            } else if line.starts_with("wire ") {
+                // Declarations carry no structure; some lines combine
+                // `wire nX; assign nX = …` — handle the tail if present.
+                if let Some(pos) = line.find("assign") {
+                    self.parse_assign(ln, &line[pos..])?;
+                }
+            } else if line.starts_with("assign ") {
+                self.parse_assign(ln, line)?;
+            } else {
+                return err(ln, format!("unsupported statement: `{line}`"));
+            }
+        }
+        // Register outputs in declaration order.
+        let outputs = std::mem::take(&mut self.outputs);
+        for (name, width) in outputs {
+            let bits = self.output_bits.remove(&name).unwrap_or_default();
+            let mut nets = Vec::with_capacity(width);
+            for (k, slot) in bits.into_iter().enumerate().take(width) {
+                match slot {
+                    Some(n) => nets.push(n),
+                    None => return err(0, format!("output {name}[{k}] never assigned")),
+                }
+            }
+            self.builder.output(name, &nets);
+        }
+        let netlist = self.builder.finish();
+        netlist.validate().map_err(|m| ParseVerilogError { line: 0, message: m })?;
+        Ok(netlist)
+    }
+
+    fn parse_width(ln: usize, decl: &str) -> PResult<(usize, String)> {
+        // `[hi:0] name;` or `name;`
+        let decl = decl.trim_end_matches(';').trim();
+        if let Some(rest) = decl.strip_prefix('[') {
+            let Some((range, name)) = rest.split_once(']') else {
+                return err(ln, "malformed range");
+            };
+            let Some((hi, lo)) = range.split_once(':') else {
+                return err(ln, "malformed range");
+            };
+            if lo.trim() != "0" {
+                return err(ln, "only [N:0] ranges supported");
+            }
+            let hi: usize = hi.trim().parse().map_err(|_| ParseVerilogError {
+                line: ln,
+                message: "bad range bound".into(),
+            })?;
+            Ok((hi + 1, name.trim().to_owned()))
+        } else {
+            Ok((1, decl.to_owned()))
+        }
+    }
+
+    fn parse_input(&mut self, ln: usize, decl: &str) -> PResult<()> {
+        let decl = decl.trim();
+        if decl.trim_end_matches(';') == "clk" {
+            return Ok(()); // implicit global clock
+        }
+        let (width, name) = Self::parse_width(ln, decl)?;
+        let bits = self.builder.input(name.clone(), width);
+        for (k, &b) in bits.iter().enumerate() {
+            self.nets.insert(format!("{name}[{k}]"), b);
+        }
+        if width == 1 {
+            self.nets.insert(name, bits[0]);
+        }
+        Ok(())
+    }
+
+    fn parse_output_decl(&mut self, ln: usize, decl: &str) -> PResult<()> {
+        let (width, name) = Self::parse_width(ln, decl)?;
+        self.output_bits.insert(name.clone(), vec![None; width]);
+        self.outputs.push((name, width));
+        Ok(())
+    }
+
+    fn parse_assign(&mut self, ln: usize, line: &str) -> PResult<()> {
+        let body = line
+            .strip_prefix("assign")
+            .ok_or_else(|| ParseVerilogError { line: ln, message: "expected assign".into() })?
+            .trim()
+            .trim_end_matches(';');
+        let Some((lhs, rhs)) = body.split_once('=') else {
+            return err(ln, "assign without `=`");
+        };
+        let expr = parse_expr(ln, rhs.trim())?;
+        let net = self.lower(ln, &expr)?;
+        let lhs = lhs.trim();
+        if let Some((port, idx)) = parse_indexed(lhs) {
+            if let Some(slots) = self.output_bits.get_mut(port) {
+                let slot = slots.get_mut(idx).ok_or_else(|| ParseVerilogError {
+                    line: ln,
+                    message: format!("output index {idx} out of range"),
+                })?;
+                if slot.is_some() {
+                    return err(ln, format!("output {port}[{idx}] multiply driven"));
+                }
+                *slot = Some(net);
+                return Ok(());
+            }
+            return err(ln, format!("assignment to unknown port bit `{lhs}`"));
+        }
+        if self.nets.insert(lhs.to_owned(), net).is_some() {
+            return err(ln, format!("wire `{lhs}` multiply driven"));
+        }
+        Ok(())
+    }
+
+    fn parse_nonblocking(&mut self, ln: usize, line: &str) -> PResult<()> {
+        let body = line.trim_end_matches(';');
+        let Some((lhs, rhs)) = body.split_once("<=") else {
+            return err(ln, "expected non-blocking assignment");
+        };
+        let name = lhs.trim();
+        let Some(&handle) = self.regs.get(name) else {
+            return err(ln, format!("`{name}` is not a declared reg"));
+        };
+        let expr = parse_expr(ln, rhs.trim())?;
+        let net = self.lower(ln, &expr)?;
+        self.builder.drive_dff(handle, net);
+        Ok(())
+    }
+
+    fn lower(&mut self, ln: usize, e: &Expr) -> PResult<NetId> {
+        Ok(match e {
+            Expr::Const(false) => CONST0,
+            Expr::Const(true) => CONST1,
+            Expr::Wire(name) => match self.nets.get(name) {
+                Some(&n) => n,
+                None => return err(ln, format!("wire `{name}` used before definition")),
+            },
+            Expr::Not(a) => {
+                let a = self.lower(ln, a)?;
+                self.builder.inv(a)
+            }
+            Expr::And(a, b) => {
+                let (a, b) = (self.lower(ln, a)?, self.lower(ln, b)?);
+                self.builder.and2(a, b)
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (self.lower(ln, a)?, self.lower(ln, b)?);
+                self.builder.or2(a, b)
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = (self.lower(ln, a)?, self.lower(ln, b)?);
+                self.builder.xor2(a, b)
+            }
+            Expr::Mux(c, t, f) => {
+                let (c, t, f) = (self.lower(ln, c)?, self.lower(ln, t)?, self.lower(ln, f)?);
+                self.builder.mux2(f, t, c)
+            }
+        })
+    }
+}
+
+fn parse_indexed(s: &str) -> Option<(&str, usize)> {
+    let (name, rest) = s.split_once('[')?;
+    let idx = rest.strip_suffix(']')?.parse().ok()?;
+    Some((name.trim(), idx))
+}
+
+/// Recursive-descent expression parser.
+/// Precedence (loosest first): `?:`, `|`, `^`, `&`, `~`, primary.
+fn parse_expr(ln: usize, s: &str) -> PResult<Expr> {
+    let tokens = tokenize(ln, s)?;
+    let mut p = Parser { ln, tokens, pos: 0 };
+    let e = p.ternary()?;
+    if p.pos != p.tokens.len() {
+        return err(ln, format!("trailing tokens in expression `{s}`"));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Lit(bool),
+    Op(char), // ~ & | ^ ? : ( )
+}
+
+fn tokenize(ln: usize, s: &str) -> PResult<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = s.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '~' | '&' | '|' | '^' | '?' | ':' | '(' | ')' => {
+                out.push(Tok::Op(c));
+                chars.next();
+            }
+            '1' if s[i..].starts_with("1'b") => {
+                let bit = s.as_bytes().get(i + 3).copied();
+                match bit {
+                    Some(b'0') => out.push(Tok::Lit(false)),
+                    Some(b'1') => out.push(Tok::Lit(true)),
+                    _ => return err(ln, "bad literal"),
+                }
+                for _ in 0..4 {
+                    chars.next();
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '[' => {
+                let mut ident = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '[' || c == ']' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(ident));
+            }
+            other => return err(ln, format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    ln: usize,
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat_op(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Op(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.or_expr()?;
+        if self.eat_op('?') {
+            let then = self.ternary()?;
+            if !self.eat_op(':') {
+                return err(self.ln, "ternary missing `:`");
+            }
+            let els = self.ternary()?;
+            return Ok(Expr::Mux(Box::new(cond), Box::new(then), Box::new(els)));
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.xor_expr()?;
+        while self.eat_op('|') {
+            let rhs = self.xor_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn xor_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_op('^') {
+            let rhs = self.and_expr()?;
+            e = Expr::Xor(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.unary()?;
+        while self.eat_op('&') {
+            let rhs = self.unary()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.eat_op('~') {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().cloned() {
+            Some(Tok::Op('(')) => {
+                self.pos += 1;
+                let e = self.ternary()?;
+                if !self.eat_op(')') {
+                    return err(self.ln, "missing `)`");
+                }
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Expr::Wire(name))
+            }
+            Some(Tok::Lit(b)) => {
+                self.pos += 1;
+                Ok(Expr::Const(b))
+            }
+            other => err(self.ln, format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_tiny_module() {
+        let src = "\
+module toy (a, y);
+  input [1:0] a;
+  output [0:0] y;
+  wire n2; assign n2 = a[0];
+  wire n3; assign n3 = a[1];
+  wire n4;
+  assign n4 = n2 ^ ~n3;
+  assign y[0] = n4;
+endmodule";
+        let n = from_verilog(src).unwrap();
+        assert_eq!(n.name(), "toy");
+        assert_eq!(n.inputs().len(), 1);
+        assert_eq!(n.outputs()[0].bits.len(), 1);
+    }
+
+    #[test]
+    fn rejects_use_before_definition() {
+        let src = "\
+module bad (a, y);
+  input [0:0] a;
+  output [0:0] y;
+  wire n2; assign n2 = a[0];
+  wire n9;
+  assign n9 = n8 & n2;
+  assign y[0] = n9;
+endmodule";
+        let e = from_verilog(src).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+    }
+
+    #[test]
+    fn rejects_double_drivers() {
+        let src = "\
+module bad (a, y);
+  input [0:0] a;
+  output [0:0] y;
+  wire n2; assign n2 = a[0];
+  assign n2 = ~a[0];
+  assign y[0] = n2;
+endmodule";
+        assert!(from_verilog(src).is_err());
+    }
+
+    #[test]
+    fn registers_round_trip_through_always_block() {
+        let src = "\
+module seq (a, y);
+  input [0:0] a;
+  output [0:0] y;
+  reg n5;
+  wire n2; assign n2 = a[0];
+  wire n3;
+  assign n3 = n5 ^ n2;
+  assign y[0] = n3;
+  always @(posedge clk) begin
+    n5 <= n2;
+  end
+endmodule";
+        let n = from_verilog(src).unwrap();
+        assert!(n.is_sequential());
+        n.validate().unwrap();
+    }
+}

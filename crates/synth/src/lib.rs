@@ -1,0 +1,44 @@
+//! Synthesis substrate for RL-MUL — the reproduction's stand-in for
+//! the paper's Yosys + OpenROAD + OpenSTA flow over the NanGate 45nm
+//! Open Cell Library.
+//!
+//! The flow is: technology mapping ([`MappedNetlist`]) onto a
+//! NanGate45-flavoured [`Library`], static timing analysis with a
+//! load-dependent linear delay model ([`analyze`]), TILOS-style
+//! greedy gate sizing under a target delay ([`size_to_target`]), and
+//! switching-activity power estimation ([`estimate_power`]). The
+//! [`Synthesizer`] driver ties these together and supports the
+//! multi-constraint runs and target-delay sweeps the paper's
+//! Pareto-driven reward consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use rlmul_ct::{CompressorTree, PpgKind};
+//! use rlmul_rtl::MultiplierNetlist;
+//! use rlmul_synth::{SynthesisOptions, Synthesizer};
+//!
+//! let tree = CompressorTree::wallace(8, PpgKind::And)?;
+//! let m = MultiplierNetlist::elaborate(&tree)?;
+//! let report = Synthesizer::nangate45()
+//!     .run(m.netlist(), &SynthesisOptions::default())?;
+//! println!("{:.0} um^2 @ {:.3} ns, {:.3} mW",
+//!          report.area_um2, report.delay_ns, report.power_mw);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+mod library;
+mod map;
+mod power;
+mod size;
+mod sta;
+mod synth;
+
+pub use error::SynthError;
+pub use library::{Cell, Drive, Library};
+pub use map::MappedNetlist;
+pub use power::{estimate as estimate_power, PowerReport};
+pub use size::{size_to_target, SizingOutcome};
+pub use sta::{analyze, TimingReport};
+pub use synth::{SynthesisOptions, SynthesisReport, Synthesizer};

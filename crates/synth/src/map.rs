@@ -1,0 +1,173 @@
+//! Technology mapping: binding netlist gates to library cells.
+//!
+//! Mapping is structural (the netlist IR's gate kinds correspond 1:1
+//! to cell families); the interesting synthesis work — drive-strength
+//! selection under a delay target — happens in the sizing pass.
+
+use crate::library::{Drive, Library};
+use rlmul_rtl::{GateKind, Netlist};
+
+pub(crate) fn kind_cell_stem(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Inv => "INV",
+        GateKind::Buf => "BUF",
+        GateKind::And2 => "AND2",
+        GateKind::Or2 => "OR2",
+        GateKind::Nand2 => "NAND2",
+        GateKind::Nor2 => "NOR2",
+        GateKind::Xor2 => "XOR2",
+        GateKind::Xnor2 => "XNOR2",
+        GateKind::Mux2 => "MUX2",
+        GateKind::HalfAdder => "HA",
+        GateKind::FullAdder => "FA",
+        GateKind::Compressor42 => "COMP42",
+        GateKind::Dff => "DFF",
+    }
+}
+
+/// A netlist bound to library cells, with per-instance drive
+/// strengths and precomputed fanout information for timing and power.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+    /// Cell index (into the library) of each gate instance.
+    cell_of: Vec<usize>,
+    /// For every net: `(gate index, input pin)` sinks.
+    sinks: Vec<Vec<(u32, u8)>>,
+    /// For every net: number of primary-output bits it drives.
+    po_fanout: Vec<u16>,
+}
+
+impl<'a> MappedNetlist<'a> {
+    /// Maps every gate to its X1 library cell.
+    pub fn map(netlist: &'a Netlist, library: &'a Library) -> Self {
+        let cell_of = netlist
+            .gates()
+            .iter()
+            .map(|g| library.cell_index(g.kind, Drive::X1))
+            .collect();
+        let mut sinks = vec![Vec::new(); netlist.num_nets() as usize];
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                if !inp.is_const() {
+                    sinks[inp.0 as usize].push((gi as u32, pin as u8));
+                }
+            }
+        }
+        let mut po_fanout = vec![0u16; netlist.num_nets() as usize];
+        for p in netlist.outputs() {
+            for &b in &p.bits {
+                if !b.is_const() {
+                    po_fanout[b.0 as usize] += 1;
+                }
+            }
+        }
+        MappedNetlist { netlist, library, cell_of, sinks, po_fanout }
+    }
+
+    /// The source netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The bound library.
+    pub fn library(&self) -> &Library {
+        self.library
+    }
+
+    /// Cell currently bound to gate `gi`.
+    pub fn cell_of(&self, gi: usize) -> &crate::library::Cell {
+        self.library.cell(self.cell_of[gi])
+    }
+
+    /// Rebinds gate `gi` to `drive`.
+    pub fn set_drive(&mut self, gi: usize, drive: Drive) {
+        let kind = self.netlist.gates()[gi].kind;
+        self.cell_of[gi] = self.library.cell_index(kind, drive);
+    }
+
+    /// `(gate, pin)` sinks of `net`.
+    pub fn sinks(&self, net: rlmul_rtl::NetId) -> &[(u32, u8)] {
+        &self.sinks[net.0 as usize]
+    }
+
+    /// Capacitive load on `net` in fF: sink pin caps, wire estimate,
+    /// and primary-output loads.
+    pub fn load_ff(&self, net: rlmul_rtl::NetId) -> f64 {
+        let lib = self.library;
+        let s = &self.sinks[net.0 as usize];
+        let pin_caps: f64 = s.iter().map(|&(gi, _)| self.cell_of(gi as usize).input_cap_ff).sum();
+        let fanout = s.len() as f64 + self.po_fanout[net.0 as usize] as f64;
+        pin_caps
+            + fanout * lib.wire_cap_per_fanout_ff
+            + self.po_fanout[net.0 as usize] as f64 * lib.output_load_ff
+    }
+
+    /// Total cell area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.cell_of.iter().map(|&ci| self.library.cell(ci).area_um2).sum()
+    }
+
+    /// Instance count per drive strength (X1, X2, X4).
+    pub fn drive_histogram(&self) -> [usize; 3] {
+        let mut h = [0usize; 3];
+        for &ci in &self.cell_of {
+            match self.library.cell(ci).drive {
+                Drive::X1 => h[0] += 1,
+                Drive::X2 => h[1] += 1,
+                Drive::X4 => h[2] += 1,
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_rtl::NetlistBuilder;
+
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        let x = b.input("x", 2);
+        let y = b.and2(x[0], x[1]);
+        let z = b.xor2(y, x[0]);
+        b.output("z", &[z]);
+        b.finish()
+    }
+
+    #[test]
+    fn initial_mapping_is_all_x1() {
+        let lib = Library::nangate45();
+        let n = toy();
+        let m = MappedNetlist::map(&n, &lib);
+        assert_eq!(m.drive_histogram(), [2, 0, 0]);
+    }
+
+    #[test]
+    fn load_accounts_for_sinks_and_pos() {
+        let lib = Library::nangate45();
+        let n = toy();
+        let m = MappedNetlist::map(&n, &lib);
+        // x[0] feeds the AND and the XOR.
+        let x0 = n.inputs()[0].bits[0];
+        assert_eq!(m.sinks(x0).len(), 2);
+        let load = m.load_ff(x0);
+        assert!(load > 2.0 * 1.5, "load = {load}");
+        // The PO net gets the output load added.
+        let z = n.outputs()[0].bits[0];
+        assert!(m.load_ff(z) >= lib.output_load_ff);
+    }
+
+    #[test]
+    fn upsizing_raises_area() {
+        let lib = Library::nangate45();
+        let n = toy();
+        let mut m = MappedNetlist::map(&n, &lib);
+        let a0 = m.area_um2();
+        m.set_drive(0, Drive::X4);
+        assert!(m.area_um2() > a0);
+        assert_eq!(m.drive_histogram(), [1, 0, 1]);
+    }
+}

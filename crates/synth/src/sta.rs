@@ -1,0 +1,222 @@
+//! Static timing analysis — the reproduction's OpenSTA stand-in.
+//!
+//! Arrival times propagate in topological order with the library's
+//! load-dependent linear delay model. Endpoints are primary outputs
+//! and flip-flop D pins (plus setup); startpoints are primary inputs
+//! and flip-flop Q pins (plus clk→Q). The worst endpoint and its
+//! critical path are reported for the sizing pass.
+
+use crate::map::MappedNetlist;
+use rlmul_rtl::{Gate, GateKind, NetId};
+
+/// The inputs that output slot `k` of `g` actually depends on.
+fn arc_inputs(g: &Gate, k: usize) -> &[NetId] {
+    match (g.kind, k) {
+        (GateKind::Compressor42, 2) => &g.ins[..3], // cout = maj(x1, x2, x3)
+        _ => &g.ins[..g.kind.num_inputs()],
+    }
+}
+
+/// Result of one timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Worst path delay (combinational delay, or minimum clock period
+    /// for sequential netlists), in ns.
+    pub worst_delay_ns: f64,
+    /// Arrival time of every net, ns.
+    pub arrivals: Vec<f64>,
+    /// Gates along the worst path, startpoint first.
+    pub critical_path: Vec<usize>,
+}
+
+/// Runs STA over the mapped netlist.
+pub fn analyze(m: &MappedNetlist<'_>) -> TimingReport {
+    let n = m.netlist();
+    let num_nets = n.num_nets() as usize;
+    let mut arrivals = vec![0.0f64; num_nets];
+    // Driver gate of each net (for path extraction).
+    let mut driver: Vec<Option<u32>> = vec![None; num_nets];
+
+    for (gi, g) in n.gates().iter().enumerate() {
+        let cell = m.cell_of(gi);
+        if g.kind == GateKind::Dff {
+            // Q is a startpoint: clk→Q only.
+            let q = g.outs[0];
+            arrivals[q.0 as usize] = cell.intrinsic_ns[0];
+            driver[q.0 as usize] = Some(gi as u32);
+            continue;
+        }
+        for (k, &o) in g.outputs().iter().enumerate() {
+            // Per-arc timing: the 4:2 compressor's cout depends only
+            // on its first three inputs (never on cin), so same-stage
+            // cout chains do not ripple.
+            let at_in = arc_inputs(g, k)
+                .iter()
+                .map(|&i| arrivals[i.0 as usize])
+                .fold(0.0f64, f64::max);
+            let load = m.load_ff(o);
+            arrivals[o.0 as usize] =
+                at_in + cell.intrinsic_ns[k] + cell.drive_res_kohm * load / 1000.0;
+            driver[o.0 as usize] = Some(gi as u32);
+        }
+    }
+
+    // Endpoints.
+    let mut worst = 0.0f64;
+    let mut worst_net: Option<NetId> = None;
+    for p in n.outputs() {
+        for &b in &p.bits {
+            if !b.is_const() && arrivals[b.0 as usize] > worst {
+                worst = arrivals[b.0 as usize];
+                worst_net = Some(b);
+            }
+        }
+    }
+    let setup = m.library().setup_ns;
+    for g in n.gates() {
+        if g.kind == GateKind::Dff {
+            let d = g.ins[0];
+            let t = arrivals[d.0 as usize] + setup;
+            if t > worst {
+                worst = t;
+                worst_net = Some(d);
+            }
+        }
+    }
+
+    // Critical-path extraction: walk max-arrival predecessors.
+    let mut critical_path = Vec::new();
+    let mut cur = worst_net;
+    while let Some(net) = cur {
+        let Some(gi) = driver[net.0 as usize] else { break };
+        critical_path.push(gi as usize);
+        let g = &n.gates()[gi as usize];
+        if g.kind == GateKind::Dff {
+            break; // startpoint reached
+        }
+        let slot = g
+            .outputs()
+            .iter()
+            .position(|&o| o == net)
+            .expect("driver gate must own the net");
+        cur = arc_inputs(g, slot)
+            .iter()
+            .filter(|i| !i.is_const())
+            .max_by(|a, b| {
+                arrivals[a.0 as usize]
+                    .partial_cmp(&arrivals[b.0 as usize])
+                    .expect("arrivals are finite")
+            })
+            .copied();
+        if let Some(net) = cur {
+            if driver[net.0 as usize].is_none() {
+                break; // primary input
+            }
+        }
+    }
+    critical_path.reverse();
+    TimingReport { worst_delay_ns: worst, arrivals, critical_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use rlmul_ct::{CompressorTree, PpgKind};
+    use rlmul_rtl::{MultiplierNetlist, NetlistBuilder};
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.input("x", 1);
+        let mut v = x[0];
+        for _ in 0..10 {
+            v = b.inv(v);
+        }
+        b.output("y", &[v]);
+        let n = b.finish();
+        let m = MappedNetlist::map(&n, &lib);
+        let t = analyze(&m);
+        // 10 inverters, each ≥ intrinsic 8 ps.
+        assert!(t.worst_delay_ns > 0.08, "delay = {}", t.worst_delay_ns);
+        assert_eq!(t.critical_path.len(), 10);
+    }
+
+    #[test]
+    fn deeper_trees_are_slower() {
+        let lib = Library::nangate45();
+        let shallow = CompressorTree::dadda(8, PpgKind::And).unwrap();
+        let fast = MultiplierNetlist::elaborate(&shallow).unwrap();
+        let nl_fast = fast.into_netlist();
+        let m_fast = MappedNetlist::map(&nl_fast, &lib);
+        let d_fast = analyze(&m_fast).worst_delay_ns;
+
+        let big = CompressorTree::dadda(16, PpgKind::And).unwrap();
+        let slow = MultiplierNetlist::elaborate(&big).unwrap();
+        let nl_slow = slow.into_netlist();
+        let m_slow = MappedNetlist::map(&nl_slow, &lib);
+        let d_slow = analyze(&m_slow).worst_delay_ns;
+        assert!(d_slow > d_fast, "{d_slow} vs {d_fast}");
+    }
+
+    #[test]
+    fn sequential_endpoint_includes_setup() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("seq");
+        let x = b.input("x", 1);
+        let q = b.dff(x[0]);
+        let y = b.inv(q);
+        let q2 = b.dff(y);
+        b.output("y", &[q2]);
+        let n = b.finish();
+        let m = MappedNetlist::map(&n, &lib);
+        let t = analyze(&m);
+        // clk→Q + inverter + setup.
+        assert!(t.worst_delay_ns > lib.setup_ns + 0.08);
+    }
+
+    #[test]
+    fn comp42_cout_chain_does_not_ripple() {
+        // A long same-stage cout chain must cost one cout arc, not N:
+        // cout depends only on x1..x3, never on the chained cin.
+        let lib = Library::nangate45();
+        let build = |len: usize| {
+            let mut b = NetlistBuilder::new("chain42");
+            let x = b.input("x", 4 * len);
+            let mut cin = rlmul_rtl::CONST0;
+            let mut sums = Vec::new();
+            for k in 0..len {
+                let xs = [x[4 * k], x[4 * k + 1], x[4 * k + 2], x[4 * k + 3]];
+                let (s, c, cout) = b.compressor42(xs, cin);
+                sums.push(s);
+                sums.push(c);
+                cin = cout;
+            }
+            b.output("y", &sums);
+            b.finish()
+        };
+        let short = build(2);
+        let long = build(16);
+        let d_short = analyze(&MappedNetlist::map(&short, &lib)).worst_delay_ns;
+        let d_long = analyze(&MappedNetlist::map(&long, &lib)).worst_delay_ns;
+        // One extra cin→sum arc at most — far below 14 extra couts.
+        assert!(
+            d_long < d_short + 0.05,
+            "cout chain ripples: {d_short} → {d_long}"
+        );
+    }
+
+    #[test]
+    fn multiplier_delay_is_in_paper_regime() {
+        // The paper's 8-bit AND multipliers land between 0.7 and
+        // 0.9 ns at minimum-area sizing; the model should be within a
+        // loose factor of that window.
+        let lib = Library::nangate45();
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let nl = MultiplierNetlist::elaborate(&tree).unwrap().into_netlist();
+        let m = MappedNetlist::map(&nl, &lib);
+        let d = analyze(&m).worst_delay_ns;
+        assert!((0.4..2.0).contains(&d), "delay = {d} ns");
+    }
+}

@@ -1,0 +1,72 @@
+//! Design-space exploration without RL: enumerates the neighbourhood
+//! of classic structures, sweeps each across delay targets and prints
+//! the Pareto front with its hypervolume — the machinery behind the
+//! paper's Figs. 9 and 13/14, usable as a library by itself.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul::baselines::gomil;
+use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::pareto::{hypervolume_2d, pareto_front, Point2};
+use rlmul::rtl::MultiplierNetlist;
+use rlmul::synth::Synthesizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 8;
+    let synth = Synthesizer::nangate45();
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Seed structures plus random legal perturbations of each.
+    let mut designs = vec![
+        ("wallace".to_owned(), CompressorTree::wallace(bits, PpgKind::And)?),
+        ("dadda".to_owned(), CompressorTree::dadda(bits, PpgKind::And)?),
+        ("gomil".to_owned(), gomil(bits, PpgKind::And)?),
+    ];
+    for i in 0..12 {
+        let mut t = designs[i % 3].1.clone();
+        for _ in 0..rng.gen_range(2..10) {
+            let actions = t.valid_actions();
+            let a = actions[rng.gen_range(0..actions.len())];
+            t = t.apply_action(a)?;
+        }
+        designs.push((format!("walk{i}"), t));
+    }
+
+    // Sweep every design over synthesis delay targets.
+    let mut cloud: Vec<(String, Point2)> = Vec::new();
+    for (name, tree) in &designs {
+        let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+        let anchor = synth.run(&netlist, &Default::default())?;
+        cloud.push((name.clone(), Point2::new(anchor.area_um2, anchor.delay_ns)));
+        for r in synth.sweep(&netlist, 0.6 * anchor.delay_ns, 1.1 * anchor.delay_ns, 5)? {
+            cloud.push((name.clone(), Point2::new(r.area_um2, r.delay_ns)));
+        }
+    }
+
+    let points: Vec<Point2> = cloud.iter().map(|(_, p)| *p).collect();
+    let front = pareto_front(&points);
+    println!("{} synthesized points, {} on the Pareto front:\n", points.len(), front.len());
+    println!("{:<10} {:>12} {:>11}", "design", "area (um^2)", "delay (ns)");
+    for p in &front {
+        let name = cloud
+            .iter()
+            .find(|(_, q)| (q.x - p.x).abs() < 1e-9 && (q.y - p.y).abs() < 1e-9)
+            .map(|(n, _)| n.as_str())
+            .unwrap_or("?");
+        println!("{name:<10} {:>12.0} {:>11.4}", p.x, p.y);
+    }
+    let mx = points.iter().map(|p| p.x).fold(0.0f64, f64::max);
+    let my = points.iter().map(|p| p.y).fold(0.0f64, f64::max);
+    let reference = Point2::new(1.05 * mx, 1.05 * my);
+    println!(
+        "\nhypervolume vs reference ({:.0}, {:.2}): {:.1}",
+        reference.x,
+        reference.y,
+        hypervolume_2d(&front, reference)
+    );
+    Ok(())
+}

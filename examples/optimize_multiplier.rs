@@ -1,0 +1,71 @@
+//! RL-driven multiplier optimization: trains both RL-MUL (DQN) and
+//! RL-MUL-E (parallel A2C) on an 8-bit AND-based multiplier and
+//! compares the outcome with the Wallace, GOMIL and SA baselines.
+//!
+//! ```sh
+//! cargo run --release --example optimize_multiplier
+//! ```
+//!
+//! Training budgets are scaled down from the paper's 10 000 s; raise
+//! `STEPS` for tighter results.
+
+use rlmul::baselines::{gomil, SaConfig};
+use rlmul::core::{
+    run_sa, train_a2c, train_dqn, A2cConfig, DqnConfig, EnvConfig, MulEnv,
+};
+use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::rtl::MultiplierNetlist;
+use rlmul::synth::{SynthesisOptions, Synthesizer};
+
+const BITS: usize = 8;
+const STEPS: usize = 60;
+
+fn ppa(tree: &CompressorTree) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+    let r = Synthesizer::nangate45().run(&netlist, &SynthesisOptions::default())?;
+    Ok((r.area_um2, r.delay_ns))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env_cfg = EnvConfig::new(BITS, PpgKind::And);
+    println!("optimizing an {BITS}-bit AND-based multiplier ({STEPS} env steps)\n");
+
+    // Baselines.
+    let wallace = CompressorTree::wallace(BITS, PpgKind::And)?;
+    let gomil_tree = gomil(BITS, PpgKind::And)?;
+    let sa = run_sa(&env_cfg, &SaConfig { steps: STEPS, ..Default::default() }, 7)?;
+
+    // Native RL-MUL: deep Q-learning (paper Algorithm 3).
+    let mut env = MulEnv::new(env_cfg.clone())?;
+    let dqn_cfg = DqnConfig { steps: STEPS, warmup: STEPS / 5, seed: 7, ..Default::default() };
+    let rl = train_dqn(&mut env, &dqn_cfg)?;
+    println!(
+        "RL-MUL   : cost {:.3} → {:.3} over {} synthesis runs",
+        rl.trajectory.first().copied().unwrap_or(f64::NAN),
+        rl.best_cost,
+        rl.synth_runs
+    );
+
+    // RL-MUL-E: synchronous parallel A2C (paper Algorithm 4).
+    let a2c_cfg = A2cConfig { steps: STEPS / 4, n_envs: 4, seed: 7, ..Default::default() };
+    let rle = train_a2c(&env_cfg, &a2c_cfg)?;
+    println!(
+        "RL-MUL-E : cost {:.3} → {:.3} ({} parallel workers)\n",
+        rle.trajectory.first().copied().unwrap_or(f64::NAN),
+        rle.best_cost,
+        a2c_cfg.n_envs
+    );
+
+    println!("{:<10} {:>12} {:>11}", "method", "area (um^2)", "delay (ns)");
+    for (name, tree) in [
+        ("Wallace", &wallace),
+        ("GOMIL", &gomil_tree),
+        ("SA", &sa.best),
+        ("RL-MUL", &rl.best),
+        ("RL-MUL-E", &rle.best),
+    ] {
+        let (area, delay) = ppa(tree)?;
+        println!("{name:<10} {area:>12.0} {delay:>11.4}");
+    }
+    Ok(())
+}

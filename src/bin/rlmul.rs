@@ -1,0 +1,255 @@
+//! `rlmul` — command-line front end for the RL-MUL workspace.
+//!
+//! ```sh
+//! rlmul info     --bits 8  --kind and
+//! rlmul optimize --bits 8  --kind and --method a2c --steps 80 --pref area \
+//!                --verilog best.v
+//! rlmul export   --bits 16 --kind mbe --structure dadda --out mul.v
+//! rlmul verify   --bits 8  --kind mac-and --structure gomil
+//! rlmul synth    --bits 8  --kind and --structure wallace --target 1.0
+//! ```
+
+use rlmul::baselines::{gomil, SaConfig};
+use rlmul::core::{
+    run_sa, train_a2c, train_dqn, A2cConfig, CostWeights, DqnConfig, EnvConfig, MulEnv,
+    OptimizationOutcome,
+};
+use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::lec::check_datapath;
+use rlmul::rtl::{quad_multiplier, to_verilog, AdderKind, MultiplierNetlist, Netlist};
+use rlmul::synth::{SynthesisOptions, Synthesizer};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(argv.collect());
+    let result = match command.as_str() {
+        "info" => cmd_info(&opts),
+        "optimize" => cmd_optimize(&opts),
+        "export" => cmd_export(&opts),
+        "verify" => cmd_verify(&opts),
+        "synth" => cmd_synth(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rlmul — multiplier design optimization with deep reinforcement learning
+
+USAGE: rlmul <command> [--key value ...]
+
+COMMANDS
+  info      show structure statistics (wallace/dadda/gomil/quad)
+  optimize  search for a better compressor tree (RL or SA)
+  export    emit structural Verilog for a named structure
+  verify    equivalence-check a structure against the golden model
+  synth     synthesize a structure and report PPA
+
+COMMON OPTIONS
+  --bits N          operand width (default 8)
+  --kind K          and | mbe | mac-and | mac-mbe (default and)
+  --structure S     wallace | dadda | gomil | quad (default wallace)
+
+OPTIMIZE OPTIONS
+  --method M        dqn | a2c | sa (default a2c)
+  --steps N         environment steps (default 80)
+  --pref P          area | timing | tradeoff (default tradeoff)
+  --seed N          RNG seed (default 1)
+  --verilog PATH    write the best design as Verilog
+
+SYNTH OPTIONS
+  --target NS       target delay in ns (default: minimum area)
+
+EXPORT OPTIONS
+  --out PATH        output file (default: stdout)";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_opts(tokens: Vec<String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(key) = tokens[i].strip_prefix("--") {
+            if i + 1 < tokens.len() {
+                map.insert(key.to_owned(), tokens[i + 1].clone());
+                i += 2;
+                continue;
+            }
+            map.insert(key.to_owned(), String::new());
+        }
+        i += 1;
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn parse_kind(opts: &HashMap<String, String>) -> Result<PpgKind, String> {
+    match opts.get("kind").map(String::as_str).unwrap_or("and") {
+        "and" => Ok(PpgKind::And),
+        "mbe" => Ok(PpgKind::Mbe),
+        "mac-and" => Ok(PpgKind::MacAnd),
+        "mac-mbe" => Ok(PpgKind::MacMbe),
+        other => Err(format!("unknown kind `{other}` (and|mbe|mac-and|mac-mbe)")),
+    }
+}
+
+fn build_structure(
+    opts: &HashMap<String, String>,
+    bits: usize,
+    kind: PpgKind,
+) -> Result<Netlist, Box<dyn std::error::Error>> {
+    let which = opts.get("structure").map(String::as_str).unwrap_or("wallace");
+    let tree = match which {
+        "wallace" => CompressorTree::wallace(bits, kind)?,
+        "dadda" => CompressorTree::dadda(bits, kind)?,
+        "gomil" => gomil(bits, kind)?,
+        "quad" => return Ok(quad_multiplier(bits, kind, AdderKind::default())?),
+        other => return Err(format!("unknown structure `{other}`").into()),
+    };
+    Ok(MultiplierNetlist::elaborate(&tree)?.into_netlist())
+}
+
+fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    println!("{bits}-bit {kind} designs:");
+    for (name, tree) in [
+        ("wallace", CompressorTree::wallace(bits, kind)?),
+        ("dadda", CompressorTree::dadda(bits, kind)?),
+        ("gomil", gomil(bits, kind)?),
+    ] {
+        let nl = MultiplierNetlist::elaborate(&tree)?.into_netlist();
+        println!(
+            "  {name:<8} {:>3} FA  {:>3} HA  {:>2} stages  {:>5} gates",
+            tree.matrix().total32(),
+            tree.matrix().total22(),
+            tree.stage_count()?,
+            nl.gates().len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    let steps: usize = get(opts, "steps", 80);
+    let seed: u64 = get(opts, "seed", 1);
+    let mut env_cfg = EnvConfig::new(bits, kind);
+    env_cfg.weights = match opts.get("pref").map(String::as_str).unwrap_or("tradeoff") {
+        "area" => CostWeights::AREA,
+        "timing" => CostWeights::TIMING,
+        "tradeoff" => CostWeights::TRADE_OFF,
+        other => return Err(format!("unknown pref `{other}`").into()),
+    };
+    let method = opts.get("method").map(String::as_str).unwrap_or("a2c");
+    eprintln!("optimizing {bits}-bit {kind} with {method} ({steps} env steps)…");
+    let outcome: OptimizationOutcome = match method {
+        "sa" => run_sa(&env_cfg, &SaConfig { steps, ..Default::default() }, seed)?,
+        "dqn" => {
+            let mut env = MulEnv::new(env_cfg)?;
+            train_dqn(
+                &mut env,
+                &DqnConfig { steps, warmup: (steps / 5).max(4), seed, ..Default::default() },
+            )?
+        }
+        "a2c" => {
+            let cfg = A2cConfig { steps: (steps / 4).max(2), n_envs: 4, seed, ..Default::default() };
+            train_a2c(&env_cfg, &cfg)?
+        }
+        other => return Err(format!("unknown method `{other}` (dqn|a2c|sa)").into()),
+    };
+    let start = outcome.trajectory.first().copied().unwrap_or(f64::NAN);
+    println!(
+        "cost {start:.3} → {:.3} over {} distinct states ({} synthesis runs)",
+        outcome.best_cost, outcome.states_visited, outcome.synth_runs
+    );
+    let netlist = MultiplierNetlist::elaborate(&outcome.best)?.into_netlist();
+    let report = Synthesizer::nangate45().run(&netlist, &SynthesisOptions::default())?;
+    println!(
+        "best design: {:.0} um^2 @ {:.4} ns, {:.3} mW ({} FA, {} HA, {} stages)",
+        report.area_um2,
+        report.delay_ns,
+        report.power_mw,
+        outcome.best.matrix().total32(),
+        outcome.best.matrix().total22(),
+        outcome.best.stage_count()?
+    );
+    if let Some(path) = opts.get("verilog") {
+        std::fs::write(path, to_verilog(&netlist))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_export(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    let netlist = build_structure(opts, bits, kind)?;
+    let verilog = to_verilog(&netlist);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, verilog)?;
+            println!("wrote {path} ({} gates)", netlist.gates().len());
+        }
+        None => print!("{verilog}"),
+    }
+    Ok(())
+}
+
+fn cmd_verify(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    let netlist = build_structure(opts, bits, kind)?;
+    let report = check_datapath(&netlist, bits, kind)?;
+    println!(
+        "{} — {} vectors ({})",
+        if report.equivalent { "EQUIVALENT" } else { "MISMATCH" },
+        report.vectors,
+        if report.exhaustive { "exhaustive" } else { "randomized + corners" }
+    );
+    if let Some(cex) = report.counterexample {
+        println!(
+            "counterexample: a={} b={} c={} expected={} got={}",
+            cex.a, cex.b, cex.c, cex.expected, cex.got
+        );
+        return Err("equivalence check failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_synth(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    let netlist = build_structure(opts, bits, kind)?;
+    let synth = Synthesizer::nangate45();
+    let options = match opts.get("target") {
+        Some(t) => SynthesisOptions::with_target(t.parse()?),
+        None => SynthesisOptions::default(),
+    };
+    let r = synth.run(&netlist, &options)?;
+    println!("area   {:>9.1} um^2", r.area_um2);
+    println!("delay  {:>9.4} ns{}", r.delay_ns, if r.met_target { "" } else { "  (target missed)" });
+    println!("power  {:>9.4} mW", r.power_mw);
+    println!("cells  {:>9}   (X1/X2/X4: {}/{}/{})", r.num_cells, r.drive_histogram[0], r.drive_histogram[1], r.drive_histogram[2]);
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Integration tests for the beyond-the-paper extensions exposed
+//! through the `rlmul` façade: 4:2 trees, pipelining, sequential
+//! simulation, Verilog import, 3-D Pareto math, checkpointing, and
+//! the structure renderer.
+
+use rlmul::ct::{render_structure, CompressorTree, PpProfile, PpgKind, QuadSchedule};
+use rlmul::lec::{check_datapath, PortValues, SeqSimulator};
+use rlmul::nn::{build_trunk, load_params, save_params, Layer, Tensor, TrunkConfig};
+use rlmul::pareto::{hypervolume_3d, pareto_front_3d, Point3};
+use rlmul::rtl::{
+    elaborate_pipelined, from_verilog, quad_multiplier, to_verilog, AdderKind, PipelineCuts,
+};
+use rlmul::synth::{SynthesisOptions, Synthesizer};
+
+#[test]
+fn quad_tree_full_pipeline() {
+    // Schedule → netlist → exhaustive LEC → synthesis.
+    let profile = PpProfile::new(8, PpgKind::And).expect("legal width");
+    let schedule = QuadSchedule::build(&profile).expect("converges");
+    assert!(schedule.stage_count() <= 4, "8-bit 4:2 tree should be shallow");
+    let n = quad_multiplier(8, PpgKind::And, AdderKind::default()).expect("builds");
+    let lec = check_datapath(&n, 8, PpgKind::And).expect("simulates");
+    assert!(lec.equivalent && lec.exhaustive);
+    let r = Synthesizer::nangate45().run(&n, &SynthesisOptions::default()).expect("synthesizes");
+    assert!(r.area_um2 > 0.0);
+}
+
+#[test]
+fn pipelined_design_synthesizes_with_shorter_clock() {
+    let tree = CompressorTree::dadda(8, PpgKind::And).expect("legal");
+    let comb = rlmul::rtl::MultiplierNetlist::elaborate(&tree).expect("builds").into_netlist();
+    let piped = elaborate_pipelined(
+        &tree,
+        AdderKind::default(),
+        PipelineCuts { after_ppg: false, before_cpa: true },
+    )
+    .expect("builds");
+    let synth = Synthesizer::nangate45();
+    let d_comb = synth.run(&comb, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
+    let d_piped = synth.run(&piped, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
+    // Cutting before the CPA removes the adder from the longest stage.
+    assert!(d_piped < d_comb, "pipelined {d_piped} vs comb {d_comb}");
+}
+
+#[test]
+fn sequential_verilog_round_trip_is_cycle_accurate() {
+    // Pipelined multiplier → Verilog → reader → cycle-by-cycle
+    // comparison of the two sequential netlists.
+    let bits = 4;
+    let tree = CompressorTree::dadda(bits, PpgKind::And).expect("legal");
+    let cuts = PipelineCuts { after_ppg: true, before_cpa: true };
+    let original = elaborate_pipelined(&tree, AdderKind::default(), cuts).expect("builds");
+    let reimported = from_verilog(&to_verilog(&original)).expect("parses");
+    let mut sim_a = SeqSimulator::new(&original);
+    let mut sim_b = SeqSimulator::new(&reimported);
+    for t in 0..20u64 {
+        let a = PortValues::pack(&[(t * 7 + 1) % 16], bits);
+        let b = PortValues::pack(&[(t * 11 + 2) % 16], bits);
+        let oa = sim_a.step(&[a.clone(), b.clone()]).expect("steps");
+        let ob = sim_b.step(&[a, b]).expect("steps");
+        assert_eq!(oa[0].lane(0), ob[0].lane(0), "cycle {t}");
+    }
+}
+
+#[test]
+fn three_objective_sweep_analysis() {
+    // Sweep one design, lift (area, delay, power) into 3-D objective
+    // space; the 3-D front must be at least as large as the 2-D one
+    // and the hypervolume positive.
+    let tree = CompressorTree::dadda(8, PpgKind::And).expect("legal");
+    let nl = rlmul::rtl::MultiplierNetlist::elaborate(&tree).expect("builds").into_netlist();
+    let synth = Synthesizer::nangate45();
+    let anchor = synth.run(&nl, &SynthesisOptions::default()).expect("synthesizes");
+    let pts: Vec<Point3> = synth
+        .sweep(&nl, 0.6 * anchor.delay_ns, 1.1 * anchor.delay_ns, 6)
+        .expect("sweeps")
+        .into_iter()
+        .map(|r| Point3::new(r.area_um2, r.delay_ns, r.power_mw))
+        .collect();
+    let front = pareto_front_3d(&pts);
+    assert!(!front.is_empty());
+    let reference = Point3::new(
+        1.1 * pts.iter().map(|p| p.x).fold(0.0, f64::max),
+        1.1 * pts.iter().map(|p| p.y).fold(0.0, f64::max),
+        1.1 * pts.iter().map(|p| p.z).fold(0.0, f64::max),
+    );
+    assert!(hypervolume_3d(&front, reference) > 0.0);
+}
+
+#[test]
+fn agent_checkpoint_round_trip_via_facade() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 };
+    let mut trained = build_trunk(&cfg, &mut rng);
+    let mut fresh = build_trunk(&cfg, &mut rng);
+    let x = Tensor::zeros(&[1, 2, 16, 16]);
+    let mut buf = Vec::new();
+    save_params(&mut trained, &mut buf).expect("saves");
+    load_params(&mut fresh, buf.as_slice()).expect("loads");
+    assert_eq!(trained.forward(&x, false).data(), fresh.forward(&x, false).data());
+}
+
+#[test]
+fn renderer_shows_paper_fig4_sections() {
+    let tree = CompressorTree::wallace(4, PpgKind::And).expect("legal");
+    let art = render_structure(&tree).expect("renders");
+    for needle in ["matrix M", "tensor T", "pp", "3:2", "2:2", "res"] {
+        assert!(art.contains(needle), "missing `{needle}` in:\n{art}");
+    }
+}

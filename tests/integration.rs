@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full pipeline from compressor
+//! tree through RTL, equivalence checking, synthesis and the RL
+//! optimization loop.
+
+use rlmul::baselines::{dadda, gomil, wallace};
+use rlmul::core::{train_dqn, CostWeights, DqnConfig, EnvConfig, MulEnv};
+use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::lec::check_datapath;
+use rlmul::pareto::{hypervolume_2d, pareto_front, Point2};
+use rlmul::rtl::{pe_array, to_verilog, MultiplierNetlist, PeArrayConfig, PeStyle};
+use rlmul::synth::{SynthesisOptions, Synthesizer};
+
+/// Elaborate → verify → synthesize, for every PPG kind and several
+/// structural generators.
+#[test]
+fn full_pipeline_is_correct_for_every_kind() {
+    let synth = Synthesizer::nangate45();
+    for kind in [PpgKind::And, PpgKind::Mbe, PpgKind::MacAnd, PpgKind::MacMbe] {
+        for (label, tree) in [
+            ("wallace", wallace(6, kind).expect("constructs")),
+            ("dadda", dadda(6, kind).expect("constructs")),
+            ("gomil", gomil(6, kind).expect("constructs")),
+        ] {
+            let netlist = MultiplierNetlist::elaborate(&tree)
+                .unwrap_or_else(|e| panic!("{label} {kind}: {e}"))
+                .into_netlist();
+            netlist.validate().unwrap_or_else(|e| panic!("{label} {kind}: {e}"));
+            let lec = check_datapath(&netlist, 6, kind).expect("simulates");
+            assert!(
+                lec.equivalent && lec.exhaustive,
+                "{label} {kind}: {:?}",
+                lec.counterexample
+            );
+            let report = synth.run(&netlist, &SynthesisOptions::default()).expect("synthesizes");
+            assert!(report.area_um2 > 0.0 && report.delay_ns > 0.0, "{label} {kind}");
+        }
+    }
+}
+
+/// Applying any chain of masked actions never breaks functional
+/// correctness — the central safety property of the RL search space.
+#[test]
+fn optimized_structures_still_multiply() {
+    let mut env = MulEnv::new(EnvConfig::new(4, PpgKind::And)).expect("env builds");
+    for step in 0..15 {
+        let mask = env.action_mask();
+        let action = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| ok)
+            .map(|(i, _)| i)
+            .nth(step % 3)
+            .or_else(|| mask.iter().position(|&ok| ok))
+            .expect("legal action exists");
+        env.step(action).expect("steps");
+        let netlist =
+            MultiplierNetlist::elaborate(env.current()).expect("elaborates").into_netlist();
+        let lec = check_datapath(&netlist, 4, PpgKind::And).expect("simulates");
+        assert!(lec.equivalent, "step {step}: {:?}", lec.counterexample);
+    }
+}
+
+/// A short DQN run must complete, improve on or match its starting
+/// cost, and end in a functionally correct design.
+#[test]
+fn dqn_end_to_end_produces_a_verified_design() {
+    let mut cfg = EnvConfig::new(4, PpgKind::And);
+    cfg.weights = CostWeights::TRADE_OFF;
+    let mut env = MulEnv::new(cfg).expect("env builds");
+    let start = env.current_cost();
+    let out = train_dqn(
+        &mut env,
+        &DqnConfig { steps: 10, warmup: 4, batch_size: 4, ..Default::default() },
+    )
+    .expect("training runs");
+    assert!(out.best_cost <= start + 1e-9);
+    let netlist = MultiplierNetlist::elaborate(&out.best).expect("elaborates").into_netlist();
+    assert!(check_datapath(&netlist, 4, PpgKind::And).expect("simulates").equivalent);
+}
+
+/// PE arrays built from different methods' trees synthesize, and the
+/// per-PE critical path tracks the embedded multiplier's depth.
+#[test]
+fn pe_array_reflects_inner_multiplier_quality() {
+    let synth = Synthesizer::nangate45();
+    let shallow = dadda(8, PpgKind::And).expect("constructs");
+    let mut deep = wallace(8, PpgKind::And).expect("constructs");
+    // Deepen the tree with legal actions until its stage count grows.
+    let base_stages = deep.stage_count().expect("assignable");
+    'outer: for _ in 0..50 {
+        for a in deep.valid_actions() {
+            let next = deep.apply_action(a).expect("applies");
+            if next.stage_count().expect("assignable") > base_stages + 2 {
+                deep = next;
+                break 'outer;
+            }
+        }
+        let actions = deep.valid_actions();
+        deep = deep.apply_action(actions[0]).expect("applies");
+    }
+    let cfg = PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder };
+    let nl_shallow = pe_array(&shallow, cfg).expect("builds");
+    let nl_deep = pe_array(&deep, cfg).expect("builds");
+    let d_shallow =
+        synth.run(&nl_shallow, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
+    let d_deep = synth.run(&nl_deep, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
+    assert!(
+        d_deep > d_shallow,
+        "deeper tree must slow the array: {d_deep} vs {d_shallow}"
+    );
+}
+
+/// The Verilog emitter produces one assign per combinational output
+/// and mentions every port.
+#[test]
+fn verilog_export_is_complete() {
+    let tree = dadda(8, PpgKind::MacAnd).expect("constructs");
+    let m = MultiplierNetlist::elaborate(&tree).expect("elaborates");
+    let v = to_verilog(m.netlist());
+    assert!(v.contains("module mac8x8"));
+    for port in ["input [7:0] a;", "input [7:0] b;", "input [15:0] c;", "output [15:0] p;"] {
+        assert!(v.contains(port), "missing: {port}");
+    }
+    assert_eq!(v.matches("endmodule").count(), 1);
+}
+
+/// Synthesis sweeps of two different structures produce fronts whose
+/// union hypervolume is at least each individual front's.
+#[test]
+fn pareto_tools_compose_with_synthesis() {
+    let synth = Synthesizer::nangate45();
+    let mut union = Vec::new();
+    let mut individual = Vec::new();
+    for tree in [wallace(8, PpgKind::And).unwrap(), gomil(8, PpgKind::And).unwrap()] {
+        let nl = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+        let anchor = synth.run(&nl, &SynthesisOptions::default()).expect("synthesizes");
+        let pts: Vec<Point2> = synth
+            .sweep(&nl, 0.7 * anchor.delay_ns, 1.1 * anchor.delay_ns, 4)
+            .expect("sweeps")
+            .into_iter()
+            .map(|r| Point2::new(r.area_um2, r.delay_ns))
+            .collect();
+        union.extend_from_slice(&pts);
+        individual.push(pts);
+    }
+    let reference = Point2::new(
+        1.1 * union.iter().map(|p| p.x).fold(0.0, f64::max),
+        1.1 * union.iter().map(|p| p.y).fold(0.0, f64::max),
+    );
+    let hv_union = hypervolume_2d(&pareto_front(&union), reference);
+    for pts in individual {
+        let hv = hypervolume_2d(&pareto_front(&pts), reference);
+        assert!(hv_union >= hv - 1e-9);
+    }
+}
+
+/// Environment delay targets scale with operand width.
+#[test]
+fn wider_designs_get_looser_delay_targets() {
+    let env8 = MulEnv::new(EnvConfig::new(8, PpgKind::And)).expect("builds");
+    let env16 = MulEnv::new(EnvConfig::new(16, PpgKind::And)).expect("builds");
+    assert!(env16.delay_targets()[0] > env8.delay_targets()[0]);
+}
