@@ -40,9 +40,8 @@ pub fn gomil_bnb(
             best = best.min(weights.full_adder * a as f64 + weights.half_adder * b as f64);
             // Alternative: trade one FA for two HAs when cheaper.
             if a >= 1 {
-                best = best.min(
-                    weights.full_adder * (a - 1) as f64 + weights.half_adder * (b + 2) as f64,
-                );
+                best = best
+                    .min(weights.full_adder * (a - 1) as f64 + weights.half_adder * (b + 2) as f64);
             }
         }
         best
@@ -117,8 +116,7 @@ mod tests {
     use crate::gomil::gomil_weighted;
 
     fn cost(t: &CompressorTree, w: GomilWeights) -> f64 {
-        let res2 =
-            t.matrix().residuals(t.profile()).iter().filter(|&&r| r == 2).count() as f64;
+        let res2 = t.matrix().residuals(t.profile()).iter().filter(|&&r| r == 2).count() as f64;
         w.full_adder * t.matrix().total32() as f64
             + w.half_adder * t.matrix().total22() as f64
             + w.cpa_res2_extra * res2

@@ -159,12 +159,7 @@ mod tests {
     fn gomil_objective_is_at_most_wallace_and_dadda() {
         let w = GomilWeights::default();
         let cost = |t: &CompressorTree| {
-            let res2 = t
-                .matrix()
-                .residuals(t.profile())
-                .iter()
-                .filter(|&&r| r == 2)
-                .count() as f64;
+            let res2 = t.matrix().residuals(t.profile()).iter().filter(|&&r| r == 2).count() as f64;
             w.full_adder * t.matrix().total32() as f64
                 + w.half_adder * t.matrix().total22() as f64
                 + w.cpa_res2_extra * res2

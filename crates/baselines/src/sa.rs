@@ -66,9 +66,8 @@ where
             continue;
         }
         let action = actions[rng.gen_range(0..actions.len())];
-        let candidate = current
-            .apply_action(action)
-            .expect("valid_actions only yields applicable actions");
+        let candidate =
+            current.apply_action(action).expect("valid_actions only yields applicable actions");
         let cand_cost = cost(&candidate);
         let delta = cand_cost - current_cost;
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(config.min_temp)).exp();

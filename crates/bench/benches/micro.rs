@@ -12,7 +12,9 @@ use rlmul_ct::{CompressorTree, PpgKind};
 use rlmul_lec::{PortValues, Simulator};
 use rlmul_nn::{build_trunk, Layer, Tensor, TrunkConfig};
 use rlmul_rtl::MultiplierNetlist;
-use rlmul_synth::{analyze, MappedNetlist, Library, SynthesisOptions, Synthesizer};
+use rlmul_synth::{
+    analyze, Drive, IncrementalSta, Library, MappedNetlist, SynthesisOptions, Synthesizer,
+};
 
 fn bench_ct(c: &mut Criterion) {
     let mut g = c.benchmark_group("ct");
@@ -78,9 +80,7 @@ fn bench_nn(c: &mut Criterion) {
     let cfg = TrunkConfig { in_channels: 2, channels: vec![8, 16, 32], blocks_per_stage: 1 };
     let mut trunk = build_trunk(&cfg, &mut rng);
     let x = Tensor::kaiming(&[1, 2, 16, 16], 32, &mut rng);
-    c.bench_function("nn/trunk_forward_1x2x16x16", |b| {
-        b.iter(|| trunk.forward(&x, false))
-    });
+    c.bench_function("nn/trunk_forward_1x2x16x16", |b| b.iter(|| trunk.forward(&x, false)));
     let batch = Tensor::kaiming(&[8, 2, 16, 16], 32, &mut rng);
     c.bench_function("nn/trunk_fwd_bwd_batch8", |b| {
         b.iter(|| {
@@ -101,18 +101,78 @@ fn bench_env_and_gomil(c: &mut Criterion) {
             env.step(legal[rng.gen_range(0..legal.len())]).expect("steps")
         })
     });
-    c.bench_function("gomil/solve_16bit", |b| {
-        b.iter(|| gomil(16, PpgKind::And).expect("solves"))
-    });
+    c.bench_function("gomil/solve_16bit", |b| b.iter(|| gomil(16, PpgKind::And).expect("solves")));
     let w = GomilWeights::default();
     c.bench_function("gomil/solve_32bit", |b| {
         b.iter(|| rlmul_baselines::gomil_weighted(32, PpgKind::And, w).expect("solves"))
     });
 }
 
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let tree = CompressorTree::wallace(16, PpgKind::And).expect("legal");
+    let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+    let lib = Library::nangate45();
+    let synth = Synthesizer::nangate45();
+
+    // Incremental vs full STA after one TILOS-style sizing batch of 8
+    // gates. The toggle alternates the batch between X1 and X2 so every
+    // iteration propagates real arrival changes.
+    let resized: Vec<usize> = (0..netlist.gates().len()).step_by(97).take(8).collect();
+    let mut m_full = MappedNetlist::map(&netlist, &lib);
+    g.bench_function("sta_full_reanalyze_16b", |b| {
+        let mut hi = false;
+        b.iter(|| {
+            hi = !hi;
+            let d = if hi { Drive::X2 } else { Drive::X1 };
+            for &gi in &resized {
+                m_full.set_drive(gi, d);
+            }
+            analyze(&m_full).worst_delay_ns
+        })
+    });
+    let mut m_inc = MappedNetlist::map(&netlist, &lib);
+    let mut engine = IncrementalSta::new();
+    engine.analyze_full(&m_inc);
+    g.bench_function("sta_incremental_update_16b", |b| {
+        let mut hi = false;
+        b.iter(|| {
+            hi = !hi;
+            let d = if hi { Drive::X2 } else { Drive::X1 };
+            for &gi in &resized {
+                m_inc.set_drive(gi, d);
+            }
+            engine.update(&m_inc, &resized).worst_delay_ns
+        })
+    });
+
+    // Four-delay-target evaluation fan-out: serial reference vs the
+    // scoped-thread pipeline (the ≥2×-on-4-cores acceptance bench).
+    let anchor = synth.run(&netlist, &SynthesisOptions::default()).expect("synthesizes");
+    let options: Vec<SynthesisOptions> = [0.7, 0.85, 1.0, 1.15]
+        .iter()
+        .map(|&s| SynthesisOptions::with_target(s * anchor.delay_ns))
+        .collect();
+    g.bench_function("synth_4targets_serial_16b", |b| {
+        b.iter(|| synth.run_many_serial(&netlist, &options).expect("synthesizes"))
+    });
+    g.bench_function("synth_4targets_parallel_16b", |b| {
+        b.iter(|| synth.run_many(&netlist, &options).expect("synthesizes"))
+    });
+
+    // Warm-cache evaluation: the cost of re-visiting a known state.
+    let mut env = MulEnv::new(EnvConfig::new(16, PpgKind::And)).expect("builds");
+    let tree16 = env.current().clone();
+    env.evaluate(&tree16).expect("evaluates");
+    g.bench_function("evaluate_cache_hit_16b", |b| {
+        b.iter(|| env.evaluate(&tree16).expect("evaluates").cost)
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_env_and_gomil
+    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_env_and_gomil, bench_pipeline
 }
 criterion_main!(benches);

@@ -60,9 +60,7 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_flags() {
-        let a = Args::from_tokens(
-            ["--steps", "50", "--fast", "--bits", "16"].map(String::from),
-        );
+        let a = Args::from_tokens(["--steps", "50", "--fast", "--bits", "16"].map(String::from));
         assert_eq!(a.get("steps", 0usize), 50);
         assert_eq!(a.get("bits", 8usize), 16);
         assert!(a.flag("fast"));

@@ -13,9 +13,8 @@ use rlmul_synth::{SynthesisOptions, Synthesizer};
 fn main() {
     let synth = Synthesizer::nangate45();
     println!("Ablation — final CPA architecture (Dadda trees, min-area synthesis)\n");
-    let mut table = TextTable::new([
-        "bits", "adder", "area (um^2)", "delay (ns)", "power (mW)", "gates",
-    ]);
+    let mut table =
+        TextTable::new(["bits", "adder", "area (um^2)", "delay (ns)", "power (mW)", "gates"]);
     for bits in [8usize, 16, 32] {
         let tree = CompressorTree::dadda(bits, PpgKind::And).expect("legal width");
         for (name, kind) in [

@@ -14,9 +14,8 @@ use rlmul_synth::{SynthesisOptions, Synthesizer};
 fn main() {
     let synth = Synthesizer::nangate45();
     println!("Ablation — 4:2 compressor trees (K = 3 extension)\n");
-    let mut table = TextTable::new([
-        "bits", "tree", "stages", "area (um^2)", "delay (ns)", "power (mW)",
-    ]);
+    let mut table =
+        TextTable::new(["bits", "tree", "stages", "area (um^2)", "delay (ns)", "power (mW)"]);
     for bits in [8usize, 16, 32] {
         let profile = PpProfile::new(bits, PpgKind::And).expect("legal width");
         let quad_sched = QuadSchedule::build(&profile).expect("converges");

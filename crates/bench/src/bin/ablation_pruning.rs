@@ -19,9 +19,7 @@ fn main() {
     let bits: usize = args.get("bits", 8);
 
     println!("Ablation — stage pruning (Section IV-C), {bits}-bit AND, {steps} steps\n");
-    let mut table = TextTable::new([
-        "search", "pruning", "mean best cost", "mean final stages",
-    ]);
+    let mut table = TextTable::new(["search", "pruning", "mean best cost", "mean final stages"]);
     for (label, pruning) in [("auto", StagePruning::Auto), ("off", StagePruning::Off)] {
         for method in ["SA", "RL-MUL"] {
             let mut costs = Vec::new();
@@ -36,12 +34,7 @@ fn main() {
                         let mut env = MulEnv::new(cfg).expect("env builds");
                         train_dqn(
                             &mut env,
-                            &DqnConfig {
-                                steps,
-                                warmup: steps / 5,
-                                seed,
-                                ..Default::default()
-                            },
+                            &DqnConfig { steps, warmup: steps / 5, seed, ..Default::default() },
                         )
                         .expect("dqn completes")
                     }

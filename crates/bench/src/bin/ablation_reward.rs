@@ -23,9 +23,8 @@ fn main() {
     println!("Ablation — reward objective reduction (Eq. 9 vs Eq. 20)");
     println!("{bits}-bit AND, SA search, {steps} steps, {seeds} seeds\n");
     let synth = Synthesizer::nangate45();
-    let mut table = TextTable::new([
-        "objective", "mean area (um^2)", "mean delay (ns)", "mean power (mW)",
-    ]);
+    let mut table =
+        TextTable::new(["objective", "mean area (um^2)", "mean delay (ns)", "mean power (mW)"]);
     for (label, weights) in [
         ("reduced (w_p = 0)", CostWeights::TRADE_OFF),
         ("full (w_p = 0.5)", CostWeights { power: 0.5, ..CostWeights::TRADE_OFF }),
@@ -36,9 +35,7 @@ fn main() {
             cfg.weights = weights;
             let out = run_sa(&cfg, &SaConfig { steps, ..Default::default() }, seed)
                 .expect("sa completes");
-            let nl = MultiplierNetlist::elaborate(&out.best)
-                .expect("elaborates")
-                .into_netlist();
+            let nl = MultiplierNetlist::elaborate(&out.best).expect("elaborates").into_netlist();
             let r = synth.run(&nl, &SynthesisOptions::default()).expect("synthesizes");
             sa_area += r.area_um2 / seeds as f64;
             sa_delay += r.delay_ns / seeds as f64;

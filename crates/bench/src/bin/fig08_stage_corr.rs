@@ -36,9 +36,7 @@ fn main() {
         let r = synth.run(&nl, &SynthesisOptions::default()).expect("synthesizes");
         // Area under a shared timing constraint: deeper trees need
         // more upsizing, surfacing the paper's area/stage trend.
-        let sized = synth
-            .run(&nl, &SynthesisOptions::with_target(1.1))
-            .expect("synthesizes");
+        let sized = synth.run(&nl, &SynthesisOptions::with_target(1.1)).expect("synthesizes");
         by_stage.entry(stages).or_default().push((sized.area_um2, r.delay_ns));
         raw.push(vec![stages as f64, sized.area_um2, r.delay_ns]);
     }
@@ -68,10 +66,8 @@ fn main() {
     // Shape check: delay should rise with stage count across the
     // populated groups (compare shallowest vs deepest with ≥ 3
     // samples).
-    let populated: Vec<&(usize, f64, f64)> = means
-        .iter()
-        .filter(|(s, _, _)| by_stage[s].len() >= 3)
-        .collect();
+    let populated: Vec<&(usize, f64, f64)> =
+        means.iter().filter(|(s, _, _)| by_stage[s].len() >= 3).collect();
     if populated.len() >= 2 {
         let first = populated.first().expect("nonempty");
         let last = populated.last().expect("nonempty");

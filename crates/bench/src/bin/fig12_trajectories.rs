@@ -24,9 +24,7 @@ fn main() {
         let env_cfg = EnvConfig::new(bits, kind);
         println!("== {bits}-bit {} ==", kind.label());
         let mut all_rows: Vec<Vec<f64>> = Vec::new();
-        let mut table = TextTable::new([
-            "method", "start", "final mean", "final std", "best mean",
-        ]);
+        let mut table = TextTable::new(["method", "start", "final mean", "final std", "best mean"]);
         for method in ["SA", "RL-MUL", "RL-MUL-E"] {
             let mut runs: Vec<Vec<f64>> = Vec::new();
             let mut bests: Vec<f64> = Vec::new();
@@ -94,8 +92,7 @@ fn main() {
         }
         print!("{}", table.render());
         let path = results_dir().join(format!("fig12_traj_{bits}b_{}.csv", kind.label()));
-        if write_points_csv(&path, "method(0=sa 1=rlmul 2=rlmule),step,mean,std", &all_rows)
-            .is_ok()
+        if write_points_csv(&path, "method(0=sa 1=rlmul 2=rlmule),step,mean,std", &all_rows).is_ok()
         {
             println!("wrote {}\n", path.display());
         }

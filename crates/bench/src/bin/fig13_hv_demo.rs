@@ -26,8 +26,7 @@ fn main() {
     println!("hypervolume enclosed by the front: {hv:.2}");
 
     // A better front strictly grows the hypervolume.
-    let improved: Vec<Point2> =
-        front.iter().map(|p| Point2::new(p.x - 20.0, p.y - 0.02)).collect();
+    let improved: Vec<Point2> = front.iter().map(|p| Point2::new(p.x - 20.0, p.y - 0.02)).collect();
     let hv2 = hypervolume_2d(&improved, reference);
     println!("after dominating every front point:  {hv2:.2} (larger is better)");
     assert!(hv2 > hv);

@@ -39,8 +39,7 @@ fn main() {
     println!("(budget: {} env steps per search method)\n", budget.env_steps);
     for spec in configs {
         let t0 = std::time::Instant::now();
-        let data = run_comparison(spec, budget, sweep_points, None)
-            .expect("comparison completes");
+        let data = run_comparison(spec, budget, sweep_points, None).expect("comparison completes");
         let title = format!("== {}-bit {} ==", spec.bits, spec.kind.label().to_uppercase());
         println!("{}", data.render(&title));
         println!("Fig. 14(a) hypervolumes:");
@@ -50,9 +49,10 @@ fn main() {
             println!("fronts → {}", p.display());
         }
         // Paper-style claims.
-        if let (Some(w), Some(e)) =
-            (data.cell(Method::Wallace, Preference::Area), data.cell(Method::RlMulE, Preference::Area))
-        {
+        if let (Some(w), Some(e)) = (
+            data.cell(Method::Wallace, Preference::Area),
+            data.cell(Method::RlMulE, Preference::Area),
+        ) {
             println!(
                 "area reduction vs Wallace (Area pref): {:.1}%",
                 100.0 * (1.0 - e.area / w.area)

@@ -38,8 +38,7 @@ fn main() {
             let t0 = std::time::Instant::now();
             let data = run_comparison(spec, budget, sweep_points, Some((pe, pe)))
                 .expect("comparison completes");
-            let title =
-                format!("== {}-bit {} PE array ==", bits, kind.label().to_uppercase());
+            let title = format!("== {}-bit {} PE array ==", bits, kind.label().to_uppercase());
             println!("{}", data.render(&title));
             println!("Fig. 14(b) hypervolumes:");
             println!("{}", data.render_hypervolumes());

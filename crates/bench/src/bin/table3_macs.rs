@@ -26,8 +26,7 @@ fn main() {
         }
         let spec = DesignSpec { bits, kind: PpgKind::MacAnd };
         let t0 = std::time::Instant::now();
-        let data =
-            run_comparison(spec, budget, sweep_points, None).expect("comparison completes");
+        let data = run_comparison(spec, budget, sweep_points, None).expect("comparison completes");
         println!("{}", data.render(&format!("== {bits}-bit MAC ==")));
         println!("Fig. 14(c) hypervolumes (MAC):");
         println!("{}", data.render_hypervolumes());

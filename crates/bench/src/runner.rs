@@ -3,8 +3,8 @@
 
 use rlmul_baselines::{gomil, SaConfig};
 use rlmul_core::{
-    run_sa, train_a2c, train_dqn, A2cConfig, CostWeights, DqnConfig, EnvConfig, MulEnv,
-    RlMulError,
+    run_sa_cached, train_a2c_cached, train_dqn, A2cConfig, CostWeights, DqnConfig, EnvConfig,
+    EvalCache, MulEnv, RlMulError,
 };
 use rlmul_ct::{CompressorTree, PpgKind};
 use rlmul_pareto::{hypervolume_2d, pareto_front, Point2};
@@ -122,24 +122,56 @@ pub fn optimize(
     pref: Preference,
     budget: Budget,
 ) -> Result<CompressorTree, RlMulError> {
+    optimize_with_cache(method, spec, pref, budget, &EvalCache::new())
+}
+
+/// [`optimize`] on top of a shared evaluation cache, so the search
+/// methods of one experiment reuse each other's synthesized states
+/// (SA, RL-MUL and RL-MUL-E all walk the same neighborhood of the
+/// initial structure). Search methods print a `[pipeline]` line with
+/// their evaluation-pipeline counters, which the BENCH logs capture.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_with_cache(
+    method: Method,
+    spec: DesignSpec,
+    pref: Preference,
+    budget: Budget,
+    cache: &EvalCache,
+) -> Result<CompressorTree, RlMulError> {
     let mut env_cfg = EnvConfig::new(spec.bits, spec.kind);
     env_cfg.weights = pref.weights();
+    let report = |label: &str, out: &rlmul_core::OptimizationOutcome| {
+        println!(
+            "[pipeline] {label} {}b {}: {} synth runs, {}",
+            spec.bits,
+            spec.kind,
+            out.synth_runs,
+            out.pipeline.render()
+        );
+    };
     match method {
         Method::Wallace => Ok(CompressorTree::wallace(spec.bits, spec.kind)?),
         Method::Gomil => Ok(gomil(spec.bits, spec.kind)?),
         Method::Sa => {
             let sa = SaConfig { steps: budget.env_steps, ..Default::default() };
-            Ok(run_sa(&env_cfg, &sa, budget.seed)?.best)
+            let out = run_sa_cached(&env_cfg, &sa, budget.seed, cache.clone())?;
+            report(Method::Sa.label(), &out);
+            Ok(out.best)
         }
         Method::RlMul => {
-            let mut env = MulEnv::new(env_cfg)?;
+            let mut env = MulEnv::with_cache(env_cfg, cache.clone())?;
             let cfg = DqnConfig {
                 steps: budget.env_steps,
                 warmup: (budget.env_steps / 5).max(4),
                 seed: budget.seed,
                 ..Default::default()
             };
-            Ok(train_dqn(&mut env, &cfg)?.best)
+            let out = train_dqn(&mut env, &cfg)?;
+            report(Method::RlMul.label(), &out);
+            Ok(out.best)
         }
         Method::RlMulE => {
             let cfg = A2cConfig {
@@ -148,7 +180,9 @@ pub fn optimize(
                 seed: budget.seed,
                 ..Default::default()
             };
-            Ok(train_a2c(&env_cfg, &cfg)?.best)
+            let out = train_a2c_cached(&env_cfg, &cfg, cache.clone())?;
+            report(Method::RlMulE.label(), &out);
+            Ok(out.best)
         }
     }
 }
@@ -174,17 +208,10 @@ pub struct PpaPoint {
 pub fn sweep_netlist(netlist: &Netlist, points: usize) -> Result<Vec<PpaPoint>, RlMulError> {
     let synth = Synthesizer::nangate45();
     let anchor = synth.run(netlist, &SynthesisOptions::default())?;
-    let mut out = vec![PpaPoint {
-        area: anchor.area_um2,
-        delay: anchor.delay_ns,
-        power: anchor.power_mw,
-    }];
-    let reports = synth.sweep(
-        netlist,
-        0.55 * anchor.delay_ns,
-        1.25 * anchor.delay_ns,
-        points.max(2),
-    )?;
+    let mut out =
+        vec![PpaPoint { area: anchor.area_um2, delay: anchor.delay_ns, power: anchor.power_mw }];
+    let reports =
+        synth.sweep(netlist, 0.55 * anchor.delay_ns, 1.25 * anchor.delay_ns, points.max(2))?;
     out.extend(reports.into_iter().map(|r| PpaPoint {
         area: r.area_um2,
         delay: r.delay_ns,
@@ -210,11 +237,8 @@ pub fn sweep_tree(tree: &CompressorTree, points: usize) -> Result<Vec<PpaPoint>,
 ///
 /// Propagates elaboration errors.
 pub fn pe_netlist(tree: &CompressorTree, rows: usize, cols: usize) -> Result<Netlist, RlMulError> {
-    let style = if tree.profile().kind().is_mac() {
-        PeStyle::MergedMac
-    } else {
-        PeStyle::MultiplierAdder
-    };
+    let style =
+        if tree.profile().kind().is_mac() { PeStyle::MergedMac } else { PeStyle::MultiplierAdder };
     Ok(pe_array(tree, PeArrayConfig { rows, cols, style })?)
 }
 

@@ -71,10 +71,7 @@ pub fn run_comparison(
         method_points.push((method, union));
     }
 
-    let union2: Vec<Point2> = method_points
-        .iter()
-        .flat_map(|(_, pts)| to_points2(pts))
-        .collect();
+    let union2: Vec<Point2> = method_points.iter().flat_map(|(_, pts)| to_points2(pts)).collect();
     let reference = reference_point(&union2);
     let mut fronts = Vec::new();
     let mut hypervolumes = Vec::new();
@@ -89,14 +86,11 @@ pub fn run_comparison(
 impl TableData {
     /// Renders the paper-style rows (preference-major, method-minor).
     pub fn render(&self, title: &str) -> String {
-        let mut table =
-            TextTable::new(["Preference", "Method", "Area (um^2)", "Delay (ns)"]);
+        let mut table = TextTable::new(["Preference", "Method", "Area (um^2)", "Delay (ns)"]);
         for pref in Preference::ALL {
             for method in Method::ALL {
-                let Some((_, _, p)) = self
-                    .cells
-                    .iter()
-                    .find(|(m, pr, _)| *m == method && *pr == pref)
+                let Some((_, _, p)) =
+                    self.cells.iter().find(|(m, pr, _)| *m == method && *pr == pref)
                 else {
                     continue;
                 };
@@ -151,19 +145,12 @@ impl TableData {
 
     /// Hypervolume of one method.
     pub fn hypervolume(&self, method: Method) -> f64 {
-        self.hypervolumes
-            .iter()
-            .find(|(m, _)| *m == method)
-            .map(|(_, hv)| *hv)
-            .unwrap_or(f64::NAN)
+        self.hypervolumes.iter().find(|(m, _)| *m == method).map(|(_, hv)| *hv).unwrap_or(f64::NAN)
     }
 
     /// Best (lowest) area across search methods for a preference —
     /// used by binaries to print paper-style improvement claims.
     pub fn cell(&self, method: Method, pref: Preference) -> Option<PpaPoint> {
-        self.cells
-            .iter()
-            .find(|(m, p, _)| *m == method && *p == pref)
-            .map(|(_, _, pt)| *pt)
+        self.cells.iter().find(|(m, p, _)| *m == method && *p == pref).map(|(_, _, pt)| *pt)
     }
 }

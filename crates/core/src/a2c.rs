@@ -8,8 +8,9 @@
 //! the policy gradient of Eq. 16 and the TD value loss of Eq. 19,
 //! plus an entropy bonus for sustained exploration.
 
+use crate::cache::EvalCache;
 use crate::env::{EnvConfig, MulEnv};
-use crate::outcome::OptimizationOutcome;
+use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,6 +18,8 @@ use rlmul_nn::{
     clip_grad_norm, entropy, masked_softmax, Adam, Layer, Linear, Optimizer, Param, Sequential,
     Tensor, TrunkConfig,
 };
+use std::sync::mpsc;
+use std::thread::{Scope, ScopedJoinHandle};
 
 /// A2C hyper-parameters. The paper's RL-MUL-E uses four synchronized
 /// workers and a five-step return; those are the defaults.
@@ -131,6 +134,97 @@ struct Sample {
     reward: f32,
 }
 
+/// Everything the main loop needs back from one environment step.
+/// Computed inside the worker so encoding and mask derivation also
+/// run in parallel.
+struct StepReply {
+    reward: f64,
+    cost: f64,
+    state: Vec<f32>,
+    mask: Vec<bool>,
+}
+
+fn step_reply(env: &mut MulEnv, action: usize) -> Result<StepReply, RlMulError> {
+    let out = env.step(action)?;
+    let state = env.encode_current()?.data().to_vec();
+    let mask = env.action_mask();
+    Ok(StepReply { reward: out.reward, cost: out.cost, state, mask })
+}
+
+/// A persistent worker per environment, fed actions over a channel —
+/// threads are spawned once per training run instead of once per
+/// step. Workers hand their environment back at [`EnvPool::finish`].
+///
+/// With a single environment no threads are spawned at all (serial
+/// fallback); results are identical either way because action
+/// selection (and its RNG) stays on the main thread and replies are
+/// collected in environment order.
+enum EnvPool<'scope> {
+    Serial(Vec<MulEnv>),
+    Parallel(Vec<PoolWorker<'scope>>),
+}
+
+struct PoolWorker<'scope> {
+    tx: mpsc::Sender<usize>,
+    rx: mpsc::Receiver<Result<StepReply, RlMulError>>,
+    handle: ScopedJoinHandle<'scope, MulEnv>,
+}
+
+impl<'scope> EnvPool<'scope> {
+    fn launch<'env>(scope: &'scope Scope<'scope, 'env>, envs: Vec<MulEnv>) -> Self {
+        if envs.len() == 1 {
+            return EnvPool::Serial(envs);
+        }
+        let workers = envs
+            .into_iter()
+            .map(|mut env| {
+                let (tx_action, rx_action) = mpsc::channel::<usize>();
+                let (tx_reply, rx_reply) = mpsc::channel();
+                let handle = scope.spawn(move || {
+                    while let Ok(action) = rx_action.recv() {
+                        if tx_reply.send(step_reply(&mut env, action)).is_err() {
+                            break;
+                        }
+                    }
+                    env
+                });
+                PoolWorker { tx: tx_action, rx: rx_reply, handle }
+            })
+            .collect();
+        EnvPool::Parallel(workers)
+    }
+
+    /// Steps every environment with its action; replies come back in
+    /// environment order regardless of completion order.
+    fn step_all(&mut self, actions: &[usize]) -> Vec<Result<StepReply, RlMulError>> {
+        match self {
+            EnvPool::Serial(envs) => {
+                envs.iter_mut().zip(actions).map(|(env, &a)| step_reply(env, a)).collect()
+            }
+            EnvPool::Parallel(workers) => {
+                for (w, &a) in workers.iter().zip(actions) {
+                    w.tx.send(a).expect("worker thread exited early");
+                }
+                workers.iter().map(|w| w.rx.recv().expect("worker thread panicked")).collect()
+            }
+        }
+    }
+
+    /// Shuts the workers down and returns the environments.
+    fn finish(self) -> Vec<MulEnv> {
+        match self {
+            EnvPool::Serial(envs) => envs,
+            EnvPool::Parallel(workers) => workers
+                .into_iter()
+                .map(|w| {
+                    drop(w.tx);
+                    w.handle.join().expect("worker thread panicked")
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Trains RL-MUL-E: `config.n_envs` synchronized environments built
 /// from `env_config`, one shared model. Returns the pooled outcome
 /// (best design across workers, mean-cost trajectory, union of
@@ -143,12 +237,31 @@ pub fn train_a2c(
     env_config: &EnvConfig,
     config: &A2cConfig,
 ) -> Result<OptimizationOutcome, RlMulError> {
+    train_a2c_cached(env_config, config, EvalCache::new())
+}
+
+/// [`train_a2c`] on top of an existing shared evaluation cache, so
+/// several training runs (or a training run after a baseline sweep)
+/// can reuse each other's synthesized states.
+///
+/// # Errors
+///
+/// As [`train_a2c`].
+pub fn train_a2c_cached(
+    env_config: &EnvConfig,
+    config: &A2cConfig,
+    cache: EvalCache,
+) -> Result<OptimizationOutcome, RlMulError> {
     if config.n_envs == 0 || config.n_step == 0 {
         return Err(RlMulError::InvalidConfig { what: "n_envs and n_step must be ≥ 1".into() });
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut envs: Vec<MulEnv> = (0..config.n_envs)
-        .map(|_| MulEnv::new(env_config.clone()))
+    // All workers share one evaluation cache: a state synthesized by
+    // any of them is a hit for the rest, and the in-flight coalescing
+    // keeps two workers from ever synthesizing the same state at the
+    // same time.
+    let envs: Vec<MulEnv> = (0..config.n_envs)
+        .map(|_| MulEnv::with_cache(env_config.clone(), cache.clone()))
         .collect::<Result<_, _>>()?;
     let actions = envs[0].action_space();
     let shape = envs[0].tensor_shape();
@@ -156,65 +269,68 @@ pub fn train_a2c(
     let mut net = PolicyValueNet::new(&config.trunk, actions, &mut rng);
     let mut opt = Adam::new(config.lr);
 
-    let mut states: Vec<Vec<f32>> =
-        envs.iter().map(|e| Ok(e.encode_current()?.data().to_vec())).collect::<Result<_, RlMulError>>()?;
+    let mut states: Vec<Vec<f32>> = envs
+        .iter()
+        .map(|e| Ok(e.encode_current()?.data().to_vec()))
+        .collect::<Result<_, RlMulError>>()?;
+    let mut masks: Vec<Vec<bool>> = envs.iter().map(|e| e.action_mask()).collect();
     let mut rollout: Vec<Vec<Sample>> = vec![Vec::new(); config.n_envs];
     let mut trajectory = Vec::with_capacity(config.steps);
 
-    for _t in 0..config.steps {
-        // Policy forward over all workers at once.
-        let masks: Vec<Vec<bool>> = envs.iter().map(|e| e.action_mask()).collect();
-        let mut batch = Vec::with_capacity(config.n_envs * volume);
-        for s in &states {
-            batch.extend_from_slice(s);
-        }
-        let x = Tensor::from_vec(&[config.n_envs, shape[1], shape[2], shape[3]], batch);
-        let (logits, _) = net.forward_both(&x, false);
-        let chosen: Vec<usize> = (0..config.n_envs)
-            .map(|i| {
-                let row = &logits.data()[i * actions..(i + 1) * actions];
-                let probs = masked_softmax(row, &masks[i]);
-                sample_from(&probs, &mut rng)
-            })
-            .collect();
+    let envs = std::thread::scope(|scope| -> Result<Vec<MulEnv>, RlMulError> {
+        let mut pool = EnvPool::launch(scope, envs);
+        for _t in 0..config.steps {
+            // Policy forward over all workers at once; action
+            // sampling stays on the main thread so the RNG stream —
+            // and therefore the whole run — is independent of worker
+            // scheduling.
+            let mut batch = Vec::with_capacity(config.n_envs * volume);
+            for s in &states {
+                batch.extend_from_slice(s);
+            }
+            let x = Tensor::from_vec(&[config.n_envs, shape[1], shape[2], shape[3]], batch);
+            let (logits, _) = net.forward_both(&x, false);
+            let chosen: Vec<usize> = (0..config.n_envs)
+                .map(|i| {
+                    let row = &logits.data()[i * actions..(i + 1) * actions];
+                    let probs = masked_softmax(row, &masks[i]);
+                    sample_from(&probs, &mut rng)
+                })
+                .collect();
 
-        // Synchronous parallel environment stepping (paper Fig. 6).
-        let step_results: Vec<Result<(f64, f64), RlMulError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = envs
-                    .iter_mut()
-                    .zip(&chosen)
-                    .map(|(env, &a)| {
-                        scope.spawn(move || env.step(a).map(|o| (o.reward, o.cost)))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-            });
-        let mut mean_cost = 0.0;
-        for (i, res) in step_results.into_iter().enumerate() {
-            let (reward, cost) = res?;
-            mean_cost += cost / config.n_envs as f64;
-            rollout[i].push(Sample {
-                state: std::mem::take(&mut states[i]),
-                mask: masks[i].clone(),
-                action: chosen[i],
-                reward: reward as f32,
-            });
-            states[i] = envs[i].encode_current()?.data().to_vec();
-        }
-        trajectory.push(mean_cost);
+            // Synchronous parallel environment stepping (paper
+            // Fig. 6), replies in environment order.
+            let replies = pool.step_all(&chosen);
+            let mut mean_cost = 0.0;
+            for (i, res) in replies.into_iter().enumerate() {
+                let reply = res?;
+                mean_cost += reply.cost / config.n_envs as f64;
+                rollout[i].push(Sample {
+                    state: std::mem::take(&mut states[i]),
+                    mask: std::mem::take(&mut masks[i]),
+                    action: chosen[i],
+                    reward: reply.reward as f32,
+                });
+                states[i] = reply.state;
+                masks[i] = reply.mask;
+            }
+            trajectory.push(mean_cost);
 
-        if rollout[0].len() >= config.n_step {
-            update(&mut net, &mut opt, &mut rollout, &states, config, &shape, actions);
+            if rollout[0].len() >= config.n_step {
+                update(&mut net, &mut opt, &mut rollout, &states, config, &shape, actions);
+            }
         }
-    }
+        Ok(pool.finish())
+    })?;
 
-    // Pool results across workers.
+    // Pool results across workers. Work counters sum per-worker
+    // contributions; distinct states are read once from the shared
+    // cache (every worker sees the same set).
     let mut best_cost = f64::INFINITY;
     let mut best = envs[0].best().0.clone();
     let mut pareto_points = Vec::new();
-    let mut states_visited = 0;
     let mut synth_runs = 0;
+    let mut pipeline = PipelineStats::default();
     for env in &envs {
         let (tree, cost) = env.best();
         if cost < best_cost {
@@ -222,10 +338,14 @@ pub fn train_a2c(
             best = tree.clone();
         }
         pareto_points.extend_from_slice(env.pareto_points());
-        let (_, sv, sr) = env.stats();
-        states_visited += sv;
-        synth_runs += sr;
+        let s = env.stats();
+        synth_runs += s.synth_runs;
+        pipeline.cache_hits += s.cache_hits;
+        pipeline.cache_misses += s.cache_misses;
+        pipeline.sta.merge(s.sta);
     }
+    let states_visited = envs[0].stats().distinct_states;
+    pipeline.cache_entries = states_visited;
     Ok(OptimizationOutcome {
         best,
         best_cost,
@@ -233,6 +353,7 @@ pub fn train_a2c(
         pareto_points,
         states_visited,
         synth_runs,
+        pipeline,
     })
 }
 
@@ -361,6 +482,27 @@ mod tests {
         let a = train_a2c(&env_cfg, &cfg).unwrap().trajectory;
         let b = train_a2c(&env_cfg, &cfg).unwrap().trajectory;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_env_serial_fallback_runs() {
+        let (env_cfg, mut cfg) = tiny();
+        cfg.n_envs = 1;
+        cfg.steps = 4;
+        let out = train_a2c(&env_cfg, &cfg).unwrap();
+        assert_eq!(out.trajectory.len(), 4);
+    }
+
+    #[test]
+    fn workers_share_one_evaluation_cache() {
+        let (env_cfg, cfg) = tiny();
+        let out = train_a2c(&env_cfg, &cfg).unwrap();
+        // The second worker's anchor and initial-state evaluations
+        // are cache hits against the first worker's, so a shared run
+        // always records hits — i.e. strictly fewer synthesis runs
+        // than the same workers with private caches.
+        assert!(out.pipeline.cache_hits >= 2, "hits = {}", out.pipeline.cache_hits);
+        assert_eq!(out.pipeline.cache_misses, out.states_visited);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Shared, sharded evaluation cache for synthesis-backed rewards.
+//!
+//! Synthesizing one compressor-tree state under four delay targets
+//! dominates the cost of every learning loop, and parallel
+//! environments revisit the same states constantly (they all start
+//! from the same legacy structure and explore overlapping
+//! neighborhoods). This cache is shared across environments via
+//! [`EvalCache::clone`] (a cheap [`Arc`] handle) so that any state
+//! synthesized by one worker is free for every other worker.
+//!
+//! Two mechanisms keep concurrent workers efficient:
+//!
+//! - **Sharding.** Keys hash to one of [`NUM_SHARDS`] independent
+//!   `RwLock`-protected maps, so unrelated lookups never contend.
+//! - **In-flight coalescing.** The first worker to miss on a key
+//!   installs a pending slot and receives an [`EvalTicket`]; workers
+//!   that hit the pending slot block on its condvar instead of
+//!   duplicating the (hundreds of milliseconds of) synthesis work.
+//!   If the producer fails, waiters wake and retry, and one of them
+//!   becomes the new producer.
+//!
+//! Keys combine the state fingerprint (per-column compressor counts
+//! plus the partial-product kind, which together determine the
+//! elaborated netlist) with a [`context_fingerprint`] of everything
+//! else the cost depends on: the exact delay-target bit patterns, the
+//! sizing budget, and the reward weights.
+
+use crate::env::Evaluation;
+use rlmul_ct::PpgKind;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Shards of the cache map; a small power of two keeps the modulo
+/// cheap while making same-shard contention between a handful of
+/// worker threads unlikely.
+const NUM_SHARDS: usize = 16;
+
+/// Full identity of one cached evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Per-column `(full adders, half adders)`-style compressor
+    /// counts — the compressor tree's structural fingerprint.
+    pub counts: Vec<(u32, u32)>,
+    /// Partial-product scheme (distinct kinds elaborate to distinct
+    /// netlists even with equal counts).
+    pub kind: PpgKind,
+    /// Fingerprint of the synthesis/reward context; see
+    /// [`context_fingerprint`].
+    pub context: u64,
+}
+
+/// Hashes the non-structural inputs of an evaluation: exact delay
+/// targets, sizing budget, and reward weights. FNV-1a over the raw
+/// bit patterns, so any numeric difference yields a different cache
+/// identity.
+pub fn context_fingerprint(delay_targets: &[f64], max_upsizes: usize, weights: [f64; 3]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(delay_targets.len() as u64);
+    for &t in delay_targets {
+        mix(t.to_bits());
+    }
+    mix(max_upsizes as u64);
+    for w in weights {
+        mix(w.to_bits());
+    }
+    h
+}
+
+/// State of one in-flight computation.
+#[derive(Debug, Default)]
+enum InflightState {
+    /// The producer is still synthesizing.
+    #[default]
+    Running,
+    /// The producer published a result.
+    Ready(Arc<Evaluation>),
+    /// The producer dropped its ticket without a result.
+    Abandoned,
+}
+
+#[derive(Debug, Default)]
+struct Inflight {
+    state: Mutex<InflightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<Evaluation>),
+    Pending(Arc<Inflight>),
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    shards: Vec<RwLock<HashMap<CacheKey, Slot>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    coalesced: AtomicUsize,
+}
+
+/// Counter snapshot; see the field docs for meanings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a finished entry (includes coalesced).
+    pub hits: usize,
+    /// Lookups that had to synthesize (tickets issued).
+    pub misses: usize,
+    /// Hits that waited on another worker's in-flight synthesis
+    /// instead of duplicating it.
+    pub coalesced: usize,
+    /// Finished entries currently stored.
+    pub entries: usize,
+}
+
+/// Result of [`EvalCache::lookup_or_begin`].
+pub enum Lookup {
+    /// The evaluation already exists (possibly computed by another
+    /// worker while we waited).
+    Hit(Arc<Evaluation>),
+    /// This caller is now the producer for the key and must
+    /// [`EvalTicket::complete`] the ticket (or drop it on failure,
+    /// which releases waiting workers to retry).
+    Miss(EvalTicket),
+}
+
+/// Cloneable handle to a cache shared by every clone.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    inner: Arc<CacheInner>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        let shards = (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
+        EvalCache {
+            inner: Arc::new(CacheInner {
+                shards,
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+                coalesced: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.inner.shards[hasher.finish() as usize % NUM_SHARDS]
+    }
+
+    /// Returns the finished evaluation for `key` or makes the caller
+    /// the producer. Blocks (rather than duplicating synthesis work)
+    /// while another worker computes the same key.
+    pub fn lookup_or_begin(&self, key: &CacheKey) -> Lookup {
+        loop {
+            let pending = {
+                let shard = self.shard(key).read().expect("cache shard poisoned");
+                match shard.get(key) {
+                    Some(Slot::Ready(eval)) => {
+                        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Hit(eval.clone());
+                    }
+                    Some(Slot::Pending(inflight)) => Some(inflight.clone()),
+                    None => None,
+                }
+            };
+
+            if let Some(inflight) = pending {
+                let mut state = inflight.state.lock().expect("inflight lock poisoned");
+                while matches!(*state, InflightState::Running) {
+                    state = inflight.cv.wait(state).expect("inflight lock poisoned");
+                }
+                if let InflightState::Ready(eval) = &*state {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit(eval.clone());
+                }
+                // Producer abandoned the key; race to become the new
+                // producer on the next loop iteration.
+                continue;
+            }
+
+            let mut shard = self.shard(key).write().expect("cache shard poisoned");
+            match shard.entry(key.clone()) {
+                // Another worker installed a slot between our read
+                // and write; re-examine it under the read path.
+                Entry::Occupied(_) => continue,
+                Entry::Vacant(vacant) => {
+                    let inflight = Arc::new(Inflight::default());
+                    vacant.insert(Slot::Pending(inflight.clone()));
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Miss(EvalTicket {
+                        cache: self.clone(),
+                        key: key.clone(),
+                        inflight,
+                        completed: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Non-blocking read of a finished entry; pending and absent keys
+    /// both return `None`. Does not touch the hit/miss counters.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<Evaluation>> {
+        let shard = self.shard(key).read().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(Slot::Ready(eval)) => Some(eval.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of finished entries across all shards.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no finished entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Producer-side handle for one pending key.
+///
+/// Dropping the ticket without [`EvalTicket::complete`] removes the
+/// pending slot and wakes waiters so one of them can take over — a
+/// failed synthesis never wedges other workers.
+#[must_use = "complete the ticket or drop it to release waiting workers"]
+pub struct EvalTicket {
+    cache: EvalCache,
+    key: CacheKey,
+    inflight: Arc<Inflight>,
+    completed: bool,
+}
+
+impl EvalTicket {
+    /// Publishes `eval` for the key and wakes all coalesced waiters.
+    pub fn complete(mut self, eval: Arc<Evaluation>) {
+        {
+            let mut shard = self.cache.shard(&self.key).write().expect("cache shard poisoned");
+            shard.insert(self.key.clone(), Slot::Ready(eval.clone()));
+        }
+        let mut state = self.inflight.state.lock().expect("inflight lock poisoned");
+        *state = InflightState::Ready(eval);
+        self.inflight.cv.notify_all();
+        drop(state);
+        self.completed = true;
+    }
+}
+
+impl Drop for EvalTicket {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        {
+            let mut shard = self.cache.shard(&self.key).write().expect("cache shard poisoned");
+            if let Some(Slot::Pending(p)) = shard.get(&self.key) {
+                if Arc::ptr_eq(p, &self.inflight) {
+                    shard.remove(&self.key);
+                }
+            }
+        }
+        let mut state = self.inflight.state.lock().expect("inflight lock poisoned");
+        *state = InflightState::Abandoned;
+        self.inflight.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u32) -> CacheKey {
+        CacheKey { counts: vec![(tag, 0)], kind: PpgKind::And, context: 7 }
+    }
+
+    fn eval(cost: f64) -> Arc<Evaluation> {
+        Arc::new(Evaluation { reports: Vec::new(), cost })
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips() {
+        let cache = EvalCache::new();
+        let Lookup::Miss(ticket) = cache.lookup_or_begin(&key(1)) else {
+            panic!("fresh key must miss");
+        };
+        ticket.complete(eval(2.5));
+        let Lookup::Hit(e) = cache.lookup_or_begin(&key(1)) else {
+            panic!("completed key must hit");
+        };
+        assert_eq!(e.cost, 2.5);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn clones_share_entries() {
+        let a = EvalCache::new();
+        let b = a.clone();
+        if let Lookup::Miss(t) = a.lookup_or_begin(&key(3)) {
+            t.complete(eval(1.0));
+        }
+        assert!(matches!(b.lookup_or_begin(&key(3)), Lookup::Hit(_)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn distinct_contexts_are_distinct_entries() {
+        let cache = EvalCache::new();
+        let mut k2 = key(4);
+        k2.context = 8;
+        if let Lookup::Miss(t) = cache.lookup_or_begin(&key(4)) {
+            t.complete(eval(1.0));
+        }
+        assert!(matches!(cache.lookup_or_begin(&k2), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn abandoned_ticket_lets_next_caller_produce() {
+        let cache = EvalCache::new();
+        let Lookup::Miss(ticket) = cache.lookup_or_begin(&key(5)) else {
+            panic!("fresh key must miss");
+        };
+        drop(ticket);
+        assert!(matches!(cache.lookup_or_begin(&key(5)), Lookup::Miss(_)));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn waiters_coalesce_on_inflight_work() {
+        let cache = EvalCache::new();
+        let Lookup::Miss(ticket) = cache.lookup_or_begin(&key(6)) else {
+            panic!("fresh key must miss");
+        };
+        let waiters: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = cache.clone();
+                    scope.spawn(move || match cache.lookup_or_begin(&key(6)) {
+                        Lookup::Hit(e) => e.cost,
+                        Lookup::Miss(_) => panic!("waiter must not become producer"),
+                    })
+                })
+                .collect();
+            // Give the waiters time to park on the pending slot, then
+            // publish.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            ticket.complete(eval(9.0));
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(waiters.iter().all(|&c| c == 9.0));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "only one producer");
+        assert_eq!(s.hits, 4);
+        assert!(s.coalesced >= 1);
+    }
+
+    #[test]
+    fn context_fingerprint_separates_numeric_inputs() {
+        let a = context_fingerprint(&[0.7, 0.85], 800, [4.0, 1.0, 0.0]);
+        let b = context_fingerprint(&[0.7, 0.85], 800, [4.0, 1.0, 1e-9]);
+        let c = context_fingerprint(&[0.7, 0.86], 800, [4.0, 1.0, 0.0]);
+        let d = context_fingerprint(&[0.7, 0.85], 801, [4.0, 1.0, 0.0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, context_fingerprint(&[0.7, 0.85], 800, [4.0, 1.0, 0.0]));
+    }
+}

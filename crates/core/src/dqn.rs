@@ -8,7 +8,7 @@
 //! in the paper.
 
 use crate::env::MulEnv;
-use crate::outcome::OptimizationOutcome;
+use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,20 +168,25 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
     }
 
     let (best, best_cost) = env.best();
-    let (_, states_visited, synth_runs) = env.stats();
+    let stats = env.stats();
     Ok(OptimizationOutcome {
         best: best.clone(),
         best_cost,
         trajectory,
         pareto_points: env.pareto_points().to_vec(),
-        states_visited,
-        synth_runs,
+        states_visited: stats.distinct_states,
+        synth_runs: stats.synth_runs,
+        pipeline: PipelineStats {
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_entries: stats.distinct_states,
+            sta: stats.sta,
+        },
     })
 }
 
 fn random_legal<R: Rng + ?Sized>(mask: &[bool], rng: &mut R) -> usize {
-    let legal: Vec<usize> =
-        mask.iter().enumerate().filter(|(_, &ok)| ok).map(|(i, _)| i).collect();
+    let legal: Vec<usize> = mask.iter().enumerate().filter(|(_, &ok)| ok).map(|(i, _)| i).collect();
     legal[rng.gen_range(0..legal.len())]
 }
 

@@ -1,13 +1,13 @@
 //! The RL-MUL environment: compressor-tree states, masked actions,
 //! and a synthesis-backed Pareto-driven reward (paper Fig. 3).
 
+use crate::cache::{context_fingerprint, CacheKey, EvalCache, Lookup};
 use crate::reward::CostWeights;
 use crate::RlMulError;
 use rlmul_ct::{Action, CompressorTree, PpgKind};
 use rlmul_nn::Tensor;
 use rlmul_rtl::MultiplierNetlist;
-use rlmul_synth::{SynthesisOptions, SynthesisReport, Synthesizer};
-use std::collections::HashMap;
+use rlmul_synth::{StaStats, SynthesisOptions, SynthesisReport, Synthesizer};
 use std::sync::Arc;
 
 /// Which legacy structure seeds the search (state `s_0`).
@@ -72,13 +72,35 @@ impl EnvConfig {
 }
 
 /// One synthesized state evaluation (shared via [`Arc`] through the
-/// per-environment cache).
+/// cross-environment [`EvalCache`]).
 #[derive(Debug, Clone)]
 pub struct Evaluation {
     /// One synthesis report per delay constraint.
     pub reports: Vec<SynthesisReport>,
     /// Scalar weighted cost (paper Eq. 20).
     pub cost: f64,
+}
+
+/// Evaluation-pipeline counters for one environment.
+///
+/// `synth_runs`, `cache_hits`, `cache_misses`, and `sta` count work
+/// performed (or avoided) *by this environment*; `distinct_states`
+/// reads the shared cache, so environments sharing one [`EvalCache`]
+/// report the same value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvStats {
+    /// Environment steps taken.
+    pub steps: usize,
+    /// Finished entries in the (possibly shared) evaluation cache.
+    pub distinct_states: usize,
+    /// Synthesis runs this environment performed itself.
+    pub synth_runs: usize,
+    /// Evaluations answered from the cache.
+    pub cache_hits: usize,
+    /// Evaluations this environment had to synthesize.
+    pub cache_misses: usize,
+    /// Timing-engine work done by this environment's synthesis runs.
+    pub sta: StaStats,
 }
 
 /// Result of one environment step.
@@ -114,11 +136,23 @@ pub struct MulEnv {
     delay_targets: Vec<f64>,
     stage_limit: usize,
     tensor_stages: usize,
-    cache: HashMap<Vec<(u32, u32)>, Arc<Evaluation>>,
+    cache: EvalCache,
+    /// Context fingerprint for multi-target evaluations.
+    eval_context: u64,
     pareto_points: Vec<(f64, f64)>,
     best: (f64, CompressorTree),
     steps_taken: usize,
+    counters: PipelineCounters,
+}
+
+/// Per-environment work counters (the shared cache keeps its own
+/// global ones).
+#[derive(Debug, Clone, Copy, Default)]
+struct PipelineCounters {
     synth_runs: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    sta: StaStats,
 }
 
 impl std::fmt::Debug for MulEnv {
@@ -142,16 +176,46 @@ impl MulEnv {
     ///
     /// Propagates tree, elaboration and synthesis errors.
     pub fn new(config: EnvConfig) -> Result<Self, RlMulError> {
+        Self::with_cache(config, EvalCache::new())
+    }
+
+    /// Builds the environment on top of a shared evaluation cache, so
+    /// parallel workers (and sequential method comparisons over the
+    /// same design) never synthesize the same state twice.
+    ///
+    /// # Errors
+    ///
+    /// As [`MulEnv::new`].
+    pub fn with_cache(config: EnvConfig, cache: EvalCache) -> Result<Self, RlMulError> {
         let initial = match config.initial {
             InitialStructure::Wallace => CompressorTree::wallace(config.bits, config.kind)?,
             InitialStructure::Dadda => CompressorTree::dadda(config.bits, config.kind)?,
         };
         let synthesizer = Synthesizer::nangate45();
-        // Min-area synthesis of s_0 anchors the delay constraints.
-        let netlist = MultiplierNetlist::elaborate(&initial)?.into_netlist();
-        let anchor = synthesizer.run(&netlist, &SynthesisOptions::default())?;
+        let mut counters = PipelineCounters::default();
+        // Min-area synthesis of s_0 anchors the delay constraints,
+        // routed through the shared cache (empty target list as the
+        // context) so sibling environments reuse one anchor run.
+        let anchor_opts = SynthesisOptions::default();
+        let anchor_context = context_fingerprint(
+            &[],
+            anchor_opts.max_upsizes,
+            [config.weights.area, config.weights.delay, config.weights.power],
+        );
+        let anchor_eval = Self::evaluate_cached(
+            &cache,
+            &synthesizer,
+            &config.weights,
+            config.kind,
+            anchor_context,
+            &initial,
+            std::slice::from_ref(&anchor_opts),
+            &mut counters,
+        )?
+        .0;
+        let anchor_delay = anchor_eval.reports[0].delay_ns;
         let delay_targets = if config.delay_targets.is_empty() {
-            [0.7, 0.85, 1.0, 1.15].iter().map(|m| m * anchor.delay_ns).collect()
+            [0.7, 0.85, 1.0, 1.15].iter().map(|m| m * anchor_delay).collect()
         } else {
             config.delay_targets.clone()
         };
@@ -166,6 +230,11 @@ impl MulEnv {
         } else {
             config.tensor_stages
         };
+        let eval_context = context_fingerprint(
+            &delay_targets,
+            config.max_upsizes,
+            [config.weights.area, config.weights.delay, config.weights.power],
+        );
         let mut env = MulEnv {
             config,
             synthesizer,
@@ -175,11 +244,12 @@ impl MulEnv {
             delay_targets,
             stage_limit,
             tensor_stages,
-            cache: HashMap::new(),
+            cache,
+            eval_context,
             pareto_points: Vec::new(),
             best: (f64::INFINITY, CompressorTree::wallace(2, PpgKind::And)?),
             steps_taken: 0,
-            synth_runs: 0,
+            counters,
         };
         let eval = env.evaluate(&env.current.clone())?;
         env.current_cost = eval.cost;
@@ -263,10 +333,8 @@ impl MulEnv {
                 continue;
             }
             let action = Action::from_flat_index(idx, ncols).expect("mask-sized index");
-            let successor = self
-                .current
-                .apply_action(action)
-                .expect("masked-in actions are applicable");
+            let successor =
+                self.current.apply_action(action).expect("masked-in actions are applicable");
             let stages = successor.stage_count().unwrap_or(usize::MAX);
             if stages > self.stage_limit {
                 *ok = false;
@@ -283,11 +351,12 @@ impl MulEnv {
     /// and Pareto archive.
     pub fn reset(&mut self) {
         self.current = self.initial.clone();
-        self.current_cost = self
-            .cache
-            .get(self.initial.matrix().counts())
-            .map(|e| e.cost)
-            .unwrap_or(self.current_cost);
+        let key = CacheKey {
+            counts: self.initial.matrix().counts().to_vec(),
+            kind: self.config.kind,
+            context: self.eval_context,
+        };
+        self.current_cost = self.cache.peek(&key).map(|e| e.cost).unwrap_or(self.current_cost);
     }
 
     /// Applies the flattened action index, legalizes, synthesizes the
@@ -312,33 +381,80 @@ impl MulEnv {
         Ok(StepOutcome { reward, cost: evaluation.cost, evaluation })
     }
 
-    /// Synthesizes `tree` under every delay target (cached by
-    /// structure).
+    /// Synthesizes `tree` under every delay target. The targets fan
+    /// out over scoped threads inside the synthesizer, and results
+    /// are cached by `(structure, kind, context)` in the shared
+    /// [`EvalCache`] — a state synthesized by any worker sharing the
+    /// cache is a hit here.
     ///
     /// # Errors
     ///
     /// Propagates elaboration and synthesis errors.
     pub fn evaluate(&mut self, tree: &CompressorTree) -> Result<Arc<Evaluation>, RlMulError> {
-        let key = tree.matrix().counts().to_vec();
-        if let Some(hit) = self.cache.get(&key) {
-            return Ok(hit.clone());
-        }
-        let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
-        let mut reports = Vec::with_capacity(self.delay_targets.len());
-        for &t in &self.delay_targets {
-            let opts = SynthesisOptions {
+        let options: Vec<SynthesisOptions> = self
+            .delay_targets
+            .iter()
+            .map(|&t| SynthesisOptions {
                 target_delay_ns: Some(t),
                 max_upsizes: self.config.max_upsizes,
-            };
-            let r = self.synthesizer.run(&netlist, &opts)?;
-            self.synth_runs += 1;
-            self.pareto_points.push((r.area_um2, r.delay_ns));
-            reports.push(r);
+            })
+            .collect();
+        let (eval, fresh) = Self::evaluate_cached(
+            &self.cache,
+            &self.synthesizer,
+            &self.config.weights,
+            self.config.kind,
+            self.eval_context,
+            tree,
+            &options,
+            &mut self.counters,
+        )?;
+        if fresh {
+            for r in &eval.reports {
+                self.pareto_points.push((r.area_um2, r.delay_ns));
+            }
         }
-        let cost = self.config.weights.cost(&reports);
-        let eval = Arc::new(Evaluation { reports, cost });
-        self.cache.insert(key, eval.clone());
         Ok(eval)
+    }
+
+    /// Cache-mediated synthesis shared by [`MulEnv::evaluate`] and
+    /// the anchor run in [`MulEnv::with_cache`]. Returns the
+    /// evaluation and whether this caller synthesized it (`false` for
+    /// cache hits, including waits on another worker's in-flight
+    /// run).
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_cached(
+        cache: &EvalCache,
+        synthesizer: &Synthesizer,
+        weights: &CostWeights,
+        kind: PpgKind,
+        context: u64,
+        tree: &CompressorTree,
+        options: &[SynthesisOptions],
+        counters: &mut PipelineCounters,
+    ) -> Result<(Arc<Evaluation>, bool), RlMulError> {
+        let key = CacheKey { counts: tree.matrix().counts().to_vec(), kind, context };
+        match cache.lookup_or_begin(&key) {
+            Lookup::Hit(eval) => {
+                counters.cache_hits += 1;
+                Ok((eval, false))
+            }
+            Lookup::Miss(ticket) => {
+                counters.cache_misses += 1;
+                // On error the ticket drops un-completed, releasing
+                // any coalesced waiters to retry for themselves.
+                let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+                let reports = synthesizer.run_many(&netlist, options)?;
+                counters.synth_runs += reports.len();
+                for r in &reports {
+                    counters.sta.merge(r.sta);
+                }
+                let cost = weights.cost(&reports);
+                let eval = Arc::new(Evaluation { reports, cost });
+                ticket.complete(eval.clone());
+                Ok((eval, true))
+            }
+        }
     }
 
     /// Every `(area µm², delay ns)` point synthesized so far — the
@@ -347,10 +463,22 @@ impl MulEnv {
         &self.pareto_points
     }
 
-    /// Environment statistics: `(steps, distinct states, synthesis
-    /// runs)`.
-    pub fn stats(&self) -> (usize, usize, usize) {
-        (self.steps_taken, self.cache.len(), self.synth_runs)
+    /// Evaluation-pipeline statistics for this environment.
+    pub fn stats(&self) -> EnvStats {
+        EnvStats {
+            steps: self.steps_taken,
+            distinct_states: self.cache.len(),
+            synth_runs: self.counters.synth_runs,
+            cache_hits: self.counters.cache_hits,
+            cache_misses: self.counters.cache_misses,
+            sta: self.counters.sta,
+        }
+    }
+
+    /// Handle to the evaluation cache this environment uses; clone it
+    /// into sibling environments to share synthesized states.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
     }
 }
 
@@ -385,13 +513,27 @@ mod tests {
         let mut env = env8();
         let a = env.action_mask().iter().position(|&ok| ok).unwrap();
         env.step(a).unwrap();
-        let (_, states, runs_before) = env.stats();
-        assert!(states >= 2);
+        let before = env.stats();
+        assert!(before.distinct_states >= 2);
         // Re-evaluating the current state hits the cache.
         let tree = env.current().clone();
         env.evaluate(&tree).unwrap();
-        let (_, _, runs_after) = env.stats();
-        assert_eq!(runs_before, runs_after);
+        let after = env.stats();
+        assert_eq!(before.synth_runs, after.synth_runs);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn shared_cache_dedups_across_envs() {
+        let cache = crate::cache::EvalCache::new();
+        let e1 = MulEnv::with_cache(EnvConfig::new(8, PpgKind::And), cache.clone()).unwrap();
+        let e2 = MulEnv::with_cache(EnvConfig::new(8, PpgKind::And), cache.clone()).unwrap();
+        // The first env synthesizes the anchor and the initial state;
+        // the second env finds both in the shared cache.
+        assert!(e1.stats().synth_runs > 0);
+        assert_eq!(e2.stats().synth_runs, 0, "sibling env re-synthesized shared states");
+        assert_eq!(e2.stats().cache_hits, 2);
+        assert_eq!(e1.stats().distinct_states, e2.stats().distinct_states);
     }
 
     #[test]

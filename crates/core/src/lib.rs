@@ -32,6 +32,7 @@
 //! ```
 
 mod a2c;
+mod cache;
 mod dqn;
 mod env;
 mod error;
@@ -39,10 +40,13 @@ mod outcome;
 mod reward;
 mod sa_driver;
 
-pub use a2c::{train_a2c, A2cConfig, PolicyValueNet};
+pub use a2c::{train_a2c, train_a2c_cached, A2cConfig, PolicyValueNet};
+pub use cache::{context_fingerprint, CacheKey, CacheStats, EvalCache, EvalTicket, Lookup};
 pub use dqn::{train_dqn, DqnConfig, QNetwork};
-pub use env::{EnvConfig, Evaluation, InitialStructure, MulEnv, StagePruning, StepOutcome};
+pub use env::{
+    EnvConfig, EnvStats, Evaluation, InitialStructure, MulEnv, StagePruning, StepOutcome,
+};
 pub use error::RlMulError;
-pub use outcome::OptimizationOutcome;
+pub use outcome::{OptimizationOutcome, PipelineStats};
 pub use reward::CostWeights;
-pub use sa_driver::run_sa;
+pub use sa_driver::{run_sa, run_sa_cached};

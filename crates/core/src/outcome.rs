@@ -1,6 +1,40 @@
 //! Common result type of every optimizer (RL-MUL, RL-MUL-E, SA, …).
 
 use rlmul_ct::CompressorTree;
+use rlmul_synth::StaStats;
+
+/// Evaluation-pipeline counters pooled over a whole optimization run:
+/// how much synthesis was performed, how much the shared cache
+/// avoided, and how much timing work the incremental STA engine
+/// saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Evaluations answered from the shared cache.
+    pub cache_hits: usize,
+    /// Evaluations that had to synthesize.
+    pub cache_misses: usize,
+    /// Finished entries in the shared cache at the end of the run.
+    pub cache_entries: usize,
+    /// Timing-engine work counters summed over all synthesis runs.
+    pub sta: StaStats,
+}
+
+impl PipelineStats {
+    /// One-line human-readable rendering for logs and bench reports.
+    pub fn render(&self) -> String {
+        format!(
+            "cache {} hits / {} misses ({} states); sta {} full + {} incremental passes, \
+             {} full / {} incremental gate visits",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.sta.full_passes,
+            self.sta.incremental_passes,
+            self.sta.full_gate_visits,
+            self.sta.incremental_gate_visits,
+        )
+    }
+}
 
 /// What an optimization run produced.
 #[derive(Debug, Clone)]
@@ -19,4 +53,6 @@ pub struct OptimizationOutcome {
     pub states_visited: usize,
     /// Total synthesis runs.
     pub synth_runs: usize,
+    /// Cache and timing-engine counters for the run.
+    pub pipeline: PipelineStats,
 }

@@ -67,6 +67,7 @@ mod tests {
             drive_histogram: [0, 0, 0],
             sizing_moves: 0,
             num_cells: 0,
+            sta: rlmul_synth::StaStats::default(),
         }
     }
 

@@ -2,8 +2,9 @@
 //! cost as the RL agents, so Fig. 12-style comparisons isolate the
 //! search strategy.
 
+use crate::cache::EvalCache;
 use crate::env::{EnvConfig, MulEnv};
-use crate::outcome::OptimizationOutcome;
+use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +20,22 @@ pub fn run_sa(
     sa_config: &SaConfig,
     seed: u64,
 ) -> Result<OptimizationOutcome, RlMulError> {
-    let mut env = MulEnv::new(env_config.clone())?;
+    run_sa_cached(env_config, sa_config, seed, EvalCache::new())
+}
+
+/// [`run_sa`] on top of a shared evaluation cache, so baseline and
+/// RL runs over the same design reuse each other's synthesis results.
+///
+/// # Errors
+///
+/// As [`run_sa`].
+pub fn run_sa_cached(
+    env_config: &EnvConfig,
+    sa_config: &SaConfig,
+    seed: u64,
+    cache: EvalCache,
+) -> Result<OptimizationOutcome, RlMulError> {
+    let mut env = MulEnv::with_cache(env_config.clone(), cache)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let initial = env.current().clone();
     let mut eval_error: Option<RlMulError> = None;
@@ -43,14 +59,20 @@ pub fn run_sa(
     if let Some(e) = eval_error {
         return Err(e);
     }
-    let (_, states_visited, synth_runs) = env.stats();
+    let stats = env.stats();
     Ok(OptimizationOutcome {
         best: outcome.best,
         best_cost: outcome.best_cost,
         trajectory: outcome.trajectory,
         pareto_points: env.pareto_points().to_vec(),
-        states_visited,
-        synth_runs,
+        states_visited: stats.distinct_states,
+        synth_runs: stats.synth_runs,
+        pipeline: PipelineStats {
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_entries: stats.distinct_states,
+            sta: stats.sta,
+        },
     })
 }
 

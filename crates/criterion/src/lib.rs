@@ -1,0 +1,274 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so the real
+//! `criterion` crate cannot be fetched. This shim keeps the bench
+//! source syntax — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — over a straightforward
+//! calibrate-then-measure timing loop that prints mean, minimum and
+//! maximum time per iteration for every benchmark.
+//!
+//! There is no statistical analysis, HTML report, or baseline
+//! comparison; output is one line per benchmark on stdout, which is
+//! what this repository's BENCH logs capture.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver and its measurement settings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Measures one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, &name.into(), f);
+        self
+    }
+}
+
+/// A named parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark of the group against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Measures one unparameterized benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing happens
+    /// per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Hands the measured routine to the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    // Warm-up while estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters_done = 0u64;
+    let mut batch = 1u64;
+    while warm_start.elapsed() < c.warm_up_time {
+        time_batch(&mut f, batch);
+        iters_done += batch;
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+    // Size samples so all of them together fit the measurement budget.
+    let budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut total = Duration::ZERO;
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut measured = 0u64;
+    for _ in 0..c.sample_size {
+        let d = time_batch(&mut f, iters_per_sample);
+        let per = d.as_secs_f64() / iters_per_sample as f64;
+        min = min.min(per);
+        max = max.max(per);
+        total += d;
+        measured += iters_per_sample;
+    }
+    let mean = total.as_secs_f64() / measured as f64;
+    println!(
+        "bench: {name:<50} mean {:>12} (min {}, max {}, {} samples x {} iters)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        c.sample_size,
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function that runs `targets` under
+/// `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench-harness `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(1u64 + 1)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let id = BenchmarkId::new("f", 16);
+        assert_eq!(id.render(), "f/16");
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_picks_sane_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

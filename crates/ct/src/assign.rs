@@ -114,11 +114,7 @@ impl StageTensor {
     /// `(3:2, 2:2)` compressors fired at `(column, stage)`; `(0, 0)`
     /// beyond the column's depth.
     pub fn counts_at(&self, column: usize, stage: usize) -> (u32, u32) {
-        self.columns
-            .get(column)
-            .and_then(|c| c.get(stage))
-            .copied()
-            .unwrap_or((0, 0))
+        self.columns.get(column).and_then(|c| c.get(stage)).copied().unwrap_or((0, 0))
     }
 
     /// Dense `K × 2N × ST_pad` encoding (row-major `[kind][column][stage]`)
@@ -138,10 +134,11 @@ impl StageTensor {
     /// Sums the tensor back into per-column `(3:2, 2:2)` totals —
     /// by construction equal to the source matrix.
     pub fn to_matrix(&self) -> CompressorMatrix {
-        CompressorMatrix::from_counts(self.columns.iter().map(|col| {
-            col.iter()
-                .fold((0, 0), |(a, b), &(f, h)| (a + f, b + h))
-        }))
+        CompressorMatrix::from_counts(
+            self.columns
+                .iter()
+                .map(|col| col.iter().fold((0, 0), |(a, b), &(f, h)| (a + f, b + h))),
+        )
     }
 }
 
@@ -197,10 +194,7 @@ mod tests {
         let mut counts = vec![(0u32, 0u32); 8];
         counts[0] = (1, 0);
         let m = CompressorMatrix::from_counts(counts);
-        assert!(matches!(
-            StageTensor::assign(&p, &m),
-            Err(CtError::AssignmentStuck { column: 0 })
-        ));
+        assert!(matches!(StageTensor::assign(&p, &m), Err(CtError::AssignmentStuck { column: 0 })));
     }
 
     #[test]

@@ -44,14 +44,12 @@ impl fmt::Display for CtError {
             CtError::UnsupportedWidth { bits } => {
                 write!(f, "unsupported operand width {bits} (supported: 2..=32)")
             }
-            CtError::IllegalStructure { column, residual } => write!(
-                f,
-                "illegal compressor tree: column {column} compresses to {residual} rows"
-            ),
-            CtError::AssignmentStuck { column } => write!(
-                f,
-                "stage assignment deadlocked at column {column}: matrix is infeasible"
-            ),
+            CtError::IllegalStructure { column, residual } => {
+                write!(f, "illegal compressor tree: column {column} compresses to {residual} rows")
+            }
+            CtError::AssignmentStuck { column } => {
+                write!(f, "stage assignment deadlocked at column {column}: matrix is infeasible")
+            }
             CtError::InvalidAction { index } => {
                 write!(f, "action {index} is masked out in the current state")
             }

@@ -79,8 +79,7 @@ mod tests {
             let mut m = matrix.clone();
             a.apply_raw(&mut m);
             legalize(&profile, &mut m, col);
-            m.check_legal(&profile)
-                .unwrap_or_else(|e| panic!("column {col}: {e}"));
+            m.check_legal(&profile).unwrap_or_else(|e| panic!("column {col}: {e}"));
         }
     }
 
@@ -105,8 +104,7 @@ mod tests {
             let mut m = matrix.clone();
             a.apply_raw(&mut m);
             legalize(&profile, &mut m, col);
-            m.check_legal(&profile)
-                .unwrap_or_else(|e| panic!("column {col}: {e}"));
+            m.check_legal(&profile).unwrap_or_else(|e| panic!("column {col}: {e}"));
         }
     }
 }

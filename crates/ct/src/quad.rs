@@ -129,9 +129,10 @@ impl QuadSchedule {
 
     /// Totals `(4:2, 3:2, 2:2)` over the whole schedule.
     pub fn totals(&self) -> (u32, u32, u32) {
-        self.stages.iter().flatten().fold((0, 0, 0), |(a, b, c), q| {
-            (a + q.n42, b + q.n32, c + q.n22)
-        })
+        self.stages
+            .iter()
+            .flatten()
+            .fold((0, 0, 0), |(a, b, c), q| (a + q.n42, b + q.n32, c + q.n22))
     }
 
     /// Dense `K × 2N × ST_pad` tensor with `K = 3` kinds

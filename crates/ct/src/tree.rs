@@ -210,19 +210,13 @@ mod tests {
     fn valid_actions_match_mask_population() {
         let tree = CompressorTree::dadda(8, PpgKind::Mbe).unwrap();
         let mask = tree.action_mask();
-        assert_eq!(
-            tree.valid_actions().len(),
-            mask.iter().filter(|&&ok| ok).count()
-        );
+        assert_eq!(tree.valid_actions().len(), mask.iter().filter(|&&ok| ok).count());
     }
 
     #[test]
     fn total_compressors_is_matrix_sum() {
         let tree = CompressorTree::wallace(8, PpgKind::MacMbe).unwrap();
-        assert_eq!(
-            tree.total_compressors(),
-            tree.matrix().total32() + tree.matrix().total22()
-        );
+        assert_eq!(tree.total_compressors(), tree.matrix().total32() + tree.matrix().total22());
     }
 
     #[test]

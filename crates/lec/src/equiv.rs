@@ -72,7 +72,7 @@ pub fn check_datapath(
     let exhaustive = bits <= EXHAUSTIVE_BITS;
     let mut pending: Vec<(u64, u64, u128)> = Vec::with_capacity(64);
     let check_batch = |pending: &mut Vec<(u64, u64, u128)>,
-                           vectors: &mut u64|
+                       vectors: &mut u64|
      -> Result<Option<Counterexample>, LecError> {
         if pending.is_empty() {
             return Ok(None);
@@ -158,10 +158,7 @@ pub fn check_datapath(
 }
 
 fn lane128(pv: &PortValues, lane: usize) -> u128 {
-    pv.bits
-        .iter()
-        .enumerate()
-        .fold(0u128, |acc, (k, &w)| acc | ((((w >> lane) & 1) as u128) << k))
+    pv.bits.iter().enumerate().fold(0u128, |acc, (k, &w)| acc | ((((w >> lane) & 1) as u128) << k))
 }
 
 #[cfg(test)]
@@ -178,11 +175,7 @@ mod tests {
         };
         let m = MultiplierNetlist::elaborate(&tree).unwrap();
         let report = check_datapath(m.netlist(), bits, kind).unwrap();
-        assert!(
-            report.equivalent,
-            "{bits}-bit {kind}: {:?}",
-            report.counterexample
-        );
+        assert!(report.equivalent, "{bits}-bit {kind}: {:?}", report.counterexample);
     }
 
     #[test]
@@ -233,8 +226,8 @@ mod tests {
             let tree = CompressorTree::dadda(bits, kind).unwrap();
             let original = MultiplierNetlist::elaborate(&tree).unwrap().into_netlist();
             let source = to_verilog(&original);
-            let reimported = from_verilog(&source)
-                .unwrap_or_else(|e| panic!("{bits}-bit {kind}: {e}"));
+            let reimported =
+                from_verilog(&source).unwrap_or_else(|e| panic!("{bits}-bit {kind}: {e}"));
             let r = check_datapath(&reimported, bits, kind).unwrap();
             assert!(r.equivalent, "{bits}-bit {kind}: {:?}", r.counterexample);
         }

@@ -56,10 +56,7 @@ impl<'a> SeqSimulator<'a> {
     pub fn step(&mut self, inputs: &[PortValues]) -> Result<Vec<PortValues>, LecError> {
         let n = self.netlist;
         if inputs.len() != n.inputs().len() {
-            return Err(LecError::StimulusShape {
-                expected: n.inputs().len(),
-                got: inputs.len(),
-            });
+            return Err(LecError::StimulusShape { expected: n.inputs().len(), got: inputs.len() });
         }
         let mut vals = vec![0u64; n.num_nets() as usize];
         vals[1] = u64::MAX;
@@ -136,7 +133,11 @@ impl<'a> SeqSimulator<'a> {
     /// # Errors
     ///
     /// Same as [`SeqSimulator::step`].
-    pub fn settle(&mut self, inputs: &[PortValues], cycles: usize) -> Result<Vec<PortValues>, LecError> {
+    pub fn settle(
+        &mut self,
+        inputs: &[PortValues],
+        cycles: usize,
+    ) -> Result<Vec<PortValues>, LecError> {
         let mut out = self.step(inputs)?;
         for _ in 1..cycles {
             out = self.step(inputs)?;
@@ -202,9 +203,8 @@ mod tests {
 
         // Constant stimulus, different in each of 8 lanes.
         let lane = |l: u64, base: u64| (base.wrapping_mul(l + 3)) % (1 << bits);
-        let acts: Vec<Vec<u64>> = (0..rows)
-            .map(|r| (0..8).map(|l| lane(l, r as u64 + 5)).collect())
-            .collect();
+        let acts: Vec<Vec<u64>> =
+            (0..rows).map(|r| (0..8).map(|l| lane(l, r as u64 + 5)).collect()).collect();
         let weights: Vec<Vec<Vec<u64>>> = (0..rows)
             .map(|r| {
                 (0..cols)
@@ -229,11 +229,7 @@ mod tests {
                     .map(|r| acts[r][l].wrapping_mul(weights[r][c][l]))
                     .fold(0u64, u64::wrapping_add)
                     & mask;
-                assert_eq!(
-                    out[c].lane(l),
-                    expected,
-                    "{rows}x{cols} {style:?} column {c} lane {l}"
-                );
+                assert_eq!(out[c].lane(l), expected, "{rows}x{cols} {style:?} column {c} lane {l}");
             }
         }
     }
@@ -281,11 +277,7 @@ mod tests {
             }
             for t in latency..stream.len() {
                 let (a, b) = stream[t - latency];
-                assert_eq!(
-                    outputs[t],
-                    (a * b) % (1 << (2 * bits)),
-                    "{cuts:?} cycle {t}"
-                );
+                assert_eq!(outputs[t], (a * b) % (1 << (2 * bits)), "{cuts:?} cycle {t}");
             }
         }
     }

@@ -34,10 +34,7 @@ impl PortValues {
 
     /// Extracts lane `l` back into a scalar.
     pub fn lane(&self, l: usize) -> u64 {
-        self.bits
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (k, &w)| acc | (((w >> l) & 1) << k))
+        self.bits.iter().enumerate().fold(0u64, |acc, (k, &w)| acc | (((w >> l) & 1) << k))
     }
 }
 
@@ -74,10 +71,7 @@ impl<'a> Simulator<'a> {
     pub fn run(&self, inputs: &[PortValues]) -> Result<Vec<PortValues>, LecError> {
         let n = self.netlist;
         if inputs.len() != n.inputs().len() {
-            return Err(LecError::StimulusShape {
-                expected: n.inputs().len(),
-                got: inputs.len(),
-            });
+            return Err(LecError::StimulusShape { expected: n.inputs().len(), got: inputs.len() });
         }
         let mut vals = vec![0u64; n.num_nets() as usize];
         vals[1] = u64::MAX; // constant one
@@ -127,8 +121,7 @@ impl<'a> Simulator<'a> {
                 GateKind::Dff => unreachable!("rejected in Simulator::new"),
             }
         }
-        Ok(n
-            .outputs()
+        Ok(n.outputs()
             .iter()
             .map(|p| PortValues { bits: p.bits.iter().map(|b| vals[b.0 as usize]).collect() })
             .collect())

@@ -73,7 +73,8 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix as usize >= w {
                                         continue;
                                     }
-                                    let wv = wt[((oc * self.in_c + ic) * self.k + ky) * self.k + kx];
+                                    let wv =
+                                        wt[((oc * self.in_c + ic) * self.k + ky) * self.k + kx];
                                     acc += wv * x.at4(ni, ic, iy as usize, ix as usize);
                                 }
                             }
@@ -116,8 +117,7 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix as usize >= w {
                                         continue;
                                     }
-                                    let widx =
-                                        ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                    let widx = ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
                                     dw[widx] += g * x.at4(ni, ic, iy as usize, ix as usize);
                                     *dx.at4_mut(ni, ic, iy as usize, ix as usize) += g * wt[widx];
                                 }

@@ -71,7 +71,11 @@ pub fn load_params<R: Read>(net: &mut dyn Layer, mut r: R) -> io::Result<()> {
             Some(blob) => {
                 err = Some(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("parameter {idx}: expected {} values, found {}", p.value.len(), blob.len()),
+                    format!(
+                        "parameter {idx}: expected {} values, found {}",
+                        p.value.len(),
+                        blob.len()
+                    ),
                 ));
             }
             None => {

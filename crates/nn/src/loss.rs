@@ -19,11 +19,8 @@ pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
         .filter(|(_, &m)| m)
         .map(|(&l, _)| l)
         .fold(f32::NEG_INFINITY, f32::max);
-    let mut exps: Vec<f32> = logits
-        .iter()
-        .zip(mask)
-        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
-        .collect();
+    let mut exps: Vec<f32> =
+        logits.iter().zip(mask).map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 }).collect();
     let sum: f32 = exps.iter().sum();
     if sum > 0.0 {
         for e in &mut exps {

@@ -130,8 +130,7 @@ impl Layer for BatchNorm2d {
                     for wx in 0..w {
                         let dy = grad_out.at4(ni, ch, hy, wx);
                         let xh = cache.x_hat.at4(ni, ch, hy, wx);
-                        *dx.at4_mut(ni, ch, hy, wx) =
-                            k * (dy - sum_dy / m - xh * sum_dy_xhat / m);
+                        *dx.at4_mut(ni, ch, hy, wx) = k * (dy - sum_dy / m - xh * sum_dy_xhat / m);
                     }
                 }
             }
@@ -161,14 +160,12 @@ mod tests {
         let (n, _, h, w) = y.dims4();
         for ch in 0..2 {
             let vals: Vec<f32> = (0..n)
-                .flat_map(|ni| {
-                    (0..h).flat_map(move |hy| (0..w).map(move |wx| (ni, hy, wx)))
-                })
+                .flat_map(|ni| (0..h).flat_map(move |hy| (0..w).map(move |wx| (ni, hy, wx))))
                 .map(|(ni, hy, wx)| y.at4(ni, ch, hy, wx))
                 .collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -35,9 +35,8 @@ impl Tensor {
     /// Kaiming-uniform initialization with `fan_in` inputs.
     pub fn kaiming<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
         let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
-        let data = (0..shape.iter().product::<usize>())
-            .map(|_| rng.gen_range(-bound..bound))
-            .collect();
+        let data =
+            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-bound..bound)).collect();
         Tensor { shape: shape.to_vec(), data }
     }
 

@@ -77,9 +77,8 @@ pub fn grad_check(layer: &mut (dyn Layer + '_), x: &Tensor, eps: f32, tol: f32) 
     // Sampled parameter coordinates. Collect analytic grads first.
     let mut analytic_grads: Vec<Vec<f32>> = Vec::new();
     layer.visit_params(&mut |p: &mut Param| analytic_grads.push(p.grad.data().to_vec()));
-    let num_params = analytic_grads.len();
-    for pi in 0..num_params {
-        let plen = analytic_grads[pi].len();
+    for (pi, grads) in analytic_grads.iter().enumerate() {
+        let plen = grads.len();
         let stride = (plen / 8).max(1);
         for k in (0..plen).step_by(stride) {
             let perturb = |layer: &mut dyn Layer, delta: f32| {
@@ -96,7 +95,7 @@ pub fn grad_check(layer: &mut (dyn Layer + '_), x: &Tensor, eps: f32, tol: f32) 
             perturb(layer, -2.0 * eps);
             let lm = loss(layer, x);
             perturb(layer, eps); // restore
-            agree(analytic_grads[pi][k], lp, lm, &format!("param {pi}[{k}]"));
+            agree(grads[k], lp, lm, &format!("param {pi}[{k}]"));
         }
     }
     assert!(

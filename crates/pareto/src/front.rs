@@ -79,7 +79,10 @@ mod tests {
             Point2::new(2.5, 2.5),
         ];
         let front = pareto_front(&pts);
-        assert_eq!(front, vec![Point2::new(1.0, 3.0), Point2::new(2.0, 2.0), Point2::new(3.0, 1.0)]);
+        assert_eq!(
+            front,
+            vec![Point2::new(1.0, 3.0), Point2::new(2.0, 2.0), Point2::new(3.0, 1.0)]
+        );
     }
 
     #[test]

@@ -62,11 +62,8 @@ pub fn hypervolume_3d(points: &[Point3], reference: Point3) -> f64 {
     let mut hv = 0.0;
     for w in zs.windows(2) {
         let (z_lo, z_hi) = (w[0], w[1]);
-        let slab: Vec<Point2> = inside
-            .iter()
-            .filter(|p| p.z <= z_lo)
-            .map(|p| Point2::new(p.x, p.y))
-            .collect();
+        let slab: Vec<Point2> =
+            inside.iter().filter(|p| p.z <= z_lo).map(|p| Point2::new(p.x, p.y)).collect();
         hv += hypervolume_2d(&slab, Point2::new(reference.x, reference.y)) * (z_hi - z_lo);
     }
     hv

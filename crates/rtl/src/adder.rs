@@ -67,16 +67,13 @@ fn brent_kung(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> Vec<NetId> {
     let (p, g) = prefix_pg(b, x, y);
     let mut gg = g.clone();
     let mut pp = p.clone();
-    let combine = |b: &mut NetlistBuilder,
-                   gg: &mut Vec<NetId>,
-                   pp: &mut Vec<NetId>,
-                   j: usize,
-                   k: usize| {
-        // (g_j, p_j) ∘ (g_k, p_k) with k the lower group.
-        let t = b.and2(pp[j], gg[k]);
-        gg[j] = b.or2(gg[j], t);
-        pp[j] = b.and2(pp[j], pp[k]);
-    };
+    let combine =
+        |b: &mut NetlistBuilder, gg: &mut Vec<NetId>, pp: &mut Vec<NetId>, j: usize, k: usize| {
+            // (g_j, p_j) ∘ (g_k, p_k) with k the lower group.
+            let t = b.and2(pp[j], gg[k]);
+            gg[j] = b.or2(gg[j], t);
+            pp[j] = b.and2(pp[j], pp[k]);
+        };
     // Up-sweep.
     let mut d = 0;
     while (1usize << (d + 1)) <= n {
@@ -253,7 +250,7 @@ mod tests {
         let ks = build(AdderKind::KoggeStone, 32);
         let rc = build(AdderKind::RippleCarry, 32);
         assert!(ks.gates().len() > rc.gates().len()); // prefix trades area…
-        // …for depth, which STA verifies in the synth crate's tests.
+                                                      // …for depth, which STA verifies in the synth crate's tests.
     }
 
     #[test]

@@ -30,10 +30,9 @@ impl fmt::Display for RtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RtlError::Ct(e) => write!(f, "compressor tree error: {e}"),
-            RtlError::ResidualMismatch { column, expected, got } => write!(
-                f,
-                "column {column} elaborated to {got} rows, matrix predicts {expected}"
-            ),
+            RtlError::ResidualMismatch { column, expected, got } => {
+                write!(f, "column {column} elaborated to {got} rows, matrix predicts {expected}")
+            }
             RtlError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
     }

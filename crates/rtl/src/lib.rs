@@ -38,7 +38,9 @@ pub use adder::{add, AdderKind};
 pub use ct_elab::{elaborate_ct, CtRows};
 pub use error::RtlError;
 pub use mul::MultiplierNetlist;
-pub use netlist::{DffHandle, Gate, GateKind, GateStats, NetId, Netlist, NetlistBuilder, Port, CONST0, CONST1};
+pub use netlist::{
+    DffHandle, Gate, GateKind, GateStats, NetId, Netlist, NetlistBuilder, Port, CONST0, CONST1,
+};
 pub use pe_array::{pe_array, PeArrayConfig, PeStyle};
 pub use pipeline::{elaborate_pipelined, PipelineCuts};
 pub use ppg::{and_ppg, mbe_ppg, merge_mac_addend, PpColumns};

@@ -249,9 +249,8 @@ impl Netlist {
                 }
             }
         }
-        self.gates.retain(|g| {
-            g.kind.is_sequential() || g.outputs().iter().any(|o| live[o.0 as usize])
-        });
+        self.gates
+            .retain(|g| g.kind.is_sequential() || g.outputs().iter().any(|o| live[o.0 as usize]));
         self
     }
 
@@ -294,7 +293,10 @@ impl Netlist {
             if !g.kind.is_sequential() {
                 for &inp in g.inputs() {
                     if !defined[inp.0 as usize] {
-                        return Err(format!("gate {i} ({:?}) reads undefined net {}", g.kind, inp.0));
+                        return Err(format!(
+                            "gate {i} ({:?}) reads undefined net {}",
+                            g.kind, inp.0
+                        ));
                     }
                 }
                 for &o in g.outputs() {
@@ -541,11 +543,7 @@ impl NetlistBuilder {
     /// plus a same-stage `cin`. Logically equivalent to two chained
     /// full adders; when any `x` input is constant the gate folds
     /// into that decomposition (which folds further).
-    pub fn compressor42(
-        &mut self,
-        x: [NetId; 4],
-        cin: NetId,
-    ) -> (NetId, NetId, NetId) {
+    pub fn compressor42(&mut self, x: [NetId; 4], cin: NetId) -> (NetId, NetId, NetId) {
         if x.iter().any(|n| n.is_const()) {
             let (s1, cout) = self.full_adder(x[0], x[1], x[2]);
             let (sum, carry) = self.full_adder(s1, x[3], cin);

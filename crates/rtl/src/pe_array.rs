@@ -79,12 +79,7 @@ pub fn pe_array(tree: &CompressorTree, config: PeArrayConfig) -> Result<Netlist,
         _ => {}
     }
     let n = tree.bits();
-    let mut b = NetlistBuilder::new(format!(
-        "pe_array_{}x{}_{}b",
-        config.rows,
-        config.cols,
-        n
-    ));
+    let mut b = NetlistBuilder::new(format!("pe_array_{}x{}_{}b", config.rows, config.cols, n));
 
     // Activations enter on the left edge, one bus per PE row.
     let acts: Vec<Vec<_>> = (0..config.rows).map(|r| b.input(format!("act{r}"), n)).collect();
@@ -106,9 +101,7 @@ pub fn pe_array(tree: &CompressorTree, config: PeArrayConfig) -> Result<Netlist,
                     let product = elaborate_datapath(&mut b, tree, &a_reg, w, None)?;
                     add(&mut b, &product, &psums[c], AdderKind::KoggeStone)
                 }
-                PeStyle::MergedMac => {
-                    elaborate_datapath(&mut b, tree, &a_reg, w, Some(&psums[c]))?
-                }
+                PeStyle::MergedMac => elaborate_datapath(&mut b, tree, &a_reg, w, Some(&psums[c]))?,
             };
             psums[c] = b.dff_bus(&result);
             act = a_reg;
@@ -168,8 +161,9 @@ mod tests {
     fn style_and_tree_must_agree() {
         let mul = CompressorTree::dadda(8, PpgKind::And).unwrap();
         let mac = CompressorTree::dadda(8, PpgKind::MacAnd).unwrap();
-        assert!(pe_array(&mul, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MergedMac })
-            .is_err());
+        assert!(
+            pe_array(&mul, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MergedMac }).is_err()
+        );
         assert!(pe_array(
             &mac,
             PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MultiplierAdder }
@@ -186,10 +180,12 @@ mod tests {
     #[test]
     fn area_scales_with_pe_count() {
         let tree = CompressorTree::dadda(8, PpgKind::And).unwrap();
-        let small = pe_array(&tree, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MultiplierAdder })
-            .unwrap();
-        let big = pe_array(&tree, PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder })
-            .unwrap();
+        let small =
+            pe_array(&tree, PeArrayConfig { rows: 1, cols: 1, style: PeStyle::MultiplierAdder })
+                .unwrap();
+        let big =
+            pe_array(&tree, PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder })
+                .unwrap();
         assert!(big.gates().len() > 3 * small.gates().len());
     }
 }

@@ -109,8 +109,7 @@ pub fn elaborate_quad_ct(
 pub fn quad_multiplier(bits: usize, kind: PpgKind, cpa: AdderKind) -> Result<Netlist, RtlError> {
     let profile = PpProfile::new(bits, kind)?;
     let schedule = QuadSchedule::build(&profile)?;
-    let name =
-        format!("{}{}x{}_q42", if kind.is_mac() { "mac" } else { "mul" }, bits, bits);
+    let name = format!("{}{}x{}_q42", if kind.is_mac() { "mac" } else { "mul" }, bits, bits);
     let mut b = NetlistBuilder::new(name);
     let a = b.input("a", bits);
     let m = b.input("b", bits);

@@ -6,7 +6,7 @@
 //! multipliers. The output is meant for consumption by external
 //! synthesis flows (Yosys/OpenROAD in the paper's setup).
 
-use crate::netlist::{GateKind, Netlist, NetId, CONST0, CONST1};
+use crate::netlist::{GateKind, NetId, Netlist, CONST0, CONST1};
 use std::fmt::Write as _;
 
 /// Renders `netlist` as a structural Verilog module.

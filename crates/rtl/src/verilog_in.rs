@@ -171,10 +171,10 @@ impl<'a> Reader<'a> {
             if lo.trim() != "0" {
                 return err(ln, "only [N:0] ranges supported");
             }
-            let hi: usize = hi.trim().parse().map_err(|_| ParseVerilogError {
-                line: ln,
-                message: "bad range bound".into(),
-            })?;
+            let hi: usize = hi
+                .trim()
+                .parse()
+                .map_err(|_| ParseVerilogError { line: ln, message: "bad range bound".into() })?;
             Ok((hi + 1, name.trim().to_owned()))
         } else {
             Ok((1, decl.to_owned()))

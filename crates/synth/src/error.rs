@@ -22,10 +22,9 @@ impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthError::EmptyNetlist => write!(f, "netlist has no gates to synthesize"),
-            SynthError::InvalidSweep { from_ns, to_ns, points } => write!(
-                f,
-                "invalid sweep: {from_ns} ns .. {to_ns} ns with {points} points"
-            ),
+            SynthError::InvalidSweep { from_ns, to_ns, points } => {
+                write!(f, "invalid sweep: {from_ns} ns .. {to_ns} ns with {points} points")
+            }
         }
     }
 }

@@ -40,5 +40,5 @@ pub use library::{Cell, Drive, Library};
 pub use map::MappedNetlist;
 pub use power::{estimate as estimate_power, PowerReport};
 pub use size::{size_to_target, SizingOutcome};
-pub use sta::{analyze, TimingReport};
+pub use sta::{analyze, IncrementalSta, StaStats, TimingReport};
 pub use synth::{SynthesisOptions, SynthesisReport, Synthesizer};

@@ -35,6 +35,9 @@ pub struct MappedNetlist<'a> {
     cell_of: Vec<usize>,
     /// For every net: `(gate index, input pin)` sinks.
     sinks: Vec<Vec<(u32, u8)>>,
+    /// For every net: the gate driving it (`None` for primary inputs
+    /// and constants).
+    driver: Vec<Option<u32>>,
     /// For every net: number of primary-output bits it drives.
     po_fanout: Vec<u16>,
 }
@@ -42,17 +45,20 @@ pub struct MappedNetlist<'a> {
 impl<'a> MappedNetlist<'a> {
     /// Maps every gate to its X1 library cell.
     pub fn map(netlist: &'a Netlist, library: &'a Library) -> Self {
-        let cell_of = netlist
-            .gates()
-            .iter()
-            .map(|g| library.cell_index(g.kind, Drive::X1))
-            .collect();
+        let cell_of =
+            netlist.gates().iter().map(|g| library.cell_index(g.kind, Drive::X1)).collect();
         let mut sinks = vec![Vec::new(); netlist.num_nets() as usize];
         for (gi, g) in netlist.gates().iter().enumerate() {
             for (pin, &inp) in g.inputs().iter().enumerate() {
                 if !inp.is_const() {
                     sinks[inp.0 as usize].push((gi as u32, pin as u8));
                 }
+            }
+        }
+        let mut driver = vec![None; netlist.num_nets() as usize];
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            for &o in g.outputs() {
+                driver[o.0 as usize] = Some(gi as u32);
             }
         }
         let mut po_fanout = vec![0u16; netlist.num_nets() as usize];
@@ -63,7 +69,7 @@ impl<'a> MappedNetlist<'a> {
                 }
             }
         }
-        MappedNetlist { netlist, library, cell_of, sinks, po_fanout }
+        MappedNetlist { netlist, library, cell_of, sinks, driver, po_fanout }
     }
 
     /// The source netlist.
@@ -90,6 +96,14 @@ impl<'a> MappedNetlist<'a> {
     /// `(gate, pin)` sinks of `net`.
     pub fn sinks(&self, net: rlmul_rtl::NetId) -> &[(u32, u8)] {
         &self.sinks[net.0 as usize]
+    }
+
+    /// Gate driving `net`, or `None` for primary inputs and constants.
+    pub fn driver_of(&self, net: rlmul_rtl::NetId) -> Option<usize> {
+        if net.is_const() {
+            return None;
+        }
+        self.driver[net.0 as usize].map(|gi| gi as usize)
     }
 
     /// Capacitive load on `net` in fF: sink pin caps, wire estimate,

@@ -79,8 +79,7 @@ pub fn estimate(m: &MappedNetlist<'_>, freq_ghz: f64) -> PowerReport {
             let prob = p[o.0 as usize];
             let toggle = 2.0 * prob * (1.0 - prob);
             let cap = m.load_ff(o);
-            energy_fj_per_cycle +=
-                toggle * (0.5 * cap * vdd * vdd + cell.internal_energy_fj);
+            energy_fj_per_cycle += toggle * (0.5 * cap * vdd * vdd + cell.internal_energy_fj);
         }
     }
     // fJ per cycle × GHz = µW.

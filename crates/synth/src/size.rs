@@ -9,7 +9,7 @@
 
 use crate::library::Drive;
 use crate::map::MappedNetlist;
-use crate::sta::{analyze, TimingReport};
+use crate::sta::{IncrementalSta, StaStats, TimingReport};
 
 /// Result of a sizing run.
 #[derive(Debug, Clone)]
@@ -20,6 +20,8 @@ pub struct SizingOutcome {
     pub moves: usize,
     /// Whether the delay target was met.
     pub met_target: bool,
+    /// Timing-engine work counters for this run.
+    pub sta: StaStats,
 }
 
 /// Upsizing moves applied per timing-analysis pass. Classic TILOS
@@ -28,23 +30,39 @@ pub struct SizingOutcome {
 /// STA passes, which matters for 10⁵-gate PE arrays.
 const MOVES_PER_PASS: usize = 8;
 
+/// Upstream resistance assumed when the critical input is a primary
+/// input (no driver cell to read): a typical X1 drive resistance.
+const PRIMARY_INPUT_DRIVE_RES_KOHM: f64 = 5.5;
+
 /// Sizes `m` toward `target_ns`; `max_moves` bounds the loop.
-pub fn size_to_target(m: &mut MappedNetlist<'_>, target_ns: f64, max_moves: usize) -> SizingOutcome {
-    let mut timing = analyze(m);
+///
+/// One full timing pass seeds the loop; every sizing batch after that
+/// is re-timed incrementally through the fanout cone of the resized
+/// gates only (bit-identical to a full pass; see [`IncrementalSta`]).
+pub fn size_to_target(
+    m: &mut MappedNetlist<'_>,
+    target_ns: f64,
+    max_moves: usize,
+) -> SizingOutcome {
+    let mut sta = IncrementalSta::new();
+    let mut timing = sta.analyze_full(m);
     let mut moves = 0;
+    let mut resized = Vec::with_capacity(MOVES_PER_PASS);
     while timing.worst_delay_ns > target_ns && moves < max_moves {
         let batch = best_moves(m, &timing, MOVES_PER_PASS.min(max_moves - moves));
         if batch.is_empty() {
             break;
         }
+        resized.clear();
         for &(gi, drive) in &batch {
             m.set_drive(gi, drive);
+            resized.push(gi);
         }
         moves += batch.len();
-        timing = analyze(m);
+        timing = sta.update(m, &resized);
     }
     let met_target = timing.worst_delay_ns <= target_ns;
-    SizingOutcome { timing, moves, met_target }
+    SizingOutcome { timing, moves, met_target, sta: sta.stats() }
 }
 
 /// Picks up to `limit` distinct critical-path upsizes with the best
@@ -57,15 +75,24 @@ fn best_moves(m: &MappedNetlist<'_>, timing: &TimingReport, limit: usize) -> Vec
         let Some(up) = cell.drive.upsize() else { continue };
         let upcell = m.library().cell(m.library().cell_index(n.gates()[gi].kind, up));
         // Gain: lower drive resistance on our load …
-        let load: f64 = n.gates()[gi]
-            .outputs()
-            .iter()
-            .map(|&o| m.load_ff(o))
-            .fold(0.0, f64::max);
+        let load: f64 = n.gates()[gi].outputs().iter().map(|&o| m.load_ff(o)).fold(0.0, f64::max);
         let gain_out = (cell.drive_res_kohm - upcell.drive_res_kohm) * load / 1000.0;
         // … minus extra input capacitance slowing the upstream driver.
-        // Use a typical X1 resistance as the upstream estimate.
-        let upstream_r = 5.5;
+        // The path enters this gate through its latest-arriving input,
+        // so charge that pin's actual driver cell; primary inputs fall
+        // back to a typical X1 resistance.
+        let upstream_r = n.gates()[gi]
+            .inputs()
+            .iter()
+            .filter(|i| !i.is_const())
+            .max_by(|a, b| {
+                timing.arrivals[a.0 as usize]
+                    .partial_cmp(&timing.arrivals[b.0 as usize])
+                    .expect("arrivals are finite")
+            })
+            .and_then(|&i| m.driver_of(i))
+            .map(|d| m.cell_of(d).drive_res_kohm)
+            .unwrap_or(PRIMARY_INPUT_DRIVE_RES_KOHM);
         let penalty = (upcell.input_cap_ff - cell.input_cap_ff) * upstream_r / 1000.0;
         let gain = gain_out - penalty;
         if gain <= 0.0 {
@@ -83,6 +110,7 @@ fn best_moves(m: &MappedNetlist<'_>, timing: &TimingReport, limit: usize) -> Vec
 mod tests {
     use super::*;
     use crate::library::Library;
+    use crate::sta::analyze;
     use rlmul_ct::{CompressorTree, PpgKind};
     use rlmul_rtl::MultiplierNetlist;
 

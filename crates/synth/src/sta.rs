@@ -5,9 +5,18 @@
 //! and flip-flop D pins (plus setup); startpoints are primary inputs
 //! and flip-flop Q pins (plus clk→Q). The worst endpoint and its
 //! critical path are reported for the sizing pass.
+//!
+//! Two engines share the delay model: [`analyze`] propagates over the
+//! whole netlist, and [`IncrementalSta`] re-propagates only through
+//! the fanout cone of gates touched by a sizing batch. Because both
+//! evaluate the identical arc expression on identical operands, the
+//! incremental arrivals are bit-identical to a full pass (asserted as
+//! a debug-build oracle).
 
 use crate::map::MappedNetlist;
 use rlmul_rtl::{Gate, GateKind, NetId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The inputs that output slot `k` of `g` actually depends on.
 fn arc_inputs(g: &Gate, k: usize) -> &[NetId] {
@@ -29,37 +38,56 @@ pub struct TimingReport {
     pub critical_path: Vec<usize>,
 }
 
-/// Runs STA over the mapped netlist.
-pub fn analyze(m: &MappedNetlist<'_>) -> TimingReport {
-    let n = m.netlist();
-    let num_nets = n.num_nets() as usize;
-    let mut arrivals = vec![0.0f64; num_nets];
-    // Driver gate of each net (for path extraction).
-    let mut driver: Vec<Option<u32>> = vec![None; num_nets];
+/// Work counters for the timing engines, kept per synthesis run so
+/// the evaluation pipeline can report how much of the STA work the
+/// incremental engine avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaStats {
+    /// Whole-netlist propagation passes.
+    pub full_passes: usize,
+    /// Incremental (fanout-cone) update passes.
+    pub incremental_passes: usize,
+    /// Gate evaluations performed by full passes.
+    pub full_gate_visits: usize,
+    /// Gate evaluations performed by incremental passes.
+    pub incremental_gate_visits: usize,
+}
 
-    for (gi, g) in n.gates().iter().enumerate() {
-        let cell = m.cell_of(gi);
-        if g.kind == GateKind::Dff {
-            // Q is a startpoint: clk→Q only.
-            let q = g.outs[0];
-            arrivals[q.0 as usize] = cell.intrinsic_ns[0];
-            driver[q.0 as usize] = Some(gi as u32);
-            continue;
-        }
-        for (k, &o) in g.outputs().iter().enumerate() {
-            // Per-arc timing: the 4:2 compressor's cout depends only
-            // on its first three inputs (never on cin), so same-stage
-            // cout chains do not ripple.
-            let at_in = arc_inputs(g, k)
-                .iter()
-                .map(|&i| arrivals[i.0 as usize])
-                .fold(0.0f64, f64::max);
-            let load = m.load_ff(o);
-            arrivals[o.0 as usize] =
-                at_in + cell.intrinsic_ns[k] + cell.drive_res_kohm * load / 1000.0;
-            driver[o.0 as usize] = Some(gi as u32);
-        }
+impl StaStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: StaStats) {
+        self.full_passes += other.full_passes;
+        self.incremental_passes += other.incremental_passes;
+        self.full_gate_visits += other.full_gate_visits;
+        self.incremental_gate_visits += other.incremental_gate_visits;
     }
+}
+
+/// Evaluates the timing arcs of gate `gi`, writing the arrival of
+/// each output net. Shared verbatim by the full and incremental
+/// engines so their results are bit-identical.
+#[inline]
+fn propagate_gate(m: &MappedNetlist<'_>, gi: usize, g: &Gate, arrivals: &mut [f64]) {
+    let cell = m.cell_of(gi);
+    if g.kind == GateKind::Dff {
+        // Q is a startpoint: clk→Q only.
+        let q = g.outs[0];
+        arrivals[q.0 as usize] = cell.intrinsic_ns[0];
+        return;
+    }
+    for (k, &o) in g.outputs().iter().enumerate() {
+        // Per-arc timing: the 4:2 compressor's cout depends only
+        // on its first three inputs (never on cin), so same-stage
+        // cout chains do not ripple.
+        let at_in = arc_inputs(g, k).iter().map(|&i| arrivals[i.0 as usize]).fold(0.0f64, f64::max);
+        let load = m.load_ff(o);
+        arrivals[o.0 as usize] = at_in + cell.intrinsic_ns[k] + cell.drive_res_kohm * load / 1000.0;
+    }
+}
+
+/// Endpoint scan and critical-path walk over finished arrivals.
+fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
+    let n = m.netlist();
 
     // Endpoints.
     let mut worst = 0.0f64;
@@ -88,17 +116,14 @@ pub fn analyze(m: &MappedNetlist<'_>) -> TimingReport {
     let mut critical_path = Vec::new();
     let mut cur = worst_net;
     while let Some(net) = cur {
-        let Some(gi) = driver[net.0 as usize] else { break };
-        critical_path.push(gi as usize);
-        let g = &n.gates()[gi as usize];
+        let Some(gi) = m.driver_of(net) else { break };
+        critical_path.push(gi);
+        let g = &n.gates()[gi];
         if g.kind == GateKind::Dff {
             break; // startpoint reached
         }
-        let slot = g
-            .outputs()
-            .iter()
-            .position(|&o| o == net)
-            .expect("driver gate must own the net");
+        let slot =
+            g.outputs().iter().position(|&o| o == net).expect("driver gate must own the net");
         cur = arc_inputs(g, slot)
             .iter()
             .filter(|i| !i.is_const())
@@ -109,13 +134,134 @@ pub fn analyze(m: &MappedNetlist<'_>) -> TimingReport {
             })
             .copied();
         if let Some(net) = cur {
-            if driver[net.0 as usize].is_none() {
+            if m.driver_of(net).is_none() {
                 break; // primary input
             }
         }
     }
     critical_path.reverse();
     TimingReport { worst_delay_ns: worst, arrivals, critical_path }
+}
+
+/// Runs STA over the mapped netlist.
+pub fn analyze(m: &MappedNetlist<'_>) -> TimingReport {
+    let n = m.netlist();
+    let mut arrivals = vec![0.0f64; n.num_nets() as usize];
+    for (gi, g) in n.gates().iter().enumerate() {
+        propagate_gate(m, gi, g, &mut arrivals);
+    }
+    report_from(m, arrivals)
+}
+
+/// Incremental timing engine for the sizing loop.
+///
+/// After a batch of drive-strength changes, only the gates whose
+/// timing can have moved are re-evaluated: the resized gates
+/// themselves, the drivers of their input nets (whose load changed
+/// with the input capacitance), and — transitively — every reader of
+/// a net whose arrival actually changed. Gates are processed in
+/// ascending index order (the netlist's gate order is topological),
+/// so each gate sees final fanin arrivals exactly as a full pass
+/// would, and the arithmetic is bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalSta {
+    arrivals: Vec<f64>,
+    queued: Vec<bool>,
+    stats: StaStats,
+}
+
+impl IncrementalSta {
+    /// A fresh engine; call [`IncrementalSta::analyze_full`] before
+    /// the first [`IncrementalSta::update`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> StaStats {
+        self.stats
+    }
+
+    /// Whole-netlist pass that (re)seeds the cached arrivals.
+    pub fn analyze_full(&mut self, m: &MappedNetlist<'_>) -> TimingReport {
+        let report = analyze(m);
+        self.arrivals = report.arrivals.clone();
+        self.queued = vec![false; m.netlist().gates().len()];
+        self.stats.full_passes += 1;
+        self.stats.full_gate_visits += m.netlist().gates().len();
+        report
+    }
+
+    /// Re-propagates arrivals through the fanout cone of `resized`
+    /// gates and returns a report identical to a full [`analyze`].
+    pub fn update(&mut self, m: &MappedNetlist<'_>, resized: &[usize]) -> TimingReport {
+        assert!(!self.arrivals.is_empty(), "IncrementalSta::update before analyze_full");
+        let n = m.netlist();
+        let gates = n.gates();
+        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        let push = |heap: &mut BinaryHeap<Reverse<u32>>, queued: &mut [bool], gi: usize| {
+            if !queued[gi] {
+                queued[gi] = true;
+                heap.push(Reverse(gi as u32));
+            }
+        };
+
+        // Seeds: the resized gates (their drive resistance changed)
+        // and the drivers of their input nets (their load changed via
+        // the resized cell's input capacitance).
+        for &gi in resized {
+            push(&mut heap, &mut self.queued, gi);
+            for &i in gates[gi].inputs() {
+                if let Some(d) = m.driver_of(i) {
+                    push(&mut heap, &mut self.queued, d);
+                }
+            }
+        }
+
+        // Topological worklist: ascending gate index equals
+        // topological order, and a changed net only ever wakes
+        // readers with larger indices, so every popped gate sees
+        // final fanin arrivals.
+        while let Some(Reverse(gi)) = heap.pop() {
+            let gi = gi as usize;
+            self.queued[gi] = false;
+            self.stats.incremental_gate_visits += 1;
+            let g = &gates[gi];
+            let mut before = [0.0f64; 3];
+            for (k, &o) in g.outputs().iter().enumerate() {
+                before[k] = self.arrivals[o.0 as usize];
+            }
+            propagate_gate(m, gi, g, &mut self.arrivals);
+            for (k, &o) in g.outputs().iter().enumerate() {
+                if self.arrivals[o.0 as usize] != before[k] {
+                    for &(sink, _) in m.sinks(o) {
+                        push(&mut heap, &mut self.queued, sink as usize);
+                    }
+                }
+            }
+        }
+        self.stats.incremental_passes += 1;
+
+        let report = report_from(m, self.arrivals.clone());
+
+        // Debug oracle: the incremental arrivals must be bit-identical
+        // to a from-scratch full analysis.
+        #[cfg(debug_assertions)]
+        {
+            let full = analyze(m);
+            debug_assert!(
+                full.arrivals == report.arrivals
+                    && full.worst_delay_ns == report.worst_delay_ns
+                    && full.critical_path == report.critical_path,
+                "incremental STA diverged from full analyze \
+                 (worst {} vs {})",
+                report.worst_delay_ns,
+                full.worst_delay_ns,
+            );
+        }
+
+        report
+    }
 }
 
 #[cfg(test)]
@@ -201,10 +347,7 @@ mod tests {
         let d_short = analyze(&MappedNetlist::map(&short, &lib)).worst_delay_ns;
         let d_long = analyze(&MappedNetlist::map(&long, &lib)).worst_delay_ns;
         // One extra cin→sum arc at most — far below 14 extra couts.
-        assert!(
-            d_long < d_short + 0.05,
-            "cout chain ripples: {d_short} → {d_long}"
-        );
+        assert!(d_long < d_short + 0.05, "cout chain ripples: {d_short} → {d_long}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::library::Library;
 use crate::map::MappedNetlist;
 use crate::power::estimate;
 use crate::size::size_to_target;
-use crate::sta::analyze;
+use crate::sta::{analyze, StaStats};
 use crate::SynthError;
 use rlmul_rtl::Netlist;
 
@@ -50,6 +50,8 @@ pub struct SynthesisReport {
     pub sizing_moves: usize,
     /// Gate instances.
     pub num_cells: usize,
+    /// Timing-engine work performed by this run.
+    pub sta: StaStats,
 }
 
 impl SynthesisReport {
@@ -102,17 +104,30 @@ impl Synthesizer {
     /// # Errors
     ///
     /// Returns [`SynthError::EmptyNetlist`] for gate-free netlists.
-    pub fn run(&self, netlist: &Netlist, options: &SynthesisOptions) -> Result<SynthesisReport, SynthError> {
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        options: &SynthesisOptions,
+    ) -> Result<SynthesisReport, SynthError> {
         if netlist.gates().is_empty() {
             return Err(SynthError::EmptyNetlist);
         }
         let mut mapped = MappedNetlist::map(netlist, &self.library);
-        let (timing, moves, met) = match options.target_delay_ns {
+        let (timing, moves, met, sta) = match options.target_delay_ns {
             Some(target) => {
                 let out = size_to_target(&mut mapped, target, options.max_upsizes);
-                (out.timing, out.moves, out.met_target)
+                (out.timing, out.moves, out.met_target, out.sta)
             }
-            None => (analyze(&mapped), 0, true),
+            None => (
+                analyze(&mapped),
+                0,
+                true,
+                StaStats {
+                    full_passes: 1,
+                    full_gate_visits: netlist.gates().len(),
+                    ..StaStats::default()
+                },
+            ),
         };
         let delay = timing.worst_delay_ns.max(1e-6);
         let power = estimate(&mapped, 1.0 / delay);
@@ -125,6 +140,7 @@ impl Synthesizer {
             drive_histogram: mapped.drive_histogram(),
             sizing_moves: moves,
             num_cells: netlist.gates().len(),
+            sta,
         })
     }
 
@@ -140,10 +156,49 @@ impl Synthesizer {
         netlist: &Netlist,
         targets_ns: &[f64],
     ) -> Result<Vec<SynthesisReport>, SynthError> {
-        targets_ns
-            .iter()
-            .map(|&t| self.run(netlist, &SynthesisOptions::with_target(t)))
-            .collect()
+        let options: Vec<SynthesisOptions> =
+            targets_ns.iter().map(|&t| SynthesisOptions::with_target(t)).collect();
+        self.run_many(netlist, &options)
+    }
+
+    /// Runs one synthesis per option set, fanning the independent
+    /// runs out over scoped threads and collecting reports in option
+    /// order.
+    ///
+    /// Each run maps, sizes, and times its own private
+    /// [`MappedNetlist`]; `self` and `netlist` are only read. That
+    /// shared-`&self` contract is what makes [`Synthesizer`] safe to
+    /// call from many threads at once, and it keeps the parallel
+    /// reports bit-identical to [`Synthesizer::run_many_serial`] —
+    /// the same deterministic computation runs per target, only the
+    /// wall-clock interleaving changes.
+    ///
+    /// # Errors
+    ///
+    /// The first error in option order, as [`Synthesizer::run`].
+    pub fn run_many(
+        &self,
+        netlist: &Netlist,
+        options: &[SynthesisOptions],
+    ) -> Result<Vec<SynthesisReport>, SynthError> {
+        if options.len() < 2 {
+            return self.run_many_serial(netlist, options);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                options.iter().map(|o| scope.spawn(move || self.run(netlist, o))).collect();
+            handles.into_iter().map(|h| h.join().expect("synthesis worker panicked")).collect()
+        })
+    }
+
+    /// Serial reference path for [`Synthesizer::run_many`]: identical
+    /// reports, one thread.
+    pub fn run_many_serial(
+        &self,
+        netlist: &Netlist,
+        options: &[SynthesisOptions],
+    ) -> Result<Vec<SynthesisReport>, SynthError> {
+        options.iter().map(|o| self.run(netlist, o)).collect()
     }
 
     /// Sweeps target delays uniformly over `[from_ns, to_ns]` with
@@ -250,14 +305,26 @@ mod tests {
     fn sequential_designs_synthesize() {
         use rlmul_rtl::{pe_array, PeArrayConfig, PeStyle};
         let tree = CompressorTree::dadda(4, PpgKind::And).unwrap();
-        let nl = pe_array(
-            &tree,
-            PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder },
-        )
-        .unwrap();
+        let nl =
+            pe_array(&tree, PeArrayConfig { rows: 2, cols: 2, style: PeStyle::MultiplierAdder })
+                .unwrap();
         let synth = Synthesizer::nangate45();
         let r = synth.run(&nl, &SynthesisOptions::default()).unwrap();
         assert!(r.power_mw > 0.0 && r.delay_ns > 0.0);
+    }
+
+    #[test]
+    fn parallel_run_many_is_bit_identical_to_serial() {
+        let synth = Synthesizer::nangate45();
+        let nl = mul_netlist(8, PpgKind::And);
+        let options: Vec<SynthesisOptions> =
+            [0.7, 0.85, 1.0, 1.15].iter().map(|&t| SynthesisOptions::with_target(t)).collect();
+        let parallel = synth.run_many(&nl, &options).unwrap();
+        let serial = synth.run_many_serial(&nl, &options).unwrap();
+        assert_eq!(parallel, serial);
+        for (r, o) in parallel.iter().zip(&options) {
+            assert_eq!(r.target_delay_ns, o.target_delay_ns, "reports stay in request order");
+        }
     }
 
     #[test]

@@ -10,9 +10,7 @@
 //! `STEPS` for tighter results.
 
 use rlmul::baselines::{gomil, SaConfig};
-use rlmul::core::{
-    run_sa, train_a2c, train_dqn, A2cConfig, DqnConfig, EnvConfig, MulEnv,
-};
+use rlmul::core::{run_sa, train_a2c, train_dqn, A2cConfig, DqnConfig, EnvConfig, MulEnv};
 use rlmul::ct::{CompressorTree, PpgKind};
 use rlmul::rtl::MultiplierNetlist;
 use rlmul::synth::{SynthesisOptions, Synthesizer};

@@ -173,7 +173,8 @@ fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
             )?
         }
         "a2c" => {
-            let cfg = A2cConfig { steps: (steps / 4).max(2), n_envs: 4, seed, ..Default::default() };
+            let cfg =
+                A2cConfig { steps: (steps / 4).max(2), n_envs: 4, seed, ..Default::default() };
             train_a2c(&env_cfg, &cfg)?
         }
         other => return Err(format!("unknown method `{other}` (dqn|a2c|sa)").into()),
@@ -183,6 +184,7 @@ fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
         "cost {start:.3} → {:.3} over {} distinct states ({} synthesis runs)",
         outcome.best_cost, outcome.states_visited, outcome.synth_runs
     );
+    println!("pipeline: {}", outcome.pipeline.render());
     let netlist = MultiplierNetlist::elaborate(&outcome.best)?.into_netlist();
     let report = Synthesizer::nangate45().run(&netlist, &SynthesisOptions::default())?;
     println!(
@@ -248,8 +250,15 @@ fn cmd_synth(opts: &HashMap<String, String>) -> CliResult {
     };
     let r = synth.run(&netlist, &options)?;
     println!("area   {:>9.1} um^2", r.area_um2);
-    println!("delay  {:>9.4} ns{}", r.delay_ns, if r.met_target { "" } else { "  (target missed)" });
+    println!(
+        "delay  {:>9.4} ns{}",
+        r.delay_ns,
+        if r.met_target { "" } else { "  (target missed)" }
+    );
     println!("power  {:>9.4} mW", r.power_mw);
-    println!("cells  {:>9}   (X1/X2/X4: {}/{}/{})", r.num_cells, r.drive_histogram[0], r.drive_histogram[1], r.drive_histogram[2]);
+    println!(
+        "cells  {:>9}   (X1/X2/X4: {}/{}/{})",
+        r.num_cells, r.drive_histogram[0], r.drive_histogram[1], r.drive_histogram[2]
+    );
     Ok(())
 }

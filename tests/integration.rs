@@ -4,7 +4,7 @@
 
 use rlmul::baselines::{dadda, gomil, wallace};
 use rlmul::core::{train_dqn, CostWeights, DqnConfig, EnvConfig, MulEnv};
-use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::ct::PpgKind;
 use rlmul::lec::check_datapath;
 use rlmul::pareto::{hypervolume_2d, pareto_front, Point2};
 use rlmul::rtl::{pe_array, to_verilog, MultiplierNetlist, PeArrayConfig, PeStyle};
@@ -26,11 +26,7 @@ fn full_pipeline_is_correct_for_every_kind() {
                 .into_netlist();
             netlist.validate().unwrap_or_else(|e| panic!("{label} {kind}: {e}"));
             let lec = check_datapath(&netlist, 6, kind).expect("simulates");
-            assert!(
-                lec.equivalent && lec.exhaustive,
-                "{label} {kind}: {:?}",
-                lec.counterexample
-            );
+            assert!(lec.equivalent && lec.exhaustive, "{label} {kind}: {:?}", lec.counterexample);
             let report = synth.run(&netlist, &SynthesisOptions::default()).expect("synthesizes");
             assert!(report.area_um2 > 0.0 && report.delay_ns > 0.0, "{label} {kind}");
         }
@@ -104,10 +100,7 @@ fn pe_array_reflects_inner_multiplier_quality() {
     let d_shallow =
         synth.run(&nl_shallow, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
     let d_deep = synth.run(&nl_deep, &SynthesisOptions::default()).expect("synthesizes").delay_ns;
-    assert!(
-        d_deep > d_shallow,
-        "deeper tree must slow the array: {d_deep} vs {d_shallow}"
-    );
+    assert!(d_deep > d_shallow, "deeper tree must slow the array: {d_deep} vs {d_shallow}");
 }
 
 /// The Verilog emitter produces one assign per combinational output

@@ -8,6 +8,7 @@ use rlmul::ct::{Action, CompressorMatrix, CompressorTree, PpProfile, PpgKind, St
 use rlmul::lec::{check_datapath, golden, PortValues, Simulator};
 use rlmul::pareto::{dominates, hypervolume_2d, pareto_front, Point2};
 use rlmul::rtl::{add, AdderKind, MultiplierNetlist, NetlistBuilder};
+use rlmul::synth::{analyze, Drive, IncrementalSta, Library, MappedNetlist};
 
 fn kind_strategy() -> impl Strategy<Value = PpgKind> {
     prop_oneof![
@@ -175,5 +176,40 @@ proptest! {
         let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
         let lec = check_datapath(&netlist, 6, PpgKind::Mbe).expect("simulates");
         prop_assert!(lec.equivalent, "{:?}", lec.counterexample);
+    }
+
+    /// Incremental STA after random sizing batches stays bit-identical
+    /// to a full timing pass: same arrivals, worst delay, and critical
+    /// path, no matter which gates were resized in which order.
+    #[test]
+    fn incremental_sta_matches_full_analyze(
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..10_000, 0usize..3), 1..6),
+            1..8,
+        ),
+    ) {
+        let tree = CompressorTree::wallace(6, PpgKind::And).expect("legal width");
+        let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+        let library = Library::nangate45();
+        let mut m = MappedNetlist::map(&netlist, &library);
+        let num_gates = netlist.gates().len();
+        let mut engine = IncrementalSta::new();
+        engine.analyze_full(&m);
+        for batch in batches {
+            let mut resized = Vec::new();
+            for (pick, drive) in batch {
+                let gi = pick % num_gates;
+                m.set_drive(gi, [Drive::X1, Drive::X2, Drive::X4][drive]);
+                resized.push(gi);
+            }
+            let inc = engine.update(&m, &resized);
+            let full = analyze(&m);
+            prop_assert_eq!(inc.worst_delay_ns.to_bits(), full.worst_delay_ns.to_bits());
+            prop_assert_eq!(inc.arrivals.len(), full.arrivals.len());
+            for (a, b) in inc.arrivals.iter().zip(&full.arrivals) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(&inc.critical_path, &full.critical_path);
+        }
     }
 }
