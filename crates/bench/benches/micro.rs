@@ -10,7 +10,7 @@ use rlmul_baselines::{gomil, GomilWeights};
 use rlmul_core::{EnvConfig, MulEnv};
 use rlmul_ct::{CompressorTree, PpgKind};
 use rlmul_lec::{PortValues, Simulator};
-use rlmul_nn::{build_trunk, Layer, Tensor, TrunkConfig};
+use rlmul_nn::{build_trunk, gemm, reference, Conv2d, Layer, Tensor, TrunkConfig};
 use rlmul_rtl::MultiplierNetlist;
 use rlmul_synth::{
     analyze, Drive, IncrementalSta, Library, MappedNetlist, SynthesisOptions, Synthesizer,
@@ -88,6 +88,67 @@ fn bench_nn(c: &mut Criterion) {
             trunk.backward(&y)
         })
     });
+}
+
+/// GEMM/im2col kernels vs the retained naive seed kernels at the
+/// paper's state-tensor shape (an A2C batch over `n_envs = 4`
+/// workers: `[4, 2, 16, 16]`) — the kernel-speedup acceptance bench.
+fn bench_nn_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_kernels");
+    let (n, ic, oc, k, h, w) = (4usize, 2usize, 16usize, 3usize, 16usize, 16usize);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut conv = Conv2d::new(ic, oc, k, 1, 1, &mut rng);
+    let x = Tensor::kaiming(&[n, ic, h, w], ic * k * k, &mut rng);
+    g.bench_function("conv_fwd_bwd_gemm_4x2x16x16", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, true);
+            conv.backward(&y)
+        })
+    });
+    let weight: Vec<f32> = (0..oc * ic * k * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let bias = vec![0.1f32; oc];
+    g.bench_function("conv_fwd_bwd_naive_4x2x16x16", |b| {
+        b.iter(|| {
+            let y = reference::conv2d_forward(x.data(), &weight, &bias, n, ic, h, w, oc, k, 1, 1);
+            let mut dw = vec![0.0f32; weight.len()];
+            let mut db = vec![0.0f32; oc];
+            reference::conv2d_backward(
+                x.data(),
+                &y,
+                &weight,
+                &mut dw,
+                &mut db,
+                n,
+                ic,
+                h,
+                w,
+                oc,
+                k,
+                1,
+                1,
+            )
+        })
+    });
+    // Raw dense kernel at a head-sized shape.
+    let (m, kk, nn) = (32usize, 256usize, 128usize);
+    let a: Vec<f32> = (0..m * kk).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let bmat: Vec<f32> = (0..kk * nn).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut cbuf = vec![0.0f32; m * nn];
+    g.bench_function("gemm_nn_32x256x128", |b| {
+        b.iter(|| {
+            cbuf.fill(0.0);
+            gemm::gemm_nn(&a, &bmat, &mut cbuf, m, kk, nn);
+            cbuf[0]
+        })
+    });
+    g.bench_function("matmul_naive_32x256x128", |b| {
+        b.iter(|| {
+            cbuf.fill(0.0);
+            reference::matmul_nn(&a, &bmat, &mut cbuf, m, kk, nn);
+            cbuf[0]
+        })
+    });
+    g.finish();
 }
 
 fn bench_env_and_gomil(c: &mut Criterion) {
@@ -173,6 +234,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_env_and_gomil, bench_pipeline
+    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_nn_kernels, bench_env_and_gomil, bench_pipeline
 }
 criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Dense-kernel benchmark: kernel throughput, speedup over the
+//! retained naive seed kernels at the paper's state-tensor shape, and
+//! per-step agent-update cost for both RL methods. Writes
+//! `results/BENCH_nn.json` so future changes have a perf trajectory
+//! to compare against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_bench::report::results_dir;
+use rlmul_core::{train_a2c, train_dqn, A2cConfig, DqnConfig, EnvConfig, MulEnv, NnStats};
+use rlmul_ct::PpgKind;
+use rlmul_nn::{gemm, reference, Conv2d, Layer, Tensor, TrunkConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median-of-runs seconds per iteration of `f`.
+fn time_per_iter<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    // Warm-up.
+    f();
+    let mut runs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    runs[runs.len() / 2]
+}
+
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, key: &str, value: f64) {
+        writeln!(self.0, "  \"{key}\": {value:.6},").expect("write to string");
+    }
+    fn finish(mut self) -> String {
+        // Drop the trailing comma and close the object.
+        let cut = self.0.trim_end().trim_end_matches(',').len();
+        self.0.truncate(cut);
+        self.0.push_str("\n}\n");
+        self.0
+    }
+}
+
+fn main() {
+    let mut json = Json::new();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Raw GEMM throughput at a head-sized shape.
+    let (m, k, n) = (32usize, 256usize, 128usize);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut c = vec![0.0f32; m * n];
+    let secs = time_per_iter(50, || {
+        c.fill(0.0);
+        gemm::gemm_nn(&a, &b, &mut c, m, k, n);
+    });
+    let gemm_gflops = 2.0 * (m * k * n) as f64 / secs / 1e9;
+    println!("gemm_nn {m}x{k}x{n}: {gemm_gflops:.2} GFLOP/s");
+    json.field("gemm_nn_gflops", gemm_gflops);
+
+    // Conv2d forward+backward at the paper's state-tensor shape
+    // [4, 2, 16, 16] (an A2C batch over four workers), optimized GEMM
+    // path vs the naive seed kernels.
+    let (bn, ic, oc, kk, h, w) = (4usize, 2usize, 16usize, 3usize, 16usize, 16usize);
+    let mut conv = Conv2d::new(ic, oc, kk, 1, 1, &mut rng);
+    let x = Tensor::kaiming(&[bn, ic, h, w], ic * kk * kk, &mut rng);
+    let opt_secs = time_per_iter(200, || {
+        let y = conv.forward(&x, true);
+        conv.backward(&y);
+    });
+    let weight: Vec<f32> = (0..oc * ic * kk * kk).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let bias = vec![0.1f32; oc];
+    let naive_secs = time_per_iter(20, || {
+        let y = reference::conv2d_forward(x.data(), &weight, &bias, bn, ic, h, w, oc, kk, 1, 1);
+        let mut dw = vec![0.0f32; weight.len()];
+        let mut db = vec![0.0f32; oc];
+        reference::conv2d_backward(
+            x.data(),
+            &y,
+            &weight,
+            &mut dw,
+            &mut db,
+            bn,
+            ic,
+            h,
+            w,
+            oc,
+            kk,
+            1,
+            1,
+        );
+    });
+    let speedup = naive_secs / opt_secs;
+    println!(
+        "conv fwd+bwd [4,2,16,16]: optimized {:.1} µs vs naive {:.1} µs ({speedup:.1}x)",
+        opt_secs * 1e6,
+        naive_secs * 1e6
+    );
+    json.field("conv_fwd_bwd_paper_shape_us", opt_secs * 1e6);
+    json.field("conv_fwd_bwd_naive_us", naive_secs * 1e6);
+    json.field("conv_fwd_bwd_speedup", speedup);
+
+    // Per-step agent-update cost: short end-to-end training runs on
+    // the 4-bit design; the pipeline's NnStats isolates dense-kernel
+    // time from synthesis.
+    let trunk = TrunkConfig { in_channels: 2, channels: vec![8, 16], blocks_per_stage: 1 };
+    let dqn_cfg = DqnConfig { steps: 16, warmup: 4, trunk: trunk.clone(), ..Default::default() };
+    let mut env = MulEnv::new(EnvConfig::new(4, PpgKind::And)).expect("env builds");
+    let t0 = Instant::now();
+    let out = train_dqn(&mut env, &dqn_cfg).expect("dqn trains");
+    let dqn_wall = t0.elapsed().as_secs_f64();
+    report_agent("dqn", &mut json, out.pipeline.nn, dqn_cfg.steps, dqn_wall);
+
+    let a2c_cfg = A2cConfig { steps: 8, n_envs: 2, n_step: 3, trunk, ..Default::default() };
+    let t0 = Instant::now();
+    let out = train_a2c(&EnvConfig::new(4, PpgKind::And), &a2c_cfg).expect("a2c trains");
+    let a2c_wall = t0.elapsed().as_secs_f64();
+    report_agent("a2c", &mut json, out.pipeline.nn, a2c_cfg.steps, a2c_wall);
+
+    let path = results_dir().join("BENCH_nn.json");
+    std::fs::create_dir_all(results_dir()).expect("results dir");
+    std::fs::write(&path, json.finish()).expect("write BENCH_nn.json");
+    println!("wrote {}", path.display());
+}
+
+fn report_agent(label: &str, json: &mut Json, nn: NnStats, steps: usize, wall: f64) {
+    let per_step_ms = nn.nanos as f64 / 1e6 / steps as f64;
+    println!(
+        "{label}: {} over {steps} env steps ({per_step_ms:.2} nn ms/step, {wall:.2} s total)",
+        nn.render()
+    );
+    json.field(&format!("{label}_nn_gflops"), nn.gflops_per_sec());
+    json.field(&format!("{label}_nn_ms_per_step"), per_step_ms);
+    json.field(&format!("{label}_wall_s"), wall);
+}

@@ -15,8 +15,8 @@ use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlmul_nn::{
-    clip_grad_norm, entropy, masked_softmax, Adam, Layer, Linear, Optimizer, Param, Sequential,
-    Tensor, TrunkConfig,
+    clip_grad_norm, entropy, masked_softmax, Adam, Layer, Linear, NnStats, Optimizer, Param,
+    Sequential, Tensor, TrunkConfig,
 };
 use std::sync::mpsc;
 use std::thread::{Scope, ScopedJoinHandle};
@@ -256,6 +256,10 @@ pub fn train_a2c_cached(
         return Err(RlMulError::InvalidConfig { what: "n_envs and n_step must be ≥ 1".into() });
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Network forwards/backwards all run on this thread; the env
+    // workers only step environments, so a thread-local snapshot
+    // captures the whole run's dense-kernel work.
+    let nn_before = NnStats::snapshot();
     // All workers share one evaluation cache: a state synthesized by
     // any of them is a hit for the rest, and the in-flight coalescing
     // keeps two workers from ever synthesizing the same state at the
@@ -346,6 +350,7 @@ pub fn train_a2c_cached(
     }
     let states_visited = envs[0].stats().distinct_states;
     pipeline.cache_entries = states_visited;
+    pipeline.nn = NnStats::snapshot().since(nn_before);
     Ok(OptimizationOutcome {
         best,
         best_cost,

@@ -13,8 +13,8 @@ use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlmul_nn::{
-    clip_grad_norm, masked_argmax, Layer, Linear, Optimizer, Param, RmsProp, Sequential, Tensor,
-    TrunkConfig,
+    clip_grad_norm, masked_argmax, Layer, Linear, NnStats, Optimizer, Param, RmsProp, Sequential,
+    Tensor, TrunkConfig,
 };
 use std::collections::VecDeque;
 
@@ -122,6 +122,7 @@ struct Transition {
 /// Propagates environment (elaboration/synthesis) errors.
 pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOutcome, RlMulError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let nn_before = NnStats::snapshot();
     let actions = env.action_space();
     let shape = env.tensor_shape();
     let mut net = QNetwork::new(&config.trunk, actions, &mut rng);
@@ -181,6 +182,7 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
             cache_misses: stats.cache_misses,
             cache_entries: stats.distinct_states,
             sta: stats.sta,
+            nn: NnStats::snapshot().since(nn_before),
         },
     })
 }
@@ -190,7 +192,38 @@ fn random_legal<R: Rng + ?Sized>(mask: &[bool], rng: &mut R) -> usize {
     legal[rng.gen_range(0..legal.len())]
 }
 
+/// Bootstrapped TD targets `r + γ·max_a' Q(s', a')` (paper Eq. 11),
+/// evaluated with `train == false` so the pass caches nothing.
+fn bootstrap_targets(
+    net: &mut QNetwork,
+    next: &Tensor,
+    batch: &[&Transition],
+    config: &DqnConfig,
+    actions: usize,
+) -> Vec<f32> {
+    let q_next = net.forward(next, false);
+    batch
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let row = &q_next.data()[i * actions..(i + 1) * actions];
+            let best = masked_argmax(row, &t.next_mask).map(|a| row[a]).unwrap_or(0.0);
+            t.reward + config.gamma * best
+        })
+        .collect()
+}
+
 /// One gradient step on the TD objective of paper Eqs. (11)–(12).
+///
+/// One network plays both roles here: the *training* forward over the
+/// current states and the *bootstrap* evaluation forward over the
+/// next states. The evaluation pass deliberately runs between the
+/// training forward and its backward, which is only sound because of
+/// the [`Layer`] caching contract — `train == false` forwards cache
+/// nothing, so [`bootstrap_targets`] cannot clobber the intermediates
+/// (cached inputs, ReLU masks, batch-norm statistics) the backward
+/// consumes. `update_gradient_matches_two_net_reference` pins this
+/// against a frozen-target-network reference implementation.
 fn update(
     net: &mut QNetwork,
     opt: &mut RmsProp,
@@ -208,19 +241,16 @@ fn update(
         }
         Tensor::from_vec(&bshape, data)
     };
-    // Bootstrapped targets (no gradient through the next state).
-    let next = stack(&|t| &t.next_state);
-    let q_next = net.forward(&next, false);
-    let mut targets = Vec::with_capacity(b);
-    for (i, t) in batch.iter().enumerate() {
-        let row = &q_next.data()[i * actions..(i + 1) * actions];
-        let best = masked_argmax(row, &t.next_mask).map(|a| row[a]).unwrap_or(0.0);
-        targets.push(t.reward + config.gamma * best);
-    }
-    // Prediction pass and masked MSE on the chosen actions.
+    // Phase 1: training forward (caches intermediates, updates
+    // batch-norm running statistics).
     opt.zero_grad(net);
     let cur = stack(&|t| &t.state);
     let q = net.forward(&cur, true);
+    // Phase 2: bootstrap evaluation — no gradient through the next
+    // state, and per the caching contract no effect on phase 1 state.
+    let next = stack(&|t| &t.next_state);
+    let targets = bootstrap_targets(net, &next, batch, config, actions);
+    // Phase 3: masked MSE on the chosen actions, backward, step.
     let mut grad = Tensor::zeros(q.shape());
     for (i, t) in batch.iter().enumerate() {
         let pred = q.data()[i * actions + t.action];
@@ -264,6 +294,78 @@ mod tests {
             train_dqn(&mut env, &tiny_config()).unwrap().trajectory
         };
         assert_eq!(run(), run());
+    }
+
+    /// The single-net `update` interleaves an evaluation forward
+    /// (bootstrap targets) between the training forward and its
+    /// backward. This pins its gradient, bit for bit, against the
+    /// unambiguous two-network formulation: a frozen target copy
+    /// computes the bootstrap, so nothing can interfere with the
+    /// training net's cached state.
+    #[test]
+    fn update_gradient_matches_two_net_reference() {
+        let config = DqnConfig {
+            trunk: TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 },
+            ..Default::default()
+        };
+        let shape = [1usize, 2, 8, 8];
+        let volume = shape[1] * shape[2] * shape[3];
+        let actions = 6;
+        let mut rng = StdRng::seed_from_u64(99);
+        let transitions: Vec<Transition> = (0..4)
+            .map(|_| Transition {
+                state: (0..volume).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                action: rng.gen_range(0..actions),
+                reward: rng.gen_range(-1.0..1.0),
+                next_state: (0..volume).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                next_mask: (0..actions).map(|_| rng.gen::<f32>() < 0.7).collect(),
+            })
+            .map(|mut t| {
+                if !t.next_mask.iter().any(|&m| m) {
+                    t.next_mask[0] = true;
+                }
+                t
+            })
+            .collect();
+        let batch: Vec<&Transition> = transitions.iter().collect();
+        let grads_of = |net: &mut QNetwork| {
+            let mut g = Vec::new();
+            net.visit_params(&mut |p| g.extend_from_slice(p.grad.data()));
+            g
+        };
+
+        // Single-net path (the production `update`).
+        let mut net = QNetwork::new(&config.trunk, actions, &mut StdRng::seed_from_u64(7));
+        let mut opt = RmsProp::new(config.lr);
+        update(&mut net, &mut opt, &batch, &config, &shape, actions);
+
+        // Two-net reference: a twin built from the same seed replays
+        // the training forward (so its batch-norm running statistics
+        // match), then serves as the frozen target network.
+        let mut train_net = QNetwork::new(&config.trunk, actions, &mut StdRng::seed_from_u64(7));
+        let mut target_net = QNetwork::new(&config.trunk, actions, &mut StdRng::seed_from_u64(7));
+        let stack = |pick: &dyn Fn(&Transition) -> &[f32]| {
+            let mut data = Vec::new();
+            for t in &batch {
+                data.extend_from_slice(pick(t));
+            }
+            Tensor::from_vec(&[batch.len(), shape[1], shape[2], shape[3]], data)
+        };
+        let cur = stack(&|t| &t.state);
+        let next = stack(&|t| &t.next_state);
+        target_net.forward(&cur, true); // sync running statistics
+        let targets = bootstrap_targets(&mut target_net, &next, &batch, &config, actions);
+        let q = train_net.forward(&cur, true);
+        let mut grad = Tensor::zeros(q.shape());
+        for (i, t) in batch.iter().enumerate() {
+            let pred = q.data()[i * actions + t.action];
+            grad.data_mut()[i * actions + t.action] =
+                2.0 * (pred - targets[i]) / batch.len() as f32;
+        }
+        train_net.backward(&grad);
+        clip_grad_norm(&mut train_net, config.grad_clip);
+
+        assert_eq!(grads_of(&mut net), grads_of(&mut train_net));
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Common result type of every optimizer (RL-MUL, RL-MUL-E, SA, …).
 
 use rlmul_ct::CompressorTree;
+pub use rlmul_nn::NnStats;
 use rlmul_synth::StaStats;
 
 /// Evaluation-pipeline counters pooled over a whole optimization run:
 /// how much synthesis was performed, how much the shared cache
-/// avoided, and how much timing work the incremental STA engine
-/// saved.
+/// avoided, how much timing work the incremental STA engine saved,
+/// and how much dense-kernel work the agent networks performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Evaluations answered from the shared cache.
@@ -17,14 +18,20 @@ pub struct PipelineStats {
     pub cache_entries: usize,
     /// Timing-engine work counters summed over all synthesis runs.
     pub sta: StaStats,
+    /// Agent-network dense-kernel counters (zero for searches that
+    /// train no network, e.g. simulated annealing).
+    pub nn: NnStats,
 }
 
 impl PipelineStats {
     /// One-line human-readable rendering for logs and bench reports.
+    /// Deterministic for a seeded run (the nn part reports work
+    /// counters, not wall time), so seeded CLI output stays
+    /// byte-identical across reruns.
     pub fn render(&self) -> String {
         format!(
             "cache {} hits / {} misses ({} states); sta {} full + {} incremental passes, \
-             {} full / {} incremental gate visits",
+             {} full / {} incremental gate visits; {}",
             self.cache_hits,
             self.cache_misses,
             self.cache_entries,
@@ -32,6 +39,7 @@ impl PipelineStats {
             self.sta.incremental_passes,
             self.sta.full_gate_visits,
             self.sta.incremental_gate_visits,
+            self.nn.render_work(),
         )
     }
 }

@@ -72,6 +72,8 @@ pub fn run_sa_cached(
             cache_misses: stats.cache_misses,
             cache_entries: stats.distinct_states,
             sta: stats.sta,
+            // SA trains no network.
+            nn: rlmul_nn::NnStats::default(),
         },
     })
 }

@@ -17,19 +17,30 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let mut y = x.clone();
-        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
-        for (v, &m) in y.data_mut().iter_mut().zip(&self.mask) {
-            if !m {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, mut x: Tensor, train: bool) -> Tensor {
+        if train {
+            // Only training forwards refresh the gradient mask, so an
+            // evaluation forward between a training forward and its
+            // backward cannot clobber it.
+            self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        }
+        for v in x.data_mut() {
+            if *v <= 0.0 {
                 *v = 0.0;
             }
         }
-        y
+        x
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
+        self.backward_owned(grad_out.clone())
+    }
+
+    fn backward_owned(&mut self, mut g: Tensor) -> Tensor {
         for (v, &m) in g.data_mut().iter_mut().zip(&self.mask) {
             if !m {
                 *v = 0.0;

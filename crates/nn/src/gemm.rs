@@ -1,0 +1,333 @@
+//! Shared dense matrix kernels for every layer in this crate.
+//!
+//! Three cache-blocked f32 GEMM variants cover the whole forward and
+//! backward hot path once convolutions are lowered through im2col:
+//!
+//! * [`gemm_nn`] — `C += A·B` (convolution forward, `Linear`
+//!   input-gradient),
+//! * [`gemm_nt`] — `C += A·Bᵀ` (`Linear` forward, convolution
+//!   weight-gradient),
+//! * [`gemm_tn`] — `C += Aᵀ·B` (`Linear` weight-gradient, convolution
+//!   input-gradient into column space).
+//!
+//! All matrices are dense row-major slices. The kernels accumulate
+//! into `C` (callers initialize it with zeros or the layer bias), and
+//! every inner loop runs over `chunks_exact`/equal-length slice zips
+//! so the compiler can vectorize without bounds checks.
+//!
+//! # Threading policy
+//!
+//! [`worker_count`] implements the batch-size-aware policy shared by
+//! the layers (mirroring `Synthesizer::run_many`): below a FLOP
+//! threshold everything stays serial — thread spawn/join would cost
+//! more than the multiply — and above it the public entry points fan
+//! the *row blocks* of `C` out over `std::thread::scope`. Each output
+//! row is produced by exactly one worker with the same inner
+//! summation order as the serial kernel, so results are identical for
+//! every worker count (asserted by unit tests that force `threads =
+//! 2` even on single-core machines).
+
+/// Work (in FLOPs, `2·m·k·n`) below which a GEMM always runs serial.
+/// ~2 MFLOP is a few hundred microseconds of single-core work —
+/// around the break-even point for spawning scoped threads.
+pub const PAR_FLOP_THRESHOLD: usize = 2_000_000;
+
+/// Number of workers the threading policy grants a kernel of
+/// `flops` total work whose output has `rows` independent rows.
+pub fn worker_count(flops: usize, rows: usize) -> usize {
+    if flops < PAR_FLOP_THRESHOLD || rows < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(rows)
+}
+
+/// Panics unless the three slices match the given dimensions.
+#[inline]
+fn check_dims(a: &[f32], b: &[f32], c: &[f32], am: usize, bm: usize, cm: usize) {
+    assert_eq!(a.len(), am, "GEMM: A length mismatch");
+    assert_eq!(b.len(), bm, "GEMM: B length mismatch");
+    assert_eq!(c.len(), cm, "GEMM: C length mismatch");
+}
+
+// Cache-block sizes: KC·NC f32 of B (64 KiB) stays resident in L1/L2
+// while a row block of C streams through.
+const KC: usize = 64;
+const NC: usize = 256;
+
+/// `C[m×n] += A[m×k] · B[k×n]`, row-major, serial.
+///
+/// Per output element the `k` contributions accumulate in ascending
+/// order regardless of blocking, matching the naive triple loop.
+fn nn_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for j0 in (0..n).step_by(NC) {
+        let jl = NC.min(n - j0);
+        for k0 in (0..k).step_by(KC) {
+            let kl = KC.min(k - k0);
+            for i in 0..m {
+                let arow = &a[i * k + k0..i * k + k0 + kl];
+                let crow = &mut c[i * n + j0..i * n + j0 + jl];
+                for (kk, &av) in arow.iter().enumerate() {
+                    let brow = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + jl];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[m×n] += A[m×k] · B[n×k]ᵀ`, row-major, serial.
+///
+/// Dot-product formulation with eight independent accumulator lanes
+/// over `chunks_exact(8)`; the lane sum reduces pairwise.
+fn nt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut lanes = [0.0f32; 8];
+            let ac = arow.chunks_exact(8);
+            let bc = brow.chunks_exact(8);
+            let (ra, rb) = (ac.remainder(), bc.remainder());
+            for (av, bv) in ac.zip(bc) {
+                for l in 0..8 {
+                    lanes[l] += av[l] * bv[l];
+                }
+            }
+            let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+                + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+            for (av, bv) in ra.iter().zip(rb) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// `C[cols×n] += A[k×m]ᵀ · B[k×n]` restricted to the column block
+/// `col0 .. col0 + cols` of `A` (whose rows have stride `m`). The
+/// serial case is `col0 = 0, cols = m`; the threaded entry point
+/// hands each worker one column block and the matching row block of
+/// `C`.
+#[allow(clippy::too_many_arguments)]
+fn tn_block(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    col0: usize,
+    cols: usize,
+) {
+    for kk in 0..k {
+        let arow = &a[kk * m + col0..kk * m + col0 + cols];
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Splits the row range of `C` over `threads` scoped workers, giving
+/// worker `t` the rows `[t·chunk, …)` and calling `run(row0, c_block)`
+/// on each disjoint block. Row-block decomposition keeps every output
+/// element on exactly one worker, so the result is identical to the
+/// serial kernel.
+fn par_rows<F>(c: &mut [f32], m: usize, n: usize, threads: usize, run: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, cblock) in c.chunks_mut(chunk * n).enumerate() {
+            let run = &run;
+            scope.spawn(move || run(t * chunk, cblock));
+        }
+    });
+}
+
+pub(crate) fn gemm_nn_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    check_dims(a, b, c, m * k, k * n, m * n);
+    if threads <= 1 {
+        return nn_serial(a, b, c, m, k, n);
+    }
+    par_rows(c, m, n, threads, |row0, cblock| {
+        let rows = cblock.len() / n;
+        nn_serial(&a[row0 * k..(row0 + rows) * k], b, cblock, rows, k, n);
+    });
+}
+
+pub(crate) fn gemm_nt_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    check_dims(a, b, c, m * k, n * k, m * n);
+    if threads <= 1 {
+        return nt_serial(a, b, c, m, k, n);
+    }
+    par_rows(c, m, n, threads, |row0, cblock| {
+        let rows = cblock.len() / n;
+        nt_serial(&a[row0 * k..(row0 + rows) * k], b, cblock, rows, k, n);
+    });
+}
+
+pub(crate) fn gemm_tn_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    check_dims(a, b, c, k * m, k * n, m * n);
+    if threads <= 1 {
+        return tn_block(a, b, c, m, k, n, 0, m);
+    }
+    par_rows(c, m, n, threads, |row0, cblock| {
+        let rows = cblock.len() / n;
+        tn_block(a, b, cblock, m, k, n, row0, rows);
+    });
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` under the threading policy.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nn_threads(a, b, c, m, k, n, worker_count(2 * m * k * n, m));
+}
+
+/// `C[m×n] += A[m×k] · B[n×k]ᵀ` under the threading policy.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nt_threads(a, b, c, m, k, n, worker_count(2 * m * k * n, m));
+}
+
+/// `C[m×n] += A[k×m]ᵀ · B[k×n]` under the threading policy.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_tn_threads(a, b, c, m, k, n, worker_count(2 * m * k * n, m));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::kaiming(&[rows, cols], cols.max(1), &mut rng).data().to_vec()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() <= 1e-4 * 1.0f32.max(w.abs()), "mismatch at {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (17, 33, 9), (8, 72, 256)] {
+            let a = rand_mat(m, k, 1);
+            let b = rand_mat(k, n, 2);
+            let mut c = vec![0.1; m * n];
+            let mut r = c.clone();
+            gemm_nn(&a, &b, &mut c, m, k, n);
+            reference::matmul_nn(&a, &b, &mut r, m, k, n);
+            assert_close(&c, &r);
+        }
+    }
+
+    #[test]
+    fn nt_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 9, 3), (5, 70, 11), (16, 256, 72)] {
+            let a = rand_mat(m, k, 3);
+            let b = rand_mat(n, k, 4);
+            let mut c = vec![-0.2; m * n];
+            let mut r = c.clone();
+            gemm_nt(&a, &b, &mut c, m, k, n);
+            reference::matmul_nt(&a, &b, &mut r, m, k, n);
+            assert_close(&c, &r);
+        }
+    }
+
+    #[test]
+    fn tn_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (6, 5, 4), (72, 16, 256), (13, 29, 7)] {
+            let a = rand_mat(k, m, 5);
+            let b = rand_mat(k, n, 6);
+            let mut c = vec![0.0; m * n];
+            let mut r = c.clone();
+            gemm_tn(&a, &b, &mut c, m, k, n);
+            reference::matmul_tn(&a, &b, &mut r, m, k, n);
+            assert_close(&c, &r);
+        }
+    }
+
+    #[test]
+    fn forced_two_worker_split_is_bit_identical_to_serial() {
+        // Row blocks never change the per-element summation order, so
+        // the threaded kernels must agree with serial *exactly*, even
+        // when the row count does not divide evenly.
+        for m in [2usize, 3, 5, 8] {
+            let (k, n) = (37, 19);
+            let a = rand_mat(m, k, 7);
+            let b = rand_mat(k, n, 8);
+            let mut serial = vec![0.0; m * n];
+            let mut par = vec![0.0; m * n];
+            gemm_nn_threads(&a, &b, &mut serial, m, k, n, 1);
+            gemm_nn_threads(&a, &b, &mut par, m, k, n, 2);
+            assert_eq!(serial, par);
+
+            let bt = rand_mat(n, k, 9);
+            let mut serial = vec![0.0; m * n];
+            let mut par = vec![0.0; m * n];
+            gemm_nt_threads(&a, &bt, &mut serial, m, k, n, 1);
+            gemm_nt_threads(&a, &bt, &mut par, m, k, n, 2);
+            assert_eq!(serial, par);
+
+            let at = rand_mat(k, m, 10);
+            let bn = rand_mat(k, n, 11);
+            let mut serial = vec![0.0; m * n];
+            let mut par = vec![0.0; m * n];
+            gemm_tn_threads(&at, &bn, &mut serial, m, k, n, 1);
+            gemm_tn_threads(&at, &bn, &mut par, m, k, n, 2);
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn policy_stays_serial_below_threshold() {
+        assert_eq!(worker_count(PAR_FLOP_THRESHOLD - 1, 1024), 1);
+        assert_eq!(worker_count(usize::MAX, 1), 1);
+        assert!(worker_count(usize::MAX, 1024) >= 1);
+    }
+
+    #[test]
+    fn kernels_accumulate_instead_of_overwrite() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let mut c = vec![10.0];
+        gemm_nn(&a, &b, &mut c, 1, 2, 1);
+        assert_eq!(c, vec![10.0 + 3.0 + 8.0]);
+    }
+}

@@ -27,17 +27,36 @@ impl Param {
 
 /// A differentiable computation stage.
 ///
-/// `forward` must be called before `backward`; layers cache whatever
-/// they need (inputs, masks, normalization statistics) internally.
+/// `forward` with `train == true` must be called before `backward`;
+/// layers cache whatever they need (inputs, masks, normalization
+/// statistics) internally, and only during training forwards —
+/// evaluation forwards (`train == false`) leave all cached state
+/// untouched, so interleaving them between a training forward and its
+/// backward is safe.
 pub trait Layer {
-    /// Computes the layer output, caching intermediates for backward.
-    /// `train` selects training behaviour (e.g. batch statistics in
-    /// batch normalization).
+    /// Computes the layer output. With `train == true` the layer
+    /// caches the intermediates backward needs and uses training
+    /// behaviour (e.g. batch statistics in batch normalization);
+    /// with `train == false` nothing is cached.
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// [`Layer::forward`] taking ownership of the input. The default
+    /// forwards to the borrowing implementation; layers that only
+    /// reshape or mutate element-wise (and layers that cache their
+    /// input) override it to avoid a full-tensor clone when chained.
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        self.forward(&x, train)
+    }
 
     /// Back-propagates `grad_out`, accumulating parameter gradients
     /// and returning the gradient with respect to the layer input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::backward`] taking ownership of the gradient; same
+    /// cloning contract as [`Layer::forward_owned`].
+    fn backward_owned(&mut self, grad_out: Tensor) -> Tensor {
+        self.backward(&grad_out)
+    }
 
     /// Visits every trainable parameter.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
@@ -79,17 +98,42 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
+        // First layer borrows the caller's tensor; every subsequent
+        // hand-off moves ownership so reshape/element-wise layers can
+        // run without cloning.
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return x.clone();
+        };
+        let mut cur = first.forward(x, train);
+        for l in rest {
+            cur = l.forward_owned(cur, train);
+        }
+        cur
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let mut cur = x;
         for l in &mut self.layers {
-            cur = l.forward(&cur, train);
+            cur = l.forward_owned(cur, train);
         }
         cur
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut grad = grad_out.clone();
+        let Some((last, front)) = self.layers.split_last_mut() else {
+            return grad_out.clone();
+        };
+        let mut grad = last.backward(grad_out);
+        for l in front.iter_mut().rev() {
+            grad = l.backward_owned(grad);
+        }
+        grad
+    }
+
+    fn backward_owned(&mut self, grad_out: Tensor) -> Tensor {
+        let mut grad = grad_out;
         for l in self.layers.iter_mut().rev() {
-            grad = l.backward(&grad);
+            grad = l.backward_owned(grad);
         }
         grad
     }

@@ -24,6 +24,8 @@
 
 mod act;
 mod conv;
+pub mod gemm;
+pub mod im2col;
 mod io;
 mod layer;
 mod linear;
@@ -31,7 +33,9 @@ mod loss;
 mod norm;
 mod optim;
 mod pool;
+pub mod reference;
 mod resnet;
+mod stats;
 mod tensor;
 mod testutil;
 
@@ -45,4 +49,5 @@ pub use norm::BatchNorm2d;
 pub use optim::{clip_grad_norm, Adam, Optimizer, RmsProp, Sgd};
 pub use pool::GlobalAvgPool;
 pub use resnet::{build_trunk, ResidualBlock, TrunkConfig};
+pub use stats::NnStats;
 pub use tensor::Tensor;

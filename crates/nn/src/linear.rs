@@ -1,10 +1,19 @@
-//! Fully connected layer.
+//! Fully connected layer on the shared GEMM kernel.
 
+use crate::gemm;
 use crate::layer::{Layer, Param};
+use crate::stats::{self, Op};
 use crate::tensor::Tensor;
 use rand::Rng;
+use std::time::Instant;
 
 /// `y = x·Wᵀ + b` over 2-D `[batch, features]` tensors.
+///
+/// Forward is one [`gemm::gemm_nt`] against the `[out, in]` weight
+/// matrix; backward is one [`gemm::gemm_tn`] (weight gradient) plus
+/// one [`gemm::gemm_nn`] (input gradient). Debug builds replay every
+/// call through the retained naive kernels in [`crate::reference`]
+/// and assert near-equality.
 #[derive(Debug)]
 pub struct Linear {
     weight: Param, // [out, in]
@@ -28,57 +37,97 @@ impl Linear {
         self.weight.value.scale(k);
         self.bias.value.scale(k);
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    /// The affine map without input caching (shared by the borrowing
+    /// and owning forward paths).
+    fn forward_impl(&mut self, x: &Tensor) -> Tensor {
+        let t0 = Instant::now();
         let (n, in_f) = x.dims2();
         let (out_f, win) = self.weight.value.dims2();
         assert_eq!(in_f, win, "Linear input width mismatch");
         let mut y = Tensor::zeros(&[n, out_f]);
-        let wd = self.weight.value.data();
         let bd = self.bias.value.data();
-        let xd = x.data();
-        let yd = y.data_mut();
-        for ni in 0..n {
-            for o in 0..out_f {
-                let mut acc = bd[o];
-                let wrow = &wd[o * in_f..(o + 1) * in_f];
-                let xrow = &xd[ni * in_f..(ni + 1) * in_f];
-                for (wv, xv) in wrow.iter().zip(xrow) {
-                    acc += wv * xv;
-                }
-                yd[ni * out_f + o] = acc;
-            }
+        for row in y.data_mut().chunks_exact_mut(out_f) {
+            row.copy_from_slice(bd);
         }
-        self.cached_input = Some(x.clone());
+        gemm::gemm_nt(x.data(), self.weight.value.data(), y.data_mut(), n, in_f, out_f);
+        #[cfg(debug_assertions)]
+        {
+            let naive = crate::reference::linear_forward(
+                x.data(),
+                self.weight.value.data(),
+                bd,
+                n,
+                in_f,
+                out_f,
+            );
+            crate::reference::assert_close("Linear::forward", y.data(), &naive);
+        }
+        stats::record(Op::LinearForward, 2 * (n * in_f * out_f) as u64, t0.elapsed());
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.forward_impl(x);
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let y = self.forward_impl(&x);
+        if train {
+            self.cached_input = Some(x);
+        }
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("forward before backward");
+        let t0 = Instant::now();
+        let x = self.cached_input.as_ref().expect("forward(train) before backward");
         let (n, in_f) = x.dims2();
         let (_, out_f) = grad_out.dims2();
-        let mut dx = Tensor::zeros(x.shape());
-        let wd = self.weight.value.data().to_vec();
-        let dw = self.weight.grad.data_mut();
-        let db = self.bias.grad.data_mut();
-        let xd = x.data();
         let gd = grad_out.data();
-        let dxd = dx.data_mut();
-        for ni in 0..n {
-            for o in 0..out_f {
-                let g = gd[ni * out_f + o];
-                if g == 0.0 {
-                    continue;
-                }
-                db[o] += g;
-                for i in 0..in_f {
-                    dw[o * in_f + i] += g * xd[ni * in_f + i];
-                    dxd[ni * in_f + i] += g * wd[o * in_f + i];
-                }
+        let xd = x.data();
+
+        #[cfg(debug_assertions)]
+        let (dw_before, db_before) =
+            (self.weight.grad.data().to_vec(), self.bias.grad.data().to_vec());
+
+        // db: column sums of the output gradient.
+        let db = self.bias.grad.data_mut();
+        for grow in gd.chunks_exact(out_f) {
+            for (d, &g) in db.iter_mut().zip(grow) {
+                *d += g;
             }
         }
+        // dW += gᵀ·x ; dx = g·W.
+        gemm::gemm_tn(gd, xd, self.weight.grad.data_mut(), out_f, n, in_f);
+        let mut dx = Tensor::zeros(x.shape());
+        gemm::gemm_nn(gd, self.weight.value.data(), dx.data_mut(), n, out_f, in_f);
+
+        #[cfg(debug_assertions)]
+        {
+            let mut dw_ref = dw_before;
+            let mut db_ref = db_before;
+            let dx_ref = crate::reference::linear_backward(
+                xd,
+                gd,
+                self.weight.value.data(),
+                &mut dw_ref,
+                &mut db_ref,
+                n,
+                in_f,
+                out_f,
+            );
+            crate::reference::assert_close("Linear::backward dx", dx.data(), &dx_ref);
+            crate::reference::assert_close("Linear::backward dW", self.weight.grad.data(), &dw_ref);
+            crate::reference::assert_close("Linear::backward db", self.bias.grad.data(), &db_ref);
+        }
+        stats::record(Op::LinearBackward, 4 * (n * in_f * out_f) as u64, t0.elapsed());
         dx
     }
 
@@ -89,6 +138,10 @@ impl Layer for Linear {
 }
 
 /// Flattens NCHW maps to `[batch, c·h·w]`.
+///
+/// Both directions are pure reshapes: the owning `forward_owned` /
+/// `backward_owned` paths move the buffer via
+/// [`Tensor::into_reshaped`] without copying.
 #[derive(Debug, Default)]
 pub struct Flatten {
     cached_shape: Vec<usize>,
@@ -102,15 +155,25 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        self.cached_shape = x.shape().to_vec();
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_shape = x.shape().to_vec();
+        }
         let n = x.shape()[0];
         let rest: usize = x.shape()[1..].iter().product();
-        x.clone().reshape(&[n, rest])
+        x.into_reshaped(&[n, rest])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        grad_out.clone().reshape(&self.cached_shape)
+        self.backward_owned(grad_out.clone())
+    }
+
+    fn backward_owned(&mut self, grad_out: Tensor) -> Tensor {
+        grad_out.into_reshaped(&self.cached_shape)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -141,13 +204,49 @@ mod tests {
     }
 
     #[test]
+    fn wide_layer_gradient_check() {
+        // Wider than one chunks_exact(8) lane block, odd remainder.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Linear::new(21, 9, &mut rng);
+        let x = Tensor::kaiming(&[4, 21], 21, &mut rng);
+        crate::testutil::grad_check(&mut l, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn eval_forward_does_not_clobber_training_cache() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x_train = Tensor::kaiming(&[2, 3], 3, &mut rng);
+        l.forward(&x_train, true);
+        // Evaluation forward with a different batch in between.
+        l.forward(&Tensor::kaiming(&[5, 3], 3, &mut rng), false);
+        assert_eq!(
+            l.cached_input.as_ref().map(Tensor::shape),
+            Some(x_train.shape()),
+            "eval forward must not replace the cached training input"
+        );
+        let dx = l.backward(&Tensor::zeros(&[2, 2]));
+        assert_eq!(dx.shape(), x_train.shape());
+    }
+
+    #[test]
     fn flatten_round_trips() {
         let mut f = Flatten::new();
         let x = Tensor::from_vec(&[2, 2, 1, 2], (0..8).map(|i| i as f32).collect());
-        let y = f.forward(&x, false);
+        let y = f.forward(&x, true);
         assert_eq!(y.shape(), &[2, 4]);
         let g = f.backward(&y);
         assert_eq!(g.shape(), x.shape());
         assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_owned_path_round_trips_without_shape_loss() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(&[2, 3, 1, 1], (0..6).map(|i| i as f32).collect());
+        let y = f.forward_owned(x, true);
+        assert_eq!(y.shape(), &[2, 3]);
+        let g = f.backward_owned(y);
+        assert_eq!(g.shape(), &[2, 3, 1, 1]);
     }
 }

@@ -17,20 +17,19 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (n, c, h, w) = x.dims4();
-        self.cached_shape = x.shape().to_vec();
+        if train {
+            // Evaluation forwards (possibly with a different batch
+            // size) must not clobber the shape backward will restore.
+            self.cached_shape = x.shape().to_vec();
+        }
+        let hw = h * w;
+        let scale = 1.0 / hw as f32;
         let mut y = Tensor::zeros(&[n, c]);
-        for ni in 0..n {
-            for ch in 0..c {
-                let mut acc = 0.0f32;
-                for hy in 0..h {
-                    for wx in 0..w {
-                        acc += x.at4(ni, ch, hy, wx);
-                    }
-                }
-                y.data_mut()[ni * c + ch] = acc / (h * w) as f32;
-            }
+        let xd = x.data();
+        for (map, out) in xd.chunks_exact(hw).zip(y.data_mut()) {
+            *out = map.iter().sum::<f32>() * scale;
         }
         y
     }
@@ -76,8 +75,19 @@ mod tests {
     fn backward_distributes_uniformly() {
         let mut p = GlobalAvgPool::new();
         let x = Tensor::zeros(&[1, 1, 2, 2]);
-        p.forward(&x, false);
+        p.forward(&x, true);
         let g = p.backward(&Tensor::from_vec(&[1, 1], vec![4.0]));
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn eval_forward_keeps_training_shape_cache() {
+        let mut p = GlobalAvgPool::new();
+        p.forward(&Tensor::zeros(&[2, 1, 2, 2]), true);
+        // A different-batch evaluation forward in between …
+        p.forward(&Tensor::zeros(&[5, 1, 2, 2]), false);
+        // … must not change what backward reconstructs.
+        let g = p.backward(&Tensor::zeros(&[2, 1]));
+        assert_eq!(g.shape(), &[2, 1, 2, 2]);
     }
 }

@@ -24,7 +24,6 @@ pub struct ResidualBlock {
     bn2: BatchNorm2d,
     downsample: Option<(Conv2d, BatchNorm2d)>,
     relu_out: Relu,
-    cached_skip_input: Option<Tensor>,
 }
 
 impl std::fmt::Debug for ResidualBlock {
@@ -50,43 +49,43 @@ impl ResidualBlock {
             bn2: BatchNorm2d::new(out_c),
             downsample,
             relu_out: Relu::new(),
-            cached_skip_input: None,
         }
     }
 }
 
 impl Layer for ResidualBlock {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        // The main branch chains owned hand-offs after conv1 so the
+        // reshape/element-wise stages run in place.
         let mut main = self.conv1.forward(x, train);
-        main = self.bn1.forward(&main, train);
-        main = self.relu1.forward(&main, train);
-        main = self.conv2.forward(&main, train);
-        main = self.bn2.forward(&main, train);
+        main = self.bn1.forward_owned(main, train);
+        main = self.relu1.forward_owned(main, train);
+        main = self.conv2.forward_owned(main, train);
+        main = self.bn2.forward_owned(main, train);
         let skip = match &mut self.downsample {
             Some((conv, bn)) => {
                 let s = conv.forward(x, train);
-                bn.forward(&s, train)
+                bn.forward_owned(s, train)
             }
             None => x.clone(),
         };
-        self.cached_skip_input = Some(x.clone());
         main.add_assign(&skip);
-        self.relu_out.forward(&main, train)
+        self.relu_out.forward_owned(main, train)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self.relu_out.backward(grad_out);
         // Main branch.
         let mut gm = self.bn2.backward(&g);
-        gm = self.conv2.backward(&gm);
-        gm = self.relu1.backward(&gm);
-        gm = self.bn1.backward(&gm);
-        let mut dx = self.conv1.backward(&gm);
+        gm = self.conv2.backward_owned(gm);
+        gm = self.relu1.backward_owned(gm);
+        gm = self.bn1.backward_owned(gm);
+        let mut dx = self.conv1.backward_owned(gm);
         // Skip branch.
         match &mut self.downsample {
             Some((conv, bn)) => {
                 let gs = bn.backward(&g);
-                let gs = conv.backward(&gs);
+                let gs = conv.backward_owned(gs);
                 dx.add_assign(&gs);
             }
             None => dx.add_assign(&g),

@@ -80,6 +80,18 @@ impl Tensor {
         self
     }
 
+    /// Move-based reshape: consumes the tensor and returns it with a
+    /// new shape of equal volume, without touching the data buffer.
+    /// The explicit name marks call sites that avoid the
+    /// clone-then-reshape pattern on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when volumes differ.
+    pub fn into_reshaped(self, shape: &[usize]) -> Self {
+        self.reshape(shape)
+    }
+
     /// Element at a 4-D NCHW index (unchecked arithmetic, checked
     /// bounds through the slice index).
     #[inline]
