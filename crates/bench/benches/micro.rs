@@ -75,6 +75,49 @@ fn bench_lec(c: &mut Criterion) {
     });
 }
 
+/// Formal verification layer: structural lint throughput, raw CDCL
+/// solver throughput on a pigeonhole instance, and an end-to-end
+/// SAT CEC proof (Wallace vs golden Dadda) with sweeping.
+fn bench_formal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("formal");
+    let tree16 = CompressorTree::dadda(16, PpgKind::And).expect("legal");
+    let nl16 = MultiplierNetlist::elaborate(&tree16).expect("elaborates").into_netlist();
+    g.bench_function("lint_16b_dadda", |b| b.iter(|| rlmul_rtl::lint(&nl16).errors()));
+
+    g.bench_function("sat_php_6_holes", |b| {
+        b.iter(|| {
+            use rlmul_sat::{Lit, SolveResult, Solver};
+            let (pigeons, holes) = (7usize, 6usize);
+            let mut s = Solver::new();
+            let vars: Vec<Vec<Lit>> =
+                (0..pigeons).map(|_| (0..holes).map(|_| Lit::pos(s.new_var())).collect()).collect();
+            for row in &vars {
+                s.add_clause(row);
+            }
+            for h in 0..holes {
+                for (p1, row1) in vars.iter().enumerate() {
+                    for row2 in vars.iter().skip(p1 + 1) {
+                        s.add_clause(&[!row1[h], !row2[h]]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            s.stats().conflicts
+        })
+    });
+
+    let wallace8 = CompressorTree::wallace(8, PpgKind::And).expect("legal");
+    let nl8 = MultiplierNetlist::elaborate(&wallace8).expect("elaborates").into_netlist();
+    g.bench_function("cec_8b_wallace_vs_dadda", |b| {
+        b.iter(|| {
+            let r = rlmul_lec::check_formal(&nl8, 8, PpgKind::And).expect("checks");
+            assert!(r.equivalent);
+            r.conflicts
+        })
+    });
+    g.finish();
+}
+
 fn bench_nn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let cfg = TrunkConfig { in_channels: 2, channels: vec![8, 16, 32], blocks_per_stage: 1 };
@@ -234,6 +277,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ct, bench_rtl_synth, bench_lec, bench_nn, bench_nn_kernels, bench_env_and_gomil, bench_pipeline
+    targets = bench_ct, bench_rtl_synth, bench_lec, bench_formal, bench_nn, bench_nn_kernels, bench_env_and_gomil, bench_pipeline
 }
 criterion_main!(benches);

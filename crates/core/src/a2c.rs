@@ -347,6 +347,7 @@ pub fn train_a2c_cached(
         pipeline.cache_hits += s.cache_hits;
         pipeline.cache_misses += s.cache_misses;
         pipeline.sta.merge(s.sta);
+        pipeline.lint.merge(s.lint);
     }
     let states_visited = envs[0].stats().distinct_states;
     pipeline.cache_entries = states_visited;

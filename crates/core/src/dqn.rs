@@ -183,6 +183,7 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
             cache_entries: stats.distinct_states,
             sta: stats.sta,
             nn: NnStats::snapshot().since(nn_before),
+            lint: stats.lint,
         },
     })
 }

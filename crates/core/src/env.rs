@@ -6,7 +6,7 @@ use crate::reward::CostWeights;
 use crate::RlMulError;
 use rlmul_ct::{Action, CompressorTree, PpgKind};
 use rlmul_nn::Tensor;
-use rlmul_rtl::MultiplierNetlist;
+use rlmul_rtl::{LintStats, MultiplierNetlist};
 use rlmul_synth::{StaStats, SynthesisOptions, SynthesisReport, Synthesizer};
 use std::sync::Arc;
 
@@ -101,6 +101,8 @@ pub struct EnvStats {
     pub cache_misses: usize,
     /// Timing-engine work done by this environment's synthesis runs.
     pub sta: StaStats,
+    /// Structural-lint gate counters (one check per elaboration).
+    pub lint: LintStats,
 }
 
 /// Result of one environment step.
@@ -153,6 +155,7 @@ struct PipelineCounters {
     cache_hits: usize,
     cache_misses: usize,
     sta: StaStats,
+    lint: LintStats,
 }
 
 impl std::fmt::Debug for MulEnv {
@@ -444,6 +447,18 @@ impl MulEnv {
                 // On error the ticket drops un-completed, releasing
                 // any coalesced waiters to retry for themselves.
                 let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+                // Structural lint gate before every synthesis call:
+                // counters always, hard stop on errors in debug builds
+                // (elaboration is validated, so an error here means an
+                // IR invariant was broken upstream).
+                let lint_report = rlmul_rtl::lint(&netlist);
+                counters.lint.record(&lint_report);
+                debug_assert_eq!(
+                    lint_report.errors(),
+                    0,
+                    "structural lint gate failed before synthesis:\n{}",
+                    lint_report.render()
+                );
                 let reports = synthesizer.run_many(&netlist, options)?;
                 counters.synth_runs += reports.len();
                 for r in &reports {
@@ -472,6 +487,7 @@ impl MulEnv {
             cache_hits: self.counters.cache_hits,
             cache_misses: self.counters.cache_misses,
             sta: self.counters.sta,
+            lint: self.counters.lint,
         }
     }
 

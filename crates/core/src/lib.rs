@@ -47,6 +47,6 @@ pub use env::{
     EnvConfig, EnvStats, Evaluation, InitialStructure, MulEnv, StagePruning, StepOutcome,
 };
 pub use error::RlMulError;
-pub use outcome::{NnStats, OptimizationOutcome, PipelineStats};
+pub use outcome::{LintStats, NnStats, OptimizationOutcome, PipelineStats};
 pub use reward::CostWeights;
 pub use sa_driver::{run_sa, run_sa_cached};

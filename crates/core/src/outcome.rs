@@ -2,6 +2,7 @@
 
 use rlmul_ct::CompressorTree;
 pub use rlmul_nn::NnStats;
+pub use rlmul_rtl::LintStats;
 use rlmul_synth::StaStats;
 
 /// Evaluation-pipeline counters pooled over a whole optimization run:
@@ -21,6 +22,9 @@ pub struct PipelineStats {
     /// Agent-network dense-kernel counters (zero for searches that
     /// train no network, e.g. simulated annealing).
     pub nn: NnStats,
+    /// Structural-lint gate counters (every netlist is linted before
+    /// it reaches synthesis).
+    pub lint: LintStats,
 }
 
 impl PipelineStats {
@@ -31,7 +35,7 @@ impl PipelineStats {
     pub fn render(&self) -> String {
         format!(
             "cache {} hits / {} misses ({} states); sta {} full + {} incremental passes, \
-             {} full / {} incremental gate visits; {}",
+             {} full / {} incremental gate visits; {}; {}",
             self.cache_hits,
             self.cache_misses,
             self.cache_entries,
@@ -40,6 +44,7 @@ impl PipelineStats {
             self.sta.full_gate_visits,
             self.sta.incremental_gate_visits,
             self.nn.render_work(),
+            self.lint.render(),
         )
     }
 }

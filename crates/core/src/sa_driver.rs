@@ -74,6 +74,7 @@ pub fn run_sa_cached(
             sta: stats.sta,
             // SA trains no network.
             nn: rlmul_nn::NnStats::default(),
+            lint: stats.lint,
         },
     })
 }

@@ -35,6 +35,8 @@
 //! # Ok::<(), rlmul_ct::CtError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod action;
 mod assign;
 mod error;

@@ -1,0 +1,714 @@
+//! SAT-based combinational equivalence checking (CEC).
+//!
+//! This is the formal counterpart to [`crate::check_datapath`]'s
+//! simulation sweep: instead of sampling the input space, it builds a
+//! miter between two netlists over shared primary-input variables and
+//! *proves* every output bit equal (or returns a concrete,
+//! simulator-confirmed counterexample).
+//!
+//! The raw miter of two multipliers is exponentially hard for CDCL,
+//! so the check is structured fraig-style:
+//!
+//! 1. **Simulate** both sides with the shared 64-lane [`Simulator`]
+//!    on common random stimulus, giving every internal net a
+//!    multi-word signature.
+//! 2. **Sweep**: nets with equal (or complementary) signatures are
+//!    candidate equivalences, proved cheapest-cone-first with
+//!    budgeted incremental SAT calls. Proven pairs are *merged* — the
+//!    duplicate's literal is substituted by its representative, so
+//!    downstream logic encodes against the shared node and the miter
+//!    shrinks. Refuting models are fed back as fresh simulation lanes
+//!    to split false candidate classes.
+//! 3. **Close**: each remaining output-bit pair is proved
+//!    unbudgeted, LSB first; every proof is hardened into equality
+//!    clauses so later bits (up the carry chain) reuse it.
+//!
+//! Sweeping is purely an accelerator — step 3 alone is complete, so a
+//! missed or budget-exhausted candidate costs time, never soundness.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::sim::{PortValues, Simulator};
+use crate::tseitin::Tseitin;
+use crate::LecError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_rtl::{lint, MultiplierNetlist, NetId, Netlist};
+use rlmul_sat::{Lit, SolveResult, Solver};
+
+/// Tuning knobs for [`check_equiv`].
+#[derive(Debug, Clone)]
+pub struct CecOptions {
+    /// Run the signature-guided equivalence sweep before closing the
+    /// miter (step 2). Disabling degrades to a plain monolithic proof.
+    pub sweep: bool,
+    /// Initial random 64-lane stimulus batches used for signatures.
+    pub sim_batches: usize,
+    /// Conflict budget per candidate-equivalence SAT call; exhausted
+    /// candidates are left unmerged for the closing stage.
+    pub candidate_conflicts: u64,
+    /// Maximum sweep rounds (each round refines signatures with the
+    /// counterexamples discovered in the previous one).
+    pub max_rounds: usize,
+    /// Run the structural linter on both sides first and refuse to
+    /// encode netlists with lint *errors* (warnings pass).
+    pub lint_gate: bool,
+    /// RNG seed for stimulus; fixed default keeps runs reproducible.
+    pub seed: u64,
+}
+
+impl Default for CecOptions {
+    fn default() -> Self {
+        CecOptions {
+            sweep: true,
+            sim_batches: 8,
+            candidate_conflicts: 4_000,
+            max_rounds: 16,
+            lint_gate: true,
+            seed: 0x5eed_cec0_ffee,
+        }
+    }
+}
+
+/// Counters from the fraig-style sweeping stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Sweep rounds executed.
+    pub rounds: usize,
+    /// Candidate pairs attempted.
+    pub candidates: usize,
+    /// Candidates proved equivalent and merged.
+    pub proved: usize,
+    /// Candidates refuted by a SAT model (signatures were refined).
+    pub refuted: usize,
+    /// Candidates abandoned on conflict budget.
+    pub unknown: usize,
+    /// Total 64-lane stimulus batches simulated per side.
+    pub sim_batches: usize,
+}
+
+/// One differing output port in a counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputDiff {
+    /// Port name.
+    pub name: String,
+    /// Value computed by the left netlist.
+    pub left: u128,
+    /// Value computed by the right netlist.
+    pub right: u128,
+}
+
+/// A concrete input assignment separating the two netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormalCounterexample {
+    /// Input port values, in the left netlist's port order.
+    pub inputs: Vec<(String, u128)>,
+    /// Ports whose simulated values differ under those inputs.
+    pub outputs: Vec<OutputDiff>,
+    /// Whether the 64-lane simulator confirmed the disagreement
+    /// (`outputs` non-empty). A refutation with `confirmed == false`
+    /// would indicate an encoder bug and is asserted against in CI.
+    pub confirmed: bool,
+}
+
+/// Outcome of a formal equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormalReport {
+    /// `true` when every output bit was proved equal (UNSAT miter).
+    pub equivalent: bool,
+    /// Simulator-confirmed separating input when `!equivalent`.
+    pub counterexample: Option<FormalCounterexample>,
+    /// Sweep-stage counters.
+    pub sweep: SweepStats,
+    /// Output-bit pairs discharged by the closing proofs (the rest
+    /// were already merged structurally).
+    pub closed_outputs: usize,
+    /// CNF variables allocated.
+    pub vars: usize,
+    /// CNF clauses added.
+    pub clauses: usize,
+    /// Total solver conflicts across all incremental calls.
+    pub conflicts: u64,
+    /// Total solver decisions.
+    pub decisions: u64,
+    /// Total solver propagations.
+    pub propagations: u64,
+}
+
+/// Builds the golden reference for [`check_formal`]: a Dadda-scheduled
+/// compressor tree of the same operand width and PPG kind, elaborated
+/// through the same RTL backend and exhaustively/densely validated by
+/// [`crate::check_datapath`] in the test suite.
+///
+/// # Errors
+///
+/// [`LecError::Reference`] when the width/kind combination is invalid.
+pub fn golden_reference(bits: usize, kind: PpgKind) -> Result<Netlist, LecError> {
+    let tree = CompressorTree::dadda(bits, kind)
+        .map_err(|e| LecError::Reference { detail: e.to_string() })?;
+    let m = MultiplierNetlist::elaborate(&tree)
+        .map_err(|e| LecError::Reference { detail: e.to_string() })?;
+    Ok(m.into_netlist())
+}
+
+/// Formally proves a multiplier/MAC netlist equivalent to the golden
+/// Dadda reference of the same shape, with default options.
+///
+/// # Errors
+///
+/// Propagates [`check_equiv`] errors plus [`LecError::Reference`] for
+/// invalid shapes. An inequivalence is *not* an error — it is reported
+/// with a counterexample in the returned [`FormalReport`].
+pub fn check_formal(
+    netlist: &Netlist,
+    bits: usize,
+    kind: PpgKind,
+) -> Result<FormalReport, LecError> {
+    check_formal_with(netlist, bits, kind, &CecOptions::default())
+}
+
+/// [`check_formal`] with explicit options.
+///
+/// # Errors
+///
+/// As [`check_formal`].
+pub fn check_formal_with(
+    netlist: &Netlist,
+    bits: usize,
+    kind: PpgKind,
+    opts: &CecOptions,
+) -> Result<FormalReport, LecError> {
+    let reference = golden_reference(bits, kind)?;
+    check_equiv(netlist, &reference, opts)
+}
+
+/// Proves two combinational netlists functionally equivalent over
+/// shared inputs, or refutes with a simulator-confirmed
+/// counterexample. Ports are matched by name; widths must agree.
+///
+/// # Errors
+///
+/// - [`LecError::LintFailed`] when a side has structural lint errors
+///   (with `opts.lint_gate`),
+/// - [`LecError::PortMismatch`] when the interfaces differ,
+/// - [`LecError::SequentialNetlist`] / [`LecError::MalformedNetlist`]
+///   from encoding.
+pub fn check_equiv(
+    left: &Netlist,
+    right: &Netlist,
+    opts: &CecOptions,
+) -> Result<FormalReport, LecError> {
+    if opts.lint_gate {
+        for (side, n) in [("left", left), ("right", right)] {
+            let report = lint(n);
+            if report.errors() > 0 {
+                return Err(LecError::LintFailed { side, summary: report.summary() });
+            }
+        }
+    }
+    let (in_perm, out_pairs) = match_ports(left, right)?;
+
+    let mut solver = Solver::new();
+    let const_true = Lit::pos(solver.new_var());
+    solver.add_clause(&[const_true]);
+
+    let sim_left = Simulator::new(left)?;
+    let sim_right = Simulator::new(right)?;
+    let mut enc_left = Tseitin::new(left, const_true)?;
+    let mut enc_right = Tseitin::new(right, const_true)?;
+
+    // Shared primary-input variables, allocated in the left netlist's
+    // port order and bound into both encoders.
+    let mut in_lits: Vec<Vec<Lit>> = Vec::with_capacity(left.inputs().len());
+    for port in left.inputs() {
+        let lits: Vec<Lit> = port.bits.iter().map(|_| Lit::pos(solver.new_var())).collect();
+        for (&net, &l) in port.bits.iter().zip(&lits) {
+            enc_left.bind(net, l);
+        }
+        in_lits.push(lits);
+    }
+    for (r_idx, port) in right.inputs().iter().enumerate() {
+        for (&net, &l) in port.bits.iter().zip(&in_lits[in_perm[r_idx]]) {
+            enc_right.bind(net, l);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut sides = [
+        SideCtx::new(left, sim_left, enc_left, (0..left.inputs().len()).collect()),
+        SideCtx::new(right, sim_right, enc_right, in_perm),
+    ];
+
+    let mut sweep = SweepStats::default();
+    if opts.sweep {
+        run_sweep(&mut solver, &mut sides, &in_lits, opts, &mut rng, &mut sweep)?;
+    }
+
+    // Closing stage: prove every remaining output-bit pair, LSB-first
+    // per port, hardening each proof into equality clauses so the next
+    // bit's proof can ride the carry chain.
+    let [left_side, right_side] = &mut sides;
+    let mut closed = 0usize;
+    let mut refuting_model: Option<Vec<u128>> = None;
+    'outer: for &(lp, rp) in &out_pairs {
+        let l_bits = left_side.netlist.outputs()[lp].bits.clone();
+        let r_bits = right_side.netlist.outputs()[rp].bits.clone();
+        for (&ln, &rn) in l_bits.iter().zip(&r_bits) {
+            let la = left_side.enc.literal(&mut solver, ln)?;
+            let lb = right_side.enc.literal(&mut solver, rn)?;
+            if la == lb {
+                continue; // merged — structurally identical
+            }
+            closed += 1;
+            if solver.solve_with(&[la, !lb]) == SolveResult::Sat {
+                refuting_model = Some(model_inputs(&solver, &in_lits));
+                break 'outer;
+            }
+            if solver.solve_with(&[!la, lb]) == SolveResult::Sat {
+                refuting_model = Some(model_inputs(&solver, &in_lits));
+                break 'outer;
+            }
+            solver.add_clause(&[!la, lb]);
+            solver.add_clause(&[la, !lb]);
+        }
+    }
+
+    let counterexample = match refuting_model {
+        Some(inputs) => Some(confirm_cex(inputs, &sides, &out_pairs)?),
+        None => None,
+    };
+    let stats = solver.stats();
+    Ok(FormalReport {
+        equivalent: counterexample.is_none(),
+        counterexample,
+        sweep,
+        closed_outputs: closed,
+        vars: solver.num_vars(),
+        clauses: solver.num_clauses(),
+        conflicts: stats.conflicts,
+        decisions: stats.decisions,
+        propagations: stats.propagations,
+    })
+}
+
+/// Per-side state shared by the sweep and closing stages.
+struct SideCtx<'a> {
+    netlist: &'a Netlist,
+    sim: Simulator<'a>,
+    enc: Tseitin<'a>,
+    /// `in_perm[i]` = index into the left-port-order stimulus feeding
+    /// this side's input port `i`.
+    in_perm: Vec<usize>,
+    /// Per-net simulation signature, one word per batch.
+    sigs: Vec<Vec<u64>>,
+    /// Nets already merged into a representative.
+    merged: Vec<bool>,
+}
+
+impl<'a> SideCtx<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        sim: Simulator<'a>,
+        enc: Tseitin<'a>,
+        in_perm: Vec<usize>,
+    ) -> Self {
+        let nets = netlist.num_nets() as usize;
+        SideCtx {
+            netlist,
+            sim,
+            enc,
+            in_perm,
+            sigs: vec![Vec::new(); nets],
+            merged: vec![false; nets],
+        }
+    }
+
+    /// Simulates one batch (left-port-order stimulus) and appends a
+    /// signature word to every net.
+    fn absorb_batch(&mut self, stim_left_order: &[PortValues]) -> Result<(), LecError> {
+        let stim: Vec<PortValues> =
+            self.in_perm.iter().map(|&j| stim_left_order[j].clone()).collect();
+        let vals = self.sim.run_nets(&stim)?;
+        for (sig, w) in self.sigs.iter_mut().zip(vals) {
+            sig.push(w);
+        }
+        Ok(())
+    }
+}
+
+/// Candidate-class representative: a previously seen net (by side) or
+/// the constant-false node.
+#[derive(Clone, Copy)]
+enum Repr {
+    ConstFalse,
+    Net { side: usize, net: u32, phase: bool },
+}
+
+fn run_sweep(
+    solver: &mut Solver,
+    sides: &mut [SideCtx<'_>; 2],
+    in_lits: &[Vec<Lit>],
+    opts: &CecOptions,
+    rng: &mut StdRng,
+    stats: &mut SweepStats,
+) -> Result<(), LecError> {
+    if opts.sim_batches == 0 {
+        return Ok(()); // no signatures — every net would alias one class
+    }
+    let const_false = !sides[0].enc.literal(solver, rlmul_rtl::CONST1)?;
+    let widths: Vec<usize> = sides[0].netlist.inputs().iter().map(|p| p.bits.len()).collect();
+    // Topological candidate order per side: proofs see small cones
+    // first, and CPA output bits climb the carry chain LSB-first.
+    let order: [Vec<NetId>; 2] =
+        [candidate_order(sides[0].netlist), candidate_order(sides[1].netlist)];
+
+    for _ in 0..opts.sim_batches {
+        let stim = random_batch(&widths, rng);
+        sides[0].absorb_batch(&stim)?;
+        sides[1].absorb_batch(&stim)?;
+        stats.sim_batches += 1;
+    }
+
+    while stats.rounds < opts.max_rounds {
+        stats.rounds += 1;
+        let mut classes: HashMap<Vec<u64>, Repr> = HashMap::new();
+        // Seed constants and shared primary inputs as representatives.
+        classes.insert(norm_key(&sides[0].sigs[0]).0, Repr::ConstFalse);
+        for port in sides[0].netlist.inputs() {
+            for &b in &port.bits {
+                let (key, phase) = norm_key(&sides[0].sigs[b.0 as usize]);
+                classes.entry(key).or_insert(Repr::Net { side: 0, net: b.0, phase });
+            }
+        }
+
+        let mut fresh_cexs: Vec<Vec<u128>> = Vec::new();
+        let mut seen_cex: HashSet<Vec<u128>> = HashSet::new();
+        for (side_idx, side_order) in order.iter().enumerate() {
+            for &o in side_order {
+                let n = o.0 as usize;
+                if sides[side_idx].merged[n] {
+                    continue;
+                }
+                let (key, phase) = norm_key(&sides[side_idx].sigs[n]);
+                let repr = match classes.entry(key) {
+                    Entry::Vacant(e) => {
+                        e.insert(Repr::Net { side: side_idx, net: o.0, phase });
+                        continue;
+                    }
+                    Entry::Occupied(e) => *e.get(),
+                };
+                stats.candidates += 1;
+                let target = match repr {
+                    Repr::ConstFalse => const_false.xor(phase),
+                    Repr::Net { side, net, phase: rp } => {
+                        let rl = sides[side].enc.literal(solver, NetId(net))?;
+                        rl.xor(phase != rp)
+                    }
+                };
+                let l = sides[side_idx].enc.literal(solver, o)?;
+                if l == target {
+                    sides[side_idx].merged[n] = true;
+                    stats.proved += 1;
+                    continue;
+                }
+                if l == !target {
+                    stats.refuted += 1;
+                    continue;
+                }
+                match prove_equal(solver, l, target, opts.candidate_conflicts) {
+                    SolveResult::Unsat => {
+                        sides[side_idx].enc.substitute(o, target);
+                        sides[side_idx].merged[n] = true;
+                        stats.proved += 1;
+                    }
+                    SolveResult::Sat => {
+                        stats.refuted += 1;
+                        let cex = model_inputs(solver, in_lits);
+                        if seen_cex.insert(cex.clone()) {
+                            fresh_cexs.push(cex);
+                        }
+                    }
+                    SolveResult::Unknown => stats.unknown += 1,
+                }
+            }
+        }
+        if fresh_cexs.is_empty() {
+            break;
+        }
+        for chunk in fresh_cexs.chunks(64) {
+            let stim = cex_batch(chunk, &widths, rng);
+            sides[0].absorb_batch(&stim)?;
+            sides[1].absorb_batch(&stim)?;
+            stats.sim_batches += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Gate-output nets in construction (topological) order.
+fn candidate_order(n: &Netlist) -> Vec<NetId> {
+    n.gates().iter().flat_map(|g| g.outputs().iter().copied()).filter(|o| !o.is_const()).collect()
+}
+
+/// Budgeted two-call equivalence proof: UNSAT means `a ≡ b`.
+fn prove_equal(solver: &mut Solver, a: Lit, b: Lit, budget: u64) -> SolveResult {
+    match solver.solve_limited(&[a, !b], budget) {
+        SolveResult::Unsat => solver.solve_limited(&[!a, b], budget),
+        other => other,
+    }
+}
+
+/// Signature normalization: complement so lane 0 of batch 0 is zero,
+/// letting complementary nets share one candidate class.
+fn norm_key(sig: &[u64]) -> (Vec<u64>, bool) {
+    let phase = sig.first().is_some_and(|w| w & 1 == 1);
+    let key = if phase { sig.iter().map(|w| !w).collect() } else { sig.to_vec() };
+    (key, phase)
+}
+
+fn random_batch(widths: &[usize], rng: &mut StdRng) -> Vec<PortValues> {
+    widths
+        .iter()
+        .map(|&w| PortValues { bits: (0..w).map(|_| rng.gen::<u64>()).collect() })
+        .collect()
+}
+
+/// Packs up to 64 refuting input assignments into one stimulus batch,
+/// filling leftover lanes randomly.
+fn cex_batch(cexs: &[Vec<u128>], widths: &[usize], rng: &mut StdRng) -> Vec<PortValues> {
+    let mut batch = random_batch(widths, rng);
+    for (lane, cex) in cexs.iter().enumerate() {
+        for (port, &v) in batch.iter_mut().zip(cex) {
+            for (k, word) in port.bits.iter_mut().enumerate() {
+                *word = (*word & !(1u64 << lane)) | ((((v >> k) & 1) as u64) << lane);
+            }
+        }
+    }
+    batch
+}
+
+/// Reads the input assignment out of the solver model, one `u128` per
+/// left input port.
+fn model_inputs(solver: &Solver, in_lits: &[Vec<Lit>]) -> Vec<u128> {
+    in_lits
+        .iter()
+        .map(|bits| {
+            bits.iter()
+                .enumerate()
+                .fold(0u128, |acc, (k, &l)| acc | ((solver.model_lit(l) as u128) << k))
+        })
+        .collect()
+}
+
+/// Replays a refuting input assignment through both simulators and
+/// packages the (confirmed) disagreement.
+fn confirm_cex(
+    inputs: Vec<u128>,
+    sides: &[SideCtx<'_>; 2],
+    out_pairs: &[(usize, usize)],
+) -> Result<FormalCounterexample, LecError> {
+    let left = sides[0].netlist;
+    let stim_left_order: Vec<PortValues> =
+        left.inputs().iter().zip(&inputs).map(|(p, &v)| pack128(v, p.bits.len())).collect();
+    let outs_l = sides[0].sim.run(&stim_left_order)?;
+    let stim_right: Vec<PortValues> =
+        sides[1].in_perm.iter().map(|&j| stim_left_order[j].clone()).collect();
+    let outs_r = sides[1].sim.run(&stim_right)?;
+
+    let mut outputs = Vec::new();
+    for &(lp, rp) in out_pairs {
+        let lv = lane128(&outs_l[lp]);
+        let rv = lane128(&outs_r[rp]);
+        if lv != rv {
+            outputs.push(OutputDiff { name: left.outputs()[lp].name.clone(), left: lv, right: rv });
+        }
+    }
+    let confirmed = !outputs.is_empty();
+    let named_inputs =
+        left.inputs().iter().zip(&inputs).map(|(p, &v)| (p.name.clone(), v)).collect();
+    Ok(FormalCounterexample { inputs: named_inputs, outputs, confirmed })
+}
+
+/// Replicates one scalar value across all 64 lanes.
+fn pack128(v: u128, width: usize) -> PortValues {
+    PortValues { bits: (0..width).map(|k| if (v >> k) & 1 == 1 { u64::MAX } else { 0 }).collect() }
+}
+
+/// Lane-0 value of a port as `u128`.
+fn lane128(pv: &PortValues) -> u128 {
+    pv.bits.iter().enumerate().fold(0u128, |acc, (k, &w)| acc | (((w & 1) as u128) << k))
+}
+
+/// Right-side input permutation (`right port i` ← left-order stimulus
+/// slot) plus matched `(left, right)` output index pairs.
+type PortMatch = (Vec<usize>, Vec<(usize, usize)>);
+
+/// Matches the two interfaces by port name.
+fn match_ports(left: &Netlist, right: &Netlist) -> Result<PortMatch, LecError> {
+    fn index_by_name(ports: &[rlmul_rtl::Port]) -> HashMap<&str, usize> {
+        ports.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect()
+    }
+    let mismatch = |detail: String| LecError::PortMismatch { detail };
+
+    if left.inputs().len() != right.inputs().len() {
+        return Err(mismatch(format!(
+            "input port count {} vs {}",
+            left.inputs().len(),
+            right.inputs().len()
+        )));
+    }
+    if left.outputs().len() != right.outputs().len() {
+        return Err(mismatch(format!(
+            "output port count {} vs {}",
+            left.outputs().len(),
+            right.outputs().len()
+        )));
+    }
+    let left_in = index_by_name(left.inputs());
+    let mut in_perm = Vec::with_capacity(right.inputs().len());
+    for p in right.inputs() {
+        let &li = left_in
+            .get(p.name.as_str())
+            .ok_or_else(|| mismatch(format!("right input '{}' missing on left", p.name)))?;
+        if left.inputs()[li].bits.len() != p.bits.len() {
+            return Err(mismatch(format!(
+                "input '{}' width {} vs {}",
+                p.name,
+                left.inputs()[li].bits.len(),
+                p.bits.len()
+            )));
+        }
+        in_perm.push(li);
+    }
+    let right_out = index_by_name(right.outputs());
+    let mut out_pairs = Vec::with_capacity(left.outputs().len());
+    for (li, p) in left.outputs().iter().enumerate() {
+        let &ri = right_out
+            .get(p.name.as_str())
+            .ok_or_else(|| mismatch(format!("left output '{}' missing on right", p.name)))?;
+        if right.outputs()[ri].bits.len() != p.bits.len() {
+            return Err(mismatch(format!(
+                "output '{}' width {} vs {}",
+                p.name,
+                p.bits.len(),
+                right.outputs()[ri].bits.len()
+            )));
+        }
+        out_pairs.push((li, ri));
+    }
+    Ok((in_perm, out_pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_rtl::{mutate, NetlistBuilder};
+
+    fn dadda(bits: usize, kind: PpgKind) -> Netlist {
+        golden_reference(bits, kind).unwrap()
+    }
+
+    fn wallace(bits: usize, kind: PpgKind) -> Netlist {
+        let tree = CompressorTree::wallace(bits, kind).unwrap();
+        MultiplierNetlist::elaborate(&tree).unwrap().into_netlist()
+    }
+
+    #[test]
+    fn identical_multipliers_prove_trivially() {
+        let n = dadda(6, PpgKind::And);
+        let r = check_formal(&n, 6, PpgKind::And).unwrap();
+        assert!(r.equivalent, "{r:?}");
+        assert_eq!(r.closed_outputs, 0, "all outputs should merge structurally: {r:?}");
+    }
+
+    #[test]
+    fn wallace_vs_dadda_8bit_proves() {
+        for kind in [PpgKind::And, PpgKind::Mbe] {
+            let n = wallace(8, kind);
+            let r = check_formal(&n, 8, kind).unwrap();
+            assert!(r.equivalent, "{kind}: {:?}", r.counterexample);
+            assert!(r.sweep.proved > 0, "{kind}: sweep should merge shared PPG logic");
+        }
+    }
+
+    #[test]
+    fn mac_designs_prove() {
+        let n = wallace(6, PpgKind::MacAnd);
+        let r = check_formal(&n, 6, PpgKind::MacAnd).unwrap();
+        assert!(r.equivalent, "{:?}", r.counterexample);
+    }
+
+    #[test]
+    fn flipped_gate_is_refuted_with_confirmed_cex() {
+        let n = dadda(6, PpgKind::And);
+        let gate = mutate::find_gate(&n, rlmul_rtl::GateKind::Xor2)
+            .or_else(|| mutate::find_gate(&n, rlmul_rtl::GateKind::And2))
+            .unwrap();
+        let bad = mutate::flip_gate_kind(&n, gate).unwrap();
+        let r = check_formal(&bad, 6, PpgKind::And).unwrap();
+        assert!(!r.equivalent);
+        let cex = r.counterexample.expect("refutation carries a counterexample");
+        assert!(cex.confirmed, "simulator must confirm: {cex:?}");
+    }
+
+    #[test]
+    fn dropped_carry_is_refuted() {
+        let n = dadda(6, PpgKind::And);
+        let bad = mutate::drop_carry_wire(&n).unwrap();
+        let r = check_formal(&bad, 6, PpgKind::And).unwrap();
+        assert!(!r.equivalent);
+        assert!(r.counterexample.unwrap().confirmed);
+    }
+
+    #[test]
+    fn port_mismatch_is_an_error() {
+        let a = dadda(4, PpgKind::And);
+        let b = dadda(4, PpgKind::MacAnd); // extra input port c
+        assert!(matches!(
+            check_equiv(&a, &b, &CecOptions::default()),
+            Err(LecError::PortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lint_gate_rejects_structurally_broken_netlists() {
+        let n = dadda(4, PpgKind::And);
+        let bad = mutate::duplicate_gate(&n, 3);
+        assert!(matches!(
+            check_equiv(&bad, &n, &CecOptions::default()),
+            Err(LecError::LintFailed { side: "left", .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_disabled_still_closes_small_miters() {
+        let n = wallace(4, PpgKind::And);
+        let opts = CecOptions { sweep: false, ..CecOptions::default() };
+        let r = check_formal_with(&n, 4, PpgKind::And, &opts).unwrap();
+        assert!(r.equivalent, "{:?}", r.counterexample);
+        assert_eq!(r.sweep.candidates, 0);
+        assert!(r.closed_outputs > 0);
+    }
+
+    #[test]
+    fn distinct_functions_over_shared_ports_are_refuted() {
+        // y = a & b vs y = a | b.
+        let mk = |or: bool| {
+            let mut b = NetlistBuilder::new("f");
+            let a = b.input("a", 1);
+            let c = b.input("b", 1);
+            let y = if or { b.or2(a[0], c[0]) } else { b.and2(a[0], c[0]) };
+            b.output("y", &[y]);
+            b.finish()
+        };
+        let r = check_equiv(&mk(false), &mk(true), &CecOptions::default()).unwrap();
+        assert!(!r.equivalent);
+        let cex = r.counterexample.unwrap();
+        assert!(cex.confirmed);
+        // The separating assignment must be a=0,b=1 or a=1,b=0.
+        let vals: Vec<u128> = cex.inputs.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals[0] + vals[1], 1, "{cex:?}");
+    }
+}

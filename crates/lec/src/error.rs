@@ -14,6 +14,30 @@ pub enum LecError {
         /// Provided count/width.
         got: usize,
     },
+    /// The netlist violates a structural invariant (undriven net,
+    /// combinational cycle, …) that encoding cannot work around.
+    MalformedNetlist {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The two sides of an equivalence check expose different ports.
+    PortMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A side failed the structural lint gate that precedes formal
+    /// checking.
+    LintFailed {
+        /// Which side (`"left"`/`"right"`) failed.
+        side: &'static str,
+        /// The lint report summary line.
+        summary: String,
+    },
+    /// The golden reference netlist could not be constructed.
+    Reference {
+        /// Underlying construction error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LecError {
@@ -24,6 +48,18 @@ impl fmt::Display for LecError {
             }
             LecError::StimulusShape { expected, got } => {
                 write!(f, "stimulus shape mismatch: expected {expected}, got {got}")
+            }
+            LecError::MalformedNetlist { detail } => {
+                write!(f, "malformed netlist: {detail}")
+            }
+            LecError::PortMismatch { detail } => {
+                write!(f, "port mismatch between equivalence-check sides: {detail}")
+            }
+            LecError::LintFailed { side, summary } => {
+                write!(f, "structural lint failed on {side} side: {summary}")
+            }
+            LecError::Reference { detail } => {
+                write!(f, "golden reference construction failed: {detail}")
             }
         }
     }

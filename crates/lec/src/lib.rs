@@ -21,12 +21,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
+mod cec;
 mod equiv;
 mod error;
 mod seqsim;
 mod sim;
+mod tseitin;
 
+pub use cec::{
+    check_equiv, check_formal, check_formal_with, golden_reference, CecOptions,
+    FormalCounterexample, FormalReport, OutputDiff, SweepStats,
+};
 pub use equiv::{check_datapath, golden, Counterexample, EquivReport, EXHAUSTIVE_BITS};
 pub use error::LecError;
 pub use seqsim::SeqSimulator;
 pub use sim::{PortValues, Simulator};
+pub use tseitin::Tseitin;

@@ -69,6 +69,24 @@ impl<'a> Simulator<'a> {
     /// Returns [`LecError::StimulusShape`] when the stimulus does not
     /// match the input ports.
     pub fn run(&self, inputs: &[PortValues]) -> Result<Vec<PortValues>, LecError> {
+        let vals = self.run_nets(inputs)?;
+        let n = self.netlist;
+        Ok(n.outputs()
+            .iter()
+            .map(|p| PortValues { bits: p.bits.iter().map(|b| vals[b.0 as usize]).collect() })
+            .collect())
+    }
+
+    /// Evaluates every net (not just the outputs) for 64 packed
+    /// stimulus lanes, returning one word per net indexed by
+    /// [`rlmul_rtl::NetId`]. This is what signature-based equivalence
+    /// sweeping consumes: internal nets with equal words across many
+    /// batches are candidate equivalences.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_nets(&self, inputs: &[PortValues]) -> Result<Vec<u64>, LecError> {
         let n = self.netlist;
         if inputs.len() != n.inputs().len() {
             return Err(LecError::StimulusShape { expected: n.inputs().len(), got: inputs.len() });
@@ -121,10 +139,7 @@ impl<'a> Simulator<'a> {
                 GateKind::Dff => unreachable!("rejected in Simulator::new"),
             }
         }
-        Ok(n.outputs()
-            .iter()
-            .map(|p| PortValues { bits: p.bits.iter().map(|b| vals[b.0 as usize]).collect() })
-            .collect())
+        Ok(vals)
     }
 }
 

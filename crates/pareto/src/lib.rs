@@ -23,6 +23,8 @@
 //! assert!(hv > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod front;
 mod hypervolume;
 mod three;

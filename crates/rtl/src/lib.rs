@@ -22,10 +22,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adder;
 mod ct_elab;
 mod error;
+mod lint;
 mod mul;
+pub mod mutate;
 mod netlist;
 mod pe_array;
 mod pipeline;
@@ -37,6 +41,7 @@ mod verilog_in;
 pub use adder::{add, AdderKind};
 pub use ct_elab::{elaborate_ct, CtRows};
 pub use error::RtlError;
+pub use lint::{lint, LintIssue, LintReport, LintRule, LintStats, Severity};
 pub use mul::MultiplierNetlist;
 pub use netlist::{
     DffHandle, Gate, GateKind, GateStats, NetId, Netlist, NetlistBuilder, Port, CONST0, CONST1,

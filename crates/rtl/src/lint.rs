@@ -1,0 +1,555 @@
+//! Structural netlist linting.
+//!
+//! [`lint`] runs a rule catalogue over the gate-level IR and returns a
+//! [`LintReport`] with per-rule counters — the static-analysis gate
+//! that every RL-generated design passes before it is allowed to
+//! reach synthesis (and that imported Verilog passes after parsing).
+//! Unlike [`Netlist::validate`], which stops at the first violation
+//! and assumes construction order, the linter inspects the whole
+//! netlist, classifies every finding and distinguishes true
+//! combinational cycles (Tarjan SCC over the gate graph) from mere
+//! ordering violations.
+//!
+//! Severities split in two: **errors** are designs that must not be
+//! simulated or synthesized (multiple drivers, floating nets,
+//! combinational loops, malformed ports); **warnings** are legal but
+//! suspicious structure (dangling gate outputs, which arise naturally
+//! from discarded top-column carries in modular arithmetic).
+
+use crate::netlist::{Netlist, CONST0, CONST1};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One rule of the lint catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintRule {
+    /// A net with more than one driver (gate outputs, input-port bits
+    /// and the two constant nets all count as drivers).
+    MultiDriven,
+    /// A net that is read (by a gate or an output port) but driven by
+    /// nothing.
+    UndrivenNet,
+    /// A gate output pin whose net is read by nothing — dead logic or
+    /// a discarded carry.
+    DanglingOutput,
+    /// A cycle through combinational gates (flip-flops break cycles).
+    CombinationalLoop,
+    /// A malformed port: zero width or a bit referencing a
+    /// non-existent net.
+    PortWidth,
+    /// Two ports sharing one name, or a user port colliding with the
+    /// implicit `clk` of a sequential design.
+    DuplicateName,
+}
+
+impl LintRule {
+    /// Every rule, in reporting order.
+    pub const ALL: [LintRule; 6] = [
+        LintRule::MultiDriven,
+        LintRule::UndrivenNet,
+        LintRule::DanglingOutput,
+        LintRule::CombinationalLoop,
+        LintRule::PortWidth,
+        LintRule::DuplicateName,
+    ];
+
+    /// Number of rules in the catalogue.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable short name used in counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::MultiDriven => "multi-driven",
+            LintRule::UndrivenNet => "undriven-net",
+            LintRule::DanglingOutput => "dangling-output",
+            LintRule::CombinationalLoop => "combinational-loop",
+            LintRule::PortWidth => "port-width",
+            LintRule::DuplicateName => "duplicate-name",
+        }
+    }
+
+    /// Whether a finding under this rule makes the netlist unusable.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintRule::DanglingOutput => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&r| r == self).expect("rule is in ALL")
+    }
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Legal but suspicious; synthesis may proceed.
+    Warning,
+    /// The netlist must not be simulated or synthesized.
+    Error,
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// The violated rule.
+    pub rule: LintRule,
+    /// Human-readable description with net/gate/port specifics.
+    pub message: String,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}",
+            match self.rule.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Outcome of linting one netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    issues: Vec<LintIssue>,
+    counts: [usize; LintRule::COUNT],
+}
+
+impl LintReport {
+    fn push(&mut self, rule: LintRule, message: String) {
+        self.counts[rule.index()] += 1;
+        self.issues.push(LintIssue { rule, message });
+    }
+
+    /// All findings, grouped by rule in catalogue order.
+    pub fn issues(&self) -> &[LintIssue] {
+        &self.issues
+    }
+
+    /// Findings under one rule.
+    pub fn count(&self, rule: LintRule) -> usize {
+        self.counts[rule.index()]
+    }
+
+    /// Total error-severity findings.
+    pub fn errors(&self) -> usize {
+        LintRule::ALL
+            .iter()
+            .filter(|r| r.severity() == Severity::Error)
+            .map(|&r| self.count(r))
+            .sum()
+    }
+
+    /// Total warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        LintRule::ALL
+            .iter()
+            .filter(|r| r.severity() == Severity::Warning)
+            .map(|&r| self.count(r))
+            .sum()
+    }
+
+    /// Whether the netlist may proceed to simulation and synthesis
+    /// (no error-severity findings; warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// One-line summary, e.g. `clean (2 warnings)` or
+    /// `3 errors: 2 multi-driven, 1 undriven-net`.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            match self.warnings() {
+                0 => "clean".to_owned(),
+                w => format!("clean ({w} warning{})", if w == 1 { "" } else { "s" }),
+            }
+        } else {
+            let detail: Vec<String> = LintRule::ALL
+                .iter()
+                .filter(|&&r| self.count(r) > 0)
+                .map(|&r| format!("{} {}", self.count(r), r))
+                .collect();
+            format!("{} errors: {}", self.errors(), detail.join(", "))
+        }
+    }
+
+    /// Full multi-line rendering of every finding.
+    pub fn render(&self) -> String {
+        let mut s = self.summary();
+        for issue in &self.issues {
+            s.push('\n');
+            s.push_str(&issue.to_string());
+        }
+        s
+    }
+}
+
+/// Aggregated lint counters for the evaluation pipeline's stats line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Netlists linted.
+    pub checks: usize,
+    /// Total error-severity findings over all checks.
+    pub errors: usize,
+    /// Total warning-severity findings over all checks.
+    pub warnings: usize,
+    /// Findings per rule, indexed in [`LintRule::ALL`] order.
+    pub by_rule: [usize; LintRule::COUNT],
+}
+
+impl LintStats {
+    /// Folds one report into the counters.
+    pub fn record(&mut self, report: &LintReport) {
+        self.checks += 1;
+        self.errors += report.errors();
+        self.warnings += report.warnings();
+        for (acc, &n) in self.by_rule.iter_mut().zip(&report.counts) {
+            *acc += n;
+        }
+    }
+
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: LintStats) {
+        self.checks += other.checks;
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+        for (acc, n) in self.by_rule.iter_mut().zip(other.by_rule) {
+            *acc += n;
+        }
+    }
+
+    /// Deterministic one-line rendering for pipeline stats, with
+    /// per-rule counters when anything fired.
+    pub fn render(&self) -> String {
+        if self.errors == 0 && self.warnings == 0 {
+            return format!("lint {} checks clean", self.checks);
+        }
+        let detail: Vec<String> = LintRule::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.by_rule[i] > 0)
+            .map(|(i, r)| format!("{} {}", self.by_rule[i], r))
+            .collect();
+        format!("lint {} checks: {}", self.checks, detail.join(", "))
+    }
+}
+
+/// Runs the full rule catalogue over `netlist`.
+///
+/// The pass is linear in gates + nets except for cycle detection,
+/// which is a single iterative Tarjan SCC traversal of the
+/// combinational gate graph.
+pub fn lint(netlist: &Netlist) -> LintReport {
+    let mut report = LintReport::default();
+    let n = netlist.num_nets() as usize;
+    let in_range = |net: crate::NetId| (net.0 as usize) < n;
+
+    // --- Port shape rules -------------------------------------------------
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (dir, ports) in [("input", netlist.inputs()), ("output", netlist.outputs())] {
+        for p in ports {
+            *names.entry(p.name.as_str()).or_insert(0) += 1;
+            if p.bits.is_empty() {
+                report.push(LintRule::PortWidth, format!("{dir} port {} has width 0", p.name));
+            }
+            for (k, &b) in p.bits.iter().enumerate() {
+                if !in_range(b) {
+                    report.push(
+                        LintRule::PortWidth,
+                        format!("{dir} port {}[{k}] references net {} ≥ {n}", p.name, b.0),
+                    );
+                }
+            }
+        }
+    }
+    for (name, count) in &names {
+        if *count > 1 {
+            report.push(
+                LintRule::DuplicateName,
+                format!("port name `{name}` declared {count} times"),
+            );
+        }
+    }
+    if netlist.is_sequential() && names.contains_key("clk") {
+        report.push(
+            LintRule::DuplicateName,
+            "port `clk` collides with the implicit clock of a sequential design".to_owned(),
+        );
+    }
+    // Out-of-range gate pins are counted under PortWidth's malformed-
+    // reference umbrella and excluded from the driver analysis below.
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for &pin in g.inputs().iter().chain(g.outputs()) {
+            if !in_range(pin) {
+                report.push(
+                    LintRule::PortWidth,
+                    format!("gate {i} ({:?}) references net {} ≥ {n}", g.kind, pin.0),
+                );
+            }
+        }
+    }
+
+    // --- Driver / reader analysis ----------------------------------------
+    let mut drivers = vec![0usize; n];
+    let mut readers = vec![0usize; n];
+    // The two constants are implicitly driven.
+    drivers[CONST0.0 as usize] = 1;
+    drivers[CONST1.0 as usize] = 1;
+    // Driving gate index per net (for the cycle graph).
+    let mut driver_gate = vec![usize::MAX; n];
+    for p in netlist.inputs() {
+        for &b in &p.bits {
+            if in_range(b) {
+                drivers[b.0 as usize] += 1;
+            }
+        }
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for &o in g.outputs() {
+            if in_range(o) {
+                drivers[o.0 as usize] += 1;
+                driver_gate[o.0 as usize] = i;
+            }
+        }
+        for &inp in g.inputs() {
+            if in_range(inp) {
+                readers[inp.0 as usize] += 1;
+            }
+        }
+    }
+    for p in netlist.outputs() {
+        for &b in &p.bits {
+            if in_range(b) {
+                readers[b.0 as usize] += 1;
+            }
+        }
+    }
+    for net in 0..n {
+        if drivers[net] > 1 {
+            report.push(LintRule::MultiDriven, format!("net {net} has {} drivers", drivers[net]));
+        }
+        if drivers[net] == 0 && readers[net] > 0 {
+            report.push(
+                LintRule::UndrivenNet,
+                format!("net {net} is read {} times but never driven", readers[net]),
+            );
+        }
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for (pin, &o) in g.outputs().iter().enumerate() {
+            if in_range(o) && !o.is_const() && readers[o.0 as usize] == 0 {
+                report.push(
+                    LintRule::DanglingOutput,
+                    format!("gate {i} ({:?}) output pin {pin} (net {}) is never read", g.kind, o.0),
+                );
+            }
+        }
+    }
+
+    // --- Combinational cycles (iterative Tarjan SCC) ----------------------
+    for scc in combinational_sccs(netlist, &driver_gate) {
+        let preview: Vec<String> = scc.iter().take(8).map(|g| g.to_string()).collect();
+        report.push(
+            LintRule::CombinationalLoop,
+            format!(
+                "combinational loop through {} gate{}: {}{}",
+                scc.len(),
+                if scc.len() == 1 { "" } else { "s" },
+                preview.join(" → "),
+                if scc.len() > 8 { " → …" } else { "" }
+            ),
+        );
+    }
+
+    // Deterministic ordering: catalogue order, then discovery order.
+    report.issues.sort_by_key(|i| i.rule.index());
+    report
+}
+
+/// Strongly connected components of the combinational gate graph that
+/// form true cycles (size ≥ 2, or a gate feeding itself). Flip-flops
+/// are sequential boundaries and excluded. Iterative Tarjan, so deep
+/// carry chains cannot overflow the stack.
+fn combinational_sccs(netlist: &Netlist, driver_gate: &[usize]) -> Vec<Vec<usize>> {
+    let gates = netlist.gates();
+    let num = gates.len();
+    let succ_of = |g: usize| -> Vec<usize> {
+        // Edges run driver → reader; we traverse reader → driver
+        // (direction is irrelevant for SCCs).
+        let mut out = Vec::new();
+        if gates[g].kind.is_sequential() {
+            return out;
+        }
+        for &inp in gates[g].inputs() {
+            if let Some(&d) = driver_gate.get(inp.0 as usize) {
+                if d != usize::MAX && !gates[d].kind.is_sequential() {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    };
+
+    let mut index = vec![u32::MAX; num];
+    let mut lowlink = vec![0u32; num];
+    let mut on_stack = vec![false; num];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+    // Explicit DFS frames: (gate, successor list, next successor).
+    let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    for start in 0..num {
+        if index[start] != u32::MAX {
+            continue;
+        }
+        frames.push((start, succ_of(start), 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while !frames.is_empty() {
+            let (v, next_succ) = {
+                let frame = frames.last_mut().expect("non-empty");
+                let v = frame.0;
+                if frame.2 < frame.1.len() {
+                    let w = frame.1[frame.2];
+                    frame.2 += 1;
+                    (v, Some(w))
+                } else {
+                    (v, None)
+                }
+            };
+            match next_succ {
+                Some(w) if index[w] == u32::MAX => {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, succ_of(w), 0));
+                }
+                Some(w) => {
+                    if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                }
+                None => {
+                    if lowlink[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let self_loop = scc.len() == 1 && succ_of(scc[0]).contains(&scc[0]);
+                        if scc.len() > 1 || self_loop {
+                            scc.sort_unstable();
+                            sccs.push(scc);
+                        }
+                    }
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let p = parent.0;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort_unstable();
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn clean_netlist_passes() {
+        let mut b = NetlistBuilder::new("clean");
+        let x = b.input("x", 2);
+        let y = b.xor2(x[0], x[1]);
+        b.output("y", &[y]);
+        let r = lint(&b.finish());
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.warnings(), 0);
+    }
+
+    #[test]
+    fn dangling_output_is_a_warning_not_an_error() {
+        let mut b = NetlistBuilder::new("dangle");
+        let x = b.input("x", 2);
+        let (s, _carry) = b.half_adder(x[0], x[1]); // carry never read
+        b.output("s", &[s]);
+        let r = lint(&b.finish());
+        assert!(r.is_clean());
+        assert_eq!(r.count(LintRule::DanglingOutput), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.summary().contains("1 warning"));
+    }
+
+    #[test]
+    fn duplicate_port_names_are_flagged() {
+        let mut b = NetlistBuilder::new("dup");
+        let x = b.input("x", 1);
+        b.output("x", &[x[0]]);
+        let r = lint(&b.finish());
+        assert_eq!(r.count(LintRule::DuplicateName), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clk_collision_on_sequential_designs() {
+        let mut b = NetlistBuilder::new("clkclash");
+        let x = b.input("clk", 1);
+        let q = b.dff(x[0]);
+        b.output("q", &[q]);
+        let r = lint(&b.finish());
+        assert_eq!(r.count(LintRule::DuplicateName), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_per_rule() {
+        let mut stats = LintStats::default();
+        let mut b = NetlistBuilder::new("one");
+        let x = b.input("x", 2);
+        let (s, _c) = b.half_adder(x[0], x[1]);
+        b.output("s", &[s]);
+        let r = lint(&b.finish());
+        stats.record(&r);
+        stats.record(&r);
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.warnings, 2);
+        assert_eq!(stats.by_rule[2], 2); // dangling-output slot
+        assert!(stats.render().contains("dangling-output"));
+        let mut total = LintStats::default();
+        total.merge(stats);
+        assert_eq!(total.checks, 2);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let mut b = NetlistBuilder::new("r");
+        let x = b.input("x", 1);
+        b.output("x", &[x[0]]);
+        let r = lint(&b.finish());
+        assert_eq!(r.render(), r.render());
+    }
+}

@@ -1,0 +1,243 @@
+//! Seeded structural defects and functional mutations.
+//!
+//! Verification tooling is only trustworthy when it has been watched
+//! catching bugs, so this module manufactures them on demand: given a
+//! correct netlist it produces a deliberately broken sibling with one
+//! precise defect. Functional mutations ([`flip_gate_kind`],
+//! [`swap_gate_inputs`], [`replace_gate_input`]) keep the netlist
+//! structurally well-formed but change its function — refutation
+//! fodder for the SAT equivalence checker. Structural defects
+//! ([`duplicate_gate`], [`float_gate_input`], [`introduce_loop`],
+//! [`clear_port`], [`corrupt_port_net`], [`rename_port`]) break the
+//! IR's invariants in ways the lint catalogue must flag.
+//!
+//! All constructors copy the input; intentionally-broken outputs
+//! bypass the builder (and its debug validation) entirely.
+
+use crate::netlist::{GateKind, NetId, Netlist, CONST0};
+
+/// Replaces a gate's function with a near-miss partner
+/// (XOR ↔ XNOR, AND ↔ OR, NAND ↔ NOR, HA kept, FA → HA-like, …),
+/// preserving pin counts. Returns `None` for kinds with no same-arity
+/// partner.
+pub fn flip_gate_kind(netlist: &Netlist, gate: usize) -> Option<Netlist> {
+    let flipped = match netlist.gates()[gate].kind {
+        GateKind::Inv => GateKind::Buf,
+        GateKind::Buf => GateKind::Inv,
+        GateKind::And2 => GateKind::Or2,
+        GateKind::Or2 => GateKind::And2,
+        GateKind::Nand2 => GateKind::Nor2,
+        GateKind::Nor2 => GateKind::Nand2,
+        GateKind::Xor2 => GateKind::Xnor2,
+        GateKind::Xnor2 => GateKind::Xor2,
+        _ => return None,
+    };
+    let mut out = netlist.clone();
+    out.gates_mut()[gate].kind = flipped;
+    Some(out)
+}
+
+/// Swaps two input pins of a gate. Function-changing for asymmetric
+/// gates (4:2 compressor `x1 ↔ cin`, mux data/select); a no-op in
+/// function for fully symmetric ones (plain FA/HA sum+carry).
+pub fn swap_gate_inputs(netlist: &Netlist, gate: usize, a: usize, b: usize) -> Netlist {
+    let mut out = netlist.clone();
+    out.gates_mut()[gate].ins.swap(a, b);
+    out
+}
+
+/// Reconnects one input pin of a gate to `with` — e.g. dropping a
+/// carry wire by grounding the carry-in of a downstream compressor.
+pub fn replace_gate_input(netlist: &Netlist, gate: usize, pin: usize, with: NetId) -> Netlist {
+    let mut out = netlist.clone();
+    out.gates_mut()[gate].ins[pin] = with;
+    out
+}
+
+/// Appends a copy of `gate`, so every net it drives gains a second
+/// driver (a multi-driven lint error).
+pub fn duplicate_gate(netlist: &Netlist, gate: usize) -> Netlist {
+    let mut out = netlist.clone();
+    let g = out.gates()[gate];
+    out.gates_mut().push(g);
+    out
+}
+
+/// Points one input pin of a gate at a freshly allocated net that
+/// nothing drives (an undriven-net lint error).
+pub fn float_gate_input(netlist: &Netlist, gate: usize, pin: usize) -> Netlist {
+    let mut out = netlist.clone();
+    let floating = NetId(out.num_nets());
+    out.bump_num_nets();
+    out.gates_mut()[gate].ins[pin] = floating;
+    out
+}
+
+/// Rewires input pin 0 of `gate` to that gate's own first output,
+/// closing a one-gate combinational loop.
+pub fn introduce_loop(netlist: &Netlist, gate: usize) -> Netlist {
+    let own_output = netlist.gates()[gate].outs[0];
+    replace_gate_input(netlist, gate, 0, own_output)
+}
+
+/// Rewires `later` gate's output into `earlier` gate's input pin 0,
+/// closing a multi-gate combinational cycle when `earlier`'s cone
+/// feeds `later`.
+pub fn cross_wire(netlist: &Netlist, earlier: usize, later: usize) -> Netlist {
+    let back_edge = netlist.gates()[later].outs[0];
+    replace_gate_input(netlist, earlier, 0, back_edge)
+}
+
+/// Empties an output port's bit list (a port-width lint error).
+pub fn clear_port(netlist: &Netlist, port: usize) -> Netlist {
+    let mut out = netlist.clone();
+    out.outputs_mut()[port].bits.clear();
+    out
+}
+
+/// Points one bit of an output port at a net id beyond the netlist's
+/// net count (a port-width lint error).
+pub fn corrupt_port_net(netlist: &Netlist, port: usize, bit: usize) -> Netlist {
+    let mut out = netlist.clone();
+    let bogus = NetId(out.num_nets() + 41);
+    out.outputs_mut()[port].bits[bit] = bogus;
+    out
+}
+
+/// Renames an output port to collide with the first input port's
+/// name (a duplicate-name lint error).
+pub fn rename_port_to_clash(netlist: &Netlist, port: usize) -> Netlist {
+    let mut out = netlist.clone();
+    let clash = out.inputs()[0].name.clone();
+    out.outputs_mut()[port].name = clash;
+    out
+}
+
+/// Finds the index of the first gate of `kind`, if any.
+pub fn find_gate(netlist: &Netlist, kind: GateKind) -> Option<usize> {
+    netlist.gates().iter().position(|g| g.kind == kind)
+}
+
+/// Finds the first `(consumer_gate, pin)` whose input net is a carry
+/// output (pin ≥ 1) of an upstream HA/FA/4:2 compressor — the wire a
+/// [`replace_gate_input`]`(…, CONST0)` mutation "drops".
+pub fn find_carry_wire(netlist: &Netlist) -> Option<(usize, usize)> {
+    let mut carry_nets = vec![false; netlist.num_nets() as usize];
+    for g in netlist.gates() {
+        if matches!(g.kind, GateKind::HalfAdder | GateKind::FullAdder | GateKind::Compressor42) {
+            for &c in &g.outputs()[1..] {
+                carry_nets[c.0 as usize] = true;
+            }
+        }
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for (pin, &inp) in g.inputs().iter().enumerate() {
+            if carry_nets[inp.0 as usize] {
+                return Some((i, pin));
+            }
+        }
+    }
+    None
+}
+
+/// Drops the first carry wire found by [`find_carry_wire`], grounding
+/// the consumer pin. Returns `None` when the netlist has no
+/// compressor carries.
+pub fn drop_carry_wire(netlist: &Netlist) -> Option<Netlist> {
+    let (gate, pin) = find_carry_wire(netlist)?;
+    Some(replace_gate_input(netlist, gate, pin, CONST0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{lint, LintRule};
+    use crate::netlist::NetlistBuilder;
+
+    fn adder4() -> Netlist {
+        let mut b = NetlistBuilder::new("adder4");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let mut carry = CONST0;
+        let mut sum = Vec::new();
+        for k in 0..4 {
+            let (s, c) = b.full_adder(x[k], y[k], carry);
+            sum.push(s);
+            carry = c;
+        }
+        sum.push(carry);
+        b.output("s", &sum);
+        b.finish()
+    }
+
+    #[test]
+    fn duplicate_gate_is_multi_driven() {
+        let n = adder4();
+        let bad = duplicate_gate(&n, 1);
+        let r = lint(&bad);
+        assert!(r.count(LintRule::MultiDriven) >= 1, "{}", r.render());
+        assert!(!r.is_clean());
+        assert!(lint(&n).is_clean());
+    }
+
+    #[test]
+    fn float_gate_input_is_undriven() {
+        let bad = float_gate_input(&adder4(), 2, 0);
+        let r = lint(&bad);
+        assert_eq!(r.count(LintRule::UndrivenNet), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn introduce_loop_is_detected_as_scc() {
+        let bad = introduce_loop(&adder4(), 1);
+        let r = lint(&bad);
+        assert!(r.count(LintRule::CombinationalLoop) >= 1, "{}", r.render());
+    }
+
+    #[test]
+    fn cross_wire_makes_a_multi_gate_loop() {
+        let n = adder4();
+        // Gate 0's carry feeds gate 1 (ripple chain); wiring gate 1's
+        // output back into gate 0 closes a two-gate cycle.
+        let bad = cross_wire(&n, 0, 1);
+        let r = lint(&bad);
+        assert!(r.count(LintRule::CombinationalLoop) >= 1, "{}", r.render());
+        let issue = r
+            .issues()
+            .iter()
+            .find(|i| i.rule == LintRule::CombinationalLoop)
+            .expect("loop issue present");
+        assert!(issue.message.contains("gates"), "{}", issue.message);
+    }
+
+    #[test]
+    fn port_defects_are_width_and_name_errors() {
+        let n = adder4();
+        assert_eq!(lint(&clear_port(&n, 0)).count(LintRule::PortWidth), 1);
+        assert_eq!(lint(&corrupt_port_net(&n, 0, 2)).count(LintRule::PortWidth), 1);
+        assert_eq!(lint(&rename_port_to_clash(&n, 0)).count(LintRule::DuplicateName), 1);
+    }
+
+    #[test]
+    fn carry_wires_are_found_and_droppable() {
+        let n = adder4();
+        let (gate, pin) = find_carry_wire(&n).expect("ripple chain has carries");
+        assert!(pin < n.gates()[gate].kind.num_inputs());
+        let dropped = drop_carry_wire(&n).expect("droppable");
+        // Still structurally clean — the defect is functional.
+        assert!(lint(&dropped).is_clean());
+        assert_ne!(&dropped, &n);
+    }
+
+    #[test]
+    fn flip_gate_kind_covers_simple_gates() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x", 2);
+        let y = b.xor2(x[0], x[1]);
+        b.output("y", &[y]);
+        let n = b.finish();
+        let flipped = flip_gate_kind(&n, 0).expect("xor flips");
+        assert_eq!(flipped.gates()[0].kind, GateKind::Xnor2);
+        assert!(lint(&flipped).is_clean());
+    }
+}

@@ -254,6 +254,21 @@ impl Netlist {
         self
     }
 
+    /// Mutable gate access for the defect constructors in
+    /// [`crate::mutate`]; intentionally crate-private so the public IR
+    /// stays append-only through [`NetlistBuilder`].
+    pub(crate) fn gates_mut(&mut self) -> &mut Vec<Gate> {
+        &mut self.gates
+    }
+
+    pub(crate) fn outputs_mut(&mut self) -> &mut Vec<Port> {
+        &mut self.outputs
+    }
+
+    pub(crate) fn bump_num_nets(&mut self) {
+        self.num_nets += 1;
+    }
+
     /// Checks structural sanity: single driver per net, inputs defined
     /// before use, ports reference existing nets. Returns the first
     /// problem found as a human-readable message.

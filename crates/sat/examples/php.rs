@@ -1,0 +1,27 @@
+use rlmul_sat::{Lit, SolveResult, Solver};
+fn main() {
+    for holes in [7usize, 8] {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let all: Vec<Lit> = (0..pigeons * holes).map(|_| Lit::pos(s.new_var())).collect();
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| all[p * holes + h]).collect();
+            s.add_clause(&row);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[!all[p1 * holes + h], !all[p2 * holes + h]]);
+                }
+            }
+        }
+        let t = std::time::Instant::now();
+        let r = s.solve();
+        println!(
+            "PHP({pigeons},{holes}): {r:?} in {:?}, {} conflicts",
+            t.elapsed(),
+            s.stats().conflicts
+        );
+        assert_eq!(r, SolveResult::Unsat);
+    }
+}

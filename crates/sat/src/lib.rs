@@ -1,0 +1,38 @@
+//! A from-scratch CDCL SAT solver for RL-MUL's formal verification
+//! layer — the reproduction's substitute for the SAT engine inside
+//! ABC's `cec`/fraig machinery.
+//!
+//! The solver implements the standard modern kernel: two-watched-
+//! literal unit propagation, first-UIP conflict analysis with clause
+//! learning and local minimization, VSIDS-style variable activities
+//! with phase saving, Luby-scheduled restarts and activity-based
+//! learnt-clause deletion. The API is purely programmatic (no DIMACS
+//! layer): callers create variables, add clauses and issue
+//! (optionally budgeted, optionally assumption-scoped) solve calls.
+//! Incrementality — learnt clauses surviving across calls — is what
+//! the equivalence sweeper in `rlmul-lec` leans on: thousands of
+//! small "are these two nets equal?" queries against one shared
+//! netlist encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use rlmul_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+//! // c ↔ a ∧ b
+//! s.add_clause(&[Lit::neg(c), Lit::pos(a)]);
+//! s.add_clause(&[Lit::neg(c), Lit::pos(b)]);
+//! s.add_clause(&[Lit::pos(c), Lit::neg(a), Lit::neg(b)]);
+//! assert_eq!(s.solve_with(&[Lit::pos(c)]), SolveResult::Sat);
+//! assert!(s.model_value(a) && s.model_value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod lit;
+mod solver;
+
+pub use lit::{Lbool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,117 @@
+//! Variables, literals and the three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable. Variables are created by
+/// [`Solver::new_var`](crate::Solver::new_var) and are densely
+/// numbered from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `2·var + sign`.
+///
+/// ```
+/// use rlmul_sat::{Lit, Solver};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// let l = Lit::pos(v);
+/// assert_eq!((!l).var(), v);
+/// assert!((!l).is_negated());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign.
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit((v.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the negated polarity.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Conditionally negates: `l.xor(false) == l`, `l.xor(true) == !l`.
+    pub fn xor(self, flip: bool) -> Lit {
+        Lit(self.0 ^ flip as u32)
+    }
+
+    /// Dense index (`2·var + sign`), used for watch lists.
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_negated() { "¬" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// Three-valued assignment status of a variable or literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lbool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl Lbool {
+    /// Flips true/false, leaves `Undef` alone.
+    pub fn negate(self) -> Lbool {
+        match self {
+            Lbool::True => Lbool::False,
+            Lbool::False => Lbool::True,
+            Lbool::Undef => Lbool::Undef,
+        }
+    }
+
+    /// From a concrete boolean.
+    pub fn from_bool(b: bool) -> Lbool {
+        if b {
+            Lbool::True
+        } else {
+            Lbool::False
+        }
+    }
+}

@@ -1,0 +1,860 @@
+//! The CDCL search engine.
+//!
+//! A compact MiniSat-style solver: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS-style
+//! variable activities with phase saving, Luby-scheduled restarts and
+//! activity-based learnt-clause deletion. The solver is incremental:
+//! clauses may be added between `solve` calls and learnt clauses are
+//! kept, which is what makes fraig-style equivalence sweeping (many
+//! related queries over one shared netlist encoding) cheap.
+
+use crate::lit::{Lbool, Lit, Var};
+
+/// Result of a (possibly budgeted) solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// No satisfying assignment exists (under the given assumptions).
+    Unsat,
+    /// The conflict budget ran out before an answer was reached.
+    Unknown,
+}
+
+/// Work counters, cumulative over the solver's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: usize,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Binary max-heap over variables ordered by activity, with position
+/// tracking so activity bumps can sift in place.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    pos: Vec<i32>,
+}
+
+impl VarOrder {
+    fn grow(&mut self) {
+        self.pos.push(-1);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] >= 0
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        let p = self.pos[v.index()];
+        if p >= 0 {
+            self.sift_up(p as usize, act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+/// An incremental CDCL SAT solver.
+///
+/// ```
+/// use rlmul_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model_value(b));
+/// assert_eq!(s.solve_with(&[Lit::neg(b)]), SolveResult::Unsat);
+/// assert_eq!(s.solve(), SolveResult::Sat); // still satisfiable alone
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<Lbool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    model: Vec<bool>,
+    ok: bool,
+    max_learnts: f64,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Self {
+        Solver { ok: true, var_inc: 1.0, clause_inc: 1.0, max_learnts: 0.0, ..Default::default() }
+    }
+
+    /// Creates a fresh unassigned variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(Lbool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.model.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow();
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (problem + learnt) currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Whether the clause set is still possibly satisfiable (turns
+    /// `false` permanently once top-level unsatisfiability is known).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    fn lit_value(&self, l: Lit) -> Lbool {
+        let v = self.assign[l.var().index()];
+        if l.is_negated() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause, simplifying against the top-level assignment.
+    /// Returns `false` when the clause set has become trivially
+    /// unsatisfiable (the solver stays usable but every solve returns
+    /// `Unsat`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (clauses may only be added between
+    /// solve calls) or with literals over undeclared variables.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added between solve calls");
+        if !self.ok {
+            return false;
+        }
+        // Sort/dedup; drop false literals; detect tautologies and
+        // satisfied clauses.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut simplified: Vec<Lit> = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            assert!(l.var().index() < self.num_vars(), "literal over undeclared variable");
+            if self.lit_value(l) == Lbool::True {
+                return true; // already satisfied at top level
+            }
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology x ∨ ¬x
+            }
+            if self.lit_value(l) != Lbool::False {
+                simplified.push(l);
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let w0 = Watcher { cref, blocker: lits[1] };
+        let w1 = Watcher { cref, blocker: lits[0] };
+        self.watches[(!lits[0]).idx()].push(w0);
+        self.watches[(!lits[1]).idx()].push(w1);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        let v = l.var().index();
+        debug_assert_eq!(self.assign[v], Lbool::Undef);
+        self.assign[v] = Lbool::from_bool(!l.is_negated());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal unit propagation. Returns the conflicting
+    /// clause reference, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.idx()]);
+            let mut kept = 0usize;
+            let mut conflict = None;
+            let mut i = 0usize;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == Lbool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                let cref = w.cref as usize;
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == Lbool::True {
+                    ws[kept] = Watcher { cref: w.cref, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Find a replacement watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    if self.lit_value(self.clauses[cref].lits[k]) != Lbool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_watch = !self.clauses[cref].lits[1];
+                        self.watches[new_watch.idx()]
+                            .push(Watcher { cref: w.cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                ws[kept] = Watcher { cref: w.cref, blocker: first };
+                kept += 1;
+                if self.lit_value(first) == Lbool::False {
+                    conflict = Some(w.cref);
+                    // Keep the untouched tail of the watch list.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.idx()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with
+    /// the asserting literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level() as u32;
+        loop {
+            self.bump_clause(confl as usize);
+            let skip = usize::from(p.is_some());
+            for k in skip..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let v = pl.var().index();
+            self.seen[v] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[v].expect("non-decision literal on conflict path has a reason");
+        }
+        // Cheap recursive-free minimization: drop literals whose
+        // reason clause is entirely subsumed by the rest of the
+        // learnt clause.
+        for l in &learnt {
+            self.seen[l.var().index()] = true;
+        }
+        let keep: Vec<bool> =
+            learnt.iter().enumerate().map(|(i, &l)| i == 0 || !self.redundant(l)).collect();
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let mut out: Vec<Lit> =
+            learnt.into_iter().zip(keep).filter_map(|(l, k)| k.then_some(l)).collect();
+        // Backtrack level: highest level among the non-asserting
+        // literals; put that literal in watch position 1.
+        let bt = if out.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..out.len() {
+                if self.level[out[i].var().index()] > self.level[out[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            out.swap(1, max_i);
+            self.level[out[1].var().index()] as usize
+        };
+        (out, bt)
+    }
+
+    /// A learnt literal is redundant when its reason's literals are
+    /// all already in the learnt clause (local self-subsumption).
+    fn redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(cref) => self.clauses[cref as usize]
+                .lits
+                .iter()
+                .skip(1)
+                .all(|q| self.seen[q.var().index()] || self.level[q.var().index()] == 0),
+        }
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        if !self.clauses[cref].learnt {
+            return;
+        }
+        self.clauses[cref].activity += self.clause_inc;
+        if self.clauses[cref].activity > RESCALE_LIMIT {
+            for c in &mut self.clauses {
+                c.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.phase[v.index()] = !l.is_negated();
+            self.assign[v.index()] = Lbool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.assign[v.index()] == Lbool::Undef {
+                return Some(v);
+            }
+        }
+    }
+
+    /// Deletes the low-activity half of the learnt clauses. Must be
+    /// called at decision level 0 (no outstanding reasons above the
+    /// root level, so clause references can be compacted freely).
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for r in &mut self.reason {
+            *r = None; // root-level facts never need their reasons again
+        }
+        let mut learnt_acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if learnt_acts.is_empty() {
+            return;
+        }
+        learnt_acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let threshold = learnt_acts[learnt_acts.len() / 2];
+        let before = self.clauses.len();
+        let mut kept: Vec<Clause> = Vec::with_capacity(before);
+        let mut deleted = 0u64;
+        for c in self.clauses.drain(..) {
+            if c.learnt && c.lits.len() > 2 && c.activity < threshold {
+                deleted += 1;
+            } else {
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        self.stats.deleted_clauses += deleted;
+        self.stats.learnt_clauses = self.clauses.iter().filter(|c| c.learnt).count();
+        // Rebuild the watch lists against the compacted indices. The
+        // previous watch positions stay valid for the root-level
+        // assignment, so watching lits[0]/lits[1] again is sound.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let cref = i as u32;
+            self.watches[(!c.lits[0]).idx()].push(Watcher { cref, blocker: c.lits[1] });
+            self.watches[(!c.lits[1]).idx()].push(Watcher { cref, blocker: c.lits[0] });
+        }
+    }
+
+    /// Reluctant-doubling (Luby) sequence: 1, 1, 2, 1, 1, 2, 4, …
+    fn luby(mut x: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(&[], u64::MAX)
+    }
+
+    /// Solves under `assumptions` (treated as first decisions).
+    /// `Unsat` means unsatisfiable *under the assumptions*; the
+    /// clause set itself may remain satisfiable.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+    }
+
+    /// Solves with a conflict budget; returns [`SolveResult::Unknown`]
+    /// when `max_conflicts` conflicts were analyzed without an answer.
+    /// Learnt clauses are kept either way, so repeating the call
+    /// resumes rather than restarts the proof.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(2000.0);
+        }
+        let mut spent = 0u64;
+        let mut restart_round = 0u64;
+        let result = loop {
+            let mut budget = LUBY_UNIT * Self::luby(restart_round);
+            restart_round += 1;
+            self.stats.restarts += 1;
+            match self.search(assumptions, &mut budget, &mut spent, max_conflicts) {
+                Some(r) => break r,
+                None => {
+                    // Restart; reduce the learnt database when it
+                    // outgrew its budget.
+                    self.cancel_until(0);
+                    if self.stats.learnt_clauses as f64 > self.max_learnts {
+                        self.reduce_db();
+                        self.max_learnts *= 1.3;
+                    }
+                    if spent >= max_conflicts {
+                        break SolveResult::Unknown;
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// One restart-bounded search episode. Returns `None` to restart.
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &mut u64,
+        spent: &mut u64,
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                *spent += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach(learnt, true);
+                    self.bump_clause(cref as usize);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.clause_inc /= CLAUSE_DECAY;
+                if *spent >= max_conflicts {
+                    return None; // budget exhausted → caller decides
+                }
+                if *budget == 0 {
+                    return None;
+                }
+                *budget -= 1;
+            } else {
+                // Place assumptions one level at a time.
+                if self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        Lbool::True => {
+                            // Already implied: dummy level keeps the
+                            // level ↔ assumption-index correspondence.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Lbool::False => return Some(SolveResult::Unsat),
+                        Lbool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        for (i, &a) in self.assign.iter().enumerate() {
+                            self.model[i] = a == Lbool::True;
+                        }
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, !self.phase[v.index()]);
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of `v` in the most recent satisfying assignment.
+    ///
+    /// Only meaningful after a [`SolveResult::Sat`] answer.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model[v.index()]
+    }
+
+    /// Value of a literal in the most recent satisfying assignment.
+    pub fn model_lit(&self, l: Lit) -> bool {
+        self.model_value(l.var()) ^ l.is_negated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(solver.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let x = Lit::pos(s.new_var());
+        assert!(s.add_clause(&[x]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(x));
+        assert!(!s.add_clause(&[!x]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_set_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_simplified() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0], !v[0]]));
+        assert!(s.add_clause(&[v[1], v[1], v[1]]));
+        assert_eq!(s.num_clauses(), 0); // tautology dropped, unit enqueued
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(v[1]));
+    }
+
+    /// Pigeonhole principle: `n+1` pigeons don't fit `n` holes.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let var = |p: usize, h: usize| p * holes + h;
+        let all: Vec<Lit> = (0..pigeons * holes).map(|_| Lit::pos(s.new_var())).collect();
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| all[var(p, h)]).collect();
+            s.add_clause(&row);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[!all[var(p1, h)], !all[var(p2, h)]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in [2usize, 3, 4, 5] {
+            let mut s = pigeonhole(holes + 1, holes);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({}, {holes})", holes + 1);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_it_fits() {
+        let mut s = pigeonhole(4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_and_resumes() {
+        let mut s = pigeonhole(7, 6);
+        assert_eq!(s.solve_limited(&[], 1), SolveResult::Unknown);
+        // Learnt clauses persist; an unbounded call finishes the proof.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_local() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[!v[0], v[2]]);
+        assert_eq!(s.solve_with(&[!v[1], !v[2]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!v[1]]), SolveResult::Sat);
+        assert!(s.model_lit(v[0]) && s.model_lit(v[2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumptions_fail_fast() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert_eq!(s.solve_with(&[v[0], !v[0]]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        s.add_clause(&[!v[1], v[2]]);
+        s.add_clause(&[!v[2], v[3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_lit(v[1]) && s.model_lit(v[2]) && s.model_lit(v[3]));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(Solver::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    /// Exhaustive cross-check against brute force on random small CNFs.
+    #[test]
+    fn agrees_with_brute_force_on_random_cnfs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for round in 0..200 {
+            let n_vars = 3 + (round % 8);
+            let n_clauses = 2 + rng.gen_range(0..(4 * n_vars));
+            let clauses: Vec<Vec<(usize, bool)>> = (0..n_clauses)
+                .map(|_| {
+                    let w = 1 + rng.gen_range(0..3usize);
+                    (0..w).map(|_| (rng.gen_range(0..n_vars), rng.gen::<bool>())).collect()
+                })
+                .collect();
+            let brute = (0..(1u32 << n_vars)).any(|m| {
+                clauses.iter().all(|c| c.iter().any(|&(v, neg)| ((m >> v) & 1 == 1) != neg))
+            });
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve();
+            let expected = if brute { SolveResult::Sat } else { SolveResult::Unsat };
+            assert_eq!(got, expected, "round {round}: {clauses:?}");
+            if got == SolveResult::Sat {
+                // The reported model must actually satisfy the CNF.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&(v, neg)| s.model_value(vars[v]) != neg),
+                        "model fails clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

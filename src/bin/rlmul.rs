@@ -15,8 +15,10 @@ use rlmul::core::{
     OptimizationOutcome,
 };
 use rlmul::ct::{CompressorTree, PpgKind};
-use rlmul::lec::check_datapath;
-use rlmul::rtl::{quad_multiplier, to_verilog, AdderKind, MultiplierNetlist, Netlist};
+use rlmul::lec::{check_datapath, check_formal};
+use rlmul::rtl::{
+    from_verilog, quad_multiplier, to_verilog, AdderKind, MultiplierNetlist, Netlist,
+};
 use rlmul::synth::{SynthesisOptions, Synthesizer};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&opts),
         "export" => cmd_export(&opts),
         "verify" => cmd_verify(&opts),
+        "lint" => cmd_lint(&opts),
         "synth" => cmd_synth(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -59,12 +62,22 @@ COMMANDS
   optimize  search for a better compressor tree (RL or SA)
   export    emit structural Verilog for a named structure
   verify    equivalence-check a structure against the golden model
+  lint      run the structural netlist linter
   synth     synthesize a structure and report PPA
 
 COMMON OPTIONS
   --bits N          operand width (default 8)
   --kind K          and | mbe | mac-and | mac-mbe (default and)
   --structure S     wallace | dadda | gomil | quad (default wallace)
+
+VERIFY OPTIONS
+  --formal-cec      prove equivalence with the SAT-based formal engine
+                    (vs the golden Dadda reference) instead of
+                    simulation sweeps
+
+LINT OPTIONS
+  --in PATH         lint a structural Verilog file instead of a
+                    generated structure
 
 OPTIMIZE OPTIONS
   --method M        dqn | a2c | sa (default a2c)
@@ -86,7 +99,9 @@ fn parse_opts(tokens: Vec<String>) -> HashMap<String, String> {
     let mut i = 0;
     while i < tokens.len() {
         if let Some(key) = tokens[i].strip_prefix("--") {
-            if i + 1 < tokens.len() {
+            // A following token that is itself a `--key` leaves this
+            // one as a boolean flag (e.g. `--formal-cec`).
+            if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
                 map.insert(key.to_owned(), tokens[i + 1].clone());
                 i += 2;
                 continue;
@@ -222,6 +237,9 @@ fn cmd_verify(opts: &HashMap<String, String>) -> CliResult {
     let bits: usize = get(opts, "bits", 8);
     let kind = parse_kind(opts)?;
     let netlist = build_structure(opts, bits, kind)?;
+    if opts.contains_key("formal-cec") {
+        return cmd_verify_formal(&netlist, bits, kind);
+    }
     let report = check_datapath(&netlist, bits, kind)?;
     println!(
         "{} — {} vectors ({})",
@@ -235,6 +253,50 @@ fn cmd_verify(opts: &HashMap<String, String>) -> CliResult {
             cex.a, cex.b, cex.c, cex.expected, cex.got
         );
         return Err("equivalence check failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_verify_formal(netlist: &Netlist, bits: usize, kind: PpgKind) -> CliResult {
+    let r = check_formal(netlist, bits, kind)?;
+    println!(
+        "{} — SAT CEC vs golden {bits}-bit {kind} Dadda reference",
+        if r.equivalent { "PROVED" } else { "REFUTED" }
+    );
+    println!(
+        "sweep: {} rounds, {} candidates, {} merged, {} refuted, {} unknown",
+        r.sweep.rounds, r.sweep.candidates, r.sweep.proved, r.sweep.refuted, r.sweep.unknown
+    );
+    println!(
+        "cnf: {} vars, {} clauses; {} conflicts, {} decisions, {} propagations",
+        r.vars, r.clauses, r.conflicts, r.decisions, r.propagations
+    );
+    if let Some(cex) = r.counterexample {
+        for (name, v) in &cex.inputs {
+            println!("counterexample input  {name} = {v}");
+        }
+        for d in &cex.outputs {
+            println!("counterexample output {} = {} (reference {})", d.name, d.left, d.right);
+        }
+        println!("simulator confirmed: {}", cex.confirmed);
+        return Err("formal equivalence check failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_lint(opts: &HashMap<String, String>) -> CliResult {
+    let netlist = match opts.get("in") {
+        Some(path) if !path.is_empty() => from_verilog(&std::fs::read_to_string(path)?)?,
+        _ => {
+            let bits: usize = get(opts, "bits", 8);
+            let kind = parse_kind(opts)?;
+            build_structure(opts, bits, kind)?
+        }
+    };
+    let report = rlmul::rtl::lint(&netlist);
+    println!("{}", report.render());
+    if report.errors() > 0 {
+        return Err(format!("{} lint error(s)", report.errors()).into());
     }
     Ok(())
 }

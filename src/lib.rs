@@ -12,8 +12,12 @@
 //!   adders, merged MACs, systolic PE arrays, Verilog emission);
 //! * [`synth`] — standard-cell library, technology mapping, static
 //!   timing analysis, gate sizing and power estimation;
-//! * [`lec`] — bit-parallel simulation and logic equivalence checking
-//!   against golden models;
+//! * [`sat`] — a from-scratch CDCL SAT solver (two-watched literals,
+//!   first-UIP learning, VSIDS, Luby restarts) with incremental
+//!   assumption solving;
+//! * [`lec`] — bit-parallel simulation, logic equivalence checking
+//!   against golden models, and formal SAT-based CEC with
+//!   fraig-style equivalence sweeping;
 //! * [`nn`] — the from-scratch CPU neural-network substrate behind the
 //!   agent networks;
 //! * [`pareto`] — Pareto fronts, hypervolume, trajectory statistics;
@@ -53,4 +57,5 @@ pub use rlmul_lec as lec;
 pub use rlmul_nn as nn;
 pub use rlmul_pareto as pareto;
 pub use rlmul_rtl as rtl;
+pub use rlmul_sat as sat;
 pub use rlmul_synth as synth;

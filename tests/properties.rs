@@ -5,9 +5,11 @@
 
 use proptest::prelude::*;
 use rlmul::ct::{Action, CompressorMatrix, CompressorTree, PpProfile, PpgKind, StageTensor};
-use rlmul::lec::{check_datapath, golden, PortValues, Simulator};
+use rlmul::lec::{check_datapath, check_equiv, golden, CecOptions, PortValues, Simulator};
 use rlmul::pareto::{dominates, hypervolume_2d, pareto_front, Point2};
-use rlmul::rtl::{add, AdderKind, MultiplierNetlist, NetlistBuilder};
+use rlmul::rtl::{
+    add, from_verilog, lint, to_verilog, AdderKind, MultiplierNetlist, NetlistBuilder,
+};
 use rlmul::synth::{analyze, Drive, IncrementalSta, Library, MappedNetlist};
 
 fn kind_strategy() -> impl Strategy<Value = PpgKind> {
@@ -176,6 +178,30 @@ proptest! {
         let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
         let lec = check_datapath(&netlist, 6, PpgKind::Mbe).expect("simulates");
         prop_assert!(lec.equivalent, "{:?}", lec.counterexample);
+    }
+
+    /// Verilog round-trip is formally lossless: emitting any reachable
+    /// multiplier netlist and re-parsing the text yields a netlist the
+    /// SAT-based CEC proves equivalent to the original, and both sides
+    /// lint clean (errors; discarded top-column carries may warn).
+    #[test]
+    fn verilog_round_trip_is_formally_equivalent(
+        kind in prop_oneof![Just(PpgKind::And), Just(PpgKind::Mbe)],
+        picks in prop::collection::vec(0usize..1000, 0..6),
+    ) {
+        let mut tree = CompressorTree::dadda(4, kind).expect("legal width");
+        for pick in picks {
+            let actions = tree.valid_actions();
+            tree = tree.apply_action(actions[pick % actions.len()]).expect("valid");
+        }
+        let netlist = MultiplierNetlist::elaborate(&tree).expect("elaborates").into_netlist();
+        let text = to_verilog(&netlist);
+        let reparsed = from_verilog(&text).expect("emitted verilog parses");
+        prop_assert_eq!(lint(&netlist).errors(), 0);
+        prop_assert_eq!(lint(&reparsed).errors(), 0, "{}", lint(&reparsed).render());
+        let report = check_equiv(&netlist, &reparsed, &CecOptions::default())
+            .expect("ports line up after round-trip");
+        prop_assert!(report.equivalent, "{:?}", report.counterexample);
     }
 
     /// Incremental STA after random sizing batches stays bit-identical
