@@ -27,7 +27,7 @@ mod sa;
 
 pub use bnb::gomil_bnb;
 pub use gomil::{gomil, gomil_weighted, GomilWeights};
-pub use sa::{simulated_annealing, SaConfig, SaOutcome};
+pub use sa::{simulated_annealing, SaConfig, SaOutcome, SaParts, SaRun};
 
 use rlmul_ct::{CompressorTree, CtError, PpgKind};
 

@@ -38,6 +38,152 @@ pub struct SaOutcome {
     pub accepted: usize,
 }
 
+/// Incremental simulated-annealing driver: the same algorithm as
+/// [`simulated_annealing`], exposed one proposal at a time so callers
+/// can interleave telemetry, checkpointing and cancellation between
+/// steps. [`SaRun::to_parts`]/[`SaRun::from_parts`] decompose the
+/// full annealing state for snapshots — a run rebuilt from its parts
+/// (plus the caller's RNG state) continues bit-identically.
+#[derive(Debug, Clone)]
+pub struct SaRun {
+    config: SaConfig,
+    current: CompressorTree,
+    current_cost: f64,
+    best: CompressorTree,
+    best_cost: f64,
+    temp: f64,
+    trajectory: Vec<f64>,
+    accepted: usize,
+}
+
+/// The snapshot-friendly decomposition of a [`SaRun`]'s mutable
+/// state (the schedule parameters travel separately as [`SaConfig`]).
+#[derive(Debug, Clone)]
+pub struct SaParts {
+    /// Current state of the walk.
+    pub current: CompressorTree,
+    /// Cost of the current state.
+    pub current_cost: f64,
+    /// Best state seen so far.
+    pub best: CompressorTree,
+    /// Cost of the best state.
+    pub best_cost: f64,
+    /// Current temperature.
+    pub temp: f64,
+    /// Cost of the current state after every completed step.
+    pub trajectory: Vec<f64>,
+    /// Accepted moves so far.
+    pub accepted: usize,
+}
+
+impl SaRun {
+    /// Starts a run from `initial` with its (caller-evaluated) cost.
+    pub fn new(initial: CompressorTree, initial_cost: f64, config: SaConfig) -> Self {
+        SaRun {
+            current: initial.clone(),
+            current_cost: initial_cost,
+            best: initial,
+            best_cost: initial_cost,
+            temp: config.initial_temp,
+            trajectory: Vec::with_capacity(config.steps),
+            accepted: 0,
+            config,
+        }
+    }
+
+    /// Proposal steps completed so far.
+    pub fn steps_done(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// Whether the configured step budget is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.steps_done() >= self.config.steps
+    }
+
+    /// Cost of the best state seen so far.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// Cost of the current state.
+    pub fn current_cost(&self) -> f64 {
+        self.current_cost
+    }
+
+    /// One Metropolis proposal: draw a random legal action, score the
+    /// candidate with `cost`, accept downhill always and uphill with
+    /// the Boltzmann probability, then cool.
+    pub fn step<R, F>(&mut self, rng: &mut R, mut cost: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&CompressorTree) -> f64,
+    {
+        let actions = self.current.valid_actions();
+        if actions.is_empty() {
+            self.trajectory.push(self.current_cost);
+            return;
+        }
+        let action = actions[rng.gen_range(0..actions.len())];
+        let candidate = self
+            .current
+            .apply_action(action)
+            .expect("valid_actions only yields applicable actions");
+        let cand_cost = cost(&candidate);
+        let delta = cand_cost - self.current_cost;
+        let accept =
+            delta <= 0.0 || rng.gen::<f64>() < (-delta / self.temp.max(self.config.min_temp)).exp();
+        if accept {
+            self.current = candidate;
+            self.current_cost = cand_cost;
+            self.accepted += 1;
+            if self.current_cost < self.best_cost {
+                self.best = self.current.clone();
+                self.best_cost = self.current_cost;
+            }
+        }
+        self.trajectory.push(self.current_cost);
+        self.temp = (self.temp * self.config.cooling).max(self.config.min_temp);
+    }
+
+    /// Consumes the run into its final [`SaOutcome`].
+    pub fn into_outcome(self) -> SaOutcome {
+        SaOutcome {
+            best: self.best,
+            best_cost: self.best_cost,
+            trajectory: self.trajectory,
+            accepted: self.accepted,
+        }
+    }
+
+    /// Clones the mutable state out for a snapshot.
+    pub fn to_parts(&self) -> SaParts {
+        SaParts {
+            current: self.current.clone(),
+            current_cost: self.current_cost,
+            best: self.best.clone(),
+            best_cost: self.best_cost,
+            temp: self.temp,
+            trajectory: self.trajectory.clone(),
+            accepted: self.accepted,
+        }
+    }
+
+    /// Rebuilds a run mid-flight from snapshot parts.
+    pub fn from_parts(config: SaConfig, parts: SaParts) -> Self {
+        SaRun {
+            config,
+            current: parts.current,
+            current_cost: parts.current_cost,
+            best: parts.best,
+            best_cost: parts.best_cost,
+            temp: parts.temp,
+            trajectory: parts.trajectory,
+            accepted: parts.accepted,
+        }
+    }
+}
+
 /// Runs simulated annealing from `initial`, scoring states with
 /// `cost` (lower is better; typically the synthesis-backed weighted
 /// area/delay cost of paper Eq. 20).
@@ -51,39 +197,11 @@ where
     R: Rng + ?Sized,
     F: FnMut(&CompressorTree) -> f64,
 {
-    let mut current = initial.clone();
-    let mut current_cost = cost(&current);
-    let mut best = current.clone();
-    let mut best_cost = current_cost;
-    let mut temp = config.initial_temp;
-    let mut trajectory = Vec::with_capacity(config.steps);
-    let mut accepted = 0;
-
-    for _ in 0..config.steps {
-        let actions = current.valid_actions();
-        if actions.is_empty() {
-            trajectory.push(current_cost);
-            continue;
-        }
-        let action = actions[rng.gen_range(0..actions.len())];
-        let candidate =
-            current.apply_action(action).expect("valid_actions only yields applicable actions");
-        let cand_cost = cost(&candidate);
-        let delta = cand_cost - current_cost;
-        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(config.min_temp)).exp();
-        if accept {
-            current = candidate;
-            current_cost = cand_cost;
-            accepted += 1;
-            if current_cost < best_cost {
-                best = current.clone();
-                best_cost = current_cost;
-            }
-        }
-        trajectory.push(current_cost);
-        temp = (temp * config.cooling).max(config.min_temp);
+    let mut run = SaRun::new(initial.clone(), cost(initial), *config);
+    while !run.is_done() {
+        run.step(rng, &mut cost);
     }
-    SaOutcome { best, best_cost, trajectory, accepted }
+    run.into_outcome()
 }
 
 #[cfg(test)]
@@ -129,6 +247,32 @@ mod tests {
         );
         assert_eq!(&out.best, &initial);
         assert!(out.trajectory.is_empty());
+    }
+
+    #[test]
+    fn stepwise_run_matches_batch_and_resumes_from_parts() {
+        let initial = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let cfg = SaConfig { steps: 100, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = simulated_annealing(&initial, &cfg, &mut rng, proxy_cost);
+
+        // Stepwise, with a snapshot/rebuild (parts + RNG state) at
+        // the midpoint — must replay the batch run bit-identically.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut run = SaRun::new(initial.clone(), proxy_cost(&initial), cfg);
+        for _ in 0..50 {
+            run.step(&mut rng, proxy_cost);
+        }
+        let mut rng2 = StdRng::from_state(rng.state());
+        let mut resumed = SaRun::from_parts(cfg, run.to_parts());
+        while !resumed.is_done() {
+            resumed.step(&mut rng2, proxy_cost);
+        }
+        let resumed = resumed.into_outcome();
+        assert_eq!(batch.trajectory, resumed.trajectory);
+        assert_eq!(batch.best_cost, resumed.best_cost);
+        assert_eq!(batch.accepted, resumed.accepted);
+        assert_eq!(batch.best, resumed.best);
     }
 
     #[test]

@@ -4,12 +4,15 @@
 //!
 //! Budgets are scaled down from the paper's 10 000 s of training;
 //! raise `--steps` for tighter results. `--bits 8` / `--kind and`
-//! restrict the configuration set.
+//! restrict the configuration set. `--telemetry PATH` streams a
+//! JSONL event log of every search method's episodes and phase
+//! timings (summarize with `rlmul report PATH`).
 
 use rlmul_bench::args::Args;
 use rlmul_bench::runner::{Budget, DesignSpec, Method, Preference};
-use rlmul_bench::tables::run_comparison;
+use rlmul_bench::tables::run_comparison_instrumented;
 use rlmul_ct::PpgKind;
+use rlmul_telemetry::{TelemetrySink, TelemetryWriter};
 
 fn main() {
     let args = Args::parse();
@@ -21,6 +24,13 @@ fn main() {
     let sweep_points: usize = args.get("points", 10);
     let only_bits: usize = args.get("bits", 0);
     let only_kind = args.get_str("kind", "");
+    let telemetry_path = args.get_str("telemetry", "");
+    let (writer, sink) = if telemetry_path.is_empty() {
+        (None, TelemetrySink::disabled())
+    } else {
+        let (w, s) = TelemetryWriter::create(&telemetry_path).expect("telemetry file opens");
+        (Some(w), s)
+    };
 
     let mut configs: Vec<DesignSpec> = Vec::new();
     for bits in [8usize, 16] {
@@ -39,7 +49,8 @@ fn main() {
     println!("(budget: {} env steps per search method)\n", budget.env_steps);
     for spec in configs {
         let t0 = std::time::Instant::now();
-        let data = run_comparison(spec, budget, sweep_points, None).expect("comparison completes");
+        let data = run_comparison_instrumented(spec, budget, sweep_points, None, &sink)
+            .expect("comparison completes");
         let title = format!("== {}-bit {} ==", spec.bits, spec.kind.label().to_uppercase());
         println!("{}", data.render(&title));
         println!("Fig. 14(a) hypervolumes:");
@@ -68,5 +79,11 @@ fn main() {
             );
         }
         println!("[{:.1?}]\n", t0.elapsed());
+    }
+    drop(sink);
+    if let Some(w) = writer {
+        let dropped = w.dropped();
+        w.close().expect("telemetry file flushes");
+        println!("telemetry → {telemetry_path} ({dropped} events dropped)");
     }
 }

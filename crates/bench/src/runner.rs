@@ -3,13 +3,14 @@
 
 use rlmul_baselines::{gomil, SaConfig};
 use rlmul_core::{
-    run_sa_cached, train_a2c_cached, train_dqn, A2cConfig, CostWeights, DqnConfig, EnvConfig,
-    EvalCache, MulEnv, RlMulError,
+    run_sa_with, train_a2c_with, train_dqn_with, A2cConfig, CostWeights, DqnConfig, EnvConfig,
+    EvalCache, MulEnv, RlMulError, TrainHooks,
 };
 use rlmul_ct::{CompressorTree, PpgKind};
 use rlmul_pareto::{hypervolume_2d, pareto_front, Point2};
 use rlmul_rtl::{pe_array, MultiplierNetlist, Netlist, PeArrayConfig, PeStyle};
 use rlmul_synth::{SynthesisOptions, Synthesizer};
+use rlmul_telemetry::TelemetrySink;
 
 /// Which design family an experiment targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,8 +142,29 @@ pub fn optimize_with_cache(
     budget: Budget,
     cache: &EvalCache,
 ) -> Result<CompressorTree, RlMulError> {
+    optimize_instrumented(method, spec, pref, budget, cache, &TelemetrySink::disabled())
+}
+
+/// [`optimize_with_cache`] with a telemetry sink threaded into the
+/// search method's training hooks, so harness runs emit the same
+/// per-episode/per-phase JSONL stream as `rlmul train --telemetry`.
+/// The fixed methods (Wallace, GOMIL) construct a single tree and
+/// emit nothing.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_instrumented(
+    method: Method,
+    spec: DesignSpec,
+    pref: Preference,
+    budget: Budget,
+    cache: &EvalCache,
+    sink: &TelemetrySink,
+) -> Result<CompressorTree, RlMulError> {
     let mut env_cfg = EnvConfig::new(spec.bits, spec.kind);
     env_cfg.weights = pref.weights();
+    let hooks = TrainHooks::with_telemetry(sink.clone());
     let report = |label: &str, out: &rlmul_core::OptimizationOutcome| {
         println!(
             "[pipeline] {label} {}b {}: {} synth runs, {}",
@@ -157,7 +179,7 @@ pub fn optimize_with_cache(
         Method::Gomil => Ok(gomil(spec.bits, spec.kind)?),
         Method::Sa => {
             let sa = SaConfig { steps: budget.env_steps, ..Default::default() };
-            let out = run_sa_cached(&env_cfg, &sa, budget.seed, cache.clone())?;
+            let out = run_sa_with(&env_cfg, &sa, budget.seed, cache.clone(), &hooks, None)?;
             report(Method::Sa.label(), &out);
             Ok(out.best)
         }
@@ -169,7 +191,7 @@ pub fn optimize_with_cache(
                 seed: budget.seed,
                 ..Default::default()
             };
-            let out = train_dqn(&mut env, &cfg)?;
+            let out = train_dqn_with(&mut env, &cfg, &hooks, None)?;
             report(Method::RlMul.label(), &out);
             Ok(out.best)
         }
@@ -180,7 +202,7 @@ pub fn optimize_with_cache(
                 seed: budget.seed,
                 ..Default::default()
             };
-            let out = train_a2c_cached(&env_cfg, &cfg, cache.clone())?;
+            let out = train_a2c_with(&env_cfg, &cfg, cache.clone(), &hooks, None)?;
             report(Method::RlMulE.label(), &out);
             Ok(out.best)
         }

@@ -5,11 +5,12 @@
 
 use crate::report::{results_dir, write_points_csv, TextTable};
 use crate::runner::{
-    front_and_hv, optimize, pe_netlist, pick, reference_point, sweep_netlist, sweep_tree,
-    to_points2, Budget, DesignSpec, Method, PpaPoint, Preference,
+    front_and_hv, optimize_instrumented, pe_netlist, pick, reference_point, sweep_netlist,
+    sweep_tree, to_points2, Budget, DesignSpec, Method, PpaPoint, Preference,
 };
-use rlmul_core::RlMulError;
+use rlmul_core::{EvalCache, RlMulError};
 use rlmul_pareto::Point2;
+use rlmul_telemetry::TelemetrySink;
 
 /// Everything a table binary needs to print and archive.
 #[derive(Debug)]
@@ -39,6 +40,24 @@ pub fn run_comparison(
     sweep_points: usize,
     pe: Option<(usize, usize)>,
 ) -> Result<TableData, RlMulError> {
+    run_comparison_instrumented(spec, budget, sweep_points, pe, &TelemetrySink::disabled())
+}
+
+/// [`run_comparison`] with a telemetry sink threaded through every
+/// search method's training loop — pass the sink of a
+/// [`rlmul_telemetry::TelemetryWriter`] to capture a full JSONL
+/// event stream of the table run (summarize with `rlmul report`).
+///
+/// # Errors
+///
+/// As [`run_comparison`].
+pub fn run_comparison_instrumented(
+    spec: DesignSpec,
+    budget: Budget,
+    sweep_points: usize,
+    pe: Option<(usize, usize)>,
+    sink: &TelemetrySink,
+) -> Result<TableData, RlMulError> {
     let mut cells = Vec::new();
     let mut method_points: Vec<(Method, Vec<PpaPoint>)> = Vec::new();
 
@@ -50,7 +69,14 @@ pub fn run_comparison(
                 let seed = budget.seed
                     ^ (pref as usize as u64).wrapping_mul(0x9e37)
                     ^ (method as usize as u64).wrapping_mul(0x85eb);
-                let tree = optimize(method, spec, pref, Budget { seed, ..budget })?;
+                let tree = optimize_instrumented(
+                    method,
+                    spec,
+                    pref,
+                    Budget { seed, ..budget },
+                    &EvalCache::new(),
+                    sink,
+                )?;
                 let s = match pe {
                     Some((rows, cols)) => {
                         let nl = pe_netlist(&tree, rows, cols)?;

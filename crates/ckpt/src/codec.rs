@@ -1,0 +1,482 @@
+//! The little-endian byte codec every snapshot is built from.
+//!
+//! All multi-byte integers are little-endian; floats are encoded as
+//! their IEEE-754 bit patterns (so `NaN` payloads and signed zeros
+//! round-trip bit-exactly — checkpoint/resume must be bit-identical,
+//! not merely approximately equal). Variable-length data carries a
+//! `u64` length prefix, validated against the remaining stream before
+//! any allocation so corrupted lengths fail cleanly instead of
+//! exhausting memory.
+
+use crate::CkptError;
+
+/// Append-only byte sink for encoding snapshots.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends an `f64` bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte (`0`/`1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over an encoded byte stream.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed — catches encoder /
+    /// decoder drift and appended garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::TrailingBytes`] when bytes remain.
+    pub fn finish(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::TrailingBytes { remaining: self.remaining() })
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated { what, needed: n - self.remaining() });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` and converts it to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream, or
+    /// [`CkptError::Invalid`] if the value overflows `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CkptError::Invalid { what: format!("usize value {v} overflows") })
+    }
+
+    /// Reads an `f32` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_f32(&mut self) -> Result<f32, CkptError> {
+        Ok(f32::from_bits(u32::from_le_bytes(self.take(4, "f32")?.try_into().expect("4 bytes"))))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream.
+    pub fn get_f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take(8, "f64")?.try_into().expect("8 bytes"))))
+    }
+
+    /// Reads a boolean byte, rejecting anything but `0`/`1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream, or
+    /// [`CkptError::Invalid`] for a non-boolean byte.
+    pub fn get_bool(&mut self) -> Result<bool, CkptError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Invalid { what: format!("boolean byte {b:#04x}") }),
+        }
+    }
+
+    /// Reads a length prefix that must fit in the remaining stream
+    /// when each element occupies at least `min_element_size` bytes —
+    /// the guard that keeps corrupted lengths from driving giant
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] at end of stream, or
+    /// [`CkptError::Invalid`] for an impossible length.
+    pub fn get_len(&mut self, min_element_size: usize) -> Result<usize, CkptError> {
+        let len = self.get_usize()?;
+        let need = len.saturating_mul(min_element_size.max(1));
+        if need > self.remaining() {
+            return Err(CkptError::Invalid {
+                what: format!(
+                    "length {len} needs {need} byte(s) but only {} remain",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] or [`CkptError::Invalid`] on a bad
+    /// length.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let len = self.get_len(1)?;
+        self.take(len, "bytes")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Decoder::get_bytes`], plus [`CkptError::Invalid`] for
+    /// non-UTF-8 contents.
+    pub fn get_str(&mut self) -> Result<String, CkptError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Invalid { what: "non-UTF-8 string".into() })
+    }
+}
+
+/// A value that round-trips through the byte codec.
+///
+/// Implementations must be exact inverses: `decode(encode(x)) == x`
+/// for every representable value, consuming exactly the bytes that
+/// were written.
+pub trait Record: Sized {
+    /// Appends this value to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one value from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`] raised by the underlying reads.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError>;
+
+    /// Convenience: encodes `self` into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Convenience: decodes a value that must span all of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Any decoding error, plus [`CkptError::TrailingBytes`] when
+    /// `bytes` holds more than one value.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! record_via {
+    ($($t:ty => $put:ident / $get:ident),* $(,)?) => {$(
+        impl Record for $t {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.$put(*self);
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+                dec.$get()
+            }
+        }
+    )*};
+}
+
+record_via! {
+    u8 => put_u8 / get_u8,
+    u32 => put_u32 / get_u32,
+    u64 => put_u64 / get_u64,
+    i64 => put_i64 / get_i64,
+    usize => put_usize / get_usize,
+    f32 => put_f32 / get_f32,
+    f64 => put_f64 / get_f64,
+    bool => put_bool / get_bool,
+}
+
+impl Record for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        dec.get_str()
+    }
+}
+
+impl<T: Record> Record for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            b => Err(CkptError::Invalid { what: format!("Option tag {b:#04x}") }),
+        }
+    }
+}
+
+impl<T: Record> Record for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        // Every Record consumes at least one byte, which bounds any
+        // corrupted length by the remaining stream size.
+        let len = dec.get_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Record, B: Record> Record for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Record, B: Record, C: Record> Record for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+impl<T: Record + Default + Copy, const N: usize> Record for [T; N] {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::decode(dec)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        0xabu8.encode(&mut enc);
+        0xdead_beefu32.encode(&mut enc);
+        u64::MAX.encode(&mut enc);
+        (-42i64).encode(&mut enc);
+        7usize.encode(&mut enc);
+        1.5f32.encode(&mut enc);
+        f64::NEG_INFINITY.encode(&mut enc);
+        true.encode(&mut enc);
+        String::from("snapshot").encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(u8::decode(&mut dec).unwrap(), 0xab);
+        assert_eq!(u32::decode(&mut dec).unwrap(), 0xdead_beef);
+        assert_eq!(u64::decode(&mut dec).unwrap(), u64::MAX);
+        assert_eq!(i64::decode(&mut dec).unwrap(), -42);
+        assert_eq!(usize::decode(&mut dec).unwrap(), 7);
+        assert_eq!(f32::decode(&mut dec).unwrap(), 1.5);
+        assert_eq!(f64::decode(&mut dec).unwrap(), f64::NEG_INFINITY);
+        assert!(bool::decode(&mut dec).unwrap());
+        assert_eq!(String::decode(&mut dec).unwrap(), "snapshot");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bit_patterns_round_trip_exactly() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_1234);
+        let back = f64::from_bytes(&weird.to_bytes()).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, -0.25)];
+        assert_eq!(Vec::<(u32, f64)>::from_bytes(&v.to_bytes()).unwrap(), v);
+        let o: Option<Vec<u64>> = Some(vec![9, 10]);
+        assert_eq!(Option::<Vec<u64>>::from_bytes(&o.to_bytes()).unwrap(), o);
+        let n: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_bytes(&n.to_bytes()).unwrap(), n);
+        let a: [u64; 4] = [1, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = vec![(1u64, 2u64); 3].to_bytes();
+        for cut in 0..bytes.len() {
+            let r = Vec::<(u64, u64)>::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // a Vec length of 2^64-1
+        let bytes = enc.into_bytes();
+        assert!(Vec::<u8>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert!(matches!(u64::from_bytes(&bytes), Err(CkptError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_are_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9, 0]).is_err());
+    }
+}

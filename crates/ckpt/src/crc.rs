@@ -1,0 +1,56 @@
+//! CRC-32 (IEEE 802.3 polynomial), the snapshot integrity check.
+
+/// The reflected IEEE polynomial used by zlib, PNG and Ethernet.
+const POLY: u32 = 0xedb8_8320;
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `bytes` (init `0xffff_ffff`, final xor, reflected —
+/// the same convention as zlib's `crc32`).
+///
+/// ```
+/// // The classic check value.
+/// assert_eq!(rlmul_ckpt::crc32(b"123456789"), 0xcbf4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        data[40] ^= 0x10;
+        assert_ne!(clean, crc32(&data));
+    }
+}

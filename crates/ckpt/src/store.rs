@@ -1,0 +1,139 @@
+//! Rolling snapshot management for one run directory.
+
+use crate::codec::Record;
+use crate::file::{read_snapshot, write_snapshot};
+use crate::CkptError;
+use std::path::{Path, PathBuf};
+
+/// Manages the snapshots of one training run inside a directory:
+///
+/// * `latest.ckpt` — rolled on every periodic checkpoint and on
+///   shutdown; the file `resume` starts from;
+/// * `best.ckpt` — rolled whenever the run improves its best cost, so
+///   the strongest agent survives even a later divergence;
+/// * `step-<n>.ckpt` — optional pinned history written by
+///   [`SnapshotStore::save_step`].
+///
+/// Every write goes through the atomic tmp + fsync + rename path of
+/// [`write_snapshot`], so a crash at any instant leaves the previous
+/// snapshot intact.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    kind: String,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir`, tagging every snapshot with `kind`.
+    /// The directory is created lazily on the first write.
+    pub fn new<P: AsRef<Path>>(dir: P, kind: &str) -> Self {
+        SnapshotStore { dir: dir.as_ref().to_path_buf(), kind: kind.to_owned() }
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The record kind this store reads and writes.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Path of the rolling latest snapshot.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.ckpt")
+    }
+
+    /// Path of the rolling best snapshot.
+    pub fn best_path(&self) -> PathBuf {
+        self.dir.join("best.ckpt")
+    }
+
+    /// Atomically rolls `latest.ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] from the underlying write.
+    pub fn save_latest<R: Record>(&self, record: &R) -> Result<(), CkptError> {
+        write_snapshot(self.latest_path(), &self.kind, record)
+    }
+
+    /// Atomically rolls `best.ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] from the underlying write.
+    pub fn save_best<R: Record>(&self, record: &R) -> Result<(), CkptError> {
+        write_snapshot(self.best_path(), &self.kind, record)
+    }
+
+    /// Path of the pinned snapshot for `step`.
+    pub fn step_path(&self, step: usize) -> PathBuf {
+        self.dir.join(format!("step-{step:08}.ckpt"))
+    }
+
+    /// Writes a pinned `step-<n>.ckpt` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] from the underlying write.
+    pub fn save_step<R: Record>(&self, step: usize, record: &R) -> Result<(), CkptError> {
+        write_snapshot(self.step_path(step), &self.kind, record)
+    }
+
+    /// Reads the pinned `step-<n>.ckpt` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::load_latest`].
+    pub fn load_step<R: Record>(&self, step: usize) -> Result<R, CkptError> {
+        read_snapshot(self.step_path(step), &self.kind)
+    }
+
+    /// Reads `latest.ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] from the underlying read, including
+    /// [`CkptError::Io`] when no snapshot exists yet.
+    pub fn load_latest<R: Record>(&self) -> Result<R, CkptError> {
+        read_snapshot(self.latest_path(), &self.kind)
+    }
+
+    /// Reads `best.ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::load_latest`].
+    pub fn load_best<R: Record>(&self) -> Result<R, CkptError> {
+        read_snapshot(self.best_path(), &self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn store_rolls_latest_and_best_independently() {
+        let dir = std::env::temp_dir().join(format!("rlmul-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = SnapshotStore::new(&dir, "test");
+        store.save_latest(&10u64).unwrap();
+        store.save_best(&10u64).unwrap();
+        store.save_latest(&20u64).unwrap(); // later but worse
+        assert_eq!(store.load_latest::<u64>().unwrap(), 20);
+        assert_eq!(store.load_best::<u64>().unwrap(), 10);
+        store.save_step(3, &30u64).unwrap();
+        assert!(dir.join("step-00000003.ckpt").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_io_error() {
+        let store = SnapshotStore::new("/nonexistent/run", "test");
+        assert!(matches!(store.load_latest::<u64>(), Err(CkptError::Io(_))));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the snapshot codec and the file frame: random
+//! records must round-trip bit-exactly, and every corruption of the
+//! encoded form — truncation anywhere, any flipped byte in a written
+//! snapshot file, a wrong record kind — must be rejected loudly
+//! rather than decoded into a silently different training state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_ckpt::{read_snapshot, write_snapshot, Decoder, Record};
+
+/// A nested record exercising every codec primitive the real
+/// snapshots use: integers, IEEE-754 bit patterns (including NaNs
+/// drawn from random bit strings), options, strings, tuples and
+/// variable-length vectors. The codec composes tuples up to arity 3,
+/// so wider shapes nest — exactly like the real snapshot structs.
+type Nested =
+    ((u64, Vec<f64>, Option<(u32, String)>), (Vec<(u32, u32)>, [u64; 4], Vec<bool>), Vec<f32>);
+
+fn random_nested(rng: &mut StdRng) -> Nested {
+    let word = |rng: &mut StdRng| -> String {
+        let len = rng.gen_range(0..12);
+        (0..len).map(|_| char::from(rng.gen_range(b' '..=b'~'))).collect()
+    };
+    (
+        (
+            rng.gen(),
+            (0..rng.gen_range(0..8)).map(|_| f64::from_bits(rng.gen())).collect(),
+            if rng.gen() { Some((rng.gen(), word(rng))) } else { None },
+        ),
+        (
+            (0..rng.gen_range(0..10)).map(|_| (rng.gen(), rng.gen())).collect(),
+            [rng.gen(), rng.gen(), rng.gen(), rng.gen()],
+            (0..rng.gen_range(0..16)).map(|_| rng.gen()).collect(),
+        ),
+        (0..rng.gen_range(0..8)).map(|_| f32::from_bits(rng.gen())).collect(),
+    )
+}
+
+/// Bit-exact equality (plain `==` would equate distinct NaN payloads
+/// and `0.0 == -0.0`).
+fn assert_bits_eq(a: &Nested, b: &Nested) {
+    assert_eq!(a.0 .0, b.0 .0);
+    assert_eq!(a.0 .1.len(), b.0 .1.len());
+    for (x, y) in a.0 .1.iter().zip(&b.0 .1) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.0 .2, b.0 .2);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2.len(), b.2.len());
+    for (x, y) in a.2.iter().zip(&b.2) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlmul-ckpt-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_records_round_trip_bit_exactly(seed in 0u64..1 << 32) {
+        let value = random_nested(&mut StdRng::seed_from_u64(seed));
+        let bytes = value.to_bytes();
+        let back = Nested::from_bytes(&bytes).unwrap();
+        assert_bits_eq(&value, &back);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = random_nested(&mut rng);
+        let bytes = value.to_bytes();
+        // The empty prefix, a random interior prefix, and the
+        // one-byte-short prefix must all fail to decode — either with
+        // a decode error or with leftover trailing bytes (when the
+        // cut lands on a value boundary inside the stream).
+        let cuts = [0, rng.gen_range(0..bytes.len()), bytes.len() - 1];
+        for cut in cuts {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let failed = match Nested::decode(&mut dec) {
+                Err(_) => true,
+                Ok(_) => dec.finish().is_err(),
+            };
+            prop_assert!(failed, "prefix of {cut}/{} bytes decoded cleanly", bytes.len());
+        }
+        // Appended garbage is caught by the trailing-bytes check.
+        let mut padded = bytes.clone();
+        padded.push(rng.gen());
+        prop_assert!(Nested::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn any_corrupted_file_byte_is_rejected(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = random_nested(&mut rng);
+        let path = scratch(&format!("flip-{seed}.ckpt"));
+        write_snapshot(&path, "prop", &value).unwrap();
+
+        // Sanity: the untouched file reads back bit-exactly.
+        let back: Nested = read_snapshot(&path, "prop").unwrap();
+        assert_bits_eq(&value, &back);
+
+        // Flip one random byte anywhere in the frame — magic, version,
+        // kind, payload or CRC — and the read must fail (CRC-32
+        // detects every single-byte error).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = rng.gen_range(0..bytes.len());
+        // XOR with a non-zero mask always changes the byte.
+        bytes[at] ^= rng.gen_range(1..=255u8);
+        let corrupt = scratch(&format!("flip-{seed}-bad.ckpt"));
+        std::fs::write(&corrupt, &bytes).unwrap();
+        prop_assert!(
+            read_snapshot::<Nested, _>(&corrupt, "prop").is_err(),
+            "flipped byte {at} was not detected"
+        );
+
+        // A wrong record kind is rejected even with a valid CRC.
+        prop_assert!(read_snapshot::<Nested, _>(&path, "other").is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+    }
+}

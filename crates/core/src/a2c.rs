@@ -8,16 +8,18 @@
 //! the policy gradient of Eq. 16 and the TD value loss of Eq. 19,
 //! plus an entropy bonus for sustained exploration.
 
-use crate::cache::EvalCache;
-use crate::env::{EnvConfig, MulEnv};
+use crate::cache::{CacheKey, EvalCache};
+use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
+use crate::hooks::TrainHooks;
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlmul_nn::{
-    clip_grad_norm, entropy, masked_softmax, Adam, Layer, Linear, NnStats, Optimizer, Param,
-    Sequential, Tensor, TrunkConfig,
+    clip_grad_norm, entropy, masked_softmax, restore_net, snapshot_net, Adam, Layer, Linear,
+    NetSnapshot, NnStats, Optimizer, Param, Sequential, Tensor, TrunkConfig,
 };
+use rlmul_telemetry::Event;
 use std::sync::mpsc;
 use std::thread::{Scope, ScopedJoinHandle};
 
@@ -109,6 +111,14 @@ impl PolicyValueNet {
         self.policy.visit_params(f);
         self.value.visit_params(f);
     }
+
+    /// Visits non-trainable forward state (batch-norm running
+    /// statistics), mirroring [`Layer::visit_state`].
+    pub fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.trunk.visit_state(f);
+        self.policy.visit_state(f);
+        self.value.visit_state(f);
+    }
 }
 
 /// Adapter so optimizers (which drive `Layer`) can update the
@@ -124,14 +134,17 @@ impl Layer for NetAsLayer<'_> {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.0.visit_params(f);
     }
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.0.visit_state(f);
+    }
 }
 
 #[derive(Debug, Clone)]
-struct Sample {
-    state: Vec<f32>,
-    mask: Vec<bool>,
-    action: usize,
-    reward: f32,
+pub(crate) struct Sample {
+    pub(crate) state: Vec<f32>,
+    pub(crate) mask: Vec<bool>,
+    pub(crate) action: usize,
+    pub(crate) reward: f32,
 }
 
 /// Everything the main loop needs back from one environment step.
@@ -151,7 +164,22 @@ fn step_reply(env: &mut MulEnv, action: usize) -> Result<StepReply, RlMulError> 
     Ok(StepReply { reward: out.reward, cost: out.cost, state, mask })
 }
 
-/// A persistent worker per environment, fed actions over a channel —
+/// Commands the main thread sends a pool worker.
+enum Cmd {
+    /// Step the environment with this flattened action index.
+    Step(usize),
+    /// Capture the environment's [`EnvSnapshot`] at the current step
+    /// boundary (the checkpoint path).
+    Snapshot,
+}
+
+/// Worker replies, matching [`Cmd`] one-to-one.
+enum Reply {
+    Step(Box<Result<StepReply, RlMulError>>),
+    Snapshot(Box<EnvSnapshot>),
+}
+
+/// A persistent worker per environment, fed commands over a channel —
 /// threads are spawned once per training run instead of once per
 /// step. Workers hand their environment back at [`EnvPool::finish`].
 ///
@@ -165,8 +193,8 @@ enum EnvPool<'scope> {
 }
 
 struct PoolWorker<'scope> {
-    tx: mpsc::Sender<usize>,
-    rx: mpsc::Receiver<Result<StepReply, RlMulError>>,
+    tx: mpsc::Sender<Cmd>,
+    rx: mpsc::Receiver<Reply>,
     handle: ScopedJoinHandle<'scope, MulEnv>,
 }
 
@@ -178,17 +206,23 @@ impl<'scope> EnvPool<'scope> {
         let workers = envs
             .into_iter()
             .map(|mut env| {
-                let (tx_action, rx_action) = mpsc::channel::<usize>();
+                let (tx_cmd, rx_cmd) = mpsc::channel::<Cmd>();
                 let (tx_reply, rx_reply) = mpsc::channel();
                 let handle = scope.spawn(move || {
-                    while let Ok(action) = rx_action.recv() {
-                        if tx_reply.send(step_reply(&mut env, action)).is_err() {
+                    while let Ok(cmd) = rx_cmd.recv() {
+                        let reply = match cmd {
+                            Cmd::Step(action) => {
+                                Reply::Step(Box::new(step_reply(&mut env, action)))
+                            }
+                            Cmd::Snapshot => Reply::Snapshot(Box::new(env.snapshot())),
+                        };
+                        if tx_reply.send(reply).is_err() {
                             break;
                         }
                     }
                     env
                 });
-                PoolWorker { tx: tx_action, rx: rx_reply, handle }
+                PoolWorker { tx: tx_cmd, rx: rx_reply, handle }
             })
             .collect();
         EnvPool::Parallel(workers)
@@ -203,9 +237,36 @@ impl<'scope> EnvPool<'scope> {
             }
             EnvPool::Parallel(workers) => {
                 for (w, &a) in workers.iter().zip(actions) {
-                    w.tx.send(a).expect("worker thread exited early");
+                    w.tx.send(Cmd::Step(a)).expect("worker thread exited early");
                 }
-                workers.iter().map(|w| w.rx.recv().expect("worker thread panicked")).collect()
+                workers
+                    .iter()
+                    .map(|w| match w.rx.recv().expect("worker thread panicked") {
+                        Reply::Step(r) => *r,
+                        Reply::Snapshot(_) => unreachable!("step command answered with snapshot"),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Collects every environment's snapshot at the current step
+    /// boundary (workers are idle between `step_all` calls, so this
+    /// observes a consistent global state).
+    fn snapshot_all(&mut self) -> Vec<EnvSnapshot> {
+        match self {
+            EnvPool::Serial(envs) => envs.iter().map(MulEnv::snapshot).collect(),
+            EnvPool::Parallel(workers) => {
+                for w in workers.iter() {
+                    w.tx.send(Cmd::Snapshot).expect("worker thread exited early");
+                }
+                workers
+                    .iter()
+                    .map(|w| match w.rx.recv().expect("worker thread panicked") {
+                        Reply::Snapshot(s) => *s,
+                        Reply::Step(_) => unreachable!("snapshot command answered with step"),
+                    })
+                    .collect()
             }
         }
     }
@@ -252,10 +313,116 @@ pub fn train_a2c_cached(
     config: &A2cConfig,
     cache: EvalCache,
 ) -> Result<OptimizationOutcome, RlMulError> {
+    train_a2c_with(env_config, config, cache, &TrainHooks::default(), None)
+}
+
+/// Complete training state of an RL-MUL-E run at a step boundary:
+/// the shared network (weights and batch-norm running statistics),
+/// Adam moments, every worker's in-progress rollout, per-worker
+/// environment snapshots, the RNG stream and the shared cache.
+///
+/// Opaque outside the crate: produced by checkpointing runs
+/// ([`train_a2c_with`] with a store), serialized through
+/// [`rlmul_ckpt::Record`], consumed by [`resume_a2c`].
+pub struct A2cSnapshot {
+    pub(crate) step: usize,
+    pub(crate) rng: [u64; 4],
+    pub(crate) net: NetSnapshot,
+    pub(crate) adam_t: i64,
+    pub(crate) adam_m: Vec<Tensor>,
+    pub(crate) adam_v: Vec<Tensor>,
+    pub(crate) rollout: Vec<Vec<Sample>>,
+    pub(crate) states: Vec<Vec<f32>>,
+    pub(crate) masks: Vec<Vec<bool>>,
+    pub(crate) trajectory: Vec<f64>,
+    pub(crate) envs: Vec<EnvSnapshot>,
+    pub(crate) cache: Vec<(CacheKey, Evaluation)>,
+}
+
+impl A2cSnapshot {
+    /// Synchronized steps completed when the snapshot was taken.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Best cost across all workers at the snapshot.
+    pub fn best_cost(&self) -> f64 {
+        self.envs.iter().map(EnvSnapshot::best_cost).fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl std::fmt::Debug for A2cSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "A2cSnapshot(step {}, {} workers, {} cache entries)",
+            self.step,
+            self.envs.len(),
+            self.cache.len()
+        )
+    }
+}
+
+/// Rebuilds the training run captured in `snapshot` and continues it
+/// to `config.steps`. The snapshot's cache entries are imported
+/// before the worker environments are constructed, so their anchor
+/// synthesis and every previously evaluated state are cache hits and
+/// the resumed run is bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// As [`train_a2c`], plus configuration/snapshot mismatches.
+pub fn resume_a2c(
+    env_config: &EnvConfig,
+    config: &A2cConfig,
+    snapshot: A2cSnapshot,
+    hooks: &TrainHooks,
+) -> Result<OptimizationOutcome, RlMulError> {
+    train_a2c_with(env_config, config, EvalCache::new(), hooks, Some(snapshot))
+}
+
+/// [`train_a2c_cached`] with runtime hooks (telemetry, periodic
+/// snapshots, cooperative stop) and an optional resume point.
+///
+/// # Errors
+///
+/// As [`train_a2c`], plus snapshot write/restore failures.
+pub fn train_a2c_with(
+    env_config: &EnvConfig,
+    config: &A2cConfig,
+    cache: EvalCache,
+    hooks: &TrainHooks,
+    resume: Option<A2cSnapshot>,
+) -> Result<OptimizationOutcome, RlMulError> {
     if config.n_envs == 0 || config.n_step == 0 {
         return Err(RlMulError::InvalidConfig { what: "n_envs and n_step must be ≥ 1".into() });
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Import the snapshot's cache before constructing the workers, so
+    // their anchor runs and initial-state evaluations all hit.
+    let resume = resume.map(|mut snap| {
+        cache.import(std::mem::take(&mut snap.cache));
+        snap
+    });
+    if let Some(snap) = &resume {
+        let n = config.n_envs;
+        if snap.envs.len() != n
+            || snap.states.len() != n
+            || snap.masks.len() != n
+            || snap.rollout.len() != n
+        {
+            return Err(RlMulError::InvalidConfig {
+                what: format!("snapshot has {} workers, configuration has {n}", snap.envs.len()),
+            });
+        }
+        if snap.step > config.steps {
+            return Err(RlMulError::InvalidConfig {
+                what: format!(
+                    "snapshot at step {} exceeds the {}-step budget",
+                    snap.step, config.steps
+                ),
+            });
+        }
+    }
     // Network forwards/backwards all run on this thread; the env
     // workers only step environments, so a thread-local snapshot
     // captures the whole run's dense-kernel work.
@@ -264,26 +431,63 @@ pub fn train_a2c_cached(
     // any of them is a hit for the rest, and the in-flight coalescing
     // keeps two workers from ever synthesizing the same state at the
     // same time.
-    let envs: Vec<MulEnv> = (0..config.n_envs)
+    let mut envs: Vec<MulEnv> = (0..config.n_envs)
         .map(|_| MulEnv::with_cache(env_config.clone(), cache.clone()))
         .collect::<Result<_, _>>()?;
+    if hooks.telemetry.is_enabled() {
+        for env in &mut envs {
+            env.set_telemetry(hooks.telemetry.clone());
+        }
+    }
     let actions = envs[0].action_space();
     let shape = envs[0].tensor_shape();
     let volume: usize = shape[1] * shape[2] * shape[3];
-    let mut net = PolicyValueNet::new(&config.trunk, actions, &mut rng);
     let mut opt = Adam::new(config.lr);
 
-    let mut states: Vec<Vec<f32>> = envs
-        .iter()
-        .map(|e| Ok(e.encode_current()?.data().to_vec()))
-        .collect::<Result<_, RlMulError>>()?;
-    let mut masks: Vec<Vec<bool>> = envs.iter().map(|e| e.action_mask()).collect();
-    let mut rollout: Vec<Vec<Sample>> = vec![Vec::new(); config.n_envs];
-    let mut trajectory = Vec::with_capacity(config.steps);
+    let (mut rng, mut net, mut states, mut masks, mut rollout, mut trajectory, start) = match resume
+    {
+        Some(snap) => {
+            for (env, es) in envs.iter_mut().zip(&snap.envs) {
+                env.restore(es)?;
+            }
+            let mut net = PolicyValueNet::new(
+                &config.trunk,
+                actions,
+                &mut StdRng::seed_from_u64(config.seed),
+            );
+            restore_net(&mut NetAsLayer(&mut net), &snap.net)?;
+            opt.set_state(snap.adam_t, snap.adam_m, snap.adam_v);
+            (
+                StdRng::from_state(snap.rng),
+                net,
+                snap.states,
+                snap.masks,
+                snap.rollout,
+                snap.trajectory,
+                snap.step,
+            )
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let net = PolicyValueNet::new(&config.trunk, actions, &mut rng);
+            let states: Vec<Vec<f32>> = envs
+                .iter()
+                .map(|e| Ok(e.encode_current()?.data().to_vec()))
+                .collect::<Result<_, RlMulError>>()?;
+            let masks: Vec<Vec<bool>> = envs.iter().map(|e| e.action_mask()).collect();
+            let rollout: Vec<Vec<Sample>> = vec![Vec::new(); config.n_envs];
+            (rng, net, states, masks, rollout, Vec::with_capacity(config.steps), 0)
+        }
+    };
 
+    let mut best_saved = f64::INFINITY;
+    let mut completed = start;
     let envs = std::thread::scope(|scope| -> Result<Vec<MulEnv>, RlMulError> {
         let mut pool = EnvPool::launch(scope, envs);
-        for _t in 0..config.steps {
+        for t in start..config.steps {
+            if hooks.stop_requested() {
+                break;
+            }
             // Policy forward over all workers at once; action
             // sampling stays on the main thread so the RNG stream —
             // and therefore the whole run — is independent of worker
@@ -306,9 +510,11 @@ pub fn train_a2c_cached(
             // Fig. 6), replies in environment order.
             let replies = pool.step_all(&chosen);
             let mut mean_cost = 0.0;
+            let mut mean_reward = 0.0;
             for (i, res) in replies.into_iter().enumerate() {
                 let reply = res?;
                 mean_cost += reply.cost / config.n_envs as f64;
+                mean_reward += reply.reward / config.n_envs as f64;
                 rollout[i].push(Sample {
                     state: std::mem::take(&mut states[i]),
                     mask: std::mem::take(&mut masks[i]),
@@ -319,13 +525,72 @@ pub fn train_a2c_cached(
                 masks[i] = reply.mask;
             }
             trajectory.push(mean_cost);
+            if hooks.telemetry.is_enabled() {
+                hooks.telemetry.emit(
+                    Event::new("episode")
+                        .with("method", "a2c")
+                        .with("step", t as u64)
+                        .with("reward", mean_reward)
+                        .with("cost", mean_cost),
+                );
+            }
 
             if rollout[0].len() >= config.n_step {
                 update(&mut net, &mut opt, &mut rollout, &states, config, &shape, actions);
             }
+            completed = t + 1;
+            if hooks.checkpoint_due(completed, config.steps) {
+                save_a2c_checkpoint(
+                    completed,
+                    &rng,
+                    &mut net,
+                    &opt,
+                    &rollout,
+                    &states,
+                    &masks,
+                    &trajectory,
+                    pool.snapshot_all(),
+                    &cache,
+                    hooks,
+                    &mut best_saved,
+                    true,
+                )?;
+            }
         }
         Ok(pool.finish())
     })?;
+
+    // Shutdown snapshot: rolled on normal completion and on
+    // cooperative stop alike, so `resume` always has the exact state
+    // the run ended in.
+    if hooks.store.is_some() {
+        save_a2c_checkpoint(
+            completed,
+            &rng,
+            &mut net,
+            &opt,
+            &rollout,
+            &states,
+            &masks,
+            &trajectory,
+            envs.iter().map(MulEnv::snapshot).collect(),
+            &cache,
+            hooks,
+            &mut best_saved,
+            false,
+        )?;
+    }
+    if hooks.telemetry.is_enabled() {
+        let (hits, misses) = envs
+            .iter()
+            .map(|e| e.stats())
+            .fold((0, 0), |(h, m), s| (h + s.cache_hits, m + s.cache_misses));
+        hooks
+            .telemetry
+            .emit(Event::new("cache").with("hits", hits as u64).with("misses", misses as u64));
+        let nn = NnStats::snapshot().since(nn_before);
+        hooks.telemetry.emit(Event::new("nn").with("flops", nn.flops));
+    }
 
     // Pool results across workers. Work counters sum per-worker
     // contributions; distinct states are read once from the shared
@@ -361,6 +626,57 @@ pub fn train_a2c_cached(
         synth_runs,
         pipeline,
     })
+}
+
+/// Rolls `latest.ckpt` (and `best.ckpt` when the run improved) with
+/// the full synchronized training state at a step boundary.
+#[allow(clippy::too_many_arguments)]
+fn save_a2c_checkpoint(
+    step: usize,
+    rng: &StdRng,
+    net: &mut PolicyValueNet,
+    opt: &Adam,
+    rollout: &[Vec<Sample>],
+    states: &[Vec<f32>],
+    masks: &[Vec<bool>],
+    trajectory: &[f64],
+    env_snaps: Vec<EnvSnapshot>,
+    cache: &EvalCache,
+    hooks: &TrainHooks,
+    best_saved: &mut f64,
+    periodic: bool,
+) -> Result<(), RlMulError> {
+    let Some(store) = &hooks.store else { return Ok(()) };
+    let (adam_t, adam_m, adam_v) = opt.state();
+    let snap = A2cSnapshot {
+        step,
+        rng: rng.state(),
+        net: snapshot_net(&mut NetAsLayer(net)),
+        adam_t,
+        adam_m: adam_m.to_vec(),
+        adam_v: adam_v.to_vec(),
+        rollout: rollout.to_vec(),
+        states: states.to_vec(),
+        masks: masks.to_vec(),
+        trajectory: trajectory.to_vec(),
+        envs: env_snaps,
+        cache: cache.export_entries(),
+    };
+    store.save_latest(&snap)?;
+    if periodic && hooks.keep_history {
+        store.save_step(step, &snap)?;
+    }
+    let best_cost = snap.best_cost();
+    if best_cost < *best_saved {
+        store.save_best(&snap)?;
+        *best_saved = best_cost;
+    }
+    hooks.telemetry.emit(
+        Event::new("checkpoint")
+            .with("step", step as u64)
+            .with("path", store.latest_path().display().to_string()),
+    );
+    Ok(())
 }
 
 fn sample_from<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {

@@ -246,6 +246,49 @@ impl EvalCache {
         self.len() == 0
     }
 
+    /// Clones every *finished* entry out of the cache, for inclusion
+    /// in a checkpoint. Pending (in-flight) computations are skipped —
+    /// they belong to the producer that will complete or abandon them.
+    /// The order is deterministic for a deterministic insertion
+    /// history: entries are sorted by key.
+    pub fn export_entries(&self) -> Vec<(CacheKey, Evaluation)> {
+        let mut entries: Vec<(CacheKey, Evaluation)> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .filter_map(|(k, slot)| match slot {
+                        Slot::Ready(eval) => Some((k.clone(), (**eval).clone())),
+                        Slot::Pending(_) => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            (&a.counts, a.kind as u8, a.context).cmp(&(&b.counts, b.kind as u8, b.context))
+        });
+        entries
+    }
+
+    /// Seeds the cache with previously exported entries (the resume
+    /// path: every state synthesized before the checkpoint becomes a
+    /// hit). Keys already present — finished or in flight — are left
+    /// untouched. Returns the number of entries inserted.
+    pub fn import(&self, entries: Vec<(CacheKey, Evaluation)>) -> usize {
+        let mut inserted = 0;
+        for (key, eval) in entries {
+            let mut shard = self.shard(&key).write().expect("cache shard poisoned");
+            if let Entry::Vacant(vacant) = shard.entry(key) {
+                vacant.insert(Slot::Ready(Arc::new(eval)));
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -391,6 +434,35 @@ mod tests {
         assert_eq!(s.misses, 1, "only one producer");
         assert_eq!(s.hits, 4);
         assert!(s.coalesced >= 1);
+    }
+
+    #[test]
+    fn export_import_round_trips_finished_entries() {
+        let cache = EvalCache::new();
+        for i in 0..5 {
+            if let Lookup::Miss(t) = cache.lookup_or_begin(&key(i)) {
+                t.complete(eval(i as f64));
+            }
+        }
+        // A pending entry must not be exported.
+        let Lookup::Miss(pending) = cache.lookup_or_begin(&key(99)) else {
+            panic!("fresh key must miss");
+        };
+        let entries = cache.export_entries();
+        assert_eq!(entries.len(), 5);
+        drop(pending);
+
+        let restored = EvalCache::new();
+        assert_eq!(restored.import(entries.clone()), 5);
+        for i in 0..5 {
+            assert_eq!(restored.peek(&key(i)).unwrap().cost, i as f64);
+        }
+        // Re-import is a no-op, and export order is deterministic.
+        assert_eq!(restored.import(entries.clone()), 0);
+        assert_eq!(
+            restored.export_entries().iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! [`Record`] implementations for the crate's snapshot types.
+//!
+//! The snapshot structs themselves live next to the code that fills
+//! them ([`DqnSnapshot`] in `dqn`, [`A2cSnapshot`] in `a2c`,
+//! [`SaSnapshot`] in `sa_driver`, [`EnvSnapshot`] in `env`); this
+//! module centralizes their wire formats so the full layout of a
+//! checkpoint file is reviewable in one place. Fields encode in
+//! declaration order; every container carries a length prefix, and
+//! [`Record::from_bytes`] rejects trailing bytes, so encoder/decoder
+//! drift fails loudly rather than silently misaligning a resume.
+
+use crate::a2c::{A2cSnapshot, Sample};
+use crate::cache::CacheKey;
+use crate::dqn::{DqnSnapshot, Transition};
+use crate::env::{EnvSnapshot, Evaluation};
+use crate::sa_driver::SaSnapshot;
+use rlmul_baselines::SaParts;
+use rlmul_ckpt::{CkptError, Decoder, Encoder, Record};
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_nn::{NetSnapshot, Tensor};
+use rlmul_synth::SynthesisReport;
+
+impl Record for CacheKey {
+    fn encode(&self, enc: &mut Encoder) {
+        self.counts.encode(enc);
+        self.kind.encode(enc);
+        enc.put_u64(self.context);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(CacheKey {
+            counts: Vec::decode(dec)?,
+            kind: PpgKind::decode(dec)?,
+            context: dec.get_u64()?,
+        })
+    }
+}
+
+impl Record for Evaluation {
+    fn encode(&self, enc: &mut Encoder) {
+        self.reports.encode(enc);
+        enc.put_f64(self.cost);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(Evaluation { reports: Vec::<SynthesisReport>::decode(dec)?, cost: dec.get_f64()? })
+    }
+}
+
+impl Record for EnvSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        self.current.encode(enc);
+        enc.put_f64(self.current_cost);
+        self.best.encode(enc);
+        enc.put_f64(self.best_cost);
+        enc.put_usize(self.steps_taken);
+        self.pareto_points.encode(enc);
+        self.delay_targets.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(EnvSnapshot {
+            current: CompressorTree::decode(dec)?,
+            current_cost: dec.get_f64()?,
+            best: CompressorTree::decode(dec)?,
+            best_cost: dec.get_f64()?,
+            steps_taken: dec.get_usize()?,
+            pareto_points: Vec::decode(dec)?,
+            delay_targets: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Record for Transition {
+    fn encode(&self, enc: &mut Encoder) {
+        self.state.encode(enc);
+        enc.put_usize(self.action);
+        enc.put_f32(self.reward);
+        self.next_state.encode(enc);
+        self.next_mask.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(Transition {
+            state: Vec::decode(dec)?,
+            action: dec.get_usize()?,
+            reward: dec.get_f32()?,
+            next_state: Vec::decode(dec)?,
+            next_mask: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Record for DqnSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.step);
+        self.rng.encode(enc);
+        self.net.encode(enc);
+        self.opt.encode(enc);
+        self.replay.encode(enc);
+        self.trajectory.encode(enc);
+        self.state.encode(enc);
+        self.env.encode(enc);
+        self.cache.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(DqnSnapshot {
+            step: dec.get_usize()?,
+            rng: <[u64; 4]>::decode(dec)?,
+            net: NetSnapshot::decode(dec)?,
+            opt: Vec::<Tensor>::decode(dec)?,
+            replay: Vec::decode(dec)?,
+            trajectory: Vec::decode(dec)?,
+            state: Vec::decode(dec)?,
+            env: EnvSnapshot::decode(dec)?,
+            cache: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Record for Sample {
+    fn encode(&self, enc: &mut Encoder) {
+        self.state.encode(enc);
+        self.mask.encode(enc);
+        enc.put_usize(self.action);
+        enc.put_f32(self.reward);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(Sample {
+            state: Vec::decode(dec)?,
+            mask: Vec::decode(dec)?,
+            action: dec.get_usize()?,
+            reward: dec.get_f32()?,
+        })
+    }
+}
+
+impl Record for A2cSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.step);
+        self.rng.encode(enc);
+        self.net.encode(enc);
+        enc.put_i64(self.adam_t);
+        self.adam_m.encode(enc);
+        self.adam_v.encode(enc);
+        self.rollout.encode(enc);
+        self.states.encode(enc);
+        self.masks.encode(enc);
+        self.trajectory.encode(enc);
+        self.envs.encode(enc);
+        self.cache.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(A2cSnapshot {
+            step: dec.get_usize()?,
+            rng: <[u64; 4]>::decode(dec)?,
+            net: NetSnapshot::decode(dec)?,
+            adam_t: dec.get_i64()?,
+            adam_m: Vec::<Tensor>::decode(dec)?,
+            adam_v: Vec::<Tensor>::decode(dec)?,
+            rollout: Vec::decode(dec)?,
+            states: Vec::decode(dec)?,
+            masks: Vec::decode(dec)?,
+            trajectory: Vec::decode(dec)?,
+            envs: Vec::decode(dec)?,
+            cache: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Record for SaSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        self.rng.encode(enc);
+        // SaParts is a foreign type (rlmul-baselines), so its fields
+        // are framed here rather than behind its own Record impl.
+        self.parts.current.encode(enc);
+        enc.put_f64(self.parts.current_cost);
+        self.parts.best.encode(enc);
+        enc.put_f64(self.parts.best_cost);
+        enc.put_f64(self.parts.temp);
+        self.parts.trajectory.encode(enc);
+        enc.put_usize(self.parts.accepted);
+        self.env.encode(enc);
+        self.cache.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(SaSnapshot {
+            rng: <[u64; 4]>::decode(dec)?,
+            parts: SaParts {
+                current: CompressorTree::decode(dec)?,
+                current_cost: dec.get_f64()?,
+                best: CompressorTree::decode(dec)?,
+                best_cost: dec.get_f64()?,
+                temp: dec.get_f64()?,
+                trajectory: Vec::decode(dec)?,
+                accepted: dec.get_usize()?,
+            },
+            env: EnvSnapshot::decode(dec)?,
+            cache: Vec::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_synth::{StaStats, SynthesisReport};
+
+    fn tree() -> CompressorTree {
+        CompressorTree::dadda(4, PpgKind::And).unwrap()
+    }
+
+    fn report(area: f64) -> SynthesisReport {
+        SynthesisReport {
+            area_um2: area,
+            delay_ns: 0.875,
+            power_mw: 0.25,
+            target_delay_ns: Some(1.0),
+            met_target: true,
+            drive_histogram: [3, 2, 1],
+            sizing_moves: 4,
+            num_cells: 55,
+            sta: StaStats::default(),
+        }
+    }
+
+    fn env_snapshot() -> EnvSnapshot {
+        EnvSnapshot {
+            current: tree(),
+            current_cost: 12.5,
+            best: tree(),
+            best_cost: 11.25,
+            steps_taken: 9,
+            pareto_points: vec![(100.0, 1.5), (90.0, 1.75)],
+            delay_targets: vec![0.7, 0.85, 1.0, 1.15],
+        }
+    }
+
+    #[test]
+    fn cache_entries_round_trip_bit_exactly() {
+        let entry = (
+            CacheKey { counts: vec![(3, 1), (0, 2)], kind: PpgKind::Mbe, context: 0xdead_beef },
+            Evaluation { reports: vec![report(321.125), report(290.5)], cost: -0.0 },
+        );
+        let back = <(CacheKey, Evaluation)>::from_bytes(&entry.to_bytes()).unwrap();
+        assert_eq!(back.0, entry.0);
+        assert_eq!(back.1.cost.to_bits(), entry.1.cost.to_bits());
+        assert_eq!(back.1.reports.len(), 2);
+        assert_eq!(back.1.reports[0].area_um2.to_bits(), 321.125f64.to_bits());
+    }
+
+    #[test]
+    fn env_snapshot_round_trips() {
+        let snap = env_snapshot();
+        let back = EnvSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.current, snap.current);
+        assert_eq!(back.best_cost.to_bits(), snap.best_cost.to_bits());
+        assert_eq!(back.steps_taken, 9);
+        assert_eq!(back.pareto_points, snap.pareto_points);
+        assert_eq!(back.delay_targets, snap.delay_targets);
+    }
+
+    #[test]
+    fn transition_and_sample_round_trip() {
+        let t = Transition {
+            state: vec![0.5, -1.5],
+            action: 17,
+            reward: -0.125,
+            next_state: vec![1.0, 2.0],
+            next_mask: vec![true, false, true],
+        };
+        let back = Transition::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back.state, t.state);
+        assert_eq!(back.action, 17);
+        assert_eq!(back.next_mask, t.next_mask);
+
+        let s = Sample { state: vec![0.25], mask: vec![false, true], action: 3, reward: 2.5 };
+        let back = Sample::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.mask, s.mask);
+        assert_eq!(back.reward, 2.5);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let snap = env_snapshot();
+        let bytes = snap.to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                EnvSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Appended garbage is trailing bytes, not a silent success.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(EnvSnapshot::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn sa_snapshot_round_trips_through_parts() {
+        let snap = SaSnapshot {
+            rng: [1, 2, 3, 4],
+            parts: SaParts {
+                current: tree(),
+                current_cost: 5.5,
+                best: tree(),
+                best_cost: 5.25,
+                temp: 42.0,
+                trajectory: vec![6.0, 5.5],
+                accepted: 1,
+            },
+            env: env_snapshot(),
+            cache: vec![(
+                CacheKey { counts: vec![(1, 1)], kind: PpgKind::And, context: 3 },
+                Evaluation { reports: vec![report(10.0)], cost: 10.0 },
+            )],
+        };
+        let back = SaSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.rng, snap.rng);
+        assert_eq!(back.parts.trajectory, snap.parts.trajectory);
+        assert_eq!(back.parts.temp.to_bits(), snap.parts.temp.to_bits());
+        assert_eq!(back.cache.len(), 1);
+        assert_eq!(back.env.steps_taken, snap.env.steps_taken);
+    }
+}

@@ -7,15 +7,18 @@
 //! Q-values toward the bootstrapped target of Eq. 11 with RMSProp, as
 //! in the paper.
 
-use crate::env::MulEnv;
+use crate::cache::{CacheKey, EvalCache};
+use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
+use crate::hooks::TrainHooks;
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlmul_nn::{
-    clip_grad_norm, masked_argmax, Layer, Linear, NnStats, Optimizer, Param, RmsProp, Sequential,
-    Tensor, TrunkConfig,
+    clip_grad_norm, masked_argmax, restore_net, snapshot_net, Layer, Linear, NetSnapshot, NnStats,
+    Optimizer, Param, RmsProp, Sequential, Tensor, TrunkConfig,
 };
+use rlmul_telemetry::Event;
 use std::collections::VecDeque;
 
 /// DQN hyper-parameters. Defaults follow the paper where stated
@@ -104,15 +107,66 @@ impl Layer for QNetwork {
         self.trunk.visit_params(f);
         self.head.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.trunk.visit_state(f);
+        self.head.visit_state(f);
+    }
 }
 
 #[derive(Debug, Clone)]
-struct Transition {
-    state: Vec<f32>,
-    action: usize,
-    reward: f32,
-    next_state: Vec<f32>,
-    next_mask: Vec<bool>,
+pub(crate) struct Transition {
+    pub(crate) state: Vec<f32>,
+    pub(crate) action: usize,
+    pub(crate) reward: f32,
+    pub(crate) next_state: Vec<f32>,
+    pub(crate) next_mask: Vec<bool>,
+}
+
+/// Complete training state of a DQN run at a step boundary: agent
+/// weights (including batch-norm running statistics), optimizer
+/// moments, the replay buffer, the RNG stream, the environment's
+/// mutable state and every finished evaluation-cache entry.
+///
+/// Opaque outside the crate: produced by checkpointing runs
+/// ([`train_dqn_with`] with a store), serialized through
+/// [`rlmul_ckpt::Record`], consumed by [`resume_dqn`]. A run resumed
+/// from a snapshot replays the exact trajectory of an uninterrupted
+/// run with the same configuration.
+pub struct DqnSnapshot {
+    pub(crate) step: usize,
+    pub(crate) rng: [u64; 4],
+    pub(crate) net: NetSnapshot,
+    pub(crate) opt: Vec<Tensor>,
+    pub(crate) replay: Vec<Transition>,
+    pub(crate) trajectory: Vec<f64>,
+    pub(crate) state: Vec<f32>,
+    pub(crate) env: EnvSnapshot,
+    pub(crate) cache: Vec<(CacheKey, Evaluation)>,
+}
+
+impl DqnSnapshot {
+    /// Environment steps completed when the snapshot was taken.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Best cost found up to the snapshot.
+    pub fn best_cost(&self) -> f64 {
+        self.env.best_cost()
+    }
+}
+
+impl std::fmt::Debug for DqnSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DqnSnapshot(step {}, {} replay, {} cache entries)",
+            self.step,
+            self.replay.len(),
+            self.cache.len()
+        )
+    }
 }
 
 /// Runs paper Algorithm 3 on `env`.
@@ -121,17 +175,89 @@ struct Transition {
 ///
 /// Propagates environment (elaboration/synthesis) errors.
 pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOutcome, RlMulError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    train_dqn_with(env, config, &TrainHooks::default(), None)
+}
+
+/// Rebuilds the training run captured in `snapshot` and continues it
+/// to `config.steps`. The snapshot's cache entries are imported
+/// before the environment is constructed, so every previously
+/// synthesized state — including the anchor run — is a cache hit and
+/// the resumed run is bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// As [`train_dqn`], plus configuration/snapshot mismatches.
+pub fn resume_dqn(
+    env_config: &EnvConfig,
+    config: &DqnConfig,
+    mut snapshot: DqnSnapshot,
+    hooks: &TrainHooks,
+) -> Result<OptimizationOutcome, RlMulError> {
+    let cache = EvalCache::new();
+    cache.import(std::mem::take(&mut snapshot.cache));
+    let mut env = MulEnv::with_cache(env_config.clone(), cache)?;
+    train_dqn_with(&mut env, config, hooks, Some(snapshot))
+}
+
+/// [`train_dqn`] with runtime hooks (telemetry, periodic snapshots,
+/// cooperative stop) and an optional resume point.
+///
+/// # Errors
+///
+/// As [`train_dqn`], plus snapshot write/restore failures.
+pub fn train_dqn_with(
+    env: &mut MulEnv,
+    config: &DqnConfig,
+    hooks: &TrainHooks,
+    resume: Option<DqnSnapshot>,
+) -> Result<OptimizationOutcome, RlMulError> {
     let nn_before = NnStats::snapshot();
     let actions = env.action_space();
     let shape = env.tensor_shape();
-    let mut net = QNetwork::new(&config.trunk, actions, &mut rng);
+    if hooks.telemetry.is_enabled() {
+        env.set_telemetry(hooks.telemetry.clone());
+    }
     let mut opt = RmsProp::new(config.lr);
-    let mut buffer: VecDeque<Transition> = VecDeque::with_capacity(config.replay_capacity);
-    let mut trajectory = Vec::with_capacity(config.steps);
+    let (mut rng, mut net, mut buffer, mut trajectory, mut state, start) = match resume {
+        Some(mut snap) => {
+            env.cache().import(std::mem::take(&mut snap.cache));
+            env.restore(&snap.env)?;
+            // The network is rebuilt from a throwaway RNG (shapes are
+            // configuration-determined) and overwritten wholesale;
+            // the training stream resumes from the snapshot state.
+            let mut net =
+                QNetwork::new(&config.trunk, actions, &mut StdRng::seed_from_u64(config.seed));
+            restore_net(&mut net, &snap.net)?;
+            opt.set_state(snap.opt);
+            (
+                StdRng::from_state(snap.rng),
+                net,
+                VecDeque::from(snap.replay),
+                snap.trajectory,
+                snap.state,
+                snap.step,
+            )
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let net = QNetwork::new(&config.trunk, actions, &mut rng);
+            let state = env.encode_current()?.data().to_vec();
+            let buffer = VecDeque::with_capacity(config.replay_capacity);
+            (rng, net, buffer, Vec::with_capacity(config.steps), state, 0)
+        }
+    };
+    if start > config.steps {
+        return Err(RlMulError::InvalidConfig {
+            what: format!("snapshot at step {start} exceeds the {}-step budget", config.steps),
+        });
+    }
 
-    let mut state = env.encode_current()?.data().to_vec();
-    for t in 0..config.steps {
+    let mut best_saved = f64::INFINITY;
+    let mut completed = start;
+    for t in start..config.steps {
+        if hooks.stop_requested() {
+            break;
+        }
         let mask = env.action_mask();
         let epsilon = if config.steps <= 1 {
             config.epsilon_end
@@ -148,6 +274,18 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
         };
         let outcome = env.step(action)?;
         trajectory.push(outcome.cost);
+        if hooks.telemetry.is_enabled() {
+            let r0 = &outcome.evaluation.reports[0];
+            hooks.telemetry.emit(
+                Event::new("episode")
+                    .with("method", "dqn")
+                    .with("step", t as u64)
+                    .with("reward", outcome.reward)
+                    .with("cost", outcome.cost)
+                    .with("area_um2", r0.area_um2)
+                    .with("delay_ns", r0.delay_ns),
+            );
+        }
         let next_state = env.encode_current()?.data().to_vec();
         let next_mask = env.action_mask();
         if buffer.len() == config.replay_capacity {
@@ -166,6 +304,51 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
                 (0..config.batch_size).map(|_| &buffer[rng.gen_range(0..buffer.len())]).collect();
             update(&mut net, &mut opt, &batch, config, &shape, actions);
         }
+        completed = t + 1;
+        if hooks.checkpoint_due(completed, config.steps) {
+            save_dqn_checkpoint(
+                completed,
+                &rng,
+                &mut net,
+                &opt,
+                &buffer,
+                &trajectory,
+                &state,
+                env,
+                hooks,
+                &mut best_saved,
+                true,
+            )?;
+        }
+    }
+
+    // Shutdown snapshot: rolled on normal completion and on
+    // cooperative stop alike, so `resume` always has the exact state
+    // the run ended in.
+    if hooks.store.is_some() {
+        save_dqn_checkpoint(
+            completed,
+            &rng,
+            &mut net,
+            &opt,
+            &buffer,
+            &trajectory,
+            &state,
+            env,
+            hooks,
+            &mut best_saved,
+            false,
+        )?;
+    }
+    if hooks.telemetry.is_enabled() {
+        let s = env.stats();
+        hooks.telemetry.emit(
+            Event::new("cache")
+                .with("hits", s.cache_hits as u64)
+                .with("misses", s.cache_misses as u64),
+        );
+        let nn = NnStats::snapshot().since(nn_before);
+        hooks.telemetry.emit(Event::new("nn").with("flops", nn.flops));
     }
 
     let (best, best_cost) = env.best();
@@ -186,6 +369,51 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
             lint: stats.lint,
         },
     })
+}
+
+/// Rolls `latest.ckpt` (and `best.ckpt` when the run improved) with
+/// the full training state at a step boundary.
+#[allow(clippy::too_many_arguments)]
+fn save_dqn_checkpoint(
+    step: usize,
+    rng: &StdRng,
+    net: &mut QNetwork,
+    opt: &RmsProp,
+    buffer: &VecDeque<Transition>,
+    trajectory: &[f64],
+    state: &[f32],
+    env: &MulEnv,
+    hooks: &TrainHooks,
+    best_saved: &mut f64,
+    periodic: bool,
+) -> Result<(), RlMulError> {
+    let Some(store) = &hooks.store else { return Ok(()) };
+    let snap = DqnSnapshot {
+        step,
+        rng: rng.state(),
+        net: snapshot_net(net),
+        opt: opt.state().to_vec(),
+        replay: buffer.iter().cloned().collect(),
+        trajectory: trajectory.to_vec(),
+        state: state.to_vec(),
+        env: env.snapshot(),
+        cache: env.cache().export_entries(),
+    };
+    store.save_latest(&snap)?;
+    if periodic && hooks.keep_history {
+        store.save_step(step, &snap)?;
+    }
+    let best_cost = env.best().1;
+    if best_cost < *best_saved {
+        store.save_best(&snap)?;
+        *best_saved = best_cost;
+    }
+    hooks.telemetry.emit(
+        Event::new("checkpoint")
+            .with("step", step as u64)
+            .with("path", store.latest_path().display().to_string()),
+    );
+    Ok(())
 }
 
 fn random_legal<R: Rng + ?Sized>(mask: &[bool], rng: &mut R) -> usize {

@@ -8,7 +8,9 @@ use rlmul_ct::{Action, CompressorTree, PpgKind};
 use rlmul_nn::Tensor;
 use rlmul_rtl::{LintStats, MultiplierNetlist};
 use rlmul_synth::{StaStats, SynthesisOptions, SynthesisReport, Synthesizer};
+use rlmul_telemetry::{Event, TelemetrySink};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which legacy structure seeds the search (state `s_0`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -145,6 +147,34 @@ pub struct MulEnv {
     best: (f64, CompressorTree),
     steps_taken: usize,
     counters: PipelineCounters,
+    sink: TelemetrySink,
+}
+
+/// The mutable state of a [`MulEnv`] at a step boundary — everything
+/// [`MulEnv::restore`] needs to continue a run bit-identically.
+/// Produced by [`MulEnv::snapshot`]; serialized inside the agents'
+/// training snapshots.
+#[derive(Debug, Clone)]
+pub struct EnvSnapshot {
+    pub(crate) current: CompressorTree,
+    pub(crate) current_cost: f64,
+    pub(crate) best: CompressorTree,
+    pub(crate) best_cost: f64,
+    pub(crate) steps_taken: usize,
+    pub(crate) pareto_points: Vec<(f64, f64)>,
+    pub(crate) delay_targets: Vec<f64>,
+}
+
+impl EnvSnapshot {
+    /// Environment steps taken up to the snapshot.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Cost of the best state at the snapshot.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
 }
 
 /// Per-environment work counters (the shared cache keeps its own
@@ -214,6 +244,7 @@ impl MulEnv {
             &initial,
             std::slice::from_ref(&anchor_opts),
             &mut counters,
+            &TelemetrySink::disabled(),
         )?
         .0;
         let anchor_delay = anchor_eval.reports[0].delay_ns;
@@ -253,6 +284,7 @@ impl MulEnv {
             best: (f64::INFINITY, CompressorTree::wallace(2, PpgKind::And)?),
             steps_taken: 0,
             counters,
+            sink: TelemetrySink::disabled(),
         };
         let eval = env.evaluate(&env.current.clone())?;
         env.current_cost = eval.cost;
@@ -263,6 +295,66 @@ impl MulEnv {
     /// The environment configuration.
     pub fn config(&self) -> &EnvConfig {
         &self.config
+    }
+
+    /// Routes this environment's per-phase telemetry (elaborate, lint,
+    /// synthesis timings on every cache miss) into `sink`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    /// Captures the mutable state of this environment at a step
+    /// boundary. Together with the shared cache's
+    /// [`EvalCache::export_entries`] this is everything a resumed run
+    /// needs to continue bit-identically.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            current: self.current.clone(),
+            current_cost: self.current_cost,
+            best: self.best.1.clone(),
+            best_cost: self.best.0,
+            steps_taken: self.steps_taken,
+            pareto_points: self.pareto_points.clone(),
+            delay_targets: self.delay_targets.clone(),
+        }
+    }
+
+    /// Restores the mutable state captured by [`MulEnv::snapshot`]
+    /// into this (freshly constructed, same-configuration)
+    /// environment. The evaluation-context fingerprint is recomputed
+    /// from the restored delay targets so costs keep hitting the same
+    /// cache entries as before the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose structure does not match this
+    /// environment's operand width or partial-product kind.
+    pub fn restore(&mut self, snap: &EnvSnapshot) -> Result<(), RlMulError> {
+        if snap.current.bits() != self.config.bits
+            || snap.current.profile().kind() != self.config.kind
+        {
+            return Err(RlMulError::InvalidConfig {
+                what: format!(
+                    "snapshot is a {}-bit {} design, environment expects {}-bit {}",
+                    snap.current.bits(),
+                    snap.current.profile().kind(),
+                    self.config.bits,
+                    self.config.kind
+                ),
+            });
+        }
+        self.current = snap.current.clone();
+        self.current_cost = snap.current_cost;
+        self.best = (snap.best_cost, snap.best.clone());
+        self.steps_taken = snap.steps_taken;
+        self.pareto_points = snap.pareto_points.clone();
+        self.delay_targets = snap.delay_targets.clone();
+        self.eval_context = context_fingerprint(
+            &self.delay_targets,
+            self.config.max_upsizes,
+            [self.config.weights.area, self.config.weights.delay, self.config.weights.power],
+        );
+        Ok(())
     }
 
     /// The derived (or configured) synthesis delay targets.
@@ -411,6 +503,7 @@ impl MulEnv {
             tree,
             &options,
             &mut self.counters,
+            &self.sink,
         )?;
         if fresh {
             for r in &eval.reports {
@@ -435,6 +528,7 @@ impl MulEnv {
         tree: &CompressorTree,
         options: &[SynthesisOptions],
         counters: &mut PipelineCounters,
+        sink: &TelemetrySink,
     ) -> Result<(Arc<Evaluation>, bool), RlMulError> {
         let key = CacheKey { counts: tree.matrix().counts().to_vec(), kind, context };
         match cache.lookup_or_begin(&key) {
@@ -446,7 +540,9 @@ impl MulEnv {
                 counters.cache_misses += 1;
                 // On error the ticket drops un-completed, releasing
                 // any coalesced waiters to retry for themselves.
+                let t0 = Instant::now();
                 let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+                let t1 = Instant::now();
                 // Structural lint gate before every synthesis call:
                 // counters always, hard stop on errors in debug builds
                 // (elaboration is validated, so an error here means an
@@ -459,10 +555,22 @@ impl MulEnv {
                     "structural lint gate failed before synthesis:\n{}",
                     lint_report.render()
                 );
+                let t2 = Instant::now();
                 let reports = synthesizer.run_many(&netlist, options)?;
+                let t3 = Instant::now();
                 counters.synth_runs += reports.len();
                 for r in &reports {
                     counters.sta.merge(r.sta);
+                }
+                if sink.is_enabled() {
+                    let phase = |name: &str, from: Instant, to: Instant| {
+                        Event::new("phase")
+                            .with("name", name)
+                            .with("secs", (to - from).as_secs_f64())
+                    };
+                    sink.emit(phase("elaborate", t0, t1));
+                    sink.emit(phase("lint", t1, t2));
+                    sink.emit(phase("synth", t2, t3));
                 }
                 let cost = weights.cost(&reports);
                 let eval = Arc::new(Evaluation { reports, cost });

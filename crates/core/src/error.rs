@@ -1,3 +1,4 @@
+use rlmul_ckpt::CkptError;
 use rlmul_ct::CtError;
 use rlmul_rtl::RtlError;
 use rlmul_synth::SynthError;
@@ -19,6 +20,8 @@ pub enum RlMulError {
         /// Human-readable description.
         what: String,
     },
+    /// Snapshot write, read or restore error.
+    Ckpt(CkptError),
 }
 
 impl fmt::Display for RlMulError {
@@ -28,6 +31,7 @@ impl fmt::Display for RlMulError {
             RlMulError::Rtl(e) => write!(f, "rtl elaboration: {e}"),
             RlMulError::Synth(e) => write!(f, "synthesis: {e}"),
             RlMulError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            RlMulError::Ckpt(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -39,7 +43,14 @@ impl Error for RlMulError {
             RlMulError::Rtl(e) => Some(e),
             RlMulError::Synth(e) => Some(e),
             RlMulError::InvalidConfig { .. } => None,
+            RlMulError::Ckpt(e) => Some(e),
         }
+    }
+}
+
+impl From<CkptError> for RlMulError {
+    fn from(e: CkptError) -> Self {
+        RlMulError::Ckpt(e)
     }
 }
 

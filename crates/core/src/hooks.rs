@@ -1,0 +1,87 @@
+//! Cross-cutting runtime hooks shared by every training entry point:
+//! telemetry, periodic checkpointing and cooperative cancellation.
+//!
+//! The agents ([`crate::train_dqn_with`], [`crate::train_a2c_with`])
+//! and the SA driver ([`crate::run_sa_with`]) all accept a
+//! [`TrainHooks`]; the default is fully inert, so library callers
+//! that don't care pay a branch per step and nothing else.
+
+use rlmul_ckpt::SnapshotStore;
+use rlmul_telemetry::TelemetrySink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Runtime services threaded through a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHooks {
+    /// JSONL telemetry sink; [`TelemetrySink::disabled`] by default.
+    pub telemetry: TelemetrySink,
+    /// Snapshot store for periodic and final checkpoints; `None`
+    /// disables checkpointing entirely.
+    pub store: Option<SnapshotStore>,
+    /// Roll `latest.ckpt` every this many completed steps (0 = only
+    /// on shutdown). Ignored without a store.
+    pub checkpoint_every: usize,
+    /// Cooperative stop flag, typically set from a SIGINT handler.
+    /// The run finishes its current step, writes a final snapshot
+    /// (when a store is configured) and returns normally.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Keep a step-tagged copy (`step-NNNNNNNN.ckpt`) of every
+    /// *periodic* checkpoint in addition to rolling `latest.ckpt`, so
+    /// mid-run states survive later checkpoints. Off by default;
+    /// shutdown snapshots only roll `latest`.
+    pub keep_history: bool,
+}
+
+impl TrainHooks {
+    /// Hooks carrying only a telemetry sink.
+    pub fn with_telemetry(sink: TelemetrySink) -> Self {
+        TrainHooks { telemetry: sink, ..Default::default() }
+    }
+
+    /// Whether the stop flag has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Whether a periodic checkpoint is due after `steps_done`
+    /// completed steps (never fires on the final step — the shutdown
+    /// snapshot covers it).
+    pub(crate) fn checkpoint_due(&self, steps_done: usize, total_steps: usize) -> bool {
+        self.store.is_some()
+            && self.checkpoint_every > 0
+            && steps_done.is_multiple_of(self.checkpoint_every)
+            && steps_done < total_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_are_inert() {
+        let hooks = TrainHooks::default();
+        assert!(!hooks.stop_requested());
+        assert!(!hooks.telemetry.is_enabled());
+        assert!(!hooks.checkpoint_due(5, 10));
+    }
+
+    #[test]
+    fn stop_flag_is_observed() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let hooks = TrainHooks { stop: Some(flag.clone()), ..Default::default() };
+        assert!(!hooks.stop_requested());
+        flag.store(true, Ordering::Relaxed);
+        assert!(hooks.stop_requested());
+    }
+
+    #[test]
+    fn checkpoint_cadence_skips_the_final_step() {
+        let store = SnapshotStore::new(std::env::temp_dir().join("rlmul-hooks-test"), "t");
+        let hooks = TrainHooks { store: Some(store), checkpoint_every: 4, ..Default::default() };
+        assert!(hooks.checkpoint_due(4, 10));
+        assert!(!hooks.checkpoint_due(5, 10));
+        assert!(!hooks.checkpoint_due(8, 8), "final step is covered by the shutdown snapshot");
+    }
+}

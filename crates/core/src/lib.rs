@@ -18,6 +18,15 @@
 //! * the simulated-annealing baseline on the identical cost
 //!   ([`run_sa`]).
 //!
+//! Long runs are crash-safe: the `*_with` entry points
+//! ([`train_dqn_with`], [`train_a2c_with`], [`run_sa_with`]) accept
+//! [`TrainHooks`] carrying a JSONL telemetry sink, a rolling
+//! [`rlmul_ckpt::SnapshotStore`] and a cooperative stop flag, and the
+//! matching `resume_*` functions continue a snapshotted run
+//! **bit-identically** — same RNG streams, same optimizer moments,
+//! same batch-norm statistics, and every previously synthesized state
+//! served from the re-imported evaluation cache.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -33,20 +42,26 @@
 
 mod a2c;
 mod cache;
+mod ckpt;
 mod dqn;
 mod env;
 mod error;
+mod hooks;
 mod outcome;
 mod reward;
 mod sa_driver;
 
-pub use a2c::{train_a2c, train_a2c_cached, A2cConfig, PolicyValueNet};
+pub use a2c::{
+    resume_a2c, train_a2c, train_a2c_cached, train_a2c_with, A2cConfig, A2cSnapshot, PolicyValueNet,
+};
 pub use cache::{context_fingerprint, CacheKey, CacheStats, EvalCache, EvalTicket, Lookup};
-pub use dqn::{train_dqn, DqnConfig, QNetwork};
+pub use dqn::{resume_dqn, train_dqn, train_dqn_with, DqnConfig, DqnSnapshot, QNetwork};
 pub use env::{
-    EnvConfig, EnvStats, Evaluation, InitialStructure, MulEnv, StagePruning, StepOutcome,
+    EnvConfig, EnvSnapshot, EnvStats, Evaluation, InitialStructure, MulEnv, StagePruning,
+    StepOutcome,
 };
 pub use error::RlMulError;
+pub use hooks::TrainHooks;
 pub use outcome::{LintStats, NnStats, OptimizationOutcome, PipelineStats};
 pub use reward::CostWeights;
-pub use sa_driver::{run_sa, run_sa_cached};
+pub use sa_driver::{resume_sa, run_sa, run_sa_cached, run_sa_with, SaSnapshot};

@@ -2,13 +2,47 @@
 //! cost as the RL agents, so Fig. 12-style comparisons isolate the
 //! search strategy.
 
-use crate::cache::EvalCache;
-use crate::env::{EnvConfig, MulEnv};
+use crate::cache::{CacheKey, EvalCache};
+use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
+use crate::hooks::TrainHooks;
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlmul_baselines::{simulated_annealing, SaConfig};
+use rlmul_baselines::{SaConfig, SaParts, SaRun};
+use rlmul_telemetry::Event;
+
+/// Complete state of a synthesis-backed SA run at a step boundary:
+/// the annealer's walk ([`SaParts`]), the RNG stream, the
+/// environment's mutable state and every finished cache entry.
+///
+/// Opaque outside the crate: produced by checkpointing runs
+/// ([`run_sa_with`] with a store), serialized through
+/// [`rlmul_ckpt::Record`], consumed by [`resume_sa`].
+pub struct SaSnapshot {
+    pub(crate) rng: [u64; 4],
+    pub(crate) parts: SaParts,
+    pub(crate) env: EnvSnapshot,
+    pub(crate) cache: Vec<(CacheKey, Evaluation)>,
+}
+
+impl SaSnapshot {
+    /// Proposal steps completed when the snapshot was taken.
+    pub fn steps_done(&self) -> usize {
+        self.parts.trajectory.len()
+    }
+
+    /// Best cost found up to the snapshot.
+    pub fn best_cost(&self) -> f64 {
+        self.parts.best_cost
+    }
+}
+
+impl std::fmt::Debug for SaSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SaSnapshot(step {}, {} cache entries)", self.steps_done(), self.cache.len())
+    }
+}
 
 /// Runs the SA baseline with the environment's Pareto-driven cost.
 ///
@@ -35,31 +69,115 @@ pub fn run_sa_cached(
     seed: u64,
     cache: EvalCache,
 ) -> Result<OptimizationOutcome, RlMulError> {
+    run_sa_with(env_config, sa_config, seed, cache, &TrainHooks::default(), None)
+}
+
+/// Rebuilds the annealing run captured in `snapshot` and continues it
+/// to `sa_config.steps`. Cache entries are imported before the
+/// environment is constructed, so every previously synthesized state
+/// is a hit and the resumed walk is bit-identical to an uninterrupted
+/// one.
+///
+/// # Errors
+///
+/// As [`run_sa`], plus configuration/snapshot mismatches.
+pub fn resume_sa(
+    env_config: &EnvConfig,
+    sa_config: &SaConfig,
+    snapshot: SaSnapshot,
+    hooks: &TrainHooks,
+) -> Result<OptimizationOutcome, RlMulError> {
+    // The seed is irrelevant on resume — the RNG stream continues
+    // from the snapshot state.
+    run_sa_with(env_config, sa_config, 0, EvalCache::new(), hooks, Some(snapshot))
+}
+
+/// [`run_sa_cached`] with runtime hooks (telemetry, periodic
+/// snapshots, cooperative stop) and an optional resume point.
+///
+/// # Errors
+///
+/// As [`run_sa`], plus snapshot write/restore failures.
+pub fn run_sa_with(
+    env_config: &EnvConfig,
+    sa_config: &SaConfig,
+    seed: u64,
+    cache: EvalCache,
+    hooks: &TrainHooks,
+    resume: Option<SaSnapshot>,
+) -> Result<OptimizationOutcome, RlMulError> {
+    let resume = resume.map(|mut snap| {
+        cache.import(std::mem::take(&mut snap.cache));
+        snap
+    });
     let mut env = MulEnv::with_cache(env_config.clone(), cache)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let initial = env.current().clone();
+    if hooks.telemetry.is_enabled() {
+        env.set_telemetry(hooks.telemetry.clone());
+    }
+    let (mut rng, mut run) = match resume {
+        Some(snap) => {
+            env.restore(&snap.env)?;
+            (StdRng::from_state(snap.rng), SaRun::from_parts(*sa_config, snap.parts))
+        }
+        None => {
+            let initial = env.current().clone();
+            let initial_cost = env.evaluate(&initial)?.cost;
+            (StdRng::seed_from_u64(seed), SaRun::new(initial, initial_cost, *sa_config))
+        }
+    };
+
     let mut eval_error: Option<RlMulError> = None;
-    let outcome = {
-        let env_ref = &mut env;
-        let err_ref = &mut eval_error;
-        simulated_annealing(&initial, sa_config, &mut rng, |tree| {
-            match env_ref.evaluate(tree) {
+    let mut best_saved = f64::INFINITY;
+    while !run.is_done() {
+        if hooks.stop_requested() {
+            break;
+        }
+        {
+            let env_ref = &mut env;
+            let err_ref = &mut eval_error;
+            run.step(&mut rng, |tree| match env_ref.evaluate(tree) {
                 Ok(e) => e.cost,
                 Err(e) => {
-                    // Surface the first error after the run; penalize the
-                    // state so the annealer walks away from it.
+                    // Surface the first error after the step;
+                    // penalize the state so the annealer walks away
+                    // from it.
                     if err_ref.is_none() {
                         *err_ref = Some(e);
                     }
                     f64::INFINITY
                 }
-            }
-        })
-    };
-    if let Some(e) = eval_error {
-        return Err(e);
+            });
+        }
+        if let Some(e) = eval_error.take() {
+            return Err(e);
+        }
+        if hooks.telemetry.is_enabled() {
+            hooks.telemetry.emit(
+                Event::new("episode")
+                    .with("method", "sa")
+                    .with("step", (run.steps_done() - 1) as u64)
+                    .with("cost", run.current_cost()),
+            );
+        }
+        if hooks.checkpoint_due(run.steps_done(), sa_config.steps) {
+            save_sa_checkpoint(&run, &rng, &env, hooks, &mut best_saved, true)?;
+        }
     }
+    // Shutdown snapshot: rolled on normal completion and on
+    // cooperative stop alike.
+    if hooks.store.is_some() {
+        save_sa_checkpoint(&run, &rng, &env, hooks, &mut best_saved, false)?;
+    }
+
     let stats = env.stats();
+    if hooks.telemetry.is_enabled() {
+        hooks.telemetry.emit(
+            Event::new("cache")
+                .with("hits", stats.cache_hits as u64)
+                .with("misses", stats.cache_misses as u64),
+        );
+    }
+    let outcome = run.into_outcome();
     Ok(OptimizationOutcome {
         best: outcome.best,
         best_cost: outcome.best_cost,
@@ -79,6 +197,39 @@ pub fn run_sa_cached(
     })
 }
 
+/// Rolls `latest.ckpt` (and `best.ckpt` when the walk improved) with
+/// the full annealing state at a step boundary.
+fn save_sa_checkpoint(
+    run: &SaRun,
+    rng: &StdRng,
+    env: &MulEnv,
+    hooks: &TrainHooks,
+    best_saved: &mut f64,
+    periodic: bool,
+) -> Result<(), RlMulError> {
+    let Some(store) = &hooks.store else { return Ok(()) };
+    let snap = SaSnapshot {
+        rng: rng.state(),
+        parts: run.to_parts(),
+        env: env.snapshot(),
+        cache: env.cache().export_entries(),
+    };
+    store.save_latest(&snap)?;
+    if periodic && hooks.keep_history {
+        store.save_step(run.steps_done(), &snap)?;
+    }
+    if run.best_cost() < *best_saved {
+        store.save_best(&snap)?;
+        *best_saved = run.best_cost();
+    }
+    hooks.telemetry.emit(
+        Event::new("checkpoint")
+            .with("step", run.steps_done() as u64)
+            .with("path", store.latest_path().display().to_string()),
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +243,30 @@ mod tests {
         assert_eq!(out.trajectory.len(), 20);
         out.best.check_legal().unwrap();
         assert!(out.states_visited >= 1);
+    }
+
+    #[test]
+    fn sa_resume_matches_uninterrupted_run() {
+        let env_cfg = EnvConfig::new(4, PpgKind::And);
+        let full_cfg = SaConfig { steps: 16, ..Default::default() };
+        let full = run_sa(&env_cfg, &full_cfg, 7).unwrap();
+
+        // Same schedule interrupted at step 8 by the stop flag, then
+        // resumed from the snapshot.
+        let dir = std::env::temp_dir().join(format!("rlmul-sa-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = rlmul_ckpt::SnapshotStore::new(&dir, "sa");
+        let hooks =
+            TrainHooks { store: Some(store.clone()), checkpoint_every: 8, ..Default::default() };
+        let half_cfg = SaConfig { steps: 8, ..full_cfg };
+        run_sa_with(&env_cfg, &half_cfg, 7, EvalCache::new(), &hooks, None).unwrap();
+        let snap: SaSnapshot = store.load_latest().unwrap();
+        assert_eq!(snap.steps_done(), 8);
+        let resumed = resume_sa(&env_cfg, &full_cfg, snap, &TrainHooks::default()).unwrap();
+
+        assert_eq!(full.trajectory, resumed.trajectory);
+        assert_eq!(full.best_cost.to_bits(), resumed.best_cost.to_bits());
+        assert_eq!(full.best, resumed.best);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,149 @@
+//! Resume-determinism acceptance tests: a run interrupted at step N
+//! and resumed from its snapshot must replay the exact trajectory of
+//! the uninterrupted run — bit-identical costs, not merely close.
+//!
+//! Each test performs one full training run with periodic pinned
+//! checkpoints (`keep_history`), then resumes from the *mid-run*
+//! snapshot and compares the resumed trajectory (prefix restored from
+//! the snapshot + freshly computed suffix) against the uninterrupted
+//! one. Any single-ULP divergence in RNG streams, network weights,
+//! batch-norm statistics, optimizer moments, replay contents or cached
+//! costs would change an action somewhere and break the equality.
+
+use rlmul_ckpt::SnapshotStore;
+use rlmul_core::{
+    resume_a2c, resume_dqn, train_a2c_with, train_dqn_with, A2cConfig, A2cSnapshot, DqnConfig,
+    DqnSnapshot, EnvConfig, EvalCache, MulEnv, OptimizationOutcome, TrainHooks,
+};
+use rlmul_ct::PpgKind;
+use rlmul_nn::TrunkConfig;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlmul-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_bit_identical(full: &OptimizationOutcome, resumed: &OptimizationOutcome) {
+    assert_eq!(full.trajectory.len(), resumed.trajectory.len());
+    for (i, (a, b)) in full.trajectory.iter().zip(&resumed.trajectory).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "trajectory diverged at step {i}: {a} vs {b}");
+    }
+    assert_eq!(full.best_cost.to_bits(), resumed.best_cost.to_bits());
+    assert_eq!(full.best, resumed.best);
+}
+
+#[test]
+fn dqn_resume_replays_the_uninterrupted_trajectory() {
+    let env_cfg = EnvConfig::new(4, PpgKind::And);
+    let config = DqnConfig {
+        steps: 12,
+        warmup: 4,
+        batch_size: 4,
+        trunk: TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 },
+        ..Default::default()
+    };
+
+    let dir = scratch_dir("dqn");
+    let store = SnapshotStore::new(&dir, "dqn");
+    let hooks = TrainHooks {
+        store: Some(store.clone()),
+        checkpoint_every: 6,
+        keep_history: true,
+        ..Default::default()
+    };
+    let mut env = MulEnv::new(env_cfg.clone()).unwrap();
+    let full = train_dqn_with(&mut env, &config, &hooks, None).unwrap();
+    assert_eq!(full.trajectory.len(), 12);
+
+    // The pinned mid-run snapshot survived the later checkpoints.
+    let snap: DqnSnapshot = store.load_step(6).unwrap();
+    assert_eq!(snap.step(), 6);
+    let resumed = resume_dqn(&env_cfg, &config, snap, &TrainHooks::default()).unwrap();
+    assert_bit_identical(&full, &resumed);
+
+    // The shutdown snapshot holds the completed run: resuming from it
+    // is a no-op that returns the same outcome.
+    let done: DqnSnapshot = store.load_latest().unwrap();
+    assert_eq!(done.step(), 12);
+    let noop = resume_dqn(&env_cfg, &config, done, &TrainHooks::default()).unwrap();
+    assert_bit_identical(&full, &noop);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a2c_resume_replays_the_uninterrupted_trajectory() {
+    let env_cfg = EnvConfig::new(4, PpgKind::And);
+    let config = A2cConfig {
+        steps: 10,
+        n_envs: 2,
+        n_step: 3,
+        trunk: TrunkConfig { in_channels: 2, channels: vec![4, 8], blocks_per_stage: 1 },
+        ..Default::default()
+    };
+
+    let dir = scratch_dir("a2c");
+    let store = SnapshotStore::new(&dir, "a2c");
+    let hooks = TrainHooks {
+        store: Some(store.clone()),
+        checkpoint_every: 5,
+        keep_history: true,
+        ..Default::default()
+    };
+    let full = train_a2c_with(&env_cfg, &config, EvalCache::new(), &hooks, None).unwrap();
+    assert_eq!(full.trajectory.len(), 10);
+
+    let snap: A2cSnapshot = store.load_step(5).unwrap();
+    assert_eq!(snap.step(), 5);
+    let resumed = resume_a2c(&env_cfg, &config, snap, &TrainHooks::default()).unwrap();
+    assert_bit_identical(&full, &resumed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dqn_rejects_snapshot_beyond_the_step_budget() {
+    let env_cfg = EnvConfig::new(4, PpgKind::And);
+    let config = DqnConfig {
+        steps: 4,
+        warmup: 2,
+        batch_size: 2,
+        trunk: TrunkConfig { in_channels: 2, channels: vec![4], blocks_per_stage: 1 },
+        ..Default::default()
+    };
+    let dir = scratch_dir("dqn-budget");
+    let store = SnapshotStore::new(&dir, "dqn");
+    let hooks = TrainHooks { store: Some(store.clone()), ..Default::default() };
+    let mut env = MulEnv::new(env_cfg.clone()).unwrap();
+    train_dqn_with(&mut env, &config, &hooks, None).unwrap();
+    let snap: DqnSnapshot = store.load_latest().unwrap();
+
+    // Shrinking the budget below the snapshot's step is an error, not
+    // a silent no-op with a half-restored agent.
+    let short = DqnConfig { steps: 2, ..config };
+    assert!(resume_dqn(&env_cfg, &short, snap, &TrainHooks::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dqn_snapshot_mismatched_environment_is_rejected() {
+    let env_cfg = EnvConfig::new(4, PpgKind::And);
+    let config = DqnConfig {
+        steps: 3,
+        warmup: 3,
+        batch_size: 2,
+        trunk: TrunkConfig { in_channels: 2, channels: vec![4], blocks_per_stage: 1 },
+        ..Default::default()
+    };
+    let dir = scratch_dir("dqn-mismatch");
+    let store = SnapshotStore::new(&dir, "dqn");
+    let hooks = TrainHooks { store: Some(store.clone()), ..Default::default() };
+    let mut env = MulEnv::new(env_cfg.clone()).unwrap();
+    train_dqn_with(&mut env, &config, &hooks, None).unwrap();
+    let snap: DqnSnapshot = store.load_latest().unwrap();
+
+    // A 4-bit snapshot cannot resume an 8-bit run.
+    let other = EnvConfig::new(8, PpgKind::And);
+    assert!(resume_dqn(&other, &config, snap, &TrainHooks::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

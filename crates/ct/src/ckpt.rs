@@ -1,0 +1,109 @@
+//! Checkpoint codec support for compressor-tree state.
+//!
+//! A [`CompressorTree`] is fully determined by its bit width, partial
+//! product generator kind and per-column compressor counts, so the
+//! snapshot stores exactly that triple and reconstructs through the
+//! same validated path (`PpProfile::new` → `CompressorMatrix` →
+//! `CompressorTree::from_matrix`) used everywhere else — a corrupted
+//! snapshot that decodes into an illegal structure is rejected, never
+//! silently accepted.
+
+use crate::matrix::CompressorMatrix;
+use crate::profile::{PpProfile, PpgKind};
+use crate::tree::CompressorTree;
+use rlmul_ckpt::{CkptError, Decoder, Encoder, Record};
+
+impl Record for PpgKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            PpgKind::And => 0,
+            PpgKind::Mbe => 1,
+            PpgKind::MacAnd => 2,
+            PpgKind::MacMbe => 3,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        match dec.get_u8()? {
+            0 => Ok(PpgKind::And),
+            1 => Ok(PpgKind::Mbe),
+            2 => Ok(PpgKind::MacAnd),
+            3 => Ok(PpgKind::MacMbe),
+            b => Err(CkptError::Invalid { what: format!("PpgKind tag {b:#04x}") }),
+        }
+    }
+}
+
+impl Record for CompressorTree {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.bits());
+        self.profile().kind().encode(enc);
+        self.matrix().counts().to_vec().encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        let bits = dec.get_usize()?;
+        let kind = PpgKind::decode(dec)?;
+        let counts = Vec::<(u32, u32)>::decode(dec)?;
+        let profile = PpProfile::new(bits, kind)
+            .map_err(|e| CkptError::Invalid { what: format!("snapshot profile: {e}") })?;
+        if counts.len() != profile.num_columns() {
+            return Err(CkptError::Invalid {
+                what: format!(
+                    "snapshot has {} columns, {bits}-bit {} profile needs {}",
+                    counts.len(),
+                    kind.label(),
+                    profile.num_columns()
+                ),
+            });
+        }
+        CompressorTree::from_matrix(profile, CompressorMatrix::from_counts(counts))
+            .map_err(|e| CkptError::Invalid { what: format!("snapshot tree: {e}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        for kind in [PpgKind::And, PpgKind::Mbe, PpgKind::MacAnd, PpgKind::MacMbe] {
+            assert_eq!(PpgKind::from_bytes(&kind.to_bytes()).unwrap(), kind);
+        }
+        assert!(PpgKind::from_bytes(&[4]).is_err());
+    }
+
+    #[test]
+    fn trees_round_trip_including_modified_structures() {
+        for kind in [PpgKind::And, PpgKind::Mbe] {
+            let mut tree = CompressorTree::wallace(8, kind).unwrap();
+            // Walk a few legal actions so the snapshot is not just the
+            // canonical initial structure.
+            for _ in 0..4 {
+                let Some(&a) = tree.valid_actions().first() else { break };
+                tree = tree.apply_action(a).unwrap();
+            }
+            let back = CompressorTree::from_bytes(&tree.to_bytes()).unwrap();
+            assert_eq!(back.matrix().counts(), tree.matrix().counts());
+            assert_eq!(back.bits(), tree.bits());
+            assert_eq!(back.profile().kind(), tree.profile().kind());
+        }
+    }
+
+    #[test]
+    fn illegal_snapshot_contents_are_rejected() {
+        let tree = CompressorTree::dadda(4, PpgKind::And).unwrap();
+        let bytes = tree.to_bytes();
+        // Truncated column list.
+        let mut short = tree.matrix().counts().to_vec();
+        short.pop();
+        let mut enc = Encoder::new();
+        enc.put_usize(tree.bits());
+        PpgKind::And.encode(&mut enc);
+        short.encode(&mut enc);
+        assert!(CompressorTree::from_bytes(&enc.into_bytes()).is_err());
+        // Sane input still round-trips.
+        assert!(CompressorTree::from_bytes(&bytes).is_ok());
+    }
+}

@@ -39,6 +39,7 @@
 
 mod action;
 mod assign;
+mod ckpt;
 mod error;
 mod init;
 mod legalize;

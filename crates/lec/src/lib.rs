@@ -22,6 +22,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod cec;
 mod equiv;

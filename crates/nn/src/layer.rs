@@ -60,6 +60,16 @@ pub trait Layer {
 
     /// Visits every trainable parameter.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every piece of non-trainable mutable state (e.g. batch
+    /// normalization running statistics) in a deterministic order.
+    ///
+    /// `visit_params` deliberately skips these buffers — optimizers
+    /// must not touch them — but they still shape evaluation-mode
+    /// forwards, so checkpoint/resume must capture them to reproduce
+    /// action selection bit-identically. Stateless layers keep the
+    /// default no-op.
+    fn visit_state(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
 }
 
 /// A simple sequential container.
@@ -141,6 +151,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for l in &mut self.layers {
             l.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for l in &mut self.layers {
+            l.visit_state(f);
         }
     }
 }

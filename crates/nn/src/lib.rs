@@ -23,6 +23,7 @@
 //! ```
 
 mod act;
+mod ckpt;
 mod conv;
 pub mod gemm;
 pub mod im2col;
@@ -40,6 +41,7 @@ mod tensor;
 mod testutil;
 
 pub use act::Relu;
+pub use ckpt::{restore_net, snapshot_net, NetSnapshot};
 pub use conv::Conv2d;
 pub use io::{load_params, save_params};
 pub use layer::{Layer, Param, Sequential};

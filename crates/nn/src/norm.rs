@@ -142,6 +142,11 @@ impl Layer for BatchNorm2d {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
 }
 
 #[cfg(test)]

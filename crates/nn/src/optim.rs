@@ -53,6 +53,19 @@ impl RmsProp {
     pub fn new(lr: f32) -> Self {
         RmsProp { lr, alpha: 0.99, eps: 1e-8, state: Vec::new() }
     }
+
+    /// The per-parameter squared-gradient accumulators, in visitation
+    /// order (empty before the first `step`). Exposed for
+    /// checkpointing: resuming without these restarts the adaptive
+    /// step sizes and diverges from an uninterrupted run.
+    pub fn state(&self) -> &[Tensor] {
+        &self.state
+    }
+
+    /// Restores accumulators captured by [`RmsProp::state`].
+    pub fn set_state(&mut self, state: Vec<Tensor>) {
+        self.state = state;
+    }
 }
 
 impl Optimizer for RmsProp {
@@ -94,6 +107,21 @@ impl Adam {
     /// Adam with the usual (0.9, 0.999) moments.
     pub fn new(lr: f32) -> Self {
         Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// The optimizer state: step count plus first/second moment
+    /// tensors in visitation order. Exposed for checkpointing — the
+    /// bias-correction schedule depends on the step count, so resume
+    /// without it changes every subsequent update.
+    pub fn state(&self) -> (i64, &[Tensor], &[Tensor]) {
+        (i64::from(self.t), &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`Adam::state`].
+    pub fn set_state(&mut self, t: i64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        self.t = t as i32;
+        self.m = m;
+        self.v = v;
     }
 }
 

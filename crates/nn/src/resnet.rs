@@ -103,6 +103,14 @@ impl Layer for ResidualBlock {
             bn.visit_params(f);
         }
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.bn1.visit_state(f);
+        self.bn2.visit_state(f);
+        if let Some((_, bn)) = &mut self.downsample {
+            bn.visit_state(f);
+        }
+    }
 }
 
 /// Shape of a residual trunk.

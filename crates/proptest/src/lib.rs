@@ -198,7 +198,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Accepted size arguments for [`vec`]: an exact length, a
+    /// Accepted size arguments for [`vec()`]: an exact length, a
     /// half-open range, or an inclusive range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

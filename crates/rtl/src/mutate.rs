@@ -8,7 +8,8 @@
 //! structurally well-formed but change its function — refutation
 //! fodder for the SAT equivalence checker. Structural defects
 //! ([`duplicate_gate`], [`float_gate_input`], [`introduce_loop`],
-//! [`clear_port`], [`corrupt_port_net`], [`rename_port`]) break the
+//! [`clear_port`], [`corrupt_port_net`], [`rename_port_to_clash`])
+//! break the
 //! IR's invariants in ways the lint catalogue must flag.
 //!
 //! All constructors copy the input; intentionally-broken outputs

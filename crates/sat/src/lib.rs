@@ -30,6 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod lit;
 mod solver;

@@ -1,0 +1,110 @@
+//! Checkpoint codec support for synthesis results.
+//!
+//! Cached [`SynthesisReport`]s are part of a training run's state:
+//! exporting the evaluation cache into a snapshot turns every
+//! already-synthesized structure into a cache hit on resume, which is
+//! what makes resumed runs bit-identical *and* fast.
+
+use crate::sta::StaStats;
+use crate::synth::SynthesisReport;
+use rlmul_ckpt::{CkptError, Decoder, Encoder, Record};
+
+impl Record for StaStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.full_passes);
+        enc.put_usize(self.incremental_passes);
+        enc.put_usize(self.full_gate_visits);
+        enc.put_usize(self.incremental_gate_visits);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(StaStats {
+            full_passes: dec.get_usize()?,
+            incremental_passes: dec.get_usize()?,
+            full_gate_visits: dec.get_usize()?,
+            incremental_gate_visits: dec.get_usize()?,
+        })
+    }
+}
+
+impl Record for SynthesisReport {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.area_um2);
+        enc.put_f64(self.delay_ns);
+        enc.put_f64(self.power_mw);
+        self.target_delay_ns.encode(enc);
+        enc.put_bool(self.met_target);
+        self.drive_histogram.encode(enc);
+        enc.put_usize(self.sizing_moves);
+        enc.put_usize(self.num_cells);
+        self.sta.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(SynthesisReport {
+            area_um2: dec.get_f64()?,
+            delay_ns: dec.get_f64()?,
+            power_mw: dec.get_f64()?,
+            target_delay_ns: Option::decode(dec)?,
+            met_target: dec.get_bool()?,
+            drive_histogram: <[usize; 3]>::decode(dec)?,
+            sizing_moves: dec.get_usize()?,
+            num_cells: dec.get_usize()?,
+            sta: StaStats::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let r = SynthesisReport {
+            area_um2: 1234.5678,
+            delay_ns: 1.375,
+            power_mw: 0.0625,
+            target_delay_ns: Some(1.5),
+            met_target: true,
+            drive_histogram: [10, 4, 1],
+            sizing_moves: 7,
+            num_cells: 321,
+            sta: StaStats {
+                full_passes: 2,
+                incremental_passes: 9,
+                full_gate_visits: 642,
+                incremental_gate_visits: 77,
+            },
+        };
+        let back = SynthesisReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back.area_um2.to_bits(), r.area_um2.to_bits());
+        assert_eq!(back.delay_ns.to_bits(), r.delay_ns.to_bits());
+        assert_eq!(back.power_mw.to_bits(), r.power_mw.to_bits());
+        assert_eq!(back.target_delay_ns, r.target_delay_ns);
+        assert_eq!(back.met_target, r.met_target);
+        assert_eq!(back.drive_histogram, r.drive_histogram);
+        assert_eq!(back.sizing_moves, r.sizing_moves);
+        assert_eq!(back.num_cells, r.num_cells);
+        assert_eq!(back.sta.full_passes, r.sta.full_passes);
+        assert_eq!(back.sta.incremental_gate_visits, r.sta.incremental_gate_visits);
+    }
+
+    #[test]
+    fn none_target_round_trips() {
+        let r = SynthesisReport {
+            area_um2: 1.0,
+            delay_ns: 2.0,
+            power_mw: 3.0,
+            target_delay_ns: None,
+            met_target: false,
+            drive_histogram: [0, 0, 0],
+            sizing_moves: 0,
+            num_cells: 0,
+            sta: StaStats::default(),
+        };
+        let back = SynthesisReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back.target_delay_ns, None);
+        assert!(!back.met_target);
+    }
+}

@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+mod ckpt;
 mod error;
 mod library;
 mod map;

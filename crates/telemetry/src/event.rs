@@ -1,0 +1,163 @@
+//! The structured event model.
+
+use std::error::Error;
+use std::fmt;
+
+/// A telemetry field value.
+///
+/// The set is deliberately flat (no nesting): every event is one JSON
+/// object per line, which keeps the writer allocation-light and the
+/// parser trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, steps, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rewards, costs, seconds). Non-finite values
+    /// serialize as JSON `null` and parse back as NaN.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String tag (method names, kinds, phases).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured telemetry record: a kind tag plus ordered fields.
+///
+/// Field order is preserved through serialization, so seeded runs
+/// produce byte-identical logs (timestamps and timings excepted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    kind: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event of the given kind (serialized as the `"ev"` key).
+    pub fn new(kind: &str) -> Self {
+        Event { kind: kind.to_owned(), fields: Vec::new() }
+    }
+
+    /// Builder-style field append.
+    #[must_use]
+    pub fn with<V: Into<Value>>(mut self, key: &str, value: V) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push<V: Into<Value>>(&mut self, key: &str, value: V) {
+        self.fields.push((key.to_owned(), value.into()));
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The ordered fields.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric coercion of the value under `key`: any integer or
+    /// float field reads as `f64`.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned coercion of the value under `key`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String field under `key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Telemetry decoding failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// A line is not a well-formed flat JSON event object.
+    Parse {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Parse { what } => write!(f, "telemetry parse: {what}"),
+        }
+    }
+}
+
+impl Error for TelemetryError {}

@@ -1,0 +1,355 @@
+//! Hand-rolled JSON encoding and parsing for flat event objects.
+//!
+//! The encoder emits exactly one object per line: `"ev"` first, then
+//! every field in insertion order. The parser accepts any flat JSON
+//! object whose values are strings, numbers, booleans or `null` —
+//! nested objects and arrays are rejected (events are flat by
+//! construction) — and is insensitive to whitespace, so logs survive
+//! hand edits and third-party pretty-printers.
+
+use crate::event::{Event, TelemetryError, Value};
+use std::fmt::Write as _;
+
+/// Serializes one event as a single-line JSON object.
+pub fn to_json(event: &Event) -> String {
+    let mut out = String::with_capacity(64 + event.fields().len() * 24);
+    out.push_str("{\"ev\":");
+    write_str(&mut out, event.kind());
+    for (k, v) in event.fields() {
+        out.push(',');
+        write_str(&mut out, k);
+        out.push(':');
+        write_value(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // Rust's shortest-round-trip float formatting is valid JSON
+        // for every finite value; JSON has no NaN/Inf, so those
+        // degrade to null (telemetry is diagnostic, not archival).
+        Value::F64(x) if x.is_finite() => {
+            let start = out.len();
+            let _ = write!(out, "{x}");
+            // "1" would parse back as an integer; keep floatness.
+            if !out[start..].contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => write_str(out, s),
+    }
+}
+
+/// Parses one JSONL line into an [`Event`]. Inverse of [`to_json`]
+/// for events produced by this crate; tolerant of whitespace and
+/// field reordering otherwise.
+pub fn parse_json(line: &str) -> Result<Event, TelemetryError> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut kind: Option<String> = None;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    p.skip_ws();
+    if !p.peek_is(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            if key == "ev" {
+                match value {
+                    Value::Str(s) => kind = Some(s),
+                    other => {
+                        return Err(TelemetryError::Parse {
+                            what: format!("\"ev\" must be a string, found {other:?}"),
+                        })
+                    }
+                }
+            } else {
+                fields.push((key, value));
+            }
+            p.skip_ws();
+            if p.peek_is(b',') {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+    }
+    p.skip_ws();
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(TelemetryError::Parse { what: "trailing characters after object".into() });
+    }
+    let kind = kind.ok_or_else(|| TelemetryError::Parse { what: "missing \"ev\" key".into() })?;
+    let mut event = Event::new(&kind);
+    for (k, v) in fields {
+        event.push(&k, v);
+    }
+    Ok(event)
+}
+
+impl Event {
+    /// Serializes this event as a single JSONL line (no trailing
+    /// newline). Convenience wrapper over the module-level encoder.
+    pub fn to_json(&self) -> String {
+        to_json(self)
+    }
+
+    /// Parses a JSONL line into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::Parse`] for anything that is not a
+    /// flat JSON object with a string `"ev"` key.
+    pub fn parse_json(line: &str) -> Result<Event, TelemetryError> {
+        parse_json(line)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&self, b: u8) -> bool {
+        self.bytes.get(self.pos) == Some(&b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TelemetryError> {
+        if self.peek_is(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(TelemetryError::Parse {
+                what: format!("expected `{}` at byte {}", b as char, self.pos),
+            })
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TelemetryError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(TelemetryError::Parse { what: "unterminated string".into() });
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(TelemetryError::Parse { what: "dangling escape".into() });
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| TelemetryError::Parse {
+                                    what: "bad \\u escape".into(),
+                                })?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in logs this
+                            // crate writes; map lone surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(TelemetryError::Parse {
+                                what: format!("unknown escape \\{}", other as char),
+                            })
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just
+                    // consumed.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| TelemetryError::Parse { what: "invalid UTF-8".into() })?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TelemetryError> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::F64(f64::NAN)),
+            Some(b'{' | b'[') => {
+                Err(TelemetryError::Parse { what: "nested containers are not events".into() })
+            }
+            Some(_) => self.number(),
+            None => Err(TelemetryError::Parse { what: "unexpected end of line".into() }),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, TelemetryError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(TelemetryError::Parse { what: format!("expected literal `{lit}`") })
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, TelemetryError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if text.is_empty() {
+            return Err(TelemetryError::Parse { what: "empty number".into() });
+        }
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| TelemetryError::Parse { what: format!("bad number `{text}`") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips() {
+        let e = Event::new("episode")
+            .with("step", 17u64)
+            .with("reward", -0.125f64)
+            .with("method", "dqn")
+            .with("hit", true)
+            .with("delta", -3i64);
+        let line = to_json(&e);
+        assert!(!line.contains('\n'));
+        let back = parse_json(&line).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let e = Event::new("note").with("text", "a \"quoted\"\\path\nwith\tcontrol\u{1}");
+        let back = parse_json(&to_json(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn integers_and_floats_keep_their_type() {
+        let line = r#"{"ev":"x","a":3,"b":3.5,"c":-2,"d":1e-3}"#;
+        let e = parse_json(line).unwrap();
+        assert_eq!(e.get("a"), Some(&Value::U64(3)));
+        assert_eq!(e.get("b"), Some(&Value::F64(3.5)));
+        assert_eq!(e.get("c"), Some(&Value::I64(-2)));
+        assert_eq!(e.get("d"), Some(&Value::F64(1e-3)));
+    }
+
+    #[test]
+    fn whole_valued_floats_stay_floats() {
+        let e = Event::new("x").with("v", 1.0f64).with("w", -2.0f64);
+        let line = to_json(&e);
+        let back = parse_json(&line).unwrap();
+        assert_eq!(back, e, "{line}");
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        let e = Event::new("x").with("inf", f64::INFINITY);
+        let line = to_json(&e);
+        assert!(line.contains("null"), "{line}");
+        let back = parse_json(&line).unwrap();
+        assert!(back.get_f64("inf").unwrap().is_nan());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        for bad in [
+            "",
+            "{",
+            "{}",                        // no "ev"
+            r#"{"ev":1}"#,               // non-string kind
+            r#"{"ev":"x","a":[1,2]}"#,   // nested
+            r#"{"ev":"x","a":{"b":1}}"#, // nested
+            r#"{"ev":"x"} trailing"#,
+            r#"{"ev":"x","a":}"#,
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let e = parse_json(" { \"ev\" : \"x\" , \"n\" : 4 } ").unwrap();
+        assert_eq!(e.kind(), "x");
+        assert_eq!(e.get_u64("n"), Some(4));
+    }
+}

@@ -2,17 +2,20 @@
 //!
 //! ```sh
 //! rlmul info     --bits 8  --kind and
-//! rlmul optimize --bits 8  --kind and --method a2c --steps 80 --pref area \
-//!                --verilog best.v
+//! rlmul train    --bits 8  --kind and --method a2c --steps 80 --pref area \
+//!                --ckpt-dir runs/a2c8 --ckpt-every 10 --telemetry runs/a2c8.jsonl
+//! rlmul train    --method a2c --ckpt-dir runs/a2c8 --resume      # continue
+//! rlmul report   runs/a2c8.jsonl
 //! rlmul export   --bits 16 --kind mbe --structure dadda --out mul.v
 //! rlmul verify   --bits 8  --kind mac-and --structure gomil
 //! rlmul synth    --bits 8  --kind and --structure wallace --target 1.0
 //! ```
 
 use rlmul::baselines::{gomil, SaConfig};
+use rlmul::ckpt::{read_snapshot, SnapshotStore};
 use rlmul::core::{
-    run_sa, train_a2c, train_dqn, A2cConfig, CostWeights, DqnConfig, EnvConfig, MulEnv,
-    OptimizationOutcome,
+    resume_a2c, resume_dqn, resume_sa, run_sa_with, train_a2c_with, train_dqn_with, A2cConfig,
+    CostWeights, DqnConfig, EnvConfig, EvalCache, MulEnv, OptimizationOutcome, TrainHooks,
 };
 use rlmul::ct::{CompressorTree, PpgKind};
 use rlmul::lec::{check_datapath, check_formal};
@@ -20,8 +23,11 @@ use rlmul::rtl::{
     from_verilog, quad_multiplier, to_verilog, AdderKind, MultiplierNetlist, Netlist,
 };
 use rlmul::synth::{SynthesisOptions, Synthesizer};
+use rlmul::telemetry::{Event, Summary, TelemetryWriter};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -29,10 +35,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = parse_opts(argv.collect());
+    let tokens: Vec<String> = argv.collect();
+    let opts = parse_opts(tokens.clone());
     let result = match command.as_str() {
         "info" => cmd_info(&opts),
-        "optimize" => cmd_optimize(&opts),
+        // `optimize` predates checkpointing and remains an alias.
+        "train" | "optimize" => cmd_train(&opts),
+        "report" => cmd_report(&tokens),
         "export" => cmd_export(&opts),
         "verify" => cmd_verify(&opts),
         "lint" => cmd_lint(&opts),
@@ -59,7 +68,10 @@ USAGE: rlmul <command> [--key value ...]
 
 COMMANDS
   info      show structure statistics (wallace/dadda/gomil/quad)
-  optimize  search for a better compressor tree (RL or SA)
+  train     search for a better compressor tree (RL or SA), with
+            optional checkpoint/resume and JSONL telemetry
+            (`optimize` is an alias)
+  report    summarize a JSONL telemetry file
   export    emit structural Verilog for a named structure
   verify    equivalence-check a structure against the golden model
   lint      run the structural netlist linter
@@ -79,12 +91,26 @@ LINT OPTIONS
   --in PATH         lint a structural Verilog file instead of a
                     generated structure
 
-OPTIMIZE OPTIONS
+TRAIN OPTIONS
   --method M        dqn | a2c | sa (default a2c)
   --steps N         environment steps (default 80)
   --pref P          area | timing | tradeoff (default tradeoff)
   --seed N          RNG seed (default 1)
   --verilog PATH    write the best design as Verilog
+  --ckpt-dir DIR    write rolling latest/best snapshots into DIR;
+                    Ctrl-C stops cleanly after the current step and
+                    rolls a final snapshot
+  --ckpt-every N    also roll `latest.ckpt` every N completed steps
+                    (default 25; 0 = only on shutdown/interrupt)
+  --keep-history    pin each periodic snapshot as `step-<n>.ckpt`
+  --resume [PATH]   continue from PATH, or from `latest.ckpt` in
+                    --ckpt-dir when no PATH is given; the resumed run
+                    replays the uninterrupted trajectory bit-for-bit
+  --telemetry PATH  stream per-episode/per-phase JSONL events to PATH
+                    (summarize later with `rlmul report PATH`)
+
+REPORT USAGE
+  rlmul report RUN.jsonl
 
 SYNTH OPTIONS
   --target NS       target delay in ns (default: minimum area)
@@ -164,7 +190,39 @@ fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
     Ok(())
 }
 
-fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
+/// Installs a SIGINT handler (once) that raises a shared stop flag,
+/// so `rlmul train` finishes its current step, rolls a final snapshot
+/// and exits cleanly instead of dying mid-write. The handler only
+/// performs an atomic store — async-signal-safe by construction. A
+/// second Ctrl-C falls back to the default disposition and kills the
+/// process immediately.
+fn install_sigint() -> Arc<AtomicBool> {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_sig: i32) {
+            if let Some(flag) = FLAG.get() {
+                // First Ctrl-C: request a cooperative stop.
+                if !flag.swap(true, Ordering::Relaxed) {
+                    return;
+                }
+            }
+            // Second Ctrl-C (or a miswired handler): die immediately.
+            std::process::exit(130);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+    flag
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> CliResult {
     let bits: usize = get(opts, "bits", 8);
     let kind = parse_kind(opts)?;
     let steps: usize = get(opts, "steps", 80);
@@ -177,23 +235,97 @@ fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
         other => return Err(format!("unknown pref `{other}`").into()),
     };
     let method = opts.get("method").map(String::as_str).unwrap_or("a2c");
-    eprintln!("optimizing {bits}-bit {kind} with {method} ({steps} env steps)…");
+    if !matches!(method, "dqn" | "a2c" | "sa") {
+        return Err(format!("unknown method `{method}` (dqn|a2c|sa)").into());
+    }
+
+    let mut hooks = TrainHooks::default();
+    let writer = match opts.get("telemetry") {
+        Some(path) if !path.is_empty() => {
+            let (writer, sink) = TelemetryWriter::create(path)?;
+            hooks.telemetry = sink;
+            Some((writer, path.clone()))
+        }
+        _ => None,
+    };
+    let store =
+        opts.get("ckpt-dir").filter(|p| !p.is_empty()).map(|dir| SnapshotStore::new(dir, method));
+    hooks.store = store.clone();
+    hooks.checkpoint_every = get(opts, "ckpt-every", 25);
+    hooks.keep_history = opts.contains_key("keep-history");
+    let stop = install_sigint();
+    hooks.stop = Some(stop.clone());
+
+    // `--resume` with a value reads that snapshot file; without one it
+    // falls back to `latest.ckpt` in the checkpoint directory.
+    let resume_from = match opts.get("resume") {
+        Some(path) if !path.is_empty() => Some(path.clone()),
+        Some(_) => Some(
+            store
+                .as_ref()
+                .ok_or("`--resume` without a path needs `--ckpt-dir`")?
+                .latest_path()
+                .display()
+                .to_string(),
+        ),
+        None => None,
+    };
+    match &resume_from {
+        Some(path) => eprintln!("resuming {bits}-bit {kind} {method} from {path}…"),
+        None => eprintln!("training {bits}-bit {kind} with {method} ({steps} env steps)…"),
+    }
+
     let outcome: OptimizationOutcome = match method {
-        "sa" => run_sa(&env_cfg, &SaConfig { steps, ..Default::default() }, seed)?,
+        "sa" => {
+            let sa_cfg = SaConfig { steps, ..Default::default() };
+            match &resume_from {
+                Some(path) => resume_sa(&env_cfg, &sa_cfg, read_snapshot(path, "sa")?, &hooks)?,
+                None => run_sa_with(&env_cfg, &sa_cfg, seed, EvalCache::new(), &hooks, None)?,
+            }
+        }
         "dqn" => {
-            let mut env = MulEnv::new(env_cfg)?;
-            train_dqn(
-                &mut env,
-                &DqnConfig { steps, warmup: (steps / 5).max(4), seed, ..Default::default() },
-            )?
+            let cfg = DqnConfig { steps, warmup: (steps / 5).max(4), seed, ..Default::default() };
+            match &resume_from {
+                Some(path) => {
+                    let snap = read_snapshot(path, "dqn")?;
+                    resume_dqn(&env_cfg, &cfg, snap, &hooks)?
+                }
+                None => {
+                    let mut env = MulEnv::new(env_cfg.clone())?;
+                    train_dqn_with(&mut env, &cfg, &hooks, None)?
+                }
+            }
         }
         "a2c" => {
             let cfg =
                 A2cConfig { steps: (steps / 4).max(2), n_envs: 4, seed, ..Default::default() };
-            train_a2c(&env_cfg, &cfg)?
+            match &resume_from {
+                Some(path) => {
+                    let snap = read_snapshot(path, "a2c")?;
+                    resume_a2c(&env_cfg, &cfg, snap, &hooks)?
+                }
+                None => train_a2c_with(&env_cfg, &cfg, EvalCache::new(), &hooks, None)?,
+            }
         }
-        other => return Err(format!("unknown method `{other}` (dqn|a2c|sa)").into()),
+        _ => unreachable!("method validated above"),
     };
+
+    if stop.load(Ordering::Relaxed) {
+        match &store {
+            Some(s) => eprintln!(
+                "interrupted — final snapshot rolled to {}; continue with `--resume`",
+                s.latest_path().display()
+            ),
+            None => eprintln!("interrupted (no --ckpt-dir, nothing saved)"),
+        }
+    }
+    if let Some((writer, path)) = writer {
+        hooks.telemetry.emit(Event::new("run_end").with("dropped", hooks.telemetry.dropped()));
+        drop(hooks);
+        writer.close()?;
+        eprintln!("telemetry written to {path}");
+    }
+
     let start = outcome.trajectory.first().copied().unwrap_or(f64::NAN);
     println!(
         "cost {start:.3} → {:.3} over {} distinct states ({} synthesis runs)",
@@ -215,6 +347,15 @@ fn cmd_optimize(opts: &HashMap<String, String>) -> CliResult {
         std::fs::write(path, to_verilog(&netlist))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+fn cmd_report(tokens: &[String]) -> CliResult {
+    let path =
+        tokens.iter().find(|t| !t.starts_with("--")).ok_or("usage: rlmul report RUN.jsonl")?;
+    let text = std::fs::read_to_string(path)?;
+    let summary = Summary::from_jsonl(&text);
+    print!("{}", summary.render());
     Ok(())
 }
 

@@ -23,9 +23,14 @@
 //! * [`pareto`] — Pareto fronts, hypervolume, trajectory statistics;
 //! * [`baselines`] — Wallace, Dadda, GOMIL (exact DP over the ILP) and
 //!   simulated annealing;
+//! * [`ckpt`] — versioned binary snapshot codec with CRC-checked
+//!   atomic writes and rolling latest/best checkpoint stores;
+//! * [`telemetry`] — non-blocking JSONL event stream (per-episode
+//!   rewards, phase timings, cache hit rates) plus run summaries;
 //! * [`core`] — the RL-MUL framework itself: environment,
 //!   Pareto-driven reward, DQN (native RL-MUL) and parallel A2C
-//!   (RL-MUL-E) agents.
+//!   (RL-MUL-E) agents, with crash-safe checkpoint/resume
+//!   (`core::TrainHooks`, `core::resume_dqn`, `core::resume_a2c`).
 //!
 //! Beyond the paper's evaluation, the workspace implements its named
 //! extensions: 4:2 compressor trees (`ct::QuadSchedule`,
@@ -51,6 +56,7 @@
 //! ```
 
 pub use rlmul_baselines as baselines;
+pub use rlmul_ckpt as ckpt;
 pub use rlmul_core as core;
 pub use rlmul_ct as ct;
 pub use rlmul_lec as lec;
@@ -59,3 +65,4 @@ pub use rlmul_pareto as pareto;
 pub use rlmul_rtl as rtl;
 pub use rlmul_sat as sat;
 pub use rlmul_synth as synth;
+pub use rlmul_telemetry as telemetry;
