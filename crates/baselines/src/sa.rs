@@ -133,6 +133,13 @@ impl SaRun {
         let delta = cand_cost - self.current_cost;
         let accept =
             delta <= 0.0 || rng.gen::<f64>() < (-delta / self.temp.max(self.config.min_temp)).exp();
+        let obs = rlmul_obs::global();
+        if obs.is_enabled() {
+            let help = "Simulated-annealing Metropolis proposals by outcome.";
+            let outcome = if accept { "accepted" } else { "rejected" };
+            obs.labeled_counter("rlmul_sa_proposals_total", help, &[("outcome", outcome)]).inc();
+            obs.gauge("rlmul_sa_temperature", "Current annealing temperature.").set(self.temp);
+        }
         if accept {
             self.current = candidate;
             self.current_cost = cand_cost;

@@ -162,6 +162,7 @@ pub fn optimize_instrumented(
     cache: &EvalCache,
     sink: &TelemetrySink,
 ) -> Result<CompressorTree, RlMulError> {
+    let _span = rlmul_obs::global().span("bench.optimize");
     let mut env_cfg = EnvConfig::new(spec.bits, spec.kind);
     env_cfg.weights = pref.weights();
     let hooks = TrainHooks::with_telemetry(sink.clone());
@@ -228,6 +229,7 @@ pub struct PpaPoint {
 ///
 /// Propagates synthesis errors.
 pub fn sweep_netlist(netlist: &Netlist, points: usize) -> Result<Vec<PpaPoint>, RlMulError> {
+    let _span = rlmul_obs::global().span("bench.sweep");
     let synth = Synthesizer::nangate45();
     let anchor = synth.run(netlist, &SynthesisOptions::default())?;
     let mut out =

@@ -10,7 +10,7 @@
 
 use crate::cache::{CacheKey, EvalCache};
 use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
-use crate::hooks::TrainHooks;
+use crate::hooks::{emit_span_events, TrainHooks};
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
@@ -480,6 +480,14 @@ pub fn train_a2c_with(
         }
     };
 
+    let obs = rlmul_obs::global();
+    let _train_span = obs.span("train.a2c");
+    let spans_before = obs.span_stats();
+    let agent_steps = obs.labeled_counter(
+        "rlmul_agent_steps_total",
+        "Optimization steps taken by each agent.",
+        &[("method", "a2c")],
+    );
     let mut best_saved = f64::INFINITY;
     let mut completed = start;
     let envs = std::thread::scope(|scope| -> Result<Vec<MulEnv>, RlMulError> {
@@ -488,6 +496,8 @@ pub fn train_a2c_with(
             if hooks.stop_requested() {
                 break;
             }
+            let _step_span = obs.span("a2c.step");
+            agent_steps.inc();
             // Policy forward over all workers at once; action
             // sampling stays on the main thread so the RNG stream —
             // and therefore the whole run — is independent of worker
@@ -590,6 +600,7 @@ pub fn train_a2c_with(
             .emit(Event::new("cache").with("hits", hits as u64).with("misses", misses as u64));
         let nn = NnStats::snapshot().since(nn_before);
         hooks.telemetry.emit(Event::new("nn").with("flops", nn.flops));
+        emit_span_events(&hooks.telemetry, &obs.span_stats_since(&spans_before));
     }
 
     // Pool results across workers. Work counters sum per-worker

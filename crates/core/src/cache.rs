@@ -105,6 +105,42 @@ struct CacheInner {
     hits: AtomicUsize,
     misses: AtomicUsize,
     coalesced: AtomicUsize,
+    obs: CacheObs,
+}
+
+/// Pre-registered handles into the global observability registry.
+/// The per-cache counters above stay the source for [`CacheStats`]
+/// (tests pin their exact per-instance values); these mirror the same
+/// increments into the process-wide scrape surface.
+#[derive(Debug, Default)]
+struct CacheObs {
+    hits: rlmul_obs::Counter,
+    misses: rlmul_obs::Counter,
+    coalesced: rlmul_obs::Counter,
+    entries: rlmul_obs::Gauge,
+}
+
+impl CacheObs {
+    fn new() -> Self {
+        let obs = rlmul_obs::global();
+        CacheObs {
+            hits: obs.labeled_counter(
+                "rlmul_cache_lookups_total",
+                "Evaluation-cache lookups by result.",
+                &[("result", "hit")],
+            ),
+            misses: obs.labeled_counter(
+                "rlmul_cache_lookups_total",
+                "Evaluation-cache lookups by result.",
+                &[("result", "miss")],
+            ),
+            coalesced: obs.counter(
+                "rlmul_cache_coalesced_total",
+                "Cache hits that waited on another worker's in-flight synthesis.",
+            ),
+            entries: obs.gauge("rlmul_cache_entries", "Finished evaluation-cache entries stored."),
+        }
+    }
 }
 
 /// Counter snapshot; see the field docs for meanings.
@@ -154,6 +190,7 @@ impl EvalCache {
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 coalesced: AtomicUsize::new(0),
+                obs: CacheObs::new(),
             }),
         }
     }
@@ -174,6 +211,7 @@ impl EvalCache {
                 match shard.get(key) {
                     Some(Slot::Ready(eval)) => {
                         self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                        self.inner.obs.hits.inc();
                         return Lookup::Hit(eval.clone());
                     }
                     Some(Slot::Pending(inflight)) => Some(inflight.clone()),
@@ -189,6 +227,8 @@ impl EvalCache {
                 if let InflightState::Ready(eval) = &*state {
                     self.inner.hits.fetch_add(1, Ordering::Relaxed);
                     self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.inner.obs.hits.inc();
+                    self.inner.obs.coalesced.inc();
                     return Lookup::Hit(eval.clone());
                 }
                 // Producer abandoned the key; race to become the new
@@ -205,6 +245,7 @@ impl EvalCache {
                     let inflight = Arc::new(Inflight::default());
                     vacant.insert(Slot::Pending(inflight.clone()));
                     self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                    self.inner.obs.misses.inc();
                     return Lookup::Miss(EvalTicket {
                         cache: self.clone(),
                         key: key.clone(),
@@ -286,6 +327,7 @@ impl EvalCache {
                 inserted += 1;
             }
         }
+        self.inner.obs.entries.add(inserted as f64);
         inserted
     }
 
@@ -320,6 +362,7 @@ impl EvalTicket {
             let mut shard = self.cache.shard(&self.key).write().expect("cache shard poisoned");
             shard.insert(self.key.clone(), Slot::Ready(eval.clone()));
         }
+        self.cache.inner.obs.entries.add(1.0);
         let mut state = self.inflight.state.lock().expect("inflight lock poisoned");
         *state = InflightState::Ready(eval);
         self.inflight.cv.notify_all();

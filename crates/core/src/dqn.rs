@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheKey, EvalCache};
 use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
-use crate::hooks::TrainHooks;
+use crate::hooks::{emit_span_events, TrainHooks};
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
@@ -252,12 +252,22 @@ pub fn train_dqn_with(
         });
     }
 
+    let obs = rlmul_obs::global();
+    let _train_span = obs.span("train.dqn");
+    let spans_before = obs.span_stats();
+    let agent_steps = obs.labeled_counter(
+        "rlmul_agent_steps_total",
+        "Optimization steps taken by each agent.",
+        &[("method", "dqn")],
+    );
     let mut best_saved = f64::INFINITY;
     let mut completed = start;
     for t in start..config.steps {
         if hooks.stop_requested() {
             break;
         }
+        let _step_span = obs.span("dqn.step");
+        agent_steps.inc();
         let mask = env.action_mask();
         let epsilon = if config.steps <= 1 {
             config.epsilon_end
@@ -349,6 +359,7 @@ pub fn train_dqn_with(
         );
         let nn = NnStats::snapshot().since(nn_before);
         hooks.telemetry.emit(Event::new("nn").with("flops", nn.flops));
+        emit_span_events(&hooks.telemetry, &obs.span_stats_since(&spans_before));
     }
 
     let (best, best_cost) = env.best();

@@ -462,11 +462,16 @@ impl MulEnv {
     /// Returns an error for out-of-range or masked-out actions and
     /// propagates synthesis failures.
     pub fn step(&mut self, action_index: usize) -> Result<StepOutcome, RlMulError> {
+        let obs = rlmul_obs::global();
+        let _span = obs.span("env.step");
         let ncols = self.current.matrix().num_columns();
         let action = Action::from_flat_index(action_index, ncols)?;
         let next = self.current.apply_action(action)?;
         let evaluation = self.evaluate(&next)?;
         let reward = self.current_cost - evaluation.cost;
+        obs.counter("rlmul_env_steps_total", "Environment steps taken across all envs.").inc();
+        obs.histogram("rlmul_env_step_reward_magnitude", "Absolute step reward (cost delta).")
+            .observe(reward.abs());
         self.current = next;
         self.current_cost = evaluation.cost;
         self.steps_taken += 1;
@@ -538,16 +543,24 @@ impl MulEnv {
             }
             Lookup::Miss(ticket) => {
                 counters.cache_misses += 1;
+                let obs = rlmul_obs::global();
+                let _eval_span = obs.span("env.evaluate");
                 // On error the ticket drops un-completed, releasing
                 // any coalesced waiters to retry for themselves.
                 let t0 = Instant::now();
-                let netlist = MultiplierNetlist::elaborate(tree)?.into_netlist();
+                let netlist = {
+                    let _s = obs.span("elaborate");
+                    MultiplierNetlist::elaborate(tree)?.into_netlist()
+                };
                 let t1 = Instant::now();
                 // Structural lint gate before every synthesis call:
                 // counters always, hard stop on errors in debug builds
                 // (elaboration is validated, so an error here means an
                 // IR invariant was broken upstream).
-                let lint_report = rlmul_rtl::lint(&netlist);
+                let lint_report = {
+                    let _s = obs.span("lint");
+                    rlmul_rtl::lint(&netlist)
+                };
                 counters.lint.record(&lint_report);
                 debug_assert_eq!(
                     lint_report.errors(),
@@ -556,11 +569,24 @@ impl MulEnv {
                     lint_report.render()
                 );
                 let t2 = Instant::now();
-                let reports = synthesizer.run_many(&netlist, options)?;
+                let reports = {
+                    let _s = obs.span("synth");
+                    synthesizer.run_many(&netlist, options)?
+                };
                 let t3 = Instant::now();
                 counters.synth_runs += reports.len();
                 for r in &reports {
                     counters.sta.merge(r.sta);
+                }
+                for (phase, from, to) in
+                    [("elaborate", t0, t1), ("lint", t1, t2), ("synth", t2, t3)]
+                {
+                    obs.labeled_histogram(
+                        "rlmul_env_phase_seconds",
+                        "Wall time per evaluation-pipeline phase.",
+                        &[("phase", phase)],
+                    )
+                    .observe((to - from).as_secs_f64());
                 }
                 if sink.is_enabled() {
                     let phase = |name: &str, from: Instant, to: Instant| {

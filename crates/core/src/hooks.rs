@@ -7,7 +7,7 @@
 //! that don't care pay a branch per step and nothing else.
 
 use rlmul_ckpt::SnapshotStore;
-use rlmul_telemetry::TelemetrySink;
+use rlmul_telemetry::{Event, TelemetrySink};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -52,6 +52,25 @@ impl TrainHooks {
             && self.checkpoint_every > 0
             && steps_done.is_multiple_of(self.checkpoint_every)
             && steps_done < total_steps
+    }
+}
+
+/// Emits one `span` telemetry event per accumulated span path (a
+/// [`rlmul_obs::Registry::span_stats_since`] delta), so `rlmul report
+/// --phase` can rebuild the run's time breakdown offline from the
+/// JSONL log alone.
+pub fn emit_span_events(sink: &TelemetrySink, spans: &[rlmul_obs::SpanStat]) {
+    if !sink.is_enabled() {
+        return;
+    }
+    for s in spans {
+        sink.emit(
+            Event::new("span")
+                .with("path", s.path.clone())
+                .with("calls", s.calls)
+                .with("incl_secs", s.incl_ns as f64 / 1e9)
+                .with("excl_secs", s.excl_ns as f64 / 1e9),
+        );
     }
 }
 

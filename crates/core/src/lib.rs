@@ -61,7 +61,7 @@ pub use env::{
     StepOutcome,
 };
 pub use error::RlMulError;
-pub use hooks::TrainHooks;
+pub use hooks::{emit_span_events, TrainHooks};
 pub use outcome::{LintStats, NnStats, OptimizationOutcome, PipelineStats};
 pub use reward::CostWeights;
 pub use sa_driver::{resume_sa, run_sa, run_sa_cached, run_sa_with, SaSnapshot};

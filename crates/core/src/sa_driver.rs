@@ -4,7 +4,7 @@
 
 use crate::cache::{CacheKey, EvalCache};
 use crate::env::{EnvConfig, EnvSnapshot, Evaluation, MulEnv};
-use crate::hooks::TrainHooks;
+use crate::hooks::{emit_span_events, TrainHooks};
 use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
@@ -126,12 +126,22 @@ pub fn run_sa_with(
         }
     };
 
+    let obs = rlmul_obs::global();
+    let _train_span = obs.span("train.sa");
+    let spans_before = obs.span_stats();
+    let agent_steps = obs.labeled_counter(
+        "rlmul_agent_steps_total",
+        "Optimization steps taken by each agent.",
+        &[("method", "sa")],
+    );
     let mut eval_error: Option<RlMulError> = None;
     let mut best_saved = f64::INFINITY;
     while !run.is_done() {
         if hooks.stop_requested() {
             break;
         }
+        let _step_span = obs.span("sa.step");
+        agent_steps.inc();
         {
             let env_ref = &mut env;
             let err_ref = &mut eval_error;
@@ -176,6 +186,7 @@ pub fn run_sa_with(
                 .with("hits", stats.cache_hits as u64)
                 .with("misses", stats.cache_misses as u64),
         );
+        emit_span_events(&hooks.telemetry, &obs.span_stats_since(&spans_before));
     }
     let outcome = run.into_outcome();
     Ok(OptimizationOutcome {

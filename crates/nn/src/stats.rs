@@ -19,6 +19,33 @@ thread_local! {
     static LIN_BWD: Cell<u64> = const { Cell::new(0) };
     static FLOPS: Cell<u64> = const { Cell::new(0) };
     static NANOS: Cell<u64> = const { Cell::new(0) };
+    // Pre-registered per-thread mirrors into the global observability
+    // registry, so the per-layer record path never touches the
+    // registration mutex.
+    static OBS: ObsHandles = ObsHandles::new();
+}
+
+struct ObsHandles {
+    calls: [rlmul_obs::Counter; 4],
+    flops: rlmul_obs::Counter,
+    seconds: rlmul_obs::Histo,
+}
+
+impl ObsHandles {
+    fn new() -> Self {
+        let obs = rlmul_obs::global();
+        let help = "Dense-kernel layer calls by op.";
+        ObsHandles {
+            calls: [
+                obs.labeled_counter("rlmul_nn_layer_calls_total", help, &[("op", "conv_fwd")]),
+                obs.labeled_counter("rlmul_nn_layer_calls_total", help, &[("op", "conv_bwd")]),
+                obs.labeled_counter("rlmul_nn_layer_calls_total", help, &[("op", "linear_fwd")]),
+                obs.labeled_counter("rlmul_nn_layer_calls_total", help, &[("op", "linear_bwd")]),
+            ],
+            flops: obs.counter("rlmul_nn_flops_total", "Multiply-add work, 2 FLOP each."),
+            seconds: obs.histogram("rlmul_nn_layer_seconds", "Wall time per dense layer call."),
+        }
+    }
 }
 
 /// Which hot-path operation a layer is recording.
@@ -41,6 +68,11 @@ pub(crate) fn record(op: Op, flops: u64, elapsed: Duration) {
     counter.with(|c| c.set(c.get() + 1));
     FLOPS.with(|c| c.set(c.get() + flops));
     NANOS.with(|c| c.set(c.get() + elapsed.as_nanos() as u64));
+    OBS.with(|h| {
+        h.calls[op as usize].inc();
+        h.flops.add(flops);
+        h.seconds.observe_duration(elapsed);
+    });
 }
 
 /// Cumulative dense-kernel work counters for the current thread.

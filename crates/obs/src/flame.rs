@@ -1,0 +1,98 @@
+//! Self-profiler export: span trees as collapsed-stack lines and as
+//! a human-readable tree.
+//!
+//! The collapsed format is one line per span path —
+//! `root;child;leaf <value>` — which is exactly what
+//! `inferno-flamegraph` / `flamegraph.pl` consume. The value is the
+//! span's **exclusive** time in microseconds, so stacking the lines
+//! reconstructs inclusive times without double counting.
+
+use crate::registry::{Registry, SpanStat};
+use std::fmt::Write as _;
+
+/// Renders every span path as a collapsed-stack line (exclusive
+/// microseconds). Lines sort by path; zero-valued paths are kept so
+/// the tree structure survives even for fast spans.
+pub fn collapsed_stacks(registry: &Registry) -> String {
+    collapsed_from(&registry.span_stats())
+}
+
+/// [`collapsed_stacks`] over an explicit stat slice (e.g. a
+/// [`Registry::span_stats_since`] delta).
+pub fn collapsed_from(stats: &[SpanStat]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        let _ = writeln!(out, "{} {}", s.path, s.excl_ns / 1_000);
+    }
+    out
+}
+
+/// Renders the span tree with per-path call counts and
+/// inclusive/exclusive times, indented by depth — the stdout summary
+/// of `rlmul profile`.
+pub fn render_span_tree(stats: &[SpanStat]) -> String {
+    if stats.is_empty() {
+        return "no spans recorded\n".to_owned();
+    }
+    let mut stats: Vec<&SpanStat> = stats.iter().collect();
+    stats.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<44} {:>8} {:>12} {:>12}", "span", "calls", "incl ms", "excl ms");
+    for s in &stats {
+        let depth = s.path.matches(';').count();
+        let name = s.path.rsplit(';').next().unwrap_or(&s.path);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{label:<44} {:>8} {:>12.3} {:>12.3}",
+            s.calls,
+            s.incl_ns as f64 / 1e6,
+            s.excl_ns as f64 / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Vec<SpanStat> {
+        vec![
+            SpanStat { path: "train".into(), calls: 1, incl_ns: 10_000_000, excl_ns: 2_000_000 },
+            SpanStat {
+                path: "train;step".into(),
+                calls: 4,
+                incl_ns: 8_000_000,
+                excl_ns: 8_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn collapsed_lines_reconstruct_the_tree() {
+        let text = collapsed_from(&stats());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, ["train 2000", "train;step 8000"]);
+        // A collapsed consumer recovers inclusive(train) by summing
+        // every line whose stack starts with "train".
+        let incl: u64 = lines
+            .iter()
+            .filter(|l| l.starts_with("train"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(incl, 10_000);
+    }
+
+    #[test]
+    fn tree_rendering_indents_children() {
+        let text = render_span_tree(&stats());
+        assert!(text.contains("\ntrain "));
+        assert!(text.contains("\n  step"));
+    }
+
+    #[test]
+    fn empty_stats_render_placeholder() {
+        assert_eq!(render_span_tree(&[]), "no spans recorded\n");
+    }
+}

@@ -1,0 +1,173 @@
+//! A tiny from-scratch HTTP/1.1 server exposing one registry to
+//! Prometheus scrapers.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — the registry in text exposition format;
+//! * `GET /` — a one-line index pointing at `/metrics`;
+//! * anything else — 404.
+//!
+//! The accept loop is intentionally serial: the only expected client
+//! is a scraper polling every few seconds, and rendering takes
+//! microseconds. Each connection is answered and closed
+//! (`Connection: close`), so no keep-alive state machine is needed.
+
+use crate::prom::render_prometheus;
+use crate::registry::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics endpoint; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0 requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the (blocking) accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
+/// serves `registry` from a background thread.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_metrics(registry: &Registry, addr: &str) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = stop.clone();
+    let thread_registry = registry.clone();
+    let handle = std::thread::Builder::new()
+        .name("rlmul-metrics".into())
+        .spawn(move || accept_loop(&listener, &thread_registry, &thread_stop))?;
+    Ok(MetricsServer { local, stop, handle: Some(handle) })
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Registry, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // Answer errors are the client's problem; keep serving.
+        let _ = handle_connection(stream, registry);
+    }
+}
+
+/// Reads the request head (bounded) and writes one response.
+fn handle_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 16 * 1024 {
+            break;
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(registry))
+        }
+        ("GET", "/") => {
+            ("200 OK", "text/plain; charset=utf-8", "rlmul metrics endpoint: GET /metrics\n".into())
+        }
+        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".into()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        let r = Registry::new();
+        r.counter("smoke_total", "smoke test counter").add(3);
+        let server = serve_metrics(&r, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Type: text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("smoke_total 3"), "{ok}");
+        // Content-Length matches the body (split at the blank line).
+        let (head, body) = ok.split_once("\r\n\r\n").unwrap();
+        let len: usize =
+            head.lines().find_map(|l| l.strip_prefix("Content-Length: ")).unwrap().parse().unwrap();
+        assert_eq!(len, body.len());
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let index = get(addr, "/");
+        assert!(index.contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_updates_are_visible_across_scrapes() {
+        let r = Registry::new();
+        let c = r.counter("live_total", "h");
+        let server = serve_metrics(&r, "127.0.0.1:0").unwrap();
+        c.inc();
+        assert!(get(server.local_addr(), "/metrics").contains("live_total 1"));
+        c.add(9);
+        assert!(get(server.local_addr(), "/metrics").contains("live_total 10"));
+    }
+}

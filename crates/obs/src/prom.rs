@@ -1,0 +1,169 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! The output is deterministic for a given registry state: families
+//! sort by metric name, children by their (already key-sorted) label
+//! pairs, and histogram buckets by increasing `le`. Only non-empty
+//! buckets are rendered (the bucket series stays cumulative and
+//! parseable; empty log-linear buckets would otherwise dominate the
+//! payload ~500:1).
+
+use crate::registry::{Cell, Registry};
+use std::fmt::Write as _;
+
+/// Escapes a `# HELP` text: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a float the way Prometheus expects (`+Inf` for the
+/// unbounded bucket).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `{a="x",b="y"}` (empty string for no labels), with an
+/// optional extra pair appended last (used for `le`).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the whole registry in Prometheus text exposition format.
+/// A disabled registry renders as the empty string.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let Some(inner) = registry.inner() else { return String::new() };
+    let families = inner.families.lock().expect("metric registry poisoned");
+    let mut out = String::new();
+    for (name, family) in families.iter() {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+        for (labels, cell) in &family.children {
+            match cell {
+                Cell::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), c.get());
+                }
+                Cell::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(labels, None),
+                        fmt_value(g.get())
+                    );
+                }
+                Cell::Histo(h) => {
+                    let buckets = h.cumulative_buckets();
+                    let count = h.count();
+                    for (le, cum) in &buckets {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            render_labels(labels, Some(("le", &fmt_value(*le))))
+                        );
+                    }
+                    // The +Inf bucket always exists and equals count.
+                    if buckets.last().is_none_or(|(le, _)| le.is_finite()) {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {count}",
+                            render_labels(labels, Some(("le", "+Inf")))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        render_labels(labels, None),
+                        fmt_value(h.sum())
+                    );
+                    let _ = writeln!(out, "{name}_count{} {count}", render_labels(labels, None));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("q\"v\\w\nx"), "q\\\"v\\\\w\\nx");
+    }
+
+    #[test]
+    fn counter_and_gauge_render_with_sorted_labels() {
+        let r = Registry::new();
+        r.labeled_counter("zzz_total", "last family", &[]).add(7);
+        let c = r.labeled_counter("aaa_total", "first family", &[("z", "1"), ("a", "2")]);
+        c.add(3);
+        r.gauge("mid_gauge", "a gauge").set(1.5);
+        let text = render_prometheus(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        // Families in name order; label keys sorted within a child.
+        assert_eq!(lines[0], "# HELP aaa_total first family");
+        assert_eq!(lines[1], "# TYPE aaa_total counter");
+        assert_eq!(lines[2], "aaa_total{a=\"2\",z=\"1\"} 3");
+        assert!(text.contains("mid_gauge 1.5"));
+        assert!(text.contains("zzz_total 7"));
+        assert!(text.find("mid_gauge").unwrap() < text.find("zzz_total").unwrap());
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_count() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.observe(0.001);
+        h.observe(0.001);
+        h.observe(0.5);
+        let text = render_prometheus(&r);
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_count 3"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        // Bucket lines are cumulative and in increasing le order.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]), "{bucket_counts:?}");
+        assert_eq!(*bucket_counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_bucket() {
+        let r = Registry::new();
+        let _ = r.histogram("empty_seconds", "h");
+        let text = render_prometheus(&r);
+        assert!(text.contains("empty_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_seconds_count 0"));
+    }
+
+    #[test]
+    fn disabled_registry_renders_empty() {
+        assert_eq!(render_prometheus(&Registry::disabled()), "");
+    }
+}

@@ -1,0 +1,676 @@
+//! The sharded metrics registry: counters, gauges and log-linear
+//! histograms behind cheap cloneable handles.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero disabled cost.** Every handle operation starts with
+//!    one branch (`Option` on a fully disabled registry, one relaxed
+//!    `AtomicBool` load on a gated one). Instrumentation left in hot
+//!    paths costs nothing measurable while nobody is scraping.
+//! 2. **Lock-free hot path.** Registration (cold) takes a mutex;
+//!    recording touches only relaxed atomics. Counters and histogram
+//!    count/sum cells are *striped* over cache-line-padded slots so
+//!    concurrent writers on different threads do not bounce one cache
+//!    line between cores.
+//! 3. **Deterministic exposition.** Families render sorted by name
+//!    and children sorted by their label set, so the Prometheus text
+//!    output of a given registry state is byte-stable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Stripes per striped cell. A small power of two: enough that a
+/// handful of worker threads rarely collide, small enough that
+/// reading a counter (sum of stripes) stays trivial.
+const STRIPES: usize = 8;
+
+/// One cache-line-padded atomic slot of a striped cell.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+/// Returns this thread's stripe index, assigned round-robin on first
+/// use so threads spread over stripes regardless of their IDs.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    INDEX.with(|i| *i)
+}
+
+/// What a metric family measures; drives the Prometheus `# TYPE`
+/// line and which sample series the family renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Arbitrary instantaneous value.
+    Gauge,
+    /// Log-linear distribution of observed values.
+    Histogram,
+}
+
+impl MetricKind {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    stripes: [Stripe; STRIPES],
+}
+
+impl CounterCell {
+    fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    /// `f64` bit pattern; 0 encodes 0.0.
+    bits: AtomicU64,
+}
+
+impl GaugeCell {
+    fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-linear bucket layout shared by every histogram: values from
+/// 2⁻³⁰ (≈ 1 ns expressed in seconds) to 2³⁴ (≈ 1.7 × 10¹⁰ — covers
+/// FLOP counts and clause sizes too), with [`SUB_BUCKETS`] linear
+/// sub-buckets per octave. Bucket 0 is the underflow bucket
+/// (`v ≤ 2⁻³⁰`, including non-positive and NaN values); the last
+/// bucket is the overflow bucket.
+const MIN_LOG2: i32 = -30;
+const MAX_LOG2: i32 = 34;
+/// Linear sub-buckets per power of two — a ≤ 9% relative quantile
+/// error, plenty for latency percentiles.
+const SUB_BUCKETS: usize = 4;
+/// Total bucket count: underflow + sub-bucketed octaves + overflow.
+pub(crate) const NUM_BUCKETS: usize = (MAX_LOG2 - MIN_LOG2) as usize * SUB_BUCKETS + 2;
+
+/// Index of the bucket recording `v`.
+fn bucket_index(v: f64) -> usize {
+    // NaN and non-positive values land in the underflow bucket.
+    if v.is_nan() || v <= 0.0 || v.log2() <= MIN_LOG2 as f64 {
+        return 0;
+    }
+    let pos = (v.log2() - MIN_LOG2 as f64) * SUB_BUCKETS as f64;
+    // `pos` is positive here; ceil so the bucket's upper bound is
+    // ≥ v (cumulative `le` semantics).
+    (pos.ceil() as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Upper bound (`le` label) of bucket `i`; `f64::INFINITY` for the
+/// overflow bucket.
+fn bucket_upper(i: usize) -> f64 {
+    if i >= NUM_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    2f64.powf(MIN_LOG2 as f64 + i as f64 / SUB_BUCKETS as f64)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistoCell {
+    buckets: Vec<AtomicU64>,
+    counts: [Stripe; STRIPES],
+    /// Striped sums of observed values, `f64` bit patterns updated by
+    /// CAS within one stripe (contention is per-stripe, not global).
+    sums: [Stripe; STRIPES],
+}
+
+impl Default for HistoCell {
+    fn default() -> Self {
+        HistoCell {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            counts: Default::default(),
+            sums: Default::default(),
+        }
+    }
+}
+
+impl HistoCell {
+    fn observe(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let s = stripe_index();
+        self.counts[s].0.fetch_add(1, Ordering::Relaxed);
+        let sum = &self.sums[s].0;
+        let mut cur = sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + if v.is_finite() { v } else { 0.0 }).to_bits();
+            match sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.counts.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    pub(crate) fn sum(&self) -> f64 {
+        self.sums.iter().map(|s| f64::from_bits(s.0.load(Ordering::Relaxed))).sum()
+    }
+
+    /// `(upper_bound, cumulative_count)` for every non-empty bucket,
+    /// in increasing `le` order (the Prometheus bucket series).
+    pub(crate) fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
+    /// Estimated quantile `p ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `⌈p·count⌉`-th observation. Monotone in `p` by
+    /// construction. Returns 0.0 for an empty histogram.
+    pub(crate) fn quantile(&self, p: f64) -> f64 {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let hi = bucket_upper(i);
+                return if hi.is_finite() { hi } else { bucket_upper(NUM_BUCKETS - 2) };
+            }
+        }
+        bucket_upper(NUM_BUCKETS - 2)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum Cell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histo(Arc<HistoCell>),
+}
+
+/// One registered metric family: help text, kind, and children keyed
+/// by their rendered (sorted) label pairs.
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    pub(crate) children: BTreeMap<Vec<(String, String)>, Cell>,
+}
+
+/// Accumulated timing of one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// `;`-joined span names from the root to this span.
+    pub path: String,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Total wall time between enter and exit, nanoseconds.
+    pub incl_ns: u64,
+    /// Inclusive time minus time attributed to child spans,
+    /// nanoseconds.
+    pub excl_ns: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct RegistryInner {
+    pub(crate) enabled: AtomicBool,
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+    pub(crate) spans: Mutex<BTreeMap<String, (u64, u64, u64)>>,
+}
+
+/// Cheaply cloneable handle to a metrics registry (all clones share
+/// one store, like [`crate::Registry`]-typed handles elsewhere in the
+/// workspace share their sinks).
+///
+/// Three states:
+///
+/// * [`Registry::new`] — enabled: handles record immediately;
+/// * [`Registry::gated`] — present but recording is off until
+///   [`Registry::enable`]; every handle operation is one relaxed
+///   atomic load and a branch while off (the process-wide
+///   [`crate::global`] registry starts this way);
+/// * [`Registry::disabled`] — no store at all; handles are inert and
+///   every operation is a single `Option` branch.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        let r = Registry::gated();
+        r.enable();
+        r
+    }
+
+    /// A registry whose recording is off until [`Registry::enable`].
+    pub fn gated() -> Self {
+        Registry { inner: Some(Arc::new(RegistryInner::default())) }
+    }
+
+    /// A registry that never records; all handles it returns are
+    /// inert.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Turns recording off (existing values are kept and still
+    /// rendered).
+    pub fn disable(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.enabled.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn inner(&self) -> Option<&Arc<RegistryInner>> {
+        self.inner.as_ref()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+    ) -> Option<Cell> {
+        let inner = self.inner.as_ref()?;
+        let name = sanitize_name(name);
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (sanitize_name(k), (*v).to_owned())).collect();
+        labels.sort();
+        let mut families = inner.families.lock().expect("metric registry poisoned");
+        let family = families.entry(name).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            // A name registered under two kinds is a programming
+            // error; the second caller gets an inert handle rather
+            // than corrupting the family (and exposition stays
+            // parseable).
+            debug_assert!(false, "metric registered with two kinds");
+            return None;
+        }
+        let cell = family.children.entry(labels).or_insert_with(|| match kind {
+            MetricKind::Counter => Cell::Counter(Arc::new(CounterCell::default())),
+            MetricKind::Gauge => Cell::Gauge(Arc::new(GaugeCell::default())),
+            MetricKind::Histogram => Cell::Histo(Arc::new(HistoCell::default())),
+        });
+        Some(match cell {
+            Cell::Counter(c) => Cell::Counter(c.clone()),
+            Cell::Gauge(g) => Cell::Gauge(g.clone()),
+            Cell::Histo(h) => Cell::Histo(h.clone()),
+        })
+    }
+
+    /// Registers (or re-fetches) the label-free counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.labeled_counter(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a counter child with the given label
+    /// pairs. Re-registering the same name + labels returns a handle
+    /// to the same underlying cell.
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, MetricKind::Counter) {
+            Some(Cell::Counter(cell)) => {
+                Counter { inner: self.inner.as_ref().map(|i| (i.clone(), cell)) }
+            }
+            _ => Counter { inner: None },
+        }
+    }
+
+    /// Registers (or re-fetches) the label-free gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.labeled_gauge(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a gauge child with the given label
+    /// pairs.
+    pub fn labeled_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge) {
+            Some(Cell::Gauge(cell)) => {
+                Gauge { inner: self.inner.as_ref().map(|i| (i.clone(), cell)) }
+            }
+            _ => Gauge { inner: None },
+        }
+    }
+
+    /// Registers (or re-fetches) the label-free histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Histo {
+        self.labeled_histogram(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a histogram child with the given
+    /// label pairs.
+    pub fn labeled_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histo {
+        match self.register(name, help, labels, MetricKind::Histogram) {
+            Some(Cell::Histo(cell)) => {
+                Histo { inner: self.inner.as_ref().map(|i| (i.clone(), cell)) }
+            }
+            _ => Histo { inner: None },
+        }
+    }
+
+    /// Accumulated per-path span timings, sorted by path.
+    pub fn span_stats(&self) -> Vec<SpanStat> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        let spans = inner.spans.lock().expect("span table poisoned");
+        spans
+            .iter()
+            .map(|(path, &(calls, incl, excl))| SpanStat {
+                path: path.clone(),
+                calls,
+                incl_ns: incl,
+                excl_ns: excl,
+            })
+            .collect()
+    }
+
+    /// Span timings accumulated since `earlier` (an earlier
+    /// [`Registry::span_stats`] of the same registry): per-path
+    /// deltas, paths with no new calls omitted.
+    pub fn span_stats_since(&self, earlier: &[SpanStat]) -> Vec<SpanStat> {
+        let base: BTreeMap<&str, &SpanStat> =
+            earlier.iter().map(|s| (s.path.as_str(), s)).collect();
+        self.span_stats()
+            .into_iter()
+            .filter_map(|s| {
+                let (calls0, incl0, excl0) = base
+                    .get(s.path.as_str())
+                    .map_or((0, 0, 0), |b| (b.calls, b.incl_ns, b.excl_ns));
+                let d = SpanStat {
+                    path: s.path,
+                    calls: s.calls.saturating_sub(calls0),
+                    incl_ns: s.incl_ns.saturating_sub(incl0),
+                    excl_ns: s.excl_ns.saturating_sub(excl0),
+                };
+                (d.calls > 0).then_some(d)
+            })
+            .collect()
+    }
+}
+
+/// Monotone counter handle; see [`Registry::counter`].
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Option<(Arc<RegistryInner>, Arc<CounterCell>)>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let Some((reg, cell)) = &self.inner else { return };
+        if reg.enabled.load(Ordering::Relaxed) {
+            cell.add(n);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over stripes).
+    pub fn get(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |(_, c)| c.get())
+    }
+}
+
+/// Instantaneous-value gauge handle; see [`Registry::gauge`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Option<(Arc<RegistryInner>, Arc<GaugeCell>)>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        let Some((reg, cell)) = &self.inner else { return };
+        if reg.enabled.load(Ordering::Relaxed) {
+            cell.set(v);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let Some((reg, cell)) = &self.inner else { return };
+        if reg.enabled.load(Ordering::Relaxed) {
+            cell.add(delta);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.inner.as_ref().map_or(0.0, |(_, c)| c.get())
+    }
+}
+
+/// Log-linear histogram handle; see [`Registry::histogram`].
+#[derive(Debug, Clone, Default)]
+pub struct Histo {
+    inner: Option<(Arc<RegistryInner>, Arc<HistoCell>)>,
+}
+
+impl Histo {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let Some((reg, cell)) = &self.inner else { return };
+        if reg.enabled.load(Ordering::Relaxed) {
+            cell.observe(v);
+        }
+    }
+
+    /// Records a duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |(_, c)| c.count())
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.inner.as_ref().map_or(0.0, |(_, c)| c.sum())
+    }
+
+    /// Estimated quantile (upper bucket bound); monotone in `p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.inner.as_ref().map_or(0.0, |(_, c)| c.quantile(p))
+    }
+}
+
+/// Process-wide default registry, created *gated*: instrumented
+/// library code records into it for free (one load + branch per
+/// operation) until an entry point — `rlmul train --metrics-addr`,
+/// `rlmul profile`, a test — calls `global().enable()`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::gated)
+}
+
+/// Replaces characters outside `[a-zA-Z0-9_:]` with `_` and prefixes
+/// a digit-leading name with `_`, yielding a valid Prometheus metric
+/// or label name.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || c.is_ascii_digit() { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_round_trips() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same cell.
+        assert_eq!(r.counter("x_total", "a counter").get(), 5);
+    }
+
+    #[test]
+    fn disabled_and_gated_registries_do_not_record() {
+        let d = Registry::disabled();
+        let c = d.counter("x_total", "h");
+        c.inc();
+        assert_eq!(c.get(), 0);
+
+        let g = Registry::gated();
+        let c = g.counter("x_total", "h");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        g.enable();
+        c.inc();
+        assert_eq!(c.get(), 1);
+        g.disable();
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Registry::new();
+        let g = r.gauge("g", "h");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracket_samples() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "h");
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0); // 1 ms .. 1 s
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500.5).abs() < 1e-9);
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Log-linear buckets with 4 sub-buckets/octave: ≤ ~19% high.
+        assert!((0.5..0.65).contains(&p50), "{p50}");
+        assert!((0.95..1.25).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn histogram_underflow_and_overflow_are_captured() {
+        let r = Registry::new();
+        let h = r.histogram("wide", "h");
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        h.observe(1e300);
+        assert_eq!(h.count(), 4);
+        let buckets = h.cumulative(); // helper below
+        assert_eq!(buckets.last().unwrap().1, 4);
+    }
+
+    impl Histo {
+        fn cumulative(&self) -> Vec<(f64, u64)> {
+            self.inner.as_ref().map_or_else(Vec::new, |(_, c)| c.cumulative_buckets())
+        }
+    }
+
+    #[test]
+    fn kind_conflicts_yield_inert_handles_in_release() {
+        // In debug builds this would debug_assert; here we only check
+        // the contract shape by registering matching kinds twice.
+        let r = Registry::new();
+        let a = r.counter("same", "h");
+        let b = r.counter("same", "h");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_name("bad-name.x"), "bad_name_x");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn labeled_children_are_distinct() {
+        let r = Registry::new();
+        let a = r.labeled_counter("m_total", "h", &[("kind", "and")]);
+        let b = r.labeled_counter("m_total", "h", &[("kind", "mbe")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Golden-file test for the Prometheus text exposition: family
+//! ordering, label-key ordering, HELP/TYPE lines, escaping, and the
+//! histogram bucket/sum/count series are all byte-pinned.
+
+use rlmul_obs::{render_prometheus, Registry};
+
+/// Builds a registry exercising every exposition feature:
+/// multi-child families, unsorted label input, characters that need
+/// escaping in help text and label values, and a histogram with a
+/// known bucket layout.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.labeled_counter(
+        "rlmul_cache_lookups_total",
+        "Cache lookups by result.",
+        &[("result", "hit")],
+    )
+    .add(30);
+    r.labeled_counter(
+        "rlmul_cache_lookups_total",
+        "Cache lookups by result.",
+        &[("result", "miss")],
+    )
+    .add(10);
+    // Labels given out of key order; the renderer must sort them.
+    r.labeled_gauge(
+        "rlmul_build_info",
+        "Build metadata with \"quotes\", back\\slashes\nand newlines.",
+        &[("version", "0.1.0"), ("profile", "re\"lease\\x\ny")],
+    )
+    .set(1.0);
+    let h = r.histogram("rlmul_synth_run_seconds", "Synthesis wall time.");
+    // 0.5 and 2.0 are exact powers of two: each lands in the bucket
+    // whose upper bound is itself, keeping the golden le values tidy.
+    h.observe(0.5);
+    h.observe(0.5);
+    h.observe(2.0);
+    r.counter("zz_last_total", "Sorts last.").add(1);
+    r
+}
+
+const GOLDEN: &str = "\
+# HELP rlmul_build_info Build metadata with \"quotes\", back\\\\slashes\\nand newlines.
+# TYPE rlmul_build_info gauge
+rlmul_build_info{profile=\"re\\\"lease\\\\x\\ny\",version=\"0.1.0\"} 1
+# HELP rlmul_cache_lookups_total Cache lookups by result.
+# TYPE rlmul_cache_lookups_total counter
+rlmul_cache_lookups_total{result=\"hit\"} 30
+rlmul_cache_lookups_total{result=\"miss\"} 10
+# HELP rlmul_synth_run_seconds Synthesis wall time.
+# TYPE rlmul_synth_run_seconds histogram
+rlmul_synth_run_seconds_bucket{le=\"0.5\"} 2
+rlmul_synth_run_seconds_bucket{le=\"2\"} 3
+rlmul_synth_run_seconds_bucket{le=\"+Inf\"} 3
+rlmul_synth_run_seconds_sum 3
+rlmul_synth_run_seconds_count 3
+# HELP zz_last_total Sorts last.
+# TYPE zz_last_total counter
+zz_last_total 1
+";
+
+#[test]
+fn exposition_matches_golden() {
+    let text = render_prometheus(&golden_registry());
+    assert_eq!(text, GOLDEN, "---- got ----\n{text}\n---- want ----\n{GOLDEN}");
+}
+
+#[test]
+fn exposition_is_stable_across_renders() {
+    let r = golden_registry();
+    assert_eq!(render_prometheus(&r), render_prometheus(&r));
+}

@@ -1,0 +1,98 @@
+//! Multi-thread stress tests for the registry: concurrent updates
+//! must lose nothing (exact counter totals), and histogram quantiles
+//! must stay monotone under concurrent observation.
+
+use rlmul_obs::Registry;
+
+#[test]
+fn concurrent_counter_updates_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 200_000;
+    let registry = Registry::new();
+    let counter = registry.counter("stress_total", "concurrently bumped");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    let text = rlmul_obs::render_prometheus(&registry);
+    assert!(text.contains(&format!("stress_total {}", THREADS as u64 * PER_THREAD)), "{text}");
+}
+
+#[test]
+fn concurrent_mixed_updates_keep_every_family_consistent() {
+    const THREADS: usize = 6;
+    const PER_THREAD: u64 = 50_000;
+    let registry = Registry::new();
+    let counter = registry.counter("mixed_total", "counter under contention");
+    let gauge = registry.gauge("mixed_gauge", "gauge under contention");
+    let histo = registry.histogram("mixed_seconds", "histogram under contention");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (counter, gauge, histo) = (counter.clone(), gauge.clone(), histo.clone());
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.add(2);
+                    gauge.add(1.0);
+                    // Spread observations over ~6 octaves, thread-dependent.
+                    histo.observe(1e-3 * ((t as u64 * PER_THREAD + i) % 64 + 1) as f64);
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), 2 * n);
+    assert!((gauge.get() - n as f64).abs() < 1e-6, "gauge CAS adds must not lose updates");
+    assert_eq!(histo.count(), n);
+    // Quantiles are monotone and bracket the observed range.
+    let qs: Vec<f64> =
+        [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0].iter().map(|&p| histo.quantile(p)).collect();
+    assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    assert!(qs[0] >= 0.5e-3 && qs[6] <= 0.1, "{qs:?}");
+}
+
+#[test]
+fn concurrent_registration_of_one_name_shares_the_cell() {
+    const THREADS: usize = 8;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                // Every thread registers the same family and bumps it.
+                registry.counter("race_total", "registered by racing threads").add(1);
+            });
+        }
+    });
+    assert_eq!(registry.counter("race_total", "registered by racing threads").get(), 8);
+}
+
+#[test]
+fn concurrent_spans_on_many_threads_accumulate_all_calls() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 500;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let _outer = registry.span("outer");
+                    let _inner = registry.span("inner");
+                }
+            });
+        }
+    });
+    let stats = registry.span_stats();
+    let outer = stats.iter().find(|s| s.path == "outer").unwrap();
+    let inner = stats.iter().find(|s| s.path == "outer;inner").unwrap();
+    assert_eq!(outer.calls, THREADS as u64 * PER_THREAD);
+    assert_eq!(inner.calls, THREADS as u64 * PER_THREAD);
+    assert!(outer.incl_ns >= inner.incl_ns);
+}

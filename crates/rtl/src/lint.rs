@@ -375,6 +375,15 @@ pub fn lint(netlist: &Netlist) -> LintReport {
 
     // Deterministic ordering: catalogue order, then discovery order.
     report.issues.sort_by_key(|i| i.rule.index());
+    let obs = rlmul_obs::global();
+    if obs.is_enabled() {
+        obs.counter("rlmul_lint_runs_total", "Structural lint passes over a netlist.").inc();
+        let help = "Lint findings by severity.";
+        obs.labeled_counter("rlmul_lint_findings_total", help, &[("severity", "error")])
+            .add(report.errors() as u64);
+        obs.labeled_counter("rlmul_lint_findings_total", help, &[("severity", "warning")])
+            .add(report.warnings() as u64);
+    }
     report
 }
 

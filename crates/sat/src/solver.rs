@@ -173,12 +173,23 @@ pub struct Solver {
     ok: bool,
     max_learnts: f64,
     stats: SolverStats,
+    // Registered once here so the per-conflict attach path pays one
+    // branch, not a registry lookup.
+    learnt_size_histo: rlmul_obs::Histo,
 }
 
 impl Solver {
     /// An empty solver.
     pub fn new() -> Self {
-        Solver { ok: true, var_inc: 1.0, clause_inc: 1.0, max_learnts: 0.0, ..Default::default() }
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            max_learnts: 0.0,
+            learnt_size_histo: rlmul_obs::global()
+                .histogram("rlmul_sat_learnt_clause_size", "Literals per learnt clause."),
+            ..Default::default()
+        }
     }
 
     /// Creates a fresh unassigned variable.
@@ -290,9 +301,11 @@ impl Solver {
         let w1 = Watcher { cref, blocker: lits[0] };
         self.watches[(!lits[0]).idx()].push(w0);
         self.watches[(!lits[1]).idx()].push(w1);
+        let size = lits.len();
         self.clauses.push(Clause { lits, learnt, activity: 0.0 });
         if learnt {
             self.stats.learnt_clauses += 1;
+            self.learnt_size_histo.observe(size as f64);
         }
         cref
     }
@@ -589,6 +602,9 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        let obs = rlmul_obs::global();
+        let _span = obs.span("sat.solve");
+        let before = self.stats;
         debug_assert_eq!(self.decision_level(), 0);
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(2000.0);
@@ -616,6 +632,23 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        if obs.is_enabled() {
+            // Mirror this call's work (not the solver's lifetime
+            // totals) so scrape-to-scrape rates stay meaningful.
+            let help = "CDCL solver work by kind, summed over solve calls.";
+            for (kind, delta) in [
+                ("conflicts", self.stats.conflicts - before.conflicts),
+                ("decisions", self.stats.decisions - before.decisions),
+                ("propagations", self.stats.propagations - before.propagations),
+                ("restarts", self.stats.restarts - before.restarts),
+                ("deleted_clauses", self.stats.deleted_clauses - before.deleted_clauses),
+            ] {
+                obs.labeled_counter("rlmul_sat_work_total", help, &[("kind", kind)]).add(delta);
+            }
+            obs.counter("rlmul_sat_solves_total", "SAT solve calls completed.").inc();
+            obs.gauge("rlmul_sat_learnt_clauses", "Learnt clauses currently in the database.")
+                .set(self.stats.learnt_clauses as f64);
+        }
         result
     }
 

@@ -112,6 +112,9 @@ impl Synthesizer {
         if netlist.gates().is_empty() {
             return Err(SynthError::EmptyNetlist);
         }
+        let obs = rlmul_obs::global();
+        let _span = obs.span("synth.run");
+        let started = std::time::Instant::now();
         let mut mapped = MappedNetlist::map(netlist, &self.library);
         let (timing, moves, met, sta) = match options.target_delay_ns {
             Some(target) => {
@@ -131,6 +134,21 @@ impl Synthesizer {
         };
         let delay = timing.worst_delay_ns.max(1e-6);
         let power = estimate(&mapped, 1.0 / delay);
+        if obs.is_enabled() {
+            obs.counter("rlmul_synth_runs_total", "Synthesis runs completed.").inc();
+            obs.histogram("rlmul_synth_run_seconds", "Wall time per synthesis run.")
+                .observe_duration(started.elapsed());
+            let visits = "Gate evaluations performed by timing analysis.";
+            obs.labeled_counter("rlmul_sta_gate_visits_total", visits, &[("mode", "full")])
+                .add(sta.full_gate_visits as u64);
+            obs.labeled_counter("rlmul_sta_gate_visits_total", visits, &[("mode", "incremental")])
+                .add(sta.incremental_gate_visits as u64);
+            let passes = "Timing-analysis propagation passes.";
+            obs.labeled_counter("rlmul_sta_passes_total", passes, &[("mode", "full")])
+                .add(sta.full_passes as u64);
+            obs.labeled_counter("rlmul_sta_passes_total", passes, &[("mode", "incremental")])
+                .add(sta.incremental_passes as u64);
+        }
         Ok(SynthesisReport {
             area_um2: mapped.area_um2(),
             delay_ns: timing.worst_delay_ns,

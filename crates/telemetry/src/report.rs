@@ -69,6 +69,22 @@ struct PhaseStats {
     secs: f64,
 }
 
+/// Per-span-path accumulated timings from `span` events.
+#[derive(Debug, Clone, Default)]
+struct SpanAgg {
+    calls: u64,
+    incl_secs: f64,
+    excl_secs: f64,
+}
+
+/// Final writer health snapshot from a `writer_stats` event.
+#[derive(Debug, Clone, Copy, Default)]
+struct WriterStats {
+    written: u64,
+    dropped: u64,
+    buffer_hwm: u64,
+}
+
 /// Aggregated view of one run log.
 ///
 /// Built by streaming [`Event`]s (or raw JSONL lines) through
@@ -92,6 +108,8 @@ pub struct Summary {
     nn_flops: f64,
     checkpoints: u64,
     dropped_reported: u64,
+    spans: BTreeMap<String, SpanAgg>,
+    writer: Option<WriterStats>,
 }
 
 impl Summary {
@@ -172,6 +190,22 @@ impl Summary {
                 if let Some(d) = event.get_u64("dropped") {
                     self.dropped_reported = d;
                 }
+            }
+            "span" => {
+                // Each training run emits its span deltas once at
+                // shutdown; summing merges multiple runs in one log.
+                let path = event.get_str("path").unwrap_or("?").to_owned();
+                let s = self.spans.entry(path).or_default();
+                s.calls += event.get_u64("calls").unwrap_or(0);
+                s.incl_secs += event.get_f64("incl_secs").unwrap_or(0.0).max(0.0);
+                s.excl_secs += event.get_f64("excl_secs").unwrap_or(0.0).max(0.0);
+            }
+            "writer_stats" => {
+                self.writer = Some(WriterStats {
+                    written: event.get_u64("written").unwrap_or(0),
+                    dropped: event.get_u64("dropped").unwrap_or(0),
+                    buffer_hwm: event.get_u64("buffer_hwm").unwrap_or(0),
+                });
             }
             _ => {}
         }
@@ -285,6 +319,46 @@ impl Summary {
         if self.checkpoints > 0 {
             out.push_str(&format!("\ncheckpoints written: {}\n", self.checkpoints));
         }
+        if let Some(w) = self.writer {
+            out.push_str(&format!(
+                "\nwriter: {} records written, {} dropped, buffer high-water {}\n",
+                w.written, w.dropped, w.buffer_hwm
+            ));
+        }
+        out
+    }
+
+    /// Renders the per-span-path time breakdown (`rlmul report
+    /// --phase`): one row per span path from the run's `span` events,
+    /// sorted by exclusive time descending, with the share of total
+    /// exclusive time. Falls back to an explanatory line when the log
+    /// carries no span events (runs predating the observability
+    /// layer).
+    pub fn render_phase_breakdown(&self) -> String {
+        if self.spans.is_empty() {
+            return "no span events in this log (re-run with telemetry enabled on an \
+                    instrumented build)\n"
+                .to_owned();
+        }
+        let total_excl: f64 = self.spans.values().map(|s| s.excl_secs).sum();
+        let mut rows: Vec<(&String, &SpanAgg)> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.excl_secs.total_cmp(&a.1.excl_secs));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>12} {:>12} {:>7}\n",
+            "span path", "calls", "incl s", "excl s", "share"
+        ));
+        for (path, s) in rows {
+            let share = if total_excl > 0.0 { 100.0 * s.excl_secs / total_excl } else { 0.0 };
+            out.push_str(&format!(
+                "{path:<44} {:>8} {:>12.4} {:>12.4} {share:>6.1}%\n",
+                s.calls, s.incl_secs, s.excl_secs
+            ));
+        }
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>12} {total_excl:>12.4} {:>6.1}%\n",
+            "total", "", "", 100.0
+        ));
         out
     }
 }
@@ -355,6 +429,64 @@ mod tests {
         let s = Summary::from_jsonl("");
         assert_eq!(s.events(), 0);
         assert!(s.render().contains("events: 0"));
+    }
+
+    #[test]
+    fn span_events_sum_across_runs_and_break_down_by_phase() {
+        let log = [
+            Event::new("span")
+                .with("path", "train.sa;env.evaluate")
+                .with("calls", 4u64)
+                .with("incl_secs", 2.0)
+                .with("excl_secs", 0.5)
+                .to_json(),
+            Event::new("span")
+                .with("path", "train.sa;env.evaluate")
+                .with("calls", 6u64)
+                .with("incl_secs", 1.0)
+                .with("excl_secs", 1.5)
+                .to_json(),
+            Event::new("span")
+                .with("path", "train.sa")
+                .with("calls", 1u64)
+                .with("incl_secs", 3.5)
+                .with("excl_secs", 6.0)
+                .to_json(),
+        ]
+        .join("\n");
+        let s = Summary::from_jsonl(&log);
+        let agg = &s.spans["train.sa;env.evaluate"];
+        assert_eq!(agg.calls, 10);
+        assert!((agg.incl_secs - 3.0).abs() < 1e-12);
+        assert!((agg.excl_secs - 2.0).abs() < 1e-12);
+
+        let table = s.render_phase_breakdown();
+        let lines: Vec<&str> = table.lines().collect();
+        // Sorted by exclusive time descending: the root row first.
+        assert!(lines[1].starts_with("train.sa "), "unexpected order:\n{table}");
+        assert!(lines[1].contains("75.0%"), "root should own 6/8 of exclusive time:\n{table}");
+        assert!(lines[2].starts_with("train.sa;env.evaluate"));
+        assert!(lines[3].starts_with("total"));
+        assert!(lines[3].contains("100.0%"));
+    }
+
+    #[test]
+    fn phase_breakdown_explains_span_free_logs() {
+        let s = Summary::from_jsonl(&sample_log());
+        assert!(s.render_phase_breakdown().contains("no span events"));
+    }
+
+    #[test]
+    fn writer_stats_surface_in_render() {
+        let log = Event::new("writer_stats")
+            .with("written", 42u64)
+            .with("dropped", 3u64)
+            .with("buffer_hwm", 7u64)
+            .to_json();
+        let s = Summary::from_jsonl(&log);
+        let w = s.writer.expect("writer stats parsed");
+        assert_eq!((w.written, w.dropped, w.buffer_hwm), (42, 3, 7));
+        assert!(s.render().contains("writer: 42 records written, 3 dropped, buffer high-water 7"));
     }
 
     #[test]

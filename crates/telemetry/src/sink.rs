@@ -27,6 +27,9 @@ struct RingState {
     /// exists.
     enqueued: u64,
     resolved: u64,
+    /// Deepest the queue ever got — the buffer high-water mark
+    /// reported by the final `writer_stats` record.
+    hwm: u64,
 }
 
 #[derive(Debug)]
@@ -89,6 +92,7 @@ impl TelemetrySink {
         }
         state.queue.push_back(line);
         state.enqueued += 1;
+        state.hwm = state.hwm.max(state.queue.len() as u64);
         drop(state);
         ring.work.notify_one();
         if overflowed {
@@ -198,6 +202,7 @@ impl Drop for TelemetryWriter {
 
 fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()> {
     let mut result: io::Result<()> = Ok(());
+    let mut written = 0u64;
     loop {
         let batch: Vec<String> = {
             let mut state = ring.state.lock().expect("telemetry ring poisoned");
@@ -220,6 +225,7 @@ fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()>
                     result = Err(e);
                     break;
                 }
+                written += 1;
             }
             if result.is_ok() {
                 result = result.and(output.flush());
@@ -229,6 +235,19 @@ fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()>
         state.resolved += n;
         drop(state);
         ring.drained.notify_all();
+    }
+    // Final health record: without it, records silently discarded by
+    // the overflow policy would leave no trace in the log itself.
+    // Written after the drain so it is always the last line.
+    if result.is_ok() {
+        let hwm = ring.state.lock().expect("telemetry ring poisoned").hwm;
+        let stats = Event::new("writer_stats")
+            .with("written", written)
+            .with("dropped", ring.dropped.load(Ordering::Relaxed))
+            .with("buffer_hwm", hwm)
+            .with("seq", ring.seq.fetch_add(1, Ordering::Relaxed));
+        result =
+            output.write_all(to_json(&stats).as_bytes()).and_then(|()| output.write_all(b"\n"));
     }
     result.and(output.flush())
 }
@@ -263,12 +282,17 @@ mod tests {
         let bytes = out.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 10);
-        for (i, line) in lines.iter().enumerate() {
+        assert_eq!(lines.len(), 11, "10 events + the final writer_stats record");
+        for (i, line) in lines.iter().take(10).enumerate() {
             let e = parse_json(line).unwrap();
             assert_eq!(e.get_u64("i"), Some(i as u64));
             assert_eq!(e.get_u64("seq"), Some(i as u64));
         }
+        let stats = parse_json(lines[10]).unwrap();
+        assert_eq!(stats.kind(), "writer_stats");
+        assert_eq!(stats.get_u64("written"), Some(10));
+        assert_eq!(stats.get_u64("dropped"), Some(0));
+        assert!(stats.get_u64("buffer_hwm").unwrap() >= 1);
     }
 
     #[test]
@@ -286,11 +310,18 @@ mod tests {
         let dropped = sink.dropped();
         writer.close().unwrap();
         let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
-        let written = text.lines().count() as u64;
+        let lines: Vec<_> = text.lines().collect();
+        let written = (lines.len() - 1) as u64; // minus the writer_stats record
         assert_eq!(written + dropped, 10_000);
-        // The final record always survives (drop-oldest policy).
-        let last = parse_json(text.lines().last().unwrap()).unwrap();
-        assert_eq!(last.get_u64("i"), Some(9_999));
+        // The final data record always survives (drop-oldest policy).
+        let last_data = parse_json(lines[lines.len() - 2]).unwrap();
+        assert_eq!(last_data.get_u64("i"), Some(9_999));
+        // The trailing writer_stats record accounts for the loss.
+        let stats = parse_json(lines[lines.len() - 1]).unwrap();
+        assert_eq!(stats.kind(), "writer_stats");
+        assert_eq!(stats.get_u64("written"), Some(written));
+        assert_eq!(stats.get_u64("dropped"), Some(dropped));
+        assert_eq!(stats.get_u64("buffer_hwm"), Some(4), "4-slot ring must have filled");
     }
 
     #[test]
@@ -312,6 +343,6 @@ mod tests {
         // No flush: close alone must drain everything emitted so far.
         writer.close().unwrap();
         let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
-        assert_eq!(text.lines().count(), 100);
+        assert_eq!(text.lines().count(), 101, "100 events + writer_stats");
     }
 }

@@ -41,11 +41,13 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         // `optimize` predates checkpointing and remains an alias.
         "train" | "optimize" => cmd_train(&opts),
-        "report" => cmd_report(&tokens),
+        "report" => cmd_report(&tokens, &opts),
         "export" => cmd_export(&opts),
         "verify" => cmd_verify(&opts),
         "lint" => cmd_lint(&opts),
         "synth" => cmd_synth(&opts),
+        "serve-metrics" => cmd_serve_metrics(&tokens, &opts),
+        "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +78,9 @@ COMMANDS
   verify    equivalence-check a structure against the golden model
   lint      run the structural netlist linter
   synth     synthesize a structure and report PPA
+  serve-metrics  replay a JSONL log onto a Prometheus /metrics endpoint
+  profile   run a short instrumented search and print its span tree
+            plus flamegraph-ready collapsed stacks
 
 COMMON OPTIONS
   --bits N          operand width (default 8)
@@ -108,9 +113,24 @@ TRAIN OPTIONS
                     replays the uninterrupted trajectory bit-for-bit
   --telemetry PATH  stream per-episode/per-phase JSONL events to PATH
                     (summarize later with `rlmul report PATH`)
+  --metrics-addr A  serve live Prometheus metrics on A while training
+                    (e.g. 127.0.0.1:9090; scrape GET /metrics)
 
 REPORT USAGE
-  rlmul report RUN.jsonl
+  rlmul report RUN.jsonl [--phase]
+  --phase           print the per-span time-breakdown table instead of
+                    the event summary
+
+SERVE-METRICS USAGE
+  rlmul serve-metrics RUN.jsonl [--metrics-addr 127.0.0.1:9090]
+                    replay a finished run's JSONL log as a static
+                    /metrics endpoint; Ctrl-C stops the server
+
+PROFILE OPTIONS
+  accepts the train shape options (--bits/--kind/--method/--steps/
+  --pref/--seed; default 12 steps) plus:
+  --out PATH        write collapsed stacks (`a;b;c <µs>` lines, ready
+                    for inferno-flamegraph) to PATH instead of stdout
 
 SYNTH OPTIONS
   --target NS       target delay in ns (default: minimum area)
@@ -256,6 +276,19 @@ fn cmd_train(opts: &HashMap<String, String>) -> CliResult {
     let stop = install_sigint();
     hooks.stop = Some(stop.clone());
 
+    // Held for the whole run; dropping the handle at the end of this
+    // function stops the accept loop.
+    let _metrics = match opts.get("metrics-addr") {
+        Some(addr) if !addr.is_empty() => {
+            let registry = rlmul::obs::global();
+            registry.enable();
+            let server = rlmul::obs::serve_metrics(registry, addr)?;
+            eprintln!("serving metrics at http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
+
     // `--resume` with a value reads that snapshot file; without one it
     // falls back to `latest.ckpt` in the checkpoint directory.
     let resume_from = match opts.get("resume") {
@@ -350,12 +383,193 @@ fn cmd_train(opts: &HashMap<String, String>) -> CliResult {
     Ok(())
 }
 
-fn cmd_report(tokens: &[String]) -> CliResult {
-    let path =
-        tokens.iter().find(|t| !t.starts_with("--")).ok_or("usage: rlmul report RUN.jsonl")?;
+fn cmd_report(tokens: &[String], opts: &HashMap<String, String>) -> CliResult {
+    let path = tokens
+        .iter()
+        .find(|t| !t.starts_with("--"))
+        .ok_or("usage: rlmul report RUN.jsonl [--phase]")?;
     let text = std::fs::read_to_string(path)?;
     let summary = Summary::from_jsonl(&text);
-    print!("{}", summary.render());
+    if opts.contains_key("phase") {
+        print!("{}", summary.render_phase_breakdown());
+    } else {
+        print!("{}", summary.render());
+    }
+    Ok(())
+}
+
+/// Replays a finished run's JSONL log into a fresh registry and serves
+/// it as a static Prometheus endpoint, so past runs can be inspected
+/// with the same dashboards that watch live training.
+fn cmd_serve_metrics(tokens: &[String], opts: &HashMap<String, String>) -> CliResult {
+    let path = tokens
+        .iter()
+        .find(|t| !t.starts_with("--"))
+        .ok_or("usage: rlmul serve-metrics RUN.jsonl [--metrics-addr ADDR]")?;
+    let text = std::fs::read_to_string(path)?;
+    let registry = rlmul::obs::Registry::new();
+    let (mut replayed, mut malformed) = (0u64, 0u64);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match Event::parse_json(line) {
+            Ok(e) => {
+                replay_event(&registry, &e);
+                replayed += 1;
+            }
+            Err(_) => malformed += 1,
+        }
+    }
+    let default_addr = "127.0.0.1:9090".to_owned();
+    let addr = opts.get("metrics-addr").filter(|a| !a.is_empty()).unwrap_or(&default_addr);
+    let server = rlmul::obs::serve_metrics(&registry, addr)?;
+    eprintln!("replayed {replayed} events from {path} ({malformed} malformed)");
+    eprintln!("serving at http://{}/metrics — Ctrl-C to stop", server.local_addr());
+    let stop = install_sigint();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Maps one telemetry event onto replay metric families. Per-event
+/// quantities become counters/histograms; cumulative snapshots (cache
+/// hits/misses, writer stats) become gauges where the last record
+/// wins — matching what a live scraper would have seen at shutdown.
+fn replay_event(reg: &rlmul::obs::Registry, e: &Event) {
+    reg.labeled_counter(
+        "rlmul_replay_events_total",
+        "Telemetry events replayed from the JSONL log, by kind.",
+        &[("kind", e.kind())],
+    )
+    .inc();
+    match e.kind() {
+        "episode" => {
+            if let Some(r) = e.get_f64("reward") {
+                reg.histogram("rlmul_replay_episode_reward", "Episode rewards from the log.")
+                    .observe(r);
+            }
+            if let Some(a) = e.get_f64("area_um2") {
+                reg.gauge("rlmul_replay_area_um2", "Latest episode area from the log.").set(a);
+            }
+            if let Some(d) = e.get_f64("delay_ns") {
+                reg.gauge("rlmul_replay_delay_ns", "Latest episode delay from the log.").set(d);
+            }
+        }
+        "phase" => {
+            if let (Some(name), Some(secs)) = (e.get_str("name"), e.get_f64("secs")) {
+                reg.labeled_histogram(
+                    "rlmul_replay_phase_seconds",
+                    "Per-phase wall time from the log.",
+                    &[("phase", name)],
+                )
+                .observe(secs);
+            }
+        }
+        "cache" => {
+            if let Some(h) = e.get_u64("hits") {
+                reg.gauge("rlmul_replay_cache_hits", "Latest cumulative cache hits from the log.")
+                    .set(h as f64);
+            }
+            if let Some(m) = e.get_u64("misses") {
+                reg.gauge(
+                    "rlmul_replay_cache_misses",
+                    "Latest cumulative cache misses from the log.",
+                )
+                .set(m as f64);
+            }
+        }
+        "nn" => {
+            if let Some(f) = e.get_f64("flops") {
+                reg.counter("rlmul_replay_nn_flops_total", "NN flops recorded in the log.")
+                    .add(f.max(0.0) as u64);
+            }
+        }
+        "span" => {
+            if let Some(path) = e.get_str("path") {
+                let labels: &[(&str, &str)] = &[("path", path)];
+                reg.labeled_counter(
+                    "rlmul_replay_span_calls_total",
+                    "Span call counts from the log.",
+                    labels,
+                )
+                .add(e.get_u64("calls").unwrap_or(0));
+                reg.labeled_gauge(
+                    "rlmul_replay_span_incl_seconds",
+                    "Inclusive span seconds from the log.",
+                    labels,
+                )
+                .add(e.get_f64("incl_secs").unwrap_or(0.0).max(0.0));
+                reg.labeled_gauge(
+                    "rlmul_replay_span_excl_seconds",
+                    "Exclusive span seconds from the log.",
+                    labels,
+                )
+                .add(e.get_f64("excl_secs").unwrap_or(0.0).max(0.0));
+            }
+        }
+        "writer_stats" => {
+            for (key, name, help) in [
+                ("written", "rlmul_replay_writer_written", "Telemetry records written."),
+                ("dropped", "rlmul_replay_writer_dropped", "Telemetry records dropped."),
+                ("buffer_hwm", "rlmul_replay_writer_buffer_hwm", "Telemetry buffer high-water."),
+            ] {
+                if let Some(v) = e.get_u64(key) {
+                    reg.gauge(name, help).set(v as f64);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs a short, fully instrumented search and prints where the time
+/// went: the nested span tree first (stderr), then collapsed stacks
+/// ready for a flamegraph renderer (stdout or `--out`).
+fn cmd_profile(opts: &HashMap<String, String>) -> CliResult {
+    let bits: usize = get(opts, "bits", 8);
+    let kind = parse_kind(opts)?;
+    let steps: usize = get(opts, "steps", 12);
+    let seed: u64 = get(opts, "seed", 1);
+    let mut env_cfg = EnvConfig::new(bits, kind);
+    env_cfg.weights = match opts.get("pref").map(String::as_str).unwrap_or("tradeoff") {
+        "area" => CostWeights::AREA,
+        "timing" => CostWeights::TIMING,
+        "tradeoff" => CostWeights::TRADE_OFF,
+        other => return Err(format!("unknown pref `{other}`").into()),
+    };
+    let method = opts.get("method").map(String::as_str).unwrap_or("sa");
+    let registry = rlmul::obs::global();
+    registry.enable();
+    let before = registry.span_stats();
+    let hooks = TrainHooks::default();
+    eprintln!("profiling {bits}-bit {kind} {method} ({steps} env steps)…");
+    match method {
+        "sa" => {
+            let sa_cfg = SaConfig { steps, ..Default::default() };
+            run_sa_with(&env_cfg, &sa_cfg, seed, EvalCache::new(), &hooks, None)?;
+        }
+        "dqn" => {
+            let cfg = DqnConfig { steps, warmup: (steps / 5).max(4), seed, ..Default::default() };
+            let mut env = MulEnv::new(env_cfg.clone())?;
+            train_dqn_with(&mut env, &cfg, &hooks, None)?;
+        }
+        "a2c" => {
+            let cfg =
+                A2cConfig { steps: (steps / 4).max(2), n_envs: 4, seed, ..Default::default() };
+            train_a2c_with(&env_cfg, &cfg, EvalCache::new(), &hooks, None)?;
+        }
+        other => return Err(format!("unknown method `{other}` (dqn|a2c|sa)").into()),
+    }
+    let stats = registry.span_stats_since(&before);
+    eprint!("{}", rlmul::obs::render_span_tree(&stats));
+    let collapsed = rlmul::obs::collapsed_from(&stats);
+    match opts.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &collapsed)?;
+            println!("wrote {} collapsed-stack lines to {path}", collapsed.lines().count());
+        }
+        _ => print!("{collapsed}"),
+    }
     Ok(())
 }
 

@@ -27,6 +27,8 @@
 //!   atomic writes and rolling latest/best checkpoint stores;
 //! * [`telemetry`] — non-blocking JSONL event stream (per-episode
 //!   rewards, phase timings, cache hit rates) plus run summaries;
+//! * [`obs`] — live observability: sharded metrics registry, span
+//!   tracing, Prometheus `/metrics` endpoint and flamegraph export;
 //! * [`core`] — the RL-MUL framework itself: environment,
 //!   Pareto-driven reward, DQN (native RL-MUL) and parallel A2C
 //!   (RL-MUL-E) agents, with crash-safe checkpoint/resume
@@ -61,6 +63,7 @@ pub use rlmul_core as core;
 pub use rlmul_ct as ct;
 pub use rlmul_lec as lec;
 pub use rlmul_nn as nn;
+pub use rlmul_obs as obs;
 pub use rlmul_pareto as pareto;
 pub use rlmul_rtl as rtl;
 pub use rlmul_sat as sat;

@@ -1,0 +1,96 @@
+//! End-to-end observability smoke test: run a small instrumented
+//! workload covering every subsystem, serve the global registry over a
+//! real TCP socket, and check the Prometheus exposition with a raw
+//! `GET /metrics` — no HTTP client library involved, so the wire
+//! format itself is under test.
+
+use rlmul::baselines::SaConfig;
+use rlmul::core::{
+    run_sa_with, train_dqn_with, DqnConfig, EnvConfig, EvalCache, MulEnv, TrainHooks,
+};
+use rlmul::ct::{CompressorTree, PpgKind};
+use rlmul::lec::check_formal;
+use rlmul::rtl::MultiplierNetlist;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+#[test]
+fn metrics_endpoint_serves_every_subsystem() {
+    let registry = rlmul::obs::global();
+    registry.enable();
+    let env_cfg = EnvConfig::new(8, PpgKind::And);
+    let hooks = TrainHooks::default();
+
+    // SA touches env, cache, synth/STA, lint and agent counters; DQN
+    // additionally drives the nn kernels; formal CEC drives the SAT
+    // solver.
+    let sa_cfg = SaConfig { steps: 4, ..Default::default() };
+    run_sa_with(&env_cfg, &sa_cfg, 1, EvalCache::new(), &hooks, None).unwrap();
+    let dqn_cfg = DqnConfig { steps: 6, warmup: 4, seed: 1, ..Default::default() };
+    let mut env = MulEnv::new(env_cfg).unwrap();
+    train_dqn_with(&mut env, &dqn_cfg, &hooks, None).unwrap();
+    let dadda = CompressorTree::dadda(8, PpgKind::And).unwrap();
+    let netlist = MultiplierNetlist::elaborate(&dadda).unwrap().into_netlist();
+    let report = check_formal(&netlist, 8, PpgKind::And).unwrap();
+    assert!(report.equivalent, "golden dadda must prove against itself");
+
+    let server = rlmul::obs::serve_metrics(registry, "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    server.shutdown();
+
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "bad status line:\n{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "missing exposition content type:\n{response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).expect("response has a body");
+
+    let families: Vec<&str> = body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for expected in [
+        // environment
+        "rlmul_env_steps_total",
+        "rlmul_env_step_reward_magnitude",
+        "rlmul_env_phase_seconds",
+        // eval cache
+        "rlmul_cache_lookups_total",
+        "rlmul_cache_entries",
+        // synthesis + STA
+        "rlmul_synth_runs_total",
+        "rlmul_synth_run_seconds",
+        "rlmul_sta_gate_visits_total",
+        "rlmul_sta_passes_total",
+        // SAT solver
+        "rlmul_sat_solves_total",
+        "rlmul_sat_work_total",
+        "rlmul_sat_learnt_clause_size",
+        "rlmul_sat_learnt_clauses",
+        // nn kernels
+        "rlmul_nn_layer_calls_total",
+        "rlmul_nn_flops_total",
+        "rlmul_nn_layer_seconds",
+        // agents + lint
+        "rlmul_agent_steps_total",
+        "rlmul_lint_runs_total",
+    ] {
+        assert!(families.contains(&expected), "family {expected} missing; got {families:#?}");
+    }
+    assert!(families.len() >= 10, "expected >= 10 families, got {}", families.len());
+
+    // The same run must also yield a non-trivial self-profile.
+    let collapsed = rlmul::obs::collapsed_stacks(registry);
+    assert!(collapsed.lines().any(|l| l.starts_with("train.sa;sa.step")), "spans:\n{collapsed}");
+    assert!(collapsed.lines().any(|l| l.starts_with("train.dqn;dqn.step")), "spans:\n{collapsed}");
+    for line in collapsed.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`path value` shape");
+        assert!(!path.is_empty() && value.parse::<u64>().is_ok(), "bad line {line:?}");
+    }
+}
