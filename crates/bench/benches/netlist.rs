@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the arena-netlist evaluate pipeline:
+//! full-rebuild vs incremental step latency, and the stage costs of
+//! the incremental path (retarget splice, delta lint, session synth).
+//!
+//! The heavyweight sweep with bit-identity assertions, allocation
+//! counts and the span-profiler breakdown lives in the
+//! `bench_netlist` binary (`results/BENCH_netlist.json`); these
+//! benches exist so `cargo bench` tracks the same hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_rtl::{lint, lint_delta, IncrementalMultiplier, MultiplierNetlist};
+use rlmul_synth::{IncrementalSynthesis, SynthesisOptions, Synthesizer};
+
+/// A deterministic walk of `steps` legal actions from `tree` (same
+/// LCG as the `bench_netlist` binary so both measure the same states).
+fn walk(tree: &CompressorTree, steps: usize) -> Vec<CompressorTree> {
+    let mut seed = 0x9e3779b97f4a7c15u64 ^ tree.bits() as u64;
+    let mut cur = tree.clone();
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let actions = cur.valid_actions();
+        if actions.is_empty() {
+            break;
+        }
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        cur = cur.apply_action(actions[(seed >> 33) as usize % actions.len()]).expect("legal");
+        out.push(cur.clone());
+    }
+    out
+}
+
+fn options_for(tree: &CompressorTree) -> Vec<SynthesisOptions> {
+    let netlist = MultiplierNetlist::elaborate(tree).expect("elaborates").into_netlist();
+    let anchor = Synthesizer::nangate45()
+        .run(&netlist, &SynthesisOptions::default())
+        .expect("anchor synthesizes");
+    [0.7, 0.85, 1.0, 1.15]
+        .iter()
+        .map(|m| SynthesisOptions { target_delay_ns: Some(m * anchor.delay_ns), max_upsizes: 800 })
+        .collect()
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist_step");
+    for bits in [16usize, 32] {
+        let tree = CompressorTree::wallace(bits, PpgKind::And).expect("legal");
+        let states = walk(&tree, 8);
+        let options = options_for(&tree);
+
+        g.bench_with_input(BenchmarkId::new("full_rebuild", bits), &states, |b, states| {
+            let synth = Synthesizer::nangate45();
+            b.iter(|| {
+                for t in states {
+                    let netlist =
+                        MultiplierNetlist::elaborate(t).expect("elaborates").into_netlist();
+                    assert_eq!(lint(&netlist).errors(), 0);
+                    criterion::black_box(synth.run_many(&netlist, &options).expect("synthesizes"));
+                }
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("incremental", bits), &states, |b, states| {
+            b.iter(|| {
+                let mut mul = IncrementalMultiplier::new(&tree).expect("elaborates");
+                let mut synth = IncrementalSynthesis::nangate45();
+                synth.run_many(mul.netlist(), &options).expect("synthesizes");
+                for t in states {
+                    mul.retarget(t).expect("retargets");
+                    assert_eq!(lint_delta(mul.arena(), mul.last_delta()).errors(), 0);
+                    criterion::black_box(
+                        synth.run_many(mul.netlist(), &options).expect("synthesizes"),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist_stages");
+    let tree = CompressorTree::wallace(32, PpgKind::And).expect("legal");
+    let states = walk(&tree, 8);
+
+    g.bench_function("retarget_32", |b| {
+        b.iter(|| {
+            let mut mul = IncrementalMultiplier::new(&tree).expect("elaborates");
+            for t in &states {
+                mul.retarget(t).expect("retargets");
+            }
+        })
+    });
+
+    g.bench_function("lint_delta_32", |b| {
+        let mut mul = IncrementalMultiplier::new(&tree).expect("elaborates");
+        mul.retarget(&states[0]).expect("retargets");
+        b.iter(|| criterion::black_box(lint_delta(mul.arena(), mul.last_delta()).errors()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_stages);
+criterion_main!(benches);

@@ -39,7 +39,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 const NUM_SHARDS: usize = 16;
 
 /// Full identity of one cached evaluation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheKey {
     /// Per-column `(full adders, half adders)`-style compressor
     /// counts — the compressor tree's structural fingerprint.
@@ -50,6 +50,100 @@ pub struct CacheKey {
     /// Fingerprint of the synthesis/reward context; see
     /// [`context_fingerprint`].
     pub context: u64,
+}
+
+/// One hash recipe shared by [`CacheKey`] and borrowed key views, so
+/// a `HashMap<CacheKey, _>` can be probed with either (the
+/// [`std::borrow::Borrow`] contract requires identical hashes).
+fn hash_key_parts<H: Hasher>(counts: &[(u32, u32)], kind: PpgKind, context: u64, state: &mut H) {
+    counts.hash(state);
+    kind.hash(state);
+    context.hash(state);
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_key_parts(&self.counts, self.kind, self.context, state);
+    }
+}
+
+/// Anything that can identify a cached evaluation. Lookups take
+/// `&dyn AsCacheKey`, so the hot hit path can probe with a borrowed
+/// [`CacheKeyRef`] — no per-lookup clone of the per-column counts —
+/// while the miss path materializes an owned [`CacheKey`] exactly
+/// once, when the entry is installed.
+pub trait AsCacheKey {
+    /// The per-column compressor counts.
+    fn counts(&self) -> &[(u32, u32)];
+    /// The partial-product scheme.
+    fn kind(&self) -> PpgKind;
+    /// The synthesis/reward context fingerprint.
+    fn context(&self) -> u64;
+
+    /// Materializes an owned key (allocates; miss path only).
+    fn to_key(&self) -> CacheKey {
+        CacheKey { counts: self.counts().to_vec(), kind: self.kind(), context: self.context() }
+    }
+}
+
+impl AsCacheKey for CacheKey {
+    fn counts(&self) -> &[(u32, u32)] {
+        &self.counts
+    }
+    fn kind(&self) -> PpgKind {
+        self.kind
+    }
+    fn context(&self) -> u64 {
+        self.context
+    }
+    fn to_key(&self) -> CacheKey {
+        self.clone()
+    }
+}
+
+/// Borrowed key view over a compressor tree's live count slice.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheKeyRef<'a> {
+    /// Borrowed per-column compressor counts.
+    pub counts: &'a [(u32, u32)],
+    /// Partial-product scheme.
+    pub kind: PpgKind,
+    /// Context fingerprint.
+    pub context: u64,
+}
+
+impl AsCacheKey for CacheKeyRef<'_> {
+    fn counts(&self) -> &[(u32, u32)] {
+        self.counts
+    }
+    fn kind(&self) -> PpgKind {
+        self.kind
+    }
+    fn context(&self) -> u64 {
+        self.context
+    }
+}
+
+impl Hash for dyn AsCacheKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_key_parts(self.counts(), self.kind(), self.context(), state);
+    }
+}
+
+impl PartialEq for dyn AsCacheKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts() == other.counts()
+            && self.kind() == other.kind()
+            && self.context() == other.context()
+    }
+}
+
+impl Eq for dyn AsCacheKey + '_ {}
+
+impl<'a> std::borrow::Borrow<dyn AsCacheKey + 'a> for CacheKey {
+    fn borrow(&self) -> &(dyn AsCacheKey + 'a) {
+        self
+    }
 }
 
 /// Hashes the non-structural inputs of an evaluation: exact delay
@@ -195,7 +289,7 @@ impl EvalCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
+    fn shard(&self, key: &dyn AsCacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         &self.inner.shards[hasher.finish() as usize % NUM_SHARDS]
@@ -204,7 +298,12 @@ impl EvalCache {
     /// Returns the finished evaluation for `key` or makes the caller
     /// the producer. Blocks (rather than duplicating synthesis work)
     /// while another worker computes the same key.
-    pub fn lookup_or_begin(&self, key: &CacheKey) -> Lookup {
+    ///
+    /// Accepts any key view (owned [`CacheKey`] or borrowed
+    /// [`CacheKeyRef`]); an owned key is materialized only when this
+    /// caller actually becomes the producer, so the hit path is
+    /// allocation-free.
+    pub fn lookup_or_begin(&self, key: &dyn AsCacheKey) -> Lookup {
         loop {
             let pending = {
                 let shard = self.shard(key).read().expect("cache shard poisoned");
@@ -237,29 +336,31 @@ impl EvalCache {
             }
 
             let mut shard = self.shard(key).write().expect("cache shard poisoned");
-            match shard.entry(key.clone()) {
+            if shard.contains_key(key) {
                 // Another worker installed a slot between our read
                 // and write; re-examine it under the read path.
-                Entry::Occupied(_) => continue,
-                Entry::Vacant(vacant) => {
-                    let inflight = Arc::new(Inflight::default());
-                    vacant.insert(Slot::Pending(inflight.clone()));
-                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                    self.inner.obs.misses.inc();
-                    return Lookup::Miss(EvalTicket {
-                        cache: self.clone(),
-                        key: key.clone(),
-                        inflight,
-                        completed: false,
-                    });
-                }
+                continue;
             }
+            // First genuine miss: materialize the owned key now — the
+            // single allocation point of the lookup path.
+            let owned = key.to_key();
+            let inflight = Arc::new(Inflight::default());
+            shard.insert(owned.clone(), Slot::Pending(inflight.clone()));
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.obs.misses.inc();
+            return Lookup::Miss(EvalTicket {
+                cache: self.clone(),
+                key: owned,
+                inflight,
+                completed: false,
+            });
         }
     }
 
     /// Non-blocking read of a finished entry; pending and absent keys
     /// both return `None`. Does not touch the hit/miss counters.
-    pub fn peek(&self, key: &CacheKey) -> Option<Arc<Evaluation>> {
+    /// Accepts borrowed key views, so probing is allocation-free.
+    pub fn peek(&self, key: &dyn AsCacheKey) -> Option<Arc<Evaluation>> {
         let shard = self.shard(key).read().expect("cache shard poisoned");
         match shard.get(key) {
             Some(Slot::Ready(eval)) => Some(eval.clone()),
@@ -413,6 +514,24 @@ mod tests {
             panic!("completed key must hit");
         };
         assert_eq!(e.cost, 2.5);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn borrowed_key_views_alias_owned_keys() {
+        let cache = EvalCache::new();
+        let counts = [(1u32, 0u32)];
+        let kref = CacheKeyRef { counts: &counts, kind: PpgKind::And, context: 7 };
+        // Miss through the borrowed view materializes the owned key.
+        let Lookup::Miss(ticket) = cache.lookup_or_begin(&kref) else {
+            panic!("fresh key must miss");
+        };
+        ticket.complete(eval(3.5));
+        // Both views resolve to the same entry (same hash, same shard).
+        assert_eq!(cache.peek(&kref).unwrap().cost, 3.5);
+        assert_eq!(cache.peek(&key(1)).unwrap().cost, 3.5);
+        assert!(matches!(cache.lookup_or_begin(&key(1)), Lookup::Hit(_)));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }

@@ -1,13 +1,13 @@
 //! The RL-MUL environment: compressor-tree states, masked actions,
 //! and a synthesis-backed Pareto-driven reward (paper Fig. 3).
 
-use crate::cache::{context_fingerprint, CacheKey, EvalCache, Lookup};
+use crate::cache::{context_fingerprint, CacheKeyRef, EvalCache, Lookup};
 use crate::reward::CostWeights;
 use crate::RlMulError;
 use rlmul_ct::{Action, CompressorTree, PpgKind};
 use rlmul_nn::Tensor;
-use rlmul_rtl::{LintStats, MultiplierNetlist};
-use rlmul_synth::{StaStats, SynthesisOptions, SynthesisReport, Synthesizer};
+use rlmul_rtl::{IncrementalMultiplier, LintStats, MultiplierNetlist};
+use rlmul_synth::{IncrementalSynthesis, StaStats, SynthesisOptions, SynthesisReport, Synthesizer};
 use rlmul_telemetry::{Event, TelemetrySink};
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +34,23 @@ pub enum StagePruning {
     Off,
 }
 
+/// How the evaluation pipeline turns a compressor-tree state into
+/// synthesis reports on a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Re-elaborate only the columns an action touched
+    /// ([`IncrementalMultiplier`]), lint just the delta, and patch the
+    /// mapped-netlist connectivity plus the STA baseline downstream
+    /// ([`IncrementalSynthesis`]). Produces bit-identical PPA numbers
+    /// to a full rebuild (debug builds assert this on every miss) in
+    /// time proportional to the edit.
+    #[default]
+    Incremental,
+    /// Elaborate, lint, map, and size from scratch on every miss —
+    /// the reference oracle the incremental path is checked against.
+    FullRebuild,
+}
+
 /// Environment configuration.
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
@@ -55,6 +72,8 @@ pub struct EnvConfig {
     pub initial: InitialStructure,
     /// Sizing move budget per synthesis run.
     pub max_upsizes: usize,
+    /// Miss-path evaluation pipeline (incremental by default).
+    pub pipeline: PipelineMode,
 }
 
 impl EnvConfig {
@@ -69,6 +88,7 @@ impl EnvConfig {
             tensor_stages: 0,
             initial: InitialStructure::default(),
             max_upsizes: 800,
+            pipeline: PipelineMode::default(),
         }
     }
 }
@@ -141,6 +161,8 @@ pub struct MulEnv {
     stage_limit: usize,
     tensor_stages: usize,
     cache: EvalCache,
+    /// Incremental miss-path state; `None` in [`PipelineMode::FullRebuild`].
+    inc: Option<IncPipeline>,
     /// Context fingerprint for multi-target evaluations.
     eval_context: u64,
     pareto_points: Vec<(f64, f64)>,
@@ -186,6 +208,15 @@ struct PipelineCounters {
     cache_misses: usize,
     sta: StaStats,
     lint: LintStats,
+}
+
+/// Long-lived state of the incremental miss path: the cached
+/// elaboration (with per-column checkpoints and the arena mirror) and
+/// the synthesis session (with the previous mapped connectivity and
+/// STA baseline).
+struct IncPipeline {
+    mul: IncrementalMultiplier,
+    synth: IncrementalSynthesis,
 }
 
 impl std::fmt::Debug for MulEnv {
@@ -238,6 +269,7 @@ impl MulEnv {
         let anchor_eval = Self::evaluate_cached(
             &cache,
             &synthesizer,
+            None,
             &config.weights,
             config.kind,
             anchor_context,
@@ -269,11 +301,19 @@ impl MulEnv {
             config.max_upsizes,
             [config.weights.area, config.weights.delay, config.weights.power],
         );
+        let inc = match config.pipeline {
+            PipelineMode::Incremental => Some(IncPipeline {
+                mul: IncrementalMultiplier::new(&initial)?,
+                synth: IncrementalSynthesis::nangate45(),
+            }),
+            PipelineMode::FullRebuild => None,
+        };
         let mut env = MulEnv {
             config,
             synthesizer,
             current: initial.clone(),
             initial,
+            inc,
             current_cost: 0.0,
             delay_targets,
             stage_limit,
@@ -446,8 +486,8 @@ impl MulEnv {
     /// and Pareto archive.
     pub fn reset(&mut self) {
         self.current = self.initial.clone();
-        let key = CacheKey {
-            counts: self.initial.matrix().counts().to_vec(),
+        let key = CacheKeyRef {
+            counts: self.initial.matrix().counts(),
             kind: self.config.kind,
             context: self.eval_context,
         };
@@ -502,6 +542,7 @@ impl MulEnv {
         let (eval, fresh) = Self::evaluate_cached(
             &self.cache,
             &self.synthesizer,
+            self.inc.as_mut(),
             &self.config.weights,
             self.config.kind,
             self.eval_context,
@@ -523,10 +564,19 @@ impl MulEnv {
     /// evaluation and whether this caller synthesized it (`false` for
     /// cache hits, including waits on another worker's in-flight
     /// run).
+    ///
+    /// When `inc` is provided (and the tree has the profile the
+    /// incremental state was built for), the miss path re-elaborates
+    /// only the changed columns, lints only the delta, and patches the
+    /// previous mapped connectivity and STA baseline instead of
+    /// rebuilding them; otherwise every miss runs the full pipeline.
+    /// The cache lookup itself probes with a borrowed key, so hits
+    /// never allocate.
     #[allow(clippy::too_many_arguments)]
     fn evaluate_cached(
         cache: &EvalCache,
         synthesizer: &Synthesizer,
+        inc: Option<&mut IncPipeline>,
         weights: &CostWeights,
         kind: PpgKind,
         context: u64,
@@ -535,7 +585,7 @@ impl MulEnv {
         counters: &mut PipelineCounters,
         sink: &TelemetrySink,
     ) -> Result<(Arc<Evaluation>, bool), RlMulError> {
-        let key = CacheKey { counts: tree.matrix().counts().to_vec(), kind, context };
+        let key = CacheKeyRef { counts: tree.matrix().counts(), kind, context };
         match cache.lookup_or_begin(&key) {
             Lookup::Hit(eval) => {
                 counters.cache_hits += 1;
@@ -547,33 +597,80 @@ impl MulEnv {
                 let _eval_span = obs.span("env.evaluate");
                 // On error the ticket drops un-completed, releasing
                 // any coalesced waiters to retry for themselves.
+                let inc = inc.filter(|s| s.mul.tree().profile() == tree.profile());
+                let mode = if inc.is_some() { "incremental" } else { "full" };
                 let t0 = Instant::now();
-                let netlist = {
-                    let _s = obs.span("elaborate");
-                    MultiplierNetlist::elaborate(tree)?.into_netlist()
-                };
-                let t1 = Instant::now();
-                // Structural lint gate before every synthesis call:
-                // counters always, hard stop on errors in debug builds
-                // (elaboration is validated, so an error here means an
-                // IR invariant was broken upstream).
-                let lint_report = {
-                    let _s = obs.span("lint");
-                    rlmul_rtl::lint(&netlist)
-                };
-                counters.lint.record(&lint_report);
-                debug_assert_eq!(
-                    lint_report.errors(),
-                    0,
-                    "structural lint gate failed before synthesis:\n{}",
-                    lint_report.render()
-                );
-                let t2 = Instant::now();
-                let reports = {
-                    let _s = obs.span("synth");
-                    synthesizer.run_many(&netlist, options)?
+                let (t1, t2, reports) = match inc {
+                    Some(state) => {
+                        let delta_size = {
+                            let _s = obs.span("elaborate");
+                            state.mul.retarget(tree)?.size()
+                        };
+                        obs.histogram(
+                            "rlmul_env_splice_gates",
+                            "Gates touched per incremental retarget (delta size).",
+                        )
+                        .observe(delta_size as f64);
+                        let t1 = Instant::now();
+                        // Structural lint gate before every synthesis
+                        // call — restricted to the touched gates/nets
+                        // on the incremental path (port-shape rules
+                        // still re-run in full; they are O(ports)).
+                        let lint_report = {
+                            let _s = obs.span("lint");
+                            rlmul_rtl::lint_delta(state.mul.arena(), state.mul.last_delta())
+                        };
+                        counters.lint.record(&lint_report);
+                        debug_assert_eq!(
+                            lint_report.errors(),
+                            0,
+                            "delta lint gate failed before synthesis:\n{}",
+                            lint_report.render()
+                        );
+                        let t2 = Instant::now();
+                        let reports = {
+                            let _s = obs.span("synth");
+                            state.synth.run_many(state.mul.netlist(), options)?
+                        };
+                        (t1, t2, reports)
+                    }
+                    None => {
+                        let netlist = {
+                            let _s = obs.span("elaborate");
+                            MultiplierNetlist::elaborate(tree)?.into_netlist()
+                        };
+                        let t1 = Instant::now();
+                        // Structural lint gate before every synthesis
+                        // call: counters always, hard stop on errors
+                        // in debug builds (elaboration is validated,
+                        // so an error here means an IR invariant was
+                        // broken upstream).
+                        let lint_report = {
+                            let _s = obs.span("lint");
+                            rlmul_rtl::lint(&netlist)
+                        };
+                        counters.lint.record(&lint_report);
+                        debug_assert_eq!(
+                            lint_report.errors(),
+                            0,
+                            "structural lint gate failed before synthesis:\n{}",
+                            lint_report.render()
+                        );
+                        let t2 = Instant::now();
+                        let reports = {
+                            let _s = obs.span("synth");
+                            synthesizer.run_many(&netlist, options)?
+                        };
+                        (t1, t2, reports)
+                    }
                 };
                 let t3 = Instant::now();
+                obs.labeled_counter(
+                    "rlmul_env_pipeline_total",
+                    "Evaluation-pipeline cache misses by pipeline mode.",
+                    &[("mode", mode)],
+                )
+                .inc();
                 counters.synth_runs += reports.len();
                 for r in &reports {
                     counters.sta.merge(r.sta);
@@ -671,6 +768,42 @@ mod tests {
         let after = env.stats();
         assert_eq!(before.synth_runs, after.synth_runs);
         assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn incremental_pipeline_matches_full_rebuild_costs() {
+        // Two independent caches, identical action walks: the
+        // incremental miss path must produce bit-identical costs and
+        // rewards to the from-scratch oracle pipeline.
+        let inc_cfg = EnvConfig::new(8, PpgKind::And);
+        assert_eq!(inc_cfg.pipeline, PipelineMode::Incremental);
+        let mut full_cfg = inc_cfg.clone();
+        full_cfg.pipeline = PipelineMode::FullRebuild;
+        let mut inc_env = MulEnv::new(inc_cfg).unwrap();
+        let mut full_env = MulEnv::new(full_cfg).unwrap();
+        assert_eq!(inc_env.delay_targets(), full_env.delay_targets());
+        assert_eq!(inc_env.current_cost().to_bits(), full_env.current_cost().to_bits());
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..4 {
+            let mask = inc_env.action_mask();
+            assert_eq!(mask, full_env.action_mask());
+            let legal: Vec<usize> =
+                mask.iter().enumerate().filter(|(_, &ok)| ok).map(|(i, _)| i).collect();
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = legal[(seed >> 33) as usize % legal.len()];
+            let oi = inc_env.step(a).unwrap();
+            let of = full_env.step(a).unwrap();
+            assert_eq!(oi.cost.to_bits(), of.cost.to_bits());
+            assert_eq!(oi.reward.to_bits(), of.reward.to_bits());
+            for (ri, rf) in oi.evaluation.reports.iter().zip(&of.evaluation.reports) {
+                assert_eq!(ri.area_um2.to_bits(), rf.area_um2.to_bits());
+                assert_eq!(ri.delay_ns.to_bits(), rf.delay_ns.to_bits());
+                assert_eq!(ri.power_mw.to_bits(), rf.power_mw.to_bits());
+                assert_eq!(ri.met_target, rf.met_target);
+            }
+        }
+        // The incremental env did real incremental work, not fallbacks.
+        assert!(inc_env.stats().cache_misses >= 4);
     }
 
     #[test]

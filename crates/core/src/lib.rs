@@ -54,11 +54,14 @@ mod sa_driver;
 pub use a2c::{
     resume_a2c, train_a2c, train_a2c_cached, train_a2c_with, A2cConfig, A2cSnapshot, PolicyValueNet,
 };
-pub use cache::{context_fingerprint, CacheKey, CacheStats, EvalCache, EvalTicket, Lookup};
+pub use cache::{
+    context_fingerprint, AsCacheKey, CacheKey, CacheKeyRef, CacheStats, EvalCache, EvalTicket,
+    Lookup,
+};
 pub use dqn::{resume_dqn, train_dqn, train_dqn_with, DqnConfig, DqnSnapshot, QNetwork};
 pub use env::{
-    EnvConfig, EnvSnapshot, EnvStats, Evaluation, InitialStructure, MulEnv, StagePruning,
-    StepOutcome,
+    EnvConfig, EnvSnapshot, EnvStats, Evaluation, InitialStructure, MulEnv, PipelineMode,
+    StagePruning, StepOutcome,
 };
 pub use error::RlMulError;
 pub use hooks::{emit_span_events, TrainHooks};

@@ -71,8 +71,9 @@ pub struct PpProfile {
     columns: Vec<u32>,
 }
 
-/// Maximum supported operand width.
-pub(crate) const MAX_BITS: usize = 32;
+/// Maximum supported operand width. 64-bit designs are the scaling
+/// ceiling the incremental-elaboration benchmarks exercise.
+pub(crate) const MAX_BITS: usize = 64;
 
 impl PpProfile {
     /// Builds the initial partial-product profile for an `bits`-bit
@@ -81,7 +82,7 @@ impl PpProfile {
     /// # Errors
     ///
     /// Returns [`CtError::UnsupportedWidth`] when `bits` is outside
-    /// `2..=32`, or odd for an MBE-based kind (radix-4 Booth digits
+    /// `2..=64`, or odd for an MBE-based kind (radix-4 Booth digits
     /// pair up bits).
     pub fn new(bits: usize, kind: PpgKind) -> Result<Self, CtError> {
         if !(2..=MAX_BITS).contains(&bits) {
@@ -258,8 +259,9 @@ mod tests {
     #[test]
     fn width_bounds_are_enforced() {
         assert!(PpProfile::new(1, PpgKind::And).is_err());
-        assert!(PpProfile::new(33, PpgKind::And).is_err());
-        assert!(PpProfile::new(32, PpgKind::And).is_ok());
+        assert!(PpProfile::new(65, PpgKind::And).is_err());
+        assert!(PpProfile::new(64, PpgKind::And).is_ok());
+        assert!(PpProfile::new(33, PpgKind::And).is_ok());
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::LecError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlmul_ct::{CompressorTree, PpgKind};
-use rlmul_rtl::{lint, MultiplierNetlist, NetId, Netlist};
+use rlmul_rtl::{lint, ArenaNetlist, MultiplierNetlist, NetId, Netlist};
 use rlmul_sat::{Lit, SolveResult, Solver};
 
 /// Tuning knobs for [`check_equiv`].
@@ -293,6 +293,71 @@ pub fn check_equiv(
     })
 }
 
+/// Proves an [`ArenaNetlist`] functionally equivalent to a reference
+/// netlist *without compacting the arena*: the arena side is encoded
+/// in place by [`Tseitin::from_arena`], and every matched output-bit
+/// pair is proved LSB-first with each proof hardened into equality
+/// clauses (the sweep-free closing stage, which is complete on its
+/// own).
+///
+/// This is the incremental pipeline's CEC spot-check entry: after a
+/// sequence of in-place edits, the arena is checked directly against
+/// a golden elaboration. There is no fraig sweep, so keep widths
+/// small (≤ 8-bit miters close in well under a second; wide raw
+/// multiplier miters are exponentially hard).
+///
+/// Returns `Ok(true)` when equivalent, `Ok(false)` with no model
+/// extraction when refuted.
+///
+/// # Errors
+///
+/// [`LecError::PortMismatch`] for differing interfaces, plus encoding
+/// errors as [`check_equiv`].
+pub fn prove_arena_equiv(arena: &ArenaNetlist, reference: &Netlist) -> Result<bool, LecError> {
+    let (in_perm, out_pairs) =
+        match_port_lists(arena.inputs(), arena.outputs(), reference.inputs(), reference.outputs())?;
+
+    let mut solver = Solver::new();
+    let const_true = Lit::pos(solver.new_var());
+    solver.add_clause(&[const_true]);
+    let mut enc_arena = Tseitin::from_arena(arena, const_true)?;
+    let mut enc_ref = Tseitin::new(reference, const_true)?;
+
+    let mut in_lits: Vec<Vec<Lit>> = Vec::with_capacity(arena.inputs().len());
+    for port in arena.inputs() {
+        let lits: Vec<Lit> = port.bits.iter().map(|_| Lit::pos(solver.new_var())).collect();
+        for (&net, &l) in port.bits.iter().zip(&lits) {
+            enc_arena.bind(net, l);
+        }
+        in_lits.push(lits);
+    }
+    for (r_idx, port) in reference.inputs().iter().enumerate() {
+        for (&net, &l) in port.bits.iter().zip(&in_lits[in_perm[r_idx]]) {
+            enc_ref.bind(net, l);
+        }
+    }
+
+    for &(lp, rp) in &out_pairs {
+        let l_bits = arena.outputs()[lp].bits.clone();
+        let r_bits = reference.outputs()[rp].bits.clone();
+        for (&ln, &rn) in l_bits.iter().zip(&r_bits) {
+            let la = enc_arena.literal(&mut solver, ln)?;
+            let lb = enc_ref.literal(&mut solver, rn)?;
+            if la == lb {
+                continue;
+            }
+            if solver.solve_with(&[la, !lb]) == SolveResult::Sat
+                || solver.solve_with(&[!la, lb]) == SolveResult::Sat
+            {
+                return Ok(false);
+            }
+            solver.add_clause(&[!la, lb]);
+            solver.add_clause(&[la, !lb]);
+        }
+    }
+    Ok(true)
+}
+
 /// Per-side state shared by the sweep and closing stages.
 struct SideCtx<'a> {
     netlist: &'a Netlist,
@@ -547,53 +612,60 @@ type PortMatch = (Vec<usize>, Vec<(usize, usize)>);
 
 /// Matches the two interfaces by port name.
 fn match_ports(left: &Netlist, right: &Netlist) -> Result<PortMatch, LecError> {
+    match_port_lists(left.inputs(), left.outputs(), right.inputs(), right.outputs())
+}
+
+/// [`match_ports`] over bare port lists, so an [`ArenaNetlist`] side
+/// can be matched without compaction.
+fn match_port_lists(
+    left_in: &[rlmul_rtl::Port],
+    left_out: &[rlmul_rtl::Port],
+    right_in: &[rlmul_rtl::Port],
+    right_out: &[rlmul_rtl::Port],
+) -> Result<PortMatch, LecError> {
     fn index_by_name(ports: &[rlmul_rtl::Port]) -> HashMap<&str, usize> {
         ports.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect()
     }
     let mismatch = |detail: String| LecError::PortMismatch { detail };
 
-    if left.inputs().len() != right.inputs().len() {
-        return Err(mismatch(format!(
-            "input port count {} vs {}",
-            left.inputs().len(),
-            right.inputs().len()
-        )));
+    if left_in.len() != right_in.len() {
+        return Err(mismatch(format!("input port count {} vs {}", left_in.len(), right_in.len())));
     }
-    if left.outputs().len() != right.outputs().len() {
+    if left_out.len() != right_out.len() {
         return Err(mismatch(format!(
             "output port count {} vs {}",
-            left.outputs().len(),
-            right.outputs().len()
+            left_out.len(),
+            right_out.len()
         )));
     }
-    let left_in = index_by_name(left.inputs());
-    let mut in_perm = Vec::with_capacity(right.inputs().len());
-    for p in right.inputs() {
-        let &li = left_in
+    let left_in_idx = index_by_name(left_in);
+    let mut in_perm = Vec::with_capacity(right_in.len());
+    for p in right_in {
+        let &li = left_in_idx
             .get(p.name.as_str())
             .ok_or_else(|| mismatch(format!("right input '{}' missing on left", p.name)))?;
-        if left.inputs()[li].bits.len() != p.bits.len() {
+        if left_in[li].bits.len() != p.bits.len() {
             return Err(mismatch(format!(
                 "input '{}' width {} vs {}",
                 p.name,
-                left.inputs()[li].bits.len(),
+                left_in[li].bits.len(),
                 p.bits.len()
             )));
         }
         in_perm.push(li);
     }
-    let right_out = index_by_name(right.outputs());
-    let mut out_pairs = Vec::with_capacity(left.outputs().len());
-    for (li, p) in left.outputs().iter().enumerate() {
-        let &ri = right_out
+    let right_out_idx = index_by_name(right_out);
+    let mut out_pairs = Vec::with_capacity(left_out.len());
+    for (li, p) in left_out.iter().enumerate() {
+        let &ri = right_out_idx
             .get(p.name.as_str())
             .ok_or_else(|| mismatch(format!("left output '{}' missing on right", p.name)))?;
-        if right.outputs()[ri].bits.len() != p.bits.len() {
+        if right_out[ri].bits.len() != p.bits.len() {
             return Err(mismatch(format!(
                 "output '{}' width {} vs {}",
                 p.name,
                 p.bits.len(),
-                right.outputs()[ri].bits.len()
+                right_out[ri].bits.len()
             )));
         }
         out_pairs.push((li, ri));
@@ -710,5 +782,45 @@ mod tests {
         // The separating assignment must be a=0,b=1 or a=1,b=0.
         let vals: Vec<u128> = cex.inputs.iter().map(|(_, v)| *v).collect();
         assert_eq!(vals[0] + vals[1], 1, "{cex:?}");
+    }
+
+    #[test]
+    fn edited_arena_proves_equivalent_to_golden_without_compaction() {
+        // Walk a few legal compressor-tree actions through the
+        // incremental multiplier, then prove the arena — in place —
+        // against a fresh golden elaboration.
+        let tree = CompressorTree::wallace(4, PpgKind::And).unwrap();
+        let mut inc = rlmul_rtl::IncrementalMultiplier::new(&tree).unwrap();
+        let mut tree = tree;
+        let mut seed = 0x5eed_cec0_ffeeu64;
+        for _ in 0..3 {
+            let actions = tree.valid_actions();
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = actions[(seed >> 33) as usize % actions.len()];
+            tree = tree.apply_action(a).unwrap();
+            inc.retarget(&tree).unwrap();
+        }
+        let golden = dadda(4, PpgKind::And);
+        assert!(prove_arena_equiv(inc.arena(), &golden).unwrap());
+    }
+
+    #[test]
+    fn corrupted_arena_is_refuted_in_place() {
+        let golden = dadda(4, PpgKind::And);
+        let mut arena = ArenaNetlist::from_netlist(&golden);
+        let (slot, _) = arena
+            .iter_live()
+            .find(|(_, g)| matches!(g.kind, rlmul_rtl::GateKind::And2 | rlmul_rtl::GateKind::Xor2))
+            .expect("multiplier has a flippable gate");
+        mutate::inject_flip_gate_kind(&mut arena, slot).unwrap();
+        assert!(!prove_arena_equiv(&arena, &golden).unwrap());
+    }
+
+    #[test]
+    fn arena_port_mismatch_is_rejected() {
+        let golden = dadda(4, PpgKind::And);
+        let arena = ArenaNetlist::from_netlist(&golden);
+        let other = dadda(6, PpgKind::And);
+        assert!(matches!(prove_arena_equiv(&arena, &other), Err(LecError::PortMismatch { .. })));
     }
 }

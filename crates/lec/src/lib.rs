@@ -32,7 +32,7 @@ mod sim;
 mod tseitin;
 
 pub use cec::{
-    check_equiv, check_formal, check_formal_with, golden_reference, CecOptions,
+    check_equiv, check_formal, check_formal_with, golden_reference, prove_arena_equiv, CecOptions,
     FormalCounterexample, FormalReport, OutputDiff, SweepStats,
 };
 pub use equiv::{check_datapath, golden, Counterexample, EquivReport, EXHAUSTIVE_BITS};

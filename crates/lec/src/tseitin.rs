@@ -14,10 +14,37 @@
 //! [`rlmul_rtl::NetlistBuilder::compressor42`]'s semantics).
 
 use crate::LecError;
-use rlmul_rtl::{GateKind, Netlist};
+use rlmul_rtl::{ArenaNetlist, Gate, GateKind, Netlist};
 use rlmul_sat::{Lit, Solver};
 
 const NO_DRIVER: u32 = u32::MAX;
+
+/// Where the encoder reads its gates from: a compacted [`Netlist`] or
+/// an [`ArenaNetlist`] in place — the latter lets equivalence
+/// spot-checks run against the incremental pipeline's working
+/// structure without paying for a compaction first.
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    Netlist(&'a Netlist),
+    Arena(&'a ArenaNetlist),
+}
+
+impl<'a> Source<'a> {
+    fn gate(&self, idx: u32) -> &'a Gate {
+        match self {
+            Source::Netlist(n) => &n.gates()[idx as usize],
+            Source::Arena(a) => a.gate(idx).expect("driver table points at a live slot"),
+        }
+    }
+
+    /// Bound on distinct gates any honest lazy traversal can touch.
+    fn gate_budget(&self) -> usize {
+        match self {
+            Source::Netlist(n) => n.gates().len(),
+            Source::Arena(a) => a.num_slots(),
+        }
+    }
+}
 
 /// Lazy CNF encoder for one combinational netlist.
 ///
@@ -26,7 +53,7 @@ const NO_DRIVER: u32 = u32::MAX;
 /// cone through them is requested with [`Tseitin::literal`].
 #[derive(Debug)]
 pub struct Tseitin<'a> {
-    netlist: &'a Netlist,
+    source: Source<'a>,
     /// Canonical literal per net, once encoded, bound, or substituted.
     lits: Vec<Option<Lit>>,
     /// Driving gate index per net (`NO_DRIVER` for inputs/constants).
@@ -59,12 +86,38 @@ impl<'a> Tseitin<'a> {
                 }
             }
         }
-        Ok(Tseitin { netlist, lits, driver, gates_emitted: 0 })
+        Ok(Tseitin { source: Source::Netlist(netlist), lits, driver, gates_emitted: 0 })
     }
 
-    /// The netlist being encoded.
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    /// Prepares an encoder over an [`ArenaNetlist`] *in place*: gates
+    /// are read straight from the arena's slots and its driver tables,
+    /// so no compaction to a [`Netlist`] is needed. Dead slots are
+    /// never encoded (the traversal is cone-driven).
+    ///
+    /// # Errors
+    ///
+    /// [`LecError::SequentialNetlist`] when the arena holds flip-flops.
+    pub fn from_arena(arena: &'a ArenaNetlist, const_true: Lit) -> Result<Self, LecError> {
+        if arena.iter_live().any(|(_, g)| g.kind == GateKind::Dff) {
+            return Err(LecError::SequentialNetlist);
+        }
+        let nets = arena.num_nets() as usize;
+        let mut lits = vec![None; nets];
+        lits[0] = Some(!const_true);
+        lits[1] = Some(const_true);
+        let driver = (0..arena.num_nets())
+            .map(|net| arena.driver_of(rlmul_rtl::NetId(net)).unwrap_or(NO_DRIVER))
+            .collect();
+        Ok(Tseitin { source: Source::Arena(arena), lits, driver, gates_emitted: 0 })
+    }
+
+    /// The netlist being encoded, when the encoder reads a compacted
+    /// [`Netlist`] (`None` for arena-backed encoders).
+    pub fn netlist(&self) -> Option<&'a Netlist> {
+        match self.source {
+            Source::Netlist(n) => Some(n),
+            Source::Arena(_) => None,
+        }
     }
 
     /// Number of gates whose clauses have been emitted so far.
@@ -100,7 +153,7 @@ impl<'a> Tseitin<'a> {
         // Gates can be pushed once per unresolved fan-out edge, so any
         // honest traversal fits in O(total pins); beyond that we are
         // looping through a combinational cycle.
-        let stack_limit = 6 * self.netlist.gates().len() + 8;
+        let stack_limit = 6 * self.source.gate_budget() + 8;
         let mut stack: Vec<u32> = vec![net.0];
         while let Some(&top) = stack.last() {
             if self.lits[top as usize].is_some() {
@@ -113,7 +166,7 @@ impl<'a> Tseitin<'a> {
                     detail: format!("net {top} has no driver and no input binding"),
                 });
             }
-            let gate = self.netlist.gates()[g_idx as usize];
+            let gate = *self.source.gate(g_idx);
             let mut ready = true;
             for &inp in gate.inputs() {
                 if self.lits[inp.0 as usize].is_none() {

@@ -25,6 +25,22 @@ pub struct CtRows {
     pub row1: Vec<NetId>,
 }
 
+/// Elaborator state carried from column to column.
+///
+/// A snapshot of this struct (plus a [`crate::BuilderCheckpoint`])
+/// taken at the top of column `j` is everything needed to re-run
+/// elaboration from column `j` onward — the basis of the incremental
+/// splice in [`crate::IncrementalMultiplier`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CtState {
+    /// Carries arriving at the next column, indexed by stage.
+    pub carry_arrivals: Vec<Vec<NetId>>,
+    /// Residual row 0, one entry per completed column.
+    pub row0: Vec<NetId>,
+    /// Residual row 1 ([`CONST0`] where a column left a single row).
+    pub row1: Vec<NetId>,
+}
+
 /// Elaborates `tree` over the partial-product columns `cols`,
 /// emitting full/half adders into `b`.
 ///
@@ -38,20 +54,45 @@ pub fn elaborate_ct(
     tree: &CompressorTree,
     cols: PpColumns,
 ) -> Result<CtRows, RtlError> {
+    let mut state = CtState::default();
+    elaborate_ct_span(b, tree, &cols, &mut state, 0, |_, _, _| {})?;
+    Ok(CtRows { row0: state.row0, row1: state.row1 })
+}
+
+/// Core column loop, resumable at `start`.
+///
+/// `state` must hold exactly the elaborator state that a from-scratch
+/// run would have at the top of column `start` (empty/default for
+/// `start == 0`). `checkpoint(j, builder, carry_arrivals)` fires at
+/// the top of every column *before* any gate of that column is
+/// emitted, letting the caller snapshot resume points (the residual
+/// rows for columns `< j` never change afterwards, so a caller can
+/// recover them by truncating the final rows). Gate and net-id
+/// emission is identical to a monolithic run, so rewinding a builder
+/// to a checkpoint and replaying a suffix reproduces a from-scratch
+/// netlist exactly.
+pub(crate) fn elaborate_ct_span(
+    b: &mut NetlistBuilder,
+    tree: &CompressorTree,
+    cols: &[Vec<NetId>],
+    state: &mut CtState,
+    start: usize,
+    mut checkpoint: impl FnMut(usize, &NetlistBuilder, &[Vec<NetId>]),
+) -> Result<(), RtlError> {
     let tensor = tree.assign_stages()?;
     let ncols = tree.matrix().num_columns();
     debug_assert_eq!(cols.len(), ncols);
     let residuals = tree.matrix().residuals(tree.profile());
 
-    let mut row0 = Vec::with_capacity(ncols);
-    let mut row1 = Vec::with_capacity(ncols);
-    // Carries arriving at the next column, indexed by stage.
-    let mut carry_arrivals: Vec<Vec<NetId>> = Vec::new();
+    let CtState { carry_arrivals, row0, row1 } = state;
+    debug_assert_eq!(row0.len(), start);
+    debug_assert_eq!(row1.len(), start);
 
-    for (j, initial) in cols.into_iter().enumerate() {
-        let arrivals = std::mem::take(&mut carry_arrivals);
+    for (j, initial) in cols.iter().enumerate().skip(start) {
+        checkpoint(j, b, carry_arrivals);
+        let arrivals = std::mem::take(carry_arrivals);
         let depth = tensor.column_stages(j).len().max(arrivals.len());
-        let mut avail: VecDeque<NetId> = initial.into();
+        let mut avail: VecDeque<NetId> = initial.clone().into();
         let mut sums_next: Vec<NetId> = Vec::new();
         for stage in 0..depth {
             if stage > 0 {
@@ -71,7 +112,7 @@ pub fn elaborate_ct(
                 );
                 let (sum, carry) = b.full_adder(x, y, z);
                 sums_next.push(sum);
-                push_carry(&mut carry_arrivals, stage + 1, carry, j + 1 < ncols);
+                push_carry(carry_arrivals, stage + 1, carry, j + 1 < ncols);
             }
             for _ in 0..n22 {
                 let (x, y) = (
@@ -80,7 +121,7 @@ pub fn elaborate_ct(
                 );
                 let (sum, carry) = b.half_adder(x, y);
                 sums_next.push(sum);
-                push_carry(&mut carry_arrivals, stage + 1, carry, j + 1 < ncols);
+                push_carry(carry_arrivals, stage + 1, carry, j + 1 < ncols);
             }
         }
         // Residual rows: whatever is still queued plus the last sums.
@@ -97,7 +138,7 @@ pub fn elaborate_ct(
         row0.push(residual.first().copied().unwrap_or(CONST0));
         row1.push(residual.get(1).copied().unwrap_or(CONST0));
     }
-    Ok(CtRows { row0, row1 })
+    Ok(())
 }
 
 fn push_carry(carry_arrivals: &mut Vec<Vec<NetId>>, stage: usize, carry: NetId, in_range: bool) {

@@ -25,8 +25,10 @@
 #![forbid(unsafe_code)]
 
 mod adder;
+mod arena;
 mod ct_elab;
 mod error;
+mod inc;
 mod lint;
 mod mul;
 pub mod mutate;
@@ -39,12 +41,15 @@ mod verilog;
 mod verilog_in;
 
 pub use adder::{add, AdderKind};
+pub use arena::{ArenaNetlist, NetlistDelta};
 pub use ct_elab::{elaborate_ct, CtRows};
 pub use error::RtlError;
-pub use lint::{lint, LintIssue, LintReport, LintRule, LintStats, Severity};
+pub use inc::IncrementalMultiplier;
+pub use lint::{lint, lint_delta, LintIssue, LintReport, LintRule, LintStats, Severity};
 pub use mul::MultiplierNetlist;
 pub use netlist::{
-    DffHandle, Gate, GateKind, GateStats, NetId, Netlist, NetlistBuilder, Port, CONST0, CONST1,
+    BuilderCheckpoint, DffHandle, Gate, GateKind, GateStats, NetId, Netlist, NetlistBuilder, Port,
+    CONST0, CONST1,
 };
 pub use pe_array::{pe_array, PeArrayConfig, PeStyle};
 pub use pipeline::{elaborate_pipelined, PipelineCuts};

@@ -16,6 +16,7 @@
 //! suspicious structure (dangling gate outputs, which arise naturally
 //! from discarded top-column carries in modular arithmetic).
 
+use crate::arena::{ArenaNetlist, NetlistDelta};
 use crate::netlist::{Netlist, CONST0, CONST1};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -387,6 +388,174 @@ pub fn lint(netlist: &Netlist) -> LintReport {
     report
 }
 
+/// Incremental lint: re-checks only the region an arena edit touched.
+///
+/// Port-shape rules are always re-run (they are O(ports), trivially
+/// cheap); everything else — driver multiplicity, undriven reads,
+/// dangling outputs, pin ranges, combinational loops — is evaluated
+/// only for `delta.touched_nets` and `delta.added` gates, using the
+/// arena's persistent fanout/driver tables instead of the O(circuit)
+/// scan of [`lint`].
+///
+/// **Contract.** Starting from a netlist whose full lint is clean of
+/// findings *outside* the delta region, `lint_delta` reports exactly
+/// the findings a full pass over the edited netlist would attribute
+/// to the touched nets and gates (messages use arena slot indices,
+/// which coincide with netlist gate indices for splice-maintained
+/// arenas). Pre-existing findings in untouched regions are *not*
+/// re-reported — that is the point. The defect-factory tests in
+/// [`crate::mutate`] pin this equivalence for the whole catalogue.
+pub fn lint_delta(arena: &ArenaNetlist, delta: &NetlistDelta) -> LintReport {
+    let mut report = LintReport::default();
+    let n = arena.num_nets() as usize;
+    let in_range = |net: crate::NetId| (net.0 as usize) < n;
+
+    // --- Port shape rules (always re-run; O(ports)) -----------------------
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (dir, ports) in [("input", arena.inputs()), ("output", arena.outputs())] {
+        for p in ports {
+            *names.entry(p.name.as_str()).or_insert(0) += 1;
+            if p.bits.is_empty() {
+                report.push(LintRule::PortWidth, format!("{dir} port {} has width 0", p.name));
+            }
+            for (k, &b) in p.bits.iter().enumerate() {
+                if !in_range(b) {
+                    report.push(
+                        LintRule::PortWidth,
+                        format!("{dir} port {}[{k}] references net {} ≥ {n}", p.name, b.0),
+                    );
+                }
+            }
+        }
+    }
+    for (name, count) in &names {
+        if *count > 1 {
+            report.push(
+                LintRule::DuplicateName,
+                format!("port name `{name}` declared {count} times"),
+            );
+        }
+    }
+    // (Gate scan short-circuited behind the name check: combinational
+    // designs never pay it.)
+    if names.contains_key("clk") && arena.iter_live().any(|(_, g)| g.kind.is_sequential()) {
+        report.push(
+            LintRule::DuplicateName,
+            "port `clk` collides with the implicit clock of a sequential design".to_owned(),
+        );
+    }
+
+    // --- Pin ranges for the added gates only ------------------------------
+    for &slot in &delta.added {
+        if let Some(g) = arena.gate(slot) {
+            for &pin in g.inputs().iter().chain(g.outputs()) {
+                if !in_range(pin) {
+                    report.push(
+                        LintRule::PortWidth,
+                        format!("gate {slot} ({:?}) references net {} ≥ {n}", g.kind, pin.0),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Driver / reader analysis on the touched nets ---------------------
+    for &net in &delta.touched_nets {
+        if !in_range(net) || net.is_const() {
+            continue;
+        }
+        let drivers = arena.driver_count(net) + usize::from(arena.is_primary_input(net));
+        let readers = arena.fanout_of(net).len() + arena.po_reads(net);
+        if drivers > 1 {
+            report.push(LintRule::MultiDriven, format!("net {} has {drivers} drivers", net.0));
+        }
+        if drivers == 0 && readers > 0 {
+            report.push(
+                LintRule::UndrivenNet,
+                format!("net {} is read {readers} times but never driven", net.0),
+            );
+        }
+        if readers == 0 && drivers == 1 {
+            if let Some(slot) = arena.driver_of(net) {
+                let g = arena.gate(slot).expect("driver table points at a live slot");
+                let pin = g.outputs().iter().position(|&o| o == net).unwrap_or(0);
+                report.push(
+                    LintRule::DanglingOutput,
+                    format!(
+                        "gate {slot} ({:?}) output pin {pin} (net {}) is never read",
+                        g.kind, net.0
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- Cycles through the edited cone -----------------------------------
+    // Suffix-splice edits keep slots in topological order, which the
+    // arena certifies in O(1) — every recorded combinational edge runs
+    // strictly forward in slot order, so the SCC search (which follows
+    // exactly those edges) cannot find a cycle and is skipped. Only
+    // general surgery that breaks the ordering pays for Tarjan: a
+    // cycle created by such an edit necessarily passes through an
+    // edited gate or a sink of a touched net, so the search seeded
+    // there finds it without walking the whole graph.
+    if !arena.is_topo_ordered() {
+        let num = arena.num_slots();
+        let mut seeds: Vec<usize> = delta.added.iter().map(|&s| s as usize).collect();
+        for &net in &delta.touched_nets {
+            for &(s, _) in arena.fanout_of(net) {
+                seeds.push(s as usize);
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        let succ_of = |g: usize| -> Vec<usize> {
+            let mut out = Vec::new();
+            let Some(gate) = arena.gate(g as u32) else { return out };
+            if gate.kind.is_sequential() {
+                return out;
+            }
+            for &inp in gate.inputs() {
+                if inp.is_const() {
+                    continue;
+                }
+                if let Some(d) = arena.driver_of(inp) {
+                    let dg = arena.gate(d).expect("driver table points at a live slot");
+                    if !dg.kind.is_sequential() {
+                        out.push(d as usize);
+                    }
+                }
+            }
+            out
+        };
+        for scc in sccs_from(num, seeds, succ_of) {
+            let preview: Vec<String> = scc.iter().take(8).map(|g| g.to_string()).collect();
+            report.push(
+                LintRule::CombinationalLoop,
+                format!(
+                    "combinational loop through {} gate{}: {}{}",
+                    scc.len(),
+                    if scc.len() == 1 { "" } else { "s" },
+                    preview.join(" → "),
+                    if scc.len() > 8 { " → …" } else { "" }
+                ),
+            );
+        }
+    }
+
+    report.issues.sort_by_key(|i| i.rule.index());
+    let obs = rlmul_obs::global();
+    if obs.is_enabled() {
+        obs.counter("rlmul_lint_delta_runs_total", "Incremental (delta) lint passes.").inc();
+        let help = "Lint findings by severity.";
+        obs.labeled_counter("rlmul_lint_findings_total", help, &[("severity", "error")])
+            .add(report.errors() as u64);
+        obs.labeled_counter("rlmul_lint_findings_total", help, &[("severity", "warning")])
+            .add(report.warnings() as u64);
+    }
+    report
+}
+
 /// Strongly connected components of the combinational gate graph that
 /// form true cycles (size ≥ 2, or a gate feeding itself). Flip-flops
 /// are sequential boundaries and excluded. Iterative Tarjan, so deep
@@ -410,7 +579,19 @@ fn combinational_sccs(netlist: &Netlist, driver_gate: &[usize]) -> Vec<Vec<usize
         }
         out
     };
+    sccs_from(num, 0..num, succ_of)
+}
 
+/// Iterative Tarjan over an arbitrary gate graph, exploring only from
+/// `starts`. With `starts = 0..num` this finds every cyclic SCC; with
+/// a restricted seed set it finds every cyclic SCC reachable from a
+/// seed — which is exactly the delta-lint contract (a cycle created
+/// by an edit always passes through an edited gate).
+fn sccs_from(
+    num: usize,
+    starts: impl IntoIterator<Item = usize>,
+    succ_of: impl Fn(usize) -> Vec<usize>,
+) -> Vec<Vec<usize>> {
     let mut index = vec![u32::MAX; num];
     let mut lowlink = vec![0u32; num];
     let mut on_stack = vec![false; num];
@@ -419,7 +600,7 @@ fn combinational_sccs(netlist: &Netlist, driver_gate: &[usize]) -> Vec<Vec<usize
     let mut sccs = Vec::new();
     // Explicit DFS frames: (gate, successor list, next successor).
     let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-    for start in 0..num {
+    for start in starts {
         if index[start] != u32::MAX {
             continue;
         }

@@ -15,7 +15,8 @@
 //! All constructors copy the input; intentionally-broken outputs
 //! bypass the builder (and its debug validation) entirely.
 
-use crate::netlist::{GateKind, NetId, Netlist, CONST0};
+use crate::arena::{ArenaNetlist, NetlistDelta};
+use crate::netlist::{GateKind, NetId, Netlist, Port, CONST0};
 
 /// Replaces a gate's function with a near-miss partner
 /// (XOR ↔ XNOR, AND ↔ OR, NAND ↔ NOR, HA kept, FA → HA-like, …),
@@ -149,6 +150,111 @@ pub fn drop_carry_wire(netlist: &Netlist) -> Option<Netlist> {
     Some(replace_gate_input(netlist, gate, pin, CONST0))
 }
 
+// ---------------------------------------------------------------------------
+// Delta-API injection
+//
+// The same defect catalogue, expressed as in-place [`ArenaNetlist`]
+// edits. Each injector returns the [`NetlistDelta`] of its edit, so
+// the incremental linter ([`crate::lint_delta`]) can be exercised
+// against exactly the defects the full pass is known to catch — the
+// clone-based constructors above stay as the oracle.
+// ---------------------------------------------------------------------------
+
+/// Delta edition of [`duplicate_gate`]: inserts a copy of the gate in
+/// `slot`, making every net it drives multi-driven.
+///
+/// # Panics
+///
+/// Panics if `slot` is not live.
+pub fn inject_duplicate_gate(arena: &mut ArenaNetlist, slot: u32) -> NetlistDelta {
+    let g = *arena.gate(slot).expect("inject_duplicate_gate: live slot");
+    arena.replace_gates(&[], &[g])
+}
+
+/// Delta edition of [`float_gate_input`]: rewires one input pin to a
+/// freshly allocated net nothing drives.
+pub fn inject_float_input(arena: &mut ArenaNetlist, slot: u32, pin: u8) -> NetlistDelta {
+    let floating = arena.fresh_net();
+    arena.rewire_input(slot, pin, floating)
+}
+
+/// Delta edition of [`introduce_loop`]: feeds a gate's own output
+/// back into its input pin 0.
+pub fn inject_loop(arena: &mut ArenaNetlist, slot: u32) -> NetlistDelta {
+    let own = arena.gate(slot).expect("inject_loop: live slot").outs[0];
+    arena.rewire_input(slot, 0, own)
+}
+
+/// Delta edition of [`cross_wire`]: wires `later`'s first output back
+/// into `earlier`'s input pin 0.
+pub fn inject_cross_wire(arena: &mut ArenaNetlist, earlier: u32, later: u32) -> NetlistDelta {
+    let back = arena.gate(later).expect("inject_cross_wire: live slot").outs[0];
+    arena.rewire_input(earlier, 0, back)
+}
+
+/// Delta edition of [`flip_gate_kind`]: swaps the gate in `slot` for
+/// its near-miss partner in place (slot number preserved). Returns
+/// `None` for kinds with no same-arity partner.
+pub fn inject_flip_gate_kind(arena: &mut ArenaNetlist, slot: u32) -> Option<NetlistDelta> {
+    let mut g = *arena.gate(slot)?;
+    g.kind = match g.kind {
+        GateKind::Inv => GateKind::Buf,
+        GateKind::Buf => GateKind::Inv,
+        GateKind::And2 => GateKind::Or2,
+        GateKind::Or2 => GateKind::And2,
+        GateKind::Nand2 => GateKind::Nor2,
+        GateKind::Nor2 => GateKind::Nand2,
+        GateKind::Xor2 => GateKind::Xnor2,
+        GateKind::Xnor2 => GateKind::Xor2,
+        _ => return None,
+    };
+    let delta = arena.replace_gates(&[slot], &[g]);
+    debug_assert_eq!(delta.added, vec![slot], "LIFO free-list puts the swap back in place");
+    Some(delta)
+}
+
+/// Delta edition of [`clear_port`]: empties one output port's bits.
+pub fn inject_clear_port(arena: &mut ArenaNetlist, port: usize) -> NetlistDelta {
+    let mut outputs: Vec<Port> = arena.outputs().to_vec();
+    outputs[port].bits.clear();
+    arena.set_outputs(outputs)
+}
+
+/// Delta edition of [`corrupt_port_net`]: points one output bit at a
+/// net id beyond the arena's net count.
+pub fn inject_corrupt_port_net(arena: &mut ArenaNetlist, port: usize, bit: usize) -> NetlistDelta {
+    let mut outputs: Vec<Port> = arena.outputs().to_vec();
+    outputs[port].bits[bit] = NetId(arena.num_nets() + 41);
+    arena.set_outputs(outputs)
+}
+
+/// Delta edition of [`rename_port_to_clash`]: renames an output port
+/// to collide with the first input port.
+pub fn inject_rename_port_to_clash(arena: &mut ArenaNetlist, port: usize) -> NetlistDelta {
+    let clash = arena.inputs()[0].name.clone();
+    let mut outputs: Vec<Port> = arena.outputs().to_vec();
+    outputs[port].name = clash;
+    arena.set_outputs(outputs)
+}
+
+/// Delta edition of [`drop_carry_wire`]: grounds the first consumer
+/// pin fed by a compressor carry. Returns `None` when there is none.
+/// The defect is functional, not structural — lint must stay clean.
+pub fn inject_drop_carry_wire(arena: &mut ArenaNetlist) -> Option<NetlistDelta> {
+    let mut carry_nets = vec![false; arena.num_nets() as usize];
+    for (_, g) in arena.iter_live() {
+        if matches!(g.kind, GateKind::HalfAdder | GateKind::FullAdder | GateKind::Compressor42) {
+            for &c in &g.outputs()[1..] {
+                carry_nets[c.0 as usize] = true;
+            }
+        }
+    }
+    let hit = arena.iter_live().find_map(|(slot, g)| {
+        g.inputs().iter().position(|i| carry_nets[i.0 as usize]).map(|pin| (slot, pin as u8))
+    })?;
+    Some(arena.rewire_input(hit.0, hit.1, CONST0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +334,57 @@ mod tests {
         // Still structurally clean — the defect is functional.
         assert!(lint(&dropped).is_clean());
         assert_ne!(&dropped, &n);
+    }
+
+    #[test]
+    fn delta_injection_matches_full_lint_over_the_catalogue() {
+        use crate::lint::lint_delta;
+        // adder4 lints fully clean, so every finding on the mutated
+        // netlist is attributable to the injected delta — the exact
+        // regime where lint_delta must agree with the full pass,
+        // rule for rule.
+        let base = adder4();
+        type Injector = fn(&mut ArenaNetlist) -> NetlistDelta;
+        let catalogue: &[(&str, Injector)] = &[
+            ("duplicate", |a| inject_duplicate_gate(a, 1)),
+            ("float", |a| inject_float_input(a, 2, 0)),
+            ("loop", |a| inject_loop(a, 1)),
+            ("cross", |a| inject_cross_wire(a, 0, 1)),
+            ("clear-port", |a| inject_clear_port(a, 0)),
+            ("corrupt-port", |a| inject_corrupt_port_net(a, 0, 2)),
+            ("rename", |a| inject_rename_port_to_clash(a, 0)),
+            ("drop-carry", |a| inject_drop_carry_wire(a).expect("ripple chain has carries")),
+        ];
+        for (name, inject) in catalogue {
+            let mut arena = ArenaNetlist::from_netlist(&base);
+            let delta = inject(&mut arena);
+            let incremental = lint_delta(&arena, &delta);
+            let full = lint(&arena.to_netlist());
+            for rule in LintRule::ALL {
+                assert_eq!(
+                    incremental.count(rule),
+                    full.count(rule),
+                    "{name}: rule {rule} differs\nincremental: {}\nfull: {}",
+                    incremental.render(),
+                    full.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_flip_is_functional_only() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x", 2);
+        let y = b.xor2(x[0], x[1]);
+        b.output("y", &[y]);
+        let n = b.finish();
+        let mut arena = ArenaNetlist::from_netlist(&n);
+        let delta = inject_flip_gate_kind(&mut arena, 0).expect("xor flips");
+        assert_eq!(arena.gate(0).unwrap().kind, GateKind::Xnor2);
+        let r = crate::lint::lint_delta(&arena, &delta);
+        assert!(r.is_clean(), "{}", r.render());
+        assert!(lint(&arena.to_netlist()).is_clean());
     }
 
     #[test]

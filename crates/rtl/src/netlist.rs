@@ -269,6 +269,19 @@ impl Netlist {
         self.num_nets += 1;
     }
 
+    /// Assembles a netlist from raw parts without validation — used
+    /// by the arena compactor, whose inputs may deliberately hold
+    /// lint defects that `validate` would reject.
+    pub(crate) fn from_parts(
+        name: String,
+        num_nets: u32,
+        inputs: Vec<Port>,
+        outputs: Vec<Port>,
+        gates: Vec<Gate>,
+    ) -> Netlist {
+        Netlist { name, num_nets, inputs, outputs, gates }
+    }
+
     /// Checks structural sanity: single driver per net, inputs defined
     /// before use, ports reference existing nets. Returns the first
     /// problem found as a human-readable message.
@@ -362,7 +375,7 @@ pub struct DffHandle(usize);
 /// let n = b.finish();
 /// assert_eq!(n.gates().len(), 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     name: String,
     num_nets: u32,
@@ -624,6 +637,67 @@ impl NetlistBuilder {
         debug_assert_eq!(n.validate(), Ok(()));
         n
     }
+
+    /// Captures the builder's position so a later
+    /// [`NetlistBuilder::rewind`] can discard everything emitted after
+    /// this point. Net-id allocation replays identically from a
+    /// rewound checkpoint, which is what lets incremental
+    /// re-elaboration produce netlists *equal* (not merely
+    /// isomorphic) to a from-scratch build.
+    pub fn checkpoint(&self) -> BuilderCheckpoint {
+        BuilderCheckpoint {
+            num_nets: self.num_nets,
+            num_gates: self.gates.len(),
+            num_outputs: self.outputs.len(),
+        }
+    }
+
+    /// Rewinds the builder to `ck`: gates and output ports emitted
+    /// after the checkpoint are discarded and the net-id allocator is
+    /// reset, so re-emitting the same construction sequence yields
+    /// the same net ids. Input ports are never rewound (checkpoints
+    /// are taken after input declaration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ck` was taken from a builder state this builder has
+    /// not reached (a stale or foreign checkpoint).
+    pub fn rewind(&mut self, ck: &BuilderCheckpoint) {
+        assert!(
+            ck.num_gates <= self.gates.len()
+                && ck.num_nets <= self.num_nets
+                && ck.num_outputs <= self.outputs.len(),
+            "rewind target is ahead of the builder"
+        );
+        self.gates.truncate(ck.num_gates);
+        self.outputs.truncate(ck.num_outputs);
+        self.num_nets = ck.num_nets;
+    }
+
+    /// Clones the current builder state into a finished [`Netlist`]
+    /// without consuming the builder — the incremental elaborator
+    /// snapshots after every splice while keeping the builder alive
+    /// for the next one.
+    pub fn snapshot(&self) -> Netlist {
+        let n = Netlist {
+            name: self.name.clone(),
+            num_nets: self.num_nets,
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            gates: self.gates.clone(),
+        };
+        debug_assert_eq!(n.validate(), Ok(()));
+        n
+    }
+}
+
+/// Opaque resume point inside a [`NetlistBuilder`]; see
+/// [`NetlistBuilder::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuilderCheckpoint {
+    num_nets: u32,
+    num_gates: usize,
+    num_outputs: usize,
 }
 
 #[cfg(test)]

@@ -1,0 +1,142 @@
+//! Property tests for the incremental arena-netlist pipeline: random
+//! action sequences applied through [`IncrementalMultiplier`] must
+//! leave the elaboration *equal* (not just isomorphic) to a
+//! from-scratch [`MultiplierNetlist`] build, with the arena mirror in
+//! sync and the delta lint clean.
+//!
+//! These run in release CI too (the incremental-equivalence job),
+//! where the debug oracles inside `retarget` are compiled out — so the
+//! assertions here are the ones actually guarding the fast path.
+
+use proptest::prelude::*;
+use rlmul_ct::{CompressorTree, PpgKind};
+use rlmul_rtl::{lint, lint_delta, IncrementalMultiplier, MultiplierNetlist, Netlist};
+use std::collections::BTreeMap;
+
+/// Per-kind gate census — the coarse structural fingerprint compared
+/// alongside full equality (its failure output is far more readable).
+fn gate_stats(n: &Netlist) -> BTreeMap<String, usize> {
+    let mut stats = BTreeMap::new();
+    for g in n.gates() {
+        *stats.entry(format!("{:?}", g.kind)).or_insert(0) += 1;
+    }
+    stats
+}
+
+fn kind_of(pick: usize) -> PpgKind {
+    [PpgKind::And, PpgKind::Mbe, PpgKind::MacAnd][pick % 3]
+}
+
+/// Drives `inc` through `picks.len()` random legal actions, checking
+/// the incremental result against a fresh elaboration at every step.
+fn walk_and_check(tree: &CompressorTree, picks: &[usize]) -> Result<(), TestCaseError> {
+    let mut inc =
+        IncrementalMultiplier::new(tree).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let mut cur = tree.clone();
+    for &pick in picks {
+        let actions = cur.valid_actions();
+        if actions.is_empty() {
+            break;
+        }
+        let action = actions[pick % actions.len()];
+        cur = cur.apply_action(action).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let delta = inc.retarget(&cur).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(delta.size() > 0, "a tree change must touch gates");
+
+        let fresh = MultiplierNetlist::elaborate(&cur)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?
+            .into_netlist();
+        prop_assert_eq!(gate_stats(inc.netlist()), gate_stats(&fresh));
+        prop_assert!(
+            *inc.netlist() == fresh,
+            "incremental netlist diverged from scratch build after {:?}",
+            action
+        );
+        prop_assert!(
+            inc.arena().matches_netlist(&fresh),
+            "arena mirror fell out of sync after {:?}",
+            action
+        );
+        prop_assert_eq!(
+            inc.arena().iter_live().count(),
+            fresh.gates().len(),
+            "arena live-slot count != netlist gate count"
+        );
+
+        let inc_lint = lint_delta(inc.arena(), inc.last_delta());
+        prop_assert_eq!(inc_lint.errors(), 0, "delta lint: {}", inc_lint.render());
+        let full_lint = lint(&fresh);
+        prop_assert_eq!(full_lint.errors(), 0, "full lint: {}", full_lint.render());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_walks_match_scratch_rebuilds(
+        bits in 4usize..=8,
+        kind_pick in 0usize..3,
+        picks in prop::collection::vec(0usize..64, 1..=5),
+    ) {
+        let kind = kind_of(kind_pick);
+        // Booth PPG supports even operand widths only.
+        let bits = if matches!(kind, PpgKind::Mbe) { bits & !1 } else { bits };
+        let tree = CompressorTree::wallace(bits, kind)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        walk_and_check(&tree, &picks)?;
+    }
+
+    #[test]
+    fn dadda_walks_match_scratch_rebuilds(
+        bits in 4usize..=8,
+        picks in prop::collection::vec(0usize..64, 1..=5),
+    ) {
+        let tree = CompressorTree::dadda(bits, PpgKind::And)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        walk_and_check(&tree, &picks)?;
+    }
+
+    #[test]
+    fn retargeting_back_and_forth_converges(
+        bits in 4usize..=8,
+        pick in 0usize..64,
+    ) {
+        // Forward to a neighbor and back: the incremental state must
+        // land exactly on the original elaboration again.
+        let tree = CompressorTree::wallace(bits, PpgKind::And)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let original = MultiplierNetlist::elaborate(&tree)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?
+            .into_netlist();
+        let mut inc = IncrementalMultiplier::new(&tree)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let actions = tree.valid_actions();
+        let next = tree
+            .apply_action(actions[pick % actions.len()])
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        inc.retarget(&next).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        inc.retarget(&tree).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(*inc.netlist() == original, "round trip must restore the original netlist");
+        prop_assert!(inc.arena().matches_netlist(&original));
+    }
+}
+
+/// Larger widths are release-only: each step cross-checks against a
+/// from-scratch elaboration, which is the very cost the incremental
+/// path avoids in production.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: 16-bit equivalence sweep")]
+fn wide_walks_match_scratch_rebuilds() {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for kind in [PpgKind::And, PpgKind::Mbe] {
+        let tree = CompressorTree::wallace(16, kind).unwrap();
+        let mut picks = Vec::new();
+        for _ in 0..8 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            picks.push((seed >> 33) as usize);
+        }
+        walk_and_check(&tree, &picks).unwrap();
+    }
+}

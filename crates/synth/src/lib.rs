@@ -31,6 +31,7 @@
 
 mod ckpt;
 mod error;
+mod inc;
 mod library;
 mod map;
 mod power;
@@ -39,9 +40,10 @@ mod sta;
 mod synth;
 
 pub use error::SynthError;
+pub use inc::{IncrementalSynthesis, SynthMode};
 pub use library::{Cell, Drive, Library};
-pub use map::MappedNetlist;
+pub use map::{MappedNetlist, NetConn};
 pub use power::{estimate as estimate_power, PowerReport};
-pub use size::{size_to_target, SizingOutcome};
+pub use size::{size_to_target, size_to_target_seeded, SizingOutcome};
 pub use sta::{analyze, IncrementalSta, StaStats, TimingReport};
 pub use synth::{SynthesisOptions, SynthesisReport, Synthesizer};

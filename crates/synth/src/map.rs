@@ -25,14 +25,19 @@ pub(crate) fn kind_cell_stem(kind: GateKind) -> &'static str {
     }
 }
 
-/// A netlist bound to library cells, with per-instance drive
-/// strengths and precomputed fanout information for timing and power.
-#[derive(Debug, Clone)]
-pub struct MappedNetlist<'a> {
-    netlist: &'a Netlist,
-    library: &'a Library,
-    /// Cell index (into the library) of each gate instance.
-    cell_of: Vec<usize>,
+/// Per-net connectivity tables (sinks, drivers, primary-output
+/// fanout), factored out of [`MappedNetlist`] so one instance can be
+/// built once — or patched incrementally after a netlist splice — and
+/// then *shared* by several mappings (one per delay target in the
+/// evaluation pipeline).
+///
+/// Sink lists are kept in ascending `(gate, pin)` order, exactly the
+/// order a from-scratch [`NetConn::build`] produces. That invariant
+/// matters: capacitive loads are floating-point sums over sink lists,
+/// and bit-identical synthesis numbers require summing in the same
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetConn {
     /// For every net: `(gate index, input pin)` sinks.
     sinks: Vec<Vec<(u32, u8)>>,
     /// For every net: the gate driving it (`None` for primary inputs
@@ -42,11 +47,9 @@ pub struct MappedNetlist<'a> {
     po_fanout: Vec<u16>,
 }
 
-impl<'a> MappedNetlist<'a> {
-    /// Maps every gate to its X1 library cell.
-    pub fn map(netlist: &'a Netlist, library: &'a Library) -> Self {
-        let cell_of =
-            netlist.gates().iter().map(|g| library.cell_index(g.kind, Drive::X1)).collect();
+impl NetConn {
+    /// Builds the tables from scratch in one O(gates + nets) pass.
+    pub fn build(netlist: &Netlist) -> Self {
         let mut sinks = vec![Vec::new(); netlist.num_nets() as usize];
         for (gi, g) in netlist.gates().iter().enumerate() {
             for (pin, &inp) in g.inputs().iter().enumerate() {
@@ -69,7 +72,158 @@ impl<'a> MappedNetlist<'a> {
                 }
             }
         }
-        MappedNetlist { netlist, library, cell_of, sinks, driver, po_fanout }
+        NetConn { sinks, driver, po_fanout }
+    }
+
+    /// Updates tables built for `old` to describe `new`, where the two
+    /// netlists share their first `shared_prefix` gates (and their
+    /// input ports). Cost is proportional to the differing suffixes,
+    /// not the circuit.
+    ///
+    /// The result is exactly `NetConn::build(new)` — order-preserving
+    /// removals plus ascending-index appends keep every sink list in
+    /// build order (debug builds assert the equality).
+    pub fn patch(&mut self, old: &Netlist, new: &Netlist, shared_prefix: usize) {
+        debug_assert!(old.gates()[..shared_prefix] == new.gates()[..shared_prefix]);
+        // Retract the old suffix while its net ids are still in range.
+        for (gi, g) in old.gates().iter().enumerate().skip(shared_prefix) {
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                if !inp.is_const() {
+                    let v = &mut self.sinks[inp.0 as usize];
+                    if let Some(pos) = v.iter().position(|&(s, p)| s == gi as u32 && p == pin as u8)
+                    {
+                        v.remove(pos); // order-preserving
+                    }
+                }
+            }
+            for &o in g.outputs() {
+                self.driver[o.0 as usize] = None;
+            }
+        }
+        // Grow to the new net count if needed. Tables never shrink:
+        // when the net space contracts, the retraction above already
+        // emptied the tail entries (the shared prefix cannot reference
+        // suffix-created nets), and keeping them preserves each sink
+        // list's capacity for the next patch.
+        let nets = new.num_nets() as usize;
+        if self.sinks.len() < nets {
+            self.sinks.resize(nets, Vec::new());
+            self.driver.resize(nets, None);
+            self.po_fanout.resize(nets, 0);
+        }
+        // Register the new suffix; its gate indices all exceed every
+        // surviving prefix entry, so appends keep sink lists sorted.
+        for (gi, g) in new.gates().iter().enumerate().skip(shared_prefix) {
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                if !inp.is_const() {
+                    self.sinks[inp.0 as usize].push((gi as u32, pin as u8));
+                }
+            }
+            for &o in g.outputs() {
+                self.driver[o.0 as usize] = Some(gi as u32);
+            }
+        }
+        // Primary-output reads: O(output bits).
+        self.po_fanout.iter_mut().for_each(|c| *c = 0);
+        for p in new.outputs() {
+            for &b in &p.bits {
+                if !b.is_const() {
+                    self.po_fanout[b.0 as usize] += 1;
+                }
+            }
+        }
+        debug_assert!(
+            self.agrees_with(&NetConn::build(new)),
+            "patched NetConn diverged from rebuild"
+        );
+    }
+
+    /// Whether this table describes the same connectivity as `fresh`
+    /// (a from-scratch build), ignoring cleaned-out tail entries left
+    /// behind by a shrinking patch. Debug-validation helper.
+    fn agrees_with(&self, fresh: &NetConn) -> bool {
+        let n = fresh.sinks.len();
+        self.sinks.len() >= n
+            && self.sinks[..n] == fresh.sinks[..]
+            && self.driver[..n] == fresh.driver[..]
+            && self.po_fanout[..n] == fresh.po_fanout[..]
+            && self.sinks[n..].iter().all(Vec::is_empty)
+            && self.driver[n..].iter().all(Option::is_none)
+            && self.po_fanout[n..].iter().all(|&c| c == 0)
+    }
+
+    /// Driving gate of `net`, `None` for primary inputs, constants,
+    /// and out-of-range ids (stale nets from a pre-patch netlist).
+    pub(crate) fn driver_index(&self, net: rlmul_rtl::NetId) -> Option<u32> {
+        if net.is_const() {
+            return None;
+        }
+        self.driver.get(net.0 as usize).copied().flatten()
+    }
+}
+
+/// The all-X1 cell binding of `netlist` — the template
+/// [`MappedNetlist::map_with_parts`] expects.
+pub fn x1_cell_of(netlist: &Netlist, library: &Library) -> Vec<usize> {
+    netlist.gates().iter().map(|g| library.cell_index(g.kind, Drive::X1)).collect()
+}
+
+/// Either owns its connectivity tables or borrows shared ones.
+#[derive(Debug, Clone)]
+enum ConnStore<'a> {
+    Owned(NetConn),
+    Borrowed(&'a NetConn),
+}
+
+impl ConnStore<'_> {
+    fn get(&self) -> &NetConn {
+        match self {
+            ConnStore::Owned(c) => c,
+            ConnStore::Borrowed(c) => c,
+        }
+    }
+}
+
+/// A netlist bound to library cells, with per-instance drive
+/// strengths and precomputed fanout information for timing and power.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+    /// Cell index (into the library) of each gate instance.
+    cell_of: Vec<usize>,
+    conn: ConnStore<'a>,
+}
+
+impl<'a> MappedNetlist<'a> {
+    /// Maps every gate to its X1 library cell.
+    pub fn map(netlist: &'a Netlist, library: &'a Library) -> Self {
+        let cell_of =
+            netlist.gates().iter().map(|g| library.cell_index(g.kind, Drive::X1)).collect();
+        MappedNetlist { netlist, library, cell_of, conn: ConnStore::Owned(NetConn::build(netlist)) }
+    }
+
+    /// Maps every gate to its X1 cell, borrowing pre-built
+    /// connectivity tables instead of rebuilding them — the
+    /// incremental pipeline shares one patched [`NetConn`] across all
+    /// delay targets of a step.
+    pub fn map_with_conn(netlist: &'a Netlist, library: &'a Library, conn: &'a NetConn) -> Self {
+        let cell_of = x1_cell_of(netlist, library);
+        Self::map_with_parts(netlist, library, conn, cell_of)
+    }
+
+    /// Maps with a precomputed all-X1 cell binding (the incremental
+    /// pipeline keeps one as a patched template and hands each delay
+    /// target a memcpy of it, skipping the per-gate library lookups).
+    pub fn map_with_parts(
+        netlist: &'a Netlist,
+        library: &'a Library,
+        conn: &'a NetConn,
+        cell_of: Vec<usize>,
+    ) -> Self {
+        debug_assert!(conn.sinks.len() >= netlist.num_nets() as usize);
+        debug_assert_eq!(cell_of, x1_cell_of(netlist, library), "stale cell template");
+        MappedNetlist { netlist, library, cell_of, conn: ConnStore::Borrowed(conn) }
     }
 
     /// The source netlist.
@@ -95,7 +249,7 @@ impl<'a> MappedNetlist<'a> {
 
     /// `(gate, pin)` sinks of `net`.
     pub fn sinks(&self, net: rlmul_rtl::NetId) -> &[(u32, u8)] {
-        &self.sinks[net.0 as usize]
+        &self.conn.get().sinks[net.0 as usize]
     }
 
     /// Gate driving `net`, or `None` for primary inputs and constants.
@@ -103,19 +257,20 @@ impl<'a> MappedNetlist<'a> {
         if net.is_const() {
             return None;
         }
-        self.driver[net.0 as usize].map(|gi| gi as usize)
+        self.conn.get().driver[net.0 as usize].map(|gi| gi as usize)
     }
 
     /// Capacitive load on `net` in fF: sink pin caps, wire estimate,
     /// and primary-output loads.
     pub fn load_ff(&self, net: rlmul_rtl::NetId) -> f64 {
         let lib = self.library;
-        let s = &self.sinks[net.0 as usize];
+        let conn = self.conn.get();
+        let s = &conn.sinks[net.0 as usize];
         let pin_caps: f64 = s.iter().map(|&(gi, _)| self.cell_of(gi as usize).input_cap_ff).sum();
-        let fanout = s.len() as f64 + self.po_fanout[net.0 as usize] as f64;
+        let fanout = s.len() as f64 + conn.po_fanout[net.0 as usize] as f64;
         pin_caps
             + fanout * lib.wire_cap_per_fanout_ff
-            + self.po_fanout[net.0 as usize] as f64 * lib.output_load_ff
+            + conn.po_fanout[net.0 as usize] as f64 * lib.output_load_ff
     }
 
     /// Total cell area in µm².

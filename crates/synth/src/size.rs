@@ -9,7 +9,7 @@
 
 use crate::library::Drive;
 use crate::map::MappedNetlist;
-use crate::sta::{IncrementalSta, StaStats, TimingReport};
+use crate::sta::{critical_path_from, worst_endpoint, IncrementalSta, StaStats, TimingReport};
 
 /// Result of a sizing run.
 #[derive(Debug, Clone)]
@@ -49,7 +49,12 @@ pub fn size_to_target(
     let mut moves = 0;
     let mut resized = Vec::with_capacity(MOVES_PER_PASS);
     while timing.worst_delay_ns > target_ns && moves < max_moves {
-        let batch = best_moves(m, &timing, MOVES_PER_PASS.min(max_moves - moves));
+        let batch = best_moves(
+            m,
+            &timing.critical_path,
+            &timing.arrivals,
+            MOVES_PER_PASS.min(max_moves - moves),
+        );
         if batch.is_empty() {
             break;
         }
@@ -65,12 +70,146 @@ pub fn size_to_target(
     SizingOutcome { timing, moves, met_target, sta: sta.stats() }
 }
 
+/// Variant of [`size_to_target`] that starts from externally supplied
+/// all-X1 baseline arrivals instead of a full timing pass, and avoids
+/// the per-batch arrival clone and whole-netlist flip-flop scan of the
+/// report path (`dffs` lists the Dff gate indices in ascending order).
+///
+/// Decision-for-decision it mirrors [`size_to_target`] — same batch
+/// selection, same convergence test, same arc arithmetic — so the
+/// final drive assignment, move count, and worst delay are
+/// bit-identical to the from-scratch run. Only the [`StaStats`] work
+/// counters differ (no initial full pass is charged).
+pub fn size_to_target_seeded(
+    m: &mut MappedNetlist<'_>,
+    target_ns: f64,
+    max_moves: usize,
+    baseline: Vec<f64>,
+    dffs: &[u32],
+) -> SizingOutcome {
+    let mut sta = IncrementalSta::new();
+    sta.seed(m, baseline);
+    let (mut worst, mut worst_net) = worst_endpoint(m, sta.arrivals(), Some(dffs));
+    let mut moves = 0;
+    let mut resized = Vec::with_capacity(MOVES_PER_PASS);
+    while worst > target_ns && moves < max_moves {
+        let path = critical_path_from(m, sta.arrivals(), worst_net);
+        let batch = best_moves(m, &path, sta.arrivals(), MOVES_PER_PASS.min(max_moves - moves));
+        if batch.is_empty() {
+            break;
+        }
+        resized.clear();
+        for &(gi, drive) in &batch {
+            m.set_drive(gi, drive);
+            resized.push(gi);
+        }
+        moves += batch.len();
+        sta.propagate(m, &resized);
+        (worst, worst_net) = worst_endpoint(m, sta.arrivals(), Some(dffs));
+    }
+    let met_target = worst <= target_ns;
+    let critical_path = critical_path_from(m, sta.arrivals(), worst_net);
+    let timing =
+        TimingReport { worst_delay_ns: worst, arrivals: sta.arrivals().to_vec(), critical_path };
+    SizingOutcome { timing, moves, met_target, sta: sta.stats() }
+}
+
+/// Stop-state handed to the emission callback of
+/// [`size_to_targets_seeded`].
+#[derive(Debug, Clone)]
+pub struct TargetStop {
+    /// Worst endpoint arrival at the stop point.
+    pub worst_delay_ns: f64,
+    /// Upsizing moves applied up to the stop point.
+    pub moves: usize,
+    /// Whether the target was met there.
+    pub met_target: bool,
+    /// Timing-engine work counters at the stop point.
+    pub sta: StaStats,
+}
+
+/// Sizes `m` along the single TILOS trajectory shared by several
+/// delay targets, reporting each entry of `targets_ns` at its stop
+/// point via `emit(m, target_index, stop)`.
+///
+/// [`size_to_target`]'s batch selection depends only on the current
+/// mapping and arrival state — the delay target merely decides when
+/// the loop *stops*. Every looser target's independent run is
+/// therefore a prefix of the tightest target's, and one trajectory
+/// serves all targets bit-identically: `emit` observes `m` exactly as
+/// the equivalent [`size_to_target_seeded`] call (same `max_moves`,
+/// same baseline) would have left it. The evaluation pipeline leans on
+/// this to synthesize a netlist under its whole fan of delay
+/// constraints for little more than the cost of the tightest one.
+pub fn size_to_targets_seeded(
+    m: &mut MappedNetlist<'_>,
+    targets_ns: &[f64],
+    max_moves: usize,
+    baseline: Vec<f64>,
+    dffs: &[u32],
+    mut emit: impl FnMut(&MappedNetlist<'_>, usize, &TargetStop),
+) {
+    let mut sta = IncrementalSta::new();
+    sta.seed(m, baseline);
+    let (mut worst, mut worst_net) = worst_endpoint(m, sta.arrivals(), Some(dffs));
+    // Ascending by target: the loosest pending target sits last and
+    // satisfied targets pop off the back.
+    let mut pending: Vec<(usize, f64)> = targets_ns.iter().copied().enumerate().collect();
+    pending.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite targets"));
+    let mut moves = 0;
+    let mut resized = Vec::with_capacity(MOVES_PER_PASS);
+    loop {
+        while let Some(&(idx, target)) = pending.last() {
+            if worst > target {
+                break;
+            }
+            let stop =
+                TargetStop { worst_delay_ns: worst, moves, met_target: true, sta: sta.stats() };
+            emit(m, idx, &stop);
+            pending.pop();
+        }
+        if pending.is_empty() || moves >= max_moves {
+            break;
+        }
+        let path = critical_path_from(m, sta.arrivals(), worst_net);
+        let batch = best_moves(m, &path, sta.arrivals(), MOVES_PER_PASS.min(max_moves - moves));
+        if batch.is_empty() {
+            break;
+        }
+        resized.clear();
+        for &(gi, drive) in &batch {
+            m.set_drive(gi, drive);
+            resized.push(gi);
+        }
+        moves += batch.len();
+        sta.propagate(m, &resized);
+        (worst, worst_net) = worst_endpoint(m, sta.arrivals(), Some(dffs));
+    }
+    // Targets the trajectory never reached (move cap or no helpful
+    // move left) all end in the same final state, exactly where their
+    // independent runs would have given up.
+    for &(idx, target) in pending.iter().rev() {
+        let stop = TargetStop {
+            worst_delay_ns: worst,
+            moves,
+            met_target: worst <= target,
+            sta: sta.stats(),
+        };
+        emit(m, idx, &stop);
+    }
+}
+
 /// Picks up to `limit` distinct critical-path upsizes with the best
 /// estimated gain-per-area among moves with positive estimated gain.
-fn best_moves(m: &MappedNetlist<'_>, timing: &TimingReport, limit: usize) -> Vec<(usize, Drive)> {
+fn best_moves(
+    m: &MappedNetlist<'_>,
+    critical_path: &[usize],
+    arrivals: &[f64],
+    limit: usize,
+) -> Vec<(usize, Drive)> {
     let n = m.netlist();
     let mut scored: Vec<(usize, Drive, f64)> = Vec::new();
-    for &gi in &timing.critical_path {
+    for &gi in critical_path {
         let cell = m.cell_of(gi);
         let Some(up) = cell.drive.upsize() else { continue };
         let upcell = m.library().cell(m.library().cell_index(n.gates()[gi].kind, up));
@@ -86,8 +225,8 @@ fn best_moves(m: &MappedNetlist<'_>, timing: &TimingReport, limit: usize) -> Vec
             .iter()
             .filter(|i| !i.is_const())
             .max_by(|a, b| {
-                timing.arrivals[a.0 as usize]
-                    .partial_cmp(&timing.arrivals[b.0 as usize])
+                arrivals[a.0 as usize]
+                    .partial_cmp(&arrivals[b.0 as usize])
                     .expect("arrivals are finite")
             })
             .and_then(|&i| m.driver_of(i))
@@ -131,6 +270,68 @@ mod tests {
         assert!(out_tight.moves > 0);
         assert!(tight.area_um2() > area_loose);
         assert!(out_tight.timing.worst_delay_ns < t_loose);
+    }
+
+    #[test]
+    fn seeded_sizing_is_bit_identical_to_from_scratch() {
+        let lib = Library::nangate45();
+        let tree = CompressorTree::wallace(8, PpgKind::And).unwrap();
+        let nl = MultiplierNetlist::elaborate(&tree).unwrap().into_netlist();
+
+        let mut a = MappedNetlist::map(&nl, &lib);
+        let target = analyze(&a).worst_delay_ns * 0.8;
+        let out_a = size_to_target(&mut a, target, 800);
+
+        let mut b = MappedNetlist::map(&nl, &lib);
+        let baseline = analyze(&b).arrivals;
+        let out_b = size_to_target_seeded(&mut b, target, 800, baseline, &[]);
+
+        assert_eq!(out_a.moves, out_b.moves);
+        assert_eq!(out_a.met_target, out_b.met_target);
+        assert_eq!(out_a.timing.worst_delay_ns, out_b.timing.worst_delay_ns);
+        assert_eq!(out_a.timing.critical_path, out_b.timing.critical_path);
+        assert_eq!(out_a.timing.arrivals, out_b.timing.arrivals);
+        assert_eq!(a.drive_histogram(), b.drive_histogram());
+        assert_eq!(a.area_um2(), b.area_um2());
+    }
+
+    #[test]
+    fn seeded_sizing_handles_sequential_endpoints() {
+        let lib = Library::nangate45();
+        let mut b = rlmul_rtl::NetlistBuilder::new("seq");
+        let x = b.input("x", 4);
+        let mut regs = Vec::new();
+        for &xi in x.iter().take(4) {
+            let q = b.dff(xi);
+            regs.push(q);
+        }
+        let s0 = b.xor2(regs[0], regs[1]);
+        let s1 = b.xor2(regs[2], regs[3]);
+        let s = b.xor2(s0, s1);
+        let q = b.dff(s);
+        b.output("y", &[q]);
+        let nl = b.finish();
+
+        let dffs: Vec<u32> = nl
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == rlmul_rtl::GateKind::Dff)
+            .map(|(gi, _)| gi as u32)
+            .collect();
+        assert_eq!(dffs.len(), 5);
+
+        let mut full = MappedNetlist::map(&nl, &lib);
+        let target = analyze(&full).worst_delay_ns * 0.9;
+        let out_full = size_to_target(&mut full, target, 100);
+
+        let mut seeded = MappedNetlist::map(&nl, &lib);
+        let baseline = analyze(&seeded).arrivals;
+        let out_seeded = size_to_target_seeded(&mut seeded, target, 100, baseline, &dffs);
+
+        assert_eq!(out_full.moves, out_seeded.moves);
+        assert_eq!(out_full.timing.worst_delay_ns, out_seeded.timing.worst_delay_ns);
+        assert_eq!(full.drive_histogram(), seeded.drive_histogram());
     }
 
     #[test]

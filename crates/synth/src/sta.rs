@@ -85,11 +85,17 @@ fn propagate_gate(m: &MappedNetlist<'_>, gi: usize, g: &Gate, arrivals: &mut [f6
     }
 }
 
-/// Endpoint scan and critical-path walk over finished arrivals.
-fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
+/// Endpoint scan: worst arrival over primary outputs, then flip-flop
+/// D pins (plus setup). `dffs` optionally supplies the flip-flop gate
+/// indices in ascending order so the scan skips the O(gates) walk; it
+/// must list exactly the Dff gates in netlist order for the
+/// tie-breaking (`>`, first maximum wins) to match a full scan.
+pub(crate) fn worst_endpoint(
+    m: &MappedNetlist<'_>,
+    arrivals: &[f64],
+    dffs: Option<&[u32]>,
+) -> (f64, Option<NetId>) {
     let n = m.netlist();
-
-    // Endpoints.
     let mut worst = 0.0f64;
     let mut worst_net: Option<NetId> = None;
     for p in n.outputs() {
@@ -101,7 +107,7 @@ fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
         }
     }
     let setup = m.library().setup_ns;
-    for g in n.gates() {
+    let mut check_dff = |g: &Gate| {
         if g.kind == GateKind::Dff {
             let d = g.ins[0];
             let t = arrivals[d.0 as usize] + setup;
@@ -110,9 +116,23 @@ fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
                 worst_net = Some(d);
             }
         }
+    };
+    match dffs {
+        Some(list) => list.iter().for_each(|&gi| check_dff(&n.gates()[gi as usize])),
+        None => n.gates().iter().for_each(check_dff),
     }
+    (worst, worst_net)
+}
 
-    // Critical-path extraction: walk max-arrival predecessors.
+/// Critical-path extraction: walk max-arrival predecessors from the
+/// worst endpoint back to a startpoint. Gates are returned startpoint
+/// first.
+pub(crate) fn critical_path_from(
+    m: &MappedNetlist<'_>,
+    arrivals: &[f64],
+    worst_net: Option<NetId>,
+) -> Vec<usize> {
+    let n = m.netlist();
     let mut critical_path = Vec::new();
     let mut cur = worst_net;
     while let Some(net) = cur {
@@ -140,6 +160,13 @@ fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
         }
     }
     critical_path.reverse();
+    critical_path
+}
+
+/// Endpoint scan and critical-path walk over finished arrivals.
+fn report_from(m: &MappedNetlist<'_>, arrivals: Vec<f64>) -> TimingReport {
+    let (worst, worst_net) = worst_endpoint(m, &arrivals, None);
+    let critical_path = critical_path_from(m, &arrivals, worst_net);
     TimingReport { worst_delay_ns: worst, arrivals, critical_path }
 }
 
@@ -170,6 +197,15 @@ pub struct IncrementalSta {
     stats: StaStats,
 }
 
+/// Queue a gate for the topological worklist unless already queued.
+#[inline]
+fn push_gate(heap: &mut BinaryHeap<Reverse<u32>>, queued: &mut [bool], gi: usize) {
+    if !queued[gi] {
+        queued[gi] = true;
+        heap.push(Reverse(gi as u32));
+    }
+}
+
 impl IncrementalSta {
     /// A fresh engine; call [`IncrementalSta::analyze_full`] before
     /// the first [`IncrementalSta::update`].
@@ -177,9 +213,27 @@ impl IncrementalSta {
         Self::default()
     }
 
+    /// Engine pre-loaded with the arrivals of a *previous* netlist,
+    /// ready to be rebased onto an edited one via
+    /// [`IncrementalSta::patch_baseline`].
+    pub fn from_baseline(arrivals: Vec<f64>) -> Self {
+        IncrementalSta { arrivals, queued: Vec::new(), stats: StaStats::default() }
+    }
+
     /// Work counters accumulated so far.
     pub fn stats(&self) -> StaStats {
         self.stats
+    }
+
+    /// The cached per-net arrival times.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// Consumes the engine, yielding the cached arrivals without a
+    /// copy.
+    pub fn into_arrivals(self) -> Vec<f64> {
+        self.arrivals
     }
 
     /// Whole-netlist pass that (re)seeds the cached arrivals.
@@ -192,36 +246,104 @@ impl IncrementalSta {
         report
     }
 
+    /// Installs externally computed arrivals (e.g. a clone of a shared
+    /// per-step baseline) without any propagation pass.
+    pub fn seed(&mut self, m: &MappedNetlist<'_>, arrivals: Vec<f64>) {
+        debug_assert_eq!(arrivals.len(), m.netlist().num_nets() as usize);
+        self.queued = vec![false; m.netlist().gates().len()];
+        self.arrivals = arrivals;
+    }
+
     /// Re-propagates arrivals through the fanout cone of `resized`
-    /// gates and returns a report identical to a full [`analyze`].
-    pub fn update(&mut self, m: &MappedNetlist<'_>, resized: &[usize]) -> TimingReport {
-        assert!(!self.arrivals.is_empty(), "IncrementalSta::update before analyze_full");
-        let n = m.netlist();
-        let gates = n.gates();
+    /// gates without producing a report. The caller must seed the
+    /// engine first.
+    pub fn propagate(&mut self, m: &MappedNetlist<'_>, resized: &[usize]) {
+        assert!(!self.arrivals.is_empty(), "IncrementalSta::propagate before arrivals seeded");
+        let gates = m.netlist().gates();
         let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
-        let push = |heap: &mut BinaryHeap<Reverse<u32>>, queued: &mut [bool], gi: usize| {
-            if !queued[gi] {
-                queued[gi] = true;
-                heap.push(Reverse(gi as u32));
-            }
-        };
 
         // Seeds: the resized gates (their drive resistance changed)
         // and the drivers of their input nets (their load changed via
         // the resized cell's input capacitance).
         for &gi in resized {
-            push(&mut heap, &mut self.queued, gi);
+            push_gate(&mut heap, &mut self.queued, gi);
             for &i in gates[gi].inputs() {
                 if let Some(d) = m.driver_of(i) {
-                    push(&mut heap, &mut self.queued, d);
+                    push_gate(&mut heap, &mut self.queued, d);
                 }
             }
         }
+        self.drain(m, heap);
+        self.stats.incremental_passes += 1;
+    }
 
-        // Topological worklist: ascending gate index equals
-        // topological order, and a changed net only ever wakes
-        // readers with larger indices, so every popped gate sees
-        // final fanin arrivals.
+    /// Rebases cached arrivals from an old netlist onto `m_new`, where
+    /// the two netlists share a gate prefix of `first_suffix_gate`
+    /// gates. Every suffix gate is re-evaluated, plus the caller's
+    /// `seeds` — prefix gates whose output load changed because the
+    /// edit rewired their readers or primary-output fanout — plus,
+    /// transitively, any reader of a net whose arrival moved. The
+    /// result is bit-identical to a full [`analyze`] of `m_new`
+    /// (asserted in debug builds).
+    pub fn patch_baseline(
+        &mut self,
+        m_new: &MappedNetlist<'_>,
+        seeds: &[usize],
+        first_suffix_gate: usize,
+    ) {
+        assert!(!self.arrivals.is_empty(), "IncrementalSta::patch_baseline before analyze_full");
+        let n = m_new.netlist();
+        self.arrivals.resize(n.num_nets() as usize, 0.0);
+        // Undriven ids (sweep holes, primary inputs) are never written
+        // by a full pass and must read 0.0, not a stale old arrival.
+        for net in 0..n.num_nets() {
+            if m_new.driver_of(NetId(net)).is_none() {
+                self.arrivals[net as usize] = 0.0;
+            }
+        }
+        self.queued.clear();
+        self.queued.resize(n.gates().len(), false);
+        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        for &gi in seeds {
+            push_gate(&mut heap, &mut self.queued, gi);
+        }
+        // Suffix-gate sinks are themselves suffix gates (gate order is
+        // topological, so drivers precede readers), hence queueing the
+        // whole suffix makes stale change-detection on reused net ids
+        // harmless.
+        for gi in first_suffix_gate..n.gates().len() {
+            push_gate(&mut heap, &mut self.queued, gi);
+        }
+        self.drain(m_new, heap);
+        self.stats.incremental_passes += 1;
+
+        #[cfg(debug_assertions)]
+        {
+            let full = analyze(m_new);
+            if full.arrivals != self.arrivals {
+                let diffs: Vec<(usize, f64, f64)> = full
+                    .arrivals
+                    .iter()
+                    .zip(&self.arrivals)
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(i, (&a, &b))| (i, a, b))
+                    .take(8)
+                    .collect();
+                panic!(
+                    "patched STA baseline diverged from full analyze: \
+                     first diffs (net, full, patched) = {diffs:?}, \
+                     first_suffix_gate = {first_suffix_gate}",
+                );
+            }
+        }
+    }
+
+    /// Topological worklist: ascending gate index equals topological
+    /// order, and a changed net only ever wakes readers with larger
+    /// indices, so every popped gate sees final fanin arrivals.
+    fn drain(&mut self, m: &MappedNetlist<'_>, mut heap: BinaryHeap<Reverse<u32>>) {
+        let gates = m.netlist().gates();
         while let Some(Reverse(gi)) = heap.pop() {
             let gi = gi as usize;
             self.queued[gi] = false;
@@ -235,12 +357,18 @@ impl IncrementalSta {
             for (k, &o) in g.outputs().iter().enumerate() {
                 if self.arrivals[o.0 as usize] != before[k] {
                     for &(sink, _) in m.sinks(o) {
-                        push(&mut heap, &mut self.queued, sink as usize);
+                        push_gate(&mut heap, &mut self.queued, sink as usize);
                     }
                 }
             }
         }
-        self.stats.incremental_passes += 1;
+    }
+
+    /// Re-propagates arrivals through the fanout cone of `resized`
+    /// gates and returns a report identical to a full [`analyze`].
+    pub fn update(&mut self, m: &MappedNetlist<'_>, resized: &[usize]) -> TimingReport {
+        assert!(!self.arrivals.is_empty(), "IncrementalSta::update before analyze_full");
+        self.propagate(m, resized);
 
         let report = report_from(m, self.arrivals.clone());
 

@@ -211,3 +211,32 @@ fn all_elaborated_structures_lint_clean() {
         }
     }
 }
+
+/// Release-only spot-check of the incremental pipeline's arena state:
+/// walk a few random actions through `IncrementalMultiplier` (the
+/// spliced arena is never compacted) and SAT-prove the live arena
+/// equivalent to a from-scratch golden Dadda elaboration, straight
+/// from the slot representation.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: CDCL proof over arena walks")]
+fn incremental_arena_walks_prove_equivalent() {
+    use rlmul::lec::prove_arena_equiv;
+    use rlmul::rtl::IncrementalMultiplier;
+
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for kind in [PpgKind::And, PpgKind::Mbe] {
+        let golden = elaborate(&CompressorTree::dadda(8, kind).unwrap());
+        let mut cur = CompressorTree::wallace(8, kind).unwrap();
+        let mut inc = IncrementalMultiplier::new(&cur).unwrap();
+        for step in 0..3 {
+            let actions = cur.valid_actions();
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cur = cur.apply_action(actions[(seed >> 33) as usize % actions.len()]).unwrap();
+            inc.retarget(&cur).unwrap();
+            assert!(
+                prove_arena_equiv(inc.arena(), &golden).unwrap(),
+                "{kind} walk step {step}: spliced arena must stay equivalent to golden Dadda"
+            );
+        }
+    }
+}
