@@ -111,6 +111,11 @@ impl SaRun {
         self.current_cost
     }
 
+    /// Current annealing temperature (cooled after every step).
+    pub fn temperature(&self) -> f64 {
+        self.temp.max(self.config.min_temp)
+    }
+
     /// One Metropolis proposal: draw a random legal action, score the
     /// candidate with `cost`, accept downhill always and uphill with
     /// the Boltzmann probability, then cool.

@@ -255,7 +255,7 @@ impl<'scope> EnvPool<'scope> {
     /// observes a consistent global state).
     fn snapshot_all(&mut self) -> Vec<EnvSnapshot> {
         match self {
-            EnvPool::Serial(envs) => envs.iter().map(MulEnv::snapshot).collect(),
+            EnvPool::Serial(envs) => envs.iter_mut().map(MulEnv::snapshot).collect(),
             EnvPool::Parallel(workers) => {
                 for w in workers.iter() {
                     w.tx.send(Cmd::Snapshot).expect("worker thread exited early");
@@ -490,7 +490,7 @@ pub fn train_a2c_with(
     );
     let mut best_saved = f64::INFINITY;
     let mut completed = start;
-    let envs = std::thread::scope(|scope| -> Result<Vec<MulEnv>, RlMulError> {
+    let mut envs = std::thread::scope(|scope| -> Result<Vec<MulEnv>, RlMulError> {
         let mut pool = EnvPool::launch(scope, envs);
         for t in start..config.steps {
             if hooks.stop_requested() {
@@ -570,6 +570,15 @@ pub fn train_a2c_with(
         Ok(pool.finish())
     })?;
 
+    // Verification sweep on normal completion only: an interrupted
+    // run sweeps when its resumption finishes, so resume stays
+    // bit-identical to an uninterrupted run. Environment order keeps
+    // the shared cache's fill order deterministic.
+    if completed == config.steps {
+        for env in &mut envs {
+            env.verify_screened()?;
+        }
+    }
     // Shutdown snapshot: rolled on normal completion and on
     // cooperative stop alike, so `resume` always has the exact state
     // the run ended in.
@@ -583,7 +592,7 @@ pub fn train_a2c_with(
             &states,
             &masks,
             &trajectory,
-            envs.iter().map(MulEnv::snapshot).collect(),
+            envs.iter_mut().map(MulEnv::snapshot).collect(),
             &cache,
             hooks,
             &mut best_saved,
@@ -624,6 +633,9 @@ pub fn train_a2c_with(
         pipeline.cache_misses += s.cache_misses;
         pipeline.sta.merge(s.sta);
         pipeline.lint.merge(s.lint);
+        pipeline.synthesis_calls += s.synthesis_calls;
+        pipeline.surrogate_screened += s.surrogate_screened;
+        pipeline.surrogate_forced_evals += s.surrogate_forced_evals;
     }
     let states_visited = envs[0].stats().distinct_states;
     pipeline.cache_entries = states_visited;

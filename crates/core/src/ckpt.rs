@@ -14,6 +14,7 @@ use crate::cache::CacheKey;
 use crate::dqn::{DqnSnapshot, Transition};
 use crate::env::{EnvSnapshot, Evaluation};
 use crate::sa_driver::SaSnapshot;
+use crate::surrogate::SurrogateSnapshot;
 use rlmul_baselines::SaParts;
 use rlmul_ckpt::{CkptError, Decoder, Encoder, Record};
 use rlmul_ct::{CompressorTree, PpgKind};
@@ -56,6 +57,8 @@ impl Record for EnvSnapshot {
         enc.put_usize(self.steps_taken);
         self.pareto_points.encode(enc);
         self.delay_targets.encode(enc);
+        self.surrogate.encode(enc);
+        self.watch.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
@@ -67,6 +70,48 @@ impl Record for EnvSnapshot {
             steps_taken: dec.get_usize()?,
             pareto_points: Vec::decode(dec)?,
             delay_targets: Vec::decode(dec)?,
+            surrogate: Option::decode(dec)?,
+            watch: Vec::decode(dec)?,
+        })
+    }
+}
+
+impl Record for SurrogateSnapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        self.net.encode(enc);
+        enc.put_i64(self.adam_t);
+        self.adam_m.encode(enc);
+        self.adam_v.encode(enc);
+        self.rng.encode(enc);
+        self.buf_x.encode(enc);
+        self.buf_y.encode(enc);
+        enc.put_usize(self.write_pos);
+        self.seen.encode(enc);
+        self.norm.encode(enc);
+        enc.put_usize(self.observed);
+        enc.put_usize(self.since_real);
+        enc.put_f64(self.best_real_cost);
+        self.mae_sums.encode(enc);
+        enc.put_u64(self.mae_count);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(SurrogateSnapshot {
+            net: NetSnapshot::decode(dec)?,
+            adam_t: dec.get_i64()?,
+            adam_m: Vec::<Tensor>::decode(dec)?,
+            adam_v: Vec::<Tensor>::decode(dec)?,
+            rng: <[u64; 4]>::decode(dec)?,
+            buf_x: Vec::decode(dec)?,
+            buf_y: Vec::decode(dec)?,
+            write_pos: dec.get_usize()?,
+            seen: Vec::decode(dec)?,
+            norm: Vec::decode(dec)?,
+            observed: dec.get_usize()?,
+            since_real: dec.get_usize()?,
+            best_real_cost: dec.get_f64()?,
+            mae_sums: Vec::decode(dec)?,
+            mae_count: dec.get_u64()?,
         })
     }
 }
@@ -237,6 +282,8 @@ mod tests {
             steps_taken: 9,
             pareto_points: vec![(100.0, 1.5), (90.0, 1.75)],
             delay_targets: vec![0.7, 0.85, 1.0, 1.15],
+            surrogate: None,
+            watch: vec![(0.015625, vec![(101.5, 1.25), (95.25, 1.5)], tree())],
         }
     }
 

@@ -332,6 +332,12 @@ pub fn train_dqn_with(
         }
     }
 
+    // Verification sweep on normal completion only: an interrupted
+    // run sweeps when its resumption finishes, so resume stays
+    // bit-identical to an uninterrupted run.
+    if completed == config.steps {
+        env.verify_screened()?;
+    }
     // Shutdown snapshot: rolled on normal completion and on
     // cooperative stop alike, so `resume` always has the exact state
     // the run ended in.
@@ -378,6 +384,9 @@ pub fn train_dqn_with(
             sta: stats.sta,
             nn: NnStats::snapshot().since(nn_before),
             lint: stats.lint,
+            synthesis_calls: stats.synthesis_calls,
+            surrogate_screened: stats.surrogate_screened,
+            surrogate_forced_evals: stats.surrogate_forced_evals,
         },
     })
 }
@@ -393,7 +402,7 @@ fn save_dqn_checkpoint(
     buffer: &VecDeque<Transition>,
     trajectory: &[f64],
     state: &[f32],
-    env: &MulEnv,
+    env: &mut MulEnv,
     hooks: &TrainHooks,
     best_saved: &mut f64,
     periodic: bool,

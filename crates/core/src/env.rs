@@ -3,6 +3,7 @@
 
 use crate::cache::{context_fingerprint, CacheKeyRef, EvalCache, Lookup};
 use crate::reward::CostWeights;
+use crate::surrogate::{state_fingerprint, Surrogate, SurrogateConfig, SurrogateSnapshot};
 use crate::RlMulError;
 use rlmul_ct::{Action, CompressorTree, PpgKind};
 use rlmul_nn::Tensor;
@@ -74,6 +75,9 @@ pub struct EnvConfig {
     pub max_upsizes: usize,
     /// Miss-path evaluation pipeline (incremental by default).
     pub pipeline: PipelineMode,
+    /// Online surrogate evaluator (disabled by default; the disabled
+    /// path is bit-identical to an environment without one).
+    pub surrogate: SurrogateConfig,
 }
 
 impl EnvConfig {
@@ -89,6 +93,7 @@ impl EnvConfig {
             initial: InitialStructure::default(),
             max_upsizes: 800,
             pipeline: PipelineMode::default(),
+            surrogate: SurrogateConfig::default(),
         }
     }
 }
@@ -125,6 +130,15 @@ pub struct EnvStats {
     pub sta: StaStats,
     /// Structural-lint gate counters (one check per elaboration).
     pub lint: LintStats,
+    /// Real synthesis pipeline invocations (cache misses that ran the
+    /// synthesizer). Kept distinct from `synth_runs` — which counts
+    /// per-delay-target runs — so the surrogate bench reads one
+    /// unambiguous call count.
+    pub synthesis_calls: usize,
+    /// Evaluations answered by the surrogate instead of synthesis.
+    pub surrogate_screened: usize,
+    /// Real evaluations forced by the surrogate honesty schedule.
+    pub surrogate_forced_evals: usize,
 }
 
 /// Result of one environment step.
@@ -170,7 +184,25 @@ pub struct MulEnv {
     steps_taken: usize,
     counters: PipelineCounters,
     sink: TelemetrySink,
+    /// Online learned evaluator; `None` unless enabled in the config.
+    surrogate: Option<Surrogate>,
+    /// Per-step scratch (satellite: no fresh `Vec` per mask query or
+    /// candidate encoding on the hot path).
+    scratch_mask: Vec<bool>,
+    scratch_dense: Vec<f32>,
+    /// Screened states whose predictions landed nearest the Pareto
+    /// front, sorted by descending screen-time nearness, each with
+    /// its predicted per-constraint `(area, delay)` points; the
+    /// end-of-run verification sweep ([`MulEnv::verify_screened`])
+    /// re-scores them against the final front and real-evaluates the
+    /// still-plausible extenders.
+    watch: Vec<WatchEntry>,
 }
+
+/// A verification-watchlist entry: the screen-time front-nearness
+/// score, the surrogate's predicted per-constraint `(area, delay)`
+/// points, and the screened state itself.
+pub(crate) type WatchEntry = (f64, Vec<(f64, f64)>, CompressorTree);
 
 /// The mutable state of a [`MulEnv`] at a step boundary — everything
 /// [`MulEnv::restore`] needs to continue a run bit-identically.
@@ -185,6 +217,11 @@ pub struct EnvSnapshot {
     pub(crate) steps_taken: usize,
     pub(crate) pareto_points: Vec<(f64, f64)>,
     pub(crate) delay_targets: Vec<f64>,
+    /// Surrogate state; `None` when the run had no surrogate.
+    pub(crate) surrogate: Option<SurrogateSnapshot>,
+    /// Verification-sweep watchlist (empty when the run had no
+    /// surrogate).
+    pub(crate) watch: Vec<WatchEntry>,
 }
 
 impl EnvSnapshot {
@@ -208,6 +245,9 @@ struct PipelineCounters {
     cache_misses: usize,
     sta: StaStats,
     lint: LintStats,
+    synthesis_calls: usize,
+    surrogate_screened: usize,
+    surrogate_forced_evals: usize,
 }
 
 /// Long-lived state of the incremental miss path: the cached
@@ -308,6 +348,12 @@ impl MulEnv {
             }),
             PipelineMode::FullRebuild => None,
         };
+        let surrogate = if config.surrogate.enabled {
+            let volume = 2 * 2 * config.bits * tensor_stages;
+            Some(Surrogate::new(config.surrogate.clone(), volume, &delay_targets, config.weights))
+        } else {
+            None
+        };
         let mut env = MulEnv {
             config,
             synthesizer,
@@ -325,6 +371,10 @@ impl MulEnv {
             steps_taken: 0,
             counters,
             sink: TelemetrySink::disabled(),
+            surrogate,
+            scratch_mask: Vec::new(),
+            scratch_dense: Vec::new(),
+            watch: Vec::new(),
         };
         let eval = env.evaluate(&env.current.clone())?;
         env.current_cost = eval.cost;
@@ -347,7 +397,7 @@ impl MulEnv {
     /// boundary. Together with the shared cache's
     /// [`EvalCache::export_entries`] this is everything a resumed run
     /// needs to continue bit-identically.
-    pub fn snapshot(&self) -> EnvSnapshot {
+    pub fn snapshot(&mut self) -> EnvSnapshot {
         EnvSnapshot {
             current: self.current.clone(),
             current_cost: self.current_cost,
@@ -356,6 +406,8 @@ impl MulEnv {
             steps_taken: self.steps_taken,
             pareto_points: self.pareto_points.clone(),
             delay_targets: self.delay_targets.clone(),
+            surrogate: self.surrogate.as_mut().map(Surrogate::snapshot),
+            watch: self.watch.clone(),
         }
     }
 
@@ -394,6 +446,10 @@ impl MulEnv {
             self.config.max_upsizes,
             [self.config.weights.area, self.config.weights.delay, self.config.weights.power],
         );
+        if let (Some(s), Some(ss)) = (self.surrogate.as_mut(), snap.surrogate.as_ref()) {
+            s.restore(ss)?;
+        }
+        self.watch = snap.watch.clone();
         Ok(())
     }
 
@@ -435,12 +491,28 @@ impl MulEnv {
     ///
     /// Propagates assignment errors (unreachable from legal states).
     pub fn encode(&self, tree: &CompressorTree) -> Result<Tensor, RlMulError> {
-        let tensor = tree.assign_stages()?;
-        let mut dense = tensor.to_dense(self.tensor_stages);
-        for v in &mut dense {
+        let mut dense = Vec::new();
+        self.fill_encoding(tree, &mut dense)?;
+        Ok(Tensor::from_vec(&self.tensor_shape(), dense))
+    }
+
+    /// Writes the flattened [`MulEnv::encode`] values into a
+    /// caller-owned buffer (the per-candidate hot path of surrogate
+    /// screening encodes every legal successor without allocating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assignment errors (unreachable from legal states).
+    pub fn fill_encoding(
+        &self,
+        tree: &CompressorTree,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RlMulError> {
+        tree.assign_stages()?.to_dense_into(self.tensor_stages, out);
+        for v in out.iter_mut() {
             *v *= 0.25;
         }
-        Ok(Tensor::from_vec(&self.tensor_shape(), dense))
+        Ok(())
     }
 
     /// Encodes the current state.
@@ -457,14 +529,22 @@ impl MulEnv {
     /// action, the unpruned mask is returned so the agent never
     /// deadlocks.
     pub fn action_mask(&self) -> Vec<bool> {
-        let base = self.current.action_mask();
+        let mut mask = Vec::new();
+        self.action_mask_into(&mut mask);
+        mask
+    }
+
+    /// [`MulEnv::action_mask`] writing into a caller-owned buffer, so
+    /// per-step mask queries reuse one allocation.
+    pub fn action_mask_into(&self, out: &mut Vec<bool>) {
+        self.current.action_mask_into(out);
         if self.stage_limit == usize::MAX {
-            return base;
+            return;
         }
         let ncols = self.current.matrix().num_columns();
-        let mut pruned = base.clone();
-        for (idx, ok) in pruned.iter_mut().enumerate() {
-            if !*ok {
+        let mut any = false;
+        for (idx, allowed) in out.iter_mut().enumerate() {
+            if !*allowed {
                 continue;
             }
             let action = Action::from_flat_index(idx, ncols).expect("mask-sized index");
@@ -472,13 +552,15 @@ impl MulEnv {
                 self.current.apply_action(action).expect("masked-in actions are applicable");
             let stages = successor.stage_count().unwrap_or(usize::MAX);
             if stages > self.stage_limit {
-                *ok = false;
+                *allowed = false;
+            } else {
+                any = true;
             }
         }
-        if pruned.iter().any(|&ok| ok) {
-            pruned
-        } else {
-            base
+        if !any {
+            // Pruning forbade everything; fall back to the structural
+            // mask so the agent never deadlocks.
+            self.current.action_mask_into(out);
         }
     }
 
@@ -507,7 +589,11 @@ impl MulEnv {
         let ncols = self.current.matrix().num_columns();
         let action = Action::from_flat_index(action_index, ncols)?;
         let next = self.current.apply_action(action)?;
-        let evaluation = self.evaluate(&next)?;
+        let (evaluation, screened) = if self.surrogate.is_some() {
+            self.evaluate_step_gated(action_index, &next)?
+        } else {
+            (self.evaluate(&next)?, false)
+        };
         let reward = self.current_cost - evaluation.cost;
         obs.counter("rlmul_env_steps_total", "Environment steps taken across all envs.").inc();
         obs.histogram("rlmul_env_step_reward_magnitude", "Absolute step reward (cost delta).")
@@ -515,7 +601,9 @@ impl MulEnv {
         self.current = next;
         self.current_cost = evaluation.cost;
         self.steps_taken += 1;
-        if evaluation.cost < self.best.0 {
+        // Screened costs are predictions; the best-state record only
+        // ever holds real synthesis results.
+        if !screened && evaluation.cost < self.best.0 {
             self.best = (evaluation.cost, self.current.clone());
         }
         Ok(StepOutcome { reward, cost: evaluation.cost, evaluation })
@@ -556,7 +644,333 @@ impl MulEnv {
                 self.pareto_points.push((r.area_um2, r.delay_ns));
             }
         }
+        if self.surrogate.is_some() {
+            self.surrogate_ingest(tree, &eval);
+        }
         Ok(eval)
+    }
+
+    /// Feeds one real (cache-backed) evaluation to the surrogate:
+    /// resets the honesty counter, ingests the sample if this
+    /// environment has not seen the state yet, and emits a
+    /// `surrogate` telemetry event with the per-constraint MAE when a
+    /// prediction-error probe was recorded.
+    ///
+    /// Ingestion is keyed on this environment's own evaluate stream
+    /// (not on who synthesized the entry), so parallel workers
+    /// sharing one cache train their surrogates deterministically:
+    /// whether a sibling won the in-flight race changes hit/miss
+    /// counters, never the bit-identical evaluation ingested here.
+    fn surrogate_ingest(&mut self, tree: &CompressorTree, eval: &Evaluation) {
+        let Some(mut s) = self.surrogate.take() else { return };
+        s.note_real();
+        let fp = state_fingerprint(tree.matrix().counts(), self.config.kind, self.eval_context);
+        if s.wants(fp) {
+            let mut dense = std::mem::take(&mut self.scratch_dense);
+            if self.fill_encoding(tree, &mut dense).is_ok() {
+                let recorded = s.observe(fp, &dense, eval);
+                if recorded && self.sink.is_enabled() {
+                    let mae = s.mae();
+                    let n = mae.len().max(1) as f64;
+                    let mut ev = Event::new("surrogate")
+                        .with("observed", s.observed())
+                        .with("area_mae", mae.iter().map(|m| m.0).sum::<f64>() / n)
+                        .with("delay_mae", mae.iter().map(|m| m.1).sum::<f64>() / n);
+                    for (i, &(a, d)) in mae.iter().enumerate() {
+                        ev = ev
+                            .with(format!("area_mae_{i}").as_str(), a)
+                            .with(format!("delay_mae_{i}").as_str(), d);
+                    }
+                    self.sink.emit(ev);
+                }
+            }
+            self.scratch_dense = dense;
+        }
+        self.surrogate = Some(s);
+    }
+
+    /// Top-k screening gate for step agents (DQN and A2C route every
+    /// step through here when the surrogate is enabled). Scores all
+    /// legal successors with one batched MLP forward and sends the
+    /// chosen one to real synthesis only when it is cached (free),
+    /// the model is cold, a forced full evaluation is due, or it
+    /// ranks inside the predicted top-k. Returns the evaluation and
+    /// whether it was screened (served from the surrogate).
+    fn evaluate_step_gated(
+        &mut self,
+        action_index: usize,
+        next: &CompressorTree,
+    ) -> Result<(Arc<Evaluation>, bool), RlMulError> {
+        let key = CacheKeyRef {
+            counts: next.matrix().counts(),
+            kind: self.config.kind,
+            context: self.eval_context,
+        };
+        let cached = self.cache.peek(&key).is_some();
+        let (warmed, forced, topk) = {
+            let s = self.surrogate.as_ref().expect("gated path requires a surrogate");
+            (s.is_warmed(), s.forced_due(), s.config().topk)
+        };
+        if cached || !warmed {
+            return Ok((self.evaluate(next)?, false));
+        }
+        if forced {
+            self.counters.surrogate_forced_evals += 1;
+            if let Some(s) = self.surrogate.as_mut() {
+                s.note_forced();
+            }
+            return Ok((self.evaluate(next)?, false));
+        }
+        let mut s = self.surrogate.take().expect("checked above");
+        let mut mask = std::mem::take(&mut self.scratch_mask);
+        let mut dense = std::mem::take(&mut self.scratch_dense);
+        let mut flat = s.take_flat();
+        self.action_mask_into(&mut mask);
+        flat.clear();
+        let ncols = self.current.matrix().num_columns();
+        let volume = 2 * 2 * self.config.bits * self.tensor_stages;
+        let mut chosen_pos: Option<usize> = None;
+        let mut n_cands = 0usize;
+        let mut chosen_encode_failed = false;
+        for (idx, &ok) in mask.iter().enumerate() {
+            let is_chosen = idx == action_index;
+            if !ok && !is_chosen {
+                continue;
+            }
+            let encoded = if is_chosen {
+                self.fill_encoding(next, &mut dense).is_ok()
+            } else {
+                match Action::from_flat_index(idx, ncols)
+                    .ok()
+                    .and_then(|a| self.current.apply_action(a).ok())
+                {
+                    Some(succ) => self.fill_encoding(&succ, &mut dense).is_ok(),
+                    None => false,
+                }
+            };
+            if !encoded {
+                if is_chosen {
+                    chosen_encode_failed = true;
+                    break;
+                }
+                continue;
+            }
+            if is_chosen {
+                chosen_pos = Some(n_cands);
+            }
+            flat.extend_from_slice(&dense);
+            n_cands += 1;
+        }
+        let mut screened_eval = None;
+        if !chosen_encode_failed {
+            if let Some(pos) = chosen_pos {
+                let costs = s.predict_costs(&flat, n_cands);
+                let chosen_cost = costs[pos];
+                // Stable rank: strictly better candidates, plus equal
+                // candidates at an earlier index.
+                let rank = costs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &c)| c < chosen_cost || (c == chosen_cost && i < pos))
+                    .count();
+                if rank >= topk {
+                    let x = &flat[pos * volume..(pos + 1) * volume];
+                    let eval = s.predict_evaluation(x);
+                    // Front guard: a state predicted to extend the
+                    // Pareto front is worth a real synthesis even if
+                    // its scalar cost ranks poorly — screening it
+                    // would silently cap the run's hypervolume.
+                    // Near-misses go on the verification watchlist.
+                    let score = self.front_nearness(&eval);
+                    let (slack, vtop) = (s.config().guard_slack, s.config().verify_top);
+                    if score <= slack {
+                        self.watch_screened(score, &eval, next, vtop);
+                        screened_eval = Some(eval);
+                    }
+                }
+            }
+        }
+        s.put_flat(flat);
+        self.scratch_mask = mask;
+        self.scratch_dense = dense;
+        if let Some(eval) = screened_eval {
+            s.note_screened();
+            self.counters.surrogate_screened += 1;
+            self.surrogate = Some(s);
+            return Ok((Arc::new(eval), true));
+        }
+        self.surrogate = Some(s);
+        Ok((self.evaluate(next)?, false))
+    }
+
+    /// Threshold screening gate for single-proposal searches (SA
+    /// proposes one random neighbor per step, so top-k ranking
+    /// degenerates): the proposal goes to real synthesis when it is
+    /// cached, the model is cold, or a forced full evaluation is due.
+    /// Otherwise the surrogate answers when either criterion holds —
+    /// the predicted cost is outside `sa_margin` of the best real
+    /// cost (predicted-unpromising), or the predicted uphill delta
+    /// from `current_cost` makes acceptance at `temperature` less
+    /// likely than `sa_accept_floor` (a rejection the walk reaches
+    /// under real and predicted costs alike). With the surrogate
+    /// disabled this is exactly [`MulEnv::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and synthesis errors.
+    pub fn evaluate_gated(
+        &mut self,
+        tree: &CompressorTree,
+        current_cost: f64,
+        temperature: f64,
+    ) -> Result<Arc<Evaluation>, RlMulError> {
+        let Some(sref) = self.surrogate.as_ref() else {
+            return self.evaluate(tree);
+        };
+        let key = CacheKeyRef {
+            counts: tree.matrix().counts(),
+            kind: self.config.kind,
+            context: self.eval_context,
+        };
+        let cached = self.cache.peek(&key).is_some();
+        let (warmed, forced, margin, floor) = (
+            sref.is_warmed(),
+            sref.forced_due(),
+            sref.config().sa_margin,
+            sref.config().sa_accept_floor,
+        );
+        if cached || !warmed {
+            return self.evaluate(tree);
+        }
+        if forced {
+            self.counters.surrogate_forced_evals += 1;
+            if let Some(s) = self.surrogate.as_mut() {
+                s.note_forced();
+            }
+            return self.evaluate(tree);
+        }
+        let mut s = self.surrogate.take().expect("checked above");
+        let mut dense = std::mem::take(&mut self.scratch_dense);
+        let mut screened_eval = None;
+        if self.fill_encoding(tree, &mut dense).is_ok() {
+            let cost = s.predict_costs(&dense, 1)[0];
+            let unpromising = cost > s.best_real_cost() * (1.0 + margin);
+            // exp(-delta / T) < floor  <=>  delta > T * ln(1/floor).
+            let certain_reject =
+                cost - current_cost > temperature * (1.0 / floor.clamp(1e-12, 1.0)).ln();
+            if unpromising || certain_reject {
+                let eval = s.predict_evaluation(&dense);
+                // Front guard, as in the top-k path: predicted
+                // front-extending states always get a real run, and
+                // near-misses go on the verification watchlist.
+                let score = self.front_nearness(&eval);
+                let (slack, vtop) = (s.config().guard_slack, s.config().verify_top);
+                if score <= slack {
+                    self.watch_screened(score, &eval, tree, vtop);
+                    screened_eval = Some(eval);
+                }
+            }
+        }
+        self.scratch_dense = dense;
+        if let Some(eval) = screened_eval {
+            s.note_screened();
+            self.counters.surrogate_screened += 1;
+            self.surrogate = Some(s);
+            return Ok(Arc::new(eval));
+        }
+        self.surrogate = Some(s);
+        self.evaluate(tree)
+    }
+
+    /// How close `eval`'s predicted per-constraint `(area, delay)`
+    /// points come to extending the accumulated Pareto front: the
+    /// smallest relative slack at which every predicted point is
+    /// dominated by some front point. Negative means comfortably
+    /// dominated, values above the configured `guard_slack` mean the
+    /// state could grow the front's hypervolume (so the screening
+    /// gates refuse to answer it from the surrogate), and anything in
+    /// between is a near-miss worth remembering for the end-of-run
+    /// verification sweep. `INFINITY` when the front is still empty.
+    fn front_nearness(&self, eval: &Evaluation) -> f64 {
+        self.points_nearness(eval.reports.iter().map(|r| (r.area_um2, r.delay_ns)))
+    }
+
+    /// [`MulEnv::front_nearness`] over raw `(area, delay)` points —
+    /// also used to re-score watchlist predictions against the final
+    /// front at sweep time.
+    fn points_nearness(&self, points: impl Iterator<Item = (f64, f64)>) -> f64 {
+        points
+            .map(|(area, delay)| {
+                self.pareto_points
+                    .iter()
+                    .map(|&(a, d)| (a / area).max(d / delay) - 1.0)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Records a screened state on the verification watchlist, kept
+    /// sorted by descending front nearness and bounded to a small
+    /// multiple of the sweep size. Duplicate states keep their first
+    /// (highest-information) entry; insertion order breaks score ties
+    /// so the list is deterministic.
+    fn watch_screened(
+        &mut self,
+        score: f64,
+        eval: &Evaluation,
+        tree: &CompressorTree,
+        verify_top: usize,
+    ) {
+        if verify_top == 0 {
+            return;
+        }
+        let cap = verify_top * 4;
+        if self.watch.iter().any(|(_, _, t)| t == tree) {
+            return;
+        }
+        let pos = self.watch.partition_point(|&(s, _, _)| s >= score);
+        if pos >= cap {
+            return;
+        }
+        let pred = eval.reports.iter().map(|r| (r.area_um2, r.delay_ns)).collect();
+        self.watch.insert(pos, (score, pred, tree.clone()));
+        self.watch.truncate(cap);
+    }
+
+    /// End-of-run verification sweep: re-scores every watched
+    /// prediction against the *final* Pareto front (the front grows
+    /// several-fold between an early screen and the end of a run, so
+    /// screen-time scores go stale), then real-evaluates the states
+    /// still predicted to extend it, best first, up to the configured
+    /// `verify_top`. Fronts built with the surrogate on cannot
+    /// silently miss a design the model mispredicted as dominated.
+    /// Returns how many states were evaluated; a no-op without a
+    /// surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and synthesis errors.
+    pub fn verify_screened(&mut self) -> Result<usize, RlMulError> {
+        let Some(s) = self.surrogate.as_ref() else {
+            return Ok(0);
+        };
+        let top = s.config().verify_top;
+        let watch = std::mem::take(&mut self.watch);
+        let mut rescored: Vec<(f64, usize)> = watch
+            .iter()
+            .enumerate()
+            .map(|(i, (_, pred, _))| (self.points_nearness(pred.iter().copied()), i))
+            .filter(|&(score, _)| score > 0.0)
+            .collect();
+        // Descending score; the stable original index breaks ties so
+        // the sweep order is deterministic.
+        rescored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut verified = 0;
+        for &(_, i) in rescored.iter().take(top) {
+            self.evaluate(&watch[i].2)?;
+            verified += 1;
+        }
+        Ok(verified)
     }
 
     /// Cache-mediated synthesis shared by [`MulEnv::evaluate`] and
@@ -671,6 +1085,12 @@ impl MulEnv {
                     &[("mode", mode)],
                 )
                 .inc();
+                counters.synthesis_calls += 1;
+                obs.counter(
+                    "rlmul_synth_calls_total",
+                    "Real synthesis pipeline invocations (cache misses that ran the synthesizer).",
+                )
+                .inc();
                 counters.synth_runs += reports.len();
                 for r in &reports {
                     counters.sta.merge(r.sta);
@@ -719,6 +1139,9 @@ impl MulEnv {
             cache_misses: self.counters.cache_misses,
             sta: self.counters.sta,
             lint: self.counters.lint,
+            synthesis_calls: self.counters.synthesis_calls,
+            surrogate_screened: self.counters.surrogate_screened,
+            surrogate_forced_evals: self.counters.surrogate_forced_evals,
         }
     }
 

@@ -50,6 +50,7 @@ mod hooks;
 mod outcome;
 mod reward;
 mod sa_driver;
+mod surrogate;
 
 pub use a2c::{
     resume_a2c, train_a2c, train_a2c_cached, train_a2c_with, A2cConfig, A2cSnapshot, PolicyValueNet,
@@ -68,3 +69,4 @@ pub use hooks::{emit_span_events, TrainHooks};
 pub use outcome::{LintStats, NnStats, OptimizationOutcome, PipelineStats};
 pub use reward::CostWeights;
 pub use sa_driver::{resume_sa, run_sa, run_sa_cached, run_sa_with, SaSnapshot};
+pub use surrogate::{SurrogateConfig, SurrogateSnapshot};

@@ -25,6 +25,14 @@ pub struct PipelineStats {
     /// Structural-lint gate counters (every netlist is linted before
     /// it reaches synthesis).
     pub lint: LintStats,
+    /// Real synthesis pipeline invocations (the number the surrogate
+    /// evaluator exists to shrink).
+    pub synthesis_calls: usize,
+    /// Evaluations answered by the online surrogate instead of
+    /// synthesis (zero with the surrogate disabled).
+    pub surrogate_screened: usize,
+    /// Real evaluations forced by the surrogate honesty schedule.
+    pub surrogate_forced_evals: usize,
 }
 
 impl PipelineStats {
@@ -34,11 +42,15 @@ impl PipelineStats {
     /// byte-identical across reruns.
     pub fn render(&self) -> String {
         format!(
-            "cache {} hits / {} misses ({} states); sta {} full + {} incremental passes, \
+            "cache {} hits / {} misses ({} states); {} synth calls, \
+             {} screened + {} forced by surrogate; sta {} full + {} incremental passes, \
              {} full / {} incremental gate visits; {}; {}",
             self.cache_hits,
             self.cache_misses,
             self.cache_entries,
+            self.synthesis_calls,
+            self.surrogate_screened,
+            self.surrogate_forced_evals,
             self.sta.full_passes,
             self.sta.incremental_passes,
             self.sta.full_gate_visits,

@@ -145,7 +145,15 @@ pub fn run_sa_with(
         {
             let env_ref = &mut env;
             let err_ref = &mut eval_error;
-            run.step(&mut rng, |tree| match env_ref.evaluate(tree) {
+            // With the surrogate enabled, proposals whose predicted
+            // uphill delta makes rejection certain at the current
+            // temperature are answered by the model instead of
+            // synthesis (see `MulEnv::evaluate_gated`). Disabled,
+            // this is exactly `MulEnv::evaluate`. Cost and
+            // temperature are fixed for the duration of one proposal,
+            // so reading them before the step is exact.
+            let (cur, temp) = (run.current_cost(), run.temperature());
+            run.step(&mut rng, |tree| match env_ref.evaluate_gated(tree, cur, temp) {
                 Ok(e) => e.cost,
                 Err(e) => {
                     // Surface the first error after the step;
@@ -170,13 +178,19 @@ pub fn run_sa_with(
             );
         }
         if hooks.checkpoint_due(run.steps_done(), sa_config.steps) {
-            save_sa_checkpoint(&run, &rng, &env, hooks, &mut best_saved, true)?;
+            save_sa_checkpoint(&run, &rng, &mut env, hooks, &mut best_saved, true)?;
         }
+    }
+    // Verification sweep on normal completion only: an interrupted
+    // run sweeps when its resumption finishes, so resume stays
+    // bit-identical to an uninterrupted run.
+    if run.is_done() {
+        env.verify_screened()?;
     }
     // Shutdown snapshot: rolled on normal completion and on
     // cooperative stop alike.
     if hooks.store.is_some() {
-        save_sa_checkpoint(&run, &rng, &env, hooks, &mut best_saved, false)?;
+        save_sa_checkpoint(&run, &rng, &mut env, hooks, &mut best_saved, false)?;
     }
 
     let stats = env.stats();
@@ -204,6 +218,9 @@ pub fn run_sa_with(
             // SA trains no network.
             nn: rlmul_nn::NnStats::default(),
             lint: stats.lint,
+            synthesis_calls: stats.synthesis_calls,
+            surrogate_screened: stats.surrogate_screened,
+            surrogate_forced_evals: stats.surrogate_forced_evals,
         },
     })
 }
@@ -213,7 +230,7 @@ pub fn run_sa_with(
 fn save_sa_checkpoint(
     run: &SaRun,
     rng: &StdRng,
-    env: &MulEnv,
+    env: &mut MulEnv,
     hooks: &TrainHooks,
     best_saved: &mut f64,
     periodic: bool,

@@ -1,0 +1,701 @@
+//! Online learned surrogate evaluator (ROADMAP item 3, DOMAC-style).
+//!
+//! Synthesis dominates the cost of every search loop, and after the
+//! incremental pipeline the remaining lever is doing *fewer* real
+//! evaluations, not faster ones. This module trains a small
+//! [`rlmul_nn`] MLP online — on every completed evaluation the
+//! environment sees — to predict the per-constraint `(area, delay)`
+//! a synthesis run would report for a state tensor, and uses it to
+//! pre-screen candidate actions:
+//!
+//! * **Step agents (DQN / A2C).** Every [`crate::MulEnv::step`] with
+//!   the surrogate enabled scores *all* legal successor states with
+//!   one batched MLP forward. The chosen successor goes to real
+//!   synthesis only when it ranks inside the predicted top-k (or a
+//!   forced full evaluation is due); otherwise the environment
+//!   answers with the surrogate's predicted evaluation and no
+//!   synthesis happens at all.
+//! * **SA.** The annealer proposes one random neighbor per step, so
+//!   rank screening degenerates; proposals are gated by thresholds
+//!   instead. A proposal is answered by the surrogate when its
+//!   predicted cost is outside `sa_margin` of the best real cost
+//!   seen so far (predicted-unpromising), or when the predicted
+//!   uphill delta makes the Metropolis acceptance probability
+//!   negligible at the current temperature
+//!   (`exp(-Δ/T) < sa_accept_floor`, a rejection the walk would
+//!   reach under the real cost too).
+//!
+//! An **honesty schedule** keeps the model grounded: after
+//! `refresh_every` consecutive screened (prediction-served) answers,
+//! the next evaluation is forced through real synthesis regardless of
+//! its predicted rank. Every real evaluation doubles as a training
+//! sample *and* a held-out probe: the model predicts first, the
+//! absolute error updates per-constraint area/delay MAE trackers
+//! (exported through `rlmul-obs` and `rlmul-telemetry`), and only
+//! then is the sample trained on.
+//!
+//! Screened predictions never enter the [`crate::EvalCache`] and
+//! never contribute Pareto points — the archive stays a record of
+//! real synthesis results. All surrogate state (weights, Adam
+//! moments, RNG, replay ring, normalization anchors, honesty
+//! counters) snapshots into [`SurrogateSnapshot`] so resumed runs
+//! stay bit-identical.
+
+use crate::env::Evaluation;
+use crate::reward::CostWeights;
+use crate::RlMulError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlmul_ct::PpgKind;
+use rlmul_nn::Adam;
+use rlmul_nn::{
+    clip_grad_norm, restore_net, snapshot_net, Layer, Linear, NetSnapshot, Optimizer, Relu,
+    Sequential, Tensor,
+};
+use rlmul_synth::SynthesisReport;
+use std::collections::HashSet;
+
+/// Configuration of the online surrogate evaluator. Disabled by
+/// default: the off path is bit-identical to an environment without a
+/// surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateConfig {
+    /// Master switch; `false` (the default) keeps every evaluation on
+    /// the real synthesis path.
+    pub enabled: bool,
+    /// Candidates per step forwarded to real synthesis: the chosen
+    /// successor is synthesized only when it ranks inside the best
+    /// `topk` predicted costs among all legal successors.
+    pub topk: usize,
+    /// Honesty schedule: force a real synthesis after this many
+    /// consecutive screened (prediction-served) evaluations.
+    pub refresh_every: usize,
+    /// Observations required before screening starts; until then
+    /// every evaluation is real (and trains the model).
+    pub min_samples: usize,
+    /// Hidden width of the two-hidden-layer MLP.
+    pub hidden: usize,
+    /// Minibatch size per training step.
+    pub batch: usize,
+    /// Training steps per new observation.
+    pub train_per_observe: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Replay ring capacity (observations kept for training).
+    pub buffer_cap: usize,
+    /// SA proposal gate, cost criterion: screen a proposal when its
+    /// predicted cost exceeds `best_real_cost * (1 + sa_margin)` —
+    /// predicted-unpromising states skip synthesis.
+    pub sa_margin: f64,
+    /// SA proposal gate, rejection-certainty criterion: also screen
+    /// when the predicted acceptance probability at the annealer's
+    /// current temperature falls below this floor —
+    /// `exp(-Δ/T) < sa_accept_floor`, i.e. the predicted uphill delta
+    /// makes rejection near-certain under real and predicted costs
+    /// alike, so screening cannot steer the walk. Matters for cold
+    /// annealing schedules where the margin criterion rarely fires.
+    pub sa_accept_floor: f64,
+    /// Pareto front guard slack: a state is screened only when every
+    /// predicted per-constraint `(area, delay)` point is dominated by
+    /// an existing front point after relaxing it by this fraction.
+    /// Zero demands strict dominance (real-evaluates anything that
+    /// might extend the front, at the price of screening less);
+    /// larger values tolerate that much prediction noise near the
+    /// front before spending a synthesis call.
+    pub guard_slack: f64,
+    /// End-of-run verification sweep: real-evaluate this many of the
+    /// screened states whose predictions landed nearest the Pareto
+    /// front, so a prediction error cannot permanently hide a
+    /// front-extending design. Zero disables the sweep.
+    pub verify_top: usize,
+    /// RNG seed for weight init and minibatch sampling.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            enabled: false,
+            topk: 3,
+            refresh_every: 8,
+            min_samples: 12,
+            hidden: 48,
+            batch: 8,
+            train_per_observe: 4,
+            lr: 2e-3,
+            buffer_cap: 512,
+            sa_margin: 0.002,
+            sa_accept_floor: 1e-3,
+            guard_slack: 0.1,
+            verify_top: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Complete mutable state of the online surrogate at a step boundary.
+/// Serialized inside [`crate::EnvSnapshot`] through
+/// [`rlmul_ckpt::Record`], so every agent checkpoint carries it and
+/// resume stays bit-identical with the surrogate enabled.
+#[derive(Debug, Clone)]
+pub struct SurrogateSnapshot {
+    pub(crate) net: NetSnapshot,
+    pub(crate) adam_t: i64,
+    pub(crate) adam_m: Vec<Tensor>,
+    pub(crate) adam_v: Vec<Tensor>,
+    pub(crate) rng: [u64; 4],
+    pub(crate) buf_x: Vec<Vec<f32>>,
+    pub(crate) buf_y: Vec<Vec<f32>>,
+    pub(crate) write_pos: usize,
+    pub(crate) seen: Vec<u64>,
+    pub(crate) norm: Vec<(f64, f64)>,
+    pub(crate) observed: usize,
+    pub(crate) since_real: usize,
+    pub(crate) best_real_cost: f64,
+    pub(crate) mae_sums: Vec<(f64, f64)>,
+    pub(crate) mae_count: u64,
+}
+
+/// Pre-registered observability handles (see `CacheObs` for the
+/// pattern): counters mirror per-environment counters into the
+/// process-wide scrape surface, gauges publish the rolling MAE so
+/// surrogate drift is visible on the Prometheus endpoint.
+#[derive(Debug)]
+struct SurrogateObs {
+    observations: rlmul_obs::Counter,
+    screened: rlmul_obs::Counter,
+    forced: rlmul_obs::Counter,
+    area_mae: rlmul_obs::Gauge,
+    delay_mae: rlmul_obs::Gauge,
+}
+
+impl SurrogateObs {
+    fn new() -> Self {
+        let obs = rlmul_obs::global();
+        SurrogateObs {
+            observations: obs.counter(
+                "rlmul_surrogate_observations_total",
+                "Real evaluations ingested as surrogate training samples.",
+            ),
+            screened: obs.counter(
+                "rlmul_surrogate_screened_total",
+                "Evaluations answered by the surrogate instead of synthesis.",
+            ),
+            forced: obs.counter(
+                "rlmul_surrogate_forced_evals_total",
+                "Real evaluations forced by the surrogate honesty schedule.",
+            ),
+            area_mae: obs.gauge(
+                "rlmul_surrogate_area_mae",
+                "Rolling mean absolute error of surrogate area predictions (µm², averaged over constraints).",
+            ),
+            delay_mae: obs.gauge(
+                "rlmul_surrogate_delay_mae",
+                "Rolling mean absolute error of surrogate delay predictions (ns, averaged over constraints).",
+            ),
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a cache identity, used for the surrogate's
+/// seen-set. Training keys on *which states this environment has
+/// ingested* (not on who synthesized them), so parallel workers
+/// sharing a cache stay deterministic regardless of which one won the
+/// in-flight race.
+pub(crate) fn state_fingerprint(counts: &[(u32, u32)], kind: PpgKind, context: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(counts.len() as u64);
+    for &(a, b) in counts {
+        mix((u64::from(a) << 32) | u64::from(b));
+    }
+    mix(kind as u64);
+    mix(context);
+    h
+}
+
+/// The online surrogate: a `volume → hidden → hidden → 2·targets`
+/// MLP predicting normalized `(area, delay)` per delay constraint,
+/// trained incrementally from a replay ring of completed evaluations.
+pub(crate) struct Surrogate {
+    cfg: SurrogateConfig,
+    n_targets: usize,
+    input_dim: usize,
+    delay_targets: Vec<f64>,
+    weights: CostWeights,
+    net: Sequential,
+    opt: Adam,
+    rng: StdRng,
+    buf_x: Vec<Vec<f32>>,
+    buf_y: Vec<Vec<f32>>,
+    write_pos: usize,
+    seen: HashSet<u64>,
+    /// Per-target `(area, delay)` normalization anchors, set from the
+    /// first observation; empty until then.
+    norm: Vec<(f64, f64)>,
+    observed: usize,
+    since_real: usize,
+    best_real_cost: f64,
+    mae_sums: Vec<(f64, f64)>,
+    mae_count: u64,
+    obs: SurrogateObs,
+    /// Scratch for batched candidate forwards.
+    flat: Vec<f32>,
+}
+
+impl std::fmt::Debug for Surrogate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Surrogate({} obs, {} targets, warmed: {})",
+            self.observed,
+            self.n_targets,
+            self.is_warmed()
+        )
+    }
+}
+
+fn build_net(
+    cfg: &SurrogateConfig,
+    input_dim: usize,
+    out_dim: usize,
+    rng: &mut StdRng,
+) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Box::new(Linear::new(input_dim, cfg.hidden, rng)));
+    net.push(Box::new(Relu::new()));
+    net.push(Box::new(Linear::new(cfg.hidden, cfg.hidden, rng)));
+    net.push(Box::new(Relu::new()));
+    net.push(Box::new(Linear::new(cfg.hidden, out_dim, rng)));
+    net
+}
+
+impl Surrogate {
+    pub(crate) fn new(
+        cfg: SurrogateConfig,
+        input_dim: usize,
+        delay_targets: &[f64],
+        weights: CostWeights,
+    ) -> Self {
+        let n_targets = delay_targets.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let net = build_net(&cfg, input_dim, 2 * n_targets, &mut rng);
+        let opt = Adam::new(cfg.lr);
+        Surrogate {
+            n_targets,
+            input_dim,
+            delay_targets: delay_targets.to_vec(),
+            weights,
+            net,
+            opt,
+            rng,
+            buf_x: Vec::new(),
+            buf_y: Vec::new(),
+            write_pos: 0,
+            seen: HashSet::new(),
+            norm: Vec::new(),
+            observed: 0,
+            since_real: 0,
+            best_real_cost: f64::INFINITY,
+            mae_sums: vec![(0.0, 0.0); n_targets],
+            mae_count: 0,
+            obs: SurrogateObs::new(),
+            flat: Vec::new(),
+            cfg,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &SurrogateConfig {
+        &self.cfg
+    }
+
+    /// Whether the model has seen enough real evaluations to screen.
+    pub(crate) fn is_warmed(&self) -> bool {
+        !self.norm.is_empty() && self.observed >= self.cfg.min_samples
+    }
+
+    /// Whether the honesty schedule demands the next evaluation be
+    /// real regardless of its predicted rank.
+    pub(crate) fn forced_due(&self) -> bool {
+        self.since_real >= self.cfg.refresh_every
+    }
+
+    /// A real evaluation happened; reset the honesty counter.
+    pub(crate) fn note_real(&mut self) {
+        self.since_real = 0;
+    }
+
+    /// A screened (prediction-served) evaluation happened.
+    pub(crate) fn note_screened(&mut self) {
+        self.since_real += 1;
+        self.obs.screened.inc();
+    }
+
+    /// Record a forced full evaluation on the process-wide metrics.
+    pub(crate) fn note_forced(&mut self) {
+        self.obs.forced.inc();
+    }
+
+    /// Whether `fingerprint` would be a new training sample (cheap
+    /// pre-check so callers skip encoding already-seen states).
+    pub(crate) fn wants(&self, fingerprint: u64) -> bool {
+        !self.seen.contains(&fingerprint)
+    }
+
+    /// Best real (synthesized) cost ingested so far; the SA gate's
+    /// margin-criterion reference point.
+    pub(crate) fn best_real_cost(&self) -> f64 {
+        self.best_real_cost
+    }
+
+    /// Rolling per-constraint `(area MAE µm², delay MAE ns)`; empty
+    /// until the first post-warmup observation.
+    pub(crate) fn mae(&self) -> Vec<(f64, f64)> {
+        if self.mae_count == 0 {
+            return Vec::new();
+        }
+        let n = self.mae_count as f64;
+        self.mae_sums.iter().map(|&(a, d)| (a / n, d / n)).collect()
+    }
+
+    pub(crate) fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Ingests one completed real evaluation: probes the model for
+    /// its held-out prediction error (post-warmup), pushes the sample
+    /// into the replay ring, and runs `train_per_observe` minibatch
+    /// steps. Returns `true` when an error sample was recorded (the
+    /// caller emits telemetry on that edge).
+    pub(crate) fn observe(&mut self, fingerprint: u64, x: &[f32], eval: &Evaluation) -> bool {
+        debug_assert_eq!(x.len(), self.input_dim);
+        if eval.reports.len() != self.n_targets || !self.seen.insert(fingerprint) {
+            return false;
+        }
+        if eval.cost < self.best_real_cost {
+            self.best_real_cost = eval.cost;
+        }
+        // Held-out probe before training on the sample.
+        let mut recorded = false;
+        if self.is_warmed() {
+            let pred = self.predict_reports_raw(x);
+            for (i, r) in eval.reports.iter().enumerate() {
+                self.mae_sums[i].0 += (pred[i].0 - r.area_um2).abs();
+                self.mae_sums[i].1 += (pred[i].1 - r.delay_ns).abs();
+            }
+            self.mae_count += 1;
+            let mae = self.mae();
+            let n = mae.len() as f64;
+            self.obs.area_mae.set(mae.iter().map(|m| m.0).sum::<f64>() / n);
+            self.obs.delay_mae.set(mae.iter().map(|m| m.1).sum::<f64>() / n);
+            recorded = true;
+        }
+        if self.norm.is_empty() {
+            self.norm = eval
+                .reports
+                .iter()
+                .map(|r| (r.area_um2.abs().max(1e-9), r.delay_ns.abs().max(1e-9)))
+                .collect();
+        }
+        let y: Vec<f32> = eval
+            .reports
+            .iter()
+            .zip(&self.norm)
+            .flat_map(|(r, &(an, dn))| [(r.area_um2 / an) as f32, (r.delay_ns / dn) as f32])
+            .collect();
+        if self.buf_x.len() < self.cfg.buffer_cap {
+            self.buf_x.push(x.to_vec());
+            self.buf_y.push(y);
+        } else {
+            self.buf_x[self.write_pos] = x.to_vec();
+            self.buf_y[self.write_pos] = y;
+            self.write_pos = (self.write_pos + 1) % self.cfg.buffer_cap;
+        }
+        self.observed += 1;
+        self.obs.observations.inc();
+        for _ in 0..self.cfg.train_per_observe {
+            self.train_step();
+        }
+        recorded
+    }
+
+    /// One Adam step on a uniformly sampled minibatch (MSE on the
+    /// normalized per-constraint targets).
+    fn train_step(&mut self) {
+        let n = self.buf_x.len();
+        if n == 0 {
+            return;
+        }
+        let b = self.cfg.batch.min(n);
+        let out_dim = 2 * self.n_targets;
+        let mut xs = Vec::with_capacity(b * self.input_dim);
+        let mut ys = Vec::with_capacity(b * out_dim);
+        for _ in 0..b {
+            let i = self.rng.gen_range(0..n);
+            xs.extend_from_slice(&self.buf_x[i]);
+            ys.extend_from_slice(&self.buf_y[i]);
+        }
+        let x = Tensor::from_vec(&[b, self.input_dim], xs);
+        self.opt.zero_grad(&mut self.net);
+        let pred = self.net.forward(&x, true);
+        let mut grad = Tensor::zeros(pred.shape());
+        let scale = 2.0 / (b * out_dim) as f32;
+        for ((g, &p), &y) in grad.data_mut().iter_mut().zip(pred.data()).zip(&ys) {
+            *g = scale * (p - y);
+        }
+        self.net.backward(&grad);
+        clip_grad_norm(&mut self.net, 5.0);
+        self.opt.step(&mut self.net);
+    }
+
+    /// Denormalized `(area µm², delay ns)` per constraint for one
+    /// encoded state.
+    fn predict_reports_raw(&mut self, x: &[f32]) -> Vec<(f64, f64)> {
+        let t = Tensor::from_vec(&[1, self.input_dim], x.to_vec());
+        let out = self.net.forward(&t, false);
+        out.data()
+            .chunks_exact(2)
+            .zip(&self.norm)
+            .map(|(c, &(an, dn))| (f64::from(c[0]) * an, f64::from(c[1]) * dn))
+            .collect()
+    }
+
+    /// Predicted scalar cost (the reward's weighted objective, power
+    /// term excluded — the surrogate predicts area and delay only)
+    /// for each of `n` encoded states packed row-major in `flat`.
+    pub(crate) fn predict_costs(&mut self, flat: &[f32], n: usize) -> Vec<f64> {
+        debug_assert_eq!(flat.len(), n * self.input_dim);
+        let t = Tensor::from_vec(&[n, self.input_dim], flat.to_vec());
+        let out = self.net.forward(&t, false);
+        let od = out.data();
+        let out_dim = 2 * self.n_targets;
+        (0..n)
+            .map(|i| {
+                let row = &od[i * out_dim..(i + 1) * out_dim];
+                let mut area = 0.0;
+                let mut delay = 0.0;
+                for (c, &(an, dn)) in row.chunks_exact(2).zip(&self.norm) {
+                    area += f64::from(c[0]) * an;
+                    delay += f64::from(c[1]) * dn;
+                }
+                self.weights.area * area / 100.0 + self.weights.delay * delay
+            })
+            .collect()
+    }
+
+    /// Fabricates the surrogate's answer for a screened state: one
+    /// predicted report per delay constraint (power, sizing and STA
+    /// fields zeroed — they are synthesis by-products the predictor
+    /// does not model) plus the weighted cost.
+    pub(crate) fn predict_evaluation(&mut self, x: &[f32]) -> Evaluation {
+        let per_target = self.predict_reports_raw(x);
+        let reports: Vec<SynthesisReport> = per_target
+            .iter()
+            .zip(self.delay_targets.clone())
+            .map(|(&(area, delay), target)| SynthesisReport {
+                area_um2: area,
+                delay_ns: delay,
+                power_mw: 0.0,
+                target_delay_ns: Some(target),
+                met_target: delay <= target,
+                drive_histogram: [0, 0, 0],
+                sizing_moves: 0,
+                num_cells: 0,
+                sta: Default::default(),
+            })
+            .collect();
+        let cost = self.weights.cost(&reports);
+        Evaluation { reports, cost }
+    }
+
+    /// Caller-owned scratch for packing candidate encodings (kept
+    /// here so the environment reuses one allocation per step).
+    pub(crate) fn take_flat(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.flat)
+    }
+
+    pub(crate) fn put_flat(&mut self, flat: Vec<f32>) {
+        self.flat = flat;
+    }
+
+    /// Captures all mutable state for checkpointing.
+    pub(crate) fn snapshot(&mut self) -> SurrogateSnapshot {
+        let (adam_t, adam_m, adam_v) = self.opt.state();
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        SurrogateSnapshot {
+            net: snapshot_net(&mut self.net),
+            adam_t,
+            adam_m: adam_m.to_vec(),
+            adam_v: adam_v.to_vec(),
+            rng: self.rng.state(),
+            buf_x: self.buf_x.clone(),
+            buf_y: self.buf_y.clone(),
+            write_pos: self.write_pos,
+            seen,
+            norm: self.norm.clone(),
+            observed: self.observed,
+            since_real: self.since_real,
+            best_real_cost: self.best_real_cost,
+            mae_sums: self.mae_sums.clone(),
+            mae_count: self.mae_count,
+        }
+    }
+
+    /// Restores state captured by [`Surrogate::snapshot`] into a
+    /// freshly built, same-configuration surrogate.
+    pub(crate) fn restore(&mut self, snap: &SurrogateSnapshot) -> Result<(), RlMulError> {
+        restore_net(&mut self.net, &snap.net).map_err(|e| RlMulError::InvalidConfig {
+            what: format!("surrogate snapshot does not fit the configured model: {e}"),
+        })?;
+        self.opt.set_state(snap.adam_t, snap.adam_m.clone(), snap.adam_v.clone());
+        self.rng = StdRng::from_state(snap.rng);
+        self.buf_x = snap.buf_x.clone();
+        self.buf_y = snap.buf_y.clone();
+        self.write_pos = snap.write_pos;
+        self.seen = snap.seen.iter().copied().collect();
+        self.norm = snap.norm.clone();
+        self.observed = snap.observed;
+        self.since_real = snap.since_real;
+        self.best_real_cost = snap.best_real_cost;
+        self.mae_sums = snap.mae_sums.clone();
+        self.mae_count = snap.mae_count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_synth::SynthesisReport;
+
+    fn report(area: f64, delay: f64, target: f64) -> SynthesisReport {
+        SynthesisReport {
+            area_um2: area,
+            delay_ns: delay,
+            power_mw: 0.0,
+            target_delay_ns: Some(target),
+            met_target: delay <= target,
+            drive_histogram: [0, 0, 0],
+            sizing_moves: 0,
+            num_cells: 0,
+            sta: Default::default(),
+        }
+    }
+
+    fn eval_for(scale: f64) -> Evaluation {
+        let reports =
+            vec![report(400.0 * scale, 1.0 * scale, 1.0), report(420.0 * scale, 0.9 * scale, 1.2)];
+        let cost = CostWeights::TRADE_OFF.cost(&reports);
+        Evaluation { reports, cost }
+    }
+
+    fn tiny() -> Surrogate {
+        let cfg = SurrogateConfig {
+            enabled: true,
+            min_samples: 4,
+            hidden: 8,
+            batch: 4,
+            ..Default::default()
+        };
+        Surrogate::new(cfg, 6, &[1.0, 1.2], CostWeights::TRADE_OFF)
+    }
+
+    fn x_for(i: usize) -> Vec<f32> {
+        (0..6).map(|j| ((i * 7 + j) % 5) as f32 * 0.25).collect()
+    }
+
+    #[test]
+    fn warms_up_after_min_samples_and_tracks_mae() {
+        let mut s = tiny();
+        assert!(!s.is_warmed());
+        for i in 0..4 {
+            let recorded = s.observe(i as u64, &x_for(i), &eval_for(1.0 + i as f64 * 0.01));
+            assert!(!recorded, "no MAE probe before warmup");
+        }
+        assert!(s.is_warmed());
+        assert!(s.observe(99, &x_for(9), &eval_for(1.02)));
+        assert_eq!(s.mae().len(), 2);
+        assert!(s.mae().iter().all(|&(a, d)| a.is_finite() && d.is_finite()));
+    }
+
+    #[test]
+    fn duplicate_fingerprints_are_ignored() {
+        let mut s = tiny();
+        assert!(s.wants(5));
+        s.observe(5, &x_for(0), &eval_for(1.0));
+        assert!(!s.wants(5));
+        let before = s.observed();
+        s.observe(5, &x_for(1), &eval_for(2.0));
+        assert_eq!(s.observed(), before);
+    }
+
+    #[test]
+    fn honesty_schedule_forces_periodic_real_evals() {
+        let mut s = tiny();
+        assert!(!s.forced_due());
+        for _ in 0..s.config().refresh_every {
+            s.note_screened();
+        }
+        assert!(s.forced_due());
+        s.note_real();
+        assert!(!s.forced_due());
+    }
+
+    #[test]
+    fn predictions_converge_on_a_constant_target() {
+        let mut s = tiny();
+        // One repeated sample: the MLP must regress onto it quickly.
+        for i in 0..200u64 {
+            s.observe(i, &x_for(3), &eval_for(1.0));
+        }
+        let costs = s.predict_costs(&x_for(3), 1);
+        let truth = eval_for(1.0).cost;
+        assert!((costs[0] - truth).abs() / truth < 0.2, "predicted {} vs real {truth}", costs[0]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let mut s = tiny();
+        for i in 0..6u64 {
+            s.observe(i, &x_for(i as usize), &eval_for(1.0 + i as f64 * 0.02));
+        }
+        for _ in 0..3 {
+            s.note_screened();
+        }
+        let snap = s.snapshot();
+        let mut t = tiny();
+        t.restore(&snap).unwrap();
+        // Identical predictions and identical forward state.
+        let a = s.predict_costs(&x_for(2), 1);
+        let b = t.predict_costs(&x_for(2), 1);
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(t.observed(), s.observed());
+        assert_eq!(t.forced_due(), s.forced_due());
+        assert_eq!(t.best_real_cost().to_bits(), s.best_real_cost().to_bits());
+        // Identical continued training streams (RNG + buffers match).
+        s.observe(100, &x_for(9), &eval_for(1.1));
+        t.observe(100, &x_for(9), &eval_for(1.1));
+        let a = s.predict_costs(&x_for(4), 1);
+        let b = t.predict_costs(&x_for(4), 1);
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+    }
+
+    #[test]
+    fn predicted_evaluation_has_one_report_per_constraint() {
+        let mut s = tiny();
+        for i in 0..5u64 {
+            s.observe(i, &x_for(i as usize), &eval_for(1.0));
+        }
+        let eval = s.predict_evaluation(&x_for(1));
+        assert_eq!(eval.reports.len(), 2);
+        assert_eq!(eval.reports[0].target_delay_ns, Some(1.0));
+        assert_eq!(eval.reports[0].sizing_moves, 0, "synthesis by-products stay zeroed");
+        assert!(eval.cost.is_finite());
+    }
+}

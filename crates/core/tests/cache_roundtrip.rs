@@ -1,0 +1,120 @@
+//! Property tests for the evaluation cache's checkpoint round-trip:
+//! `export_entries` → `import` must preserve the entry count, every
+//! lookup result and the deterministic export order, regardless of
+//! how the random keys land across the cache's shards. The generator
+//! draws from a deliberately small key space (short count vectors,
+//! few contexts) so collisions inside one shard and spreads across
+//! shards are both exercised.
+
+use proptest::prelude::*;
+use rlmul_core::{CacheKey, EvalCache, Evaluation};
+use rlmul_ct::PpgKind;
+use rlmul_synth::SynthesisReport;
+use std::collections::BTreeMap;
+
+/// Raw key tuple as drawn by the generator: compressor counts, a
+/// PPG-kind pick, and a context fingerprint.
+type RawKey = (Vec<(u32, u32)>, u8, u64);
+
+fn kind_of(pick: usize) -> PpgKind {
+    [PpgKind::And, PpgKind::Mbe, PpgKind::MacAnd][pick % 3]
+}
+
+/// A synthetic evaluation whose numbers are derived from `tag`, so
+/// two evaluations compare equal iff their tags match.
+fn eval_of(tag: u32, reports: usize) -> Evaluation {
+    let reports = (0..reports)
+        .map(|i| SynthesisReport {
+            area_um2: 100.0 + f64::from(tag) + i as f64,
+            delay_ns: 1.0 + f64::from(tag) / 64.0,
+            power_mw: 0.5 + i as f64 / 8.0,
+            target_delay_ns: Some(1.0 + i as f64 / 4.0),
+            met_target: tag.is_multiple_of(2),
+            drive_histogram: [tag as usize, i, 0],
+            sizing_moves: i,
+            num_cells: 10 + tag as usize,
+            sta: Default::default(),
+        })
+        .collect();
+    Evaluation { reports, cost: 9.0 + f64::from(tag) / 7.0 }
+}
+
+/// Field-wise equality ([`Evaluation`] itself does not implement
+/// `PartialEq`); the cost is compared bit-exactly.
+fn eval_eq(a: &Evaluation, b: &Evaluation) -> bool {
+    a.cost.to_bits() == b.cost.to_bits() && a.reports == b.reports
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn export_import_round_trip_preserves_entries_and_lookups(
+        raw in prop::collection::vec(
+            // (counts, kind pick, context, report count)
+            (
+                prop::collection::vec((0u32..6, 0u32..6), 1..8),
+                0usize..3,
+                0u64..4,
+                0usize..3,
+            ),
+            1..60,
+        )
+    ) {
+        // Deduplicate drawn keys the way a run would (one evaluation
+        // per distinct state): last write wins in the source map.
+        let mut source: BTreeMap<RawKey, Evaluation> = BTreeMap::new();
+        for (i, (counts, kind_pick, context, reports)) in raw.iter().enumerate() {
+            source.insert(
+                (counts.clone(), *kind_pick as u8, *context),
+                eval_of(i as u32, *reports),
+            );
+        }
+        let entries: Vec<(CacheKey, Evaluation)> = source
+            .iter()
+            .map(|((counts, kind_pick, context), eval)| {
+                (
+                    CacheKey {
+                        counts: counts.clone(),
+                        kind: kind_of(usize::from(*kind_pick)),
+                        context: *context,
+                    },
+                    eval.clone(),
+                )
+            })
+            .collect();
+
+        let original = EvalCache::new();
+        prop_assert_eq!(original.import(entries.clone()), entries.len());
+        prop_assert_eq!(original.len(), entries.len());
+
+        // Round-trip through the checkpoint representation.
+        let exported = original.export_entries();
+        prop_assert_eq!(exported.len(), entries.len());
+        let restored = EvalCache::new();
+        prop_assert_eq!(restored.import(exported.clone()), entries.len());
+        prop_assert_eq!(restored.len(), original.len());
+
+        // Every key answers identically on both caches.
+        for (key, eval) in &entries {
+            let a = original.peek(key).expect("original must hold every imported key");
+            let b = restored.peek(key).expect("restored must hold every imported key");
+            prop_assert!(eval_eq(&a, eval), "original lookup diverged for {key:?}");
+            prop_assert!(eval_eq(&a, &b), "restored lookup diverged for {key:?}");
+        }
+        prop_assert_eq!(restored.stats().entries, original.stats().entries);
+
+        // Exports are deterministic and stable across the round-trip
+        // (sorted by key, independent of shard iteration order).
+        let re_exported = restored.export_entries();
+        prop_assert_eq!(exported.len(), re_exported.len());
+        for ((ka, ea), (kb, eb)) in exported.iter().zip(&re_exported) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!(eval_eq(ea, eb), "re-export diverged for {ka:?}");
+        }
+
+        // Importing again must be a no-op: existing keys are kept.
+        prop_assert_eq!(restored.import(original.export_entries()), 0);
+        prop_assert_eq!(restored.len(), entries.len());
+    }
+}

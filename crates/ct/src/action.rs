@@ -144,14 +144,22 @@ impl Action {
 
 /// Computes the full validity mask `m ∈ {0, 1}^{8N}` of paper Eq. (6).
 pub fn action_mask(profile: &PpProfile, matrix: &CompressorMatrix) -> Vec<bool> {
+    let mut mask = Vec::new();
+    action_mask_into(profile, matrix, &mut mask);
+    mask
+}
+
+/// [`action_mask`] writing into a caller-owned buffer, so per-step
+/// mask queries reuse one allocation.
+pub fn action_mask_into(profile: &PpProfile, matrix: &CompressorMatrix, out: &mut Vec<bool>) {
     let ncols = matrix.num_columns();
-    let mut mask = Vec::with_capacity(ncols * ACTIONS_PER_COLUMN);
+    out.clear();
+    out.reserve(ncols * ACTIONS_PER_COLUMN);
     for column in 0..ncols {
         for kind in ActionKind::ALL {
-            mask.push(Action::new(column, kind).is_valid(profile, matrix));
+            out.push(Action::new(column, kind).is_valid(profile, matrix));
         }
     }
-    mask
 }
 
 #[cfg(test)]

@@ -120,15 +120,24 @@ impl StageTensor {
     /// Dense `K × 2N × ST_pad` encoding (row-major `[kind][column][stage]`)
     /// for the agent network, zero-padded or truncated to `stages`.
     pub fn to_dense(&self, stages: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.to_dense_into(stages, &mut out);
+        out
+    }
+
+    /// [`StageTensor::to_dense`] writing into a caller-owned buffer,
+    /// so per-step encodings (one per candidate action in surrogate
+    /// screening) reuse one allocation.
+    pub fn to_dense_into(&self, stages: usize, out: &mut Vec<f32>) {
         let ncols = self.columns.len();
-        let mut out = vec![0.0f32; 2 * ncols * stages];
+        out.clear();
+        out.resize(2 * ncols * stages, 0.0);
         for (j, col) in self.columns.iter().enumerate() {
             for (i, &(f, h)) in col.iter().enumerate().take(stages) {
                 out[j * stages + i] = f as f32;
                 out[ncols * stages + j * stages + i] = h as f32;
             }
         }
-        out
     }
 
     /// Sums the tensor back into per-column `(3:2, 2:2)` totals —

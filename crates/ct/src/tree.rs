@@ -94,6 +94,11 @@ impl CompressorTree {
         action_mask(&self.profile, &self.matrix)
     }
 
+    /// [`CompressorTree::action_mask`] into a caller-owned buffer.
+    pub fn action_mask_into(&self, out: &mut Vec<bool>) {
+        crate::action::action_mask_into(&self.profile, &self.matrix, out);
+    }
+
     /// All currently valid actions.
     pub fn valid_actions(&self) -> Vec<Action> {
         self.action_mask()

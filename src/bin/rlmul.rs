@@ -115,6 +115,18 @@ TRAIN OPTIONS
                     (summarize later with `rlmul report PATH`)
   --metrics-addr A  serve live Prometheus metrics on A while training
                     (e.g. 127.0.0.1:9090; scrape GET /metrics)
+  --surrogate on|off
+                    pre-screen candidate actions with the online
+                    learned evaluator so only predicted-promising
+                    states reach real synthesis (default off; off is
+                    bit-identical to a build without the surrogate)
+  --surrogate-topk N
+                    with the surrogate on, synthesize the chosen
+                    action only when it ranks in the predicted best N
+                    successors (default 3)
+  --surrogate-refresh N
+                    force a real synthesis after N consecutive
+                    surrogate-served evaluations (default 8)
 
 REPORT USAGE
   rlmul report RUN.jsonl [--phase]
@@ -254,6 +266,14 @@ fn cmd_train(opts: &HashMap<String, String>) -> CliResult {
         "tradeoff" => CostWeights::TRADE_OFF,
         other => return Err(format!("unknown pref `{other}`").into()),
     };
+    match opts.get("surrogate").map(String::as_str) {
+        None | Some("off") => {}
+        Some("on") => env_cfg.surrogate.enabled = true,
+        Some(other) => return Err(format!("unknown --surrogate `{other}` (on|off)").into()),
+    }
+    env_cfg.surrogate.topk = get(opts, "surrogate-topk", env_cfg.surrogate.topk);
+    env_cfg.surrogate.refresh_every =
+        get(opts, "surrogate-refresh", env_cfg.surrogate.refresh_every);
     let method = opts.get("method").map(String::as_str).unwrap_or("a2c");
     if !matches!(method, "dqn" | "a2c" | "sa") {
         return Err(format!("unknown method `{method}` (dqn|a2c|sa)").into());
