@@ -6,6 +6,8 @@
 //! Dadda, GOMIL, SA, RL-MUL, RL-MUL-E) and design sweeps, and the
 //! CNN operation-count model behind Fig. 1.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod nets;
 pub mod report;

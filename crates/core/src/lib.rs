@@ -40,6 +40,8 @@
 //! # Ok::<(), rlmul_core::RlMulError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod a2c;
 mod cache;
 mod ckpt;

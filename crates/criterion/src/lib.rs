@@ -13,6 +13,8 @@
 //! comparison; output is one line per benchmark on stdout, which is
 //! what this repository's BENCH logs capture.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

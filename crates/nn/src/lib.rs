@@ -22,6 +22,8 @@
 //! assert_eq!(features.shape(), &[1, 16]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod act;
 mod ckpt;
 mod conv;

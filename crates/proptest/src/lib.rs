@@ -15,6 +15,8 @@
 //! repository's invariants-style properties that trade-off is fine;
 //! determinism is an advantage in CI.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SampleUniform, SeedableRng};
 use std::ops::{Range, RangeInclusive};

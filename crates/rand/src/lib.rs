@@ -13,6 +13,8 @@
 //! reasonable statistical quality, both of which xoshiro256++
 //! provides.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core random-number source: everything derives from `next_u64`.

@@ -57,6 +57,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rlmul_baselines as baselines;
 pub use rlmul_ckpt as ckpt;
 pub use rlmul_core as core;
