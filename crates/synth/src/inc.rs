@@ -138,6 +138,7 @@ impl IncrementalSynthesis {
         }
         let obs = rlmul_obs::global();
         let _span = obs.span("synth.inc_run");
+        // check: allow(wall-clock) duration feeds the obs histogram only
         let started = std::time::Instant::now();
 
         let (conn, baseline, dffs, cell_of, mode) = self.prepare_state(netlist);

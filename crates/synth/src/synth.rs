@@ -114,6 +114,7 @@ impl Synthesizer {
         }
         let obs = rlmul_obs::global();
         let _span = obs.span("synth.run");
+        // check: allow(wall-clock) duration feeds the obs histogram only
         let started = std::time::Instant::now();
         let mut mapped = MappedNetlist::map(netlist, &self.library);
         let (timing, moves, met, sta) = match options.target_delay_ns {
