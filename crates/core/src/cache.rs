@@ -28,6 +28,7 @@
 use crate::env::Evaluation;
 use rlmul_ct::PpgKind;
 use std::collections::hash_map::{DefaultHasher, Entry};
+// check: allow(hash-iter) export_entries sorts by key before serializing
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,6 +196,7 @@ enum Slot {
 
 #[derive(Debug, Default)]
 struct CacheInner {
+    // check: allow(hash-iter) never iterated for export; see export_entries sort
     shards: Vec<RwLock<HashMap<CacheKey, Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -277,6 +279,7 @@ impl Default for EvalCache {
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
+        // check: allow(hash-iter) export_entries sorts by key before serializing
         let shards = (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
         EvalCache {
             inner: Arc::new(CacheInner {
@@ -289,6 +292,7 @@ impl EvalCache {
         }
     }
 
+    // check: allow(hash-iter) lookup only; ordered export lives in export_entries
     fn shard(&self, key: &dyn AsCacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
