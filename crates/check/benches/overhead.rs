@@ -1,0 +1,141 @@
+//! Disabled-path overhead guard for the sync facade.
+//!
+//! The facade stays in the hot paths of the eval cache and telemetry
+//! ring unconditionally, so with lockdep off and no model execution
+//! active it must cost no more than `std::sync` plus one relaxed
+//! load. Mirrors the `rlmul-obs` overhead bench: criterion timings
+//! for the record, then a median-of-rounds guard that fails the bench
+//! run on a regression past 2x.
+
+use criterion::{black_box, criterion_group, Criterion};
+use rlmul_check::sync;
+use std::sync::Mutex as StdMutex;
+use std::time::{Duration, Instant};
+
+/// A few-ns xorshift workload per iteration, so the lock cost is
+/// measured against realistic surrounding work.
+#[inline]
+fn workload(mut x: u64) -> u64 {
+    for _ in 0..8 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+fn bench_disabled_paths(c: &mut Criterion) {
+    let std_mutex = StdMutex::new(0u64);
+    let facade_mutex = sync::Mutex::new("bench.mutex", 0u64);
+    let std_rw = std::sync::RwLock::new(0u64);
+    let facade_rw = sync::RwLock::new("bench.rw", 0u64);
+
+    let mut g = c.benchmark_group("check_overhead");
+    g.bench_function("std_mutex_lock", |b| {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        b.iter(|| {
+            x = workload(black_box(x));
+            *std_mutex.lock().expect("bench mutex") += 1;
+            x
+        })
+    });
+    g.bench_function("facade_mutex_lock_disabled", |b| {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        b.iter(|| {
+            x = workload(black_box(x));
+            *facade_mutex.lock() += 1;
+            x
+        })
+    });
+    g.bench_function("std_rwlock_read", |b| {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        b.iter(|| {
+            x = workload(black_box(x));
+            black_box(*std_rw.read().expect("bench rwlock"));
+            x
+        })
+    });
+    g.bench_function("facade_rwlock_read_disabled", |b| {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        b.iter(|| {
+            x = workload(black_box(x));
+            black_box(*facade_rw.read());
+            x
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+    targets = bench_disabled_paths
+);
+
+/// Median nanoseconds per iteration of `f` over `rounds` timed
+/// batches of `iters` calls each.
+fn median_ns_per_iter<F: FnMut() -> u64>(mut f: F, rounds: usize, iters: u64) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_add(f());
+            }
+            black_box(acc);
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The CI guard: a facade lock/unlock with everything disabled must
+/// stay within 2x of a bare `std::sync::Mutex` lock/unlock. A real
+/// regression (recording acquisitions unconditionally, consulting the
+/// scheduler TLS on the fast path) costs far more than 2x; scheduler
+/// noise on a shared runner does not.
+fn overhead_guard() {
+    const ROUNDS: usize = 15;
+    const ITERS: u64 = 400_000;
+    let std_mutex = StdMutex::new(0u64);
+    let facade_mutex = sync::Mutex::new("guard.mutex", 0u64);
+
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let baseline = median_ns_per_iter(
+        || {
+            x = workload(black_box(x));
+            *std_mutex.lock().expect("guard mutex") += 1;
+            x
+        },
+        ROUNDS,
+        ITERS,
+    );
+    let mut y = 0x9e37_79b9_7f4a_7c15u64;
+    let facade = median_ns_per_iter(
+        || {
+            y = workload(black_box(y));
+            *facade_mutex.lock() += 1;
+            y
+        },
+        ROUNDS,
+        ITERS,
+    );
+    let ratio = facade / baseline.max(0.1);
+    println!(
+        "guard: std {baseline:.2} ns/iter, facade-disabled {facade:.2} ns/iter (ratio {ratio:.3})"
+    );
+    assert!(
+        ratio < 2.0,
+        "disabled sync facade regressed: {facade:.2} ns/iter vs std {baseline:.2} ns/iter \
+         ({ratio:.2}x, bound 2.0x)"
+    );
+}
+
+fn main() {
+    benches();
+    overhead_guard();
+}

@@ -1,0 +1,43 @@
+//! Global fast-path gate shared by the [`crate::sync`] facade.
+//!
+//! Every facade operation starts with one relaxed load of [`FLAGS`];
+//! while it reads zero (no lockdep, no model execution anywhere in
+//! the process) the wrappers delegate straight to [`std::sync`] —
+//! the same single-branch discipline as the `rlmul-obs` registry's
+//! disabled path.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Bit 0: lockdep enabled. Bit 1: ≥1 model execution active.
+static FLAGS: AtomicU32 = AtomicU32::new(0);
+/// Number of concurrently active model executions (test harnesses in
+/// parallel test threads may overlap).
+static MODEL_COUNT: AtomicU32 = AtomicU32::new(0);
+
+pub(crate) const LOCKDEP: u32 = 1;
+pub(crate) const MODEL: u32 = 2;
+
+#[inline]
+pub(crate) fn flags() -> u32 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_lockdep(on: bool) {
+    if on {
+        FLAGS.fetch_or(LOCKDEP, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!LOCKDEP, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn model_enter() {
+    if MODEL_COUNT.fetch_add(1, Ordering::Relaxed) == 0 {
+        FLAGS.fetch_or(MODEL, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn model_exit() {
+    if MODEL_COUNT.fetch_sub(1, Ordering::Relaxed) == 1 {
+        FLAGS.fetch_and(!MODEL, Ordering::Relaxed);
+    }
+}

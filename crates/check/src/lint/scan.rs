@@ -1,0 +1,328 @@
+//! A lightweight Rust source scanner.
+//!
+//! The lint rules match *tokens in code*, so the scanner's job is to
+//! blank out everything that is not code — line and block comments,
+//! string/char literal contents — while remembering two things the
+//! rules need: inline `// check: allow(<rule>)` escapes and which
+//! lines sit inside test-only regions (`#[cfg(test)]` /`#[test]`
+//! items). It is a character-level state machine, not a parser: raw
+//! strings, nested block comments and lifetime-vs-char-literal
+//! disambiguation are handled, macro bodies are treated as code.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct ScanLine {
+    /// The line with comment and literal contents replaced by spaces
+    /// (delimiters kept), so token searches cannot match inside them.
+    pub code: String,
+    /// Rule IDs allowed on this line by a `// check: allow(...)`
+    /// escape on the same line or the line directly above.
+    pub allows: Vec<String>,
+    /// Whether the line is inside a `#[cfg(test)]` or `#[test]`
+    /// region (rules skip test code by default).
+    pub in_test: bool,
+}
+
+/// A scanned file: per-line code text plus escape/test metadata.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Lines in order; index 0 is source line 1.
+    pub lines: Vec<ScanLine>,
+}
+
+/// Scanner state across newlines.
+enum State {
+    Code,
+    /// Nested block comments (`/* /* */ */`), depth ≥ 1.
+    Block(usize),
+    /// Ordinary string literal.
+    Str,
+    /// Raw string literal with this many `#` marks.
+    RawStr(usize),
+}
+
+/// Scans one file's source text.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    // An escape written on a line covers that line and the next one —
+    // but only escapes *written* there, not ones inherited from
+    // further above (no transitive cascade).
+    let mut prev_own: Vec<String> = Vec::new();
+    for raw in source.lines() {
+        let (code, comment) = scan_line(raw, &mut state);
+        let own = parse_allows(&comment);
+        let mut allows = own.clone();
+        for a in &prev_own {
+            if !allows.contains(a) {
+                allows.push(a.clone());
+            }
+        }
+        lines.push(ScanLine { code, allows, in_test: false });
+        prev_own = own;
+    }
+    let mut file = ScannedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// Scans one line, returning `(code-with-literals-blanked, comment
+/// text)` and updating the cross-line state.
+#[allow(clippy::too_many_lines)]
+fn scan_line(raw: &str, state: &mut State) -> (String, String) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::Block(depth) => {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    code.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        *state = State::Code;
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(b[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    code.push_str("  ");
+                    i += 2; // skip the escaped char (may run off: ok)
+                } else if b[i] == '"' {
+                    *state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == '"' && closes_raw(&b, i + 1, *hashes) {
+                    let h = *hashes;
+                    *state = State::Code;
+                    code.push('"');
+                    for _ in 0..h {
+                        code.push('#');
+                    }
+                    i += 1 + h;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                match b[i] {
+                    '/' if b.get(i + 1) == Some(&'/') => {
+                        // Line comment: the rest of the line.
+                        comment.extend(&b[i + 2..]);
+                        break;
+                    }
+                    '/' if b.get(i + 1) == Some(&'*') => {
+                        *state = State::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        *state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' if raw_string_at(&b, i).is_some() => {
+                        let hashes = raw_string_at(&b, i).unwrap_or(0);
+                        *state = State::RawStr(hashes);
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        i += 2 + hashes;
+                    }
+                    'b' if b.get(i + 1) == Some(&'"') => {
+                        *state = State::Str;
+                        code.push_str("b\"");
+                        i += 2;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes
+                        // within a few chars (`'x'`, `'\n'`, `'\u{..}'`).
+                        if let Some(end) = char_literal_end(&b, i) {
+                            code.push('\'');
+                            for _ in i + 1..end {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i = end + 1;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Whether `r"`/`r#"`-style raw string starts at `i`; returns the
+/// hash count.
+fn raw_string_at(b: &[char], i: usize) -> Option<usize> {
+    // Must not be part of an identifier (e.g. `for`): previous char
+    // cannot be alphanumeric or `_`.
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether `#`×`hashes` follows at `i` (closing a raw string).
+fn closes_raw(b: &[char], i: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i` (a `'`), returns the index of its
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(b: &[char], i: usize) -> Option<usize> {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escaped: find the next unescaped quote within a small
+            // window (covers `'\u{10FFFF}'`).
+            (i + 3..(i + 12).min(b.len())).find(|&j| b[j] == '\'')
+        }
+        Some(_) if b.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+/// Extracts rule IDs from `check: allow(a, b)` inside a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("check: allow(") {
+        let args = &rest[pos + "check: allow(".len()..];
+        let Some(close) = args.find(')') else { break };
+        for id in args[..close].split(',') {
+            let id = id.trim().to_string();
+            if !id.is_empty() && !allows.contains(&id) {
+                allows.push(id);
+            }
+        }
+        rest = &args[close..];
+    }
+    allows
+}
+
+/// Marks lines inside `#[cfg(test)]`- or `#[test]`-attributed items
+/// by matching the braces of the block that follows the attribute.
+fn mark_test_regions(file: &mut ScannedFile) {
+    let n = file.lines.len();
+    let mut line = 0;
+    while line < n {
+        let code = file.lines[line].code.clone();
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            // Find the opening brace of the attributed item (skipping
+            // further attribute lines), then mark through its close.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut l = line;
+            'outer: while l < n {
+                for c in file.lines[l].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                        }
+                        _ => {}
+                    }
+                }
+                file.lines[l].in_test = true;
+                if opened && depth == 0 {
+                    break 'outer;
+                }
+                l += 1;
+            }
+            line = l + 1;
+        } else {
+            line += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = scan("let x = \"Instant::now()\"; // Instant::now()\nInstant::now();\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[1].code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("/* a /* b */\nstill comment */ code();\n");
+        assert!(!f.lines[0].code.contains('a'));
+        assert!(!f.lines[1].code.contains("still"));
+        assert!(f.lines[1].code.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let s = r#\"HashMap \"quoted\" inside\"#; HashSet::new();\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("HashSet"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = '\"';\nlet d = 'x';\n");
+        assert!(f.lines[0].code.contains("str"));
+        // The quote inside the char literal must not open a string.
+        assert!(f.lines[2].code.contains("let d"));
+    }
+
+    #[test]
+    fn allow_escapes_cover_same_and_next_line() {
+        let f = scan("// check: allow(wall-clock)\nInstant::now();\nInstant::now();\n");
+        assert_eq!(f.lines[0].allows, vec!["wall-clock"]);
+        assert_eq!(f.lines[1].allows, vec!["wall-clock"]);
+        assert!(f.lines[2].allows.is_empty());
+        let g = scan("let t = Instant::now(); // check: allow(wall-clock) timing stats\n");
+        assert_eq!(g.lines[0].allows, vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+}

@@ -1,0 +1,77 @@
+//! `rlmul-check` — the `check-src` lint binary.
+//!
+//! ```sh
+//! cargo run -p rlmul-check            # lint the enclosing workspace
+//! cargo run -p rlmul-check -- --root /path/to/workspace
+//! cargo run -p rlmul-check -- --list-rules
+//! ```
+//!
+//! Exits 0 on a clean workspace, 1 on findings, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use rlmul_check::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in lint::rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "rlmul-check: concurrency & determinism source lint\n\
+                     \n\
+                     USAGE: rlmul-check [--root <workspace>] [--list-rules]\n\
+                     \n\
+                     RULES (deny-by-default; escape with `// check: allow(<rule>)`):\n\
+                     \x20 wall-clock   no Instant/SystemTime in determinism-critical code\n\
+                     \x20 hash-iter    no HashMap/HashSet in ordering-critical files\n\
+                     \x20 panic-path   no unwrap/expect/panic! in server request paths\n\
+                     \x20 crate-attrs  forbid(unsafe_code)/deny(missing_docs) crate contract"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("error: no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+    match lint::run_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

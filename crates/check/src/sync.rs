@@ -1,0 +1,614 @@
+//! Instrumented sync primitives: `std::sync` semantics, plus lockdep
+//! and model-checking hooks.
+//!
+//! Drop-in-shaped wrappers around [`std::sync`] locks with three
+//! operating modes, selected per-process by one relaxed atomic load
+//! (the [`crate::gate`] fast path, same discipline as the `rlmul-obs`
+//! registry):
+//!
+//! - **Plain** (default): delegate straight to `std::sync`. The only
+//!   added cost is the single flag load.
+//! - **Lockdep** ([`crate::lockdep::enable`]): every acquisition
+//!   feeds the acquisition-order graph; inversions are reported as
+//!   potential deadlocks the first time the *ordering* occurs.
+//! - **Model** (inside [`crate::sched::Model`] executions): the
+//!   operation becomes a scheduling decision of the deterministic
+//!   scheduler, letting the model checker enumerate interleavings.
+//!
+//! Two deliberate deviations from `std::sync`:
+//!
+//! - No poison propagation: `lock()`/`read()`/`write()` return guards
+//!   directly, recovering the inner value if a previous holder
+//!   panicked (like `parking_lot`). Poisoning added no safety here —
+//!   every call site simply `.expect()`ed it into an abort — and the
+//!   recovery keeps teardown paths deadlock-free.
+//! - Every lock carries a `&'static str` *class name* (e.g. all 16
+//!   cache shards share one class) used by lockdep reports, so
+//!   diagnostics name the design-level lock, not an address.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex as StdMutex};
+pub use std::sync::mpsc::{RecvError, SendError};
+
+use crate::gate;
+use crate::lockdep;
+use crate::sched;
+
+fn plain_lock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Resolves the instrumentation for one acquisition: the model ctx
+/// (if this OS thread is a model vthread) and whether lockdep should
+/// record it. During a panic unwind everything is bypassed — guards
+/// dropping mid-unwind must never re-enter the scheduler.
+fn instrumentation() -> (Option<sched::Ctx>, bool) {
+    let flags = gate::flags();
+    if flags == 0 || std::thread::panicking() {
+        return (None, false);
+    }
+    let ctx = sched::current();
+    // Under the model the scheduler itself finds deadlocks; lockdep
+    // would only double-report, so it covers non-model threads.
+    let ld = ctx.is_none() && flags & gate::LOCKDEP != 0;
+    (ctx, ld)
+}
+
+/// A mutex with a lock-class name. See the module docs for modes.
+pub struct Mutex<T> {
+    name: &'static str,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex whose acquisitions are attributed to the lock
+    /// class `name`.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        Mutex { name, inner: StdMutex::new(value) }
+    }
+
+    /// Acquires the mutex. Recovers (never propagates) poison.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if gate::flags() == 0 {
+            return MutexGuard { lock: self, inner: Some(plain_lock(&self.inner)), model: None, ld: false };
+        }
+        self.lock_slow()
+    }
+
+    #[cold]
+    fn lock_slow(&self) -> MutexGuard<'_, T> {
+        let (ctx, ld) = instrumentation();
+        if ld {
+            // Record before blocking, so an about-to-deadlock
+            // acquisition still reports its cycle.
+            lockdep::on_acquire(self.name);
+        }
+        if let Some(ctx) = ctx {
+            let obj = ctx.lock_object(self as *const Self as usize);
+            ctx.lock(obj);
+            let inner = self
+                .inner
+                .try_lock()
+                .unwrap_or_else(|e| match e {
+                    std::sync::TryLockError::Poisoned(p) => p.into_inner(),
+                    std::sync::TryLockError::WouldBlock => {
+                        unreachable!("model lock granted but OS mutex held")
+                    }
+                });
+            return MutexGuard { lock: self, inner: Some(inner), model: Some((ctx, obj)), ld };
+        }
+        MutexGuard { lock: self, inner: Some(plain_lock(&self.inner)), model: None, ld }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("name", &self.name).field("inner", &self.inner).finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases (and reports) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(sched::Ctx, usize)>,
+    ld: bool,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after dissolve")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard accessed after dissolve")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock before telling the scheduler: once the
+        // model marks the lock free, another vthread may try_lock it.
+        self.inner.take();
+        if let Some((ctx, obj)) = self.model.take() {
+            ctx.unlock(obj);
+        }
+        if self.ld {
+            lockdep::on_release(self.lock.name);
+        }
+    }
+}
+
+/// A reader-writer lock with a lock-class name.
+///
+/// Under the model checker both `read` and `write` are conservatively
+/// exclusive: the checker serializes everything anyway, and modelling
+/// shared readers would only prune interleavings, never add them.
+pub struct RwLock<T> {
+    name: &'static str,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an rwlock attributed to the lock class `name`.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        RwLock { name, inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Acquires shared read access. Recovers poison.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if gate::flags() == 0 {
+            let inner = match self.inner.read() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return RwLockReadGuard { lock: self, inner: Some(inner), model: None, ld: false };
+        }
+        self.read_slow()
+    }
+
+    #[cold]
+    fn read_slow(&self) -> RwLockReadGuard<'_, T> {
+        let (ctx, ld) = instrumentation();
+        if ld {
+            lockdep::on_acquire(self.name);
+        }
+        if let Some(ctx) = ctx {
+            let obj = ctx.lock_object(self as *const Self as usize);
+            ctx.lock(obj);
+            let inner = self.inner.try_read().unwrap_or_else(|e| match e {
+                std::sync::TryLockError::Poisoned(p) => p.into_inner(),
+                std::sync::TryLockError::WouldBlock => {
+                    unreachable!("model lock granted but OS rwlock held")
+                }
+            });
+            return RwLockReadGuard { lock: self, inner: Some(inner), model: Some((ctx, obj)), ld };
+        }
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard { lock: self, inner: Some(inner), model: None, ld }
+    }
+
+    /// Acquires exclusive write access. Recovers poison.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if gate::flags() == 0 {
+            let inner = match self.inner.write() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return RwLockWriteGuard { lock: self, inner: Some(inner), model: None, ld: false };
+        }
+        self.write_slow()
+    }
+
+    #[cold]
+    fn write_slow(&self) -> RwLockWriteGuard<'_, T> {
+        let (ctx, ld) = instrumentation();
+        if ld {
+            lockdep::on_acquire(self.name);
+        }
+        if let Some(ctx) = ctx {
+            let obj = ctx.lock_object(self as *const Self as usize);
+            ctx.lock(obj);
+            let inner = self.inner.try_write().unwrap_or_else(|e| match e {
+                std::sync::TryLockError::Poisoned(p) => p.into_inner(),
+                std::sync::TryLockError::WouldBlock => {
+                    unreachable!("model lock granted but OS rwlock held")
+                }
+            });
+            return RwLockWriteGuard { lock: self, inner: Some(inner), model: Some((ctx, obj)), ld };
+        }
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard { lock: self, inner: Some(inner), model: None, ld }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").field("name", &self.name).field("inner", &self.inner).finish()
+    }
+}
+
+/// Shared-access RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<(sched::Ctx, usize)>,
+    ld: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after dissolve")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((ctx, obj)) = self.model.take() {
+            ctx.unlock(obj);
+        }
+        if self.ld {
+            lockdep::on_release(self.lock.name);
+        }
+    }
+}
+
+/// Exclusive-access RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(sched::Ctx, usize)>,
+    ld: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after dissolve")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard accessed after dissolve")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((ctx, obj)) = self.model.take() {
+            ctx.unlock(obj);
+        }
+        if self.ld {
+            lockdep::on_release(self.lock.name);
+        }
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+///
+/// Model semantics: no spurious wakeups, `notify_one` wakes the
+/// longest waiter. Callers must still loop on their predicate — the
+/// state can change between wakeup and reacquisition.
+pub struct Condvar {
+    name: &'static str,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condvar named for diagnostics.
+    pub const fn new(name: &'static str) -> Self {
+        Condvar { name, inner: std::sync::Condvar::new() }
+    }
+
+    /// Releases `guard`'s mutex, waits for a notification, and
+    /// reacquires it.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        let ld = guard.ld;
+        guard.ld = false; // this wait owns the release/reacquire pair
+        if let Some((ctx, mobj)) = guard.model.take() {
+            guard.inner.take();
+            drop(guard);
+            if ld {
+                lockdep::on_release(lock.name);
+            }
+            let cvobj = ctx.cv_object(self as *const Self as usize);
+            ctx.cv_wait(cvobj, mobj);
+            let inner = lock.inner.try_lock().unwrap_or_else(|e| match e {
+                std::sync::TryLockError::Poisoned(p) => p.into_inner(),
+                std::sync::TryLockError::WouldBlock => {
+                    unreachable!("model lock granted but OS mutex held")
+                }
+            });
+            if ld {
+                lockdep::on_acquire(lock.name);
+            }
+            return MutexGuard { lock, inner: Some(inner), model: Some((ctx, mobj)), ld };
+        }
+        let inner = guard.inner.take().expect("guard accessed after dissolve");
+        drop(guard);
+        if ld {
+            lockdep::on_release(lock.name);
+        }
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if ld {
+            lockdep::on_acquire(lock.name);
+        }
+        MutexGuard { lock, inner: Some(inner), model: None, ld }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        if let (Some(ctx), _) = instrumentation() {
+            let cvobj = ctx.cv_object(self as *const Self as usize);
+            ctx.notify_one(cvobj);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let (Some(ctx), _) = instrumentation() {
+            let cvobj = ctx.cv_object(self as *const Self as usize);
+            ctx.notify_all(cvobj);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").field("name", &self.name).finish()
+    }
+}
+
+/// Handle to a spawned thread (OS thread, or a model vthread inside
+/// model executions).
+pub struct JoinHandle<T>(JoinInner<T>);
+
+enum JoinInner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model { ctx: sched::Ctx, tid: usize, result: Arc<StdMutex<Option<T>>> },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. A panic
+    /// in a model vthread fails the whole model execution instead of
+    /// surfacing here.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            JoinInner::Os(h) => h.join(),
+            JoinInner::Model { ctx, tid, result } => {
+                ctx.join(tid);
+                let v = plain_lock(&result).take().expect("model vthread finished without a result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a named thread — an OS thread normally, a scheduler-
+/// controlled vthread inside model executions.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread (matching the existing
+/// call sites, which all `expect`ed the spawn).
+pub fn spawn_named<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    if let (Some(ctx), _) = instrumentation() {
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot = Arc::clone(&result);
+        let tid = ctx.spawn(
+            name,
+            Box::new(move || {
+                let v = f();
+                *plain_lock(&slot) = Some(v);
+            }),
+        );
+        return JoinHandle(JoinInner::Model { ctx, tid, result });
+    }
+    let handle = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawn thread");
+    JoinHandle(JoinInner::Os(handle))
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    cv: Condvar,
+}
+
+/// The sending half of [`channel`]. Cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of [`channel`].
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// An unbounded mpsc channel built on the facade primitives, so its
+/// internals are lockdep-tracked and model-checkable like any other
+/// facade lock. API mirrors [`std::sync::mpsc::channel`] (same error
+/// types) minus timeouts.
+pub fn channel<T>(name: &'static str) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(name, ChanState { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+        cv: Condvar::new(name),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; fails (returning it) if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut state = self.chan.state.lock();
+            state.senders -= 1;
+            state.senders == 0
+        };
+        if last {
+            // Wake a receiver blocked on a now-forever-empty queue.
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, blocking while the queue is empty;
+    /// fails once every sender is gone and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.cv.wait(state);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.state.lock().receiver_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip_plain() {
+        let m = Arc::new(Mutex::new("t.sync-m", 0u32));
+        let cv = Arc::new(Condvar::new("t.sync-cv"));
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = spawn_named("setter", move || {
+            *m2.lock() = 7;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while *g != 7 {
+            g = cv.wait(g);
+        }
+        drop(g);
+        h.join().expect("setter thread");
+    }
+
+    #[test]
+    fn rwlock_read_write_plain() {
+        let l = RwLock::new("t.sync-rw", vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn channel_matches_mpsc_semantics() {
+        let (tx, rx) = channel::<u32>("t.sync-chan");
+        let tx2 = tx.clone();
+        tx.send(1).expect("receiver alive");
+        tx2.send(2).expect("receiver alive");
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError), "all senders dropped");
+        let (tx, rx) = channel::<u32>("t.sync-chan2");
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)), "receiver dropped");
+    }
+
+    #[test]
+    fn lockdep_sees_facade_acquisitions() {
+        let _serial = crate::lockdep::test_serial();
+        let _ = crate::lockdep::take_reports();
+        crate::lockdep::enable();
+        let a = Mutex::new("t.facade-a", ());
+        let b = Mutex::new("t.facade-b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        crate::lockdep::disable();
+        let reports = crate::lockdep::take_reports();
+        assert!(
+            reports.iter().any(|r| r.message.contains("t.facade-a")),
+            "facade must feed lockdep: {reports:?}"
+        );
+    }
+}
