@@ -272,7 +272,12 @@ mod tests {
         );
         assert!(out.is_empty(), "{out:?}");
         // Non-contract crates need only forbid(unsafe_code).
-        check_crate_attrs("#![forbid(unsafe_code)]\n", "crates/bench/src/lib.rs", "bench", &mut out);
+        check_crate_attrs(
+            "#![forbid(unsafe_code)]\n",
+            "crates/bench/src/lib.rs",
+            "bench",
+            &mut out,
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 }

@@ -210,11 +210,8 @@ impl Exec {
             );
             return;
         }
-        let constrained = if from_runnable && st.preemptions >= st.bound {
-            vec![from]
-        } else {
-            options
-        };
+        let constrained =
+            if from_runnable && st.preemptions >= st.bound { vec![from] } else { options };
         let pos = if st.cursor < st.prefix.len() {
             let forced = st.prefix[st.cursor];
             match constrained.iter().position(|&t| t == forced) {
@@ -627,7 +624,12 @@ impl Model {
     }
 
     /// Non-panicking random exploration.
-    pub fn explore_random(&self, seed: u64, iterations: usize, f: &dyn Fn()) -> Option<FailureReport> {
+    pub fn explore_random(
+        &self,
+        seed: u64,
+        iterations: usize,
+        f: &dyn Fn(),
+    ) -> Option<FailureReport> {
         for i in 0..iterations {
             let iter_seed = Rng(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)).next();
             let run = self.run_one(Vec::new(), Mode::Random(Rng(iter_seed)), f);
@@ -833,7 +835,11 @@ mod tests {
         });
         let failure = outcome.failure.expect("must find the lost wakeup");
         assert!(failure.message.contains("deadlock"), "{}", failure.message);
-        assert!(failure.message.contains("Wait"), "must show the stuck waiter: {}", failure.message);
+        assert!(
+            failure.message.contains("Wait"),
+            "must show the stuck waiter: {}",
+            failure.message
+        );
     }
 
     #[test]

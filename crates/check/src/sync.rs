@@ -3,7 +3,7 @@
 //!
 //! Drop-in-shaped wrappers around [`std::sync`] locks with three
 //! operating modes, selected per-process by one relaxed atomic load
-//! (the [`crate::gate`] fast path, same discipline as the `rlmul-obs`
+//! (the `crate::gate` fast path, same discipline as the `rlmul-obs`
 //! registry):
 //!
 //! - **Plain** (default): delegate straight to `std::sync`. The only
@@ -29,8 +29,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::{Arc, Mutex as StdMutex};
 pub use std::sync::mpsc::{RecvError, SendError};
+use std::sync::{Arc, Mutex as StdMutex};
 
 use crate::gate;
 use crate::lockdep;
@@ -76,7 +76,12 @@ impl<T> Mutex<T> {
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         if gate::flags() == 0 {
-            return MutexGuard { lock: self, inner: Some(plain_lock(&self.inner)), model: None, ld: false };
+            return MutexGuard {
+                lock: self,
+                inner: Some(plain_lock(&self.inner)),
+                model: None,
+                ld: false,
+            };
         }
         self.lock_slow()
     }
@@ -92,15 +97,12 @@ impl<T> Mutex<T> {
         if let Some(ctx) = ctx {
             let obj = ctx.lock_object(self as *const Self as usize);
             ctx.lock(obj);
-            let inner = self
-                .inner
-                .try_lock()
-                .unwrap_or_else(|e| match e {
-                    std::sync::TryLockError::Poisoned(p) => p.into_inner(),
-                    std::sync::TryLockError::WouldBlock => {
-                        unreachable!("model lock granted but OS mutex held")
-                    }
-                });
+            let inner = self.inner.try_lock().unwrap_or_else(|e| match e {
+                std::sync::TryLockError::Poisoned(p) => p.into_inner(),
+                std::sync::TryLockError::WouldBlock => {
+                    unreachable!("model lock granted but OS mutex held")
+                }
+            });
             return MutexGuard { lock: self, inner: Some(inner), model: Some((ctx, obj)), ld };
         }
         MutexGuard { lock: self, inner: Some(plain_lock(&self.inner)), model: None, ld }
@@ -237,7 +239,12 @@ impl<T> RwLock<T> {
                     unreachable!("model lock granted but OS rwlock held")
                 }
             });
-            return RwLockWriteGuard { lock: self, inner: Some(inner), model: Some((ctx, obj)), ld };
+            return RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                model: Some((ctx, obj)),
+                ld,
+            };
         }
         let inner = match self.inner.write() {
             Ok(g) => g,
@@ -400,6 +407,15 @@ impl fmt::Debug for Condvar {
 /// model executions).
 pub struct JoinHandle<T>(JoinInner<T>);
 
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self.0 {
+            JoinInner::Os(_) => "JoinHandle(os)",
+            JoinInner::Model { .. } => "JoinHandle(model)",
+        })
+    }
+}
+
 enum JoinInner<T> {
     Os(std::thread::JoinHandle<T>),
     Model { ctx: sched::Ctx, tid: usize, result: Arc<StdMutex<Option<T>>> },
@@ -414,7 +430,8 @@ impl<T> JoinHandle<T> {
             JoinInner::Os(h) => h.join(),
             JoinInner::Model { ctx, tid, result } => {
                 ctx.join(tid);
-                let v = plain_lock(&result).take().expect("model vthread finished without a result");
+                let v =
+                    plain_lock(&result).take().expect("model vthread finished without a result");
                 Ok(v)
             }
         }
@@ -445,10 +462,7 @@ where
         );
         return JoinHandle(JoinInner::Model { ctx, tid, result });
     }
-    let handle = std::thread::Builder::new()
-        .name(name.to_string())
-        .spawn(f)
-        .expect("spawn thread");
+    let handle = std::thread::Builder::new().name(name.to_string()).spawn(f).expect("spawn thread");
     JoinHandle(JoinInner::Os(handle))
 }
 
@@ -479,7 +493,10 @@ pub struct Receiver<T> {
 /// types) minus timeouts.
 pub fn channel<T>(name: &'static str) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
-        state: Mutex::new(name, ChanState { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+        state: Mutex::new(
+            name,
+            ChanState { queue: VecDeque::new(), senders: 1, receiver_alive: true },
+        ),
         cv: Condvar::new(name),
     });
     (Sender { chan: Arc::clone(&chan) }, Receiver { chan })

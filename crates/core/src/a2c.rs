@@ -15,12 +15,12 @@ use crate::outcome::{OptimizationOutcome, PipelineStats};
 use crate::RlMulError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rlmul_check::sync::{channel, Receiver, Sender};
 use rlmul_nn::{
     clip_grad_norm, entropy, masked_softmax, restore_net, snapshot_net, Adam, Layer, Linear,
     NetSnapshot, NnStats, Optimizer, Param, Sequential, Tensor, TrunkConfig,
 };
 use rlmul_telemetry::Event;
-use std::sync::mpsc;
 use std::thread::{Scope, ScopedJoinHandle};
 
 /// A2C hyper-parameters. The paper's RL-MUL-E uses four synchronized
@@ -193,8 +193,8 @@ enum EnvPool<'scope> {
 }
 
 struct PoolWorker<'scope> {
-    tx: mpsc::Sender<Cmd>,
-    rx: mpsc::Receiver<Reply>,
+    tx: Sender<Cmd>,
+    rx: Receiver<Reply>,
     handle: ScopedJoinHandle<'scope, MulEnv>,
 }
 
@@ -206,8 +206,8 @@ impl<'scope> EnvPool<'scope> {
         let workers = envs
             .into_iter()
             .map(|mut env| {
-                let (tx_cmd, rx_cmd) = mpsc::channel::<Cmd>();
-                let (tx_reply, rx_reply) = mpsc::channel();
+                let (tx_cmd, rx_cmd) = channel::<Cmd>("core.pool.cmd");
+                let (tx_reply, rx_reply) = channel("core.pool.reply");
                 let handle = scope.spawn(move || {
                     while let Ok(cmd) = rx_cmd.recv() {
                         let reply = match cmd {

@@ -26,13 +26,14 @@
 //! sizing budget, and the reward weights.
 
 use crate::env::Evaluation;
+use rlmul_check::sync::{Condvar, Mutex, RwLock};
 use rlmul_ct::PpgKind;
 use std::collections::hash_map::{DefaultHasher, Entry};
 // check: allow(hash-iter) export_entries sorts by key before serializing
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 
 /// Shards of the cache map; a small power of two keeps the modulo
 /// cheap while making same-shard contention between a handful of
@@ -182,10 +183,19 @@ enum InflightState {
     Abandoned,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inflight {
     state: Mutex<InflightState>,
     cv: Condvar,
+}
+
+impl Default for Inflight {
+    fn default() -> Self {
+        Inflight {
+            state: Mutex::new("core.cache.inflight", InflightState::default()),
+            cv: Condvar::new("core.cache.inflight"),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -279,8 +289,10 @@ impl Default for EvalCache {
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
-        // check: allow(hash-iter) export_entries sorts by key before serializing
-        let shards = (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
+        let shards = (0..NUM_SHARDS)
+            // check: allow(hash-iter) export_entries sorts by key before serializing
+            .map(|_| RwLock::new("core.cache.shard", HashMap::new()))
+            .collect();
         EvalCache {
             inner: Arc::new(CacheInner {
                 shards,
@@ -310,7 +322,7 @@ impl EvalCache {
     pub fn lookup_or_begin(&self, key: &dyn AsCacheKey) -> Lookup {
         loop {
             let pending = {
-                let shard = self.shard(key).read().expect("cache shard poisoned");
+                let shard = self.shard(key).read();
                 match shard.get(key) {
                     Some(Slot::Ready(eval)) => {
                         self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -323,9 +335,9 @@ impl EvalCache {
             };
 
             if let Some(inflight) = pending {
-                let mut state = inflight.state.lock().expect("inflight lock poisoned");
+                let mut state = inflight.state.lock();
                 while matches!(*state, InflightState::Running) {
-                    state = inflight.cv.wait(state).expect("inflight lock poisoned");
+                    state = inflight.cv.wait(state);
                 }
                 if let InflightState::Ready(eval) = &*state {
                     self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -339,7 +351,7 @@ impl EvalCache {
                 continue;
             }
 
-            let mut shard = self.shard(key).write().expect("cache shard poisoned");
+            let mut shard = self.shard(key).write();
             if shard.contains_key(key) {
                 // Another worker installed a slot between our read
                 // and write; re-examine it under the read path.
@@ -365,7 +377,7 @@ impl EvalCache {
     /// both return `None`. Does not touch the hit/miss counters.
     /// Accepts borrowed key views, so probing is allocation-free.
     pub fn peek(&self, key: &dyn AsCacheKey) -> Option<Arc<Evaluation>> {
-        let shard = self.shard(key).read().expect("cache shard poisoned");
+        let shard = self.shard(key).read();
         match shard.get(key) {
             Some(Slot::Ready(eval)) => Some(eval.clone()),
             _ => None,
@@ -377,13 +389,7 @@ impl EvalCache {
         self.inner
             .shards
             .iter()
-            .map(|s| {
-                s.read()
-                    .expect("cache shard poisoned")
-                    .values()
-                    .filter(|slot| matches!(slot, Slot::Ready(_)))
-                    .count()
-            })
+            .map(|s| s.read().values().filter(|slot| matches!(slot, Slot::Ready(_))).count())
             .sum()
     }
 
@@ -404,7 +410,6 @@ impl EvalCache {
             .iter()
             .flat_map(|s| {
                 s.read()
-                    .expect("cache shard poisoned")
                     .iter()
                     .filter_map(|(k, slot)| match slot {
                         Slot::Ready(eval) => Some((k.clone(), (**eval).clone())),
@@ -426,7 +431,7 @@ impl EvalCache {
     pub fn import(&self, entries: Vec<(CacheKey, Evaluation)>) -> usize {
         let mut inserted = 0;
         for (key, eval) in entries {
-            let mut shard = self.shard(&key).write().expect("cache shard poisoned");
+            let mut shard = self.shard(&key).write();
             if let Entry::Vacant(vacant) = shard.entry(key) {
                 vacant.insert(Slot::Ready(Arc::new(eval)));
                 inserted += 1;
@@ -464,11 +469,11 @@ impl EvalTicket {
     /// Publishes `eval` for the key and wakes all coalesced waiters.
     pub fn complete(mut self, eval: Arc<Evaluation>) {
         {
-            let mut shard = self.cache.shard(&self.key).write().expect("cache shard poisoned");
+            let mut shard = self.cache.shard(&self.key).write();
             shard.insert(self.key.clone(), Slot::Ready(eval.clone()));
         }
         self.cache.inner.obs.entries.add(1.0);
-        let mut state = self.inflight.state.lock().expect("inflight lock poisoned");
+        let mut state = self.inflight.state.lock();
         *state = InflightState::Ready(eval);
         self.inflight.cv.notify_all();
         drop(state);
@@ -482,14 +487,14 @@ impl Drop for EvalTicket {
             return;
         }
         {
-            let mut shard = self.cache.shard(&self.key).write().expect("cache shard poisoned");
+            let mut shard = self.cache.shard(&self.key).write();
             if let Some(Slot::Pending(p)) = shard.get(&self.key) {
                 if Arc::ptr_eq(p, &self.inflight) {
                     shard.remove(&self.key);
                 }
             }
         }
-        let mut state = self.inflight.state.lock().expect("inflight lock poisoned");
+        let mut state = self.inflight.state.lock();
         *state = InflightState::Abandoned;
         self.inflight.cv.notify_all();
     }

@@ -2,13 +2,14 @@
 
 use crate::event::Event;
 use crate::json::to_json;
+use rlmul_check::sync::{spawn_named, Condvar, JoinHandle, Mutex};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 /// Default ring capacity: enough for thousands of episode events
 /// between drains while bounding worst-case memory to a few MiB.
@@ -75,12 +76,20 @@ impl TelemetrySink {
     /// the overflow policy.
     pub fn emit(&self, event: Event) {
         let Some(ring) = &self.ring else { return };
-        let seq = ring.seq.fetch_add(1, Ordering::Relaxed);
-        let line = to_json(&event.with("seq", seq));
-        let mut state = ring.state.lock().expect("telemetry ring poisoned");
+        // Serialize on the caller's thread, but stamp the sequence
+        // number under the ring lock: drawing it from the atomic
+        // before acquiring the lock let two racing emitters enqueue
+        // in the opposite order of their seq values, so the log was
+        // not sorted by "seq". Splicing the field in keeps the
+        // serialized bytes identical to building the event with it.
+        let mut line = to_json(&event);
+        let mut state = ring.state.lock();
         if state.closing {
             return;
         }
+        let seq = ring.seq.fetch_add(1, Ordering::Relaxed);
+        line.truncate(line.len() - 1);
+        let _ = write!(line, ",\"seq\":{seq}}}");
         let mut overflowed = false;
         if state.queue.len() >= ring.capacity {
             // Ring overflow: drop the *oldest* record — the tail of a
@@ -110,10 +119,10 @@ impl TelemetrySink {
     /// handed to the underlying writer. A no-op on disabled sinks.
     pub fn flush(&self) {
         let Some(ring) = &self.ring else { return };
-        let mut state = ring.state.lock().expect("telemetry ring poisoned");
+        let mut state = ring.state.lock();
         let target = state.enqueued;
         while state.resolved < target && !state.closing {
-            state = ring.drained.wait(state).expect("telemetry ring poisoned");
+            state = ring.drained.wait(state);
         }
     }
 }
@@ -150,18 +159,15 @@ impl TelemetryWriter {
     /// (test hook and building block for custom transports).
     pub fn from_output(output: Box<dyn Write + Send>, capacity: usize) -> (Self, TelemetrySink) {
         let ring = Arc::new(Ring {
-            state: Mutex::new(RingState::default()),
-            work: Condvar::new(),
-            drained: Condvar::new(),
+            state: Mutex::new("telemetry.ring", RingState::default()),
+            work: Condvar::new("telemetry.ring.work"),
+            drained: Condvar::new("telemetry.ring.drained"),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         });
         let thread_ring = ring.clone();
-        let handle = std::thread::Builder::new()
-            .name("rlmul-telemetry".into())
-            .spawn(move || writer_loop(&thread_ring, output))
-            .expect("spawn telemetry writer");
+        let handle = spawn_named("rlmul-telemetry", move || writer_loop(&thread_ring, output));
         let sink = TelemetrySink { ring: Some(ring.clone()) };
         (TelemetryWriter { ring, handle: Some(handle) }, sink)
     }
@@ -185,8 +191,9 @@ impl TelemetryWriter {
     fn shutdown(&mut self) -> io::Result<()> {
         let Some(handle) = self.handle.take() else { return Ok(()) };
         {
-            let mut state = self.ring.state.lock().expect("telemetry ring poisoned");
+            let mut state = self.ring.state.lock();
             state.closing = true;
+            drop(state);
         }
         self.ring.work.notify_all();
         self.ring.drained.notify_all();
@@ -205,9 +212,9 @@ fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()>
     let mut written = 0u64;
     loop {
         let batch: Vec<String> = {
-            let mut state = ring.state.lock().expect("telemetry ring poisoned");
+            let mut state = ring.state.lock();
             while state.queue.is_empty() && !state.closing {
-                state = ring.work.wait(state).expect("telemetry ring poisoned");
+                state = ring.work.wait(state);
             }
             if state.queue.is_empty() && state.closing {
                 break;
@@ -231,7 +238,7 @@ fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()>
                 result = result.and(output.flush());
             }
         }
-        let mut state = ring.state.lock().expect("telemetry ring poisoned");
+        let mut state = ring.state.lock();
         state.resolved += n;
         drop(state);
         ring.drained.notify_all();
@@ -240,7 +247,7 @@ fn writer_loop(ring: &Ring, mut output: Box<dyn Write + Send>) -> io::Result<()>
     // the overflow policy would leave no trace in the log itself.
     // Written after the drain so it is always the last line.
     if result.is_ok() {
-        let hwm = ring.state.lock().expect("telemetry ring poisoned").hwm;
+        let hwm = ring.state.lock().hwm;
         let stats = Event::new("writer_stats")
             .with("written", written)
             .with("dropped", ring.dropped.load(Ordering::Relaxed))
@@ -259,7 +266,7 @@ mod tests {
 
     /// A Write sink shared with the test through an Arc<Mutex<_>>.
     #[derive(Clone, Default)]
-    struct Shared(Arc<Mutex<Vec<u8>>>);
+    struct Shared(Arc<std::sync::Mutex<Vec<u8>>>);
     impl Write for Shared {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
             self.0.lock().unwrap().extend_from_slice(buf);
