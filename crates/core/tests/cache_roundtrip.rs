@@ -7,10 +7,11 @@
 //! shards are both exercised.
 
 use proptest::prelude::*;
-use rlmul_core::{CacheKey, EvalCache, Evaluation};
+use rlmul_core::{CacheKey, EvalCache, Evaluation, Lookup};
 use rlmul_ct::PpgKind;
 use rlmul_synth::SynthesisReport;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Raw key tuple as drawn by the generator: compressor counts, a
 /// PPG-kind pick, and a context fingerprint.
@@ -43,6 +44,80 @@ fn eval_of(tag: u32, reports: usize) -> Evaluation {
 /// `PartialEq`); the cost is compared bit-exactly.
 fn eval_eq(a: &Evaluation, b: &Evaluation) -> bool {
     a.cost.to_bits() == b.cost.to_bits() && a.reports == b.reports
+}
+
+/// Stress the cache with checkpoint traffic racing live lookups:
+/// worker threads hammer a small key space (forcing both coalesced
+/// waits and producer handoffs) while one thread repeatedly exports
+/// and another imports a disjoint snapshot. The exercise must not
+/// deadlock or panic, every export must come out in the deterministic
+/// sorted order regardless of in-flight mutation, and afterwards the
+/// cache must answer every key with the value its producer installed.
+#[test]
+fn concurrent_export_import_during_coalesced_lookups() {
+    const TAGS: u32 = 8;
+    const ROUNDS: usize = 200;
+
+    let cache = EvalCache::new();
+    let key_of =
+        |tag: u32, context: u64| CacheKey { counts: vec![(tag, 0)], kind: PpgKind::And, context };
+    // A snapshot in a context live workers never touch.
+    let foreign: Vec<(CacheKey, Evaluation)> =
+        (0..TAGS).map(|t| (key_of(t, 99), eval_of(t + 100, 1))).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let tag = (round as u32 + w) % TAGS;
+                    match cache.lookup_or_begin(&key_of(tag, 7)) {
+                        Lookup::Miss(ticket) => ticket.complete(Arc::new(eval_of(tag, 1))),
+                        Lookup::Hit(e) => {
+                            assert_eq!(e.cost.to_bits(), eval_of(tag, 1).cost.to_bits());
+                        }
+                    }
+                }
+            });
+        }
+        {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let exported = cache.export_entries();
+                    for pair in exported.windows(2) {
+                        let a = &pair[0].0;
+                        let b = &pair[1].0;
+                        assert!(
+                            (&a.counts, a.kind as u8, a.context)
+                                < (&b.counts, b.kind as u8, b.context),
+                            "mid-flight export must stay sorted"
+                        );
+                    }
+                }
+            });
+        }
+        {
+            let cache = cache.clone();
+            let foreign = foreign.clone();
+            scope.spawn(move || {
+                for chunk in foreign.chunks(2) {
+                    cache.import(chunk.to_vec());
+                }
+            });
+        }
+    });
+
+    for tag in 0..TAGS {
+        let live = cache.peek(&key_of(tag, 7)).expect("worker-produced key must be present");
+        assert_eq!(live.cost.to_bits(), eval_of(tag, 1).cost.to_bits());
+        let imported = cache.peek(&key_of(tag, 99)).expect("imported key must be present");
+        assert_eq!(imported.cost.to_bits(), eval_of(tag + 100, 1).cost.to_bits());
+    }
+    assert_eq!(cache.len(), 2 * TAGS as usize);
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 2 * TAGS as usize);
+    assert!(stats.misses >= TAGS as usize, "each live key was produced at least once");
 }
 
 proptest! {

@@ -1,0 +1,96 @@
+//! Model-checked interleavings of the evaluation cache's in-flight
+//! coalescing protocol.
+//!
+//! These tests run real `EvalCache` code under the deterministic
+//! scheduler in `rlmul_check::sched`, which serializes the threads and
+//! explores every interleaving up to a preemption bound. A failing
+//! execution panics with a `FailureReport` whose printed schedule can
+//! be replayed verbatim via `Model::replay` (see EXPERIMENTS.md).
+//!
+//! Invariants checked exhaustively at small bounds:
+//! - at most one worker per key ever becomes the producer (no
+//!   duplicated synthesis), and every other worker observes its value
+//!   (no lost wakeup on the in-flight condvar);
+//! - abandoning a ticket (producer failure) always releases the
+//!   waiters to retry instead of deadlocking them.
+
+use rlmul_check::sched::Model;
+use rlmul_check::sync::spawn_named;
+use rlmul_core::{CacheKey, EvalCache, Evaluation, Lookup};
+use rlmul_ct::PpgKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn key() -> CacheKey {
+    CacheKey { counts: vec![(3, 1)], kind: PpgKind::And, context: 11 }
+}
+
+fn eval(cost: f64) -> Arc<Evaluation> {
+    Arc::new(Evaluation { reports: Vec::new(), cost })
+}
+
+#[test]
+fn coalescing_never_duplicates_synthesis() {
+    let model = Model::default();
+    let outcome = model.explore(&|| {
+        let cache = EvalCache::new();
+        let produced = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let cache = cache.clone();
+                let produced = produced.clone();
+                spawn_named(&format!("worker-{i}"), move || match cache.lookup_or_begin(&key()) {
+                    Lookup::Miss(ticket) => {
+                        produced.fetch_add(1, Ordering::Relaxed);
+                        ticket.complete(eval(4.0));
+                        4.0
+                    }
+                    Lookup::Hit(e) => e.cost,
+                })
+            })
+            .collect();
+        for h in handles {
+            // Hits must carry the producer's value: a waiter woken
+            // before the entry landed would observe something else or
+            // hang (the scheduler reports the hang as a deadlock).
+            assert_eq!(h.join().expect("worker panicked"), 4.0);
+        }
+        assert_eq!(produced.load(Ordering::Relaxed), 1, "exactly one worker may synthesize");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "{}",
+        outcome.failure.map(|f| f.render()).unwrap_or_default()
+    );
+    assert!(outcome.complete, "state space must be exhausted at the default bound");
+    assert!(outcome.executions > 1, "scenario must have more than one interleaving");
+}
+
+#[test]
+fn abandoned_ticket_releases_waiters() {
+    let model = Model::default();
+    model.check(|| {
+        let cache = EvalCache::new();
+        let Lookup::Miss(ticket) = cache.lookup_or_begin(&key()) else {
+            panic!("fresh key must miss");
+        };
+        let waiter = {
+            let cache = cache.clone();
+            spawn_named("waiter", move || match cache.lookup_or_begin(&key()) {
+                // Whether the waiter parks on the pending slot first or
+                // arrives after the abandonment, it must end up as the
+                // new producer — the dropped ticket leaves no entry.
+                Lookup::Miss(t) => {
+                    t.complete(eval(1.0));
+                    true
+                }
+                Lookup::Hit(_) => false,
+            })
+        };
+        // Producer fails: dropping the ticket must notify all waiters,
+        // or the waiter deadlocks (which the scheduler detects).
+        drop(ticket);
+        assert!(waiter.join().expect("waiter panicked"), "waiter must become the next producer");
+        assert_eq!(cache.len(), 1);
+    });
+}

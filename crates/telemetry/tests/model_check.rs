@@ -1,0 +1,103 @@
+//! Model-checked interleavings of the telemetry ring writer.
+//!
+//! The writer thread, the emitters and the close path all run under
+//! the deterministic scheduler from `rlmul_check::sched`, so every
+//! ordering of emit vs. drain vs. shutdown (up to the preemption
+//! bound) is explored. Failures print a replayable schedule.
+//!
+//! Invariants checked exhaustively at small bounds:
+//! - `close` never drops records that were emitted before it, and the
+//!   trailing `writer_stats` record accounts for exactly the records
+//!   written;
+//! - concurrent emitters always land in the log in sequence-number
+//!   order. This is the regression test for the seq-stamping race:
+//!   drawing the sequence number from the atomic *before* taking the
+//!   ring lock allowed two racing emitters to enqueue in the opposite
+//!   order of their seq values, so logs were not sorted by `seq`.
+//!   Stamping under the lock (the current code) passes exhaustively;
+//!   the old code fails this test with a two-step preemption schedule.
+
+use rlmul_check::sched::Model;
+use rlmul_check::sync::spawn_named;
+use rlmul_telemetry::{Event, TelemetryWriter};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink shared with the test through an `Arc<Mutex<_>>`.
+#[derive(Clone, Default)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn parsed_lines(out: &Shared) -> Vec<Event> {
+    let bytes = out.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("telemetry output is UTF-8");
+    text.lines().map(|l| Event::parse_json(l).expect("every line parses")).collect()
+}
+
+#[test]
+fn close_never_drops_records_emitted_before_it() {
+    let model = Model::default();
+    let outcome = model.explore(&|| {
+        let out = Shared::default();
+        let (writer, sink) = TelemetryWriter::from_output(Box::new(out.clone()), 64);
+        let emitter = {
+            let sink = sink.clone();
+            spawn_named("emitter", move || sink.emit(Event::new("side").with("i", 1u64)))
+        };
+        sink.emit(Event::new("main").with("i", 0u64));
+        emitter.join().expect("emitter panicked");
+        writer.close().expect("writer I/O failed");
+        let events = parsed_lines(&out);
+        assert_eq!(events.len(), 3, "2 data records + writer_stats, none dropped");
+        let stats = &events[2];
+        assert_eq!(stats.kind(), "writer_stats");
+        assert_eq!(stats.get_u64("written"), Some(2), "writer_stats must count every record");
+        assert_eq!(stats.get_u64("dropped"), Some(0));
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "{}",
+        outcome.failure.map(|f| f.render()).unwrap_or_default()
+    );
+    assert!(outcome.complete, "state space must be exhausted at the default bound");
+}
+
+#[test]
+fn concurrent_emitters_land_in_seq_order() {
+    let model = Model::default();
+    let outcome = model.explore(&|| {
+        let out = Shared::default();
+        let (writer, sink) = TelemetryWriter::from_output(Box::new(out.clone()), 64);
+        let emitters: Vec<_> = (0..2)
+            .map(|i| {
+                let sink = sink.clone();
+                spawn_named(&format!("emitter-{i}"), move || {
+                    sink.emit(Event::new("race").with("src", i as u64));
+                })
+            })
+            .collect();
+        for e in emitters {
+            e.join().expect("emitter panicked");
+        }
+        writer.close().expect("writer I/O failed");
+        let events = parsed_lines(&out);
+        assert_eq!(events.len(), 3, "2 data records + writer_stats");
+        let seqs: Vec<u64> =
+            events[..2].iter().map(|e| e.get_u64("seq").expect("data records carry seq")).collect();
+        assert_eq!(seqs, vec![0, 1], "file order must equal sequence order");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "{}",
+        outcome.failure.map(|f| f.render()).unwrap_or_default()
+    );
+    assert!(outcome.complete, "state space must be exhausted at the default bound");
+}
