@@ -101,18 +101,35 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<(
             break;
         }
     }
-    let request_line = String::from_utf8_lossy(&head);
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => {
-            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(registry))
+    let (status, content_type, body) = match parse_request_line(&head) {
+        None => {
+            registry
+                .counter("rlmul_http_bad_requests_total", "malformed request heads answered 400")
+                .inc();
+            eprintln!("rlmul-obs http: 400 bad request ({} head bytes)", head.len());
+            ("400 Bad Request", "text/plain; charset=utf-8", "malformed request head\n".into())
         }
-        ("GET", "/") => {
-            ("200 OK", "text/plain; charset=utf-8", "rlmul metrics endpoint: GET /metrics\n".into())
+        Some((method, path)) => {
+            // A panic while routing or rendering must not unwind
+            // through the accept loop (killing the endpoint for the
+            // rest of the run): degrade to a logged 500 instead.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&method, &path, registry)
+            })) {
+                Ok(response) => response,
+                Err(_) => {
+                    registry
+                        .counter("rlmul_http_internal_errors_total", "handler panics answered 500")
+                        .inc();
+                    eprintln!("rlmul-obs http: 500 handler panicked on {method} {path}");
+                    (
+                        "500 Internal Server Error",
+                        "text/plain; charset=utf-8",
+                        "internal error\n".into(),
+                    )
+                }
+            }
         }
-        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
-        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".into()),
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
@@ -121,6 +138,33 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<(
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Extracts `(method, path)` from the request head, or `None` when
+/// the first line is not a `METHOD SP PATH SP HTTP/x` request line.
+fn parse_request_line(head: &[u8]) -> Option<(String, String)> {
+    let line_end = head.windows(2).position(|w| w == b"\r\n").unwrap_or(head.len());
+    let line = String::from_utf8_lossy(&head[..line_end]);
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = (parts.next()?, parts.next()?, parts.next()?);
+    if !version.starts_with("HTTP/") || parts.next().is_some() {
+        return None;
+    }
+    Some((method.to_owned(), path.to_owned()))
+}
+
+/// Routes one parsed request to its status/content-type/body triple.
+fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'static str, String) {
+    match (method, path) {
+        ("GET", "/metrics") => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(registry))
+        }
+        ("GET", "/") => {
+            ("200 OK", "text/plain; charset=utf-8", "rlmul metrics endpoint: GET /metrics\n".into())
+        }
+        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".into()),
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +201,24 @@ mod tests {
 
         let index = get(addr, "/");
         assert!(index.contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_head_gets_a_logged_400() {
+        let r = Registry::new();
+        let server = serve_metrics(&r, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "complete garbage\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{response}");
+
+        // The failure is observable on the endpoint itself.
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("rlmul_http_bad_requests_total 1"), "{metrics}");
         server.shutdown();
     }
 
