@@ -37,6 +37,10 @@ fn main() -> ExitCode {
     };
     let tokens: Vec<String> = argv.collect();
     let opts = parse_opts(tokens.clone());
+    let lockdep = matches!(opts.get("lockdep").map(String::as_str), Some("on" | "true" | "1"));
+    if lockdep {
+        rlmul::check::lockdep::enable();
+    }
     let result = match command.as_str() {
         "info" => cmd_info(&opts),
         // `optimize` predates checkpointing and remains an alias.
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&opts),
         "verify" => cmd_verify(&opts),
         "lint" => cmd_lint(&opts),
+        "check-src" => cmd_check_src(&opts),
         "synth" => cmd_synth(&opts),
         "serve-metrics" => cmd_serve_metrics(&tokens, &opts),
         "profile" => cmd_profile(&opts),
@@ -54,7 +59,20 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     };
+    let mut cycles = 0;
+    if lockdep {
+        rlmul::check::lockdep::disable();
+        let reports = rlmul::check::lockdep::take_reports();
+        cycles = reports.len();
+        for r in &reports {
+            eprintln!("lockdep: {}", r.message);
+        }
+    }
     match result {
+        Ok(()) if cycles > 0 => {
+            eprintln!("error: {cycles} lock-order cycle(s) detected");
+            ExitCode::FAILURE
+        }
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -77,6 +95,8 @@ COMMANDS
   export    emit structural Verilog for a named structure
   verify    equivalence-check a structure against the golden model
   lint      run the structural netlist linter
+  check-src run the repo's concurrency/determinism source lint
+            (wall-clock, hash-iter, panic-path, crate-attrs)
   synth     synthesize a structure and report PPA
   serve-metrics  replay a JSONL log onto a Prometheus /metrics endpoint
   profile   run a short instrumented search and print its span tree
@@ -95,6 +115,14 @@ VERIFY OPTIONS
 LINT OPTIONS
   --in PATH         lint a structural Verilog file instead of a
                     generated structure
+
+CHECK-SRC OPTIONS
+  --root PATH       workspace root to scan (default: nearest ancestor
+                    of the current directory with a [workspace] manifest)
+
+TRAIN/PROFILE DEBUG OPTIONS
+  --lockdep on      enable the runtime lock-order detector for this
+                    invocation; detected cycles are printed on exit
 
 TRAIN OPTIONS
   --method M        dqn | a2c | sa (default a2c)
@@ -655,6 +683,23 @@ fn cmd_verify_formal(netlist: &Netlist, bits: usize, kind: PpgKind) -> CliResult
         }
         println!("simulator confirmed: {}", cex.confirmed);
         return Err("formal equivalence check failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_check_src(opts: &HashMap<String, String>) -> CliResult {
+    let root = match opts.get("root") {
+        Some(path) if !path.is_empty() => std::path::PathBuf::from(path),
+        _ => {
+            let cwd = std::env::current_dir()?;
+            rlmul::check::lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory (try --root)")?
+        }
+    };
+    let report = rlmul::check::lint::run_workspace(&root)?;
+    print!("{}", report.render());
+    if !report.is_clean() {
+        return Err(format!("{} source finding(s)", report.findings.len()).into());
     }
     Ok(())
 }

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub use rlmul_baselines as baselines;
+pub use rlmul_check as check;
 pub use rlmul_ckpt as ckpt;
 pub use rlmul_core as core;
 pub use rlmul_ct as ct;
