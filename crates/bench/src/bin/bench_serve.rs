@@ -1,0 +1,98 @@
+//! Job-server load benchmark: starts an in-process `rlmul serve`
+//! daemon, hammers it with the `rlmul loadtest` client harness over
+//! the real wire protocol, and writes throughput plus p50/p95/p99
+//! latency to `results/BENCH_serve.json`.
+//!
+//! The numbers answer the operator questions DESIGN.md §16 raises:
+//! how many small jobs per second one daemon sustains, what a submit
+//! or status round trip costs under concurrent load, and whether the
+//! cancel path keeps up. `--ci-gate` runs a small configuration and
+//! exits non-zero if any client saw an error or any submitted job
+//! failed to reach a terminal state — a functional smoke gate, not a
+//! performance one, so it stays robust on shared CI machines.
+//!
+//! ```sh
+//! cargo run --release -p rlmul-bench --bin bench_serve
+//! cargo run -p rlmul-bench --bin bench_serve -- --ci-gate
+//! ```
+
+use rlmul_bench::args::Args;
+use rlmul_bench::report::results_dir;
+use rlmul_serve::{run_loadtest, LoadtestConfig, ServeConfig, Server};
+
+fn main() -> std::process::ExitCode {
+    let args = Args::parse();
+    let ci_gate = args.flag("ci-gate");
+    let cfg = LoadtestConfig {
+        addr: String::new(), // filled in once the daemon is up
+        clients: args.get("clients", if ci_gate { 2 } else { 8 }),
+        jobs_per_client: args.get("jobs", if ci_gate { 3 } else { 12 }),
+        bits: args.get("bits", 4),
+        steps: args.get("steps", if ci_gate { 3 } else { 6 }),
+        cancel_every: args.get("cancel-every", 3),
+        ..Default::default()
+    };
+
+    let state = std::env::temp_dir().join(format!("rlmul-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let server = match Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: state.clone(),
+        workers: args.get("workers", 2),
+        http_workers: 2,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_serve: cannot start daemon: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let cfg = LoadtestConfig { addr: server.local_addr().to_string(), ..cfg };
+    eprintln!(
+        "bench_serve: {} clients x {} jobs ({} steps each) against {}",
+        cfg.clients, cfg.jobs_per_client, cfg.steps, cfg.addr
+    );
+
+    let report = match run_loadtest(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_serve: harness failed: {e}");
+            server.shutdown();
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&state);
+
+    let body = report.render_json(&cfg);
+    println!("{body}");
+    let out = results_dir().join("BENCH_serve.json");
+    if let Err(e) = std::fs::create_dir_all(results_dir()) {
+        eprintln!("bench_serve: cannot create results dir: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("bench_serve: cannot write {}: {e}", out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("bench_serve: wrote {}", out.display());
+
+    let expected = cfg.clients * cfg.jobs_per_client;
+    let terminal = report.done + report.cancelled + report.failed;
+    if ci_gate {
+        let ok = report.errors == 0
+            && report.failed == 0
+            && report.submitted == expected
+            && terminal == expected;
+        if !ok {
+            eprintln!(
+                "bench_serve: CI gate FAILED (submitted {}/{expected}, terminal {terminal}, \
+                 failed {}, errors {})",
+                report.submitted, report.failed, report.errors
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+        eprintln!("bench_serve: CI gate passed ({terminal}/{expected} jobs terminal, 0 errors)");
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -549,6 +549,7 @@ pub fn train_a2c_with(
                 update(&mut net, &mut opt, &mut rollout, &states, config, &shape, actions);
             }
             completed = t + 1;
+            hooks.report_progress(completed);
             if hooks.checkpoint_due(completed, config.steps) {
                 save_a2c_checkpoint(
                     completed,

@@ -190,10 +190,28 @@ pub fn train_dqn(env: &mut MulEnv, config: &DqnConfig) -> Result<OptimizationOut
 pub fn resume_dqn(
     env_config: &EnvConfig,
     config: &DqnConfig,
-    mut snapshot: DqnSnapshot,
+    snapshot: DqnSnapshot,
     hooks: &TrainHooks,
 ) -> Result<OptimizationOutcome, RlMulError> {
-    let cache = EvalCache::new();
+    resume_dqn_cached(env_config, config, snapshot, EvalCache::new(), hooks)
+}
+
+/// [`resume_dqn`] on top of a caller-supplied (typically shared)
+/// evaluation cache: the snapshot's entries are imported into `cache`
+/// and the resumed run both reads from and publishes into it, so a
+/// multi-tenant supervisor can resume a job without losing
+/// cross-tenant synthesis reuse.
+///
+/// # Errors
+///
+/// As [`resume_dqn`].
+pub fn resume_dqn_cached(
+    env_config: &EnvConfig,
+    config: &DqnConfig,
+    mut snapshot: DqnSnapshot,
+    cache: EvalCache,
+    hooks: &TrainHooks,
+) -> Result<OptimizationOutcome, RlMulError> {
     cache.import(std::mem::take(&mut snapshot.cache));
     let mut env = MulEnv::with_cache(env_config.clone(), cache)?;
     train_dqn_with(&mut env, config, hooks, Some(snapshot))
@@ -315,6 +333,7 @@ pub fn train_dqn_with(
             update(&mut net, &mut opt, &batch, config, &shape, actions);
         }
         completed = t + 1;
+        hooks.report_progress(completed);
         if hooks.checkpoint_due(completed, config.steps) {
             save_dqn_checkpoint(
                 completed,

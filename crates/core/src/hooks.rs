@@ -8,7 +8,7 @@
 
 use rlmul_ckpt::SnapshotStore;
 use rlmul_telemetry::{Event, TelemetrySink};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Runtime services threaded through a training run.
@@ -31,6 +31,12 @@ pub struct TrainHooks {
     /// mid-run states survive later checkpoints. Off by default;
     /// shutdown snapshots only roll `latest`.
     pub keep_history: bool,
+    /// Live step counter published by the drivers after every
+    /// completed environment step, so a supervisor (e.g. the `rlmul
+    /// serve` job server) can report progress for a run it does not
+    /// own without touching the training thread. `None` disables the
+    /// store entirely.
+    pub progress: Option<Arc<AtomicUsize>>,
 }
 
 impl TrainHooks {
@@ -42,6 +48,14 @@ impl TrainHooks {
     /// Whether the stop flag has been raised.
     pub fn stop_requested(&self) -> bool {
         self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Publishes `steps_done` to the progress counter (no-op without
+    /// one). Called by every driver after each completed step.
+    pub fn report_progress(&self, steps_done: usize) {
+        if let Some(p) = &self.progress {
+            p.store(steps_done, Ordering::Relaxed);
+        }
     }
 
     /// Whether a periodic checkpoint is due after `steps_done`

@@ -61,7 +61,9 @@ pub use cache::{
     context_fingerprint, AsCacheKey, CacheKey, CacheKeyRef, CacheStats, EvalCache, EvalTicket,
     Lookup,
 };
-pub use dqn::{resume_dqn, train_dqn, train_dqn_with, DqnConfig, DqnSnapshot, QNetwork};
+pub use dqn::{
+    resume_dqn, resume_dqn_cached, train_dqn, train_dqn_with, DqnConfig, DqnSnapshot, QNetwork,
+};
 pub use env::{
     EnvConfig, EnvSnapshot, EnvStats, Evaluation, InitialStructure, MulEnv, PipelineMode,
     StagePruning, StepOutcome,

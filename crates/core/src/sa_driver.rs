@@ -169,6 +169,7 @@ pub fn run_sa_with(
         if let Some(e) = eval_error.take() {
             return Err(e);
         }
+        hooks.report_progress(run.steps_done());
         if hooks.telemetry.is_enabled() {
             hooks.telemetry.emit(
                 Event::new("episode")

@@ -1,16 +1,25 @@
-//! A tiny from-scratch HTTP/1.1 server exposing one registry to
-//! Prometheus scrapers.
+//! A tiny from-scratch HTTP/1.1 layer: request parsing, response
+//! writing, and two servers built on them.
 //!
-//! Endpoints:
+//! The module grew out of the Prometheus `/metrics` endpoint and now
+//! exposes its pieces for reuse:
 //!
-//! * `GET /metrics` — the registry in text exposition format;
-//! * `GET /` — a one-line index pointing at `/metrics`;
-//! * anything else — 404.
+//! * [`HttpRequest`] / [`HttpResponse`] — one parsed request head
+//!   (with an optional `Content-Length` body) and one answer;
+//! * [`read_request`] / [`write_response`] — the wire functions, used
+//!   directly by servers that manage their own connection pool (the
+//!   `rlmul-serve` job daemon dispatches accepted sockets to a worker
+//!   pool built on the `rlmul-check` sync facade);
+//! * [`serve_http`] — a serial-accept background server driving an
+//!   arbitrary [`Handler`]; each connection is answered and closed
+//!   (`Connection: close`), so no keep-alive state machine is needed;
+//! * [`serve_metrics`] — the original Prometheus endpoint, now a thin
+//!   [`serve_http`] wrapper.
 //!
-//! The accept loop is intentionally serial: the only expected client
-//! is a scraper polling every few seconds, and rendering takes
-//! microseconds. Each connection is answered and closed
-//! (`Connection: close`), so no keep-alive state machine is needed.
+//! Robustness contract (locked in by the repo's `panic-path` source
+//! lint): a malformed request head is answered with a logged `400`, a
+//! panicking handler with a logged `500`; neither kills the serving
+//! thread.
 
 use crate::prom::render_prometheus;
 use crate::registry::Registry;
@@ -21,16 +30,73 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Handle to a running metrics endpoint; dropping it (or calling
-/// [`MetricsServer::shutdown`]) stops the accept loop.
+/// Maximum accepted request head size.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request body size (submission payloads are small
+/// JSON objects; anything larger is hostile or confused).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request: the request line plus the body announced
+/// by `Content-Length` (empty when the header is absent).
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), verbatim.
+    pub method: String,
+    /// Request path including any query string, verbatim.
+    pub path: String,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+/// One HTTP response: a status line tail (e.g. `"200 OK"`), a content
+/// type and a body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code and reason phrase, e.g. `"404 Not Found"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `text/plain` response.
+    pub fn text(status: &'static str, body: impl Into<String>) -> Self {
+        HttpResponse { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: &'static str, body: impl Into<String>) -> Self {
+        HttpResponse { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// The numeric status code (first token of the status line tail;
+    /// `0` if the status string is malformed).
+    pub fn code(&self) -> u16 {
+        self.status.split(' ').next().and_then(|c| c.parse().ok()).unwrap_or(0)
+    }
+}
+
+/// A request handler: pure function from request to response. Panics
+/// inside the handler are caught by the dispatch layer and answered
+/// with a logged `500`.
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// Handle to a running HTTP server; dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop.
 #[derive(Debug)]
-pub struct MetricsServer {
+pub struct HttpServer {
     local: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl MetricsServer {
+/// The historical name of [`HttpServer`], kept for the metrics call
+/// sites.
+pub type MetricsServer = HttpServer;
+
+impl HttpServer {
     /// The bound address (useful with port 0 requests).
     pub fn local_addr(&self) -> SocketAddr {
         self.local
@@ -50,94 +116,176 @@ impl MetricsServer {
     }
 }
 
-impl Drop for MetricsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
-/// serves `registry` from a background thread.
+/// serves `registry` from a background thread as a Prometheus
+/// text-0.0.4 endpoint (`GET /metrics`, with `GET /` as an index).
 ///
 /// # Errors
 ///
 /// Propagates bind failures.
-pub fn serve_metrics(registry: &Registry, addr: &str) -> io::Result<MetricsServer> {
+pub fn serve_metrics(registry: &Registry, addr: &str) -> io::Result<HttpServer> {
+    let routed = registry.clone();
+    serve_http(addr, registry, Arc::new(move |req| route_metrics(req, &routed)), "rlmul-metrics")
+}
+
+/// Binds `addr` and answers every connection with `handler` from a
+/// single background accept thread. `registry` receives the
+/// `rlmul_http_bad_requests_total` / `rlmul_http_internal_errors_total`
+/// counters; `thread_name` names the accept thread.
+///
+/// The accept loop is intentionally serial — right for scrape-rate
+/// traffic. Servers expecting many concurrent clients should accept
+/// themselves and dispatch [`read_request`]/[`write_response`] onto
+/// their own pool (see `rlmul-serve`).
+///
+/// # Errors
+///
+/// Propagates bind and thread-spawn failures.
+pub fn serve_http(
+    addr: &str,
+    registry: &Registry,
+    handler: Handler,
+    thread_name: &str,
+) -> io::Result<HttpServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let thread_stop = stop.clone();
     let thread_registry = registry.clone();
     let handle = std::thread::Builder::new()
-        .name("rlmul-metrics".into())
-        .spawn(move || accept_loop(&listener, &thread_registry, &thread_stop))?;
-    Ok(MetricsServer { local, stop, handle: Some(handle) })
+        .name(thread_name.to_owned())
+        .spawn(move || accept_loop(&listener, &thread_registry, &handler, &thread_stop))?;
+    Ok(HttpServer { local, stop, handle: Some(handle) })
 }
 
-fn accept_loop(listener: &TcpListener, registry: &Registry, stop: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, registry: &Registry, handler: &Handler, stop: &AtomicBool) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             return;
         }
         let Ok(stream) = conn else { continue };
         // Answer errors are the client's problem; keep serving.
-        let _ = handle_connection(stream, registry);
+        let _ = handle_connection(stream, registry, handler);
     }
 }
 
-/// Reads the request head (bounded) and writes one response.
-fn handle_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+/// Reads one request from `stream` and answers it with `handler`,
+/// degrading malformed heads to a logged 400 and handler panics to a
+/// logged 500. The building block both servers share.
+///
+/// # Errors
+///
+/// Propagates socket I/O failures (the response may be lost; the
+/// caller keeps serving).
+pub fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    handler: &Handler,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut buf = [0u8; 4096];
-    let mut head = Vec::new();
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 16 * 1024 {
-            break;
-        }
-    }
-    let (status, content_type, body) = match parse_request_line(&head) {
+    let response = match read_request(&mut stream)? {
         None => {
             registry
                 .counter("rlmul_http_bad_requests_total", "malformed request heads answered 400")
                 .inc();
-            eprintln!("rlmul-obs http: 400 bad request ({} head bytes)", head.len());
-            ("400 Bad Request", "text/plain; charset=utf-8", "malformed request head\n".into())
+            eprintln!("rlmul-obs http: 400 bad request");
+            HttpResponse::text("400 Bad Request", "malformed request\n")
         }
-        Some((method, path)) => {
-            // A panic while routing or rendering must not unwind
-            // through the accept loop (killing the endpoint for the
-            // rest of the run): degrade to a logged 500 instead.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(&method, &path, registry)
-            })) {
-                Ok(response) => response,
-                Err(_) => {
-                    registry
-                        .counter("rlmul_http_internal_errors_total", "handler panics answered 500")
-                        .inc();
-                    eprintln!("rlmul-obs http: 500 handler panicked on {method} {path}");
-                    (
-                        "500 Internal Server Error",
-                        "text/plain; charset=utf-8",
-                        "internal error\n".into(),
-                    )
-                }
-            }
-        }
+        Some(req) => dispatch(&req, registry, handler),
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
-        body.len()
+    write_response(&mut stream, &response)
+}
+
+/// Runs `handler` on `req` behind a panic firewall: a panic while
+/// routing or rendering must not unwind through the accept loop
+/// (killing the endpoint for the rest of the run), so it degrades to
+/// a logged 500 instead.
+pub fn dispatch(req: &HttpRequest, registry: &Registry, handler: &Handler) -> HttpResponse {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(req))) {
+        Ok(response) => response,
+        Err(_) => {
+            registry
+                .counter("rlmul_http_internal_errors_total", "handler panics answered 500")
+                .inc();
+            eprintln!("rlmul-obs http: 500 handler panicked on {} {}", req.method, req.path);
+            HttpResponse::text("500 Internal Server Error", "internal error\n")
+        }
+    }
+}
+
+/// Reads one request (head + `Content-Length` body) from `stream`.
+/// Returns `None` for a malformed or oversized request — the caller
+/// answers 400 — and `Err` only for socket failures.
+///
+/// # Errors
+///
+/// Propagates socket read failures (including timeouts).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
+    let mut buf = [0u8; 4096];
+    let mut data = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&data) {
+            break pos;
+        }
+        if data.len() >= MAX_HEAD {
+            return Ok(None);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        data.extend_from_slice(&buf[..n]);
+    };
+    let head = &data[..head_end];
+    let Some((method, path)) = parse_request_line(head) else {
+        return Ok(None);
+    };
+    let content_length = match parse_content_length(head) {
+        Ok(len) => len,
+        Err(()) => return Ok(None),
+    };
+    if content_length > MAX_BODY {
+        return Ok(None);
+    }
+    let mut body = data[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(None); // peer closed mid-body
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Some(HttpRequest { method, path, body }))
+}
+
+/// Writes `response` (with `Connection: close`) to `stream`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> io::Result<()> {
+    let text = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(text.as_bytes())?;
     stream.flush()
+}
+
+fn find_head_end(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// Extracts `(method, path)` from the request head, or `None` when
@@ -153,17 +301,30 @@ fn parse_request_line(head: &[u8]) -> Option<(String, String)> {
     Some((method.to_owned(), path.to_owned()))
 }
 
-/// Routes one parsed request to its status/content-type/body triple.
-fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'static str, String) {
-    match (method, path) {
-        ("GET", "/metrics") => {
-            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(registry))
+/// Parses the `Content-Length` header out of a request head. Missing
+/// header means an empty body; an unparsable value is a client error.
+fn parse_content_length(head: &[u8]) -> Result<usize, ()> {
+    let text = String::from_utf8_lossy(head);
+    for line in text.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value.trim().parse().map_err(|_| ());
         }
-        ("GET", "/") => {
-            ("200 OK", "text/plain; charset=utf-8", "rlmul metrics endpoint: GET /metrics\n".into())
-        }
-        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
-        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".into()),
+    }
+    Ok(0)
+}
+
+/// The Prometheus endpoint's routing table.
+fn route_metrics(req: &HttpRequest, registry: &Registry) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => HttpResponse {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: render_prometheus(registry),
+        },
+        ("GET", "/") => HttpResponse::text("200 OK", "rlmul metrics endpoint: GET /metrics\n"),
+        ("GET", _) => HttpResponse::text("404 Not Found", "not found\n"),
+        _ => HttpResponse::text("405 Method Not Allowed", "GET only\n"),
     }
 }
 
@@ -231,5 +392,78 @@ mod tests {
         assert!(get(server.local_addr(), "/metrics").contains("live_total 1"));
         c.add(9);
         assert!(get(server.local_addr(), "/metrics").contains("live_total 10"));
+    }
+
+    #[test]
+    fn generic_handler_sees_method_path_and_body() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|req: &HttpRequest| {
+                HttpResponse::json(
+                    "200 OK",
+                    format!(
+                        "{{\"method\":\"{}\",\"path\":\"{}\",\"len\":{}}}",
+                        req.method,
+                        req.path,
+                        req.body.len()
+                    ),
+                )
+            }),
+            "test-http",
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("\"method\":\"POST\""), "{response}");
+        assert!(response.contains("\"path\":\"/echo\""), "{response}");
+        assert!(response.contains("\"len\":5"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panics_degrade_to_logged_500() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|req: &HttpRequest| {
+                if req.path == "/boom" {
+                    panic!("handler exploded");
+                }
+                HttpResponse::text("200 OK", "fine\n")
+            }),
+            "test-http",
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let boom = get(addr, "/boom");
+        assert!(boom.starts_with("HTTP/1.1 500"), "{boom}");
+        // The endpoint survives and keeps answering.
+        let fine = get(addr, "/fine");
+        assert!(fine.starts_with("HTTP/1.1 200"), "{fine}");
+        assert_eq!(r.counter("rlmul_http_internal_errors_total", "").get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|_: &HttpRequest| HttpResponse::text("200 OK", "ok")),
+            "test-http",
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.shutdown();
     }
 }

@@ -52,7 +52,10 @@ mod registry;
 mod span;
 
 pub use flame::{collapsed_from, collapsed_stacks, render_span_tree};
-pub use http::{serve_metrics, MetricsServer};
+pub use http::{
+    dispatch, handle_connection, read_request, serve_http, serve_metrics, write_response, Handler,
+    HttpRequest, HttpResponse, HttpServer, MetricsServer,
+};
 pub use prom::render_prometheus;
 pub use registry::{global, Counter, Gauge, Histo, MetricKind, Registry, SpanStat};
 pub use span::SpanGuard;

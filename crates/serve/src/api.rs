@@ -1,0 +1,193 @@
+//! The HTTP API of the job server. Every route, status code and
+//! example body is documented in DESIGN.md §16; this module is the
+//! implementation, one function per route family.
+//!
+//! Routing contract:
+//!
+//! | Route                    | Method      | Success | Errors              |
+//! |--------------------------|-------------|---------|---------------------|
+//! | `/`                      | GET         | 200     | 405                 |
+//! | `/healthz`               | GET         | 200     | 405                 |
+//! | `/metrics`               | GET         | 200     | 405                 |
+//! | `/jobs`                  | POST        | 201/200 | 400, 405, 503       |
+//! | `/jobs`                  | GET         | 200     | 405                 |
+//! | `/jobs/<id>`             | GET         | 200     | 400, 404, 405       |
+//! | `/jobs/<id>`             | DELETE      | 200/202 | 400, 404, 409       |
+//! | `/jobs/<id>/result`      | GET         | 200     | 400, 404, 409       |
+//! | `/jobs/<id>/cancel`      | POST        | 200/202 | 400, 404, 409       |
+//!
+//! This file is on the request path and therefore panic-free (the
+//! repo's `panic-path` source lint enforces it); anything unexpected
+//! degrades to a 4xx/5xx answer, never a dead serving thread.
+
+use crate::job::{JobSpec, JobState};
+use crate::json::{json_array, parse_object, JsonBuilder};
+use crate::server::{CancelOutcome, Inner};
+use rlmul_obs::{render_prometheus, Handler, HttpRequest, HttpResponse};
+use std::sync::Arc;
+
+/// Builds the daemon's request handler over the shared state.
+pub(crate) fn router(inner: Arc<Inner>) -> Handler {
+    Arc::new(move |req| route(&inner, req))
+}
+
+fn route(inner: &Inner, req: &HttpRequest) -> HttpResponse {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => index(),
+        ("GET", ["healthz"]) => healthz(inner),
+        ("GET", ["metrics"]) => HttpResponse {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: render_prometheus(inner.registry()),
+        },
+        ("POST", ["jobs"]) => submit(inner, &req.body),
+        ("GET", ["jobs"]) => list(inner),
+        ("GET", ["jobs", id]) => with_id(id, |id| status(inner, id)),
+        ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(inner, id)),
+        ("GET", ["jobs", id, "result"]) => with_id(id, |id| result(inner, id)),
+        ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel(inner, id)),
+        ("GET" | "POST" | "DELETE", _) => error("404 Not Found", "no such route"),
+        _ => error("405 Method Not Allowed", "unsupported method"),
+    }
+}
+
+/// Uniform error body: `{"error": "..."}`.
+fn error(status: &'static str, message: &str) -> HttpResponse {
+    HttpResponse::json(status, JsonBuilder::new().str("error", message).build())
+}
+
+/// Parses a path id segment, answering 400 for non-numeric ids.
+fn with_id(raw: &str, f: impl FnOnce(u64) -> HttpResponse) -> HttpResponse {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => error("400 Bad Request", &format!("job id `{raw}` is not a number")),
+    }
+}
+
+/// `GET /` — service index.
+fn index() -> HttpResponse {
+    let routes = [
+        "GET /healthz",
+        "GET /metrics",
+        "POST /jobs",
+        "GET /jobs",
+        "GET /jobs/<id>",
+        "GET /jobs/<id>/result",
+        "POST /jobs/<id>/cancel",
+        "DELETE /jobs/<id>",
+    ];
+    let rendered: Vec<String> =
+        routes.iter().map(|r| JsonBuilder::new().str("route", r).build()).collect();
+    HttpResponse::json(
+        "200 OK",
+        JsonBuilder::new()
+            .str("service", "rlmul-serve")
+            .raw("routes", &json_array(&rendered))
+            .build(),
+    )
+}
+
+/// `GET /healthz` — liveness plus coarse load.
+fn healthz(inner: &Inner) -> HttpResponse {
+    let jobs = inner.list_jobs();
+    let running = jobs.iter().filter(|(r, _)| r.state == JobState::Running).count();
+    let queued = jobs.iter().filter(|(r, _)| r.state == JobState::Queued).count();
+    HttpResponse::json(
+        "200 OK",
+        JsonBuilder::new()
+            .bool("ok", true)
+            .bool("shutting_down", inner.is_shutting_down())
+            .u64("jobs", jobs.len() as u64)
+            .u64("running", running as u64)
+            .u64("queued", queued as u64)
+            .build(),
+    )
+}
+
+/// `POST /jobs` — submit. 201 on creation, 200 when the idempotency
+/// key matched an existing job, 400 on a bad body, 503 while
+/// draining.
+fn submit(inner: &Inner, body: &[u8]) -> HttpResponse {
+    let parsed = match parse_object(body) {
+        Ok(o) => o,
+        Err(e) => return error("400 Bad Request", &format!("bad JSON body: {e}")),
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => return error("400 Bad Request", &e),
+    };
+    match inner.submit(spec) {
+        Ok((id, created)) => {
+            let status = if created { "201 Created" } else { "200 OK" };
+            match inner.snapshot_job(id) {
+                Some((record, progress)) => HttpResponse::json(status, record.render(progress)),
+                None => error("500 Internal Server Error", "job vanished after submit"),
+            }
+        }
+        Err(reason) => error("503 Service Unavailable", reason),
+    }
+}
+
+/// `GET /jobs` — every job, id-ordered.
+fn list(inner: &Inner) -> HttpResponse {
+    let rendered: Vec<String> =
+        inner.list_jobs().iter().map(|(record, progress)| record.render(*progress)).collect();
+    HttpResponse::json(
+        "200 OK",
+        JsonBuilder::new()
+            .u64("count", rendered.len() as u64)
+            .raw("jobs", &json_array(&rendered))
+            .build(),
+    )
+}
+
+/// `GET /jobs/<id>` — one job's full status.
+fn status(inner: &Inner, id: u64) -> HttpResponse {
+    match inner.snapshot_job(id) {
+        Some((record, progress)) => HttpResponse::json("200 OK", record.render(progress)),
+        None => error("404 Not Found", &format!("no job {id}")),
+    }
+}
+
+/// `GET /jobs/<id>/result` — the result summary, only once `Done`
+/// (409 with the current state otherwise, so pollers can
+/// distinguish "not yet" from "never").
+fn result(inner: &Inner, id: u64) -> HttpResponse {
+    let Some((record, _)) = inner.snapshot_job(id) else {
+        return error("404 Not Found", &format!("no job {id}"));
+    };
+    match (&record.state, &record.result) {
+        (JobState::Done, Some(r)) => HttpResponse::json(
+            "200 OK",
+            JsonBuilder::new().u64("id", id).raw("result", &r.render()).build(),
+        ),
+        _ => error(
+            "409 Conflict",
+            &format!("job {id} is {}, result requires done", record.state.as_str()),
+        ),
+    }
+}
+
+/// `POST /jobs/<id>/cancel` and `DELETE /jobs/<id>` — cancellation.
+/// 200 when the job was still queued (now terminal), 202 when the
+/// running job's stop flag was raised (terminal state follows), 409
+/// when already terminal.
+fn cancel(inner: &Inner, id: u64) -> HttpResponse {
+    match inner.cancel(id) {
+        CancelOutcome::WhileQueued => answer_cancel(inner, id, "200 OK"),
+        CancelOutcome::WhileRunning => answer_cancel(inner, id, "202 Accepted"),
+        CancelOutcome::Terminal(state) => {
+            error("409 Conflict", &format!("job {id} is already {}", state.as_str()))
+        }
+        CancelOutcome::Unknown => error("404 Not Found", &format!("no job {id}")),
+    }
+}
+
+fn answer_cancel(inner: &Inner, id: u64, status: &'static str) -> HttpResponse {
+    match inner.snapshot_job(id) {
+        Some((record, progress)) => HttpResponse::json(status, record.render(progress)),
+        None => error("404 Not Found", &format!("no job {id}")),
+    }
+}

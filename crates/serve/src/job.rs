@@ -1,0 +1,595 @@
+//! The job model: specification, lifecycle state machine, result
+//! summary and the persisted record.
+//!
+//! Every submitted job is one [`JobRecord`], persisted through the
+//! `rlmul-ckpt` snapshot machinery (record kind `"job"`, atomic
+//! tmp + fsync + rename writes) on every state transition, so a
+//! `kill -9` at any instant leaves each job's last durable state
+//! intact for recovery.
+//!
+//! The lifecycle state machine (DESIGN.md §16):
+//!
+//! ```text
+//!            ┌────────────┐ cancel
+//!   submit → │   Queued   │────────────────────┐
+//!            └─────┬──────┘                    │
+//!        worker    │          ▲ daemon restart │
+//!        claims    ▼          │ (recovery)     ▼
+//!            ┌────────────┐───┘ done     ┌───────────┐
+//!            │  Running   │─────────────▶│   Done    │
+//!            └─────┬──────┘              └───────────┘
+//!                  │ cancel (cooperative)  ┌───────────┐
+//!                  ├───────────────────────▶ Cancelled │
+//!                  │ driver error           └───────────┘
+//!                  └───────────────────────▶ Failed
+//! ```
+//!
+//! `Done`, `Cancelled` and `Failed` are terminal. The only backward
+//! edge is `Running → Queued`, taken exclusively by crash recovery
+//! when a restarted daemon finds a record claiming `Running` with no
+//! live worker behind it.
+
+use crate::json::{JsonBuilder, JsonObject};
+use rlmul_ckpt::{CkptError, Decoder, Encoder, Record};
+use rlmul_core::CostWeights;
+use rlmul_ct::PpgKind;
+
+/// The snapshot-record kind tag every job record carries on disk.
+pub const JOB_RECORD_KIND: &str = "job";
+
+/// Codec version of [`JobRecord`]; bumped on layout changes so stale
+/// files are rejected instead of misread.
+const JOB_RECORD_VERSION: u8 = 1;
+
+/// Search method requested for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Simulated annealing on the synthesis-backed cost.
+    Sa,
+    /// Native RL-MUL (DQN).
+    Dqn,
+    /// RL-MUL-E (synchronous parallel A2C).
+    A2c,
+}
+
+impl Method {
+    /// Lowercase wire label (`sa` | `dqn` | `a2c`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Sa => "sa",
+            Method::Dqn => "dqn",
+            Method::A2c => "a2c",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sa" => Some(Method::Sa),
+            "dqn" => Some(Method::Dqn),
+            "a2c" => Some(Method::A2c),
+            _ => None,
+        }
+    }
+}
+
+/// Optimization preference (maps to [`CostWeights`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pref {
+    /// Pure area objective.
+    Area,
+    /// Pure delay objective.
+    Timing,
+    /// The paper's area/delay trade-off.
+    Tradeoff,
+}
+
+impl Pref {
+    /// Lowercase wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Pref::Area => "area",
+            Pref::Timing => "timing",
+            Pref::Tradeoff => "tradeoff",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "area" => Some(Pref::Area),
+            "timing" => Some(Pref::Timing),
+            "tradeoff" => Some(Pref::Tradeoff),
+            _ => None,
+        }
+    }
+
+    /// The reward weights this preference selects.
+    pub fn weights(self) -> CostWeights {
+        match self {
+            Pref::Area => CostWeights::AREA,
+            Pref::Timing => CostWeights::TIMING,
+            Pref::Tradeoff => CostWeights::TRADE_OFF,
+        }
+    }
+}
+
+fn kind_parse(s: &str) -> Option<PpgKind> {
+    match s {
+        "and" => Some(PpgKind::And),
+        "mbe" => Some(PpgKind::Mbe),
+        "mac-and" => Some(PpgKind::MacAnd),
+        "mac-mbe" => Some(PpgKind::MacMbe),
+        _ => None,
+    }
+}
+
+/// Everything a client specifies when submitting a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Operand width.
+    pub bits: usize,
+    /// Partial-product scheme.
+    pub kind: PpgKind,
+    /// Search method.
+    pub method: Method,
+    /// Environment steps.
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optimization preference.
+    pub pref: Pref,
+    /// Scheduling priority: higher runs earlier; FIFO within a
+    /// priority class.
+    pub priority: u8,
+    /// Tenant tag (isolation is accounting-level: jobs of all tenants
+    /// share the evaluation cache — see DESIGN.md §16 caveats).
+    pub tenant: String,
+    /// Client-chosen idempotency key; a re-submission with the same
+    /// `(tenant, idempotency_key)` returns the existing job instead
+    /// of creating a duplicate. Empty disables the check.
+    pub idempotency_key: String,
+    /// Roll the job's crash-recovery snapshot every this many
+    /// completed steps (0 = only at shutdown).
+    pub ckpt_every: usize,
+}
+
+impl JobSpec {
+    /// Bounds enforced at submission (`bits`, `steps`) so a hostile
+    /// or confused client cannot wedge a worker on a giant job.
+    pub const MAX_BITS: usize = 64;
+    /// Upper bound on requested steps.
+    pub const MAX_STEPS: usize = 1_000_000;
+
+    /// Builds a spec from a parsed submission body, applying defaults
+    /// and validating every field.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field, suitable
+    /// for a 400 response.
+    pub fn from_json(o: &JsonObject) -> Result<Self, String> {
+        let bits = o.get_u64("bits").unwrap_or(8) as usize;
+        if !(2..=Self::MAX_BITS).contains(&bits) {
+            return Err(format!("`bits` must be in 2..={} (got {bits})", Self::MAX_BITS));
+        }
+        let kind_str = o.get_str("kind").unwrap_or("and");
+        let Some(kind) = kind_parse(kind_str) else {
+            return Err(format!("unknown `kind` `{kind_str}` (and|mbe|mac-and|mac-mbe)"));
+        };
+        let method_str = o.get_str("method").unwrap_or("sa");
+        let Some(method) = Method::parse(method_str) else {
+            return Err(format!("unknown `method` `{method_str}` (sa|dqn|a2c)"));
+        };
+        let steps = o.get_u64("steps").unwrap_or(40) as usize;
+        if !(1..=Self::MAX_STEPS).contains(&steps) {
+            return Err(format!("`steps` must be in 1..={} (got {steps})", Self::MAX_STEPS));
+        }
+        let pref_str = o.get_str("pref").unwrap_or("tradeoff");
+        let Some(pref) = Pref::parse(pref_str) else {
+            return Err(format!("unknown `pref` `{pref_str}` (area|timing|tradeoff)"));
+        };
+        let priority = match o.get_u64("priority").unwrap_or(0) {
+            p @ 0..=255 => p as u8,
+            p => return Err(format!("`priority` must be in 0..=255 (got {p})")),
+        };
+        Ok(JobSpec {
+            bits,
+            kind,
+            method,
+            steps,
+            seed: o.get_u64("seed").unwrap_or(1),
+            pref,
+            priority,
+            tenant: o.get_str("tenant").unwrap_or("default").to_owned(),
+            idempotency_key: o.get_str("idempotency_key").unwrap_or("").to_owned(),
+            ckpt_every: o.get_u64("ckpt_every").unwrap_or(10) as usize,
+        })
+    }
+
+    /// Renders the spec fields into a response builder.
+    pub fn render_into(&self, b: JsonBuilder) -> JsonBuilder {
+        b.u64("bits", self.bits as u64)
+            .str("kind", self.kind.label())
+            .str("method", self.method.as_str())
+            .u64("steps", self.steps as u64)
+            .u64("seed", self.seed)
+            .str("pref", self.pref.as_str())
+            .u64("priority", self.priority as u64)
+            .str("tenant", &self.tenant)
+    }
+}
+
+impl Record for JobSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.bits);
+        enc.put_str(self.kind.label());
+        enc.put_str(self.method.as_str());
+        enc.put_usize(self.steps);
+        enc.put_u64(self.seed);
+        enc.put_str(self.pref.as_str());
+        enc.put_u8(self.priority);
+        enc.put_str(&self.tenant);
+        enc.put_str(&self.idempotency_key);
+        enc.put_usize(self.ckpt_every);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        let bits = dec.get_usize()?;
+        let kind_str = dec.get_str()?;
+        let kind = kind_parse(&kind_str)
+            .ok_or_else(|| CkptError::Invalid { what: format!("PPG kind `{kind_str}`") })?;
+        let method_str = dec.get_str()?;
+        let method = Method::parse(&method_str)
+            .ok_or_else(|| CkptError::Invalid { what: format!("method `{method_str}`") })?;
+        let steps = dec.get_usize()?;
+        let seed = dec.get_u64()?;
+        let pref_str = dec.get_str()?;
+        let pref = Pref::parse(&pref_str)
+            .ok_or_else(|| CkptError::Invalid { what: format!("pref `{pref_str}`") })?;
+        Ok(JobSpec {
+            bits,
+            kind,
+            method,
+            steps,
+            seed,
+            pref,
+            priority: dec.get_u8()?,
+            tenant: dec.get_str()?,
+            idempotency_key: dec.get_str()?,
+            ckpt_every: dec.get_usize()?,
+        })
+    }
+}
+
+/// Lifecycle state of a job (see the module-level state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// Claimed by a worker and executing.
+    Running,
+    /// Finished normally; a result is attached.
+    Done,
+    /// Cancelled by a client (while queued, or cooperatively while
+    /// running; a partial result may be attached).
+    Cancelled,
+    /// The driver returned an error; the message is attached.
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether this state admits no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Cancelled | JobState::Failed)
+    }
+
+    /// Whether `self → to` is a legal lifecycle edge. The recovery
+    /// edge `Running → Queued` is legal only with `recovery` set —
+    /// the daemon takes it exclusively at startup, for records that
+    /// claim `Running` with no live worker behind them.
+    pub fn can_transition(self, to: JobState, recovery: bool) -> bool {
+        match (self, to) {
+            (JobState::Queued, JobState::Running | JobState::Cancelled) => true,
+            (JobState::Running, JobState::Done | JobState::Cancelled | JobState::Failed) => true,
+            (JobState::Running, JobState::Queued) => recovery,
+            _ => false,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Cancelled => 3,
+            JobState::Failed => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CkptError> {
+        Ok(match code {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Cancelled,
+            4 => JobState::Failed,
+            b => return Err(CkptError::Invalid { what: format!("job state code {b}") }),
+        })
+    }
+}
+
+/// Summary of a finished (or cancelled-partway) optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Best weighted cost found.
+    pub best_cost: f64,
+    /// Environment steps actually completed.
+    pub steps_done: usize,
+    /// Distinct states evaluated.
+    pub states_visited: usize,
+    /// Per-delay-target synthesis runs.
+    pub synth_runs: usize,
+    /// Real synthesis pipeline invocations by this run — the number
+    /// the recovery test pins down: work served from the shared cache
+    /// or a resumed snapshot never counts here.
+    pub synthesis_calls: usize,
+    /// Evaluations answered from the shared cross-tenant cache.
+    pub cache_hits: usize,
+    /// Evaluations this run had to compute.
+    pub cache_misses: usize,
+}
+
+impl JobResult {
+    /// Renders the result as a JSON object string.
+    pub fn render(&self) -> String {
+        JsonBuilder::new()
+            .f64("best_cost", self.best_cost)
+            .u64("steps_done", self.steps_done as u64)
+            .u64("states_visited", self.states_visited as u64)
+            .u64("synth_runs", self.synth_runs as u64)
+            .u64("synthesis_calls", self.synthesis_calls as u64)
+            .u64("cache_hits", self.cache_hits as u64)
+            .u64("cache_misses", self.cache_misses as u64)
+            .build()
+    }
+}
+
+impl Record for JobResult {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.best_cost);
+        enc.put_usize(self.steps_done);
+        enc.put_usize(self.states_visited);
+        enc.put_usize(self.synth_runs);
+        enc.put_usize(self.synthesis_calls);
+        enc.put_usize(self.cache_hits);
+        enc.put_usize(self.cache_misses);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        Ok(JobResult {
+            best_cost: dec.get_f64()?,
+            steps_done: dec.get_usize()?,
+            states_visited: dec.get_usize()?,
+            synth_runs: dec.get_usize()?,
+            synthesis_calls: dec.get_usize()?,
+            cache_hits: dec.get_usize()?,
+            cache_misses: dec.get_usize()?,
+        })
+    }
+}
+
+/// The durable unit of the job server: one job's spec, lifecycle
+/// state, and terminal payload. Persisted on every transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Server-assigned id; also the FIFO sequence number within a
+    /// priority class.
+    pub id: u64,
+    /// What the client asked for.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Result summary (`Done`, and possibly a partial one on
+    /// `Cancelled`).
+    pub result: Option<JobResult>,
+    /// Driver error message (`Failed`).
+    pub error: Option<String>,
+    /// How many daemon restarts have re-adopted this job (recovery
+    /// requeues of a `Running` record).
+    pub resumes: u32,
+}
+
+impl JobRecord {
+    /// A freshly accepted record in `Queued`.
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        JobRecord { id, spec, state: JobState::Queued, result: None, error: None, resumes: 0 }
+    }
+
+    /// Applies a lifecycle transition, enforcing the state machine.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the illegal edge (the current state is left
+    /// untouched), suitable for a 409 response.
+    pub fn transition(&mut self, to: JobState, recovery: bool) -> Result<(), String> {
+        if !self.state.can_transition(to, recovery) {
+            return Err(format!(
+                "job {} is {}; cannot transition to {}",
+                self.id,
+                self.state.as_str(),
+                to.as_str()
+            ));
+        }
+        self.state = to;
+        Ok(())
+    }
+
+    /// Renders the record as a JSON object string. `progress` is the
+    /// live step counter of a running job (the persisted record holds
+    /// no live progress).
+    pub fn render(&self, progress: usize) -> String {
+        let mut b = JsonBuilder::new().u64("id", self.id).str("state", self.state.as_str());
+        b = self.spec.render_into(b);
+        b = b.u64("progress", progress as u64).u64("resumes", self.resumes as u64);
+        if let Some(r) = &self.result {
+            b = b.raw("result", &r.render());
+        }
+        if let Some(e) = &self.error {
+            b = b.str("error", e);
+        }
+        b.build()
+    }
+}
+
+impl Record for JobRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(JOB_RECORD_VERSION);
+        enc.put_u64(self.id);
+        self.spec.encode(enc);
+        enc.put_u8(self.state.code());
+        self.result.encode(enc);
+        self.error.encode(enc);
+        enc.put_u32(self.resumes);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CkptError> {
+        let version = dec.get_u8()?;
+        if version != JOB_RECORD_VERSION {
+            return Err(CkptError::Invalid { what: format!("job record version {version}") });
+        }
+        Ok(JobRecord {
+            id: dec.get_u64()?,
+            spec: JobSpec::decode(dec)?,
+            state: JobState::from_code(dec.get_u8()?)?,
+            result: Option::<JobResult>::decode(dec)?,
+            error: Option::<String>::decode(dec)?,
+            resumes: dec.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_object;
+
+    fn spec() -> JobSpec {
+        JobSpec::from_json(&parse_object(br#"{"bits":4,"steps":6}"#).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn submission_defaults_and_validation() {
+        let s = spec();
+        assert_eq!((s.bits, s.steps, s.method, s.pref), (4, 6, Method::Sa, Pref::Tradeoff));
+        assert_eq!(s.tenant, "default");
+        for bad in [
+            br#"{"bits":1}"#.as_slice(),
+            br#"{"bits":128}"#.as_slice(),
+            br#"{"steps":0}"#.as_slice(),
+            br#"{"method":"ppo"}"#.as_slice(),
+            br#"{"kind":"nand"}"#.as_slice(),
+            br#"{"pref":"speed"}"#.as_slice(),
+            br#"{"priority":900}"#.as_slice(),
+        ] {
+            let o = parse_object(bad).unwrap();
+            assert!(JobSpec::from_json(&o).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn state_machine_edges() {
+        use JobState::*;
+        let legal = [
+            (Queued, Running),
+            (Queued, Cancelled),
+            (Running, Done),
+            (Running, Cancelled),
+            (Running, Failed),
+        ];
+        for (from, to) in legal {
+            assert!(from.can_transition(to, false), "{from:?}→{to:?}");
+        }
+        // The recovery edge needs the recovery flag.
+        assert!(!Running.can_transition(Queued, false));
+        assert!(Running.can_transition(Queued, true));
+        // Terminal states admit nothing, recovery or not.
+        for terminal in [Done, Cancelled, Failed] {
+            assert!(terminal.is_terminal());
+            for to in [Queued, Running, Done, Cancelled, Failed] {
+                assert!(!terminal.can_transition(to, true), "{terminal:?}→{to:?}");
+            }
+        }
+        // And Queued cannot jump straight to a result state.
+        assert!(!Queued.can_transition(Done, false));
+        assert!(!Queued.can_transition(Failed, false));
+    }
+
+    #[test]
+    fn transition_errors_leave_state_untouched() {
+        let mut r = JobRecord::new(1, spec());
+        r.transition(JobState::Running, false).unwrap();
+        r.transition(JobState::Done, false).unwrap();
+        let err = r.transition(JobState::Running, false).unwrap_err();
+        assert!(err.contains("done"), "{err}");
+        assert_eq!(r.state, JobState::Done);
+    }
+
+    #[test]
+    fn record_round_trips_through_codec() {
+        let mut r = JobRecord::new(7, spec());
+        r.transition(JobState::Running, false).unwrap();
+        r.resumes = 2;
+        r.result = Some(JobResult {
+            best_cost: 1.25,
+            steps_done: 6,
+            states_visited: 5,
+            synth_runs: 20,
+            synthesis_calls: 5,
+            cache_hits: 1,
+            cache_misses: 5,
+        });
+        r.error = Some("boom".into());
+        let back = JobRecord::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let bytes = JobRecord::new(1, spec()).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(JobRecord::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rendered_record_is_valid_json() {
+        let mut r = JobRecord::new(3, spec());
+        r.result = Some(JobResult {
+            best_cost: 0.5,
+            steps_done: 6,
+            states_visited: 4,
+            synth_runs: 16,
+            synthesis_calls: 4,
+            cache_hits: 2,
+            cache_misses: 4,
+        });
+        let rendered = r.render(6);
+        // The top level nests the result object, so parse a flattened
+        // probe instead: every scalar field must be readable.
+        assert!(rendered.contains("\"state\":\"queued\""), "{rendered}");
+        assert!(rendered.contains("\"result\":{"), "{rendered}");
+        assert!(rendered.contains("\"best_cost\":0.5"), "{rendered}");
+    }
+}

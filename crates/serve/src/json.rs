@@ -1,0 +1,456 @@
+//! Flat-ish JSON for the job API: a hand-rolled parser for request
+//! and response bodies, and a small builder for (possibly nested)
+//! response bodies.
+//!
+//! Requests are flat objects — string, number, boolean values only —
+//! which keeps the API easy to drive with `curl`. The parser still
+//! accepts nested objects/arrays (they are captured verbatim as
+//! [`JsonValue::Raw`] without interpretation) because the *response*
+//! side needs them: a terminal job's status nests its `result`
+//! object, and the load-test clients parse those responses with this
+//! same parser. The builder exposes explicit `raw` splicing for
+//! pre-rendered sub-objects.
+//!
+//! Everything here is error-returning, never panicking: this module
+//! sits on the server's request path.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// String value.
+    Str(String),
+    /// Any JSON number (kept as f64; the API's integers are small).
+    Num(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+    /// A nested object or array, captured verbatim (balanced,
+    /// string-aware) but not interpreted. Lets the parser read the
+    /// server's own responses, whose terminal jobs nest a `result`
+    /// object.
+    Raw(String),
+}
+
+impl JsonValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object: ordered `(key, value)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// Looks up a field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String field accessor.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// Unsigned-integer field accessor.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(JsonValue::as_u64)
+    }
+
+    /// Float field accessor.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// All fields in document order.
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+}
+
+/// Parses one JSON object (UTF-8 bytes). Scalar fields become typed
+/// [`JsonValue`]s; nested objects and arrays are captured verbatim as
+/// [`JsonValue::Raw`] — deep enough for every body this API sends or
+/// receives.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem, suitable
+/// for a 400 response body.
+pub fn parse_object(bytes: &[u8]) -> Result<JsonObject, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.eat(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if !p.peek_is(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            if p.peek_is(b',') {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+    }
+    p.skip_ws();
+    p.eat(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(JsonObject { fields })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&self, b: u8) -> bool {
+        self.bytes.get(self.pos) == Some(&b)
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek_is(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-take the full UTF-8 character starting here.
+                    let start = self.pos - 1;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let Some(c) = text.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{') => self.raw_nested(b'{', b'}'),
+            Some(b'[') => self.raw_nested(b'[', b']'),
+            Some(_) => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid number".to_string())?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("invalid number `{text}`"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    /// Captures a balanced nested object/array verbatim, tracking
+    /// string boundaries so braces inside string values don't count.
+    fn raw_nested(&mut self, open: u8, close: u8) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if in_string {
+                match b {
+                    b'\\' => self.pos += 1, // skip the escaped byte
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_string = true,
+                _ if b == open => depth += 1,
+                _ if b == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in nested value".to_string())?;
+                        return Ok(JsonValue::Raw(text.to_owned()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated nested value".into())
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+}
+
+/// Incremental JSON object builder for response bodies. Fields render
+/// in insertion order; strings are escaped; floats use Rust's
+/// shortest-round-trip formatting (non-finite values become `null`).
+#[derive(Debug, Default)]
+pub struct JsonBuilder {
+    out: String,
+    any: bool,
+}
+
+impl JsonBuilder {
+    /// An empty object (`{`).
+    pub fn new() -> Self {
+        JsonBuilder { out: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        escape_into(&mut self.out, value);
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let start = self.out.len();
+            let _ = write!(self.out, "{value}");
+            if !self.out[start..].contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Splices pre-rendered JSON (an object or array) as a field
+    /// value. The caller guarantees `value` is valid JSON.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Closes and returns the rendered object.
+    pub fn build(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Renders a JSON array from pre-rendered element strings.
+pub fn json_array(elements: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(e);
+    }
+    out.push(']');
+    out
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let o = parse_object(br#"{"bits": 8, "kind": "and", "deep": false, "x": 1.5}"#).unwrap();
+        assert_eq!(o.get_u64("bits"), Some(8));
+        assert_eq!(o.get_str("kind"), Some("and"));
+        assert_eq!(o.get("deep"), Some(&JsonValue::Bool(false)));
+        assert_eq!(o.get_f64("x"), Some(1.5));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn captures_nested_values_verbatim() {
+        let o = parse_object(br#"{"id":7,"result":{"best_cost":1.5,"tags":["a","}"]},"ok":true}"#)
+            .unwrap();
+        assert_eq!(o.get_u64("id"), Some(7));
+        assert_eq!(
+            o.get("result"),
+            Some(&JsonValue::Raw(r#"{"best_cost":1.5,"tags":["a","}"]}"#.into()))
+        );
+        assert_eq!(o.get("ok"), Some(&JsonValue::Bool(true)));
+        // Nested values are opaque: typed accessors refuse them.
+        assert_eq!(o.get_u64("result"), None);
+        // Arrays of objects (the /jobs listing shape) round-trip too.
+        let list = parse_object(br#"{"count":2,"jobs":[{"id":1},{"id":2}]}"#).unwrap();
+        assert_eq!(list.get("jobs"), Some(&JsonValue::Raw(r#"[{"id":1},{"id":2}]"#.into())));
+        assert!(parse_object(br#"{"a": {"b": 1}"#).is_err(), "unbalanced nesting");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object(b"not json").is_err());
+        assert!(parse_object(br#"{"a": 1} trailing"#).is_err());
+        assert!(parse_object(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let body = JsonBuilder::new().str("msg", "a\"b\\c\nd").u64("n", 3).build();
+        let o = parse_object(body.as_bytes()).unwrap();
+        assert_eq!(o.get_str("msg"), Some("a\"b\\c\nd"));
+        assert_eq!(o.get_u64("n"), Some(3));
+    }
+
+    #[test]
+    fn builder_renders_arrays_and_floats() {
+        let rows = vec![JsonBuilder::new().u64("id", 1).build()];
+        let body = JsonBuilder::new()
+            .raw("jobs", &json_array(&rows))
+            .f64("p50", 0.5)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .build();
+        assert_eq!(body, r#"{"jobs":[{"id":1}],"p50":0.5,"bad":null,"ok":true}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_floatness() {
+        let body = JsonBuilder::new().f64("v", 2.0).build();
+        assert_eq!(body, r#"{"v":2.0}"#);
+        let o = parse_object(body.as_bytes()).unwrap();
+        assert_eq!(o.get_f64("v"), Some(2.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! `rlmul serve` — the multi-tenant optimization job server.
+//!
+//! A long-running daemon that accepts concurrent multiplier
+//! optimization jobs over HTTP (the from-scratch `rlmul-obs` HTTP/1.1
+//! layer), runs them on a bounded worker pool behind a FIFO+priority
+//! queue, and survives `kill -9` at any instant:
+//!
+//! * every job lifecycle transition is persisted through the
+//!   `rlmul-ckpt` atomic snapshot machinery (record kind `"job"`), so
+//!   a restarted daemon re-adopts queued jobs and resumes running
+//!   ones from their last driver snapshot without repeating completed
+//!   synthesis work;
+//! * all jobs of all tenants share one [`rlmul_core::EvalCache`], so
+//!   a second tenant optimizing the same design rides on the first
+//!   tenant's synthesis results;
+//! * every new lock, condvar and channel is an `rlmul_check::sync`
+//!   facade primitive — lockdep-tracked in production (`--lockdep
+//!   on`) and model-checkable in the `loom-lite` scheduler (the
+//!   queue handoff and cancellation paths are checked in
+//!   `tests/model_check.rs`).
+//!
+//! The crate splits into:
+//!
+//! * [`job`] — the job model: spec, lifecycle state machine, result
+//!   summary, durable record;
+//! * [`queue`] — the FIFO+priority job queue (facade mutex+condvar);
+//! * [`server`] — the daemon: recovery, worker pool, HTTP front end;
+//! * [`api`] — the HTTP route table (documented route-by-route in
+//!   DESIGN.md §16);
+//! * [`json`] — the dependency-free flat JSON codec the API speaks;
+//! * [`loadtest`] — the synthetic-client load harness behind `rlmul
+//!   loadtest` and `bench_serve`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rlmul_serve::{Server, ServeConfig};
+//!
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     dir: "serve-state".into(),
+//!     ..Default::default()
+//! })?;
+//! println!("serving jobs at http://{}/", server.local_addr());
+//! // ... accept and run jobs until it is time to drain:
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod job;
+pub mod json;
+pub mod loadtest;
+pub mod queue;
+pub mod server;
+
+pub use job::{JobRecord, JobResult, JobSpec, JobState, Method, Pref, JOB_RECORD_KIND};
+pub use loadtest::{run_loadtest, LoadReport, LoadtestConfig};
+pub use queue::JobQueue;
+pub use server::{ServeConfig, Server};

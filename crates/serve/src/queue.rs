@@ -1,0 +1,181 @@
+//! The FIFO+priority job queue between the HTTP front end and the
+//! worker pool.
+//!
+//! Built on the `rlmul-check` sync facade (one mutex class
+//! `serve.queue` plus one condvar), so every push/pop handoff is
+//! lockdep-tracked in production and enumerable by the loom-lite
+//! model checker — `tests/model_check.rs` checks exactly this type.
+//!
+//! Ordering: higher [`priority`](crate::JobSpec::priority) first;
+//! within a priority class, lower sequence number (submission order)
+//! first. Cancellation of a queued job is [`JobQueue::remove`]; the
+//! pop/remove race resolves to exactly one winner because both run
+//! under the queue mutex.
+
+use rlmul_check::sync::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+
+/// One queued entry, ordered for the max-heap: priority descending,
+/// then sequence ascending.
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    priority: u8,
+    seq: u64,
+    id: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: larger priority wins; ties go to the *smaller*
+        // sequence number (earlier submission), hence the reversal.
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    heap: BinaryHeap<Entry>,
+    closed: bool,
+}
+
+/// A blocking FIFO+priority queue of job ids (see the module docs).
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new("serve.queue", QueueState { heap: BinaryHeap::new(), closed: false }),
+            cv: Condvar::new("serve.queue"),
+        }
+    }
+
+    /// Enqueues job `id` with `priority`; `seq` breaks priority ties
+    /// FIFO (the server passes the job id, which is submission-
+    /// ordered). Returns `false` — and drops the entry — once the
+    /// queue is closed.
+    pub fn push(&self, priority: u8, seq: u64, id: u64) -> bool {
+        {
+            let mut state = self.state.lock();
+            if state.closed {
+                return false;
+            }
+            state.heap.push(Entry { priority, seq, id });
+        }
+        self.cv.notify_one();
+        true
+    }
+
+    /// Dequeues the highest-priority (then oldest) id, blocking while
+    /// the queue is empty. Returns `None` once the queue is closed —
+    /// immediately, even with entries still queued, so a draining
+    /// daemon stops handing out work while the persisted `Queued`
+    /// records wait for the next start.
+    pub fn pop(&self) -> Option<u64> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.id);
+            }
+            state = self.cv.wait(state);
+        }
+    }
+
+    /// Removes a queued id (cancel-while-queued). Returns whether the
+    /// id was still queued — `false` means a worker already popped it
+    /// (the caller must cancel the *running* job instead). Exactly one
+    /// of `pop`/`remove` wins any race on the same id.
+    pub fn remove(&self, id: u64) -> bool {
+        let mut state = self.state.lock();
+        let before = state.heap.len();
+        state.heap.retain(|e| e.id != id);
+        state.heap.len() < before
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: every blocked and future [`JobQueue::pop`]
+    /// returns `None`, every future [`JobQueue::push`] is refused.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlmul_check::sync::spawn_named;
+    use std::sync::Arc;
+
+    #[test]
+    fn orders_by_priority_then_fifo() {
+        let q = JobQueue::new();
+        assert!(q.push(0, 1, 1));
+        assert!(q.push(2, 2, 2));
+        assert!(q.push(2, 3, 3));
+        assert!(q.push(1, 4, 4));
+        let order: Vec<u64> = (0..4).map(|_| q.pop().expect("queued")).collect();
+        assert_eq!(order, vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn remove_wins_only_while_queued() {
+        let q = JobQueue::new();
+        q.push(0, 1, 1);
+        assert!(q.remove(1), "still queued");
+        assert!(!q.remove(1), "already removed");
+        q.push(0, 2, 2);
+        assert_eq!(q.pop(), Some(2));
+        assert!(!q.remove(2), "already popped");
+    }
+
+    #[test]
+    fn close_releases_blocked_poppers_and_refuses_pushes() {
+        let q = Arc::new(JobQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = spawn_named("popper", move || q2.pop());
+        // The popper may or may not have blocked yet; close must
+        // release it either way.
+        q.close();
+        assert_eq!(h.join().expect("popper"), None);
+        assert!(!q.push(0, 1, 9), "closed queue refuses work");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_with_backlog_still_returns_none() {
+        let q = JobQueue::new();
+        q.push(0, 1, 1);
+        q.close();
+        assert_eq!(q.pop(), None, "a draining daemon hands out no more work");
+        assert_eq!(q.len(), 1, "the backlog stays for the persisted records to cover");
+    }
+}

@@ -1,0 +1,633 @@
+//! The job daemon: crash recovery, the bounded worker pool, and the
+//! HTTP front end.
+//!
+//! # Thread layout
+//!
+//! One accept thread (`serve-accept`) hands accepted sockets over a
+//! facade channel to `http_workers` HTTP threads (`serve-http-N`),
+//! each of which parses/answers one connection at a time through the
+//! shared `rlmul-obs` wire functions. `workers` job threads
+//! (`serve-worker-N`) block on the [`JobQueue`] and run one
+//! optimization each. All coordination state lives in [`Inner`]
+//! behind `rlmul-check` facade primitives.
+//!
+//! # Lock ordering
+//!
+//! `serve.jobs` (the job table) may be held while acquiring
+//! `serve.queue` (submission pushes, cancellation removes), never the
+//! reverse — workers release the queue lock (inside `pop`) before
+//! touching the table. `--lockdep on` verifies this invariant in
+//! production.
+//!
+//! # Durability protocol
+//!
+//! Every lifecycle transition writes `jobs/job-<id>.ckpt` through the
+//! atomic `rlmul-ckpt` path *while the table lock is held*, so the
+//! on-disk record never runs ahead of (or behind) the in-memory state
+//! machine. Driver progress rolls `ckpt-<id>/latest.ckpt` every
+//! `ckpt_every` steps from inside the run. After `kill -9`, the next
+//! start replays `jobs/`: terminal records become history, `Queued`
+//! records re-enter the queue, and `Running` records take the
+//! recovery edge back to `Queued` (bumping `resumes`) so a worker
+//! re-adopts them from their last driver snapshot — completed
+//! synthesis work is served from the snapshot's re-imported cache
+//! entries instead of being repeated.
+
+use crate::job::{JobRecord, JobResult, JobSpec, JobState, Method, JOB_RECORD_KIND};
+use crate::queue::JobQueue;
+use rlmul_baselines::SaConfig;
+use rlmul_check::sync::{channel, spawn_named, JoinHandle, Mutex, Receiver, RwLock};
+use rlmul_ckpt::{read_snapshot, write_snapshot, SnapshotStore};
+use rlmul_core::{
+    resume_dqn_cached, run_sa_with, train_a2c_with, train_dqn_with, A2cConfig, DqnConfig,
+    EnvConfig, EvalCache, MulEnv, OptimizationOutcome, RlMulError, TrainHooks,
+};
+use rlmul_obs::{handle_connection, Counter, Gauge, Histo, Registry};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Daemon configuration (`rlmul serve` flags map 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port, which
+    /// is then discoverable via `<dir>/serve.addr`).
+    pub addr: String,
+    /// State directory: job records under `jobs/`, per-job driver
+    /// snapshots under `ckpt-<id>/`, the bound address in
+    /// `serve.addr`.
+    pub dir: PathBuf,
+    /// Job worker threads (concurrent optimizations).
+    pub workers: usize,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".into(),
+            dir: PathBuf::from("serve-state"),
+            workers: 2,
+            http_workers: 2,
+        }
+    }
+}
+
+/// What a cancellation request found (drives the HTTP status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CancelOutcome {
+    /// Cancelled before any worker ran it; now terminal `Cancelled`.
+    WhileQueued,
+    /// The stop flag is raised; the run winds down cooperatively
+    /// (terminal state follows asynchronously).
+    WhileRunning,
+    /// Already terminal; nothing to cancel.
+    Terminal(JobState),
+    /// No such job.
+    Unknown,
+}
+
+/// Live bookkeeping for one job: the authoritative record plus the
+/// flags shared with its (possible) worker thread.
+#[derive(Debug)]
+pub(crate) struct JobEntry {
+    pub(crate) record: JobRecord,
+    /// Cooperative stop: cancellation *or* daemon shutdown.
+    stop: Arc<AtomicBool>,
+    /// User intent: set only by an explicit cancel request. Separates
+    /// "stop because cancelled" (→ `Cancelled`) from "stop because
+    /// the daemon is draining" (→ stays `Running` on disk, resumed by
+    /// the next start).
+    cancelled: Arc<AtomicBool>,
+    /// Live step counter published by the driver via `TrainHooks`.
+    progress: Arc<AtomicUsize>,
+}
+
+impl JobEntry {
+    fn new(record: JobRecord) -> Self {
+        JobEntry {
+            record,
+            stop: Arc::new(AtomicBool::new(false)),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            progress: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Best progress estimate: the live counter while running, the
+    /// recorded steps once terminal.
+    fn progress(&self) -> usize {
+        match &self.record.result {
+            Some(r) => r.steps_done,
+            None => self.progress.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Metrics {
+    jobs_submitted: Counter,
+    jobs_done: Counter,
+    jobs_cancelled: Counter,
+    jobs_failed: Counter,
+    jobs_resumed: Counter,
+    queue_depth: Gauge,
+    http_requests: Counter,
+    http_seconds: Histo,
+}
+
+impl Metrics {
+    fn new(reg: &Registry) -> Self {
+        Metrics {
+            jobs_submitted: reg
+                .counter("rlmul_serve_jobs_submitted_total", "Jobs accepted by POST /jobs."),
+            jobs_done: reg.counter("rlmul_serve_jobs_done_total", "Jobs finished normally."),
+            jobs_cancelled: reg
+                .counter("rlmul_serve_jobs_cancelled_total", "Jobs reaching the Cancelled state."),
+            jobs_failed: reg.counter("rlmul_serve_jobs_failed_total", "Jobs whose driver errored."),
+            jobs_resumed: reg.counter(
+                "rlmul_serve_jobs_resumed_total",
+                "Running jobs re-adopted by a daemon restart.",
+            ),
+            queue_depth: reg.gauge("rlmul_serve_queue_depth", "Jobs currently queued."),
+            http_requests: reg
+                .counter("rlmul_serve_http_requests_total", "HTTP connections handled."),
+            http_seconds: reg
+                .histogram("rlmul_serve_http_seconds", "Wall time per handled connection."),
+        }
+    }
+}
+
+/// All shared daemon state; `Arc<Inner>` is held by every thread and
+/// by the [`Server`] handle.
+pub(crate) struct Inner {
+    cfg: ServeConfig,
+    /// The job table — lock class `serve.jobs`; see the module docs
+    /// for the ordering against `serve.queue`.
+    table: RwLock<BTreeMap<u64, JobEntry>>,
+    queue: JobQueue,
+    /// The cross-tenant shared evaluation cache (clones share one
+    /// store).
+    cache: EvalCache,
+    next_id: AtomicU64,
+    registry: Registry,
+    shutting_down: AtomicBool,
+    metrics: Metrics,
+}
+
+impl Inner {
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Persists `record` through the atomic snapshot path. Called
+    /// with the table lock held, so disk order equals transition
+    /// order. A write failure is logged, never panicked — the
+    /// in-memory state machine stays authoritative for this daemon's
+    /// lifetime.
+    fn persist(&self, record: &JobRecord) {
+        let path = self.cfg.dir.join("jobs").join(format!("job-{:08}.ckpt", record.id));
+        if let Err(e) = write_snapshot(path, JOB_RECORD_KIND, record) {
+            eprintln!("rlmul-serve: persisting job {} failed: {e}", record.id);
+        }
+    }
+
+    /// Accepts a job: assigns an id, persists the `Queued` record and
+    /// enqueues it. Returns `(id, created)`; `created` is `false`
+    /// when `(tenant, idempotency_key)` matched an existing job,
+    /// which is returned instead of duplicated.
+    ///
+    /// # Errors
+    ///
+    /// Refused while the daemon is shutting down.
+    pub(crate) fn submit(&self, spec: JobSpec) -> Result<(u64, bool), &'static str> {
+        if self.is_shutting_down() {
+            return Err("shutting down");
+        }
+        let mut table = self.table.write();
+        if !spec.idempotency_key.is_empty() {
+            if let Some(existing) = table.values().find(|e| {
+                e.record.spec.tenant == spec.tenant
+                    && e.record.spec.idempotency_key == spec.idempotency_key
+            }) {
+                return Ok((existing.record.id, false));
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord::new(id, spec);
+        self.persist(&record);
+        let priority = record.spec.priority;
+        table.insert(id, JobEntry::new(record));
+        self.queue.push(priority, id, id);
+        self.metrics.jobs_submitted.inc();
+        self.metrics.queue_depth.set(self.queue.len() as f64);
+        Ok((id, true))
+    }
+
+    /// One job's record plus its live progress.
+    pub(crate) fn snapshot_job(&self, id: u64) -> Option<(JobRecord, usize)> {
+        let table = self.table.read();
+        table.get(&id).map(|e| (e.record.clone(), e.progress()))
+    }
+
+    /// Every job's record plus live progress, in id order.
+    pub(crate) fn list_jobs(&self) -> Vec<(JobRecord, usize)> {
+        self.table.read().values().map(|e| (e.record.clone(), e.progress())).collect()
+    }
+
+    /// Cancels a job (see [`CancelOutcome`]). Queued jobs become
+    /// terminal immediately; running jobs get their cooperative stop
+    /// flag raised and wind down after the in-flight step.
+    pub(crate) fn cancel(&self, id: u64) -> CancelOutcome {
+        let mut table = self.table.write();
+        let Some(entry) = table.get_mut(&id) else {
+            return CancelOutcome::Unknown;
+        };
+        match entry.record.state {
+            JobState::Queued => {
+                // Either the queue still holds the id (plain case) or
+                // a worker popped it and is blocked on the table lock
+                // we hold — the Cancelled state makes its claim step
+                // a no-op, so both races resolve to one winner.
+                let _ = self.queue.remove(id);
+                entry.cancelled.store(true, Ordering::Relaxed);
+                entry.stop.store(true, Ordering::Relaxed);
+                if entry.record.transition(JobState::Cancelled, false).is_err() {
+                    return CancelOutcome::Terminal(entry.record.state);
+                }
+                self.persist(&entry.record);
+                self.metrics.jobs_cancelled.inc();
+                self.metrics.queue_depth.set(self.queue.len() as f64);
+                CancelOutcome::WhileQueued
+            }
+            JobState::Running => {
+                entry.cancelled.store(true, Ordering::Relaxed);
+                entry.stop.store(true, Ordering::Relaxed);
+                CancelOutcome::WhileRunning
+            }
+            terminal => CancelOutcome::Terminal(terminal),
+        }
+    }
+
+    /// The worker loop body: claim, execute, finish.
+    fn run_job(self: &Arc<Self>, id: u64) {
+        // Claim: Queued → Running. A cancel that won the race leaves
+        // the record terminal and the claim refuses.
+        let (spec, stop, cancelled, progress) = {
+            let mut table = self.table.write();
+            let Some(entry) = table.get_mut(&id) else { return };
+            if entry.record.transition(JobState::Running, false).is_err() {
+                return;
+            }
+            self.persist(&entry.record);
+            self.metrics.queue_depth.set(self.queue.len() as f64);
+            (
+                entry.record.spec.clone(),
+                Arc::clone(&entry.stop),
+                Arc::clone(&entry.cancelled),
+                Arc::clone(&entry.progress),
+            )
+        };
+
+        let outcome = self.execute(id, &spec, &stop, &progress);
+
+        let mut table = self.table.write();
+        let Some(entry) = table.get_mut(&id) else { return };
+        match outcome {
+            Ok(out) => {
+                let result = summarize(&out);
+                if cancelled.load(Ordering::Relaxed) {
+                    entry.record.result = Some(result);
+                    if entry.record.transition(JobState::Cancelled, false).is_ok() {
+                        self.metrics.jobs_cancelled.inc();
+                        self.persist(&entry.record);
+                    }
+                } else if self.is_shutting_down() {
+                    // Drain stop, not user intent: leave the record
+                    // `Running` on disk. The driver rolled its final
+                    // snapshot on the stop flag; the next start takes
+                    // the recovery edge and resumes.
+                    entry.progress.store(result.steps_done, Ordering::Relaxed);
+                } else {
+                    entry.record.result = Some(result);
+                    if entry.record.transition(JobState::Done, false).is_ok() {
+                        self.metrics.jobs_done.inc();
+                        self.persist(&entry.record);
+                    }
+                }
+            }
+            Err(err) => {
+                entry.record.error = Some(err.to_string());
+                if entry.record.transition(JobState::Failed, false).is_ok() {
+                    self.metrics.jobs_failed.inc();
+                    self.persist(&entry.record);
+                }
+            }
+        }
+    }
+
+    /// Runs the optimization for one claimed job, resuming from its
+    /// last driver snapshot when one exists. Config mapping mirrors
+    /// `rlmul train` so server runs reproduce CLI runs bit-for-bit.
+    fn execute(
+        &self,
+        id: u64,
+        spec: &JobSpec,
+        stop: &Arc<AtomicBool>,
+        progress: &Arc<AtomicUsize>,
+    ) -> Result<OptimizationOutcome, RlMulError> {
+        let mut env_cfg = EnvConfig::new(spec.bits, spec.kind);
+        env_cfg.weights = spec.pref.weights();
+        let store =
+            SnapshotStore::new(self.cfg.dir.join(format!("ckpt-{id:08}")), spec.method.as_str());
+        let hooks = TrainHooks {
+            store: Some(store.clone()),
+            checkpoint_every: spec.ckpt_every,
+            stop: Some(Arc::clone(stop)),
+            progress: Some(Arc::clone(progress)),
+            ..Default::default()
+        };
+        let cache = self.cache.clone();
+        match spec.method {
+            Method::Sa => {
+                let cfg = SaConfig { steps: spec.steps, ..Default::default() };
+                let resume = store.load_latest().ok();
+                run_sa_with(&env_cfg, &cfg, spec.seed, cache, &hooks, resume)
+            }
+            Method::Dqn => {
+                let cfg = DqnConfig {
+                    steps: spec.steps,
+                    warmup: (spec.steps / 5).max(4),
+                    seed: spec.seed,
+                    ..Default::default()
+                };
+                match store.load_latest().ok() {
+                    Some(snap) => resume_dqn_cached(&env_cfg, &cfg, snap, cache, &hooks),
+                    None => {
+                        let mut env = MulEnv::with_cache(env_cfg.clone(), cache)?;
+                        train_dqn_with(&mut env, &cfg, &hooks, None)
+                    }
+                }
+            }
+            Method::A2c => {
+                let cfg = A2cConfig {
+                    steps: (spec.steps / 4).max(2),
+                    n_envs: 4,
+                    seed: spec.seed,
+                    ..Default::default()
+                };
+                let resume = store.load_latest().ok();
+                train_a2c_with(&env_cfg, &cfg, cache, &hooks, resume)
+            }
+        }
+    }
+}
+
+/// Collapses a driver outcome into the persisted result summary.
+fn summarize(out: &OptimizationOutcome) -> JobResult {
+    JobResult {
+        best_cost: out.best_cost,
+        steps_done: out.trajectory.len(),
+        states_visited: out.states_visited,
+        synth_runs: out.synth_runs,
+        synthesis_calls: out.pipeline.synthesis_calls,
+        cache_hits: out.pipeline.cache_hits,
+        cache_misses: out.pipeline.cache_misses,
+    }
+}
+
+/// Handle to a running daemon. [`Server::shutdown`] (or drop) drains
+/// it gracefully: no new jobs, queued jobs stay persisted for the
+/// next start, running jobs checkpoint and stay `Running` on disk.
+pub struct Server {
+    inner: Arc<Inner>,
+    local: SocketAddr,
+    accept_stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("local", &self.local).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts the daemon: recovers persisted jobs from `cfg.dir`,
+    /// binds `cfg.addr`, writes the bound address to
+    /// `<dir>/serve.addr`, and spawns the accept, HTTP and job worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind and state-directory I/O failures.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let workers = cfg.workers.max(1);
+        let http_workers = cfg.http_workers.max(1);
+        std::fs::create_dir_all(cfg.dir.join("jobs"))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        std::fs::write(cfg.dir.join("serve.addr"), local.to_string())?;
+
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
+        let inner = Arc::new(Inner {
+            table: RwLock::new("serve.jobs", BTreeMap::new()),
+            queue: JobQueue::new(),
+            cache: EvalCache::new(),
+            next_id: AtomicU64::new(1),
+            registry,
+            shutting_down: AtomicBool::new(false),
+            metrics,
+            cfg,
+        });
+        inner.recover()?;
+
+        let mut threads = Vec::new();
+
+        // HTTP: accept thread feeding a facade channel drained by the
+        // HTTP worker pool. Dropping the sender (accept thread exit)
+        // ends the workers via RecvError.
+        let (conn_tx, conn_rx) = channel::<TcpStream>("serve.http");
+        let conn_rx = Arc::new(Mutex::new("serve.http-recv", conn_rx));
+        let handler = crate::api::router(Arc::clone(&inner));
+        for n in 0..http_workers {
+            let rx = Arc::clone(&conn_rx);
+            let registry = inner.registry.clone();
+            let handler = handler.clone();
+            let http_inner = Arc::clone(&inner);
+            threads.push(spawn_named(&format!("serve-http-{n}"), move || {
+                http_worker(&rx, &registry, &handler, &http_inner)
+            }));
+        }
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        {
+            let stop = Arc::clone(&accept_stop);
+            threads.push(spawn_named("serve-accept", move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        return; // conn_tx drops; HTTP workers drain out
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if conn_tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+
+        for n in 0..workers {
+            let worker_inner = Arc::clone(&inner);
+            threads.push(spawn_named(&format!("serve-worker-{n}"), move || {
+                while let Some(id) = worker_inner.queue.pop() {
+                    worker_inner.run_job(id);
+                }
+            }));
+        }
+
+        Ok(Server { inner, local, accept_stop, threads })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The daemon's metrics registry (exposed at `GET /metrics`).
+    pub fn registry(&self) -> Registry {
+        self.inner.registry.clone()
+    }
+
+    /// Drains the daemon: refuses new submissions, closes the queue
+    /// (queued jobs stay persisted as `Queued`), raises the stop flag
+    /// of every running job (they checkpoint and stay `Running` on
+    /// disk for the next start), then joins every thread.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.inner.shutting_down.store(true, Ordering::Relaxed);
+        self.inner.queue.close();
+        {
+            let table = self.inner.table.read();
+            for entry in table.values() {
+                if entry.record.state == JobState::Running {
+                    entry.stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        self.accept_stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+impl Inner {
+    /// Replays `jobs/` into the table: terminal records become
+    /// history, `Queued` records re-enter the queue, `Running`
+    /// records take the recovery edge (`Running → Queued`, bumping
+    /// `resumes`) and re-enter the queue to be resumed from their
+    /// last driver snapshot.
+    fn recover(self: &Arc<Self>) -> io::Result<()> {
+        let jobs_dir = self.cfg.dir.join("jobs");
+        let mut records: Vec<JobRecord> = Vec::new();
+        for entry in std::fs::read_dir(&jobs_dir)? {
+            let path = entry?.path();
+            if path.extension().is_none_or(|e| e != "ckpt") {
+                continue;
+            }
+            match read_snapshot::<JobRecord, _>(&path, JOB_RECORD_KIND) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    // A torn tmp file can't exist (atomic rename), but
+                    // a foreign or corrupted file can; skip it loudly.
+                    eprintln!("rlmul-serve: skipping unreadable {}: {e}", path.display());
+                }
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        let mut table = self.table.write();
+        let mut max_id = 0;
+        for mut record in records {
+            max_id = max_id.max(record.id);
+            let id = record.id;
+            let requeue = match record.state {
+                JobState::Queued => true,
+                JobState::Running => {
+                    // The previous daemon died (or drained) with this
+                    // job in flight: re-adopt it via the recovery
+                    // edge. `Running → Queued` with the recovery flag
+                    // is always legal, so the error arm is dead; it
+                    // is kept error-shaped to hold the no-panic
+                    // contract of this file.
+                    match record.transition(JobState::Queued, true) {
+                        Ok(()) => {
+                            record.resumes += 1;
+                            self.metrics.jobs_resumed.inc();
+                            self.persist(&record);
+                            true
+                        }
+                        Err(e) => {
+                            eprintln!("rlmul-serve: cannot re-adopt job {}: {e}", record.id);
+                            false
+                        }
+                    }
+                }
+                _ => false,
+            };
+            let priority = record.spec.priority;
+            table.insert(id, JobEntry::new(record));
+            if requeue {
+                self.queue.push(priority, id, id);
+            }
+        }
+        self.metrics.queue_depth.set(self.queue.len() as f64);
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// One HTTP worker: drains the connection channel until the accept
+/// thread drops the sender.
+fn http_worker(
+    rx: &Mutex<Receiver<TcpStream>>,
+    registry: &Registry,
+    handler: &rlmul_obs::Handler,
+    inner: &Inner,
+) {
+    loop {
+        // Holding the receiver lock while blocked in recv serializes
+        // the *waiting*, not the handling: the lock drops before the
+        // connection is served, so another worker picks up the next
+        // socket immediately.
+        let stream = match rx.lock().recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let started = Instant::now();
+        // I/O errors mean the client went away; keep serving.
+        let _ = handle_connection(stream, registry, handler);
+        inner.metrics.http_requests.inc();
+        inner.metrics.http_seconds.observe(started.elapsed().as_secs_f64());
+    }
+}

@@ -51,6 +51,8 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts),
         "check-src" => cmd_check_src(&opts),
         "synth" => cmd_synth(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadtest" => cmd_loadtest(&opts),
         "serve-metrics" => cmd_serve_metrics(&tokens, &opts),
         "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
@@ -98,6 +100,10 @@ COMMANDS
   check-src run the repo's concurrency/determinism source lint
             (wall-clock, hash-iter, panic-path, crate-attrs)
   synth     synthesize a structure and report PPA
+  serve     run the multi-tenant optimization job server (HTTP API;
+            see DESIGN.md §16); Ctrl-C drains and persists all jobs
+  loadtest  hammer a running job server with synthetic clients and
+            report throughput plus p50/p95/p99 latency
   serve-metrics  replay a JSONL log onto a Prometheus /metrics endpoint
   profile   run a short instrumented search and print its span tree
             plus flamegraph-ready collapsed stacks
@@ -160,6 +166,25 @@ REPORT USAGE
   rlmul report RUN.jsonl [--phase]
   --phase           print the per-span time-breakdown table instead of
                     the event summary
+
+SERVE OPTIONS
+  --addr A          listen address (default 127.0.0.1:7171; port 0
+                    picks a free port, printed on startup)
+  --dir DIR         durable state directory: job records and per-job
+                    driver snapshots (default serve-state); restart
+                    with the same DIR to re-adopt in-flight jobs
+  --workers N       optimization worker threads (default 2)
+  --http-workers N  HTTP serving threads (default 2)
+
+LOADTEST OPTIONS
+  --addr A          server to target (default 127.0.0.1:7171)
+  --clients N       concurrent synthetic clients (default 4)
+  --jobs N          jobs submitted per client (default 4)
+  --bits N          operand width per job (default 4)
+  --steps N         SA steps per job (default 4)
+  --cancel-every N  cancel every Nth job per client (default 3;
+                    0 = never cancel)
+  --out PATH        also write the JSON report to PATH
 
 SERVE-METRICS USAGE
   rlmul serve-metrics RUN.jsonl [--metrics-addr 127.0.0.1:9090]
@@ -442,6 +467,66 @@ fn cmd_report(tokens: &[String], opts: &HashMap<String, String>) -> CliResult {
         print!("{}", summary.render_phase_breakdown());
     } else {
         print!("{}", summary.render());
+    }
+    Ok(())
+}
+
+/// Runs the multi-tenant optimization job server until Ctrl-C, then
+/// drains: the queue closes, running jobs stop at their next step and
+/// stay `running` on disk, and a restart with the same `--dir`
+/// re-adopts them (DESIGN.md §16 documents the protocol).
+fn cmd_serve(opts: &HashMap<String, String>) -> CliResult {
+    let cfg = rlmul::serve::ServeConfig {
+        addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7171".into()),
+        dir: opts.get("dir").cloned().unwrap_or_else(|| "serve-state".into()).into(),
+        workers: get(opts, "workers", 2),
+        http_workers: get(opts, "http-workers", 2),
+    };
+    let dir = cfg.dir.clone();
+    let server = rlmul::serve::Server::start(cfg)?;
+    println!(
+        "rlmul serve: listening on http://{}/ (state in {})",
+        server.local_addr(),
+        dir.display()
+    );
+    println!("rlmul serve: Ctrl-C drains; restart with the same --dir to resume");
+    let stop = install_sigint();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("rlmul serve: draining ...");
+    server.shutdown();
+    eprintln!("rlmul serve: drained; job state persisted in {}", dir.display());
+    Ok(())
+}
+
+/// Hammers a running job server with synthetic clients and prints the
+/// throughput / latency report (the same JSON document `bench_serve`
+/// writes to results/BENCH_serve.json).
+fn cmd_loadtest(opts: &HashMap<String, String>) -> CliResult {
+    let cfg = rlmul::serve::LoadtestConfig {
+        addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7171".into()),
+        clients: get(opts, "clients", 4),
+        jobs_per_client: get(opts, "jobs", 4),
+        bits: get(opts, "bits", 4),
+        steps: get(opts, "steps", 4),
+        cancel_every: get(opts, "cancel-every", 3),
+        ..Default::default()
+    };
+    let report = rlmul::serve::run_loadtest(&cfg)?;
+    let rendered = report.render_json(&cfg);
+    if let Some(out) = opts.get("out").filter(|o| !o.is_empty()) {
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(out, &rendered)?;
+        eprintln!("loadtest report written to {out}");
+    }
+    println!("{rendered}");
+    if report.errors > 0 {
+        return Err(format!("loadtest finished with {} client error(s)", report.errors).into());
     }
     Ok(())
 }

@@ -70,5 +70,6 @@ pub use rlmul_obs as obs;
 pub use rlmul_pareto as pareto;
 pub use rlmul_rtl as rtl;
 pub use rlmul_sat as sat;
+pub use rlmul_serve as serve;
 pub use rlmul_synth as synth;
 pub use rlmul_telemetry as telemetry;
