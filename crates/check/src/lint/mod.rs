@@ -5,8 +5,9 @@
 //! walks every `.rs` file in the workspace, applies the deny-by-
 //! default rules of [`rules`] and exits non-zero on any finding. See
 //! the rule constants ([`rules::WALL_CLOCK`], [`rules::HASH_ITER`],
-//! [`rules::PANIC_PATH`], [`rules::CRATE_ATTRS`]) for what each rule
-//! enforces and which files it covers.
+//! [`rules::PANIC_PATH`], [`rules::CRATE_ATTRS`],
+//! [`rules::TRACE_CTX`]) for what each rule enforces and which files
+//! it covers.
 
 pub mod rules;
 pub mod scan;
@@ -96,6 +97,7 @@ pub fn lint_source(text: &str, path: &str, out: &mut Vec<Finding>) {
     rules::check_wall_clock(&scanned, path, out);
     rules::check_hash_iter(&scanned, path, out);
     rules::check_panic_path(&scanned, path, out);
+    rules::check_trace_ctx(&scanned, path, out);
     if let Some(crate_name) = crate_root_name(path) {
         rules::check_crate_attrs(text, path, crate_name, out);
     }

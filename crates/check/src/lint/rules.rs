@@ -33,8 +33,17 @@ pub const PANIC_PATH: &str = "panic-path";
 /// and the documented-API crates carry `#![deny(missing_docs)]`.
 pub const CRATE_ATTRS: &str = "crate-attrs";
 
+/// `trace-ctx`: event-emission sites in the job server and the
+/// driver-facing core must carry per-job trace context — either the
+/// emission goes through a `TraceCtx` (so the event lands in the
+/// job's causally-ordered timeline) or the line is allow-escaped with
+/// a justification that the event is genuinely context-free (process-
+/// wide aggregates). Keeps uncorrelated events from silently
+/// reappearing as the server grows.
+pub const TRACE_CTX: &str = "trace-ctx";
+
 /// All rule IDs, for `--help`-style listings and allow validation.
-pub const ALL_RULES: [&str; 4] = [WALL_CLOCK, HASH_ITER, PANIC_PATH, CRATE_ATTRS];
+pub const ALL_RULES: [&str; 5] = [WALL_CLOCK, HASH_ITER, PANIC_PATH, CRATE_ATTRS, TRACE_CTX];
 
 /// Files (workspace-relative, `/`-separated; a trailing `/` means
 /// prefix match) where `wall-clock` applies: the snapshot codec and
@@ -72,6 +81,12 @@ pub const PANIC_PATH_PATHS: [&str; 4] = [
     "crates/serve/src/json.rs",
     "crates/serve/src/server.rs",
 ];
+
+/// Files where `trace-ctx` applies: the job server plus the core
+/// files whose events describe per-job work (the environment's
+/// synthesis/cache path and the driver hooks).
+pub const TRACE_CTX_PATHS: [&str; 3] =
+    ["crates/serve/src/", "crates/core/src/env.rs", "crates/core/src/hooks.rs"];
 
 /// Crates whose public API is documented under `deny(missing_docs)`
 /// (the existing crate contract; extend as crates are upgraded).
@@ -197,6 +212,43 @@ pub fn check_panic_path(file: &ScannedFile, path: &str, out: &mut Vec<Finding>) 
     }
 }
 
+/// Runs `trace-ctx` over one scanned file: flags emission sites
+/// (`.emit(` calls and `Event::new` constructions) whose line shows
+/// no trace correlation — no `trace`/`TraceCtx` token and no
+/// `emit_forced` (which is only callable on a `TraceCtx`).
+pub fn check_trace_ctx(file: &ScannedFile, path: &str, out: &mut Vec<Finding>) {
+    if !path_matches(path, &TRACE_CTX_PATHS) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.iter().any(|a| a == TRACE_CTX) {
+            continue;
+        }
+        let code = &line.code;
+        let emits = code.contains(".emit(") || code.contains("Event::new");
+        if !emits {
+            continue;
+        }
+        let correlated = find_token(code, "trace").is_some()
+            || code.contains("TraceCtx")
+            || code.contains("emit_forced");
+        if correlated {
+            continue;
+        }
+        out.push(Finding {
+            rule: TRACE_CTX,
+            path: path.to_string(),
+            line: idx + 1,
+            message: "event emission without per-job trace context; route it \
+                      through the job's TraceCtx, or justify with \
+                      `// check: allow(trace-ctx)` if it is genuinely \
+                      context-free"
+                .to_string(),
+            snippet: code.trim().to_string(),
+        });
+    }
+}
+
 /// Runs `crate-attrs` over one crate-root file (`src/lib.rs`).
 /// `crate_name` is the directory under `crates/` (empty for the
 /// workspace root crate).
@@ -265,6 +317,23 @@ mod tests {
         check_panic_path(&f, "crates/obs/src/http.rs", &mut out);
         let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
         assert_eq!(lines, vec![2, 3], "{out:?}");
+    }
+
+    #[test]
+    fn trace_ctx_flags_uncorrelated_emissions() {
+        let src = "sink.emit(Event::new(\"orphan\"));\n\
+                   hooks.trace.emit(\"step\", \"steps_done=3\");\n\
+                   sink.emit(ev); // check: allow(trace-ctx) process aggregate\n\
+                   sink.emit(Event::trace(&id, e.seq, e.micros, &e.kind, &e.detail));\n";
+        let f = scan(src);
+        let mut out = Vec::new();
+        check_trace_ctx(&f, "crates/serve/src/server.rs", &mut out);
+        let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1], "{out:?}");
+        // Unconfigured files are never flagged.
+        out.clear();
+        check_trace_ctx(&f, "crates/telemetry/src/json.rs", &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

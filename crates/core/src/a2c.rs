@@ -439,6 +439,11 @@ pub fn train_a2c_with(
             env.set_telemetry(hooks.telemetry.clone());
         }
     }
+    if hooks.trace.is_enabled() {
+        for env in &mut envs {
+            env.set_trace(hooks.trace.clone());
+        }
+    }
     let actions = envs[0].action_space();
     let shape = envs[0].tensor_shape();
     let volume: usize = shape[1] * shape[2] * shape[3];

@@ -235,6 +235,9 @@ pub fn train_dqn_with(
     if hooks.telemetry.is_enabled() {
         env.set_telemetry(hooks.telemetry.clone());
     }
+    if hooks.trace.is_enabled() {
+        env.set_trace(hooks.trace.clone());
+    }
     let mut opt = RmsProp::new(config.lr);
     let (mut rng, mut net, mut buffer, mut trajectory, mut state, start) = match resume {
         Some(mut snap) => {

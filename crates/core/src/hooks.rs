@@ -7,6 +7,7 @@
 //! that don't care pay a branch per step and nothing else.
 
 use rlmul_ckpt::SnapshotStore;
+use rlmul_obs::TraceCtx;
 use rlmul_telemetry::{Event, TelemetrySink};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -37,6 +38,11 @@ pub struct TrainHooks {
     /// own without touching the training thread. `None` disables the
     /// store entirely.
     pub progress: Option<Arc<AtomicUsize>>,
+    /// Per-job trace context; [`TraceCtx::disabled`] by default. The
+    /// drivers hand it to the environment (cache / surrogate /
+    /// synthesis emit sites) and emit one `step` event per completed
+    /// step from [`TrainHooks::report_progress`].
+    pub trace: TraceCtx,
 }
 
 impl TrainHooks {
@@ -51,10 +57,14 @@ impl TrainHooks {
     }
 
     /// Publishes `steps_done` to the progress counter (no-op without
-    /// one). Called by every driver after each completed step.
+    /// one) and appends one `step` trace event. Called by every driver
+    /// after each completed step.
     pub fn report_progress(&self, steps_done: usize) {
         if let Some(p) = &self.progress {
             p.store(steps_done, Ordering::Relaxed);
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit("step", &format!("steps_done={steps_done}"));
         }
     }
 
@@ -78,13 +88,29 @@ pub fn emit_span_events(sink: &TelemetrySink, spans: &[rlmul_obs::SpanStat]) {
         return;
     }
     for s in spans {
+        // check: allow(trace-ctx) process-wide span aggregates, no per-job context
         sink.emit(
+            // check: allow(trace-ctx) as above
             Event::new("span")
                 .with("path", s.path.clone())
                 .with("calls", s.calls)
                 .with("incl_secs", s.incl_ns as f64 / 1e9)
                 .with("excl_secs", s.excl_ns as f64 / 1e9),
         );
+    }
+}
+
+/// Mirrors a job's accumulated trace events into JSONL telemetry (one
+/// `trace` record per [`rlmul_obs::TraceEvent`], via
+/// [`Event::trace`]), so offline `rlmul report` runs over a job's log
+/// see the same causal timeline the serve API exposes live.
+pub fn emit_trace_events(sink: &TelemetrySink, trace: &TraceCtx) {
+    if !sink.is_enabled() || !trace.is_enabled() {
+        return;
+    }
+    let id = trace.trace_id().unwrap_or_default().to_string();
+    for e in trace.snapshot() {
+        sink.emit(Event::trace(&id, e.seq, e.micros, &e.kind, &e.detail));
     }
 }
 
@@ -97,7 +123,21 @@ mod tests {
         let hooks = TrainHooks::default();
         assert!(!hooks.stop_requested());
         assert!(!hooks.telemetry.is_enabled());
+        assert!(!hooks.trace.is_enabled());
         assert!(!hooks.checkpoint_due(5, 10));
+        hooks.report_progress(3); // must not panic without a counter
+    }
+
+    #[test]
+    fn progress_reports_land_in_the_trace() {
+        let trace = TraceCtx::new("tr-test");
+        let hooks = TrainHooks { trace: trace.clone(), ..Default::default() };
+        hooks.report_progress(1);
+        hooks.report_progress(2);
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "step");
+        assert_eq!(events[1].detail, "steps_done=2");
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub fn run_sa_with(
     if hooks.telemetry.is_enabled() {
         env.set_telemetry(hooks.telemetry.clone());
     }
+    if hooks.trace.is_enabled() {
+        env.set_trace(hooks.trace.clone());
+    }
     let (mut rng, mut run) = match resume {
         Some(snap) => {
             env.restore(&snap.env)?;

@@ -9,7 +9,7 @@
 //! run (and the CI obs job) on a regression.
 
 use criterion::{black_box, criterion_group, Criterion};
-use rlmul_obs::Registry;
+use rlmul_obs::{Registry, TraceCtx};
 use std::time::{Duration, Instant};
 
 /// A few-ns xorshift workload per iteration — realistic enough that a
@@ -68,6 +68,15 @@ fn bench_disabled_paths(c: &mut Criterion) {
         b.iter(|| {
             x = workload(black_box(x));
             let _span = gated.span("bench");
+            x
+        })
+    });
+    let trace = TraceCtx::disabled();
+    g.bench_function("disabled_trace_emit", |b| {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        b.iter(|| {
+            x = workload(black_box(x));
+            trace.emit("bench", "detail");
             x
         })
     });
@@ -155,12 +164,14 @@ fn overhead_guard() {
         ROUNDS,
         ITERS,
     );
+    let trace = TraceCtx::disabled();
     let mut y = 0x9e37_79b9_7f4a_7c15u64;
     let instrumented = median_ns_per_iter(
         || {
             y = workload(black_box(y));
             counter.inc();
             histo.observe(y as f64);
+            trace.emit("guard", "step");
             let _span = gated.span("guard");
             y
         },

@@ -20,6 +20,26 @@
 //! lint): a malformed request head is answered with a logged `400`, a
 //! panicking handler with a logged `500`; neither kills the serving
 //! thread.
+//!
+//! # Connection handling
+//!
+//! The default protocol is one request per connection with
+//! `Connection: close` — every pre-existing client reads to EOF and
+//! relies on that. A client that *explicitly* sends
+//! `Connection: keep-alive` opts into bounded reuse: the worker
+//! answers with `Connection: keep-alive` and loops (up to
+//! [`MAX_KEEPALIVE_REQUESTS`] requests), framing every response with
+//! `Content-Length`. The HTTP/1.1 implicit-keep-alive default is
+//! deliberately *not* honored, so EOF-reading clients never stall on
+//! an open socket.
+//!
+//! # Streaming responses
+//!
+//! A response may carry a [`StreamBody`] closure instead of a fixed
+//! body; it is written with `Transfer-Encoding: chunked` (one chunk
+//! per `write` call) and the connection closes when the closure
+//! returns. The job server's `GET /jobs/<id>/events` live event
+//! stream rides on this.
 
 use crate::prom::render_prometheus;
 use crate::registry::Registry;
@@ -35,6 +55,9 @@ const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted request body size (submission payloads are small
 /// JSON objects; anything larger is hostile or confused).
 const MAX_BODY: usize = 1024 * 1024;
+/// Upper bound on requests served over one explicitly keep-alive
+/// connection, so a single client cannot pin a worker forever.
+pub const MAX_KEEPALIVE_REQUESTS: usize = 64;
 
 /// One parsed HTTP request: the request line plus the body announced
 /// by `Content-Length` (empty when the header is absent).
@@ -46,29 +69,64 @@ pub struct HttpRequest {
     pub path: String,
     /// Request body (empty unless `Content-Length` was present).
     pub body: Vec<u8>,
+    /// Whether the client *explicitly* sent `Connection: keep-alive`
+    /// (the HTTP/1.1 implicit default is not honored — see the module
+    /// docs).
+    pub keep_alive: bool,
 }
 
+/// A streaming response body: called once with a chunk-framing writer
+/// (each `write` becomes one HTTP chunk); the response ends when the
+/// closure returns. `Err` aborts the stream (client gone).
+pub type StreamBody = Arc<dyn Fn(&mut dyn Write) -> io::Result<()> + Send + Sync>;
+
 /// One HTTP response: a status line tail (e.g. `"200 OK"`), a content
-/// type and a body.
-#[derive(Debug, Clone)]
+/// type and a body — either fixed (`body`, the default) or streamed
+/// chunk-by-chunk (`stream`).
+#[derive(Clone)]
 pub struct HttpResponse {
     /// Status code and reason phrase, e.g. `"404 Not Found"`.
     pub status: &'static str,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body.
+    /// Response body (ignored when `stream` is set).
     pub body: String,
+    /// Optional chunked streaming body; `None` for ordinary
+    /// fixed-length responses.
+    pub stream: Option<StreamBody>,
+}
+
+impl std::fmt::Debug for HttpResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpResponse")
+            .field("status", &self.status)
+            .field("content_type", &self.content_type)
+            .field("body", &self.body)
+            .field("stream", &self.stream.as_ref().map(|_| "<chunked>"))
+            .finish()
+    }
 }
 
 impl HttpResponse {
     /// A `text/plain` response.
     pub fn text(status: &'static str, body: impl Into<String>) -> Self {
-        HttpResponse { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            stream: None,
+        }
     }
 
     /// An `application/json` response.
     pub fn json(status: &'static str, body: impl Into<String>) -> Self {
-        HttpResponse { status, content_type: "application/json", body: body.into() }
+        HttpResponse { status, content_type: "application/json", body: body.into(), stream: None }
+    }
+
+    /// A chunked streaming response; `stream` runs on the serving
+    /// thread and each of its `write` calls becomes one HTTP chunk.
+    pub fn streaming(status: &'static str, content_type: &'static str, stream: StreamBody) -> Self {
+        HttpResponse { status, content_type, body: String::new(), stream: Some(stream) }
     }
 
     /// The numeric status code (first token of the status line tail;
@@ -175,8 +233,9 @@ fn accept_loop(listener: &TcpListener, registry: &Registry, handler: &Handler, s
     }
 }
 
-/// Reads one request from `stream` and answers it with `handler`,
-/// degrading malformed heads to a logged 400 and handler panics to a
+/// Serves one connection with `handler`: one request by default, a
+/// bounded sequence when the client explicitly asked for keep-alive.
+/// Malformed heads degrade to a logged 400 and handler panics to a
 /// logged 500. The building block both servers share.
 ///
 /// # Errors
@@ -190,17 +249,36 @@ pub fn handle_connection(
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let response = match read_request(&mut stream)? {
-        None => {
-            registry
-                .counter("rlmul_http_bad_requests_total", "malformed request heads answered 400")
-                .inc();
-            eprintln!("rlmul-obs http: 400 bad request");
-            HttpResponse::text("400 Bad Request", "malformed request\n")
+    for served in 0..MAX_KEEPALIVE_REQUESTS {
+        let req = match read_request_inner(&mut stream)? {
+            // A clean close between requests (or a probe connection
+            // that never sent anything) is not a client error.
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed => {
+                registry
+                    .counter(
+                        "rlmul_http_bad_requests_total",
+                        "malformed request heads answered 400",
+                    )
+                    .inc();
+                eprintln!("rlmul-obs http: 400 bad request");
+                let bad = HttpResponse::text("400 Bad Request", "malformed request\n");
+                return write_response(&mut stream, &bad);
+            }
+            ReadOutcome::Request(req) => req,
+        };
+        let response = dispatch(&req, registry, handler);
+        // The last allowed round announces close; streams always
+        // close (chunked framing ends the response, the closure owns
+        // the socket until then).
+        let keep =
+            req.keep_alive && response.stream.is_none() && served + 1 < MAX_KEEPALIVE_REQUESTS;
+        write_response_conn(&mut stream, &response, keep)?;
+        if !keep {
+            return Ok(());
         }
-        Some(req) => dispatch(&req, registry, handler),
-    };
-    write_response(&mut stream, &response)
+    }
+    Ok(())
 }
 
 /// Runs `handler` on `req` behind a panic firewall: a panic while
@@ -220,14 +298,33 @@ pub fn dispatch(req: &HttpRequest, registry: &Registry, handler: &Handler) -> Ht
     }
 }
 
+/// What one read attempt on a connection produced.
+enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(HttpRequest),
+    /// Bytes arrived but never formed a valid request — answer 400.
+    Malformed,
+    /// The peer closed cleanly before sending anything.
+    Closed,
+}
+
 /// Reads one request (head + `Content-Length` body) from `stream`.
 /// Returns `None` for a malformed or oversized request — the caller
-/// answers 400 — and `Err` only for socket failures.
+/// answers 400 — and `Err` only for socket failures. A clean
+/// pre-request close also maps to `None` here; callers that need to
+/// tell the two apart (the keep-alive loop) use the inner tri-state.
 ///
 /// # Errors
 ///
 /// Propagates socket read failures (including timeouts).
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
+    Ok(match read_request_inner(stream)? {
+        ReadOutcome::Request(req) => Some(req),
+        ReadOutcome::Malformed | ReadOutcome::Closed => None,
+    })
+}
+
+fn read_request_inner(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
     let mut buf = [0u8; 4096];
     let mut data = Vec::new();
     let head_end = loop {
@@ -235,53 +332,108 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
             break pos;
         }
         if data.len() >= MAX_HEAD {
-            return Ok(None);
+            return Ok(ReadOutcome::Malformed);
         }
         let n = stream.read(&mut buf)?;
         if n == 0 {
-            return Ok(None);
+            return Ok(if data.is_empty() { ReadOutcome::Closed } else { ReadOutcome::Malformed });
         }
         data.extend_from_slice(&buf[..n]);
     };
     let head = &data[..head_end];
     let Some((method, path)) = parse_request_line(head) else {
-        return Ok(None);
+        return Ok(ReadOutcome::Malformed);
     };
     let content_length = match parse_content_length(head) {
         Ok(len) => len,
-        Err(()) => return Ok(None),
+        Err(()) => return Ok(ReadOutcome::Malformed),
     };
     if content_length > MAX_BODY {
-        return Ok(None);
+        return Ok(ReadOutcome::Malformed);
     }
+    let keep_alive = parse_keep_alive(head);
     let mut body = data[head_end + 4..].to_vec();
     while body.len() < content_length {
         let n = stream.read(&mut buf)?;
         if n == 0 {
-            return Ok(None); // peer closed mid-body
+            return Ok(ReadOutcome::Malformed); // peer closed mid-body
         }
         body.extend_from_slice(&buf[..n]);
     }
     body.truncate(content_length);
-    Ok(Some(HttpRequest { method, path, body }))
+    Ok(ReadOutcome::Request(HttpRequest { method, path, body, keep_alive }))
 }
 
-/// Writes `response` (with `Connection: close`) to `stream`.
+/// Writes `response` (with `Connection: close`) to `stream`. Streaming
+/// responses are written with `Transfer-Encoding: chunked`.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
 pub fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> io::Result<()> {
-    let text = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{}",
-        response.status,
-        response.content_type,
-        response.body.len(),
-        response.body
-    );
-    stream.write_all(text.as_bytes())?;
-    stream.flush()
+    write_response_conn(stream, response, false)
+}
+
+/// [`write_response`] with an explicit connection disposition:
+/// `keep_alive` answers `Connection: keep-alive` (fixed-length bodies
+/// only — a streaming response always closes).
+fn write_response_conn(
+    stream: &mut TcpStream,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> io::Result<()> {
+    match &response.stream {
+        None => {
+            let connection = if keep_alive { "keep-alive" } else { "close" };
+            let text = format!(
+                "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+                 Connection: {connection}\r\n\r\n{}",
+                response.status,
+                response.content_type,
+                response.body.len(),
+                response.body
+            );
+            stream.write_all(text.as_bytes())?;
+            stream.flush()
+        }
+        Some(body) => {
+            let head = format!(
+                "HTTP/1.1 {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n\
+                 Connection: close\r\n\r\n",
+                response.status, response.content_type,
+            );
+            stream.write_all(head.as_bytes())?;
+            stream.flush()?;
+            let mut chunker = ChunkWriter { inner: stream };
+            body(&mut chunker)?;
+            stream.write_all(b"0\r\n\r\n")?;
+            stream.flush()
+        }
+    }
+}
+
+/// Adapts a socket into HTTP chunked framing: every `write` becomes
+/// one `<hex-len>\r\n<data>\r\n` chunk, flushed immediately so live
+/// streams are actually live.
+struct ChunkWriter<'a> {
+    inner: &'a mut TcpStream,
+}
+
+impl Write for ChunkWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0); // an empty chunk would terminate the stream
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.inner.flush()?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 fn find_head_end(data: &[u8]) -> Option<usize> {
@@ -314,6 +466,20 @@ fn parse_content_length(head: &[u8]) -> Result<usize, ()> {
     Ok(0)
 }
 
+/// Whether the request head explicitly asks for `Connection:
+/// keep-alive`. The HTTP/1.1 implicit default is intentionally not
+/// honored (see the module docs).
+fn parse_keep_alive(head: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(head);
+    for line in text.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("connection") {
+            return value.trim().eq_ignore_ascii_case("keep-alive");
+        }
+    }
+    false
+}
+
 /// The Prometheus endpoint's routing table.
 fn route_metrics(req: &HttpRequest, registry: &Registry) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
@@ -321,6 +487,7 @@ fn route_metrics(req: &HttpRequest, registry: &Registry) -> HttpResponse {
             status: "200 OK",
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: render_prometheus(registry),
+            stream: None,
         },
         ("GET", "/") => HttpResponse::text("200 OK", "rlmul metrics endpoint: GET /metrics\n"),
         ("GET", _) => HttpResponse::text("404 Not Found", "not found\n"),
@@ -446,6 +613,89 @@ mod tests {
         let fine = get(addr, "/fine");
         assert!(fine.starts_with("HTTP/1.1 200"), "{fine}");
         assert_eq!(r.counter("rlmul_http_internal_errors_total", "").get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn explicit_keep_alive_reuses_the_connection() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|req: &HttpRequest| HttpResponse::text("200 OK", format!("p={}", req.path))),
+            "test-http",
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            write!(stream, "GET /r{i} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+            // Frame by Content-Length: the connection stays open, so
+            // read-to-EOF would hang until the server's idle timeout.
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") {
+                stream.read_exact(&mut byte).unwrap();
+                head.push(byte[0]);
+            }
+            let head = String::from_utf8(head).unwrap();
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; len];
+            stream.read_exact(&mut body).unwrap();
+            assert_eq!(String::from_utf8(body).unwrap(), format!("p=/r{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn without_keep_alive_the_connection_closes() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|_: &HttpRequest| HttpResponse::text("200 OK", "once")),
+            "test-http",
+        )
+        .unwrap();
+        // The plain client protocol (no Connection header) still gets
+        // Connection: close and EOF — the compatibility contract.
+        let response = get(server.local_addr(), "/");
+        assert!(response.contains("Connection: close"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_response_arrives_in_chunks() {
+        let r = Registry::new();
+        let server = serve_http(
+            "127.0.0.1:0",
+            &r,
+            Arc::new(|_: &HttpRequest| {
+                HttpResponse::streaming(
+                    "200 OK",
+                    "application/jsonl",
+                    Arc::new(|w: &mut dyn Write| {
+                        w.write_all(b"first\n")?;
+                        w.write_all(b"second\n")?;
+                        Ok(())
+                    }),
+                )
+            }),
+            "test-http",
+        )
+        .unwrap();
+        let response = get(server.local_addr(), "/stream");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Transfer-Encoding: chunked"), "{response}");
+        let (_, body) = response.split_once("\r\n\r\n").unwrap();
+        // Two chunks (hex length framing) plus the terminator.
+        assert_eq!(body, "6\r\nfirst\n\r\n7\r\nsecond\n\r\n0\r\n\r\n");
         server.shutdown();
     }
 

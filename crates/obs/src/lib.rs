@@ -22,6 +22,11 @@
 //!   crates (env, cache, synthesis, SAT, NN, agents) record into;
 //!   recording is off (one branch per operation) until an entry
 //!   point calls `global().enable()`.
+//! * [`TraceCtx`] — a per-job trace context (job-scoped trace ID +
+//!   monotonic event seq) with a bounded, subscribable event
+//!   timeline; disabled by default with the same one-branch
+//!   discipline as the registry. The `rlmul serve` daemon mints one
+//!   per job and streams it live over `GET /jobs/<id>/events`.
 //!
 //! # Example
 //!
@@ -50,12 +55,14 @@ mod http;
 mod prom;
 mod registry;
 mod span;
+mod trace;
 
 pub use flame::{collapsed_from, collapsed_stacks, render_span_tree};
 pub use http::{
     dispatch, handle_connection, read_request, serve_http, serve_metrics, write_response, Handler,
-    HttpRequest, HttpResponse, HttpServer, MetricsServer,
+    HttpRequest, HttpResponse, HttpServer, MetricsServer, StreamBody,
 };
 pub use prom::render_prometheus;
 pub use registry::{global, Counter, Gauge, Histo, MetricKind, Registry, SpanStat};
 pub use span::SpanGuard;
+pub use trace::{TraceCtx, TraceEvent, TRACE_DEFAULT_CAPACITY};

@@ -1,0 +1,350 @@
+//! Per-job trace context: a job-scoped trace ID, a monotonic event
+//! sequence, and a bounded in-memory event timeline that doubles as a
+//! live subscription source.
+//!
+//! A [`TraceCtx`] is minted by whoever owns a unit of work (the job
+//! server mints one per `POST /jobs`) and cloned into every component
+//! that touches that work — queue admission, worker claim, the
+//! training drivers (via `TrainHooks`), the evaluation cache and the
+//! surrogate gate. Each component appends [`TraceEvent`]s; the buffer
+//! assigns the sequence number under its lock, so the stored order
+//! *is* the causal order within the job.
+//!
+//! Design rules, matching the metrics [`crate::Registry`]:
+//!
+//! * **One-branch disabled path.** A default/disabled context holds
+//!   `None`; every emit is a single `Option` branch. Instrumentation
+//!   stays in hot paths unconditionally (the overhead bench guards
+//!   <2x against an uninstrumented baseline).
+//! * **Bounded memory.** The buffer stops *recording* once it reaches
+//!   capacity and counts what it suppressed ([`TraceCtx::dropped`]).
+//!   Dropping the newest — not the oldest — keeps an already-running
+//!   live stream exactly equal to the stored trace: subscribers never
+//!   see an event the store later forgets. Lifecycle events are
+//!   emitted with [`TraceCtx::emit_forced`] and may exceed the cap by
+//!   O(lifecycle), so a truncated trace still shows how the job ended.
+//! * **Monotonic seq == buffer index.** Sequence numbers are assigned
+//!   only to recorded events, densely from 0, so `events[seq]` always
+//!   holds the event with that seq and range subscriptions are O(1)
+//!   to locate.
+//!
+//! Timing uses a monotonic [`Instant`] owned by the buffer (micros
+//! since mint), so instrumented crates that are wall-clock-linted
+//! never read a clock themselves — they hand the event over and the
+//! buffer stamps it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Default bounded capacity of one job's event timeline.
+pub const TRACE_DEFAULT_CAPACITY: usize = 4096;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Dense per-trace sequence number (0, 1, 2, …); the causal order
+    /// within the job.
+    pub seq: u64,
+    /// Microseconds since the trace was minted (monotonic).
+    pub micros: u64,
+    /// Event kind, e.g. `submitted`, `claimed`, `step`, `cache_hit`,
+    /// `surrogate_screened`, `synth`, `done`.
+    pub kind: String,
+    /// Free-form `key=value` detail (may be empty).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct TraceBuf {
+    id: String,
+    capacity: usize,
+    start: Instant,
+    state: Mutex<TraceState>,
+    cv: Condvar,
+    dropped: AtomicU64,
+}
+
+impl TraceBuf {
+    /// Locks the state, recovering from a poisoned lock (a panicking
+    /// emitter must not take tracing down with it).
+    fn lock(&self) -> MutexGuard<'_, TraceState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record(&self, kind: &str, detail: &str, force: bool) {
+        let mut st = self.lock();
+        if st.closed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if !force && st.events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let seq = st.events.len() as u64;
+        let micros = self.start.elapsed().as_micros() as u64;
+        st.events.push(TraceEvent {
+            seq,
+            micros,
+            kind: kind.to_owned(),
+            detail: detail.to_owned(),
+        });
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// A cloneable handle to one job's trace timeline (or to nothing, for
+/// the disabled default). See the module docs for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCtx {
+    buf: Option<Arc<TraceBuf>>,
+}
+
+impl TraceCtx {
+    /// The disabled context: every operation is one branch and a
+    /// return. Identical to [`TraceCtx::default`].
+    pub fn disabled() -> Self {
+        TraceCtx { buf: None }
+    }
+
+    /// Mints an enabled context with the default capacity.
+    pub fn new(trace_id: &str) -> Self {
+        Self::with_capacity(trace_id, TRACE_DEFAULT_CAPACITY)
+    }
+
+    /// Mints an enabled context recording at most `capacity`
+    /// non-forced events (capacity 0 is clamped to 1).
+    pub fn with_capacity(trace_id: &str, capacity: usize) -> Self {
+        TraceCtx {
+            buf: Some(Arc::new(TraceBuf {
+                id: trace_id.to_owned(),
+                capacity: capacity.max(1),
+                start: Instant::now(),
+                state: Mutex::new(TraceState { events: Vec::new(), closed: false }),
+                cv: Condvar::new(),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Hot emit sites that would
+    /// allocate to format a detail string should branch on this first.
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// The job-scoped trace ID (`None` when disabled).
+    pub fn trace_id(&self) -> Option<&str> {
+        self.buf.as_deref().map(|b| b.id.as_str())
+    }
+
+    /// Appends one event, unless the buffer is at capacity or closed
+    /// (then the drop counter ticks instead). One branch when
+    /// disabled.
+    pub fn emit(&self, kind: &str, detail: &str) {
+        let Some(buf) = &self.buf else { return };
+        buf.record(kind, detail, false);
+    }
+
+    /// Appends one lifecycle event even past capacity (never past
+    /// close), so truncated traces still record how the job ended.
+    pub fn emit_forced(&self, kind: &str, detail: &str) {
+        let Some(buf) = &self.buf else { return };
+        buf.record(kind, detail, true);
+    }
+
+    /// Closes the trace: no further events are recorded and every
+    /// blocked subscriber wakes to observe the end of the stream.
+    pub fn close(&self) {
+        let Some(buf) = &self.buf else { return };
+        let mut st = buf.lock();
+        st.closed = true;
+        drop(st);
+        buf.cv.notify_all();
+    }
+
+    /// Whether [`TraceCtx::close`] has been called (`false` when
+    /// disabled).
+    pub fn is_closed(&self) -> bool {
+        self.buf.as_deref().is_some_and(|b| b.lock().closed)
+    }
+
+    /// Recorded events so far (empty when disabled).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.as_deref().map(|b| b.lock().events.clone()).unwrap_or_default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.buf.as_deref().map(|b| b.lock().events.len()).unwrap_or(0)
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events suppressed by the capacity bound (or emitted after
+    /// close).
+    pub fn dropped(&self) -> u64 {
+        self.buf.as_deref().map(|b| b.dropped.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Live subscription primitive: returns every event with
+    /// `seq >= from_seq` plus the closed flag. When nothing new is
+    /// buffered and the trace is open, blocks up to `timeout` for the
+    /// next emit or close. Returns `None` when disabled.
+    ///
+    /// A streaming loop is `from_seq = 0` then, after each call,
+    /// `from_seq = last.seq + 1` until `closed` comes back true with
+    /// no new events.
+    pub fn events_since(
+        &self,
+        from_seq: u64,
+        timeout: Duration,
+    ) -> Option<(Vec<TraceEvent>, bool)> {
+        let buf = self.buf.as_deref()?;
+        let mut st = buf.lock();
+        if (st.events.len() as u64) <= from_seq && !st.closed {
+            let (guard, _) =
+                buf.cv.wait_timeout(st, timeout).unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+        let from = (from_seq as usize).min(st.events.len());
+        Some((st.events[from..].to_vec(), st.closed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let t = TraceCtx::default();
+        assert!(!t.is_enabled());
+        assert_eq!(t.trace_id(), None);
+        t.emit("step", "n=1");
+        t.emit_forced("done", "");
+        t.close();
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events_since(0, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn seq_is_dense_and_matches_index() {
+        let t = TraceCtx::new("tr-test");
+        assert_eq!(t.trace_id(), Some("tr-test"));
+        for i in 0..10 {
+            t.emit("step", &format!("n={i}"));
+        }
+        let events = t.snapshot();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        // micros never go backwards.
+        assert!(events.windows(2).all(|w| w[0].micros <= w[1].micros));
+    }
+
+    #[test]
+    fn capacity_drops_newest_but_forced_lifecycle_lands() {
+        let t = TraceCtx::with_capacity("tr-cap", 3);
+        for _ in 0..5 {
+            t.emit("step", "");
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        t.emit_forced("done", "");
+        let events = t.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[3].kind, "done");
+        assert_eq!(events[3].seq, 3);
+        // Nothing lands after close, forced or not.
+        t.close();
+        t.emit_forced("late", "");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = TraceCtx::new("tr-shared");
+        let u = t.clone();
+        t.emit("a", "");
+        u.emit("b", "");
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].kind.as_str(), events[1].kind.as_str()), ("a", "b"));
+        assert_eq!(events[1].seq, 1);
+    }
+
+    #[test]
+    fn events_since_streams_in_seq_order_until_close() {
+        let t = TraceCtx::new("tr-stream");
+        t.emit("a", "");
+        t.emit("b", "");
+        let (batch, closed) = t.events_since(0, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(!closed);
+        // Nothing new: times out empty while open.
+        let (empty, closed) = t.events_since(2, Duration::from_millis(1)).unwrap();
+        assert!(empty.is_empty() && !closed);
+        // A blocked subscriber wakes on emit.
+        let u = t.clone();
+        let waiter = std::thread::spawn(move || u.events_since(2, Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        t.emit("c", "");
+        let (batch, _) = waiter.join().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 2);
+        // And on close.
+        let u = t.clone();
+        let waiter = std::thread::spawn(move || u.events_since(3, Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        t.close();
+        let (batch, closed) = waiter.join().unwrap();
+        assert!(batch.is_empty());
+        assert!(closed);
+    }
+
+    #[test]
+    fn stream_prefix_equals_stored_trace() {
+        // The acceptance contract: a live subscriber that follows the
+        // trace to close sees exactly the stored event list.
+        let t = TraceCtx::with_capacity("tr-eq", 8);
+        let producer = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..20 {
+                    t.emit("step", &format!("n={i}"));
+                }
+                t.emit_forced("done", "");
+                t.close();
+            })
+        };
+        let mut streamed = Vec::new();
+        let mut from = 0u64;
+        loop {
+            let (batch, closed) = t.events_since(from, Duration::from_secs(5)).unwrap();
+            if let Some(last) = batch.last() {
+                from = last.seq + 1;
+            }
+            streamed.extend(batch);
+            if closed && t.len() as u64 <= from {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(streamed, t.snapshot());
+    }
+}

@@ -15,6 +15,8 @@
 //! | `/jobs/<id>`             | DELETE      | 200/202 | 400, 404, 409       |
 //! | `/jobs/<id>/result`      | GET         | 200     | 400, 404, 409       |
 //! | `/jobs/<id>/cancel`      | POST        | 200/202 | 400, 404, 409       |
+//! | `/jobs/<id>/trace`       | GET         | 200     | 400, 404            |
+//! | `/jobs/<id>/events`      | GET (chunked stream) | 200 | 400, 404       |
 //!
 //! This file is on the request path and therefore panic-free (the
 //! repo's `panic-path` source lint enforces it); anything unexpected
@@ -23,15 +25,18 @@
 use crate::job::{JobSpec, JobState};
 use crate::json::{json_array, parse_object, JsonBuilder};
 use crate::server::{CancelOutcome, Inner};
-use rlmul_obs::{render_prometheus, Handler, HttpRequest, HttpResponse};
+use crate::trace::render_event;
+use rlmul_obs::{render_prometheus, Handler, HttpRequest, HttpResponse, StreamBody};
+use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builds the daemon's request handler over the shared state.
 pub(crate) fn router(inner: Arc<Inner>) -> Handler {
     Arc::new(move |req| route(&inner, req))
 }
 
-fn route(inner: &Inner, req: &HttpRequest) -> HttpResponse {
+fn route(inner: &Arc<Inner>, req: &HttpRequest) -> HttpResponse {
     let path = req.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
@@ -41,6 +46,7 @@ fn route(inner: &Inner, req: &HttpRequest) -> HttpResponse {
             status: "200 OK",
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: render_prometheus(inner.registry()),
+            stream: None,
         },
         ("POST", ["jobs"]) => submit(inner, &req.body),
         ("GET", ["jobs"]) => list(inner),
@@ -48,6 +54,8 @@ fn route(inner: &Inner, req: &HttpRequest) -> HttpResponse {
         ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(inner, id)),
         ("GET", ["jobs", id, "result"]) => with_id(id, |id| result(inner, id)),
         ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel(inner, id)),
+        ("GET", ["jobs", id, "trace"]) => with_id(id, |id| trace(inner, id)),
+        ("GET", ["jobs", id, "events"]) => with_id(id, |id| events(inner, id)),
         ("GET" | "POST" | "DELETE", _) => error("404 Not Found", "no such route"),
         _ => error("405 Method Not Allowed", "unsupported method"),
     }
@@ -75,6 +83,8 @@ fn index() -> HttpResponse {
         "GET /jobs",
         "GET /jobs/<id>",
         "GET /jobs/<id>/result",
+        "GET /jobs/<id>/trace",
+        "GET /jobs/<id>/events",
         "POST /jobs/<id>/cancel",
         "DELETE /jobs/<id>",
     ];
@@ -168,6 +178,61 @@ fn result(inner: &Inner, id: u64) -> HttpResponse {
             &format!("job {id} is {}, result requires done", record.state.as_str()),
         ),
     }
+}
+
+/// `GET /jobs/<id>/trace` — the job's full structured timeline: the
+/// durable record for terminal jobs, a live snapshot otherwise. Each
+/// element of `events` is byte-identical to the corresponding
+/// `/events` stream line.
+fn trace(inner: &Inner, id: u64) -> HttpResponse {
+    match inner.trace_snapshot(id) {
+        Some(record) => HttpResponse::json("200 OK", record.render()),
+        None => error("404 Not Found", &format!("no job {id}")),
+    }
+}
+
+/// `GET /jobs/<id>/events` — the job's event timeline as a chunked
+/// live stream, one JSON object per line. Events already recorded
+/// arrive immediately; the stream then follows the job until its
+/// trace closes at the terminal transition (or the daemon drains).
+/// For jobs recovered already-terminal the durable trace streams in
+/// full and the stream ends.
+fn events(inner: &Arc<Inner>, id: u64) -> HttpResponse {
+    let Some((ctx, stored)) = inner.trace_stream(id) else {
+        return error("404 Not Found", &format!("no job {id}"));
+    };
+    let shutdown_probe = Arc::clone(inner);
+    let stream: StreamBody = Arc::new(move |w: &mut dyn Write| {
+        if let Some(record) = &stored {
+            for e in &record.events {
+                w.write_all(render_event(&record.trace_id, e).as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            return Ok(());
+        }
+        let trace_id = ctx.trace_id().unwrap_or_default().to_string();
+        let mut from = 0u64;
+        loop {
+            // The wait is bounded so a drain (which leaves running
+            // jobs' traces open for the next daemon) still ends the
+            // stream promptly.
+            let Some((batch, closed)) = ctx.events_since(from, Duration::from_millis(500)) else {
+                return Ok(()); // disabled context: nothing to stream
+            };
+            if let Some(last) = batch.last() {
+                from = last.seq + 1;
+            }
+            for e in &batch {
+                w.write_all(render_event(&trace_id, e).as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            if batch.is_empty() && (closed || shutdown_probe.is_shutting_down()) {
+                return Ok(());
+            }
+            w.flush()?;
+        }
+    });
+    HttpResponse::streaming("200 OK", "application/jsonl", stream)
 }
 
 /// `POST /jobs/<id>/cancel` and `DELETE /jobs/<id>` — cancellation.

@@ -98,7 +98,8 @@ impl JsonObject {
 /// Parses one JSON object (UTF-8 bytes). Scalar fields become typed
 /// [`JsonValue`]s; nested objects and arrays are captured verbatim as
 /// [`JsonValue::Raw`] — deep enough for every body this API sends or
-/// receives.
+/// receives. Duplicate keys are rejected (a duplicate would make
+/// accessors answer from an attacker-chosen copy).
 ///
 /// # Errors
 ///
@@ -119,6 +120,12 @@ pub fn parse_object(bytes: &[u8]) -> Result<JsonObject, String> {
             p.eat(b':')?;
             p.skip_ws();
             let value = p.value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                // Accepting duplicates would make `get` answer from
+                // whichever copy it scans first — a classic
+                // request-smuggling foothold. Reject loudly instead.
+                return Err(format!("duplicate key `{key}`"));
+            }
             fields.push((key, value));
             p.skip_ws();
             if p.peek_is(b',') {
@@ -135,6 +142,47 @@ pub fn parse_object(bytes: &[u8]) -> Result<JsonObject, String> {
         return Err("trailing characters after object".into());
     }
     Ok(JsonObject { fields })
+}
+
+/// Parses a JSON array of objects — the shape of the `/jobs` listing
+/// and of a stored trace's `events` field. Each element goes through
+/// [`parse_object`], so element-level guarantees (typed scalars,
+/// duplicate-key rejection) hold here too.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem.
+pub fn parse_object_array(text: &str) -> Result<Vec<JsonObject>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.eat(b'[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if !p.peek_is(b']') {
+        loop {
+            p.skip_ws();
+            if !p.peek_is(b'{') {
+                return Err(format!("array element at byte {} is not an object", p.pos));
+            }
+            match p.raw_nested(b'{', b'}')? {
+                JsonValue::Raw(obj) => out.push(parse_object(obj.as_bytes())?),
+                _ => return Err("array element is not an object".into()),
+            }
+            p.skip_ws();
+            if p.peek_is(b',') {
+                p.pos += 1;
+                continue;
+            }
+            break;
+        }
+    }
+    p.skip_ws();
+    p.eat(b']')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after array".into());
+    }
+    Ok(out)
 }
 
 struct Parser<'a> {
@@ -444,6 +492,18 @@ mod tests {
             .bool("ok", true)
             .build();
         assert_eq!(body, r#"{"jobs":[{"id":1}],"p50":0.5,"bad":null,"ok":true}"#);
+    }
+
+    #[test]
+    fn object_arrays_parse_per_element() {
+        let rows = parse_object_array(r#"[{"seq":0,"kind":"a"},{"seq":1,"kind":"b"}]"#).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get_u64("seq"), Some(0));
+        assert_eq!(rows[1].get_str("kind"), Some("b"));
+        assert!(parse_object_array("[]").unwrap().is_empty());
+        assert!(parse_object_array(r#"[{"a":1},2]"#).is_err(), "non-object element");
+        assert!(parse_object_array(r#"[{"a":1}"#).is_err(), "unterminated array");
+        assert!(parse_object_array(r#"[{"a":1,"a":2}]"#).is_err(), "duplicate key in element");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`api`] — the HTTP route table (documented route-by-route in
 //!   DESIGN.md §16);
 //! * [`json`] — the dependency-free flat JSON codec the API speaks;
+//! * [`trace`] — durable per-job traces: the persisted record and the
+//!   rendering shared by `GET /jobs/:id/trace` and the live
+//!   `GET /jobs/:id/events` stream;
 //! * [`loadtest`] — the synthetic-client load harness behind `rlmul
 //!   loadtest` and `bench_serve`.
 //!
@@ -56,8 +59,10 @@ pub mod json;
 pub mod loadtest;
 pub mod queue;
 pub mod server;
+pub mod trace;
 
 pub use job::{JobRecord, JobResult, JobSpec, JobState, Method, Pref, JOB_RECORD_KIND};
-pub use loadtest::{run_loadtest, LoadReport, LoadtestConfig};
+pub use loadtest::{percentile, run_loadtest, HttpClient, LoadReport, LoadtestConfig};
 pub use queue::JobQueue;
 pub use server::{ServeConfig, Server};
+pub use trace::{render_event, TraceRecord, TRACE_RECORD_KIND};

@@ -67,6 +67,23 @@ pub struct LatencySummary {
     pub count: usize,
 }
 
+/// Nearest-rank (ceil) percentile over an **ascending-sorted**
+/// sample: the smallest observation such that at least `q` of the
+/// population is ≤ it. Safe for any population size — including the
+/// tiny ones a short harness run produces, where `N = 1` must return
+/// the single observation for every quantile (a naive
+/// `q * N as usize` index computes rank 0 and either panics or reads
+/// the wrong element).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // ceil(q·N) is in [1, N] for q in (0, 1]; the clamp additionally
+    // covers q = 0 (rank 0) and float rounding at either edge.
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 impl LatencySummary {
     /// Summarizes a population of millisecond samples (all zeros for
     /// an empty one).
@@ -75,14 +92,10 @@ impl LatencySummary {
             return LatencySummary::default();
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pick = |q: f64| {
-            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-            samples[rank - 1]
-        };
         LatencySummary {
-            p50_ms: pick(0.50),
-            p95_ms: pick(0.95),
-            p99_ms: pick(0.99),
+            p50_ms: percentile(&samples, 0.50),
+            p95_ms: percentile(&samples, 0.95),
+            p99_ms: percentile(&samples, 0.99),
             max_ms: samples[samples.len() - 1],
             count: samples.len(),
         }
@@ -123,6 +136,10 @@ pub struct LoadReport {
     pub status: LatencySummary,
     /// Submission → first terminal observation.
     pub end_to_end: LatencySummary,
+    /// TCP connections the clients opened.
+    pub conns_opened: usize,
+    /// Requests served over an already-open (kept-alive) connection.
+    pub conns_reused: usize,
 }
 
 impl LoadReport {
@@ -145,6 +162,8 @@ impl LoadReport {
             .u64("errors", self.errors as u64)
             .f64("elapsed_secs", self.elapsed_secs)
             .f64("jobs_per_sec", self.jobs_per_sec)
+            .u64("conns_opened", self.conns_opened as u64)
+            .u64("conns_reused", self.conns_reused as u64)
             .raw("submit", &self.submit.render())
             .raw("status", &self.status.render())
             .raw("end_to_end", &self.end_to_end.render())
@@ -178,6 +197,110 @@ pub fn http_call(addr: &str, method: &str, path: &str, body: &str) -> io::Result
     Ok((code, payload))
 }
 
+/// A persistent HTTP/1.1 client: sends `Connection: keep-alive` and
+/// reuses one TCP connection across sequential requests, reconnecting
+/// transparently when the server closes it (the server bounds reuse
+/// at 64 requests per connection). Responses are framed by
+/// `Content-Length`, so the client never has to read to EOF.
+pub struct HttpClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    /// TCP connections opened over the client's lifetime.
+    pub conns_opened: usize,
+    /// Requests served over an already-open connection.
+    pub conns_reused: usize,
+}
+
+impl HttpClient {
+    /// A client for the daemon at `addr`; connects lazily.
+    pub fn new(addr: &str) -> Self {
+        HttpClient { addr: addr.to_string(), stream: None, conns_opened: 0, conns_reused: 0 }
+    }
+
+    /// One request/response exchange, reusing the open connection
+    /// when possible. A send failure on a reused connection (the
+    /// server closed it between requests) retries once on a fresh
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a response without a parsable status
+    /// line.
+    pub fn call(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        if self.stream.is_some() {
+            match self.exchange(method, path, body) {
+                Ok(answer) => {
+                    self.conns_reused += 1;
+                    return Ok(answer);
+                }
+                Err(_) => self.stream = None, // stale connection; retry fresh
+            }
+        }
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        self.stream = Some(stream);
+        self.conns_opened += 1;
+        self.exchange(method, path, body).inspect_err(|_| self.stream = None)
+    }
+
+    /// Writes one request and reads one `Content-Length`-framed
+    /// response on the currently open connection.
+    fn exchange(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no connection"))?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: loadtest\r\nConnection: keep-alive\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        let (head, payload) = read_framed_response(stream)?;
+        let code: u16 = head
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.split(' ').next())
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status line"))?;
+        if !header_value(&head, "connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        {
+            self.stream = None; // server asked to close; honor it
+        }
+        Ok((code, payload))
+    }
+}
+
+/// Reads one response head plus its `Content-Length` body, leaving the
+/// connection positioned at the next response.
+fn read_framed_response(stream: &mut TcpStream) -> io::Result<(String, String)> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        if buf.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+        }
+        stream.read_exact(&mut byte)?;
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&buf).into_owned();
+    let len: usize = header_value(&head, "content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no content-length"))?;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((head, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// The value of the first `name:` header in `head` (case-insensitive
+/// name), trimmed.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
 /// Per-client measurement bundle, merged by the harness.
 #[derive(Debug, Default)]
 struct ClientStats {
@@ -186,6 +309,8 @@ struct ClientStats {
     cancelled: usize,
     failed: usize,
     errors: usize,
+    conns_opened: usize,
+    conns_reused: usize,
     submit_ms: Vec<f64>,
     status_ms: Vec<f64>,
     e2e_ms: Vec<f64>,
@@ -215,6 +340,8 @@ pub fn run_loadtest(cfg: &LoadtestConfig) -> io::Result<LoadReport> {
             merged.cancelled += stats.cancelled;
             merged.failed += stats.failed;
             merged.errors += stats.errors;
+            merged.conns_opened += stats.conns_opened;
+            merged.conns_reused += stats.conns_reused;
             merged.submit_ms.extend(stats.submit_ms);
             merged.status_ms.extend(stats.status_ms);
             merged.e2e_ms.extend(stats.e2e_ms);
@@ -235,11 +362,14 @@ pub fn run_loadtest(cfg: &LoadtestConfig) -> io::Result<LoadReport> {
         submit: LatencySummary::of(merged.submit_ms),
         status: LatencySummary::of(merged.status_ms),
         end_to_end: LatencySummary::of(merged.e2e_ms),
+        conns_opened: merged.conns_opened,
+        conns_reused: merged.conns_reused,
     })
 }
 
 fn run_client(cfg: &LoadtestConfig, client: usize) -> ClientStats {
     let mut stats = ClientStats::default();
+    let mut http = HttpClient::new(&cfg.addr);
     for j in 0..cfg.jobs_per_client {
         let body = JsonBuilder::new()
             .u64("bits", cfg.bits as u64)
@@ -251,7 +381,7 @@ fn run_client(cfg: &LoadtestConfig, client: usize) -> ClientStats {
             .u64("priority", (j % 3) as u64)
             .build();
         let t0 = Instant::now();
-        let id = match http_call(&cfg.addr, "POST", "/jobs", &body) {
+        let id = match http.call("POST", "/jobs", &body) {
             Ok((201, payload)) => {
                 match parse_object(payload.as_bytes()).ok().and_then(|o| o.get_u64("id")) {
                     Some(id) => id,
@@ -272,7 +402,7 @@ fn run_client(cfg: &LoadtestConfig, client: usize) -> ClientStats {
         if cfg.cancel_every > 0 && (j + 1) % cfg.cancel_every == 0 {
             // 200 (still queued), 202 (running) and 409 (already
             // terminal) are all legitimate outcomes of a racy cancel.
-            match http_call(&cfg.addr, "POST", &format!("/jobs/{id}/cancel"), "") {
+            match http.call("POST", &format!("/jobs/{id}/cancel"), "") {
                 Ok((200 | 202 | 409, _)) => {}
                 _ => stats.errors += 1,
             }
@@ -286,7 +416,7 @@ fn run_client(cfg: &LoadtestConfig, client: usize) -> ClientStats {
                 break;
             }
             let tq = Instant::now();
-            let state = match http_call(&cfg.addr, "GET", &format!("/jobs/{id}"), "") {
+            let state = match http.call("GET", &format!("/jobs/{id}"), "") {
                 Ok((200, payload)) => parse_object(payload.as_bytes())
                     .ok()
                     .and_then(|o| o.get_str("state").map(str::to_owned)),
@@ -313,6 +443,8 @@ fn run_client(cfg: &LoadtestConfig, client: usize) -> ClientStats {
             }
         }
     }
+    stats.conns_opened = http.conns_opened;
+    stats.conns_reused = http.conns_reused;
     stats
 }
 
@@ -334,6 +466,25 @@ mod tests {
     }
 
     #[test]
+    fn percentile_handles_tiny_samples() {
+        // N = 1: every quantile is the single observation — the whole
+        // point of the ceil-rank clamp.
+        for q in [0.0, 0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), 42.0, "q = {q}");
+        }
+        // N = 2: p50 is the first element (ceil(1.0) = 1), the upper
+        // quantiles the second.
+        assert_eq!(percentile(&[1.0, 2.0], 0.50), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.95), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.99), 2.0);
+        // N = 3: ceil-rank picks 2nd/3rd/3rd.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.50), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.95), 3.0);
+        // Empty population degrades to zero, never an index panic.
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
     fn report_renders_valid_flatish_json() {
         let report = LoadReport {
             submitted: 8,
@@ -346,11 +497,15 @@ mod tests {
             submit: LatencySummary::of(vec![1.0, 2.0]),
             status: LatencySummary::of(vec![0.5]),
             end_to_end: LatencySummary::of(vec![100.0, 200.0]),
+            conns_opened: 4,
+            conns_reused: 28,
         };
         let body = report.render_json(&LoadtestConfig::default());
         assert!(body.contains("\"bench\":\"serve\""), "{body}");
         assert!(body.contains("\"jobs_per_sec\":"), "{body}");
         assert!(body.contains("\"p95_ms\":"), "{body}");
         assert!(body.contains("\"submitted\":8"), "{body}");
+        assert!(body.contains("\"conns_opened\":4"), "{body}");
+        assert!(body.contains("\"conns_reused\":28"), "{body}");
     }
 }

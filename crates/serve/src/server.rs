@@ -8,7 +8,7 @@
 //! each of which parses/answers one connection at a time through the
 //! shared `rlmul-obs` wire functions. `workers` job threads
 //! (`serve-worker-N`) block on the [`JobQueue`] and run one
-//! optimization each. All coordination state lives in [`Inner`]
+//! optimization each. All coordination state lives in `Inner`
 //! behind `rlmul-check` facade primitives.
 //!
 //! # Lock ordering
@@ -35,6 +35,7 @@
 
 use crate::job::{JobRecord, JobResult, JobSpec, JobState, Method, JOB_RECORD_KIND};
 use crate::queue::JobQueue;
+use crate::trace::{TraceRecord, TRACE_RECORD_KIND};
 use rlmul_baselines::SaConfig;
 use rlmul_check::sync::{channel, spawn_named, JoinHandle, Mutex, Receiver, RwLock};
 use rlmul_ckpt::{read_snapshot, write_snapshot, SnapshotStore};
@@ -42,7 +43,7 @@ use rlmul_core::{
     resume_dqn_cached, run_sa_with, train_a2c_with, train_dqn_with, A2cConfig, DqnConfig,
     EnvConfig, EvalCache, MulEnv, OptimizationOutcome, RlMulError, TrainHooks,
 };
-use rlmul_obs::{handle_connection, Counter, Gauge, Histo, Registry};
+use rlmul_obs::{handle_connection, Counter, Gauge, Histo, Registry, TraceCtx};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -92,6 +93,14 @@ pub(crate) enum CancelOutcome {
     Unknown,
 }
 
+/// The job-scoped trace ID: `tr-<id:08>.<epoch>`, where the epoch is
+/// the job's resume count — a daemon restart that re-adopts a job
+/// starts a fresh trace under the next epoch, so IDs stay unique
+/// across recoveries while remaining deterministic.
+pub(crate) fn trace_id_for(id: u64, epoch: u32) -> String {
+    format!("tr-{id:08}.{epoch}")
+}
+
 /// Live bookkeeping for one job: the authoritative record plus the
 /// flags shared with its (possible) worker thread.
 #[derive(Debug)]
@@ -106,15 +115,32 @@ pub(crate) struct JobEntry {
     cancelled: Arc<AtomicBool>,
     /// Live step counter published by the driver via `TrainHooks`.
     progress: Arc<AtomicUsize>,
+    /// The job's live trace timeline; disabled for jobs recovered
+    /// already-terminal (their timeline lives in `stored_trace`).
+    trace: TraceCtx,
+    /// The durable trace, frozen and persisted at the terminal
+    /// transition (or loaded from disk by recovery).
+    stored_trace: Option<TraceRecord>,
+    /// When the job (re-)entered the queue; start of the queue-wait
+    /// interval observed at worker claim.
+    enqueued_at: Instant,
 }
 
 impl JobEntry {
     fn new(record: JobRecord) -> Self {
+        let trace = if record.state.is_terminal() {
+            TraceCtx::disabled()
+        } else {
+            TraceCtx::new(&trace_id_for(record.id, record.resumes))
+        };
         JobEntry {
             record,
             stop: Arc::new(AtomicBool::new(false)),
             cancelled: Arc::new(AtomicBool::new(false)),
             progress: Arc::new(AtomicUsize::new(0)),
+            trace,
+            stored_trace: None,
+            enqueued_at: Instant::now(),
         }
     }
 
@@ -199,6 +225,65 @@ impl Inner {
         }
     }
 
+    /// Persists a frozen trace next to its job record
+    /// (`jobs/trace-<id>.ckpt`). Same atomic path, same
+    /// called-under-the-table-lock discipline as [`Inner::persist`].
+    fn persist_trace(&self, record: &TraceRecord) {
+        let path = self.cfg.dir.join("jobs").join(format!("trace-{:08}.ckpt", record.job_id));
+        if let Err(e) = write_snapshot(path, TRACE_RECORD_KIND, record) {
+            eprintln!("rlmul-serve: persisting trace for job {} failed: {e}", record.job_id);
+        }
+    }
+
+    /// Seals a job's trace at its terminal transition: records the
+    /// final lifecycle event, closes the timeline (waking every live
+    /// subscriber), freezes it into a [`TraceRecord`] and persists it
+    /// durably. Also settles the per-tenant metric families. Called
+    /// with the table lock held, right after the state transition
+    /// persisted.
+    fn finish_job(&self, entry: &mut JobEntry, kind: &str, detail: &str) {
+        entry.trace.emit_forced(kind, detail);
+        entry.trace.close();
+        let frozen = TraceRecord::from_ctx(entry.record.id, &entry.trace);
+        self.persist_trace(&frozen);
+        entry.stored_trace = Some(frozen);
+        let tenant = entry.record.spec.tenant.as_str();
+        self.tenant_active(tenant).add(-1.0);
+        self.tenant_terminal(tenant, entry.record.state.as_str()).inc();
+    }
+
+    /// Per-tenant gauge of jobs currently queued or running.
+    fn tenant_active(&self, tenant: &str) -> Gauge {
+        self.registry.labeled_gauge(
+            "rlmul_serve_tenant_active_jobs",
+            "Jobs currently queued or running, by tenant.",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-tenant, per-terminal-state counter of transitions observed
+    /// by this daemon process (recovery replays of already-terminal
+    /// records do not count).
+    fn tenant_terminal(&self, tenant: &str, state: &str) -> Counter {
+        self.registry.labeled_counter(
+            "rlmul_serve_tenant_jobs_terminal_total",
+            "Terminal job transitions observed, by tenant and state.",
+            &[("tenant", tenant), ("state", state)],
+        )
+    }
+
+    /// Per-priority-class queue-wait histogram, observed at worker
+    /// claim (submission or recovery requeue → claim).
+    fn observe_queue_wait(&self, priority: u8, secs: f64) {
+        self.registry
+            .labeled_histogram(
+                "rlmul_serve_queue_wait_seconds",
+                "Queue wait from enqueue to worker claim, by priority class.",
+                &[("priority", &priority.to_string())],
+            )
+            .observe(secs);
+    }
+
     /// Accepts a job: assigns an id, persists the `Queued` record and
     /// enqueues it. Returns `(id, created)`; `created` is `false`
     /// when `(tenant, idempotency_key)` matched an existing job,
@@ -224,7 +309,14 @@ impl Inner {
         let record = JobRecord::new(id, spec);
         self.persist(&record);
         let priority = record.spec.priority;
-        table.insert(id, JobEntry::new(record));
+        let entry = JobEntry::new(record);
+        entry.trace.emit_forced(
+            "submitted",
+            &format!("tenant={} priority={priority}", entry.record.spec.tenant),
+        );
+        entry.trace.emit_forced("queued", &format!("depth={}", self.queue.len() + 1));
+        self.tenant_active(&entry.record.spec.tenant).add(1.0);
+        table.insert(id, entry);
         self.queue.push(priority, id, id);
         self.metrics.jobs_submitted.inc();
         self.metrics.queue_depth.set(self.queue.len() as f64);
@@ -240,6 +332,29 @@ impl Inner {
     /// Every job's record plus live progress, in id order.
     pub(crate) fn list_jobs(&self) -> Vec<(JobRecord, usize)> {
         self.table.read().values().map(|e| (e.record.clone(), e.progress())).collect()
+    }
+
+    /// One job's trace as a frozen record: the durable store for
+    /// terminal jobs, a live snapshot otherwise. `None` for unknown
+    /// ids.
+    pub(crate) fn trace_snapshot(&self, id: u64) -> Option<TraceRecord> {
+        let table = self.table.read();
+        let e = table.get(&id)?;
+        Some(match &e.stored_trace {
+            Some(stored) => stored.clone(),
+            None => TraceRecord::from_ctx(id, &e.trace),
+        })
+    }
+
+    /// Stream source for `GET /jobs/:id/events`: the live context
+    /// (subscribable; closed-but-complete for jobs that finished in
+    /// this process) plus the durable record for jobs recovered
+    /// already-terminal, whose context is disabled. `None` for
+    /// unknown ids.
+    pub(crate) fn trace_stream(&self, id: u64) -> Option<(TraceCtx, Option<TraceRecord>)> {
+        let table = self.table.read();
+        let e = table.get(&id)?;
+        Some((e.trace.clone(), e.stored_trace.clone()))
     }
 
     /// Cancels a job (see [`CancelOutcome`]). Queued jobs become
@@ -263,6 +378,7 @@ impl Inner {
                     return CancelOutcome::Terminal(entry.record.state);
                 }
                 self.persist(&entry.record);
+                self.finish_job(entry, "cancelled", "while queued");
                 self.metrics.jobs_cancelled.inc();
                 self.metrics.queue_depth.set(self.queue.len() as f64);
                 CancelOutcome::WhileQueued
@@ -270,6 +386,7 @@ impl Inner {
             JobState::Running => {
                 entry.cancelled.store(true, Ordering::Relaxed);
                 entry.stop.store(true, Ordering::Relaxed);
+                entry.trace.emit_forced("cancel_requested", "cooperative stop raised");
                 CancelOutcome::WhileRunning
             }
             terminal => CancelOutcome::Terminal(terminal),
@@ -280,7 +397,7 @@ impl Inner {
     fn run_job(self: &Arc<Self>, id: u64) {
         // Claim: Queued → Running. A cancel that won the race leaves
         // the record terminal and the claim refuses.
-        let (spec, stop, cancelled, progress) = {
+        let (spec, stop, cancelled, progress, trace, waited) = {
             let mut table = self.table.write();
             let Some(entry) = table.get_mut(&id) else { return };
             if entry.record.transition(JobState::Running, false).is_err() {
@@ -288,15 +405,22 @@ impl Inner {
             }
             self.persist(&entry.record);
             self.metrics.queue_depth.set(self.queue.len() as f64);
+            let waited = entry.enqueued_at.elapsed().as_secs_f64();
+            entry
+                .trace
+                .emit_forced("claimed", &format!("wait_ms={}", (waited * 1e3).round() as u64));
             (
                 entry.record.spec.clone(),
                 Arc::clone(&entry.stop),
                 Arc::clone(&entry.cancelled),
                 Arc::clone(&entry.progress),
+                entry.trace.clone(),
+                waited,
             )
         };
+        self.observe_queue_wait(spec.priority, waited);
 
-        let outcome = self.execute(id, &spec, &stop, &progress);
+        let outcome = self.execute(id, &spec, &stop, &progress, &trace);
 
         let mut table = self.table.write();
         let Some(entry) = table.get_mut(&id) else { return };
@@ -304,22 +428,29 @@ impl Inner {
             Ok(out) => {
                 let result = summarize(&out);
                 if cancelled.load(Ordering::Relaxed) {
+                    let detail = format!("steps_done={}", result.steps_done);
                     entry.record.result = Some(result);
                     if entry.record.transition(JobState::Cancelled, false).is_ok() {
                         self.metrics.jobs_cancelled.inc();
                         self.persist(&entry.record);
+                        self.finish_job(entry, "cancelled", &detail);
                     }
                 } else if self.is_shutting_down() {
                     // Drain stop, not user intent: leave the record
                     // `Running` on disk. The driver rolled its final
                     // snapshot on the stop flag; the next start takes
-                    // the recovery edge and resumes.
+                    // the recovery edge and resumes. The open trace is
+                    // in-memory only — the resumed run starts a fresh
+                    // epoch.
                     entry.progress.store(result.steps_done, Ordering::Relaxed);
                 } else {
+                    let detail =
+                        format!("best_cost={} steps_done={}", result.best_cost, result.steps_done);
                     entry.record.result = Some(result);
                     if entry.record.transition(JobState::Done, false).is_ok() {
                         self.metrics.jobs_done.inc();
                         self.persist(&entry.record);
+                        self.finish_job(entry, "done", &detail);
                     }
                 }
             }
@@ -328,6 +459,8 @@ impl Inner {
                 if entry.record.transition(JobState::Failed, false).is_ok() {
                     self.metrics.jobs_failed.inc();
                     self.persist(&entry.record);
+                    let detail = entry.record.error.clone().unwrap_or_default();
+                    self.finish_job(entry, "failed", &detail);
                 }
             }
         }
@@ -342,6 +475,7 @@ impl Inner {
         spec: &JobSpec,
         stop: &Arc<AtomicBool>,
         progress: &Arc<AtomicUsize>,
+        trace: &TraceCtx,
     ) -> Result<OptimizationOutcome, RlMulError> {
         let mut env_cfg = EnvConfig::new(spec.bits, spec.kind);
         env_cfg.weights = spec.pref.weights();
@@ -352,6 +486,7 @@ impl Inner {
             checkpoint_every: spec.ckpt_every,
             stop: Some(Arc::clone(stop)),
             progress: Some(Arc::clone(progress)),
+            trace: trace.clone(),
             ..Default::default()
         };
         let cache = self.cache.clone();
@@ -556,6 +691,11 @@ impl Inner {
             if path.extension().is_none_or(|e| e != "ckpt") {
                 continue;
             }
+            // Trace records share the directory under `trace-*.ckpt`;
+            // they are loaded per terminal job below, not replayed.
+            if path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("trace-")) {
+                continue;
+            }
             match read_snapshot::<JobRecord, _>(&path, JOB_RECORD_KIND) {
                 Ok(record) => records.push(record),
                 Err(e) => {
@@ -596,7 +736,22 @@ impl Inner {
                 _ => false,
             };
             let priority = record.spec.priority;
-            table.insert(id, JobEntry::new(record));
+            let mut entry = JobEntry::new(record);
+            if entry.record.state.is_terminal() {
+                // Re-attach the durable trace; a missing or unreadable
+                // file leaves the timeline empty rather than failing
+                // recovery.
+                let trace_path = jobs_dir.join(format!("trace-{id:08}.ckpt"));
+                entry.stored_trace =
+                    read_snapshot::<TraceRecord, _>(&trace_path, TRACE_RECORD_KIND).ok();
+            } else {
+                self.tenant_active(&entry.record.spec.tenant).add(1.0);
+                entry.trace.emit_forced(
+                    "recovered",
+                    &format!("epoch={} state=queued", entry.record.resumes),
+                );
+            }
+            table.insert(id, entry);
             if requeue {
                 self.queue.push(priority, id, id);
             }

@@ -85,6 +85,20 @@ impl Event {
         Event { kind: kind.to_owned(), fields: Vec::new() }
     }
 
+    /// The canonical JSONL mirror of one per-job trace event: a
+    /// `trace` record carrying the job's trace ID, the event's dense
+    /// sequence number, microseconds since the trace started, and the
+    /// kind/detail pair. Field order is fixed so stored traces and
+    /// their JSONL mirrors diff cleanly.
+    pub fn trace(trace_id: &str, seq: u64, micros: u64, kind: &str, detail: &str) -> Self {
+        Event::new("trace")
+            .with("trace_id", trace_id)
+            .with("seq", seq)
+            .with("micros", micros)
+            .with("kind", kind)
+            .with("detail", detail)
+    }
+
     /// Builder-style field append.
     #[must_use]
     pub fn with<V: Into<Value>>(mut self, key: &str, value: V) -> Self {

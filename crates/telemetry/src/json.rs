@@ -297,6 +297,17 @@ mod tests {
     }
 
     #[test]
+    fn trace_events_round_trip_with_fixed_field_order() {
+        let e = Event::trace("tr-00000007.0", 3, 1250, "cache_hit", "context=00ff");
+        let line = to_json(&e);
+        assert_eq!(
+            line,
+            r#"{"ev":"trace","trace_id":"tr-00000007.0","seq":3,"micros":1250,"kind":"cache_hit","detail":"context=00ff"}"#
+        );
+        assert_eq!(parse_json(&line).unwrap(), e);
+    }
+
+    #[test]
     fn escapes_round_trip() {
         let e = Event::new("note").with("text", "a \"quoted\"\\path\nwith\tcontrol\u{1}");
         let back = parse_json(&to_json(&e)).unwrap();

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(&opts),
         "serve" => cmd_serve(&opts),
         "loadtest" => cmd_loadtest(&opts),
+        "trace" => cmd_trace(&tokens, &opts),
         "serve-metrics" => cmd_serve_metrics(&tokens, &opts),
         "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
@@ -104,6 +105,8 @@ COMMANDS
             see DESIGN.md §16); Ctrl-C drains and persists all jobs
   loadtest  hammer a running job server with synthetic clients and
             report throughput plus p50/p95/p99 latency
+  trace     fetch one job's event timeline from a running job server
+            and render it as a table plus flamegraph-ready stacks
   serve-metrics  replay a JSONL log onto a Prometheus /metrics endpoint
   profile   run a short instrumented search and print its span tree
             plus flamegraph-ready collapsed stacks
@@ -185,6 +188,14 @@ LOADTEST OPTIONS
   --cancel-every N  cancel every Nth job per client (default 3;
                     0 = never cancel)
   --out PATH        also write the JSON report to PATH
+
+TRACE USAGE
+  rlmul trace JOB_ID [--addr 127.0.0.1:7171] [--out PATH]
+                    fetch GET /jobs/JOB_ID/trace and print the event
+                    timeline (seq, relative time, duration, kind,
+                    detail) plus a per-kind span summary; --out writes
+                    the collapsed stacks (`trace;kind <µs>` lines,
+                    ready for inferno-flamegraph) to PATH
 
 SERVE-METRICS USAGE
   rlmul serve-metrics RUN.jsonl [--metrics-addr 127.0.0.1:9090]
@@ -527,6 +538,96 @@ fn cmd_loadtest(opts: &HashMap<String, String>) -> CliResult {
     println!("{rendered}");
     if report.errors > 0 {
         return Err(format!("loadtest finished with {} client error(s)", report.errors).into());
+    }
+    Ok(())
+}
+
+/// Fetches one job's trace from a running job server and reconstructs
+/// where its time went: first the raw event timeline (seq, time since
+/// the first event, time until the next one, kind, detail), then the
+/// per-kind span summary and flamegraph-ready collapsed stacks
+/// rendered through the same `obs::flame` machinery `rlmul profile`
+/// uses. Each event's duration is the gap to the next event — the
+/// phase the event opened.
+fn cmd_trace(tokens: &[String], opts: &HashMap<String, String>) -> CliResult {
+    use rlmul::obs::SpanStat;
+    use rlmul::serve::json::{parse_object, parse_object_array, JsonValue};
+
+    let id: u64 = tokens
+        .iter()
+        .find(|t| !t.starts_with("--"))
+        .and_then(|t| t.parse().ok())
+        .ok_or("usage: rlmul trace JOB_ID [--addr ADDR] [--out PATH]")?;
+    let default_addr = "127.0.0.1:7171".to_owned();
+    let addr = opts.get("addr").filter(|a| !a.is_empty()).unwrap_or(&default_addr);
+    let (code, body) =
+        rlmul::serve::loadtest::http_call(addr, "GET", &format!("/jobs/{id}/trace"), "")?;
+    if code != 200 {
+        return Err(format!("GET /jobs/{id}/trace answered {code}: {}", body.trim()).into());
+    }
+    let record = parse_object(body.as_bytes()).map_err(|e| format!("bad trace body: {e}"))?;
+    let trace_id = record.get_str("trace_id").unwrap_or("?").to_owned();
+    let dropped = record.get_u64("dropped").unwrap_or(0);
+    let events = match record.get("events") {
+        Some(JsonValue::Raw(raw)) => {
+            parse_object_array(raw).map_err(|e| format!("bad events array: {e}"))?
+        }
+        _ => Vec::new(),
+    };
+
+    println!("trace {trace_id} — job {id}, {} event(s), {dropped} dropped", events.len());
+    if events.is_empty() {
+        return Ok(());
+    }
+    let micros_of = |o: &rlmul::serve::json::JsonObject| o.get_u64("micros").unwrap_or(0);
+    let t0 = micros_of(&events[0]);
+    println!("{:>5} {:>10} {:>10}  {:<20} detail", "seq", "t+ms", "dur_ms", "kind");
+    for (i, e) in events.iter().enumerate() {
+        let micros = micros_of(e);
+        let dur = events.get(i + 1).map_or(0, |n| micros_of(n).saturating_sub(micros));
+        println!(
+            "{:>5} {:>10.3} {:>10.3}  {:<20} {}",
+            e.get_u64("seq").unwrap_or(i as u64),
+            micros.saturating_sub(t0) as f64 / 1e3,
+            dur as f64 / 1e3,
+            e.get_str("kind").unwrap_or("?"),
+            e.get_str("detail").unwrap_or(""),
+        );
+    }
+
+    // Aggregate per kind under a root span named after the trace, so
+    // the collapsed lines stack into one flame per job.
+    let total = micros_of(&events[events.len() - 1]).saturating_sub(t0);
+    let mut by_kind: Vec<SpanStat> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let kind = e.get_str("kind").unwrap_or("?");
+        let dur_ns =
+            events.get(i + 1).map_or(0, |n| micros_of(n).saturating_sub(micros_of(e))) * 1_000;
+        let path = format!("{trace_id};{kind}");
+        match by_kind.iter_mut().find(|s| s.path == path) {
+            Some(s) => {
+                s.calls += 1;
+                s.incl_ns += dur_ns;
+                s.excl_ns += dur_ns;
+            }
+            None => by_kind.push(SpanStat { path, calls: 1, incl_ns: dur_ns, excl_ns: dur_ns }),
+        }
+    }
+    let mut stats =
+        vec![SpanStat { path: trace_id.clone(), calls: 1, incl_ns: total * 1_000, excl_ns: 0 }];
+    stats.extend(by_kind);
+    println!();
+    print!("{}", rlmul::obs::render_span_tree(&stats));
+    let collapsed = rlmul::obs::collapsed_from(&stats);
+    match opts.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &collapsed)?;
+            println!("wrote {} collapsed-stack lines to {path}", collapsed.lines().count());
+        }
+        _ => {
+            println!();
+            print!("{collapsed}");
+        }
     }
     Ok(())
 }

@@ -147,6 +147,9 @@ fn kill_minus_nine_resumes_without_repeating_finished_work() {
     assert_eq!(code, 201, "{done_payload}");
     let id_a = field_u64(&done_payload, "id").expect("id A");
     let record_a_before = wait_done(&addr, id_a, 60);
+    let (code, trace_a_before) =
+        http_call(&addr, "GET", &format!("/jobs/{id_a}/trace"), "").expect("trace A");
+    assert_eq!(code, 200, "{trace_a_before}");
 
     // Job B is big enough that SIGKILL reliably lands mid-run.
     let body = format!(
@@ -185,10 +188,31 @@ fn kill_minus_nine_resumes_without_repeating_finished_work() {
     assert_eq!(record_a_after, record_a_before, "terminal job must be untouched by recovery");
     assert_eq!(field_u64(&record_a_after, "resumes"), Some(0));
 
+    // A's durable trace survives the kill byte-identically: the new
+    // daemon serves the exposition from the persisted trace snapshot,
+    // not from any in-memory buffer that died with the first process.
+    let (code, trace_a_after) =
+        http_call(&addr, "GET", &format!("/jobs/{id_a}/trace"), "").expect("trace A after");
+    assert_eq!(code, 200, "{trace_a_after}");
+    assert_eq!(
+        trace_a_after, trace_a_before,
+        "completed-job trace must survive kill -9 byte-identically"
+    );
+
     // B was re-adopted exactly once and runs to the full step count.
     let record_b = wait_done(&addr, id_b, 300);
     assert_eq!(field_u64(&record_b, "resumes"), Some(1), "{record_b}");
     assert_eq!(field_u64(&record_b, "steps_done"), Some(STEPS as u64), "{record_b}");
+
+    // B's post-crash trace opens a new epoch (`tr-<id>.1`) and begins
+    // with the recovery event — the interruption is first-class in
+    // the timeline, not silently elided.
+    let (code, trace_b) =
+        http_call(&addr, "GET", &format!("/jobs/{id_b}/trace"), "").expect("trace B");
+    assert_eq!(code, 200, "{trace_b}");
+    assert_eq!(field_str(&trace_b, "trace_id"), Some(format!("tr-{id_b:08}.1").as_str()));
+    assert!(trace_b.contains(r#""kind":"recovered""#), "{trace_b}");
+    assert!(trace_b.contains(r#""kind":"done""#), "{trace_b}");
 
     // The uninterrupted baseline: the same spec, fresh cache, no
     // server. The resumed run must (a) agree on the result bit for
